@@ -1,0 +1,218 @@
+package analogacc_test
+
+import (
+	"math"
+	"testing"
+
+	"analogacc"
+)
+
+// These tests exercise the public facade end-to-end, the way a downstream
+// user would: they are intentionally written only against exported API.
+
+func eq2() (*analogacc.CSR, analogacc.Vector) {
+	a := analogacc.MustCSR(2, []analogacc.COOEntry{
+		{Row: 0, Col: 0, Val: 0.8}, {Row: 0, Col: 1, Val: 0.2},
+		{Row: 1, Col: 0, Val: 0.2}, {Row: 1, Col: 1, Val: 0.6},
+	})
+	return a, analogacc.VectorOf(0.5, 0.3)
+}
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	acc, chipDev, err := analogacc.NewSimulated(analogacc.PrototypeChip())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chipDev == nil || chipDev.Spec().Macroblocks != 4 {
+		t.Fatal("chip handle malformed")
+	}
+	a, b := eq2()
+	want, err := analogacc.SolveDirectCSR(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, stats, err := acc.SolveRefined(a, b, analogacc.SolveOptions{Tolerance: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Equal(want, 1e-6) {
+		t.Fatalf("u=%v want %v", u, want)
+	}
+	if stats.Refinements == 0 || stats.AnalogTime <= 0 {
+		t.Fatalf("stats %+v", stats)
+	}
+}
+
+func TestPublicDigitalBaselines(t *testing.T) {
+	prob, err := analogacc.Poisson(2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := analogacc.CG(prob.A, prob.B, analogacc.DigitalOptions{Tol: 1e-11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.X.Equal(prob.Exact, 1e-7) {
+		t.Fatal("CG wrong through facade")
+	}
+	pre, err := analogacc.NewSSORPreconditioner(prob.A, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := analogacc.PCG(prob.A, pre, prob.B, analogacc.DigitalOptions{Tol: 1e-11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pres.Iterations >= res.Iterations {
+		t.Fatalf("PCG (%d) not faster than CG (%d)", pres.Iterations, res.Iterations)
+	}
+	// The matrix-free stencil path.
+	st := analogacc.NewPoissonStencil(prob.Grid)
+	sres, err := analogacc.CG(st, prob.B, analogacc.DigitalOptions{Tol: 1e-11})
+	if err != nil || !sres.X.Equal(res.X, 1e-7) {
+		t.Fatalf("stencil CG disagrees: %v", err)
+	}
+}
+
+func TestPublicMultigridWithAnalogCoarse(t *testing.T) {
+	prob, err := analogacc.Poisson(2, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, _, err := analogacc.NewSimulated(analogacc.ScaledChip(9, 8, 20e3, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sess *analogacc.Session
+	coarse := func(a *analogacc.CSR, b analogacc.Vector) (analogacc.Vector, error) {
+		if sess == nil {
+			s, err := acc.BeginSession(a)
+			if err != nil {
+				return nil, err
+			}
+			sess = s
+		}
+		u, _, err := sess.SolveFor(b, analogacc.SolveOptions{})
+		return u, err
+	}
+	mg, err := analogacc.NewMultigrid(prob.Grid, analogacc.MGOptions{Tolerance: 1e-8, Coarse: coarse})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, stats, err := mg.Solve(prob.B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Equal(prob.Exact, 1e-5) {
+		t.Fatalf("error %v", prob.L2Error(u))
+	}
+	if stats.CoarseSolves == 0 || acc.Runs() == 0 {
+		t.Fatal("analog coarse solver never ran")
+	}
+	// W-cycle and FMG variants also work through the facade.
+	if _, _, err := mg.SolveW(prob.B); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := mg.SolveFMG(prob.B); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicFarm(t *testing.T) {
+	prob, err := analogacc.Poisson(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() *analogacc.Accelerator {
+		acc, _, err := analogacc.NewSimulated(analogacc.ScaledChip(4, 12, 20e3, 6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return acc
+	}
+	farm, err := analogacc.NewFarm(mk(), mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, stats, err := farm.SolveDecomposedParallel(prob.A, prob.B, analogacc.DecomposeOptions{
+		BlockSize: 4, OuterTolerance: 1e-4, Inner: analogacc.SolveOptions{Tolerance: 1e-6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.Equal(prob.Exact, prob.Exact.NormInf()*0.01+1e-4) {
+		t.Fatalf("farm error %v", prob.L2Error(x))
+	}
+	if stats.Chips != 2 {
+		t.Fatalf("stats %+v", stats)
+	}
+}
+
+func TestPublicODEAndNewton(t *testing.T) {
+	spec := analogacc.PrototypeChip()
+	spec.ADCBits = 12
+	spec.DACBits = 12
+	acc, _, err := analogacc.NewSimulated(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := analogacc.MustCSR(1, []analogacc.COOEntry{{Row: 0, Col: 0, Val: -1}})
+	traj, err := acc.SolveODE(m, analogacc.VectorOf(0), analogacc.VectorOf(0.9), analogacc.ODEOptions{Duration: 2, SamplePoints: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := traj.States[len(traj.States)-1][0]
+	if math.Abs(last-0.9*math.Exp(-2)) > 0.01 {
+		t.Fatalf("decay end %v", last)
+	}
+
+	bratu, err := analogacc.NewBratu(1, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accN, _, err := analogacc.NewSimulated(analogacc.ScaledChip(6, 12, 20e3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, nst, err := accN.SolveNonlinear(bratu, analogacc.NewVector(6), analogacc.NewtonOptions{Tolerance: 1e-7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := analogacc.NewVector(6)
+	bratu.Eval(f, u)
+	if f.NormInf() > 1e-7 || nst.Iterations == 0 {
+		t.Fatalf("Newton ‖F‖=%v stats %+v", f.NormInf(), nst)
+	}
+}
+
+func TestPublicExperimentRegistry(t *testing.T) {
+	all := analogacc.Experiments()
+	if len(all) < 15 {
+		t.Fatalf("%d experiments", len(all))
+	}
+	e, ok := analogacc.ExperimentByID("table2")
+	if !ok {
+		t.Fatal("table2 missing")
+	}
+	tbl, err := e.Run(analogacc.ExperimentConfig{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.ID != "table2" || len(tbl.Rows) == 0 {
+		t.Fatal("table2 empty")
+	}
+}
+
+func TestPublicModelAnchors(t *testing.T) {
+	comp := analogacc.MacroblockComplement()
+	d := analogacc.Design{BandwidthHz: 20e3}
+	if a := d.Area(650, comp); a < 120 || a > 170 {
+		t.Fatalf("650-integrator area %v", a)
+	}
+	if len(analogacc.PaperBandwidths()) != 4 {
+		t.Fatal("bandwidth list")
+	}
+	if len(analogacc.TableII()) != 5 {
+		t.Fatal("TableII")
+	}
+}

@@ -1,0 +1,178 @@
+package analogacc_test
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"analogacc"
+)
+
+// Benchmarks: one per paper table/figure (wrapping the reproduction
+// harness), plus microbenchmarks of the load-bearing kernels. By default
+// the per-figure benchmarks run at reduced sweep sizes so `go test
+// -bench=.` finishes in minutes; set ALABENCH_FULL=1 to run the paper's
+// full ranges (as `cmd/alabench -e all` does).
+
+func benchConfig() analogacc.ExperimentConfig {
+	return analogacc.ExperimentConfig{Quick: os.Getenv("ALABENCH_FULL") == ""}
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := analogacc.ExperimentByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	cfg := benchConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table, err := e.Run(cfg)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if len(table.Rows) == 0 {
+			b.Fatalf("%s: empty table", id)
+		}
+	}
+}
+
+// --- One benchmark per paper artifact ---
+
+func BenchmarkTable1ISA(b *testing.B)           { runExperiment(b, "table1") }
+func BenchmarkTable2Components(b *testing.B)    { runExperiment(b, "table2") }
+func BenchmarkTable3Scaling(b *testing.B)       { runExperiment(b, "table3") }
+func BenchmarkFig7Convergence(b *testing.B)     { runExperiment(b, "fig7") }
+func BenchmarkFig8TimeToSolution(b *testing.B)  { runExperiment(b, "fig8") }
+func BenchmarkFig9Bandwidth(b *testing.B)       { runExperiment(b, "fig9") }
+func BenchmarkFig10Power(b *testing.B)          { runExperiment(b, "fig10") }
+func BenchmarkFig11Area(b *testing.B)           { runExperiment(b, "fig11") }
+func BenchmarkFig12Energy(b *testing.B)         { runExperiment(b, "fig12") }
+func BenchmarkADCResolution(b *testing.B)       { runExperiment(b, "adcres") }
+func BenchmarkCalibrationAblation(b *testing.B) { runExperiment(b, "calib") }
+func BenchmarkMultigridAnalog(b *testing.B)     { runExperiment(b, "multigrid") }
+func BenchmarkDecomposition(b *testing.B)       { runExperiment(b, "decomp") }
+func BenchmarkNoiseAblation(b *testing.B)       { runExperiment(b, "noise") }
+func BenchmarkParallelFarm(b *testing.B)        { runExperiment(b, "parallel") }
+func BenchmarkDDAComparison(b *testing.B)       { runExperiment(b, "dda") }
+
+// --- Microbenchmarks of the kernels behind those numbers ---
+
+// BenchmarkDigitalCGStencil measures the paper's digital baseline: one
+// matrix-free stencil CG solve at the 1/256 equal-precision stop.
+func BenchmarkDigitalCGStencil(b *testing.B) {
+	prob, err := analogacc.Poisson(2, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := analogacc.NewPoissonStencil(prob.Grid)
+	tol := prob.Exact.NormInf() / 256
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analogacc.CG(st, prob.B, analogacc.DigitalOptions{
+			Criterion: analogacc.DeltaInf, Tol: tol,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalogSolve2x2 measures a full host-driver solve of the
+// Figure 5 system on the simulated prototype, including compilation,
+// configuration over the ISA, settling, and readout.
+func BenchmarkAnalogSolve2x2(b *testing.B) {
+	a := analogacc.MustCSR(2, []analogacc.COOEntry{
+		{Row: 0, Col: 0, Val: 0.8}, {Row: 0, Col: 1, Val: 0.2},
+		{Row: 1, Col: 0, Val: 0.2}, {Row: 1, Col: 1, Val: 0.6},
+	})
+	rhs := analogacc.VectorOf(0.5, 0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc, _, err := analogacc.NewSimulated(analogacc.PrototypeChip())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := acc.Solve(a, rhs, analogacc.SolveOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAlg2Refinement measures Algorithm 2 driving an 8-bit chip to
+// 1e-9 precision.
+func BenchmarkAlg2Refinement(b *testing.B) {
+	a := analogacc.MustCSR(2, []analogacc.COOEntry{
+		{Row: 0, Col: 0, Val: 0.8}, {Row: 0, Col: 1, Val: 0.2},
+		{Row: 1, Col: 0, Val: 0.2}, {Row: 1, Col: 1, Val: 0.6},
+	})
+	rhs := analogacc.VectorOf(0.5, 0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc, _, err := analogacc.NewSimulated(analogacc.PrototypeChip())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := acc.SolveRefined(a, rhs, analogacc.SolveOptions{Tolerance: 1e-9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChipSettle measures the behavioural circuit engine settling a
+// 64-variable Poisson system (the inner loop of every figure-8 point).
+func BenchmarkChipSettle(b *testing.B) {
+	prob, err := analogacc.Poisson(2, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := analogacc.ScaledChip(prob.Grid.N(), 8, 20e3, 6)
+	spec.FanoutsPerMB = 3
+	hint := prob.Exact.NormInf() * 1.1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc, _, err := analogacc.NewSimulated(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := acc.Solve(prob.A, prob.B, analogacc.SolveOptions{SigmaHint: hint}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStencilApply measures the matrix-free operator kernel.
+func BenchmarkStencilApply(b *testing.B) {
+	g, err := analogacc.NewGrid(2, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := analogacc.NewPoissonStencil(g)
+	x := analogacc.NewVector(g.N())
+	for i := range x {
+		x[i] = math.Sin(float64(i))
+	}
+	dst := analogacc.NewVector(g.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Apply(dst, x)
+	}
+}
+
+// BenchmarkMultigridVCycle measures a full digital multigrid solve, the
+// Section IV-A outer structure the accelerator plugs into.
+func BenchmarkMultigridVCycle(b *testing.B) {
+	prob, err := analogacc.Poisson(2, 63)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mg, err := analogacc.NewMultigrid(prob.Grid, analogacc.MGOptions{Tolerance: 1e-8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := mg.Solve(prob.B); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Command alabench regenerates the paper's evaluation artifacts: every
+// figure and table has a registered experiment that emits the same
+// rows/series the paper reports.
+//
+// Usage:
+//
+//	alabench -list
+//	alabench -e fig8
+//	alabench -e all -quick
+//	alabench -e fig12 -csv -o fig12.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"analogacc"
+)
+
+func main() {
+	var (
+		expID = flag.String("e", "", "experiment ID to run, or 'all'")
+		list  = flag.Bool("list", false, "list available experiments")
+		quick = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		csv   = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		out   = flag.String("o", "", "write output to a file instead of stdout")
+		quiet = flag.Bool("q", false, "suppress progress messages")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range analogacc.Experiments() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *expID == "" {
+		fmt.Fprintln(os.Stderr, "alabench: pick an experiment with -e <id> (see -list)")
+		os.Exit(2)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alabench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	cfg := analogacc.ExperimentConfig{Quick: *quick}
+	if !*quiet {
+		cfg.Progress = os.Stderr
+	}
+
+	var targets []analogacc.Experiment
+	if *expID == "all" {
+		targets = analogacc.Experiments()
+	} else {
+		e, ok := analogacc.ExperimentByID(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "alabench: unknown experiment %q (see -list)\n", *expID)
+			os.Exit(2)
+		}
+		targets = []analogacc.Experiment{e}
+	}
+
+	for i, e := range targets {
+		table, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alabench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		var rerr error
+		if *csv {
+			rerr = table.RenderCSV(w)
+		} else {
+			rerr = table.Render(w)
+		}
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "alabench: rendering %s: %v\n", e.ID, rerr)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Command alasim is the lab bench for the simulated chip: it wires one of
+// several demonstration circuits onto a prototype-style chip over the
+// Table I ISA, runs it, and streams the sampled waveform as CSV —
+// the continuous-time traces that Figures 1 and 5 of the paper sketch.
+//
+// Usage:
+//
+//	alasim -circuit decay -duration 500u
+//	alasim -circuit oscillator -samples 400 > osc.csv
+//	alasim -circuit sle2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"analogacc"
+	"analogacc/internal/chip"
+	"analogacc/internal/cli"
+	"analogacc/internal/isa"
+)
+
+func main() {
+	var (
+		circuit   = flag.String("circuit", "decay", "decay | oscillator | sle2 | lut")
+		duration  = flag.String("duration", "500u", "analog run time, e.g. 2m, 500u, 0.001")
+		samples   = flag.Int("samples", 200, "waveform samples to capture")
+		bandwidth = flag.Float64("bandwidth", 20e3, "chip bandwidth in Hz")
+	)
+	flag.Parse()
+
+	dur, err := cli.ParseDuration(*duration)
+	if err != nil {
+		fail("%v", err)
+	}
+	spec := analogacc.PrototypeChip()
+	spec.Bandwidth = *bandwidth
+	spec.ADCBits = 12
+	spec.DACBits = 12
+	dev, err := chip.New(spec)
+	if err != nil {
+		fail("%v", err)
+	}
+	h := isa.NewHost(isa.NewLoopback(dev))
+	pm := dev.Ports()
+
+	var adcs []int
+	switch *circuit {
+	case "decay":
+		// du/dt = -u, u(0) = 1: integ -> fanout -> {mul(-1) -> integ, adc}.
+		must(h.SetConn(pm.IntegratorOut(0), pm.FanoutIn(0)))
+		must(h.SetConn(pm.FanoutOut(0, 0), pm.MultiplierIn(0, 0)))
+		must(h.SetConn(pm.FanoutOut(0, 1), pm.ADCIn(0)))
+		must(h.SetMulGain(0, -1))
+		must(h.SetConn(pm.MultiplierOut(0), pm.IntegratorIn(0)))
+		must(h.SetIntInitial(0, 1))
+		adcs = []int{0}
+	case "oscillator":
+		// u'' = -u: two integrators in a loop; u(0)=0.8.
+		must(h.SetConn(pm.IntegratorOut(1), pm.IntegratorIn(0))) // du/dt = v
+		must(h.SetConn(pm.IntegratorOut(0), pm.FanoutIn(0)))
+		must(h.SetConn(pm.FanoutOut(0, 0), pm.MultiplierIn(0, 0)))
+		must(h.SetConn(pm.FanoutOut(0, 1), pm.ADCIn(0)))
+		must(h.SetMulGain(0, -1))
+		must(h.SetConn(pm.MultiplierOut(0), pm.IntegratorIn(1))) // dv/dt = -u
+		must(h.SetIntInitial(0, 0.8))
+		must(h.SetIntInitial(1, 0))
+		adcs = []int{0}
+	case "sle2":
+		// Figure 5: du/dt = b - A u for A=[[0.8,0.2],[0.2,0.6]], b=(0.5,0.3).
+		a := [2][2]float64{{0.8, 0.2}, {0.2, 0.6}}
+		b := [2]float64{0.5, 0.3}
+		for j := 0; j < 2; j++ {
+			must(h.SetConn(pm.IntegratorOut(j), pm.FanoutIn(2*j)))
+			must(h.SetConn(pm.FanoutOut(2*j, 0), pm.MultiplierIn(j, 0)))
+			must(h.SetConn(pm.FanoutOut(2*j, 1), pm.FanoutIn(2*j+1)))
+			must(h.SetConn(pm.FanoutOut(2*j+1, 0), pm.MultiplierIn(2+j, 0)))
+			must(h.SetConn(pm.FanoutOut(2*j+1, 1), pm.ADCIn(j)))
+		}
+		// mul j carries -a[0][j] into row 0; mul 2+j carries -a[1][j] into row 1.
+		must(h.SetMulGain(0, -a[0][0]))
+		must(h.SetMulGain(1, -a[0][1]))
+		must(h.SetMulGain(2, -a[1][0]))
+		must(h.SetMulGain(3, -a[1][1]))
+		must(h.SetConn(pm.MultiplierOut(0), pm.IntegratorIn(0)))
+		must(h.SetConn(pm.MultiplierOut(1), pm.IntegratorIn(0)))
+		must(h.SetConn(pm.MultiplierOut(2), pm.IntegratorIn(1)))
+		must(h.SetConn(pm.MultiplierOut(3), pm.IntegratorIn(1)))
+		must(h.SetDacConstant(0, b[0]))
+		must(h.SetDacConstant(1, b[1]))
+		must(h.SetConn(pm.DACOut(0), pm.IntegratorIn(0)))
+		must(h.SetConn(pm.DACOut(1), pm.IntegratorIn(1)))
+		adcs = []int{0, 1}
+	case "lut":
+		// Triangle-wave input through a sine lookup table.
+		period := dur / 2
+		must(dev.SetStimulus(0, func(t float64) float64 {
+			phase := t / period
+			frac := phase - float64(int(phase))
+			if frac < 0.5 {
+				return 4*frac - 1
+			}
+			return 3 - 4*frac
+		}))
+		must(h.SetAnaInputEn(0, true))
+		must(h.SetConn(pm.InputOut(0), pm.LUTIn(0)))
+		must(h.SetConn(pm.LUTOut(0), pm.ADCIn(0)))
+		var table [256]byte
+		for i := range table {
+			x := float64(i)/255*2 - 1
+			y := 0.95 * math.Sin(math.Pi*x)
+			table[i] = byte((y + 1) / 2 * 255)
+		}
+		must(h.SetFunction(0, table))
+		adcs = []int{0}
+	default:
+		fail("unknown circuit %q", *circuit)
+	}
+	must(h.CfgCommit())
+
+	// Sample by running in short timed bursts and reading after each.
+	stepCycles := uint32(dur / float64(*samples) * spec.TimerHz)
+	if stepCycles == 0 {
+		stepCycles = 1
+	}
+	must(h.SetTimeout(stepCycles))
+
+	header := []string{"time_s"}
+	for _, a := range adcs {
+		header = append(header, fmt.Sprintf("adc%d", a))
+	}
+	fmt.Println(strings.Join(header, ","))
+	emit := func(t float64) {
+		row := []string{fmt.Sprintf("%.9g", t)}
+		for _, a := range adcs {
+			v, err := h.AnalogAvg(uint16(a), 1)
+			must(err)
+			row = append(row, fmt.Sprintf("%.6f", v))
+		}
+		fmt.Println(strings.Join(row, ","))
+	}
+	emit(0)
+	for i := 1; i <= *samples; i++ {
+		must(h.ExecStart())
+		emit(float64(i) * float64(stepCycles) / spec.TimerHz)
+	}
+
+	exp, err := h.ReadExp()
+	must(err)
+	bits := isa.UnpackBits(exp, dev.NumUnits())
+	for i, set := range bits {
+		if set {
+			fmt.Fprintf(os.Stderr, "alasim: exception latched at unit %d\n", i)
+		}
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		fail("%v", err)
+	}
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "alasim: "+format+"\n", args...)
+	os.Exit(1)
+}

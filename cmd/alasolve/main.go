@@ -1,0 +1,144 @@
+// Command alasolve solves a system of linear equations A·u = b read from a
+// simple triplet file (see internal/la.ReadSystem) on a chosen backend:
+// the simulated analog accelerator (one-shot or with Algorithm 2
+// refinement), any of the digital iterative baselines, or dense LU.
+//
+// Usage:
+//
+//	alasolve -f system.txt -backend analog-refined -tol 1e-8
+//	alasolve -f poisson.txt -backend cg
+//	echo "n 1
+//	a 0 0 0.5
+//	b 0 0.25" | alasolve -backend analog
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"analogacc"
+	"analogacc/internal/cli"
+	"analogacc/internal/la"
+	"analogacc/internal/solvers"
+)
+
+func main() {
+	var (
+		file      = flag.String("f", "", "system file (default: stdin)")
+		format    = flag.String("format", "triplet", "triplet (A and b in one file) | mm (MatrixMarket matrix; see -rhs)")
+		rhsFile   = flag.String("rhs", "", "with -format mm: file of right-hand-side values, one per line (default: all ones)")
+		backend   = flag.String("backend", "analog-refined", "analog | analog-refined | cg | steepest | sor | gs | jacobi | direct")
+		tol       = flag.Float64("tol", 1e-8, "convergence / refinement tolerance")
+		adcBits   = flag.Int("adc-bits", 12, "analog chip converter resolution")
+		bandwidth = flag.Float64("bandwidth", 20e3, "analog bandwidth in Hz")
+		calibrate = flag.Bool("calibrate", false, "run the chip init calibration first")
+		quiet     = flag.Bool("q", false, "print only the solution values")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	var (
+		a *la.CSR
+		b la.Vector
+	)
+	switch *format {
+	case "triplet":
+		var err error
+		a, b, err = la.ReadSystem(in)
+		if err != nil {
+			fail("reading system: %v", err)
+		}
+	case "mm":
+		var err error
+		a, err = la.ReadMatrixMarket(in)
+		if err != nil {
+			fail("reading MatrixMarket: %v", err)
+		}
+		b = la.Constant(a.Dim(), 1)
+		if *rhsFile != "" {
+			b, err = readRHS(*rhsFile, a.Dim())
+			if err != nil {
+				fail("%v", err)
+			}
+		}
+	default:
+		fail("unknown format %q", *format)
+	}
+
+	var (
+		u     la.Vector
+		extra string
+	)
+	switch *backend {
+	case "analog", "analog-refined":
+		n := a.Dim()
+		spec := analogacc.ScaledChip(n, *adcBits, *bandwidth, a.MaxRowNNZ()+1)
+		spec.FanoutsPerMB = (a.MaxRowNNZ()+3)/3 + 1
+		acc, _, err := analogacc.NewSimulated(spec)
+		if err != nil {
+			fail("building chip: %v", err)
+		}
+		opt := analogacc.SolveOptions{Tolerance: *tol, Calibrate: *calibrate}
+		var stats analogacc.Stats
+		if *backend == "analog" {
+			u, stats, err = acc.Solve(a, b, opt)
+		} else {
+			u, stats, err = acc.SolveRefined(a, b, opt)
+		}
+		if err != nil {
+			fail("analog solve: %v", err)
+		}
+		extra = fmt.Sprintf("analog time %.3e s, %d runs, %d refinements, %d rescales, value scale S=%.4g",
+			stats.AnalogTime, stats.Runs, stats.Refinements, stats.Rescales, stats.Scaling.S)
+	case "direct":
+		var err error
+		u, err = solvers.SolveCSRDirect(a, b)
+		if err != nil {
+			fail("direct solve: %v", err)
+		}
+		extra = "dense LU with partial pivoting"
+	default:
+		res, err := solvers.Solve(solvers.Name(*backend), a, b, solvers.Options{Tol: *tol})
+		if err != nil {
+			fail("%s: %v", *backend, err)
+		}
+		u = res.X
+		extra = fmt.Sprintf("%d iterations, %d MACs", res.Iterations, res.MACs)
+	}
+
+	for i, v := range u {
+		if *quiet {
+			fmt.Printf("%.12g\n", v)
+		} else {
+			fmt.Printf("u[%d] = %.12g\n", i, v)
+		}
+	}
+	if !*quiet {
+		fmt.Printf("# backend: %s (%s)\n", *backend, extra)
+		fmt.Printf("# relative residual: %.3e\n", la.RelativeResidual(a, u, b))
+	}
+}
+
+// readRHS loads one float per non-empty line.
+func readRHS(path string, n int) (la.Vector, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return cli.ParseRHS(string(raw), n)
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "alasolve: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,96 @@
+// Heat: a time-dependent PDE integrated natively by the accelerator. The
+// left branch of the paper's Figure 4 taxonomy turns a parabolic PDE into
+// a system of ODEs by spatial discretization and hands it to an explicit
+// solver — "e.g., RK4, analog". Here a cooling rod (1-D heat equation,
+// two thermal eigenmodes) runs in the chip's ODE mode and is checked
+// against the closed-form decay of the discrete modes; the wave equation
+// follows as the hyperbolic sibling.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"analogacc"
+	"analogacc/internal/pde"
+)
+
+func main() {
+	spec := analogacc.PrototypeChip()
+	spec.Macroblocks = 16 // 15 unknowns (+1 spare)
+	spec.MulsPerMB = 4
+	spec.FanoutsPerMB = 3
+	spec.SharePerConverter = 1
+	spec.ADCBits = 12
+	spec.DACBits = 12
+	acc, _, err := analogacc.NewSimulated(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Rod with a warm fundamental and a ripple of the 3rd harmonic.
+	heat, err := pde.NewHeatEigenmodes(15, map[int]float64{1: 0.8, 3: 0.25})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const tEnd = 0.004 // the k=3 mode decays ~9x faster: visible contrast
+	traj, err := acc.SolveODE(heat.M, heat.Q, heat.U0, analogacc.ODEOptions{
+		Duration:     tEnd,
+		SamplePoints: 8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("1-D heat equation in the chip's native ODE mode (15 grid points)")
+	fmt.Printf("value/time scaling: S=%.3g — %.2e analog s for %.0e problem s\n\n",
+		traj.Scaling.S, traj.AnalogTime, tEnd)
+	fmt.Println("   t        midpoint T   closed form   max |err|")
+	for i, tt := range traj.Times {
+		exact := heat.Exact(tt)
+		var worst float64
+		for j := range exact {
+			if e := math.Abs(traj.States[i][j] - exact[j]); e > worst {
+				worst = e
+			}
+		}
+		mid := heat.Grid.N() / 2
+		fmt.Printf("  %7.5f   %+.5f     %+.5f      %.5f\n", tt, traj.States[i][mid], exact[mid], worst)
+	}
+
+	// The hyperbolic sibling: one eigenmode of the wave equation, run for
+	// one full period — it must come back where it started.
+	wave, err := pde.NewWaveEigenmode(7, 1, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	specW := analogacc.PrototypeChip()
+	specW.Macroblocks = 14
+	specW.MulsPerMB = 4
+	specW.FanoutsPerMB = 3
+	specW.SharePerConverter = 1
+	specW.ADCBits = 12
+	specW.DACBits = 12
+	accW, _, err := analogacc.NewSimulated(specW)
+	if err != nil {
+		log.Fatal(err)
+	}
+	period := 2 * math.Pi / wave.Omega()
+	// The velocity states swing up to amp·ω ≈ 1.6, well beyond the
+	// displacement amplitude: solution scaling must cover them.
+	wtraj, err := accW.SolveODE(wave.M, analogacc.NewVector(wave.M.Dim()), wave.U0, analogacc.ODEOptions{
+		Duration:     period,
+		SamplePoints: 12,
+		Sigma:        0.6 * wave.Omega(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := wtraj.States[0][3]
+	end := wtraj.States[len(wtraj.States)-1][3]
+	fmt.Printf("\nwave equation, one eigenperiod (%.4g problem s): u[3] %+.4f -> %+.4f (return error %.4f)\n",
+		period, start, end, math.Abs(end-start))
+	fmt.Println("parabolic decay and hyperbolic oscillation both run as continuous-time")
+	fmt.Println("trajectories — no steady state involved, the chip's original purpose.")
+}

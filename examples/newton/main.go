@@ -1,0 +1,69 @@
+// Newton: the paper's Section VI-F future-work direction, built out. The
+// nonlinear Bratu problem −∇²u = λ·e^u is solved by Newton's method with
+// every linearized system J(u)·δ = −F(u) offloaded to the simulated analog
+// accelerator (with Algorithm 2 refinement supplying the precision the
+// outer iteration needs). A fully digital Newton runs alongside as the
+// reference.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"analogacc"
+)
+
+func main() {
+	const l = 8       // 8×8 interior grid
+	const lambda = 2. // below the 2-D fold point λ* ≈ 6.81: unique solution
+	prob, err := analogacc.NewBratu(2, l, lambda)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := prob.Dim()
+	fmt.Printf("Bratu problem −∇²u = %.1f·e^u on an %d×%d grid (%d unknowns)\n\n", lambda, l, l, n)
+
+	// Analog-accelerated Newton.
+	acc, _, err := analogacc.NewSimulated(analogacc.ScaledChip(n, 12, 20e3, 6))
+	if err != nil {
+		log.Fatal(err)
+	}
+	u, stats, err := acc.SolveNonlinear(prob, analogacc.NewVector(n), analogacc.NewtonOptions{
+		Tolerance: 1e-8,
+		Inner:     analogacc.SolveOptions{Tolerance: 1e-9},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analog Newton: %d iterations, ‖F‖=%.1e, %.3e analog s over %d chip runs\n",
+		stats.Iterations, stats.FinalNorm, stats.AnalogTime, stats.Runs)
+
+	// Digital Newton reference.
+	ud := analogacc.NewVector(n)
+	f := analogacc.NewVector(n)
+	iters := 0
+	for ; iters < 50; iters++ {
+		prob.Eval(f, ud)
+		if f.NormInf() <= 1e-12 {
+			break
+		}
+		step, err := analogacc.SolveDirectCSR(prob.Jacobian(ud), f.Scaled(-1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		ud.Add(step)
+	}
+	fmt.Printf("digital Newton: %d iterations to machine precision\n", iters)
+
+	var worst float64
+	for i := range u {
+		if e := math.Abs(u[i] - ud[i]); e > worst {
+			worst = e
+		}
+	}
+	fmt.Printf("max |analog − digital| over all unknowns: %.2e\n\n", worst)
+	fmt.Printf("peak of the solution (grid center): u=%.6f\n", u[prob.GridDesc.Index(l/2, l/2, 0)])
+	fmt.Println("each Newton step compiled a fresh Jacobian onto the chip; the inner")
+	fmt.Println("solves used continuous-time gradient descent with residual refinement.")
+}

@@ -1,0 +1,3 @@
+module analogacc
+
+go 1.22

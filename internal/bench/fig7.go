@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+
+	"analogacc/internal/la"
+	"analogacc/internal/pde"
+	"analogacc/internal/solvers"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig7",
+		Title: "Convergence rate of classical iterative methods on a 3-D Poisson problem",
+		Run:   runFig7,
+	})
+}
+
+// runFig7 reproduces Figure 7: L2-norm error versus iteration count for
+// conjugate gradients, steepest descent, SOR, Gauss-Seidel, and Jacobi on
+// the 16³ (4096-point) Poisson problem with u = 1 on the x = 0 plane.
+// The paper's finding: "CG converges to a solution limited by the
+// precision of double precision floating point numbers the quickest."
+func runFig7(cfg Config) (*Table, error) {
+	l := 16
+	maxIter := 35
+	if cfg.Quick {
+		l = 8
+	}
+	prob, err := pde.Figure7Problem(l)
+	if err != nil {
+		return nil, err
+	}
+	cfg.logf("fig7: solving reference on %d points", prob.Grid.N())
+	// Reference: CG driven to double-precision limits.
+	ref, err := solvers.CG(prob.A, prob.B, solvers.Options{Tol: 1e-14, MaxIter: 10 * prob.Grid.N()})
+	if err != nil {
+		return nil, fmt.Errorf("bench: fig7 reference: %w", err)
+	}
+
+	methods := solvers.AllNames()
+	// errAt[m][k] is the L2 error of method m after iteration k (index 0
+	// is the zero initial guess).
+	errAt := make(map[solvers.Name][]float64, len(methods))
+	base := la.Sub2(la.NewVector(prob.Grid.N()), ref.X).Norm2()
+	for _, m := range methods {
+		cfg.logf("fig7: running %s", m)
+		series := []float64{base}
+		opt := solvers.Options{
+			Tol:     1e-30, // never stop early; we want maxIter samples
+			MaxIter: maxIter,
+			Observer: func(_ int, x la.Vector) {
+				series = append(series, la.Sub2(x, ref.X).Norm2())
+			},
+		}
+		// Divergence/stall within maxIter is fine here; we only plot the
+		// error trajectory, as the paper does.
+		if _, err := solvers.Solve(m, prob.A, prob.B, opt); err != nil {
+			cfg.logf("fig7: %s: %v (expected: sampling only)", m, err)
+		}
+		errAt[m] = series
+	}
+
+	t := &Table{
+		ID:      "fig7",
+		Title:   fmt.Sprintf("L2 error vs iterations, 3-D Poisson %d³=%d points, u=1 on x=0 plane", l, prob.Grid.N()),
+		Columns: []string{"iteration", "cg", "steepest", "sor", "gs", "jacobi"},
+	}
+	for k := 0; k <= maxIter; k++ {
+		row := []interface{}{k}
+		for _, m := range methods {
+			if k < len(errAt[m]) {
+				row = append(row, fmt.Sprintf("%.3e", errAt[m][k]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		t.AddRow(row...)
+	}
+	// Paper-shape checks folded into notes.
+	rank := func(m solvers.Name) float64 { return errAt[m][min(maxIter, len(errAt[m])-1)] }
+	t.Notes = append(t.Notes,
+		"paper expectation: CG steepest slope; ordering CG < steepest/SOR < GS < Jacobi at equal iterations",
+		fmt.Sprintf("measured final errors: cg=%.2e steepest=%.2e sor=%.2e gs=%.2e jacobi=%.2e",
+			rank(solvers.NameCG), rank(solvers.NameSteepest), rank(solvers.NameSOR), rank(solvers.NameGS), rank(solvers.NameJacobi)),
+	)
+	return t, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,162 @@
+package chip
+
+import (
+	"math"
+
+	"analogacc/internal/circuit"
+)
+
+// Calibration (the `init` instruction of Table I). Numerical errors in
+// analog computing come from offset bias, gain error, and nonlinearity
+// (Section III-B). The first two are trimmed here: each unit is measured
+// through the converters (its input driven by a DAC, its output observed by
+// an ADC — collapsed into circuit.TransferAt plus explicit ADC
+// quantization), and the digital host binary-searches the trim-DAC codes
+// that give the most ideal behaviour. Nonlinearity is handled at runtime by
+// overflow exception detection instead.
+//
+// Codes persist in the chip's unit table and survive crossbar
+// reconfiguration, exactly as on the real chip where they "remain constant
+// during accelerator operation and between solving different problems".
+
+// calibrate trims every integrator, multiplier, fanout, and DAC; returns
+// the number of units calibrated.
+func (c *Chip) calibrate() int {
+	// A scratch datapath instantiates one block per unit so TransferAt can
+	// exercise the unit's silicon (mismatch is stamped from the persistent
+	// unit table, so measuring the scratch block measures the real unit).
+	nl, err := circuit.NewNetlist(circuit.Config{
+		Bandwidth:   c.spec.Bandwidth,
+		ADCBits:     c.spec.ADCBits,
+		DACBits:     c.spec.DACBits,
+		TrimBits:    c.spec.TrimBits,
+		MaxGain:     c.spec.MaxGain,
+		OffsetSigma: c.spec.OffsetSigma,
+		GainSigma:   c.spec.GainSigma,
+		Seed:        c.spec.Seed,
+	})
+	if err != nil {
+		return 0
+	}
+	adcQ := func(v float64) float64 { return circuit.Quantize(v, 1, c.spec.ADCBits) }
+	codeMin := -(1 << uint(c.spec.TrimBits-1))
+	codeMax := (1 << uint(c.spec.TrimBits-1)) - 1
+
+	// searchTrim finds the code whose quantized measurement is closest to
+	// target. The measured transfer is monotone non-increasing in the
+	// code (both trims subtract code·step), so binary search applies.
+	searchTrim := func(set func(int), measure func() float64, target float64) int {
+		lo, hi := codeMin, codeMax
+		for lo < hi {
+			mid := lo + (hi-lo)/2 // floor division: safe with negative lo
+			set(mid)
+			if measure() > target {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		best, bestErr := lo, math.Inf(1)
+		for _, cand := range []int{lo - 1, lo} {
+			if cand < codeMin || cand > codeMax {
+				continue
+			}
+			set(cand)
+			if e := math.Abs(measure() - target); e < bestErr {
+				best, bestErr = cand, e
+			}
+		}
+		set(best)
+		return best
+	}
+
+	calibrated := 0
+	trimUnit := func(cl UnitClass, idx int, b *circuit.Block, gainInput float64) {
+		u := &c.units[cl][idx]
+		b.SetMismatch(u.offset, u.gainErr)
+		// Offset: null the zero-input output.
+		u.offsetTrim = searchTrim(
+			b.SetOffsetTrim,
+			func() float64 {
+				v, err := nl.TransferAt(b, 0)
+				if err != nil {
+					return 0
+				}
+				return adcQ(v)
+			},
+			0,
+		)
+		// Gain: make the half-scale transfer hit the ideal half-scale
+		// output (gainInput for DACs is carried by the Level register).
+		u.gainTrim = searchTrim(
+			b.SetGainTrim,
+			func() float64 {
+				v, err := nl.TransferAt(b, gainInput)
+				if err != nil {
+					return 0
+				}
+				return adcQ(v)
+			},
+			0.5,
+		)
+		calibrated++
+	}
+
+	for i := 0; i < c.counts.Integrators; i++ {
+		b := nl.AddIntegrator(nl.Net(), nl.Net(), 0)
+		trimUnit(ClassIntegrator, i, b, 0.5)
+	}
+	for m := 0; m < c.counts.Multipliers; m++ {
+		b := nl.AddMultiplier(nl.Net(), nl.Net(), 1) // unit gain during calibration
+		trimUnit(ClassMultiplier, m, b, 0.5)
+	}
+	for f := 0; f < c.counts.Fanouts; f++ {
+		b := nl.AddFanout(nl.Net(), nl.Net())
+		trimUnit(ClassFanout, f, b, 0.5)
+	}
+	for d := 0; d < c.counts.DACs; d++ {
+		b := nl.AddDAC(nl.Net(), 0)
+		u := &c.units[ClassDAC][d]
+		b.SetMismatch(u.offset, u.gainErr)
+		u.offsetTrim = searchTrim(
+			b.SetOffsetTrim,
+			func() float64 {
+				b.Level = 0
+				v, err := nl.TransferAt(b, 0)
+				if err != nil {
+					return 0
+				}
+				return adcQ(v)
+			},
+			0,
+		)
+		u.gainTrim = searchTrim(
+			b.SetGainTrim,
+			func() float64 {
+				b.Level = 0.5
+				v, err := nl.TransferAt(b, 0)
+				if err != nil {
+					return 0
+				}
+				return adcQ(v)
+			},
+			0.5,
+		)
+		calibrated++
+	}
+	// Re-stamp a committed datapath, if any, with the fresh codes, and
+	// refresh the simulator's cached block parameters.
+	if c.blocks != nil {
+		for _, cl := range unitOrder() {
+			for i, b := range c.blocks[cl] {
+				u := c.units[cl][i]
+				b.SetOffsetTrim(u.offsetTrim)
+				b.SetGainTrim(u.gainTrim)
+			}
+		}
+		if c.sim != nil {
+			c.sim.ReloadBlockParams()
+		}
+	}
+	return calibrated
+}

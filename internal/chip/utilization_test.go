@@ -1,0 +1,39 @@
+package chip
+
+import (
+	"testing"
+)
+
+func TestUtilizationCountsConnectedUnits(t *testing.T) {
+	h, c := hostFor(t, PrototypeSpec())
+	pm := c.Ports()
+	// Empty config: nothing used.
+	u := c.Utilization()
+	if u.IntegratorsUsed != 0 || u.MultipliersUsed != 0 || u.Integrators != 4 {
+		t.Fatalf("empty utilization %+v", u)
+	}
+	// Wire the decay loop: 1 integrator, 1 fanout, 1 multiplier, 1 ADC.
+	if err := h.SetConn(pm.IntegratorOut(0), pm.FanoutIn(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetConn(pm.FanoutOut(0, 0), pm.MultiplierIn(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetConn(pm.FanoutOut(0, 1), pm.ADCIn(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetConn(pm.MultiplierOut(0), pm.IntegratorIn(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetConn(pm.DACOut(1), pm.IntegratorIn(0)); err != nil {
+		t.Fatal(err)
+	}
+	u = c.Utilization()
+	if u.IntegratorsUsed != 1 || u.FanoutsUsed != 1 || u.MultipliersUsed != 1 ||
+		u.ADCsUsed != 1 || u.DACsUsed != 1 || u.LUTsUsed != 0 {
+		t.Fatalf("utilization %+v", u)
+	}
+	if u.Multipliers != 8 || u.Fanouts != 8 || u.ADCs != 2 {
+		t.Fatalf("inventory in utilization wrong: %+v", u)
+	}
+}

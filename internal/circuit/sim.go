@@ -1,0 +1,500 @@
+package circuit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ErrAlgebraicLoop is returned when combinational blocks (multipliers,
+// fanouts, LUTs) form a cycle that contains no integrator. Physical analog
+// computers forbid such loops too: every feedback path must pass through an
+// integrator.
+var ErrAlgebraicLoop = errors.New("circuit: algebraic loop (feedback path without an integrator)")
+
+// Probe records the waveform on a net while the simulator runs: the digital
+// twin of attaching a scope to one of the chip's analog output pins.
+type Probe struct {
+	Net   Net
+	Every int // record every Every-th step
+	Times []float64
+	Vals  []float64
+}
+
+// Simulator integrates a Netlist's dynamics in continuous time (fine-step
+// RK4 standing in for the physics). One Simulator corresponds to one
+// powered-up chip run: execStart ≈ Reset+Run, execStop ≈ stopping time.
+type Simulator struct {
+	nl          *Netlist
+	order       []*Block // combinational evaluation order
+	integrators []*Block
+	state       []float64 // one slot per integrator
+	netVals     []float64
+	scratch     [5][]float64 // RK4 stage storage
+	time        float64
+	dt          float64
+	k           float64 // 2π · bandwidth
+	noise       *rand.Rand
+	steps       int64
+	probes      []*Probe
+	// Cached effective offset/gain per block (trim state is fixed while
+	// a committed datapath runs; see ReloadBlockParams).
+	effOff  []float64
+	effGain []float64
+}
+
+// NewSimulator compiles the netlist (detecting algebraic loops) and prepares
+// a run. dt <= 0 selects an automatic step: a small fraction of the fastest
+// loop time constant implied by the programmed gains.
+func NewSimulator(nl *Netlist, dt float64) (*Simulator, error) {
+	s := &Simulator{
+		nl:      nl,
+		netVals: make([]float64, nl.nets),
+		k:       2 * math.Pi * nl.cfg.Bandwidth,
+		noise:   rand.New(rand.NewSource(nl.cfg.Seed + 0x9e3779b9)),
+	}
+	for _, b := range nl.blocks {
+		if b.Kind == KindIntegrator {
+			b.stateIdx = len(s.integrators)
+			s.integrators = append(s.integrators, b)
+		}
+	}
+	s.state = make([]float64, len(s.integrators))
+	for i := range s.scratch {
+		s.scratch[i] = make([]float64, len(s.integrators))
+	}
+	if err := s.compile(); err != nil {
+		return nil, err
+	}
+	s.ReloadBlockParams()
+	if dt <= 0 {
+		dt = s.autoStep()
+	}
+	if dt <= 0 {
+		return nil, fmt.Errorf("circuit: cannot choose a step for bandwidth %v", nl.cfg.Bandwidth)
+	}
+	s.dt = dt
+	s.Reset()
+	return s, nil
+}
+
+// compile topologically orders the combinational blocks.
+func (s *Simulator) compile() error {
+	type nodeInfo struct {
+		block *Block
+		deps  int
+		succ  []int
+	}
+	var nodes []nodeInfo
+	idxOf := map[*Block]int{}
+	for _, b := range s.nl.blocks {
+		switch b.Kind {
+		case KindMultiplier, KindFanout, KindLUT:
+			idxOf[b] = len(nodes)
+			nodes = append(nodes, nodeInfo{block: b})
+		}
+	}
+	// netDrivenBy[n] lists combinational nodes driving net n.
+	netDrivenBy := make(map[Net][]int)
+	for b, i := range idxOf {
+		for _, n := range b.out {
+			if n != noNet {
+				netDrivenBy[n] = append(netDrivenBy[n], i)
+			}
+		}
+	}
+	for b, i := range idxOf {
+		seen := map[int]bool{}
+		for _, n := range b.in {
+			if n == noNet {
+				continue
+			}
+			for _, src := range netDrivenBy[n] {
+				if src == i || seen[src] {
+					// Self-loop: still a dependency cycle; record once.
+					if src == i {
+						nodes[i].deps++
+						nodes[src].succ = append(nodes[src].succ, i)
+					}
+					continue
+				}
+				seen[src] = true
+				nodes[i].deps++
+				nodes[src].succ = append(nodes[src].succ, i)
+			}
+		}
+	}
+	var queue []int
+	for i := range nodes {
+		if nodes[i].deps == 0 {
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		s.order = append(s.order, nodes[i].block)
+		for _, j := range nodes[i].succ {
+			nodes[j].deps--
+			if nodes[j].deps == 0 {
+				queue = append(queue, j)
+			}
+		}
+	}
+	if len(s.order) != len(nodes) {
+		return ErrAlgebraicLoop
+	}
+	return nil
+}
+
+// autoStep estimates a stable RK4 step from the programmed gains: the loop
+// eigenvalues are bounded by k times the largest summed |gain| into a net,
+// and RK4 is stable well past λ·dt = 2.7, so dt = 0.1/(k·G) is conservative.
+func (s *Simulator) autoStep() float64 {
+	gainSum := make([]float64, s.nl.nets)
+	for _, b := range s.nl.blocks {
+		g := 1.0
+		if b.Kind == KindMultiplier && !b.varMode {
+			g = math.Abs(b.Gain)
+		}
+		if b.Kind == KindADC {
+			continue
+		}
+		for _, n := range b.out {
+			if n != noNet {
+				gainSum[n] += math.Max(g, 1e-9)
+			}
+		}
+	}
+	maxSum := 1.0
+	for _, g := range gainSum {
+		if g > maxSum {
+			maxSum = g
+		}
+	}
+	return 0.1 / (s.k * maxSum)
+}
+
+// ReloadBlockParams re-caches every block's effective offset and gain.
+// Call after changing trim codes or mismatch on a live simulator (the
+// chip's calibration path does); ordinary reconfiguration rebuilds the
+// simulator and picks the values up automatically.
+func (s *Simulator) ReloadBlockParams() {
+	if cap(s.effOff) < len(s.nl.blocks) {
+		s.effOff = make([]float64, len(s.nl.blocks))
+		s.effGain = make([]float64, len(s.nl.blocks))
+	}
+	for i, b := range s.nl.blocks {
+		s.effOff[i], s.effGain[i] = s.nl.effective(b)
+	}
+}
+
+// Reset loads integrator initial conditions, rewinds time, and clears
+// exception latches. Probes are kept but their histories cleared.
+func (s *Simulator) Reset() {
+	s.ReloadBlockParams() // pick up any trim changes since the last run
+	for i, b := range s.integrators {
+		s.state[i] = b.IC
+	}
+	s.time = 0
+	s.steps = 0
+	s.nl.ClearExceptions()
+	for _, p := range s.probes {
+		p.Times = p.Times[:0]
+		p.Vals = p.Vals[:0]
+	}
+	s.eval(s.time, s.state, true)
+}
+
+// Time returns the simulated (analog) time in seconds.
+func (s *Simulator) Time() float64 { return s.time }
+
+// Steps returns the number of RK4 steps taken since Reset.
+func (s *Simulator) Steps() int64 { return s.steps }
+
+// Dt returns the integration step.
+func (s *Simulator) Dt() float64 { return s.dt }
+
+// softSat models the compressive transfer characteristic past full scale:
+// linear inside ±fs, smoothly saturating toward ±sat outside.
+func softSat(v, fs, sat float64) float64 {
+	if v > fs {
+		return fs + (sat-fs)*math.Tanh((v-fs)/(sat-fs))
+	}
+	if v < -fs {
+		return -fs - (sat-fs)*math.Tanh((-v-fs)/(sat-fs))
+	}
+	return v
+}
+
+// eval computes all net values for the given state at time t. When record
+// is true it also latches overflow exceptions and updates peak trackers
+// (record is false during RK4 trial stages, which are not physical states).
+func (s *Simulator) eval(t float64, state []float64, record bool) {
+	fs := s.nl.cfg.FullScale
+	sat := s.nl.cfg.SatLevel
+	for i := range s.netVals {
+		s.netVals[i] = 0
+	}
+	emit := func(b *Block, n Net, raw float64) {
+		v := softSat(raw, fs, sat)
+		if record {
+			if a := math.Abs(raw); a > b.PeakAbs {
+				b.PeakAbs = a
+			}
+			if math.Abs(raw) > fs*(1+1e-12) {
+				b.Overflowed = true
+			}
+		}
+		if n != noNet {
+			s.netVals[n] += v
+		}
+	}
+	// Sources first: integrators (state), DACs, external inputs.
+	for _, b := range s.nl.blocks {
+		switch b.Kind {
+		case KindIntegrator:
+			emit(b, b.out[0], state[b.stateIdx])
+		case KindDAC:
+			off, gf := s.effOff[b.ID], s.effGain[b.ID]
+			lvl := quantize(b.Level, fs, s.nl.cfg.DACBits)
+			emit(b, b.out[0], gf*lvl+off)
+		case KindInput:
+			v := 0.0
+			if b.Stimulus != nil {
+				v = b.Stimulus(t)
+			}
+			emit(b, b.out[0], v)
+		}
+	}
+	// Combinational blocks in dependency order.
+	for _, b := range s.order {
+		off, gf := s.effOff[b.ID], s.effGain[b.ID]
+		switch b.Kind {
+		case KindMultiplier:
+			if b.varMode {
+				emit(b, b.out[0], gf*(s.netVals[b.in[0]]*s.netVals[b.in[1]]/fs)+off)
+			} else {
+				emit(b, b.out[0], gf*b.Gain*s.netVals[b.in[0]]+off)
+			}
+		case KindFanout:
+			in := s.netVals[b.in[0]]
+			for _, n := range b.out {
+				emit(b, n, gf*in+off)
+			}
+		case KindLUT:
+			in := s.netVals[b.in[0]]
+			idx := int(math.Round((in + fs) / (2 * fs) * float64(len(b.Table)-1)))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(b.Table) {
+				idx = len(b.Table) - 1
+			}
+			emit(b, b.out[0], gf*b.Table[idx]+off)
+		}
+	}
+}
+
+// derivs evaluates integrator derivatives for the given state.
+func (s *Simulator) derivs(dst []float64, t float64, state []float64) {
+	s.eval(t, state, false)
+	for i, b := range s.integrators {
+		off, gf := s.effOff[b.ID], s.effGain[b.ID]
+		in := 0.0
+		if b.in[0] != noNet {
+			in = s.netVals[b.in[0]]
+		}
+		dst[i] = s.k * (gf*in + off)
+	}
+}
+
+var probeLimit = 1 << 22 // safety cap on recorded samples per probe
+
+// probes are attached scopes.
+func (s *Simulator) addProbeInternal(p *Probe) { s.probes = append(s.probes, p) }
+
+// Step advances one RK4 step, applies saturation and noise, latches
+// exceptions, and records probes.
+func (s *Simulator) Step() { s.stepH(s.dt) }
+
+func (s *Simulator) stepH(h float64) {
+	k1, k2, k3, k4, tmp := s.scratch[0], s.scratch[1], s.scratch[2], s.scratch[3], s.scratch[4]
+	s.derivs(k1, s.time, s.state)
+	for i := range tmp {
+		tmp[i] = s.state[i] + h/2*k1[i]
+	}
+	s.derivs(k2, s.time+h/2, tmp)
+	for i := range tmp {
+		tmp[i] = s.state[i] + h/2*k2[i]
+	}
+	s.derivs(k3, s.time+h/2, tmp)
+	for i := range tmp {
+		tmp[i] = s.state[i] + h*k3[i]
+	}
+	s.derivs(k4, s.time+h, tmp)
+	fs, sat := s.nl.cfg.FullScale, s.nl.cfg.SatLevel
+	noiseAmp := 0.0
+	if s.nl.cfg.NoiseSigma > 0 {
+		// White noise integrated over one step: σ·fs·√(k·dt).
+		noiseAmp = s.nl.cfg.NoiseSigma * fs * math.Sqrt(s.k*h)
+	}
+	for i, b := range s.integrators {
+		x := s.state[i] + h/6*(k1[i]+2*k2[i]+2*k3[i]+k4[i])
+		if noiseAmp > 0 {
+			x += noiseAmp * s.noise.NormFloat64()
+		}
+		// The integrator output stage saturates like every other block.
+		if math.Abs(x) > fs*(1+1e-12) {
+			b.Overflowed = true
+			x = softSat(x, fs, sat)
+		}
+		if a := math.Abs(x); a > b.PeakAbs {
+			b.PeakAbs = a
+		}
+		s.state[i] = x
+	}
+	s.time += h
+	s.steps++
+	s.eval(s.time, s.state, true)
+	for _, p := range s.probes {
+		if p.Every <= 0 {
+			p.Every = 1
+		}
+		if s.steps%int64(p.Every) == 0 && len(p.Vals) < probeLimit {
+			p.Times = append(p.Times, s.time)
+			p.Vals = append(p.Vals, s.netVals[p.Net])
+		}
+	}
+}
+
+// Run advances simulated time by exactly duration: whole steps of dt plus
+// one shorter final step for the remainder, so armed timeouts correspond to
+// precise amounts of analog time.
+func (s *Simulator) Run(duration float64) {
+	whole := int(duration / s.dt)
+	for i := 0; i < whole; i++ {
+		s.Step()
+	}
+	if rem := duration - float64(whole)*s.dt; rem > s.dt*1e-9 {
+		s.stepH(rem)
+	}
+}
+
+// SettleResult reports a RunUntilSettled call.
+type SettleResult struct {
+	Settled  bool
+	Time     float64 // analog time at stop
+	MaxDrive float64 // final max |integrator input| (du/dt / k)
+}
+
+// RunUntilSettled advances until every integrator's input magnitude is at
+// most driveTol (i.e. ‖du/dt‖∞ ≤ k·driveTol) or maxTime elapses. The
+// convergence check runs every checkEvery steps. This is the "wait for
+// steady state, then sample" usage pattern of Section IV-A.
+func (s *Simulator) RunUntilSettled(driveTol, maxTime float64, checkEvery int) SettleResult {
+	if checkEvery <= 0 {
+		checkEvery = 16
+	}
+	for s.time < maxTime {
+		for i := 0; i < checkEvery && s.time < maxTime; i++ {
+			s.Step()
+		}
+		if d := s.MaxIntegratorDrive(); d <= driveTol {
+			return SettleResult{Settled: true, Time: s.time, MaxDrive: d}
+		}
+	}
+	return SettleResult{Settled: false, Time: s.time, MaxDrive: s.MaxIntegratorDrive()}
+}
+
+// MaxIntegratorDrive returns the largest effective drive |du/dt|/k over
+// all integrators, including each integrator's own input-referred offset:
+// the residual of the embedded linear system as the chip actually
+// experiences it.
+func (s *Simulator) MaxIntegratorDrive() float64 {
+	var m float64
+	for _, b := range s.integrators {
+		off, gf := s.effOff[b.ID], s.effGain[b.ID]
+		in := 0.0
+		if b.in[0] != noNet {
+			in = s.netVals[b.in[0]]
+		}
+		if a := math.Abs(gf*in + off); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// NetValue returns the value on a net as of the last completed step.
+func (s *Simulator) NetValue(n Net) float64 { return s.netVals[n] }
+
+// IntegratorValue returns an integrator's current output.
+func (s *Simulator) IntegratorValue(b *Block) (float64, error) {
+	if b.Kind != KindIntegrator || b.stateIdx < 0 {
+		return 0, fmt.Errorf("circuit: block %d is not a compiled integrator", b.ID)
+	}
+	return s.state[b.stateIdx], nil
+}
+
+// SetIntegratorValue overwrites an integrator's state (used by tests and by
+// the host to hold values across reconfiguration).
+func (s *Simulator) SetIntegratorValue(b *Block, v float64) error {
+	if b.Kind != KindIntegrator || b.stateIdx < 0 {
+		return fmt.Errorf("circuit: block %d is not a compiled integrator", b.ID)
+	}
+	s.state[b.stateIdx] = v
+	return nil
+}
+
+// ReadADC samples the net observed by an ADC block: returns the output code
+// and its value in volts-equivalent units. Out-of-range inputs clamp to the
+// end codes and latch the ADC's overflow exception.
+func (s *Simulator) ReadADC(b *Block) (code int, value float64, err error) {
+	if b.Kind != KindADC {
+		return 0, 0, fmt.Errorf("circuit: block %d is not an ADC", b.ID)
+	}
+	fs := s.nl.cfg.FullScale
+	v := s.netVals[b.in[0]]
+	if math.Abs(v) > fs*(1+1e-12) {
+		b.Overflowed = true
+	}
+	q := quantize(v, fs, s.nl.cfg.ADCBits)
+	levels := float64(int64(1)<<uint(s.nl.cfg.ADCBits)) - 1
+	code = int(math.Round((q + fs) / (2 * fs) * levels))
+	return code, q, nil
+}
+
+// ReadADCAveraged samples an ADC n times, advancing one step between
+// samples, and returns the mean value: the analogAvg instruction. Averaging
+// beats quantization noise down only when noise dithers the input, exactly
+// as on real hardware.
+func (s *Simulator) ReadADCAveraged(b *Block, n int) (float64, error) {
+	if n <= 0 {
+		n = 1
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		_, v, err := s.ReadADC(b)
+		if err != nil {
+			return 0, err
+		}
+		sum += v
+		if i+1 < n {
+			s.Step()
+		}
+	}
+	return sum / float64(n), nil
+}
+
+// AddProbe attaches a waveform recorder to a net, sampling every `every`
+// steps (min 1).
+func (s *Simulator) AddProbe(n Net, every int) *Probe {
+	if every <= 0 {
+		every = 1
+	}
+	p := &Probe{Net: n, Every: every}
+	s.addProbeInternal(p)
+	return p
+}

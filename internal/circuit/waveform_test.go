@@ -1,0 +1,143 @@
+package circuit
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// capturedDecay runs the standard decay circuit and returns its probe.
+func capturedDecay(t *testing.T, bw float64) *Probe {
+	t.Helper()
+	nl := idealChip(t, Config{Bandwidth: bw})
+	_, u := buildDecay(nl, 1.0)
+	sim, err := NewSimulator(nl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sim.AddProbe(u, 2)
+	sim.Run(12 / (2 * math.Pi * bw)) // 12 time constants
+	return p
+}
+
+func TestSteadyStateAndSettlingTime(t *testing.T) {
+	p := capturedDecay(t, 20e3)
+	ss, err := p.SteadyState(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ss) > 1e-4 {
+		t.Fatalf("decay steady state %v want ~0", ss)
+	}
+	ts, err := p.SettlingTime(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1% settling of e^{-kt}: t = ln(100)/k ≈ 4.6 τ.
+	k := 2 * math.Pi * 20e3
+	want := math.Log(100) / k
+	if ts < want*0.7 || ts > want*1.5 {
+		t.Fatalf("settling time %v want ~%v", ts, want)
+	}
+}
+
+func TestSettlingTimeScalesWithBandwidth(t *testing.T) {
+	t20, err := capturedDecay(t, 20e3).SettlingTime(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t80, err := capturedDecay(t, 80e3).SettlingTime(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := t20 / t80; r < 3 || r > 5 {
+		t.Fatalf("bandwidth settling ratio %v want ~4", r)
+	}
+}
+
+func TestOvershootMonotoneDecayIsZero(t *testing.T) {
+	p := capturedDecay(t, 20e3)
+	os, err := p.Overshoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tail-mean steady-state estimate sits a hair above the true
+	// asymptote while the decay is still creeping down, so allow a
+	// microscopic apparent overshoot.
+	if os > 1e-5 {
+		t.Fatalf("first-order decay overshoot %v", os)
+	}
+}
+
+func TestOvershootDetectsRinging(t *testing.T) {
+	// Two integrators with light damping ring past the target.
+	nl := idealChip(t, Config{Bandwidth: 20e3, DACBits: 16})
+	u, v, du, dv := nl.Net(), nl.Net(), nl.Net(), nl.Net()
+	nl.AddIntegrator(du, u, 0)
+	integV := nl.AddIntegrator(dv, v, 0)
+	_ = integV
+	nl.AddMultiplier(v, du, 1)    // du/dt = v
+	nl.AddMultiplier(u, dv, -1)   // dv/dt = -u - 0.2 v + 0.5
+	nl.AddMultiplier(v, dv, -0.2) //
+	nl.AddDAC(dv, 0.5)            // target u = 0.5
+	sim, err := NewSimulator(nl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sim.AddProbe(u, 4)
+	sim.Run(60 / (2 * math.Pi * 20e3) * 6)
+	os, err := p.Overshoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if os < 0.05 {
+		t.Fatalf("underdamped loop shows no overshoot: %v", os)
+	}
+	pp, err := p.PeakToPeak()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp <= os {
+		t.Fatalf("peak-to-peak %v should exceed overshoot %v", pp, os)
+	}
+}
+
+func TestWaveformErrorsOnEmptyProbe(t *testing.T) {
+	p := &Probe{Net: 3}
+	if _, err := p.SteadyState(4); err == nil {
+		t.Fatal("empty steady state accepted")
+	}
+	if _, err := p.SettlingTime(0.01); err == nil {
+		t.Fatal("empty settling time accepted")
+	}
+	if _, err := p.Overshoot(); err == nil {
+		t.Fatal("empty overshoot accepted")
+	}
+	if _, err := p.PeakToPeak(); err == nil {
+		t.Fatal("empty peak-to-peak accepted")
+	}
+}
+
+func TestSettlingTimeNeverSettled(t *testing.T) {
+	// A waveform still moving at the end of capture.
+	p := &Probe{Net: 0, Times: []float64{0, 1, 2}, Vals: []float64{0, 0.5, 1.0}}
+	if _, err := p.SettlingTime(0.01); err == nil {
+		t.Fatal("unsettled waveform accepted")
+	}
+}
+
+func TestProbeWriteCSV(t *testing.T) {
+	p := capturedDecay(t, 20e3)
+	var buf bytes.Buffer
+	if err := p.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "time_s,net") {
+		t.Fatalf("csv header: %q", out[:20])
+	}
+	if strings.Count(out, "\n") != len(p.Vals)+1 {
+		t.Fatalf("csv rows %d want %d", strings.Count(out, "\n"), len(p.Vals)+1)
+	}
+}

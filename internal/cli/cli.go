@@ -1,0 +1,54 @@
+// Package cli holds the small parsing helpers shared by the command-line
+// tools, kept out of the mains so they stay testable.
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"analogacc/internal/la"
+)
+
+// ParseDuration accepts seconds with an optional n/u/m/s suffix
+// (engineering shorthand: "500u" = 500 µs, "2m" = 2 ms — note this is NOT
+// time.ParseDuration's "m for minutes").
+func ParseDuration(s string) (float64, error) {
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(s, "n"):
+		mult, s = 1e-9, strings.TrimSuffix(s, "n")
+	case strings.HasSuffix(s, "u"):
+		mult, s = 1e-6, strings.TrimSuffix(s, "u")
+	case strings.HasSuffix(s, "m"):
+		mult, s = 1e-3, strings.TrimSuffix(s, "m")
+	case strings.HasSuffix(s, "s"):
+		s = strings.TrimSuffix(s, "s")
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("bad duration %q", s)
+	}
+	return v * mult, nil
+}
+
+// ParseRHS loads one float per non-empty, non-comment line and checks the
+// count against the matrix order.
+func ParseRHS(raw string, n int) (la.Vector, error) {
+	b := la.NewVector(0)
+	for _, line := range strings.Split(raw, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, err := strconv.ParseFloat(line, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad rhs value %q", line)
+		}
+		b = append(b, v)
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("rhs has %d values, matrix order is %d", len(b), n)
+	}
+	return b, nil
+}

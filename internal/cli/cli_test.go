@@ -1,0 +1,50 @@
+package cli
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseDuration(t *testing.T) {
+	cases := map[string]float64{
+		"1":     1,
+		"0.5":   0.5,
+		"2s":    2,
+		"3m":    3e-3,
+		"500u":  500e-6,
+		"250n":  250e-9,
+		"1.5m":  1.5e-3,
+		"0.25u": 0.25e-6,
+	}
+	for in, want := range cases {
+		got, err := ParseDuration(in)
+		if err != nil {
+			t.Errorf("%q: %v", in, err)
+			continue
+		}
+		if math.Abs(got-want) > want*1e-12 {
+			t.Errorf("%q = %v want %v", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "x", "-1", "0", "1q", "u"} {
+		if _, err := ParseDuration(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestParseRHS(t *testing.T) {
+	b, err := ParseRHS("1.5\n# comment\n\n-2\n0.25\n", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 1.5 || b[1] != -2 || b[2] != 0.25 {
+		t.Fatalf("b=%v", b)
+	}
+	if _, err := ParseRHS("1\n2\n", 3); err == nil {
+		t.Fatal("count mismatch accepted")
+	}
+	if _, err := ParseRHS("abc\n", 1); err == nil {
+		t.Fatal("junk accepted")
+	}
+}

@@ -1,0 +1,452 @@
+// Package core implements the paper's primary contribution: the analog
+// accelerator *architecture* (Sections III-B and IV) by which a digital
+// host safely uses a continuous-time analog chip as a linear-algebra
+// solver. The host side owns:
+//
+//   - compilation of a sparse system A·u = b onto chip resources
+//     (variable→integrator, coefficient→multiplier gain, bias→DAC,
+//     copying→fanout trees, summation→crossbar net joining);
+//   - value/time scaling so arbitrary-magnitude coefficients fit the
+//     multipliers' gain range (the Section VI-D inset derivation);
+//   - calibration orchestration (Table I `init`);
+//   - the run loop with overflow-exception handling and automatic
+//     rescale-and-retry;
+//   - precision refinement by residual iteration (Algorithm 2), which
+//     builds arbitrarily many digits from a low-resolution ADC;
+//   - domain decomposition for problems bigger than the chip
+//     (Section IV-B);
+//   - the chip's native ODE mode (Figure 1); and
+//   - the continuous-time Newton extension for nonlinear systems that the
+//     paper names as future work (Section VI-F).
+//
+// Everything the host does to the chip goes through the Table I ISA
+// (internal/isa): core never touches the simulator behind the transport.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"analogacc/internal/chip"
+	"analogacc/internal/isa"
+	"analogacc/internal/la"
+)
+
+// Matrix is the coefficient-matrix abstraction the compiler needs: apply
+// (for digital residuals) plus per-row access (for gain programming).
+// la.CSR and la.PoissonStencil both satisfy it.
+type Matrix interface {
+	la.Operator
+	la.RowVisitor
+}
+
+// Capacity errors.
+var (
+	// ErrTooLarge: the system needs more variables than the chip has
+	// integrators/converters. Use SolveDecomposed.
+	ErrTooLarge = errors.New("core: system exceeds chip capacity")
+	// ErrNotSettled: the analog run hit its time budget before the ADC
+	// readings stabilized.
+	ErrNotSettled = errors.New("core: analog computation did not settle within the time budget")
+	// ErrRescaleLimit: overflow exceptions persisted through the maximum
+	// number of problem rescales.
+	ErrRescaleLimit = errors.New("core: overflow exceptions persisted after maximum rescales")
+	// ErrUnresolvable: the scaled system's conditioning exceeds the
+	// converter resolution — the bias signal is below the residual floor
+	// that ADC quantization imposes, so no reading can verify settling
+	// (Section VI-D's dynamic-range trade at its breaking point). Use a
+	// higher-resolution ADC or decompose into better-conditioned blocks.
+	ErrUnresolvable = errors.New("core: system conditioning exceeds ADC resolution at this scale")
+)
+
+// Accelerator is the host-side driver for one analog accelerator chip.
+type Accelerator struct {
+	host *isa.Host
+	spec chip.Spec
+	pm   *chip.PortMap
+
+	analogTime float64 // Σ armed-and-executed timeout durations
+	runs       int     // execStart count
+	calibrated bool
+	// current is the session whose matrix is programmed on the chip;
+	// sessions re-acquire ownership transparently (see Session.ensureOwned).
+	current *Session
+	// biasMulBase is the first multiplier of the bias-gain path in the
+	// currently programmed configuration (see setBias).
+	biasMulBase int
+}
+
+// New binds a driver to a chip behind a transport. The spec must match the
+// physical chip (the host compiles against the same resource map).
+func New(t isa.Transport, spec chip.Spec) (*Accelerator, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Accelerator{
+		host: isa.NewHost(t),
+		spec: spec,
+		pm:   chip.NewPortMap(spec),
+	}, nil
+}
+
+// NewSimulated fabricates a simulated chip for the spec and binds a driver
+// to it over an in-memory SPI loopback. The returned chip is the "bench"
+// handle (probing, stimulus injection); all solving goes over the ISA.
+func NewSimulated(spec chip.Spec) (*Accelerator, *chip.Chip, error) {
+	dev, err := chip.New(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	acc, err := New(isa.NewLoopback(dev), spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return acc, dev, nil
+}
+
+// Spec returns the chip design this driver compiles against.
+func (acc *Accelerator) Spec() chip.Spec { return acc.spec }
+
+// Host exposes the raw ISA driver (examples use it for low-level access).
+func (acc *Accelerator) Host() *isa.Host { return acc.host }
+
+// AnalogTime returns the accumulated analog computation seconds this driver
+// has armed and executed: the performance metric of Figures 8, 9 and 12.
+func (acc *Accelerator) AnalogTime() float64 { return acc.analogTime }
+
+// Runs returns how many execStart cycles the driver has issued.
+func (acc *Accelerator) Runs() int { return acc.runs }
+
+// Calibrate runs the chip's init sequence (Table I) once; repeated calls
+// re-calibrate. Returns the number of units trimmed.
+func (acc *Accelerator) Calibrate() (int, error) {
+	n, err := acc.host.Init()
+	if err == nil {
+		acc.calibrated = true
+	}
+	return n, err
+}
+
+// Calibrated reports whether Calibrate has succeeded on this driver.
+func (acc *Accelerator) Calibrated() bool { return acc.calibrated }
+
+// Requirements describes the chip resources a compiled system needs.
+type Requirements struct {
+	Variables   int
+	Multipliers int
+	Fanouts     int
+}
+
+// requirementsOf walks the matrix structure and totals resource needs.
+// Each variable j is consumed by the multipliers of column j plus one ADC
+// tap, all fed from a fanout tree (an analog output can drive exactly one
+// destination; copying needs current mirrors). Each row additionally uses
+// one bias-gain multiplier between its DAC and its integrator: the DAC
+// codes then always use full range, with the common bias magnitude carried
+// by the gain — without it, a strongly value-scaled system's biases would
+// quantize to zero or a single LSB (the Section VI-D dynamic-range trap).
+func requirementsOf(a Matrix) Requirements {
+	n := a.Dim()
+	colUse := make([]int, n)
+	muls := n // bias-gain path, one per row
+	for i := 0; i < n; i++ {
+		a.VisitRow(i, func(j int, _ float64) {
+			muls++
+			colUse[j]++
+		})
+	}
+	fanouts := 0
+	for j := 0; j < n; j++ {
+		consumers := colUse[j] + 1 // matrix columns + ADC readout
+		fanouts += fanoutTreeSize(consumers, 0)
+	}
+	return Requirements{Variables: n, Multipliers: muls, Fanouts: fanouts}
+}
+
+// fanoutTreeSize returns how many fanout blocks of `ways` branches are
+// needed to copy one source to `consumers` destinations. ways == 0 means
+// "use the spec default at call time" — callers pass the real value.
+func fanoutTreeSize(consumers, ways int) int {
+	if ways <= 1 {
+		ways = 2
+	}
+	if consumers <= 1 {
+		// Even a single consumer goes through one mirror: the integrator
+		// output itself is also a single branch, but we keep the tree
+		// uniform so the readout tap never steals the feedback path.
+		return 1
+	}
+	// f fanouts chained give f·(ways-1)+1 leaves.
+	return (consumers + ways - 3) / (ways - 1)
+}
+
+// Fits reports whether the system can be compiled onto the chip, and the
+// shortfall if not.
+func (acc *Accelerator) Fits(a Matrix) error {
+	req := requirementsOf(a)
+	counts := acc.spec.Counts()
+	n := a.Dim()
+	colUse := make([]int, n)
+	for i := 0; i < n; i++ {
+		a.VisitRow(i, func(j int, _ float64) { colUse[j]++ })
+	}
+	fanouts := 0
+	for j := 0; j < n; j++ {
+		fanouts += fanoutTreeSize(colUse[j]+1, acc.spec.FanoutWays)
+	}
+	switch {
+	case req.Variables > counts.Integrators:
+		return fmt.Errorf("core: %d variables > %d integrators: %w", req.Variables, counts.Integrators, ErrTooLarge)
+	case req.Variables > counts.ADCs:
+		return fmt.Errorf("core: %d variables > %d ADCs: %w", req.Variables, counts.ADCs, ErrTooLarge)
+	case req.Variables > counts.DACs:
+		return fmt.Errorf("core: %d variables > %d DACs: %w", req.Variables, counts.DACs, ErrTooLarge)
+	case req.Multipliers > counts.Multipliers:
+		return fmt.Errorf("core: %d coefficients > %d multipliers: %w", req.Multipliers, counts.Multipliers, ErrTooLarge)
+	case fanouts > counts.Fanouts:
+		return fmt.Errorf("core: %d fanout blocks needed > %d available: %w", fanouts, counts.Fanouts, ErrTooLarge)
+	}
+	return nil
+}
+
+// MaxVariables returns the largest system order this chip can hold by
+// converter/integrator count alone (structure may constrain further).
+func (acc *Accelerator) MaxVariables() int {
+	c := acc.spec.Counts()
+	n := c.Integrators
+	if c.ADCs < n {
+		n = c.ADCs
+	}
+	if c.DACs < n {
+		n = c.DACs
+	}
+	return n
+}
+
+// program compiles the scaled system (as, bs, initial conditions) into
+// configuration instructions and commits it. Multiplier m carries gain
+// -as[i][j] from variable j into integrator i's summing net; DAC i carries
+// bs[i]; a fanout tree copies each variable to its consumers and its ADC.
+func (acc *Accelerator) program(as Matrix, bs la.Vector, ics la.Vector) error {
+	n := as.Dim()
+	if err := acc.Fits(as); err != nil {
+		return err
+	}
+	h, pm := acc.host, acc.pm
+	if err := h.CfgReset(); err != nil {
+		return fmt.Errorf("core: config reset: %w", err)
+	}
+	nextMul := 0
+	nextFanout := 0
+
+	// Column consumer lists: for each variable j, the multiplier input
+	// ports that need u_j (assigned while walking rows) plus ADC j.
+	consumers := make([][]uint16, n)
+	var programErr error
+	for i := 0; i < n && programErr == nil; i++ {
+		row := i
+		as.VisitRow(row, func(j int, aij float64) {
+			if programErr != nil {
+				return
+			}
+			m := nextMul
+			nextMul++
+			if err := h.SetMulGain(uint16(m), -aij); err != nil {
+				programErr = fmt.Errorf("core: gain for a[%d][%d]: %w", row, j, err)
+				return
+			}
+			if err := h.SetConn(pm.MultiplierOut(m), pm.IntegratorIn(row)); err != nil {
+				programErr = fmt.Errorf("core: multiplier %d output: %w", m, err)
+				return
+			}
+			consumers[j] = append(consumers[j], pm.MultiplierIn(m, 0))
+		})
+	}
+	if programErr != nil {
+		return programErr
+	}
+	// Bias-gain path: DAC_i -> multiplier(γ) -> integrator_i, so the DAC
+	// always runs at full range and γ carries the bias magnitude.
+	acc.biasMulBase = nextMul
+	for i := 0; i < n; i++ {
+		m := nextMul
+		nextMul++
+		if err := h.SetConn(pm.DACOut(i), pm.MultiplierIn(m, 0)); err != nil {
+			return fmt.Errorf("core: DAC %d to bias multiplier: %w", i, err)
+		}
+		if err := h.SetConn(pm.MultiplierOut(m), pm.IntegratorIn(i)); err != nil {
+			return fmt.Errorf("core: bias multiplier %d output: %w", m, err)
+		}
+	}
+	if err := acc.setBias(bs); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		ic := 0.0
+		if ics != nil {
+			ic = ics[i]
+		}
+		if err := h.SetIntInitial(uint16(i), ic); err != nil {
+			return fmt.Errorf("core: initial condition u[%d]: %w", i, err)
+		}
+	}
+	// Fanout trees: copy each variable to its consumers + its ADC.
+	for j := 0; j < n; j++ {
+		dsts := append(consumers[j], acc.pm.ADCIn(j))
+		if err := acc.wireTree(pm.IntegratorOut(j), dsts, &nextFanout); err != nil {
+			return fmt.Errorf("core: fanout tree for u[%d]: %w", j, err)
+		}
+	}
+	if err := h.CfgCommit(); err != nil {
+		return fmt.Errorf("core: commit: %w", err)
+	}
+	return nil
+}
+
+// wireTree routes src to every destination through chained fanout blocks.
+func (acc *Accelerator) wireTree(src uint16, dsts []uint16, nextFanout *int) error {
+	h, pm := acc.host, acc.pm
+	ways := acc.spec.FanoutWays
+	for {
+		f := *nextFanout
+		*nextFanout++
+		if err := h.SetConn(src, pm.FanoutIn(f)); err != nil {
+			return err
+		}
+		if len(dsts) <= ways {
+			for w, d := range dsts {
+				if err := h.SetConn(pm.FanoutOut(f, w), d); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		// Fill ways-1 branches with destinations; chain the last branch
+		// into the next fanout.
+		for w := 0; w < ways-1; w++ {
+			if err := h.SetConn(pm.FanoutOut(f, w), dsts[w]); err != nil {
+				return err
+			}
+		}
+		dsts = dsts[ways-1:]
+		src = pm.FanoutOut(f, ways-1)
+	}
+}
+
+// setBias programs the bias DACs and their gain path for a scaled
+// right-hand side (staged; the caller commits). The shared gain
+// γ = ‖bs‖∞ / margin puts the largest bias at the DAC's usable full scale,
+// so the DAC's relative resolution applies to the biases no matter how
+// small value scaling has made them.
+func (acc *Accelerator) setBias(bs la.Vector) error {
+	gamma := biasGamma(bs, acc.spec.MaxGain)
+	for i := range bs {
+		beta := 0.0
+		if gamma != 0 {
+			beta = bs[i] / gamma
+		}
+		if err := acc.host.SetDacConstant(uint16(i), beta); err != nil {
+			return fmt.Errorf("core: bias b[%d]: %w", i, err)
+		}
+		if err := acc.host.SetMulGain(uint16(acc.biasMulBase+i), gamma); err != nil {
+			return fmt.Errorf("core: bias gain %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// biasGamma is the shared bias-path gain for a scaled right-hand side,
+// capped at the multiplier's gain range (DAC codes then absorb the rest,
+// which is only legal while ‖bs‖∞ ≤ maxGain — the σ policy guarantees it).
+func biasGamma(bs la.Vector, maxGain float64) float64 {
+	g := bs.NormInf() / margin
+	if g > maxGain {
+		g = maxGain
+	}
+	return g
+}
+
+// reprogramBias rewrites only the bias path (DAC codes + bias gains) and
+// integrator initial conditions, then recommits — the cheap path for
+// Algorithm 2 refinement passes and decomposition sweeps where the matrix
+// (gains and routing) is unchanged.
+func (acc *Accelerator) reprogramBias(bs la.Vector, ics la.Vector) error {
+	if err := acc.setBias(bs); err != nil {
+		return err
+	}
+	for i := range bs {
+		ic := 0.0
+		if ics != nil {
+			ic = ics[i]
+		}
+		if err := acc.host.SetIntInitial(uint16(i), ic); err != nil {
+			return fmt.Errorf("core: initial condition u[%d]: %w", i, err)
+		}
+	}
+	if err := acc.host.CfgCommit(); err != nil {
+		return fmt.Errorf("core: commit: %w", err)
+	}
+	return nil
+}
+
+// runFor arms the timer for the given analog duration and starts the chip.
+func (acc *Accelerator) runFor(seconds float64) error {
+	cycles := uint32(seconds * acc.spec.TimerHz)
+	if cycles == 0 {
+		cycles = 1
+	}
+	if err := acc.host.SetTimeout(cycles); err != nil {
+		return err
+	}
+	if err := acc.host.ExecStart(); err != nil {
+		return err
+	}
+	acc.analogTime += float64(cycles) / acc.spec.TimerHz
+	acc.runs++
+	return nil
+}
+
+// readCodes returns the raw ADC codes for the first n converters.
+func (acc *Accelerator) readCodes(n int) ([]int, error) {
+	raw, err := acc.host.ReadSerial()
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < 2*n {
+		return nil, fmt.Errorf("core: readSerial returned %d bytes, need %d", len(raw), 2*n)
+	}
+	codes := make([]int, n)
+	for i := range codes {
+		codes[i] = int(isa.GetU16(raw, 2*i))
+	}
+	return codes, nil
+}
+
+// readSolution averages each variable's ADC and returns values in
+// full-scale units.
+func (acc *Accelerator) readSolution(n, samples int) (la.Vector, error) {
+	u := la.NewVector(n)
+	for i := 0; i < n; i++ {
+		v, err := acc.host.AnalogAvg(uint16(i), uint16(samples))
+		if err != nil {
+			return nil, err
+		}
+		u[i] = v
+	}
+	return u, nil
+}
+
+// anyException reads the exception vector and reports whether any unit
+// latched an overflow.
+func (acc *Accelerator) anyException() (bool, error) {
+	raw, err := acc.host.ReadExp()
+	if err != nil {
+		return false, err
+	}
+	for _, b := range raw {
+		if b != 0 {
+			return true, nil
+		}
+	}
+	return false, nil
+}

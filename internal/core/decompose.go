@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+
+	"analogacc/internal/la"
+)
+
+// Domain decomposition (Section IV-B): a system too large for the chip is
+// split into contiguous index blocks; each block's principal submatrix is
+// solved on the accelerator, with the couplings to other blocks moved to
+// the right-hand side (b_s − A_off·x). An outer block iteration sweeps the
+// blocks until the global residual converges. As the paper notes, the
+// outer iteration converges more slowly than element-wise methods, so
+// blocks should be as large as the chip allows ("it is still desirable to
+// ensure the block matrices are large").
+
+// DecomposeOptions configures SolveDecomposed.
+type DecomposeOptions struct {
+	// BlockSize caps variables per block (default: the chip's capacity
+	// for this matrix structure).
+	BlockSize int
+	// GaussSeidel uses the freshest block values within a sweep (block
+	// Gauss-Seidel, default) instead of the previous sweep's (block
+	// Jacobi). Jacobi is what runs when blocks solve in parallel on
+	// multiple accelerators.
+	Jacobi bool
+	// OuterTolerance is the global stop: ‖b − A·x‖∞ ≤ OuterTolerance·‖b‖∞
+	// (default 1e-6).
+	OuterTolerance float64
+	// MaxSweeps bounds outer iterations (default 400).
+	MaxSweeps int
+	// Inner tunes the per-block analog solves (refinement happens per
+	// block with Inner.Tolerance).
+	Inner SolveOptions
+}
+
+func (o DecomposeOptions) withDefaults() DecomposeOptions {
+	if o.OuterTolerance <= 0 {
+		o.OuterTolerance = 1e-6
+	}
+	if o.MaxSweeps <= 0 {
+		o.MaxSweeps = 400
+	}
+	return o
+}
+
+// DecomposeStats reports the outer iteration.
+type DecomposeStats struct {
+	Blocks     int
+	Sweeps     int
+	AnalogTime float64
+	Runs       int
+	// InnerRefinements totals Algorithm 2 passes across all block solves.
+	InnerRefinements int
+	Residual         float64
+}
+
+// blockRange computes contiguous blocks of at most size over n indices.
+func blockRanges(n, size int) [][]int {
+	var blocks [][]int
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		idx := make([]int, hi-lo)
+		for i := range idx {
+			idx[i] = lo + i
+		}
+		blocks = append(blocks, idx)
+	}
+	return blocks
+}
+
+// maxBlockSize finds the largest contiguous block size of A that fits the
+// chip, by shrinking from the converter capacity until Fits accepts every
+// block.
+func (acc *Accelerator) maxBlockSize(a *la.CSR) int {
+	size := acc.MaxVariables()
+	if size > a.Dim() {
+		size = a.Dim()
+	}
+	for size > 1 {
+		ok := true
+		for _, idx := range blockRanges(a.Dim(), size) {
+			if err := acc.Fits(a.Submatrix(idx)); err != nil {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return size
+		}
+		size = size * 3 / 4
+	}
+	return 1
+}
+
+// SolveDecomposed solves A·x = b for systems larger than the chip by block
+// decomposition with an outer block iteration. A must be square with a
+// nonsingular principal block structure (SPD diagonally-dominant systems
+// such as discretized elliptic PDEs converge).
+func (acc *Accelerator) SolveDecomposed(a *la.CSR, b la.Vector, opt DecomposeOptions) (u la.Vector, stats DecomposeStats, err error) {
+	opt = opt.withDefaults()
+	n := a.Dim()
+	if len(b) != n {
+		return nil, stats, fmt.Errorf("core: b length %d != %d", len(b), n)
+	}
+	size := opt.BlockSize
+	if size <= 0 {
+		size = acc.maxBlockSize(a)
+	}
+	blocks := blockRanges(n, size)
+	stats.Blocks = len(blocks)
+	timeBase := acc.AnalogTime()
+	runsBase := acc.Runs()
+	defer func() {
+		stats.AnalogTime = acc.AnalogTime() - timeBase
+		stats.Runs = acc.Runs() - runsBase
+	}()
+
+	// One session per distinct block matrix. For regular grids most
+	// blocks share a matrix; sessions are keyed by block and rebuilt
+	// only when the chip must be reprogrammed with different gains.
+	type blockState struct {
+		idx  []int
+		sub  *la.CSR
+		sess *Session
+	}
+	states := make([]*blockState, len(blocks))
+	for bi, idx := range blocks {
+		sub := a.Submatrix(idx)
+		states[bi] = &blockState{idx: idx, sub: sub}
+	}
+
+	x := la.NewVector(n)
+	xNext := la.NewVector(n)
+	bn := b.NormInf()
+	if bn == 0 {
+		return x, stats, nil
+	}
+	inner := opt.Inner
+	for sweep := 1; sweep <= opt.MaxSweeps; sweep++ {
+		src := x
+		dst := x
+		if opt.Jacobi {
+			xNext.CopyFrom(x)
+			dst = xNext
+		}
+		for _, st := range states {
+			// rhs_s = b_s − (off-block couplings)·x.
+			rhs := la.NewVector(len(st.idx))
+			for p, g := range st.idx {
+				rhs[p] = b[g]
+			}
+			neg := la.NewVector(len(st.idx))
+			a.OffBlockApply(neg, st.idx, src)
+			rhs.Sub(neg)
+			if st.sess == nil {
+				// Sessions share the one chip; SolveFor reprograms the
+				// gains automatically when ownership changes, and skips
+				// the reprogram when the block matrices are identical
+				// (all interior strips of a regular grid).
+				sess, err := acc.BeginSession(st.sub)
+				if err != nil {
+					return nil, stats, fmt.Errorf("core: block at %d: %w", st.idx[0], err)
+				}
+				st.sess = sess
+			}
+			u, innerStats, err := st.sess.SolveForRefined(rhs, inner)
+			stats.InnerRefinements += innerStats.Refinements
+			if err != nil {
+				return nil, stats, fmt.Errorf("core: sweep %d block at %d: %w", sweep, st.idx[0], err)
+			}
+			for p, g := range st.idx {
+				dst[g] = u[p]
+			}
+		}
+		if opt.Jacobi {
+			x.CopyFrom(xNext)
+		}
+		stats.Sweeps = sweep
+		stats.Residual = la.RelativeResidual(a, x, b)
+		if stats.Residual <= opt.OuterTolerance {
+			return x, stats, nil
+		}
+	}
+	return x, stats, fmt.Errorf("core: residual %v after %d sweeps (target %v): %w",
+		stats.Residual, opt.MaxSweeps, opt.OuterTolerance, ErrNotSettled)
+}

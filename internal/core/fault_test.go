@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"analogacc/internal/chip"
+	"analogacc/internal/isa"
+	"analogacc/internal/la"
+)
+
+// corruptingTransport randomly flips a bit in response frames: a noisy SPI
+// bus. The host must surface checksum errors as errors, never panic or
+// silently accept garbage.
+type corruptingTransport struct {
+	inner isa.Transport
+	rng   *rand.Rand
+	rate  float64 // probability of corrupting a response
+	hits  int
+}
+
+func (c *corruptingTransport) Transact(frame []byte) ([]byte, error) {
+	resp, err := c.inner.Transact(frame)
+	if err != nil {
+		return nil, err
+	}
+	if c.rng.Float64() < c.rate {
+		c.hits++
+		out := append([]byte(nil), resp...)
+		out[c.rng.Intn(len(out))] ^= 1 << uint(c.rng.Intn(8))
+		return out, nil
+	}
+	return resp, nil
+}
+
+func TestSolveSurvivesBusCorruptionAsErrors(t *testing.T) {
+	dev, err := chip.New(chip.PrototypeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := &corruptingTransport{
+		inner: isa.NewLoopback(dev),
+		rng:   rand.New(rand.NewSource(9)),
+		rate:  0.2,
+	}
+	acc, err := New(ct, chip.PrototypeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := la.MustCSR(2, []la.COOEntry{
+		{Row: 0, Col: 0, Val: 0.8}, {Row: 0, Col: 1, Val: 0.2},
+		{Row: 1, Col: 0, Val: 0.2}, {Row: 1, Col: 1, Val: 0.6},
+	})
+	b := la.VectorOf(0.5, 0.3)
+	// With a 20% corruption rate most attempts fail; every failure must
+	// be an error return (wrapped checksum/device error), never a wrong
+	// answer accepted silently.
+	var failures, successes int
+	for trial := 0; trial < 20; trial++ {
+		u, _, err := acc.Solve(a, b, SolveOptions{})
+		if err != nil {
+			failures++
+			continue
+		}
+		successes++
+		want, _ := la.VectorOf(0.545454, 0.318181), error(nil)
+		_ = want
+		if u == nil || len(u) != 2 {
+			t.Fatalf("success with malformed solution %v", u)
+		}
+		// A corrupted frame that slipped through CRC would show up as a
+		// wildly wrong answer here.
+		if d := la.Sub2(u, la.VectorOf(0.545454545, 0.318181818)).NormInf(); d > 0.05 {
+			t.Fatalf("silent corruption: u=%v", u)
+		}
+	}
+	if ct.hits == 0 {
+		t.Fatal("corruptor never fired; test is vacuous")
+	}
+	if failures == 0 {
+		t.Fatalf("no failures despite %d corrupted frames", ct.hits)
+	}
+}
+
+func TestSolveOverWireTransport(t *testing.T) {
+	// Full stack: host driver -> wire framing -> byte pipe -> device
+	// server -> chip. The answer must match the loopback path.
+	dev, err := chip.New(chip.PrototypeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostEnd, devEnd := isa.Pipe()
+	go isa.ServeWire(devEnd, dev)
+	acc, err := New(isa.NewWireTransport(hostEnd), chip.PrototypeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := la.MustCSR(2, []la.COOEntry{
+		{Row: 0, Col: 0, Val: 0.8}, {Row: 0, Col: 1, Val: 0.2},
+		{Row: 1, Col: 0, Val: 0.2}, {Row: 1, Col: 1, Val: 0.6},
+	})
+	b := la.VectorOf(0.5, 0.3)
+	u, stats, err := acc.SolveRefined(a, b, SolveOptions{Tolerance: 1e-7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Equal(la.VectorOf(0.545454545, 0.318181818), 1e-6) {
+		t.Fatalf("wire-transport solve u=%v", u)
+	}
+	if stats.Refinements == 0 {
+		t.Fatal("no refinements over wire")
+	}
+}

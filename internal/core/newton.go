@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+
+	"analogacc/internal/la"
+)
+
+// Nonlinear systems (the paper's Section VI-F future work): "the solution
+// of nonlinear PDEs proceeds ... using implicit solvers that require
+// solving systems of algebraic equations at each time step ... requiring
+// Newton-Raphson method-based iterative solvers." Here the digital host
+// runs Newton's method and offloads each linearized system J(u)·δ = −F(u)
+// to the analog accelerator, with Algorithm 2 refinement providing the
+// precision the outer iteration needs.
+
+// NonlinearProblem describes F(u) = 0 with an explicit sparse Jacobian.
+type NonlinearProblem interface {
+	// Dim returns the number of unknowns.
+	Dim() int
+	// Eval computes dst = F(u).
+	Eval(dst la.Vector, u la.Vector)
+	// Jacobian returns J(u) = ∂F/∂u. For the accelerator to solve the
+	// Newton step by continuous-time gradient descent, J should be
+	// positive definite in the region of interest (true for the
+	// discretized elliptic operators the paper targets).
+	Jacobian(u la.Vector) *la.CSR
+}
+
+// NewtonOptions configures SolveNonlinear.
+type NewtonOptions struct {
+	// Tolerance is the stop test ‖F(u)‖∞ ≤ Tolerance (default 1e-8).
+	Tolerance float64
+	// MaxIterations bounds the outer Newton loop (default 50).
+	MaxIterations int
+	// Damping scales each Newton step (default 1: full steps).
+	Damping float64
+	// Inner tunes the per-step analog solves.
+	Inner SolveOptions
+}
+
+func (o NewtonOptions) withDefaults() NewtonOptions {
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-8
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 50
+	}
+	if o.Damping <= 0 {
+		o.Damping = 1
+	}
+	return o
+}
+
+// NewtonStats reports the outer iteration.
+type NewtonStats struct {
+	Iterations  int
+	AnalogTime  float64
+	Runs        int
+	Refinements int
+	// FinalNorm is the final ‖F(u)‖∞.
+	FinalNorm float64
+}
+
+// SolveNonlinear runs Newton's method from u0 with analog-accelerated
+// linear solves. Each iteration compiles the fresh Jacobian onto the chip
+// (a new session) and solves J·δ = −F to the inner tolerance.
+func (acc *Accelerator) SolveNonlinear(p NonlinearProblem, u0 la.Vector, opt NewtonOptions) (res la.Vector, stats NewtonStats, err error) {
+	opt = opt.withDefaults()
+	n := p.Dim()
+	if len(u0) != n {
+		return nil, stats, fmt.Errorf("core: u0 length %d != %d", len(u0), n)
+	}
+	u := u0.Clone()
+	f := la.NewVector(n)
+	timeBase := acc.AnalogTime()
+	runsBase := acc.Runs()
+	defer func() {
+		stats.AnalogTime = acc.AnalogTime() - timeBase
+		stats.Runs = acc.Runs() - runsBase
+	}()
+	for iter := 1; iter <= opt.MaxIterations; iter++ {
+		p.Eval(f, u)
+		stats.FinalNorm = f.NormInf()
+		if stats.FinalNorm <= opt.Tolerance {
+			stats.Iterations = iter - 1
+			return u, stats, nil
+		}
+		j := p.Jacobian(u)
+		rhs := f.Scaled(-1)
+		sess, err := acc.BeginSession(j)
+		if err != nil {
+			return u, stats, fmt.Errorf("core: Newton iteration %d: %w", iter, err)
+		}
+		delta, st, err := sess.SolveForRefined(rhs, opt.Inner)
+		stats.Refinements += st.Refinements
+		if err != nil {
+			return u, stats, fmt.Errorf("core: Newton iteration %d: %w", iter, err)
+		}
+		u.AddScaled(opt.Damping, delta)
+		stats.Iterations = iter
+		if !u.IsFinite() {
+			return u, stats, fmt.Errorf("core: Newton diverged at iteration %d", iter)
+		}
+	}
+	p.Eval(f, u)
+	stats.FinalNorm = f.NormInf()
+	if stats.FinalNorm <= opt.Tolerance {
+		return u, stats, nil
+	}
+	return u, stats, fmt.Errorf("core: ‖F‖=%v after %d Newton iterations (target %v): %w",
+		stats.FinalNorm, opt.MaxIterations, opt.Tolerance, ErrNotSettled)
+}

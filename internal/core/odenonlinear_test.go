@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"analogacc/internal/chip"
+	"analogacc/internal/la"
+	"analogacc/internal/ode"
+)
+
+// pendulumRef integrates u” = -sin(u) digitally with RK4.
+func pendulumRef(u0, duration float64, samples int) []la.Vector {
+	sys := ode.Func{N: 2, F: func(dst la.Vector, _ float64, u la.Vector) {
+		dst[0] = u[1]
+		dst[1] = -math.Sin(u[0])
+	}}
+	out := make([]la.Vector, 0, samples+1)
+	state := la.VectorOf(u0, 0)
+	out = append(out, state.Clone())
+	dt := duration / float64(samples)
+	for i := 0; i < samples; i++ {
+		sol, err := ode.Solve(sys, state, dt, ode.SolveOptions{Method: ode.RK4, Step: dt / 200})
+		if err != nil {
+			panic(err)
+		}
+		state = sol.Last()
+		out = append(out, state.Clone())
+	}
+	return out
+}
+
+func TestSolveODENonlinearPendulum(t *testing.T) {
+	// Large-angle pendulum: the LUT carries sin(u); linearization would
+	// get the period visibly wrong at amplitude 1.5 rad.
+	spec := chip.PrototypeSpec()
+	spec.ADCBits = 12
+	spec.DACBits = 12
+	acc, _, err := NewSimulated(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := la.MustCSR(2, []la.COOEntry{{Row: 0, Col: 1, Val: 1}})
+	terms := []LUTTerm{{
+		Input: 0,
+		Fn:    math.Sin,
+		Coef:  la.VectorOf(0, -1),
+	}}
+	const duration = 8.0
+	const samples = 40
+	traj, err := acc.SolveODENonlinear(m, terms, la.NewVector(2), la.VectorOf(1.5, 0), NonlinearODEOptions{
+		ODEOptions: ODEOptions{Duration: duration, SamplePoints: samples},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := pendulumRef(1.5, duration, samples)
+	var worst float64
+	for i := range traj.Times {
+		if e := math.Abs(traj.States[i][0] - ref[i][0]); e > worst {
+			worst = e
+		}
+	}
+	// 8-bit LUT output quantization integrates into a few percent of
+	// drift over several periods.
+	if worst > 0.12 {
+		t.Fatalf("pendulum worst error %v", worst)
+	}
+	// The trajectory must actually swing (nonlinear dynamics, not decay).
+	swung := false
+	for _, st := range traj.States {
+		if st[0] < -1.0 {
+			swung = true
+		}
+	}
+	if !swung {
+		t.Fatal("pendulum never swung negative")
+	}
+	if traj.AnalogTime <= 0 {
+		t.Fatal("no analog time")
+	}
+}
+
+func TestSolveODENonlinearLargeAnglePeriodDiffersFromLinear(t *testing.T) {
+	// The pendulum's period at 1.5 rad is ~1.16x the small-angle 2π; if
+	// the LUT were secretly linearizing, the zero crossing would come
+	// too early. Find the first downward zero crossing: T/4.
+	spec := chip.PrototypeSpec()
+	spec.ADCBits = 12
+	spec.DACBits = 12
+	acc, err2 := func() (*Accelerator, error) { a, _, e := NewSimulated(spec); return a, e }()
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	m := la.MustCSR(2, []la.COOEntry{{Row: 0, Col: 1, Val: 1}})
+	terms := []LUTTerm{{Input: 0, Fn: math.Sin, Coef: la.VectorOf(0, -1)}}
+	traj, err := acc.SolveODENonlinear(m, terms, la.NewVector(2), la.VectorOf(1.5, 0), NonlinearODEOptions{
+		ODEOptions: ODEOptions{Duration: 3, SamplePoints: 120},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quarter := -1.0
+	for i := 1; i < len(traj.Times); i++ {
+		if traj.States[i-1][0] > 0 && traj.States[i][0] <= 0 {
+			quarter = traj.Times[i]
+			break
+		}
+	}
+	if quarter < 0 {
+		t.Fatal("no zero crossing within 3s")
+	}
+	// Small-angle quarter period = π/2 ≈ 1.571; amplitude-1.5 quarter
+	// period ≈ 1.82. The measurement must clearly exceed the linear one.
+	if quarter < 1.70 || quarter > 2.0 {
+		t.Fatalf("quarter period %v want ~1.82 (nonlinear), not ~1.57 (linear)", quarter)
+	}
+}
+
+func TestSolveODENonlinearValidation(t *testing.T) {
+	acc, _, err := NewSimulated(chip.PrototypeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := la.MustCSR(2, []la.COOEntry{{Row: 0, Col: 1, Val: 1}})
+	good := []LUTTerm{{Input: 0, Fn: math.Sin, Coef: la.VectorOf(0, -1)}}
+	if _, err := acc.SolveODENonlinear(m, good, la.NewVector(2), la.NewVector(2), NonlinearODEOptions{}); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	opt := NonlinearODEOptions{ODEOptions: ODEOptions{Duration: 1}}
+	if _, err := acc.SolveODENonlinear(m, good, la.NewVector(3), la.NewVector(2), opt); err == nil {
+		t.Fatal("bad g accepted")
+	}
+	bad := []LUTTerm{{Input: 5, Fn: math.Sin, Coef: la.VectorOf(0, -1)}}
+	if _, err := acc.SolveODENonlinear(m, bad, la.NewVector(2), la.NewVector(2), opt); err == nil {
+		t.Fatal("bad input index accepted")
+	}
+	bad = []LUTTerm{{Input: 0, Fn: nil, Coef: la.VectorOf(0, -1)}}
+	if _, err := acc.SolveODENonlinear(m, bad, la.NewVector(2), la.NewVector(2), opt); err == nil {
+		t.Fatal("nil function accepted")
+	}
+	bad = []LUTTerm{{Input: 0, Fn: math.Sin, Coef: la.VectorOf(1)}}
+	if _, err := acc.SolveODENonlinear(m, bad, la.NewVector(2), la.NewVector(2), opt); err == nil {
+		t.Fatal("short coefficient accepted")
+	}
+	// More terms than lookup tables.
+	many := []LUTTerm{
+		{Input: 0, Fn: math.Sin, Coef: la.VectorOf(0, -1)},
+		{Input: 0, Fn: math.Cos, Coef: la.VectorOf(0, -1)},
+		{Input: 1, Fn: math.Sin, Coef: la.VectorOf(-1, 0)},
+	}
+	if _, err := acc.SolveODENonlinear(m, many, la.NewVector(2), la.NewVector(2), opt); err == nil {
+		t.Fatal("too many LUT terms accepted")
+	}
+}
+
+func TestSolveODENonlinearZeroTermMatchesLinear(t *testing.T) {
+	// A term with an all-zero column must not change the dynamics.
+	spec := chip.PrototypeSpec()
+	spec.ADCBits = 12
+	spec.DACBits = 12
+	acc, _, err := NewSimulated(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := la.MustCSR(1, []la.COOEntry{{Row: 0, Col: 0, Val: -1}})
+	terms := []LUTTerm{{Input: 0, Fn: math.Sin, Coef: la.VectorOf(0)}}
+	opt := NonlinearODEOptions{ODEOptions: ODEOptions{Duration: 2, SamplePoints: 10}}
+	traj, err := acc.SolveODENonlinear(m, terms, la.NewVector(1), la.VectorOf(0.8), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := traj.States[len(traj.States)-1][0]
+	want := 0.8 * math.Exp(-2)
+	if math.Abs(last-want) > 0.01 {
+		t.Fatalf("decay with inert LUT: %v want %v", last, want)
+	}
+}

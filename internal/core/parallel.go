@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"analogacc/internal/la"
+)
+
+// Parallel domain decomposition: Section IV-B notes "the subproblems can
+// be solved separately on multiple accelerators, or multiple runs of the
+// same accelerator". SolveDecomposed is the multiple-runs form; this file
+// is the multiple-accelerators form — a farm of chips solving disjoint
+// blocks concurrently under a block-Jacobi outer iteration (Jacobi, not
+// Gauss-Seidel, because parallel blocks cannot see each other's in-sweep
+// updates).
+
+// Farm is a pool of accelerators used for concurrent block solves.
+type Farm struct {
+	accs []*Accelerator
+}
+
+// NewFarm wraps a set of drivers (each bound to its own chip).
+func NewFarm(accs ...*Accelerator) (*Farm, error) {
+	if len(accs) == 0 {
+		return nil, fmt.Errorf("core: a farm needs at least one accelerator")
+	}
+	for i, a := range accs {
+		if a == nil {
+			return nil, fmt.Errorf("core: farm accelerator %d is nil", i)
+		}
+	}
+	return &Farm{accs: accs}, nil
+}
+
+// Size returns the number of chips in the farm.
+func (f *Farm) Size() int { return len(f.accs) }
+
+// AnalogTime returns the summed analog seconds across the farm. The
+// *elapsed* analog time of a parallel sweep is the maximum over chips,
+// which SolveDecomposedParallel reports separately.
+func (f *Farm) AnalogTime() float64 {
+	var t float64
+	for _, a := range f.accs {
+		t += a.AnalogTime()
+	}
+	return t
+}
+
+// ParallelStats reports a parallel decomposed solve.
+type ParallelStats struct {
+	Blocks int
+	Sweeps int
+	Chips  int
+	// AnalogTimeTotal is the summed analog seconds across all chips.
+	AnalogTimeTotal float64
+	// AnalogTimeCritical approximates elapsed analog time: the maximum
+	// per-chip analog seconds (chips run their blocks concurrently).
+	AnalogTimeCritical float64
+	Residual           float64
+}
+
+// SolveDecomposedParallel solves A·x = b by block-Jacobi decomposition
+// with blocks distributed over the farm's chips and solved concurrently
+// within each sweep. Each chip keeps a session per block it owns, so
+// matrix reprogramming only happens when a chip switches between blocks
+// with different matrices.
+func (f *Farm) SolveDecomposedParallel(a *la.CSR, b la.Vector, opt DecomposeOptions) (la.Vector, ParallelStats, error) {
+	opt = opt.withDefaults()
+	n := a.Dim()
+	stats := ParallelStats{Chips: len(f.accs)}
+	if len(b) != n {
+		return nil, stats, fmt.Errorf("core: b length %d != %d", len(b), n)
+	}
+	size := opt.BlockSize
+	if size <= 0 {
+		size = f.accs[0].maxBlockSize(a)
+	}
+	blocks := blockRanges(n, size)
+	stats.Blocks = len(blocks)
+
+	// Assign blocks round-robin to chips and pre-build sessions.
+	type assignment struct {
+		idx  []int
+		sub  *la.CSR
+		sess *Session
+	}
+	perChip := make([][]*assignment, len(f.accs))
+	for bi, idx := range blocks {
+		chip := bi % len(f.accs)
+		sub := a.Submatrix(idx)
+		sess, err := f.accs[chip].BeginSession(sub)
+		if err != nil {
+			return nil, stats, fmt.Errorf("core: block at %d: %w", idx[0], err)
+		}
+		perChip[chip] = append(perChip[chip], &assignment{idx: idx, sub: sub, sess: sess})
+	}
+
+	x := la.NewVector(n)
+	xNext := la.NewVector(n)
+	bn := b.NormInf()
+	if bn == 0 {
+		return x, stats, nil
+	}
+	baseTimes := make([]float64, len(f.accs))
+	for i, acc := range f.accs {
+		baseTimes[i] = acc.AnalogTime()
+	}
+	for sweep := 1; sweep <= opt.MaxSweeps; sweep++ {
+		xNext.CopyFrom(x)
+		var wg sync.WaitGroup
+		errs := make([]error, len(f.accs))
+		for ci := range f.accs {
+			wg.Add(1)
+			go func(ci int) {
+				defer wg.Done()
+				for _, as := range perChip[ci] {
+					rhs := la.NewVector(len(as.idx))
+					for p, g := range as.idx {
+						rhs[p] = b[g]
+					}
+					neg := la.NewVector(len(as.idx))
+					a.OffBlockApply(neg, as.idx, x)
+					rhs.Sub(neg)
+					u, _, err := as.sess.SolveForRefined(rhs, opt.Inner)
+					if err != nil {
+						errs[ci] = fmt.Errorf("core: sweep %d block at %d: %w", sweep, as.idx[0], err)
+						return
+					}
+					for p, g := range as.idx {
+						xNext[g] = u[p]
+					}
+				}
+			}(ci)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, stats, err
+			}
+		}
+		x.CopyFrom(xNext)
+		stats.Sweeps = sweep
+		stats.Residual = la.RelativeResidual(a, x, b)
+		if stats.Residual <= opt.OuterTolerance {
+			break
+		}
+	}
+	var critical float64
+	for i, acc := range f.accs {
+		stats.AnalogTimeTotal += acc.AnalogTime() - baseTimes[i]
+		if t := acc.AnalogTime() - baseTimes[i]; t > critical {
+			critical = t
+		}
+	}
+	stats.AnalogTimeCritical = critical
+	if stats.Residual > opt.OuterTolerance {
+		return x, stats, fmt.Errorf("core: residual %v after %d sweeps (target %v): %w",
+			stats.Residual, opt.MaxSweeps, opt.OuterTolerance, ErrNotSettled)
+	}
+	return x, stats, nil
+}

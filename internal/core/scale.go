@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math"
+
+	"analogacc/internal/la"
+)
+
+// Value and time scaling (the Section VI-D inset). Any system A·u = b with
+// arbitrarily large coefficients is mapped into the chip's dynamic range by
+// two scale factors:
+//
+//	A_s = A / S          multiplier gains fit within ±MaxGain·margin
+//	b̂  = b / (S·σ)      DAC constants fit within ±margin, and the chip
+//	                     settles to û = u / σ, which must fit within ±1.
+//
+// The settled solution is recovered exactly as u = σ·û. The price is time:
+// the slowest eigenvalue of A_s is λ_min(A)/S, so settling takes S× longer
+// — "we have restricted the dynamic range in A by extending the time it
+// takes for the ODE to simulate".
+//
+// S is known a priori from max|a_ij|. σ cannot be (it depends on the
+// solution magnitude), so it is managed at runtime by the exception loop in
+// solve.go: overflow exceptions double σ; unused dynamic range shrinks it.
+
+// margin keeps programmed values comfortably inside the linear range.
+const margin = 0.95
+
+// Scaling records the factors chosen for one compiled system.
+type Scaling struct {
+	// S divides the matrix: A_s = A/S. Settling time dilates by S.
+	S float64
+	// Sigma scales the solution: u = Sigma · û.
+	Sigma float64
+}
+
+// matrixScale computes S for a matrix against a gain limit.
+func matrixScale(a Matrix, maxGain float64) float64 {
+	var maxAbs float64
+	for i := 0; i < a.Dim(); i++ {
+		a.VisitRow(i, func(_ int, v float64) {
+			if x := math.Abs(v); x > maxAbs {
+				maxAbs = x
+			}
+		})
+	}
+	if maxAbs == 0 {
+		return 1
+	}
+	s := maxAbs / (maxGain * margin)
+	if s < 1e-300 {
+		s = 1
+	}
+	return s
+}
+
+// initialSigma picks the starting solution scale for a right-hand side: the
+// largest bias exactly fills the DAC's usable range, so the run starts with
+// full dynamic-range use (Algorithm 2's "scaling the problem up as
+// necessary").
+func initialSigma(b la.Vector, s float64) float64 {
+	bn := b.NormInf()
+	if bn == 0 {
+		return 1
+	}
+	return bn / (s * margin)
+}
+
+// scaledView presents A/S as a Matrix without copying storage.
+type scaledView struct {
+	m   Matrix
+	inv float64 // 1/S
+}
+
+func newScaledView(m Matrix, s float64) scaledView { return scaledView{m: m, inv: 1 / s} }
+
+// Dim returns the underlying order.
+func (v scaledView) Dim() int { return v.m.Dim() }
+
+// Apply computes dst = (A/S)·x.
+func (v scaledView) Apply(dst, x la.Vector) {
+	v.m.Apply(dst, x)
+	for i := range dst {
+		dst[i] *= v.inv
+	}
+}
+
+// VisitRow enumerates row entries of A/S.
+func (v scaledView) VisitRow(i int, fn func(j int, a float64)) {
+	v.m.VisitRow(i, func(j int, a float64) { fn(j, a*v.inv) })
+}

@@ -1,0 +1,480 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"analogacc/internal/la"
+)
+
+// SolveOptions tunes the analog solve and refinement loops. The zero value
+// gives sensible defaults.
+type SolveOptions struct {
+	// Calibrate runs the chip's init sequence before the first solve on
+	// this driver (skipped if already calibrated).
+	Calibrate bool
+	// Samples is the analogAvg depth for final readout (default 8).
+	Samples int
+	// MaxDoublings bounds the settle polling loop: the run budget is the
+	// initial chunk doubled this many times (default 24).
+	MaxDoublings int
+	// MaxRescales bounds the overflow-driven problem rescales (default
+	// 40: each rescale costs only the short first chunk in which the
+	// overflow latches, and a cold start may need ~log₂(‖u‖·S/‖b‖) of
+	// them before the solution fits the dynamic range).
+	MaxRescales int
+	// SigmaHint, if positive, seeds the solution scale with an expected
+	// ‖u‖∞, skipping the exception-driven search on the first run.
+	SigmaHint float64
+	// BoostDynamicRange re-runs once with a tighter solution scale when
+	// the settled readings use less than a quarter of full scale
+	// (default true; set DisableBoost to turn off).
+	DisableBoost bool
+	// Tolerance is the refinement target for SolveRefined:
+	// ‖b − A·u‖∞ ≤ Tolerance·‖b‖∞ (default 1e-7).
+	Tolerance float64
+	// MaxRefinements bounds Algorithm 2 passes (default 30).
+	MaxRefinements int
+}
+
+func (o SolveOptions) withDefaults() SolveOptions {
+	if o.Samples <= 0 {
+		o.Samples = 8
+	}
+	if o.MaxDoublings <= 0 {
+		o.MaxDoublings = 24
+	}
+	if o.MaxRescales <= 0 {
+		o.MaxRescales = 40
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-7
+	}
+	if o.MaxRefinements <= 0 {
+		o.MaxRefinements = 30
+	}
+	return o
+}
+
+// Stats reports what one solve cost.
+type Stats struct {
+	// AnalogTime is the analog seconds armed for this call: the paper's
+	// convergence-time metric.
+	AnalogTime float64
+	// Runs counts execStart cycles.
+	Runs int
+	// Rescales counts overflow- or range-driven re-scalings.
+	Rescales int
+	// Refinements counts Algorithm 2 passes (SolveRefined only).
+	Refinements int
+	// Scaling records the final value/solution scales used.
+	Scaling Scaling
+	// Residual is the final digital ‖b − A·u‖∞ / ‖b‖∞.
+	Residual float64
+	// SettleTime estimates when the final successful run actually
+	// settled (analog seconds): the polling loop brackets the event
+	// within its last chunk, and this is the midpoint. AnalogTime, by
+	// contrast, is everything armed, including failed scale attempts
+	// and the bracketing overhead.
+	SettleTime float64
+}
+
+func (s *Stats) add(other Stats) {
+	s.AnalogTime += other.AnalogTime
+	s.Runs += other.Runs
+	s.Rescales += other.Rescales
+}
+
+// Session is a compiled system resident on the chip: the matrix gains and
+// routing are committed once, and successive right-hand sides (refinement
+// residuals, decomposition sweeps) only rewrite DAC constants.
+type Session struct {
+	acc *Accelerator
+	a   Matrix
+	as  scaledView
+	sc  Scaling
+	n   int
+	// sigmaGain remembers the learned ratio sigma·S/‖rhs‖∞ from the last
+	// successful solve, so later right-hand sides (refinement residuals,
+	// decomposition sweeps) start at the right dynamic-range scale
+	// instead of re-running the exception-driven search.
+	sigmaGain float64
+	// baseS is the compile-time value scale; dynamic-range boosts may
+	// grow sc.S (softer gains, more time) but only up to a bounded
+	// multiple of baseS — boosts are sticky for the session, and without
+	// the bound repeated solves would dilate time without limit.
+	baseS float64
+}
+
+// BeginSession compiles A onto the chip with zero biases. The matrix must
+// fit (see Fits); larger systems go through SolveDecomposed.
+func (acc *Accelerator) BeginSession(a Matrix) (*Session, error) {
+	s := matrixScale(a, acc.spec.MaxGain)
+	as := newScaledView(a, s)
+	zero := la.NewVector(a.Dim())
+	if err := acc.program(as, zero, nil); err != nil {
+		return nil, err
+	}
+	sess := &Session{acc: acc, a: a, as: as, sc: Scaling{S: s, Sigma: 1}, n: a.Dim(), baseS: s}
+	acc.current = sess
+	return sess, nil
+}
+
+// ensureOwned makes the session's matrix the one programmed on the chip.
+// If another session with an identical scaled matrix owns the chip (all
+// interior blocks of a regular decomposition), ownership transfers without
+// reprogramming; otherwise the gains and routing are recompiled.
+func (s *Session) ensureOwned() error {
+	cur := s.acc.current
+	if cur == s {
+		return nil
+	}
+	if cur != nil && cur.n == s.n && cur.sc.S == s.sc.S && matrixEqual(cur.a, s.a) {
+		s.acc.current = s
+		return nil
+	}
+	if err := s.acc.program(s.as, la.NewVector(s.n), nil); err != nil {
+		return err
+	}
+	s.acc.current = s
+	return nil
+}
+
+// matrixEqual compares two matrices entry-for-entry via their row streams.
+func matrixEqual(a, b Matrix) bool {
+	if a == b {
+		return true
+	}
+	if a.Dim() != b.Dim() {
+		return false
+	}
+	for i := 0; i < a.Dim(); i++ {
+		type entry struct {
+			j int
+			v float64
+		}
+		var ra, rb []entry
+		a.VisitRow(i, func(j int, v float64) { ra = append(ra, entry{j, v}) })
+		b.VisitRow(i, func(j int, v float64) { rb = append(rb, entry{j, v}) })
+		if len(ra) != len(rb) {
+			return false
+		}
+		for k := range ra {
+			if ra[k] != rb[k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Scaling returns the session's value scale (Sigma reflects the last solve).
+func (s *Session) Scaling() Scaling { return s.sc }
+
+// settleTolerances is the host's steady-state test on ADC readings: the
+// digital residual b̂ − A_s·û of the scaled system, which equals the
+// integrator drive the chip is still applying. The bound is per row:
+// reading quantization injects up to ½ LSB per element through the row's
+// absolute sum, so a row with small coefficients (a slow mode under value
+// scaling) gets a proportionally tighter threshold — otherwise slow modes
+// would be declared settled while still far from equilibrium. The chip's
+// datasheet offset/gain mismatch and noise add an absolute term.
+func (s *Session) settleTolerances() la.Vector {
+	lsb := 2.0 / (math.Pow(2, float64(s.acc.spec.ADCBits)) - 1)
+	mismatch := 4 * (s.acc.spec.OffsetSigma + s.acc.spec.GainSigma)
+	if s.acc.calibrated {
+		// Trimming leaves residual offsets at roughly the calibration
+		// measurement's resolution, so the host can demand far tighter
+		// equilibria after init.
+		if cal := 2 * lsb; cal < mismatch {
+			mismatch = cal
+		}
+	}
+	mismatch += 6 * s.acc.spec.NoiseSigma
+	tols := la.NewVector(s.n)
+	for i := 0; i < s.n; i++ {
+		var rowSum float64
+		s.as.VisitRow(i, func(_ int, v float64) { rowSum += math.Abs(v) })
+		tols[i] = 1.5*lsb*rowSum + mismatch
+	}
+	return tols
+}
+
+// SolveFor solves A·u = rhs using the session's compiled matrix and
+// returns u. The chip's exception mechanism drives automatic rescaling:
+// overflow halves the solution scale and retries; a settled solution using
+// almost none of the dynamic range is re-run at a tighter scale for
+// precision.
+func (s *Session) SolveFor(rhs la.Vector, opt SolveOptions) (u la.Vector, stats Stats, err error) {
+	opt = opt.withDefaults()
+	stats = Stats{Scaling: s.sc}
+	if len(rhs) != s.n {
+		return nil, stats, fmt.Errorf("core: rhs length %d != %d", len(rhs), s.n)
+	}
+	if opt.Calibrate && !s.acc.calibrated {
+		if _, err := s.acc.Calibrate(); err != nil {
+			return nil, stats, err
+		}
+	}
+	if rhs.NormInf() == 0 {
+		stats.Scaling = s.sc
+		return la.NewVector(s.n), stats, nil
+	}
+	if err := s.ensureOwned(); err != nil {
+		return nil, stats, err
+	}
+	sigma := initialSigma(rhs, s.sc.S)
+	if opt.SigmaHint > 0 {
+		sigma = opt.SigmaHint
+	} else if s.sigmaGain > 0 {
+		sigma = s.sigmaGain * rhs.NormInf() / s.sc.S
+	}
+	// The scaled bias must fit the bias path: σ may never fall below the
+	// DAC-filling value (smaller σ would need gain > MaxGain).
+	if floor := initialSigma(rhs, s.sc.S) * margin / (margin * s.acc.spec.MaxGain); sigma < floor {
+		sigma = floor
+	}
+	boosted := 0
+	timeBase := s.acc.AnalogTime()
+	runsBase := s.acc.Runs()
+	defer func() {
+		stats.AnalogTime = s.acc.AnalogTime() - timeBase
+		stats.Runs = s.acc.Runs() - runsBase
+	}()
+
+	for attempt := 0; attempt <= opt.MaxRescales; attempt++ {
+		bs := rhs.Scaled(1 / (s.sc.S * sigma))
+		if err := s.acc.reprogramBias(bs, nil); err != nil {
+			return nil, stats, err
+		}
+		settled, overflowed, settleTime, err := s.settle(bs, opt)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.SettleTime = settleTime
+		if overflowed {
+			sigma *= 2
+			stats.Rescales++
+			continue
+		}
+		if !settled {
+			return nil, stats, fmt.Errorf("core: sigma=%v: %w", sigma, ErrNotSettled)
+		}
+		uHat, err := s.acc.readSolution(s.n, opt.Samples)
+		if err != nil {
+			return nil, stats, err
+		}
+		// Dynamic-range check (Section III-B): if the answer sits deep
+		// inside the range, re-run at a larger value scale S (softer
+		// gains) with a proportionally smaller solution scale — the DAC
+		// is already at full range, so more solution range can only be
+		// bought with time, exactly the inset's time-scaling trade.
+		peak := uHat.NormInf()
+		if !opt.DisableBoost && boosted < 2 && peak > 0 && peak < 0.25 && s.sc.S < s.baseS*16 {
+			f := 0.5 / peak
+			if f > 8 {
+				f = 8
+			}
+			if s.sc.S*f > s.baseS*16 {
+				f = s.baseS * 16 / s.sc.S
+			}
+			s.sc.S *= f
+			s.as = newScaledView(s.a, s.sc.S)
+			sigma /= f
+			if err := s.acc.program(s.as, la.NewVector(s.n), nil); err != nil {
+				return nil, stats, err
+			}
+			s.acc.current = s
+			boosted++
+			stats.Rescales++
+			continue
+		}
+		u := uHat.Scaled(sigma)
+		s.sc.Sigma = sigma
+		s.sigmaGain = sigma * s.sc.S / rhs.NormInf()
+		stats.Scaling = s.sc
+		stats.Residual = la.RelativeResidual(s.a, u, rhs)
+		return u, stats, nil
+	}
+	return nil, stats, fmt.Errorf("core: after %d rescales: %w", opt.MaxRescales, ErrRescaleLimit)
+}
+
+// settle runs the chip in doubling time chunks until steady state, an
+// overflow exception, or the doubling budget. Steady state needs BOTH
+// host-visible conditions: the digitally reconstructed residual of the
+// scaled system is at the quantization/mismatch floor, AND the ADC codes
+// stopped moving across the last chunk (which, by doubling, spans half the
+// elapsed time — a reading can sit at the residual floor long before the
+// state stops evolving when the bias is small relative to full scale).
+// On success it also returns the midpoint estimate of when settling
+// happened: the event is bracketed inside the final chunk.
+func (s *Session) settle(bs la.Vector, opt SolveOptions) (settled, overflowed bool, settleTime float64, err error) {
+	k := 2 * math.Pi * s.acc.spec.Bandwidth
+	chunk := 2 / k
+	tols := s.settleTolerances()
+	uHat := la.NewVector(s.n)
+	resid := la.NewVector(s.n)
+	fs := math.Pow(2, float64(s.acc.spec.ADCBits)) - 1
+	lsb := 2.0 / fs
+	// Codes jitter with integrator noise; allow that much slack in the
+	// stability test.
+	codeTol := 1 + int(8*s.acc.spec.NoiseSigma/lsb)
+	// The chip realizes the bias as γ·quantize(bs/γ) through the bias-gain
+	// path, and the host knows both γ and the DAC transfer; compare the
+	// readings against what was actually programmed, not the ideal value.
+	bq := la.NewVector(s.n)
+	gamma := biasGamma(bs, s.acc.spec.MaxGain)
+	dacLevels := math.Pow(2, float64(s.acc.spec.DACBits)) - 1
+	for i, v := range bs {
+		beta := 0.0
+		if gamma != 0 {
+			beta = v / gamma
+		}
+		code := math.Round((beta + 1) / 2 * dacLevels)
+		bq[i] = gamma * (code/dacLevels*2 - 1)
+	}
+	// Verifiability check: at steady state the reconstructed residual
+	// cannot be driven below the reading-quantization floor; if the
+	// entire bias signal sits under that floor, a "settled" reading is
+	// indistinguishable from an untouched chip and the solve cannot be
+	// trusted at this resolution.
+	var maxTol float64
+	for _, tv := range tols {
+		if tv > maxTol {
+			maxTol = tv
+		}
+	}
+	if bqn := bq.NormInf(); bqn > 0 && bqn < maxTol {
+		return false, false, 0, fmt.Errorf("core: bias %.3g below residual floor %.3g at %d ADC bits: %w",
+			bqn, maxTol, s.acc.spec.ADCBits, ErrUnresolvable)
+	}
+	var prevCodes []int
+	elapsed := 0.0
+	prevT, prevM := 0.0, math.Inf(1) // residual-margin history for interpolation
+	for d := 0; d < opt.MaxDoublings; d++ {
+		if err := s.acc.runFor(chunk); err != nil {
+			return false, false, 0, err
+		}
+		elapsed += chunk
+		exc, err := s.acc.anyException()
+		if err != nil {
+			return false, false, 0, err
+		}
+		if exc {
+			return false, true, 0, nil
+		}
+		codes, err := s.acc.readCodes(s.n)
+		if err != nil {
+			return false, false, 0, err
+		}
+		stable := prevCodes != nil
+		if stable {
+			for i, c := range codes {
+				if diff := c - prevCodes[i]; diff > codeTol || diff < -codeTol {
+					stable = false
+					break
+				}
+			}
+		}
+		prevCodes = codes
+		// Residual margin m = max_i |resid_i|/tol_i; settled at m ≤ 1.
+		for i, c := range codes {
+			uHat[i] = float64(c)/fs*2 - 1
+		}
+		s.as.Apply(resid, uHat)
+		m := 0.0
+		for i := range resid {
+			resid[i] = bq[i] - resid[i]
+			if r := math.Abs(resid[i]) / tols[i]; r > m {
+				m = r
+			}
+		}
+		if stable && m <= 1 {
+			// The crossing happened between the last two polls; the
+			// residual decays exponentially, so interpolate the m = 1
+			// crossing on a log scale for a tighter time estimate than
+			// the chunk midpoint.
+			settleAt := elapsed - chunk/2
+			if !math.IsInf(prevM, 1) && prevM > 1 && m > 0 && m < prevM {
+				frac := math.Log(prevM) / math.Log(prevM/m)
+				settleAt = prevT + (elapsed-prevT)*frac
+			}
+			return true, false, settleAt, nil
+		}
+		prevT, prevM = elapsed, m
+		chunk *= 2
+	}
+	return false, false, 0, nil
+}
+
+// Solve compiles and solves A·u = b in one shot: one analog run's worth of
+// precision (bounded by the ADC), Section IV-A's basic usage.
+func (acc *Accelerator) Solve(a Matrix, b la.Vector, opt SolveOptions) (la.Vector, Stats, error) {
+	sess, err := acc.BeginSession(a)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return sess.SolveFor(b, opt)
+}
+
+// SolveRefined runs Algorithm 2: repeated analog solves against the
+// current residual, accumulating the solution digitally, until the
+// residual meets opt.Tolerance. Each pass re-uses the committed matrix and
+// rescales the residual to full dynamic range, so every run contributes
+// roughly ADC-resolution fresh bits — this is how "precision of the
+// results ... can be increased arbitrarily irrespective of the resolution
+// of the analog-to-digital converter".
+func (acc *Accelerator) SolveRefined(a Matrix, b la.Vector, opt SolveOptions) (la.Vector, Stats, error) {
+	opt = opt.withDefaults()
+	sess, err := acc.BeginSession(a)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return sess.SolveForRefined(b, opt)
+}
+
+// SolveForRefined is Algorithm 2 against an existing session.
+func (s *Session) SolveForRefined(b la.Vector, opt SolveOptions) (la.Vector, Stats, error) {
+	opt = opt.withDefaults()
+	total := Stats{Scaling: s.sc}
+	uPrecise := la.NewVector(s.n)
+	residual := b.Clone()
+	bn := b.NormInf()
+	if bn == 0 {
+		return uPrecise, total, nil
+	}
+	// Refinement already rescales every residual to full dynamic range,
+	// so the per-solve boost buys nothing here — and being sticky, it
+	// would keep dilating the session's time scale across passes.
+	opt.DisableBoost = true
+	for pass := 0; pass < opt.MaxRefinements; pass++ {
+		if residual.NormInf() <= opt.Tolerance*bn {
+			total.Residual = residual.NormInf() / bn
+			total.Scaling = s.sc
+			return uPrecise, total, nil
+		}
+		uFinal, st, err := s.SolveFor(residual, opt)
+		total.add(st)
+		total.SettleTime += st.SettleTime
+		if err != nil {
+			return uPrecise, total, fmt.Errorf("core: refinement pass %d: %w", pass, err)
+		}
+		total.Refinements++
+		uPrecise.Add(uFinal)
+		// residual = b − A·uPrecise, in full digital precision.
+		s.a.Apply(residual, uPrecise)
+		for i := range residual {
+			residual[i] = b[i] - residual[i]
+		}
+		if !residual.IsFinite() {
+			return uPrecise, total, fmt.Errorf("core: refinement diverged at pass %d", pass)
+		}
+	}
+	total.Residual = residual.NormInf() / bn
+	total.Scaling = s.sc
+	if total.Residual > opt.Tolerance {
+		return uPrecise, total, fmt.Errorf("core: residual %v after %d refinements (target %v): %w",
+			total.Residual, opt.MaxRefinements, opt.Tolerance, ErrNotSettled)
+	}
+	return uPrecise, total, nil
+}

@@ -1,0 +1,242 @@
+// Package dda implements a digital differential analyzer: the historical
+// digital sibling of the analog computer that Section VII of the paper
+// discusses. "The digital units in DDAs were connected in the same topology
+// of an analog computer, according to the differential equation being
+// solved. These designs faced difficulties in number dynamic range and
+// scaling, which led to the development of extended resolution and
+// floating-point variants."
+//
+// This DDA is the classical serial kind: integrators hold fixed-point Y
+// registers, every machine cycle advances the independent variable by one
+// LSB of time, and units exchange only *increments* — each output emits at
+// most ±1 LSB per cycle, distributed to consumers through binary-rate-
+// multiplier connections (a fractional weight realized as a pulse-rate
+// accumulator). The ±1-LSB slew limit is the DDA's defining constraint:
+// like the analog computer's gain range, it forces value/time scaling, and
+// exceeding it loses pulses (the DDA analogue of clipping).
+package dda
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Machine is a network of DDA integrators advanced in lockstep.
+type Machine struct {
+	width       uint // fraction bits of the Y registers
+	integrators []*Integrator
+	conns       []*connection
+	cycles      int64
+	// slewLosses counts cycles where a unit wanted to emit more than
+	// one LSB: the increment representation saturated.
+	slewLosses int64
+	// rangeOverflows counts cycles where a Y register hit ±full scale
+	// and saturated — the DDA's "number dynamic range" difficulty.
+	rangeOverflows int64
+}
+
+// Integrator is one DDA unit: a fixed-point accumulator Y plus the R
+// residue register that converts Y into an increment stream
+// dz ≈ Y·dt per cycle, one LSB at a time.
+type Integrator struct {
+	id int
+	y  int64 // Q(width) fixed point
+	r  int64 // residue accumulator for the dz stream
+	// dy accumulates incoming increments during a cycle.
+	dy int64
+	// lastDz is the increment emitted in the previous cycle (−1, 0, +1).
+	lastDz int64
+}
+
+// connection routes source increments into a destination's dy with a
+// fractional weight, realized as a binary rate multiplier: an accumulator
+// gathers weight·dz in Q(width) and releases whole LSBs.
+type connection struct {
+	from, to *Integrator
+	weight   int64 // Q(width)
+	residue  int64
+}
+
+// ErrWidth rejects unreasonable register widths.
+var ErrWidth = errors.New("dda: register width must be between 4 and 60 bits")
+
+// NewMachine builds an empty DDA with the given fraction width (classic
+// machines ranged from ~16 to ~30 bits; wider registers integrate more
+// precisely but each cycle advances a smaller time step).
+func NewMachine(width uint) (*Machine, error) {
+	if width < 4 || width > 60 {
+		return nil, ErrWidth
+	}
+	return &Machine{width: width}, nil
+}
+
+// Width returns the fraction width in bits.
+func (m *Machine) Width() uint { return m.width }
+
+// Cycles returns machine cycles executed.
+func (m *Machine) Cycles() int64 { return m.cycles }
+
+// SlewLosses returns how many unit-cycles saturated the ±1 LSB increment
+// budget (nonzero means the problem needs time scaling, exactly like an
+// analog overflow exception).
+func (m *Machine) SlewLosses() int64 { return m.slewLosses }
+
+// Dt returns the independent-variable step per cycle: one LSB, 2^-width.
+func (m *Machine) Dt() float64 { return math.Ldexp(1, -int(m.width)) }
+
+// scale converts a real value to Q(width).
+func (m *Machine) scale(v float64) int64 {
+	return int64(math.Round(v * math.Ldexp(1, int(m.width))))
+}
+
+// unscale converts Q(width) back to a real value.
+func (m *Machine) unscale(v int64) float64 {
+	return float64(v) * math.Ldexp(1, -int(m.width))
+}
+
+// AddIntegrator places an integrator with initial value y0 ∈ (−1, 1)
+// (DDA registers, like analog signals, are normalized to unit full scale).
+func (m *Machine) AddIntegrator(y0 float64) (*Integrator, error) {
+	if math.Abs(y0) >= 1 {
+		return nil, fmt.Errorf("dda: initial value %v outside the unit range", y0)
+	}
+	in := &Integrator{id: len(m.integrators), y: m.scale(y0)}
+	m.integrators = append(m.integrators, in)
+	return in, nil
+}
+
+// Connect routes src's increment stream into dst's dy input with the given
+// weight ∈ [−1, 1]: dy_dst += weight·dz_src. This is how the ODE
+// du/dt = Σ w·u terms are wired, exactly like analog crossbar connections.
+func (m *Machine) Connect(src, dst *Integrator, weight float64) error {
+	if math.Abs(weight) > 1 {
+		return fmt.Errorf("dda: weight %v outside [-1, 1]; scale the problem", weight)
+	}
+	m.conns = append(m.conns, &connection{from: src, to: dst, weight: m.scale(weight)})
+	return nil
+}
+
+// Bias adds a constant drive: a virtual unit emitting one LSB every cycle
+// (dz = dt), weighted like any connection. Implemented as a connection
+// from a constant-rate source.
+func (m *Machine) Bias(dst *Integrator, weight float64) error {
+	if math.Abs(weight) > 1 {
+		return fmt.Errorf("dda: bias %v outside [-1, 1]; scale the problem", weight)
+	}
+	m.conns = append(m.conns, &connection{from: nil, to: dst, weight: m.scale(weight)})
+	return nil
+}
+
+// Value reads an integrator's current value.
+func (m *Machine) Value(in *Integrator) float64 { return m.unscale(in.y) }
+
+// SetValue overwrites an integrator's register (host intervention).
+func (m *Machine) SetValue(in *Integrator, v float64) error {
+	if math.Abs(v) >= 1 {
+		return fmt.Errorf("dda: value %v outside the unit range", v)
+	}
+	in.y = m.scale(v)
+	return nil
+}
+
+// Step advances the machine one cycle: every integrator adds Y·dt to its
+// residue and emits the whole-LSB part (clamped to ±1: the serial-DDA slew
+// limit), increments propagate through the rate multipliers, and Y
+// registers absorb their accumulated dy.
+func (m *Machine) Step() {
+	one := int64(1) << m.width
+	// Phase 1: each integrator turns Y into an increment.
+	for _, in := range m.integrators {
+		in.r += in.y
+		var dz int64
+		switch {
+		case in.r >= one:
+			dz = 1
+			in.r -= one
+		case in.r <= -one:
+			dz = -1
+			in.r += one
+		}
+		// Slew saturation: if the residue still holds a whole LSB the
+		// unit wanted to emit more than one pulse this cycle.
+		if in.r >= one || in.r <= -one {
+			m.slewLosses++
+		}
+		in.lastDz = dz
+	}
+	// Phase 2: propagate increments through rate multipliers.
+	for _, c := range m.conns {
+		dz := int64(1) // bias source pulses every cycle
+		if c.from != nil {
+			dz = c.from.lastDz
+		}
+		if dz == 0 {
+			continue
+		}
+		c.residue += dz * c.weight
+		whole := c.residue >> m.width // floor division (arithmetic shift)
+		if whole != 0 {
+			c.to.dy += whole
+			c.residue -= whole << m.width
+		}
+	}
+	// Phase 3: Y registers absorb dy, saturating at full scale (register
+	// overflow is the classic DDA dynamic-range failure; saturation is
+	// kinder than the historical wraparound but equally wrong).
+	limit := one - 1
+	for _, in := range m.integrators {
+		in.y += in.dy
+		in.dy = 0
+		if in.y > limit {
+			in.y = limit
+			m.rangeOverflows++
+		} else if in.y < -limit {
+			in.y = -limit
+			m.rangeOverflows++
+		}
+	}
+	m.cycles++
+}
+
+// RangeOverflows returns how many unit-cycles saturated a Y register.
+func (m *Machine) RangeOverflows() int64 { return m.rangeOverflows }
+
+// Run advances the machine for the given amount of independent-variable
+// time (cycles = time / dt).
+func (m *Machine) Run(time float64) {
+	steps := int64(math.Ceil(time / m.Dt()))
+	for i := int64(0); i < steps; i++ {
+		m.Step()
+	}
+}
+
+// RunUntilSettled steps until no integrator's register changes by more
+// than tolLSB LSBs over a window of `window` cycles, or maxTime elapses.
+// It returns the simulated time consumed and whether it settled — the DDA
+// equivalent of waiting for the analog accelerator's steady state.
+func (m *Machine) RunUntilSettled(window int64, tolLSB int64, maxTime float64) (float64, bool) {
+	maxSteps := int64(math.Ceil(maxTime / m.Dt()))
+	prev := make([]int64, len(m.integrators))
+	for i, in := range m.integrators {
+		prev[i] = in.y
+	}
+	var steps int64
+	for steps < maxSteps {
+		for w := int64(0); w < window && steps < maxSteps; w++ {
+			m.Step()
+			steps++
+		}
+		settled := true
+		for i, in := range m.integrators {
+			if d := in.y - prev[i]; d > tolLSB || d < -tolLSB {
+				settled = false
+			}
+			prev[i] = in.y
+		}
+		if settled {
+			return float64(steps) * m.Dt(), true
+		}
+	}
+	return float64(steps) * m.Dt(), false
+}

@@ -1,0 +1,219 @@
+package dda
+
+import (
+	"math"
+	"testing"
+
+	"analogacc/internal/la"
+	"analogacc/internal/solvers"
+)
+
+func TestMachineValidation(t *testing.T) {
+	if _, err := NewMachine(2); err == nil {
+		t.Fatal("width 2 accepted")
+	}
+	if _, err := NewMachine(64); err == nil {
+		t.Fatal("width 64 accepted")
+	}
+	m, err := NewMachine(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddIntegrator(1.0); err == nil {
+		t.Fatal("full-scale initial value accepted")
+	}
+	u, err := m.AddIntegrator(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Connect(u, u, 1.5); err == nil {
+		t.Fatal("overlarge weight accepted")
+	}
+	if err := m.Bias(u, -2); err == nil {
+		t.Fatal("overlarge bias accepted")
+	}
+	if err := m.SetValue(u, 2); err == nil {
+		t.Fatal("overlarge SetValue accepted")
+	}
+	if m.Width() != 20 || m.Dt() != math.Ldexp(1, -20) {
+		t.Fatalf("width/dt accessors wrong")
+	}
+}
+
+func TestBiasIntegratesRamp(t *testing.T) {
+	m, _ := NewMachine(20)
+	u, _ := m.AddIntegrator(0)
+	if err := m.Bias(u, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(1.0)
+	// du/dt = 0.5: u(1) = 0.5.
+	if got := m.Value(u); math.Abs(got-0.5) > 1e-5 {
+		t.Fatalf("ramp u(1)=%v want 0.5", got)
+	}
+	if m.Cycles() != 1<<20 {
+		t.Fatalf("cycles=%d", m.Cycles())
+	}
+}
+
+func TestExponentialDecay(t *testing.T) {
+	m, _ := NewMachine(20)
+	u, _ := m.AddIntegrator(0.9)
+	if err := m.Connect(u, u, -1); err != nil { // du/dt = -u
+		t.Fatal(err)
+	}
+	m.Run(1.0)
+	want := 0.9 * math.Exp(-1)
+	if got := m.Value(u); math.Abs(got-want) > 1e-4 {
+		t.Fatalf("decay u(1)=%v want %v", got, want)
+	}
+	if m.SlewLosses() != 0 || m.RangeOverflows() != 0 {
+		t.Fatalf("unexpected losses: slew=%d range=%d", m.SlewLosses(), m.RangeOverflows())
+	}
+}
+
+func TestPrecisionScalesWithWidth(t *testing.T) {
+	// The DDA is effectively first-order in dt = 2^-width: doubling the
+	// width should shrink the decay error by ~2^4 when width += 4.
+	errAt := func(width uint) float64 {
+		m, _ := NewMachine(width)
+		u, _ := m.AddIntegrator(0.9)
+		if err := m.Connect(u, u, -1); err != nil {
+			t.Fatal(err)
+		}
+		m.Run(1.0)
+		return math.Abs(m.Value(u) - 0.9*math.Exp(-1))
+	}
+	e12 := errAt(12)
+	e16 := errAt(16)
+	ratio := e12 / e16
+	if ratio < 4 || ratio > 80 {
+		t.Fatalf("width 12->16 error ratio %v want ~16", ratio)
+	}
+}
+
+func TestOscillatorRoundTrip(t *testing.T) {
+	// u'' = -u at unit frequency: after 2π the state returns.
+	m, _ := NewMachine(18)
+	u, _ := m.AddIntegrator(0.7)
+	v, _ := m.AddIntegrator(0)
+	if err := m.Connect(v, u, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Connect(u, v, -1); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(2 * math.Pi)
+	if got := m.Value(u); math.Abs(got-0.7) > 0.01 {
+		t.Fatalf("after one period u=%v want 0.7", got)
+	}
+}
+
+func TestSolveSLEBySettling(t *testing.T) {
+	// The DDA runs the same gradient flow as the analog accelerator:
+	// du/dt = b - A·u for the Equation 2 system, settling to A⁻¹b.
+	a := la.MustCSR(2, []la.COOEntry{
+		{Row: 0, Col: 0, Val: 0.8}, {Row: 0, Col: 1, Val: 0.2},
+		{Row: 1, Col: 0, Val: 0.2}, {Row: 1, Col: 1, Val: 0.6},
+	})
+	b := la.VectorOf(0.5, 0.3)
+	want, err := solvers.SolveCSRDirect(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := NewMachine(22)
+	units := make([]*Integrator, 2)
+	for i := range units {
+		units[i], _ = m.AddIntegrator(0)
+	}
+	for i := 0; i < 2; i++ {
+		a.VisitRow(i, func(j int, v float64) {
+			if err := m.Connect(units[j], units[i], -v); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if err := m.Bias(units[i], b[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed, settled := m.RunUntilSettled(1<<16, 2, 60)
+	if !settled {
+		t.Fatalf("did not settle in %v virtual seconds", elapsed)
+	}
+	got := la.VectorOf(m.Value(units[0]), m.Value(units[1]))
+	if !got.Equal(want, 1e-3) {
+		t.Fatalf("settled to %v want %v", got, want)
+	}
+}
+
+func TestRangeOverflowDetected(t *testing.T) {
+	// Unbounded growth must saturate and be counted, not wrap.
+	m, _ := NewMachine(16)
+	u, _ := m.AddIntegrator(0.5)
+	if err := m.Connect(u, u, 1); err != nil { // du/dt = +u: explosion
+		t.Fatal(err)
+	}
+	m.Run(3)
+	if m.RangeOverflows() == 0 {
+		t.Fatal("no range overflow recorded")
+	}
+	if v := m.Value(u); v > 1 {
+		t.Fatalf("register escaped saturation: %v", v)
+	}
+}
+
+func TestRunUntilSettledTimesOut(t *testing.T) {
+	m, _ := NewMachine(16)
+	u, _ := m.AddIntegrator(0.5)
+	v, _ := m.AddIntegrator(0)
+	m.Connect(v, u, 1)
+	m.Connect(u, v, -1) // undamped oscillator: never settles
+	elapsed, settled := m.RunUntilSettled(1<<10, 1, 2)
+	if settled {
+		t.Fatal("oscillator reported settled")
+	}
+	if elapsed < 2 {
+		t.Fatalf("stopped early at %v", elapsed)
+	}
+}
+
+// TestAgainstAnalogStory checks the structural parallel the paper draws:
+// DDA weights are unit-bounded exactly like analog gains, so the same
+// value scaling discipline applies. A system with coefficients > 1 must be
+// rejected at Connect, forcing the host to scale — and the scaled system
+// settles to the same answer.
+func TestValueScalingParallel(t *testing.T) {
+	aRaw := la.MustCSR(2, []la.COOEntry{
+		{Row: 0, Col: 0, Val: 8}, {Row: 0, Col: 1, Val: 2},
+		{Row: 1, Col: 0, Val: 2}, {Row: 1, Col: 1, Val: 6},
+	})
+	bRaw := la.VectorOf(5, 3)
+	want, _ := solvers.SolveCSRDirect(aRaw, bRaw)
+
+	m, _ := NewMachine(22)
+	u0, _ := m.AddIntegrator(0)
+	u1, _ := m.AddIntegrator(0)
+	if err := m.Connect(u0, u0, -8); err == nil {
+		t.Fatal("unscaled coefficient accepted")
+	}
+	// Scale by S=10 (time dilation), σ=1 (solution already inside range).
+	const S = 10.0
+	units := []*Integrator{u0, u1}
+	for i := 0; i < 2; i++ {
+		aRaw.VisitRow(i, func(j int, v float64) {
+			if err := m.Connect(units[j], units[i], -v/S); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if err := m.Bias(units[i], bRaw[i]/S); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, settled := m.RunUntilSettled(1<<16, 2, 120); !settled {
+		t.Fatal("scaled system did not settle")
+	}
+	got := la.VectorOf(m.Value(u0), m.Value(u1))
+	if !got.Equal(want, 1e-3) {
+		t.Fatalf("scaled DDA settled to %v want %v", got, want)
+	}
+}

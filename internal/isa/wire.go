@@ -1,0 +1,172 @@
+package isa
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Wire-level transport: the Loopback transport hands frames to the device
+// as Go values; this file serializes them over an actual byte stream with
+// chip-select bracketing, the way the prototype's SPI link carries them.
+// It exists so the host/device boundary can be exercised end-to-end —
+// including failure injection (truncated frames, corrupted bytes, a stuck
+// bus) — without any in-process shortcuts.
+
+// Wire protocol bytes.
+const (
+	// wireSelect opens a transaction (chip-select assert).
+	wireSelect = 0xA5
+	// wireDeselect closes a transaction (chip-select release).
+	wireDeselect = 0x5A
+)
+
+// ErrWireDesync is returned when the byte stream violates the select/
+// deselect bracketing.
+var ErrWireDesync = errors.New("isa: wire framing desynchronized")
+
+// writeWireFrame emits select, a 3-byte big-endian length, the frame, and
+// deselect.
+func writeWireFrame(w io.Writer, frame []byte) error {
+	hdr := []byte{wireSelect, byte(len(frame) >> 16), byte(len(frame) >> 8), byte(len(frame))}
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := w.Write(frame); err != nil {
+		return err
+	}
+	_, err := w.Write([]byte{wireDeselect})
+	return err
+}
+
+// readWireFrame parses one bracketed frame.
+func readWireFrame(r io.Reader) ([]byte, error) {
+	hdr := make([]byte, 4)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	if hdr[0] != wireSelect {
+		return nil, fmt.Errorf("isa: expected select byte, got 0x%02x: %w", hdr[0], ErrWireDesync)
+	}
+	n := int(hdr[1])<<16 | int(hdr[2])<<8 | int(hdr[3])
+	if n > MaxPayload+16 {
+		return nil, fmt.Errorf("isa: wire frame of %d bytes: %w", n, ErrPayloadSize)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(r, frame); err != nil {
+		return nil, err
+	}
+	tail := make([]byte, 1)
+	if _, err := io.ReadFull(r, tail); err != nil {
+		return nil, err
+	}
+	if tail[0] != wireDeselect {
+		return nil, fmt.Errorf("isa: expected deselect byte, got 0x%02x: %w", tail[0], ErrWireDesync)
+	}
+	return frame, nil
+}
+
+// WireTransport is a Transport that serializes frames over a duplex byte
+// stream (host side).
+type WireTransport struct {
+	rw io.ReadWriter
+}
+
+// NewWireTransport wraps a duplex stream connected to a WireDevice.
+func NewWireTransport(rw io.ReadWriter) *WireTransport { return &WireTransport{rw: rw} }
+
+// Transact writes the request frame and reads the response frame.
+func (t *WireTransport) Transact(frame []byte) ([]byte, error) {
+	if err := writeWireFrame(t.rw, frame); err != nil {
+		return nil, fmt.Errorf("isa: wire write: %w", err)
+	}
+	resp, err := readWireFrame(t.rw)
+	if err != nil {
+		return nil, fmt.Errorf("isa: wire read: %w", err)
+	}
+	return resp, nil
+}
+
+// ServeWire runs the device side of the wire protocol until the stream
+// closes (io.EOF) or a framing error occurs. Each request is decoded,
+// executed, and answered; malformed command frames are NAKed with
+// StatusBadArgs, like the Loopback transport.
+func ServeWire(rw io.ReadWriter, dev Device) error {
+	for {
+		frame, err := readWireFrame(rw)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		var resp []byte
+		op, payload, derr := DecodeFrame(frame)
+		if derr != nil {
+			resp, err = EncodeResponse(StatusBadArgs, nil)
+		} else {
+			out, st := dev.Execute(op, payload)
+			resp, err = EncodeResponse(st, out)
+		}
+		if err != nil {
+			return err
+		}
+		if err := writeWireFrame(rw, resp); err != nil {
+			return err
+		}
+	}
+}
+
+// Pipe builds an in-memory duplex stream pair (host end, device end) for
+// connecting a WireTransport to ServeWire in tests and examples.
+func Pipe() (host io.ReadWriter, device io.ReadWriter) {
+	h2d := make(chan byte, 4096)
+	d2h := make(chan byte, 4096)
+	return &chanPipe{in: d2h, out: h2d}, &chanPipe{in: h2d, out: d2h}
+}
+
+// chanPipe adapts two byte channels into an io.ReadWriter.
+type chanPipe struct {
+	in  chan byte
+	out chan byte
+}
+
+// Read blocks for the first byte, then drains what is available.
+func (p *chanPipe) Read(buf []byte) (int, error) {
+	if len(buf) == 0 {
+		return 0, nil
+	}
+	b, ok := <-p.in
+	if !ok {
+		return 0, io.EOF
+	}
+	buf[0] = b
+	n := 1
+	for n < len(buf) {
+		select {
+		case b, ok := <-p.in:
+			if !ok {
+				return n, nil
+			}
+			buf[n] = b
+			n++
+		default:
+			return n, nil
+		}
+	}
+	return n, nil
+}
+
+// Write enqueues all bytes.
+func (p *chanPipe) Write(buf []byte) (int, error) {
+	for _, b := range buf {
+		p.out <- b
+	}
+	return len(buf), nil
+}
+
+// Close closes the outbound direction.
+func (p *chanPipe) Close() error {
+	close(p.out)
+	return nil
+}

@@ -1,0 +1,133 @@
+package isa
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// echoDevice responds with its opcode and payload length.
+type echoDevice struct{ calls int }
+
+func (d *echoDevice) Execute(op Opcode, payload []byte) ([]byte, Status) {
+	d.calls++
+	return []byte{byte(op), byte(len(payload))}, StatusOK
+}
+
+func TestWireFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	frame, _ := EncodeFrame(OpSetConn, []byte{1, 2, 3, 4})
+	if err := writeWireFrame(&buf, frame); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readWireFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, frame) {
+		t.Fatalf("wire round trip %v vs %v", got, frame)
+	}
+}
+
+func TestWireDesyncDetected(t *testing.T) {
+	// Missing select byte.
+	buf := bytes.NewBuffer([]byte{0x00, 0, 0, 1, 0xFF, wireDeselect})
+	if _, err := readWireFrame(buf); !errors.Is(err, ErrWireDesync) {
+		t.Fatalf("bad select: %v", err)
+	}
+	// Corrupted deselect byte.
+	var b2 bytes.Buffer
+	frame, _ := EncodeFrame(OpExecStart, nil)
+	if err := writeWireFrame(&b2, frame); err != nil {
+		t.Fatal(err)
+	}
+	raw := b2.Bytes()
+	raw[len(raw)-1] = 0x11
+	if _, err := readWireFrame(bytes.NewReader(raw)); !errors.Is(err, ErrWireDesync) {
+		t.Fatalf("bad deselect: %v", err)
+	}
+	// Truncated stream.
+	if _, err := readWireFrame(bytes.NewReader(raw[:3])); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	// Absurd length field.
+	huge := []byte{wireSelect, 0xFF, 0xFF, 0xFF}
+	if _, err := readWireFrame(bytes.NewReader(huge)); !errors.Is(err, ErrPayloadSize) {
+		t.Fatalf("huge frame: %v", err)
+	}
+}
+
+func TestHostOverWire(t *testing.T) {
+	hostEnd, devEnd := Pipe()
+	dev := &echoDevice{}
+	done := make(chan error, 1)
+	go func() { done <- ServeWire(devEnd, dev) }()
+
+	h := NewHost(NewWireTransport(hostEnd))
+	// The echo device returns [op, payloadLen]; use raw ReadSerial (no
+	// payload) and ReadExp to verify both directions.
+	out, err := h.ReadSerial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0] != byte(OpReadSerial) || out[1] != 0 {
+		t.Fatalf("echo response %v", out)
+	}
+	if err := h.SetConn(7, 9); err != nil {
+		t.Fatal(err)
+	}
+	if dev.calls != 2 {
+		t.Fatalf("device saw %d calls", dev.calls)
+	}
+	// Closing the host->device direction ends the server cleanly.
+	if c, ok := hostEnd.(io.Closer); ok {
+		c.Close()
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("server exit: %v", err)
+	}
+}
+
+func TestServeWireNAKsGarbageCommand(t *testing.T) {
+	hostEnd, devEnd := Pipe()
+	go ServeWire(devEnd, &echoDevice{})
+	// A wire frame whose inner command is garbage: server responds with
+	// a BadArgs NAK rather than dying.
+	if err := writeWireFrame(hostEnd, []byte{0xFF, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := readWireFrame(hostEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := DecodeResponse(resp)
+	if err != nil || st != StatusBadArgs {
+		t.Fatalf("NAK status %v err %v", st, err)
+	}
+}
+
+func TestPipeReadSemantics(t *testing.T) {
+	a, b := Pipe()
+	if _, err := a.Write([]byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	n, err := b.Read(buf)
+	if err != nil || n != 2 || buf[0] != 1 {
+		t.Fatalf("read %d %v %v", n, buf, err)
+	}
+	n, err = b.Read(buf)
+	if err != nil || n != 1 || buf[0] != 3 {
+		t.Fatalf("second read %d %v %v", n, buf, err)
+	}
+	if n, _ := b.Read(nil); n != 0 {
+		t.Fatal("empty read")
+	}
+	if c, ok := a.(io.Closer); ok {
+		c.Close()
+	}
+	if _, err := b.Read(buf); err != io.EOF {
+		t.Fatalf("EOF expected, got %v", err)
+	}
+}

@@ -1,0 +1,306 @@
+package la
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Operator is the abstraction shared by dense matrices, CSR matrices, and
+// matrix-free stencils. An Operator represents a square linear map A and can
+// apply y = A·x. All iterative solvers in internal/solvers, and the
+// accelerator compiler in internal/core, are written against this interface.
+type Operator interface {
+	// Dim returns the number of rows (= columns) of the operator.
+	Dim() int
+	// Apply computes dst = A·x. dst and x must have length Dim and must
+	// not alias each other.
+	Apply(dst, x Vector)
+}
+
+// RowVisitor is implemented by operators that can enumerate the nonzero
+// entries of a row. The accelerator compiler uses it to map coefficients
+// onto multiplier gains without densifying the matrix.
+type RowVisitor interface {
+	// VisitRow calls fn(j, a) for every structurally nonzero entry a in
+	// row i, in ascending column order.
+	VisitRow(i int, fn func(j int, a float64))
+}
+
+// Dense is a row-major dense square-or-rectangular matrix.
+type Dense struct {
+	rows, cols int
+	data       []float64 // len rows*cols, row-major
+}
+
+// NewDense returns a zero rows×cols matrix.
+func NewDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic("la: negative dense dimensions")
+	}
+	return &Dense{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// DenseOf builds a matrix from row slices. All rows must share a length.
+func DenseOf(rows ...[]float64) *Dense {
+	if len(rows) == 0 {
+		return NewDense(0, 0)
+	}
+	m := NewDense(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			panic(fmt.Sprintf("la: DenseOf ragged row %d: %d != %d", i, len(r), m.cols))
+		}
+		copy(m.data[i*m.cols:(i+1)*m.cols], r)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// Dim returns the row count; it equals the column count for the square
+// matrices used as Operators.
+func (m *Dense) Dim() int { return m.rows }
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Addf adds v to element (i, j).
+func (m *Dense) Addf(i, j int, v float64) { m.data[i*m.cols+j] += v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Dense) Row(i int) Vector { return Vector(m.data[i*m.cols : (i+1)*m.cols]) }
+
+// Clone returns an independent copy of m.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Apply computes dst = m·x.
+func (m *Dense) Apply(dst, x Vector) {
+	if len(x) != m.cols || len(dst) != m.rows {
+		panic(fmt.Sprintf("la: Dense.Apply dims %dx%d with x=%d dst=%d", m.rows, m.cols, len(x), len(dst)))
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, a := range row {
+			s += a * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// VisitRow enumerates the nonzero entries of row i in column order.
+func (m *Dense) VisitRow(i int, fn func(j int, a float64)) {
+	row := m.data[i*m.cols : (i+1)*m.cols]
+	for j, a := range row {
+		if a != 0 {
+			fn(j, a)
+		}
+	}
+}
+
+// MulVec returns a new vector m·x.
+func (m *Dense) MulVec(x Vector) Vector {
+	dst := NewVector(m.rows)
+	m.Apply(dst, x)
+	return dst
+}
+
+// Mul returns the matrix product m·n.
+func (m *Dense) Mul(n *Dense) *Dense {
+	if m.cols != n.rows {
+		panic(fmt.Sprintf("la: Mul dims %dx%d · %dx%d", m.rows, m.cols, n.rows, n.cols))
+	}
+	out := NewDense(m.rows, n.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < n.cols; j++ {
+				out.data[i*out.cols+j] += a * n.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns a new matrix equal to mᵀ.
+func (m *Dense) Transpose() *Dense {
+	t := NewDense(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Scale multiplies every element by c in place.
+func (m *Dense) Scale(c float64) {
+	for i := range m.data {
+		m.data[i] *= c
+	}
+}
+
+// MaxAbs returns the largest absolute element value.
+func (m *Dense) MaxAbs() float64 {
+	var best float64
+	for _, v := range m.data {
+		if a := math.Abs(v); a > best {
+			best = a
+		}
+	}
+	return best
+}
+
+// IsSymmetric reports whether the matrix is square and symmetric to within
+// absolute tolerance tol.
+func (m *Dense) IsSymmetric(tol float64) bool {
+	if m.rows != m.cols {
+		return false
+	}
+	for i := 0; i < m.rows; i++ {
+		for j := i + 1; j < m.cols; j++ {
+			if math.Abs(m.At(i, j)-m.At(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsDiagonallyDominant reports whether |a_ii| >= Σ_{j≠i} |a_ij| for every
+// row, with strict inequality in at least one row.
+func (m *Dense) IsDiagonallyDominant() bool {
+	if m.rows != m.cols {
+		return false
+	}
+	strict := false
+	for i := 0; i < m.rows; i++ {
+		var off float64
+		for j := 0; j < m.cols; j++ {
+			if j != i {
+				off += math.Abs(m.At(i, j))
+			}
+		}
+		d := math.Abs(m.At(i, i))
+		if d < off {
+			return false
+		}
+		if d > off {
+			strict = true
+		}
+	}
+	return strict || m.rows == 0
+}
+
+// GershgorinBounds returns lower and upper bounds on the eigenvalues of a
+// square matrix using Gershgorin discs. For the SPD systems the accelerator
+// solves, the lower bound conservatively estimates the slowest settling
+// mode of du/dt = b − A·u.
+func (m *Dense) GershgorinBounds() (lo, hi float64) {
+	if m.rows == 0 {
+		return 0, 0
+	}
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for i := 0; i < m.rows; i++ {
+		var r float64
+		for j := 0; j < m.cols; j++ {
+			if j != i {
+				r += math.Abs(m.At(i, j))
+			}
+		}
+		d := m.At(i, i)
+		if d-r < lo {
+			lo = d - r
+		}
+		if d+r > hi {
+			hi = d + r
+		}
+	}
+	return lo, hi
+}
+
+// String renders the matrix for debugging.
+func (m *Dense) String() string {
+	var b strings.Builder
+	for i := 0; i < m.rows; i++ {
+		b.WriteString("[")
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(&b, "%.6g", m.At(i, j))
+		}
+		b.WriteString("]\n")
+	}
+	return b.String()
+}
+
+// Residual computes r = b − A·x for any operator A, allocating the result.
+func Residual(a Operator, x, b Vector) Vector {
+	r := NewVector(a.Dim())
+	a.Apply(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	return r
+}
+
+// ResidualInto computes r = b − A·x into r (which must not alias x).
+func ResidualInto(r Vector, a Operator, x, b Vector) {
+	a.Apply(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+}
+
+// RelativeResidual returns ‖b − A·x‖₂ / ‖b‖₂ (or the absolute residual norm
+// when b is zero).
+func RelativeResidual(a Operator, x, b Vector) float64 {
+	rn := Residual(a, x, b).Norm2()
+	bn := b.Norm2()
+	if bn == 0 {
+		return rn
+	}
+	return rn / bn
+}
+
+// MaxAbsOf returns the largest |a_ij| over all structural nonzeros of an
+// operator that exposes rows; used by value scaling in internal/core.
+func MaxAbsOf(a interface {
+	Operator
+	RowVisitor
+}) float64 {
+	var best float64
+	for i := 0; i < a.Dim(); i++ {
+		a.VisitRow(i, func(j int, v float64) {
+			if x := math.Abs(v); x > best {
+				best = x
+			}
+		})
+	}
+	return best
+}

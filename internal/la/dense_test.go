@@ -1,0 +1,228 @@
+package la
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDenseOfAndAccessors(t *testing.T) {
+	m := DenseOf(
+		[]float64{1, 2},
+		[]float64{3, 4},
+	)
+	if m.Rows() != 2 || m.Cols() != 2 || m.Dim() != 2 {
+		t.Fatalf("dims %dx%d", m.Rows(), m.Cols())
+	}
+	if m.At(1, 0) != 3 {
+		t.Fatalf("At(1,0)=%v", m.At(1, 0))
+	}
+	m.Set(0, 1, 9)
+	m.Addf(0, 1, 1)
+	if m.At(0, 1) != 10 {
+		t.Fatalf("Set/Addf gave %v", m.At(0, 1))
+	}
+}
+
+func TestDenseOfRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	DenseOf([]float64{1, 2}, []float64{3})
+}
+
+func TestIdentityApply(t *testing.T) {
+	id := Identity(4)
+	x := VectorOf(1, 2, 3, 4)
+	if got := id.MulVec(x); !got.Equal(x, 0) {
+		t.Fatalf("I·x=%v", got)
+	}
+}
+
+func TestDenseApplyKnown(t *testing.T) {
+	m := DenseOf([]float64{1, 2}, []float64{3, 4})
+	got := m.MulVec(VectorOf(5, 6))
+	if !got.Equal(VectorOf(17, 39), 1e-15) {
+		t.Fatalf("A·x=%v", got)
+	}
+}
+
+func TestDenseRowIsView(t *testing.T) {
+	m := NewDense(2, 2)
+	m.Row(1)[0] = 7
+	if m.At(1, 0) != 7 {
+		t.Fatal("Row did not alias storage")
+	}
+}
+
+func TestDenseMul(t *testing.T) {
+	a := DenseOf([]float64{1, 2}, []float64{3, 4})
+	b := DenseOf([]float64{0, 1}, []float64{1, 0})
+	c := a.Mul(b)
+	want := DenseOf([]float64{2, 1}, []float64{4, 3})
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want.At(i, j) {
+				t.Fatalf("Mul[%d][%d]=%v want %v", i, j, c.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}
+
+func TestDenseTranspose(t *testing.T) {
+	a := DenseOf([]float64{1, 2, 3}, []float64{4, 5, 6})
+	at := a.Transpose()
+	if at.Rows() != 3 || at.Cols() != 2 || at.At(2, 1) != 6 {
+		t.Fatalf("Transpose wrong: %v", at)
+	}
+}
+
+func TestDenseCloneIndependence(t *testing.T) {
+	a := Identity(2)
+	b := a.Clone()
+	b.Set(0, 0, 5)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone aliased")
+	}
+}
+
+func TestDenseSymmetryAndDominance(t *testing.T) {
+	sym := DenseOf([]float64{2, -1}, []float64{-1, 2})
+	if !sym.IsSymmetric(0) {
+		t.Fatal("symmetric matrix not detected")
+	}
+	if !sym.IsDiagonallyDominant() {
+		t.Fatal("dominant matrix not detected")
+	}
+	asym := DenseOf([]float64{2, -1}, []float64{0, 2})
+	if asym.IsSymmetric(0) {
+		t.Fatal("asymmetric matrix reported symmetric")
+	}
+	weak := DenseOf([]float64{1, 2}, []float64{2, 1})
+	if weak.IsDiagonallyDominant() {
+		t.Fatal("non-dominant matrix reported dominant")
+	}
+}
+
+func TestGershgorinBoundsDense(t *testing.T) {
+	// 1-D Poisson with h=1: eigenvalues in [2-2, 2+2] = [0,4].
+	m := Tridiag(5, -1, 2, -1).Dense()
+	lo, hi := m.GershgorinBounds()
+	if lo > 0 || hi < 4 {
+		t.Fatalf("Gershgorin [%v,%v] should contain [0,4]", lo, hi)
+	}
+	if lo < -1e-12 && lo != 0 {
+		t.Fatalf("Gershgorin lo=%v want 0", lo)
+	}
+}
+
+func TestDenseMaxAbsAndScale(t *testing.T) {
+	m := DenseOf([]float64{1, -7}, []float64{3, 2})
+	if m.MaxAbs() != 7 {
+		t.Fatalf("MaxAbs=%v", m.MaxAbs())
+	}
+	m.Scale(2)
+	if m.At(0, 1) != -14 {
+		t.Fatalf("Scale gave %v", m.At(0, 1))
+	}
+}
+
+func TestDenseString(t *testing.T) {
+	s := Identity(2).String()
+	if !strings.Contains(s, "1") || !strings.Contains(s, "0") {
+		t.Fatalf("String output %q", s)
+	}
+}
+
+func TestResidualHelpers(t *testing.T) {
+	a := DenseOf([]float64{2, 0}, []float64{0, 4})
+	x := VectorOf(1, 1)
+	b := VectorOf(2, 4)
+	r := Residual(a, x, b)
+	if r.Norm2() != 0 {
+		t.Fatalf("exact solution residual %v", r)
+	}
+	if rr := RelativeResidual(a, VectorOf(0, 0), b); !almostEqual(rr, 1, 1e-15) {
+		t.Fatalf("relative residual at zero guess = %v want 1", rr)
+	}
+	// Zero b: relative residual falls back to absolute.
+	if rr := RelativeResidual(a, VectorOf(1, 0), VectorOf(0, 0)); !almostEqual(rr, 2, 1e-15) {
+		t.Fatalf("zero-b residual=%v want 2", rr)
+	}
+	r2 := NewVector(2)
+	ResidualInto(r2, a, x, b)
+	if r2.Norm2() != 0 {
+		t.Fatalf("ResidualInto %v", r2)
+	}
+}
+
+func TestMaxAbsOf(t *testing.T) {
+	m := Tridiag(4, -3, 2, -1)
+	if got := MaxAbsOf(m); got != 3 {
+		t.Fatalf("MaxAbsOf=%v", got)
+	}
+}
+
+func randomDense(r *rand.Rand, n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, r.NormFloat64())
+		}
+	}
+	return m
+}
+
+// Property: (A·B)·x == A·(B·x).
+func TestPropMatMulAssociatesWithApply(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		a, b := randomDense(r, n), randomDense(r, n)
+		x := randomVector(r, n)
+		left := a.Mul(b).MulVec(x)
+		right := a.MulVec(b.MulVec(x))
+		return left.Equal(right, 1e-9*math.Max(1, left.NormInf()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: transpose is an involution and (Aᵀ)ᵀ·x == A·x.
+func TestPropTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		a := randomDense(r, n)
+		x := randomVector(r, n)
+		return a.Transpose().Transpose().MulVec(x).Equal(a.MulVec(x), 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Apply is linear: A(αx + βy) == αAx + βAy.
+func TestPropApplyLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(10)
+		a := randomDense(r, n)
+		x, y := randomVector(r, n), randomVector(r, n)
+		al, be := r.NormFloat64(), r.NormFloat64()
+		comb := x.Scaled(al)
+		comb.AddScaled(be, y)
+		left := a.MulVec(comb)
+		right := a.MulVec(x).Scaled(al)
+		right.AddScaled(be, a.MulVec(y))
+		return left.Equal(right, 1e-9*math.Max(1, left.NormInf()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

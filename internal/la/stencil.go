@@ -1,0 +1,227 @@
+package la
+
+import "fmt"
+
+// Grid describes a regular finite-difference grid of interior points on the
+// unit line/square/cube. The paper's workloads discretize the 2-D Poisson
+// equation on an L×L grid (Section IV-B); Figure 7 uses a 16³ 3-D grid.
+//
+// L counts interior points per dimension, so the mesh spacing is
+// h = 1/(L+1) with Dirichlet boundary values held outside the grid.
+type Grid struct {
+	Dims int // 1, 2 or 3
+	L    int // interior points per dimension
+}
+
+// NewGrid validates and returns a grid description.
+func NewGrid(dims, l int) (Grid, error) {
+	if dims < 1 || dims > 3 {
+		return Grid{}, fmt.Errorf("la: grid dims must be 1..3, got %d", dims)
+	}
+	if l < 1 {
+		return Grid{}, fmt.Errorf("la: grid needs at least 1 point per dim, got %d", l)
+	}
+	return Grid{Dims: dims, L: l}, nil
+}
+
+// N returns the total number of grid points L^Dims.
+func (g Grid) N() int {
+	n := 1
+	for d := 0; d < g.Dims; d++ {
+		n *= g.L
+	}
+	return n
+}
+
+// H returns the mesh spacing 1/(L+1).
+func (g Grid) H() float64 { return 1.0 / float64(g.L+1) }
+
+// Index maps grid coordinates to the linear index (x fastest).
+func (g Grid) Index(x, y, z int) int {
+	switch g.Dims {
+	case 1:
+		return x
+	case 2:
+		return y*g.L + x
+	default:
+		return (z*g.L+y)*g.L + x
+	}
+}
+
+// Coords inverts Index.
+func (g Grid) Coords(i int) (x, y, z int) {
+	switch g.Dims {
+	case 1:
+		return i, 0, 0
+	case 2:
+		return i % g.L, i / g.L, 0
+	default:
+		return i % g.L, (i / g.L) % g.L, i / (g.L * g.L)
+	}
+}
+
+// PoissonStencil is a matrix-free Operator for the standard second-order
+// central-difference discretization of −∇²u on a Grid with homogeneous
+// Dirichlet boundaries. Row i is (2d)/h²·u_i − 1/h²·Σ_neighbours u_j —
+// exactly the pentadiagonal (2-D) and heptadiagonal (3-D) matrices of
+// Section IV-B. The paper's digital CG baseline "is implemented using
+// stencils ... without having to allocate memory for the full matrix";
+// this type is that implementation.
+type PoissonStencil struct {
+	G     Grid
+	invH2 float64
+}
+
+// NewPoissonStencil builds the matrix-free −∇² operator for g.
+func NewPoissonStencil(g Grid) *PoissonStencil {
+	h := g.H()
+	return &PoissonStencil{G: g, invH2: 1 / (h * h)}
+}
+
+// Dim returns the total number of unknowns.
+func (p *PoissonStencil) Dim() int { return p.G.N() }
+
+// Apply computes dst = A·x with the finite-difference stencil.
+func (p *PoissonStencil) Apply(dst, x Vector) {
+	n := p.Dim()
+	if len(dst) != n || len(x) != n {
+		panic(fmt.Sprintf("la: PoissonStencil.Apply n=%d x=%d dst=%d", n, len(x), len(dst)))
+	}
+	l := p.G.L
+	c := float64(2*p.G.Dims) * p.invH2
+	switch p.G.Dims {
+	case 1:
+		for i := 0; i < l; i++ {
+			s := c * x[i]
+			if i > 0 {
+				s -= p.invH2 * x[i-1]
+			}
+			if i < l-1 {
+				s -= p.invH2 * x[i+1]
+			}
+			dst[i] = s
+		}
+	case 2:
+		for y := 0; y < l; y++ {
+			for xx := 0; xx < l; xx++ {
+				i := y*l + xx
+				s := c * x[i]
+				if xx > 0 {
+					s -= p.invH2 * x[i-1]
+				}
+				if xx < l-1 {
+					s -= p.invH2 * x[i+1]
+				}
+				if y > 0 {
+					s -= p.invH2 * x[i-l]
+				}
+				if y < l-1 {
+					s -= p.invH2 * x[i+l]
+				}
+				dst[i] = s
+			}
+		}
+	default:
+		l2 := l * l
+		for z := 0; z < l; z++ {
+			for y := 0; y < l; y++ {
+				for xx := 0; xx < l; xx++ {
+					i := (z*l+y)*l + xx
+					s := c * x[i]
+					if xx > 0 {
+						s -= p.invH2 * x[i-1]
+					}
+					if xx < l-1 {
+						s -= p.invH2 * x[i+1]
+					}
+					if y > 0 {
+						s -= p.invH2 * x[i-l]
+					}
+					if y < l-1 {
+						s -= p.invH2 * x[i+l]
+					}
+					if z > 0 {
+						s -= p.invH2 * x[i-l2]
+					}
+					if z < l-1 {
+						s -= p.invH2 * x[i+l2]
+					}
+					dst[i] = s
+				}
+			}
+		}
+	}
+}
+
+// VisitRow enumerates the stencil coefficients of row i in ascending column
+// order, so the stencil can drive the accelerator compiler directly.
+func (p *PoissonStencil) VisitRow(i int, fn func(j int, a float64)) {
+	l := p.G.L
+	x, y, z := p.G.Coords(i)
+	c := float64(2*p.G.Dims) * p.invH2
+	// Ascending neighbour order: -z, -y, -x, diag, +x, +y, +z.
+	if p.G.Dims == 3 && z > 0 {
+		fn(i-l*l, -p.invH2)
+	}
+	if p.G.Dims >= 2 && y > 0 {
+		fn(i-l, -p.invH2)
+	}
+	if x > 0 {
+		fn(i-1, -p.invH2)
+	}
+	fn(i, c)
+	if x < l-1 {
+		fn(i+1, -p.invH2)
+	}
+	if p.G.Dims >= 2 && y < l-1 {
+		fn(i+l, -p.invH2)
+	}
+	if p.G.Dims == 3 && z < l-1 {
+		fn(i+l*l, -p.invH2)
+	}
+}
+
+// NNZ returns the number of structural nonzeros of the stencil matrix:
+// N·(2d+1) minus the neighbour entries lost at the 2d grid faces.
+func (p *PoissonStencil) NNZ() int {
+	l, d := p.G.L, p.G.Dims
+	face := 1
+	for k := 0; k < d-1; k++ {
+		face *= l
+	}
+	return p.Dim()*(2*d+1) - 2*d*face
+}
+
+// CSR materializes the stencil as an explicit sparse matrix (used by the
+// accelerator compiler's resource mapping and by tests that cross-check the
+// matrix-free kernel against explicit storage).
+func (p *PoissonStencil) CSR() *CSR {
+	n := p.Dim()
+	entries := make([]COOEntry, 0, n*(2*p.G.Dims+1))
+	for i := 0; i < n; i++ {
+		p.VisitRow(i, func(j int, a float64) {
+			entries = append(entries, COOEntry{i, j, a})
+		})
+	}
+	return MustCSR(n, entries)
+}
+
+// PoissonMatrix returns the explicit CSR −∇² matrix for a grid; shorthand
+// for NewPoissonStencil(g).CSR().
+func PoissonMatrix(g Grid) *CSR { return NewPoissonStencil(g).CSR() }
+
+// Tridiag builds an n×n tridiagonal CSR matrix with constant bands
+// (sub, diag, super): the 1-D subproblem matrices A_s of Section IV-B.
+func Tridiag(n int, sub, diag, super float64) *CSR {
+	entries := make([]COOEntry, 0, 3*n)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			entries = append(entries, COOEntry{i, i - 1, sub})
+		}
+		entries = append(entries, COOEntry{i, i, diag})
+		if i < n-1 {
+			entries = append(entries, COOEntry{i, i + 1, super})
+		}
+	}
+	return MustCSR(n, entries)
+}

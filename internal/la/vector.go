@@ -1,0 +1,239 @@
+// Package la provides the dense, sparse, and matrix-free linear algebra
+// substrate used throughout the analog-accelerator reproduction: vectors,
+// dense matrices, compressed-sparse-row matrices, and stencil operators for
+// finite-difference Poisson problems in one, two, and three dimensions.
+//
+// The package is deliberately self-contained (standard library only) and
+// favours explicit, allocation-conscious kernels: the digital baselines in
+// the paper (conjugate gradients and the classical iterations of Figure 7)
+// are implemented on top of the Operator interface defined here, so that
+// dense, CSR, and matrix-free stencil representations are interchangeable.
+package la
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDimension is returned (possibly wrapped) when vector or matrix
+// dimensions do not conform.
+var ErrDimension = errors.New("la: dimension mismatch")
+
+// Vector is a dense column vector of float64 values.
+type Vector []float64
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// VectorOf returns a vector holding a copy of the given values.
+func VectorOf(vals ...float64) Vector {
+	v := make(Vector, len(vals))
+	copy(v, vals)
+	return v
+}
+
+// Constant returns a length-n vector with every element set to c.
+func Constant(n int, c float64) Vector {
+	v := make(Vector, n)
+	for i := range v {
+		v[i] = c
+	}
+	return v
+}
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	w := make(Vector, len(v))
+	copy(w, v)
+	return w
+}
+
+// Len returns the number of elements in v.
+func (v Vector) Len() int { return len(v) }
+
+// Zero sets every element of v to zero.
+func (v Vector) Zero() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Fill sets every element of v to c.
+func (v Vector) Fill(c float64) {
+	for i := range v {
+		v[i] = c
+	}
+}
+
+// CopyFrom copies src into v. It panics if lengths differ.
+func (v Vector) CopyFrom(src Vector) {
+	if len(v) != len(src) {
+		panic(fmt.Sprintf("la: CopyFrom length %d != %d", len(v), len(src)))
+	}
+	copy(v, src)
+}
+
+// Dot returns the inner product v·w. It panics if lengths differ.
+func (v Vector) Dot(w Vector) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("la: Dot length %d != %d", len(v), len(w)))
+	}
+	var s float64
+	for i, x := range v {
+		s += x * w[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean (L2) norm of v, computed with scaling to
+// avoid overflow for extreme magnitudes.
+func (v Vector) Norm2() float64 {
+	var scale, ssq float64 = 0, 1
+	for _, x := range v {
+		if x == 0 {
+			continue
+		}
+		ax := math.Abs(x)
+		if scale < ax {
+			r := scale / ax
+			ssq = 1 + ssq*r*r
+			scale = ax
+		} else {
+			r := ax / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// NormInf returns the maximum absolute element of v (0 for an empty vector).
+func (v Vector) NormInf() float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Norm1 returns the sum of absolute values of v.
+func (v Vector) Norm1() float64 {
+	var s float64
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s
+}
+
+// Scale multiplies every element of v by c in place.
+func (v Vector) Scale(c float64) {
+	for i := range v {
+		v[i] *= c
+	}
+}
+
+// Scaled returns a new vector equal to c·v.
+func (v Vector) Scaled(c float64) Vector {
+	w := make(Vector, len(v))
+	for i, x := range v {
+		w[i] = c * x
+	}
+	return w
+}
+
+// AddScaled performs v += c·w in place. It panics if lengths differ.
+func (v Vector) AddScaled(c float64, w Vector) {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("la: AddScaled length %d != %d", len(v), len(w)))
+	}
+	for i := range v {
+		v[i] += c * w[i]
+	}
+}
+
+// Add performs v += w in place.
+func (v Vector) Add(w Vector) { v.AddScaled(1, w) }
+
+// Sub performs v -= w in place.
+func (v Vector) Sub(w Vector) { v.AddScaled(-1, w) }
+
+// Axpby performs v = a·x + b·v in place.
+func (v Vector) Axpby(a float64, x Vector, b float64) {
+	if len(v) != len(x) {
+		panic(fmt.Sprintf("la: Axpby length %d != %d", len(v), len(x)))
+	}
+	for i := range v {
+		v[i] = a*x[i] + b*v[i]
+	}
+}
+
+// Sum returns the sum of all elements.
+func (v Vector) Sum() float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// MaxAbsIndex returns the index of the element with the largest absolute
+// value, or -1 for an empty vector.
+func (v Vector) MaxAbsIndex() int {
+	idx, best := -1, -1.0
+	for i, x := range v {
+		if a := math.Abs(x); a > best {
+			best, idx = a, i
+		}
+	}
+	return idx
+}
+
+// Equal reports whether v and w have the same length and elements within
+// absolute tolerance tol.
+func (v Vector) Equal(w Vector, tol float64) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i, x := range v {
+		if math.Abs(x-w[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Sub2 returns a new vector v - w.
+func Sub2(v, w Vector) Vector {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("la: Sub2 length %d != %d", len(v), len(w)))
+	}
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out
+}
+
+// Add2 returns a new vector v + w.
+func Add2(v, w Vector) Vector {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("la: Add2 length %d != %d", len(v), len(w)))
+	}
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+	return out
+}
+
+// IsFinite reports whether every element of v is finite (no NaN or Inf).
+func (v Vector) IsFinite() bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,247 @@
+package la
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVectorOfClonesInput(t *testing.T) {
+	src := []float64{1, 2, 3}
+	v := VectorOf(src...)
+	src[0] = 99
+	if v[0] != 1 {
+		t.Fatalf("VectorOf aliased its input: %v", v)
+	}
+}
+
+func TestVectorCloneIndependence(t *testing.T) {
+	v := VectorOf(1, 2, 3)
+	w := v.Clone()
+	w[1] = -7
+	if v[1] != 2 {
+		t.Fatalf("Clone aliased: %v", v)
+	}
+}
+
+func TestConstantAndFill(t *testing.T) {
+	v := Constant(4, 2.5)
+	for i, x := range v {
+		if x != 2.5 {
+			t.Fatalf("Constant[%d]=%v", i, x)
+		}
+	}
+	v.Fill(-1)
+	if v.Sum() != -4 {
+		t.Fatalf("Fill sum=%v", v.Sum())
+	}
+	v.Zero()
+	if v.Norm2() != 0 {
+		t.Fatalf("Zero left nonzero norm %v", v.Norm2())
+	}
+}
+
+func TestDot(t *testing.T) {
+	v := VectorOf(1, 2, 3)
+	w := VectorOf(4, -5, 6)
+	if got := v.Dot(w); got != 12 {
+		t.Fatalf("Dot=%v want 12", got)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	VectorOf(1, 2).Dot(VectorOf(1))
+}
+
+func TestNorm2KnownValues(t *testing.T) {
+	cases := []struct {
+		v    Vector
+		want float64
+	}{
+		{VectorOf(3, 4), 5},
+		{VectorOf(0, 0, 0), 0},
+		{VectorOf(-2), 2},
+		{Vector{}, 0},
+		{VectorOf(1, 1, 1, 1), 2},
+	}
+	for _, c := range cases {
+		if got := c.v.Norm2(); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Norm2(%v)=%v want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestNorm2OverflowResistance(t *testing.T) {
+	v := VectorOf(1e300, 1e300)
+	want := math.Sqrt2 * 1e300
+	if got := v.Norm2(); math.IsInf(got, 0) || !almostEqual(got/want, 1, 1e-12) {
+		t.Fatalf("Norm2 overflowed: %v want %v", got, want)
+	}
+}
+
+func TestNormInfAndNorm1(t *testing.T) {
+	v := VectorOf(1, -5, 3)
+	if got := v.NormInf(); got != 5 {
+		t.Fatalf("NormInf=%v", got)
+	}
+	if got := v.Norm1(); got != 9 {
+		t.Fatalf("Norm1=%v", got)
+	}
+	var empty Vector
+	if empty.NormInf() != 0 {
+		t.Fatal("empty NormInf != 0")
+	}
+}
+
+func TestScaleScaledAddSub(t *testing.T) {
+	v := VectorOf(1, 2)
+	w := v.Scaled(3)
+	if !w.Equal(VectorOf(3, 6), 0) {
+		t.Fatalf("Scaled=%v", w)
+	}
+	if !v.Equal(VectorOf(1, 2), 0) {
+		t.Fatalf("Scaled mutated receiver: %v", v)
+	}
+	v.Scale(2)
+	if !v.Equal(VectorOf(2, 4), 0) {
+		t.Fatalf("Scale=%v", v)
+	}
+	v.Add(VectorOf(1, 1))
+	if !v.Equal(VectorOf(3, 5), 0) {
+		t.Fatalf("Add=%v", v)
+	}
+	v.Sub(VectorOf(3, 5))
+	if v.Norm2() != 0 {
+		t.Fatalf("Sub=%v", v)
+	}
+}
+
+func TestAddScaledAxpby(t *testing.T) {
+	v := VectorOf(1, 1)
+	v.AddScaled(2, VectorOf(3, -1))
+	if !v.Equal(VectorOf(7, -1), 0) {
+		t.Fatalf("AddScaled=%v", v)
+	}
+	v.Axpby(2, VectorOf(1, 1), -1) // v = 2*[1,1] - v
+	if !v.Equal(VectorOf(-5, 3), 0) {
+		t.Fatalf("Axpby=%v", v)
+	}
+}
+
+func TestMaxAbsIndex(t *testing.T) {
+	if got := VectorOf(1, -9, 3).MaxAbsIndex(); got != 1 {
+		t.Fatalf("MaxAbsIndex=%d", got)
+	}
+	var empty Vector
+	if got := empty.MaxAbsIndex(); got != -1 {
+		t.Fatalf("empty MaxAbsIndex=%d", got)
+	}
+}
+
+func TestSub2Add2(t *testing.T) {
+	a, b := VectorOf(5, 7), VectorOf(2, 3)
+	if !Sub2(a, b).Equal(VectorOf(3, 4), 0) {
+		t.Fatal("Sub2 wrong")
+	}
+	if !Add2(a, b).Equal(VectorOf(7, 10), 0) {
+		t.Fatal("Add2 wrong")
+	}
+	if !a.Equal(VectorOf(5, 7), 0) || !b.Equal(VectorOf(2, 3), 0) {
+		t.Fatal("Sub2/Add2 mutated arguments")
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !VectorOf(1, 2).IsFinite() {
+		t.Fatal("finite vector reported non-finite")
+	}
+	if VectorOf(1, math.NaN()).IsFinite() {
+		t.Fatal("NaN not detected")
+	}
+	if VectorOf(math.Inf(1)).IsFinite() {
+		t.Fatal("Inf not detected")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	v := NewVector(3)
+	v.CopyFrom(VectorOf(1, 2, 3))
+	if !v.Equal(VectorOf(1, 2, 3), 0) {
+		t.Fatalf("CopyFrom=%v", v)
+	}
+}
+
+func randomVector(rng *rand.Rand, n int) Vector {
+	v := NewVector(n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+// Property: Cauchy-Schwarz |v·w| <= ‖v‖‖w‖.
+func TestPropCauchySchwarz(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		v, w := randomVector(rng, n), randomVector(rng, n)
+		return math.Abs(v.Dot(w)) <= v.Norm2()*w.Norm2()*(1+1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: triangle inequality ‖v+w‖ <= ‖v‖+‖w‖.
+func TestPropTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		v, w := randomVector(r, n), randomVector(r, n)
+		return Add2(v, w).Norm2() <= v.Norm2()+w.Norm2()+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: norm equivalence ‖v‖∞ <= ‖v‖₂ <= ‖v‖₁ <= n·‖v‖∞.
+func TestPropNormEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		v := randomVector(r, n)
+		inf, two, one := v.NormInf(), v.Norm2(), v.Norm1()
+		eps := 1e-10
+		return inf <= two+eps && two <= one+eps && one <= float64(n)*inf+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Scale(c) then Scale(1/c) restores the vector (c != 0).
+func TestPropScaleRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		v := randomVector(r, n)
+		c := 0.5 + r.Float64()*10
+		orig := v.Clone()
+		v.Scale(c)
+		v.Scale(1 / c)
+		return v.Equal(orig, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,258 @@
+// Package model implements the paper's analytical silicon model: the
+// measured per-component power and area of the prototype chip (Table II),
+// the bandwidth-scaling rule of Section V-B (core power and area scale
+// linearly with the bandwidth factor α; non-core calibration/test/register
+// overhead does not), the per-grid-point hardware complement, the die-area
+// cap of the largest GPUs (600 mm²), and the digital baselines: the CPU
+// time model (20 cycles per CG iteration per row element at 2.67 GHz) and
+// the GPU energy model (225 pJ per floating-point multiply-add).
+//
+// Figures 8–12 and Table III of the paper are regenerated from this model
+// plus the behavioural chip simulation; see internal/bench.
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// UnitKind enumerates the Table II component rows.
+type UnitKind int
+
+// Component kinds.
+const (
+	Integrator UnitKind = iota
+	Fanout
+	Multiplier
+	ADC
+	DAC
+	numKinds
+)
+
+// String names the kind as in Table II.
+func (k UnitKind) String() string {
+	switch k {
+	case Integrator:
+		return "integrator"
+	case Fanout:
+		return "fanout"
+	case Multiplier:
+		return "multiplier"
+	case ADC:
+		return "ADC"
+	case DAC:
+		return "DAC"
+	default:
+		return fmt.Sprintf("UnitKind(%d)", int(k))
+	}
+}
+
+// Component holds one Table II row: prototype power/area and the fraction
+// of each belonging to the core analog signal path (which scales with
+// bandwidth; the rest is calibration, test and register overhead, which
+// does not).
+type Component struct {
+	PowerW        float64 // at the 20 kHz base design
+	CorePowerFrac float64
+	AreaMM2       float64
+	CoreAreaFrac  float64
+}
+
+// TableII returns the prototype component measurements, verbatim from the
+// paper's Table II.
+func TableII() map[UnitKind]Component {
+	return map[UnitKind]Component{
+		Integrator: {PowerW: 28e-6, CorePowerFrac: 0.80, AreaMM2: 0.040, CoreAreaFrac: 0.40},
+		Fanout:     {PowerW: 37e-6, CorePowerFrac: 0.80, AreaMM2: 0.015, CoreAreaFrac: 0.33},
+		Multiplier: {PowerW: 49e-6, CorePowerFrac: 0.80, AreaMM2: 0.050, CoreAreaFrac: 0.47},
+		ADC:        {PowerW: 54e-6, CorePowerFrac: 0.50, AreaMM2: 0.054, CoreAreaFrac: 0.83},
+		DAC:        {PowerW: 4.6e-6, CorePowerFrac: 1.00, AreaMM2: 0.022, CoreAreaFrac: 0.61},
+	}
+}
+
+// BaseBandwidthHz is the prototype's analog bandwidth.
+const BaseBandwidthHz = 20e3
+
+// MaxDieAreaMM2 is the paper's area cap: "the size of the largest GPUs".
+const MaxDieAreaMM2 = 600.0
+
+// PaperBandwidths are the four designs evaluated in Figures 9–12.
+func PaperBandwidths() []float64 {
+	return []float64{20e3, 80e3, 320e3, 1.3e6}
+}
+
+// Design is one bandwidth variant of the accelerator.
+type Design struct {
+	BandwidthHz float64
+}
+
+// Alpha returns the bandwidth factor relative to the prototype.
+func (d Design) Alpha() float64 { return d.BandwidthHz / BaseBandwidthHz }
+
+// scale applies the Section V-B rule: the core fraction grows with α, the
+// rest is fixed.
+func scale(base, coreFrac, alpha float64) float64 {
+	return base * ((1 - coreFrac) + coreFrac*alpha)
+}
+
+// ComponentPower returns one unit's power at this design's bandwidth.
+func (d Design) ComponentPower(k UnitKind) float64 {
+	c := TableII()[k]
+	return scale(c.PowerW, c.CorePowerFrac, d.Alpha())
+}
+
+// ComponentArea returns one unit's area at this design's bandwidth.
+func (d Design) ComponentArea(k UnitKind) float64 {
+	c := TableII()[k]
+	return scale(c.AreaMM2, c.CoreAreaFrac, d.Alpha())
+}
+
+// Complement is the hardware a single grid point needs. The paper accounts
+// "integrators, multipliers, current mirrors, DACs, and ADCs" at the
+// prototype's macroblock ratio.
+type Complement struct {
+	Integrators float64
+	Multipliers float64
+	Fanouts     float64
+	ADCs        float64
+	DACs        float64
+}
+
+// MacroblockComplement is the prototype ratio: each macroblock holds one
+// integrator, two multipliers and two fanouts, and every two macroblocks
+// share an ADC and a DAC. With it, 650 integrators come to ≈140 mm² —
+// the paper's "about 150 mm²" anchor.
+func MacroblockComplement() Complement {
+	return Complement{Integrators: 1, Multipliers: 2, Fanouts: 2, ADCs: 0.5, DACs: 0.5}
+}
+
+// PointPower is the power of one grid point's units at this bandwidth.
+func (d Design) PointPower(c Complement) float64 {
+	return c.Integrators*d.ComponentPower(Integrator) +
+		c.Multipliers*d.ComponentPower(Multiplier) +
+		c.Fanouts*d.ComponentPower(Fanout) +
+		c.ADCs*d.ComponentPower(ADC) +
+		c.DACs*d.ComponentPower(DAC)
+}
+
+// PointArea is the area of one grid point's units at this bandwidth.
+func (d Design) PointArea(c Complement) float64 {
+	return c.Integrators*d.ComponentArea(Integrator) +
+		c.Multipliers*d.ComponentArea(Multiplier) +
+		c.Fanouts*d.ComponentArea(Fanout) +
+		c.ADCs*d.ComponentArea(ADC) +
+		c.DACs*d.ComponentArea(DAC)
+}
+
+// Power is the maximum-activity power of an accelerator holding n grid
+// points (Figure 10).
+func (d Design) Power(n int, c Complement) float64 { return float64(n) * d.PointPower(c) }
+
+// Area is the silicon area of an accelerator holding n grid points
+// (Figure 11).
+func (d Design) Area(n int, c Complement) float64 { return float64(n) * d.PointArea(c) }
+
+// MaxGridPoints is the largest problem that fits the 600 mm² die cap
+// (the cut-off of Figures 9 and 12).
+func (d Design) MaxGridPoints(c Complement) int {
+	return int(MaxDieAreaMM2 / d.PointArea(c))
+}
+
+// SolveTimePoisson is the analytic settling-time model for a d-dimensional
+// Poisson problem with l interior points per side, solved to the precision
+// of an ADC with `bits` bits. Value scaling divides the matrix by
+// S = max|a| / gmax so the slowest mode of the scaled system is
+// λ_min(A)/S, and settling to a 2^-bits fraction takes
+// ln(2^bits · margin)/ (2π·BW · λ_min(A_s)) seconds:
+//
+//	λ_min(A) = d·(4/h²)·sin²(πh/2), max|a| = 2d/h²
+//	λ_min(A_s) = 2·gmax·margin·sin²(πh/2) ≈ gmax·margin·π²h²/2
+//
+// so the time grows like L² = (1/h)² regardless of dimension: linear in N
+// for the 2-D problems of Figure 8 ("the analog computer's solution time
+// scales linearly with respect to the problem size").
+func (d Design) SolveTimePoisson(dims, l, bits int) float64 {
+	const gmax, margin = 1.0, 0.95
+	h := 1.0 / float64(l+1)
+	lamS := 2 * gmax * margin * math.Pow(math.Sin(math.Pi*h/2), 2)
+	settleFactor := math.Log(math.Pow(2, float64(bits)) * 4)
+	return settleFactor / (2 * math.Pi * d.BandwidthHz * lamS)
+}
+
+// SolveEnergyPoisson is solve time × accelerator power for an N-point
+// problem (Figure 12's analog series).
+func (d Design) SolveEnergyPoisson(dims, l, bits int, c Complement) float64 {
+	n := int(math.Pow(float64(l), float64(dims)))
+	return d.SolveTimePoisson(dims, l, bits) * d.Power(n, c)
+}
+
+// --- Digital baselines ---
+
+// CPUClockHz is the evaluation CPU: a single core of an Intel Xeon X5550.
+const CPUClockHz = 2.67e9
+
+// CPUCyclesPerIterPerRow is the paper's sustained CG cost: "20 clock
+// cycles per numerical iteration per row element".
+const CPUCyclesPerIterPerRow = 20.0
+
+// CPUTimeCG converts a CG iteration count on an n-variable system to
+// seconds on the evaluation CPU.
+func CPUTimeCG(n, iters int) float64 {
+	return float64(iters) * float64(n) * CPUCyclesPerIterPerRow / CPUClockHz
+}
+
+// CGIterations2D estimates CG iterations to reach 2^-bits relative error
+// on the 2-D Poisson problem: iterations grow with √κ = O(L), the
+// Section VI-B behaviour that makes CG the strongest baseline.
+func CGIterations2D(l, bits int) int {
+	kappa := math.Pow(math.Tan(math.Pi/(2*float64(l+1))), -2) // cot²(πh/2)
+	iters := 0.5 * math.Sqrt(kappa) * math.Log(2*math.Pow(2, float64(bits)))
+	if iters < 1 {
+		iters = 1
+	}
+	return int(math.Ceil(iters))
+}
+
+// GPUPicojoulesPerMAC is the paper's GPU energy constant: "an estimate of
+// 225 pJ for every floating point multiply-add operation in GPUs".
+const GPUPicojoulesPerMAC = 225.0
+
+// GPUEnergyCG converts a CG MAC count to Joules on the GPU model.
+func GPUEnergyCG(macs int64) float64 {
+	return float64(macs) * GPUPicojoulesPerMAC * 1e-12
+}
+
+// CGMACsPerIteration2D counts CG multiply-adds per iteration for the
+// 5-point stencil: the SpMV (≈5n) plus two dot products and three vector
+// updates (5n).
+func CGMACsPerIteration2D(n int) int64 { return int64(10 * n) }
+
+// --- Table III asymptotics ---
+
+// Trend is an asymptotic cost expressed as N^Exp, annotated with the
+// paper's claim for side-by-side reporting.
+type Trend struct {
+	Quantity string
+	// PaperExp is the exponent Table III claims (in N).
+	PaperExp float64
+	// ModelExp is the exponent this model predicts (in N).
+	ModelExp float64
+}
+
+// TableIIITrends returns the paper-claimed versus model-predicted scaling
+// exponents for each dimensionality. The model's analog time follows the
+// physics of value scaling (time ∝ L² in every dimension: N² in 1-D, N in
+// 2-D, N^⅔ in 3-D); the paper's table asserts time ∝ N in all dimensions.
+// The 2-D case — the paper's headline — agrees exactly.
+func TableIIITrends(dims int) []Trend {
+	lExp := 2.0 / float64(dims) // L² in terms of N
+	cgIterExp := map[int]float64{1: 1, 2: 0.5, 3: 1.0 / 3}[dims]
+	return []Trend{
+		{Quantity: "analog HW cost", PaperExp: 1, ModelExp: 1},
+		{Quantity: "analog conv. time", PaperExp: 1, ModelExp: lExp},
+		{Quantity: "analog energy", PaperExp: 2, ModelExp: 1 + lExp},
+		{Quantity: "CG steps", PaperExp: cgIterExp, ModelExp: cgIterExp},
+		{Quantity: "CG time per step", PaperExp: 1, ModelExp: 1},
+		{Quantity: "CG time and energy", PaperExp: 1 + cgIterExp, ModelExp: 1 + cgIterExp},
+	}
+}

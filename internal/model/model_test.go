@@ -1,0 +1,208 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTableIIValuesMatchPaper(t *testing.T) {
+	tab := TableII()
+	if len(tab) != 5 {
+		t.Fatalf("%d components", len(tab))
+	}
+	if tab[Integrator].PowerW != 28e-6 || tab[Integrator].AreaMM2 != 0.040 {
+		t.Fatalf("integrator row %+v", tab[Integrator])
+	}
+	if tab[DAC].CorePowerFrac != 1.0 || tab[ADC].CoreAreaFrac != 0.83 {
+		t.Fatal("converter fractions wrong")
+	}
+	for k := Integrator; k < numKinds; k++ {
+		if k.String() == "" {
+			t.Fatalf("kind %d unnamed", k)
+		}
+		c := tab[k]
+		if c.PowerW <= 0 || c.AreaMM2 <= 0 || c.CorePowerFrac <= 0 || c.CorePowerFrac > 1 {
+			t.Fatalf("%v row implausible: %+v", k, c)
+		}
+	}
+	if UnitKind(99).String() == "" {
+		t.Fatal("unknown kind unnamed")
+	}
+}
+
+func TestBaseDesignIsUnscaled(t *testing.T) {
+	d := Design{BandwidthHz: BaseBandwidthHz}
+	if d.Alpha() != 1 {
+		t.Fatalf("alpha=%v", d.Alpha())
+	}
+	for k := Integrator; k < numKinds; k++ {
+		if d.ComponentPower(k) != TableII()[k].PowerW {
+			t.Fatalf("%v power scaled at alpha=1", k)
+		}
+		if d.ComponentArea(k) != TableII()[k].AreaMM2 {
+			t.Fatalf("%v area scaled at alpha=1", k)
+		}
+	}
+}
+
+func TestPaperAnchor650Integrators(t *testing.T) {
+	// "An analog accelerator with 650 integrators occupies about 150 mm²."
+	d := Design{BandwidthHz: BaseBandwidthHz}
+	area := d.Area(650, MacroblockComplement())
+	if area < 120 || area > 170 {
+		t.Fatalf("650-integrator area %.1f mm², paper says ~150", area)
+	}
+}
+
+func TestPaperAnchorBasePowerAtFullDie(t *testing.T) {
+	// "even in the designs that fill a 600 mm² die size, the analog
+	// accelerator uses about 0.7 W in the base prototype design".
+	d := Design{BandwidthHz: BaseBandwidthHz}
+	c := MacroblockComplement()
+	n := d.MaxGridPoints(c)
+	if n < 2000 || n > 3500 {
+		t.Fatalf("20 kHz die capacity %d points", n)
+	}
+	p := d.Power(n, c)
+	if p < 0.55 || p > 0.85 {
+		t.Fatalf("full-die base power %.2f W, paper says ~0.7", p)
+	}
+}
+
+func TestPaperAnchor320kHzPowerAtFullDie(t *testing.T) {
+	// "about 1.0 W in the design with 320 KHz bandwidth" at full die.
+	d := Design{BandwidthHz: 320e3}
+	c := MacroblockComplement()
+	p := d.Power(d.MaxGridPoints(c), c)
+	if p < 0.85 || p > 1.2 {
+		t.Fatalf("320 kHz full-die power %.2f W, paper says ~1.0", p)
+	}
+}
+
+func TestAreaCapCutsHighBandwidthDesigns(t *testing.T) {
+	// Figure 9/11: higher bandwidth => far fewer points fit 600 mm².
+	c := MacroblockComplement()
+	var prev int = 1 << 30
+	for _, bw := range PaperBandwidths() {
+		n := Design{BandwidthHz: bw}.MaxGridPoints(c)
+		if n >= prev {
+			t.Fatalf("capacity did not shrink with bandwidth: %v", bw)
+		}
+		prev = n
+	}
+	// The 1.3 MHz design holds well under 600 points (Figure 9 cuts
+	// those lines short).
+	if n := (Design{BandwidthHz: 1.3e6}).MaxGridPoints(c); n > 150 {
+		t.Fatalf("1.3 MHz capacity %d suspiciously large", n)
+	}
+}
+
+func TestBandwidthSpeedsSolvesProportionally(t *testing.T) {
+	t20 := Design{BandwidthHz: 20e3}.SolveTimePoisson(2, 24, 12)
+	t80 := Design{BandwidthHz: 80e3}.SolveTimePoisson(2, 24, 12)
+	if r := t20 / t80; math.Abs(r-4) > 1e-9 {
+		t.Fatalf("80 kHz speedup %v want 4", r)
+	}
+}
+
+func TestSolveTimeLinearInGridPoints2D(t *testing.T) {
+	// Figure 8's shape: time ∝ N (= L²) in 2-D.
+	d := Design{BandwidthHz: BaseBandwidthHz}
+	tA := d.SolveTimePoisson(2, 16, 12)
+	tB := d.SolveTimePoisson(2, 32, 12)
+	ratio := tB / tA
+	// L doubles → N ×4 → time ×~4 (sin² small-angle within a few %).
+	if ratio < 3.7 || ratio > 4.3 {
+		t.Fatalf("time ratio %v want ~4", ratio)
+	}
+}
+
+func TestEfficiencyGainsCeaseAfter80kHz(t *testing.T) {
+	// Figure 12's finding: "the efficiency gains do not increase after
+	// bandwidth reaches 80 KHz". Energy per solve at fixed N drops from
+	// 20→80 kHz, then flattens (non-core power stops amortizing).
+	c := MacroblockComplement()
+	const l = 20 // N=400 fits all designs
+	e := map[float64]float64{}
+	for _, bw := range []float64{20e3, 80e3, 320e3, 1.3e6} {
+		e[bw] = Design{BandwidthHz: bw}.SolveEnergyPoisson(2, l, 12, c)
+	}
+	if e[80e3] >= e[20e3] {
+		t.Fatalf("80 kHz not more efficient than 20 kHz: %v vs %v", e[80e3], e[20e3])
+	}
+	gain1 := e[20e3]/e[80e3] - 1 // fractional saving 20k→80k
+	gain2 := e[80e3]/e[320e3] - 1
+	if gain2 > gain1/2 {
+		t.Fatalf("efficiency still improving strongly past 80 kHz: %v then %v", gain1, gain2)
+	}
+	// And past 320 kHz it is essentially flat (within 15%).
+	if r := e[320e3] / e[1.3e6]; r > 1.15 || r < 0.85 {
+		t.Fatalf("320k→1.3M energy ratio %v want ~1", r)
+	}
+}
+
+func TestCPUModel(t *testing.T) {
+	// 20 cycles/iter/row at 2.67 GHz.
+	got := CPUTimeCG(1000, 100)
+	want := 100.0 * 1000 * 20 / 2.67e9
+	if math.Abs(got-want) > 1e-15 {
+		t.Fatalf("CPUTimeCG=%v want %v", got, want)
+	}
+	// CG iterations grow like L (√κ).
+	i16 := CGIterations2D(16, 12)
+	i32 := CGIterations2D(32, 12)
+	r := float64(i32) / float64(i16)
+	if r < 1.7 || r > 2.3 {
+		t.Fatalf("CG iteration growth %v want ~2", r)
+	}
+}
+
+func TestGPUModel(t *testing.T) {
+	if GPUEnergyCG(1e6) != 1e6*225e-12 {
+		t.Fatal("GPU energy constant wrong")
+	}
+	if CGMACsPerIteration2D(100) != 1000 {
+		t.Fatal("CG MACs per iteration wrong")
+	}
+}
+
+func TestTableIIITrends(t *testing.T) {
+	for dims := 1; dims <= 3; dims++ {
+		trends := TableIIITrends(dims)
+		if len(trends) != 6 {
+			t.Fatalf("dims=%d: %d rows", dims, len(trends))
+		}
+		for _, tr := range trends {
+			if tr.Quantity == "" || tr.ModelExp <= 0 || tr.PaperExp <= 0 {
+				t.Fatalf("dims=%d: bad row %+v", dims, tr)
+			}
+		}
+	}
+	// The headline 2-D case: paper and model agree on every row.
+	for _, tr := range TableIIITrends(2) {
+		if math.Abs(tr.PaperExp-tr.ModelExp) > 1e-12 {
+			t.Fatalf("2-D disagreement on %s: paper %v model %v", tr.Quantity, tr.PaperExp, tr.ModelExp)
+		}
+	}
+	// 3-D analog energy scales worse than CG's time-and-energy — the
+	// paper's "analog acceleration is not feasible" conclusion.
+	var analogEnergy, cgCost float64
+	for _, tr := range TableIIITrends(3) {
+		switch tr.Quantity {
+		case "analog energy":
+			analogEnergy = tr.ModelExp
+		case "CG time and energy":
+			cgCost = tr.ModelExp
+		}
+	}
+	if analogEnergy <= cgCost {
+		t.Fatalf("3-D: analog energy exponent %v should exceed CG's %v", analogEnergy, cgCost)
+	}
+}
+
+func TestPaperBandwidths(t *testing.T) {
+	b := PaperBandwidths()
+	if len(b) != 4 || b[0] != 20e3 || b[3] != 1.3e6 {
+		t.Fatalf("bandwidth list %v", b)
+	}
+}

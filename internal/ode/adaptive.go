@@ -1,0 +1,135 @@
+package ode
+
+import (
+	"fmt"
+	"math"
+
+	"analogacc/internal/la"
+)
+
+// AdaptiveOptions controls the embedded Runge-Kutta-Fehlberg 4(5) solver.
+type AdaptiveOptions struct {
+	// AbsTol and RelTol form the per-step error budget
+	// tol_i = AbsTol + RelTol·|u_i|.
+	AbsTol, RelTol float64
+	// InitialStep seeds the step-size controller (default duration/100).
+	InitialStep float64
+	// MinStep aborts if the controller shrinks below it (default 1e-14·duration).
+	MinStep float64
+	// MaxSteps bounds the number of accepted+rejected steps (default 1e6).
+	MaxSteps int
+}
+
+// AdaptiveResult reports the RKF45 integration outcome.
+type AdaptiveResult struct {
+	U        la.Vector
+	Steps    int // accepted steps
+	Rejected int // rejected trial steps
+}
+
+// rkf45 Butcher tableau (Fehlberg).
+var (
+	rkfC = [6]float64{0, 1.0 / 4, 3.0 / 8, 12.0 / 13, 1, 1.0 / 2}
+	rkfA = [6][5]float64{
+		{},
+		{1.0 / 4},
+		{3.0 / 32, 9.0 / 32},
+		{1932.0 / 2197, -7200.0 / 2197, 7296.0 / 2197},
+		{439.0 / 216, -8, 3680.0 / 513, -845.0 / 4104},
+		{-8.0 / 27, 2, -3544.0 / 2565, 1859.0 / 4104, -11.0 / 40},
+	}
+	rkfB4 = [6]float64{25.0 / 216, 0, 1408.0 / 2565, 2197.0 / 4104, -1.0 / 5, 0}
+	rkfB5 = [6]float64{16.0 / 135, 0, 6656.0 / 12825, 28561.0 / 56430, -9.0 / 50, 2.0 / 55}
+)
+
+// SolveAdaptive integrates sys from u0 over [0, duration] with RKF45 and
+// PI-free step doubling/halving control. It returns the final state.
+func SolveAdaptive(sys System, u0 la.Vector, duration float64, opt AdaptiveOptions) (AdaptiveResult, error) {
+	if duration <= 0 {
+		return AdaptiveResult{}, fmt.Errorf("ode: non-positive duration %v", duration)
+	}
+	if opt.AbsTol <= 0 {
+		opt.AbsTol = 1e-9
+	}
+	if opt.RelTol <= 0 {
+		opt.RelTol = 1e-9
+	}
+	if opt.InitialStep <= 0 {
+		opt.InitialStep = duration / 100
+	}
+	if opt.MinStep <= 0 {
+		opt.MinStep = 1e-14 * duration
+	}
+	if opt.MaxSteps <= 0 {
+		opt.MaxSteps = 1_000_000
+	}
+	n := sys.Dim()
+	if len(u0) != n {
+		return AdaptiveResult{}, fmt.Errorf("ode: u0 length %d != dim %d", len(u0), n)
+	}
+	u := u0.Clone()
+	var k [6]la.Vector
+	for i := range k {
+		k[i] = la.NewVector(n)
+	}
+	stage := la.NewVector(n)
+	u4 := la.NewVector(n)
+	u5 := la.NewVector(n)
+
+	t, h := 0.0, opt.InitialStep
+	res := AdaptiveResult{}
+	for t < duration {
+		if res.Steps+res.Rejected > opt.MaxSteps {
+			return res, fmt.Errorf("ode: RKF45 exceeded %d steps", opt.MaxSteps)
+		}
+		if t+h > duration {
+			h = duration - t
+		}
+		for s := 0; s < 6; s++ {
+			stage.CopyFrom(u)
+			for j := 0; j < s; j++ {
+				if rkfA[s][j] != 0 {
+					stage.AddScaled(h*rkfA[s][j], k[j])
+				}
+			}
+			sys.Derivative(k[s], t+rkfC[s]*h, stage)
+		}
+		u4.CopyFrom(u)
+		u5.CopyFrom(u)
+		for s := 0; s < 6; s++ {
+			if rkfB4[s] != 0 {
+				u4.AddScaled(h*rkfB4[s], k[s])
+			}
+			if rkfB5[s] != 0 {
+				u5.AddScaled(h*rkfB5[s], k[s])
+			}
+		}
+		// Error estimate against the mixed tolerance.
+		var errRatio float64
+		for i := 0; i < n; i++ {
+			tol := opt.AbsTol + opt.RelTol*math.Abs(u5[i])
+			if r := math.Abs(u5[i]-u4[i]) / tol; r > errRatio {
+				errRatio = r
+			}
+		}
+		if !u5.IsFinite() {
+			return res, fmt.Errorf("ode: RKF45 at t=%v: %w", t, ErrUnstable)
+		}
+		if errRatio <= 1 {
+			t += h
+			u.CopyFrom(u5)
+			res.Steps++
+		} else {
+			res.Rejected++
+		}
+		// Standard 4th-order step update with safety factor.
+		scale := 0.9 * math.Pow(math.Max(errRatio, 1e-10), -0.2)
+		scale = math.Min(4, math.Max(0.1, scale))
+		h *= scale
+		if h < opt.MinStep {
+			return res, fmt.Errorf("ode: RKF45 step underflow at t=%v (h=%v)", t, h)
+		}
+	}
+	res.U = u
+	return res, nil
+}

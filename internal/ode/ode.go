@@ -1,0 +1,294 @@
+// Package ode implements the explicit ordinary-differential-equation
+// integrators the paper builds on. Algorithm 1 of the paper (forward Euler)
+// is the digital reference for how an analog computer integrates in
+// continuous time; the higher-order Runge-Kutta methods here are used both
+// as digital explicit solvers in the problem taxonomy of Figure 4 and as the
+// numerical engine inside the behavioural analog circuit simulator
+// (internal/circuit), where a fine RK4 step stands in for truly continuous
+// evolution.
+package ode
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"analogacc/internal/la"
+)
+
+// System describes an autonomous first-order ODE system du/dt = f(t, u).
+// Derivative must write f(t, u) into dst without retaining either slice.
+type System interface {
+	// Dim returns the number of state variables.
+	Dim() int
+	// Derivative evaluates dst = f(t, u).
+	Derivative(dst la.Vector, t float64, u la.Vector)
+}
+
+// Func adapts a plain function to the System interface.
+type Func struct {
+	N int
+	F func(dst la.Vector, t float64, u la.Vector)
+}
+
+// Dim returns the declared dimension.
+func (s Func) Dim() int { return s.N }
+
+// Derivative invokes the wrapped function.
+func (s Func) Derivative(dst la.Vector, t float64, u la.Vector) { s.F(dst, t, u) }
+
+// LinearSystem is the ODE du/dt = b − A·u used throughout the paper: its
+// steady state solves the linear system A·u = b (continuous-time gradient
+// descent, Equation 2 and Figure 5).
+type LinearSystem struct {
+	A la.Operator
+	B la.Vector
+}
+
+// Dim returns the system order.
+func (s *LinearSystem) Dim() int { return s.A.Dim() }
+
+// Derivative computes dst = b − A·u.
+func (s *LinearSystem) Derivative(dst la.Vector, _ float64, u la.Vector) {
+	s.A.Apply(dst, u)
+	for i := range dst {
+		dst[i] = s.B[i] - dst[i]
+	}
+}
+
+// ErrUnstable is returned when the state stops being finite, which for
+// explicit methods signals a step size beyond the stability limit.
+var ErrUnstable = errors.New("ode: state became non-finite (unstable step size?)")
+
+// StepFunc advances u in place from t to t+h for a given system, using
+// scratch storage from the integrator.
+type Method int
+
+// Supported fixed-step integration methods.
+const (
+	// Euler is the forward Euler method of Algorithm 1.
+	Euler Method = iota
+	// Heun is the 2nd-order explicit trapezoid (RK2) method.
+	Heun
+	// RK4 is the classical 4th-order Runge-Kutta method, named by the
+	// paper as a representative explicit time stepper ("e.g., RK4").
+	RK4
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case Euler:
+		return "euler"
+	case Heun:
+		return "heun"
+	case RK4:
+		return "rk4"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Integrator advances an ODE system with a fixed-step explicit method,
+// reusing internal scratch buffers across steps.
+type Integrator struct {
+	method Method
+	sys    System
+	k1     la.Vector
+	k2     la.Vector
+	k3     la.Vector
+	k4     la.Vector
+	tmp    la.Vector
+}
+
+// NewIntegrator allocates an integrator for the given method and system.
+func NewIntegrator(method Method, sys System) *Integrator {
+	n := sys.Dim()
+	return &Integrator{
+		method: method,
+		sys:    sys,
+		k1:     la.NewVector(n),
+		k2:     la.NewVector(n),
+		k3:     la.NewVector(n),
+		k4:     la.NewVector(n),
+		tmp:    la.NewVector(n),
+	}
+}
+
+// Step advances u in place from time t by step h and returns t+h.
+func (in *Integrator) Step(t float64, u la.Vector, h float64) float64 {
+	switch in.method {
+	case Euler:
+		in.sys.Derivative(in.k1, t, u)
+		u.AddScaled(h, in.k1)
+	case Heun:
+		in.sys.Derivative(in.k1, t, u)
+		in.tmp.CopyFrom(u)
+		in.tmp.AddScaled(h, in.k1)
+		in.sys.Derivative(in.k2, t+h, in.tmp)
+		u.AddScaled(h/2, in.k1)
+		u.AddScaled(h/2, in.k2)
+	case RK4:
+		in.sys.Derivative(in.k1, t, u)
+		in.tmp.CopyFrom(u)
+		in.tmp.AddScaled(h/2, in.k1)
+		in.sys.Derivative(in.k2, t+h/2, in.tmp)
+		in.tmp.CopyFrom(u)
+		in.tmp.AddScaled(h/2, in.k2)
+		in.sys.Derivative(in.k3, t+h/2, in.tmp)
+		in.tmp.CopyFrom(u)
+		in.tmp.AddScaled(h, in.k3)
+		in.sys.Derivative(in.k4, t+h, in.tmp)
+		u.AddScaled(h/6, in.k1)
+		u.AddScaled(h/3, in.k2)
+		u.AddScaled(h/3, in.k3)
+		u.AddScaled(h/6, in.k4)
+	default:
+		panic(fmt.Sprintf("ode: unknown method %v", in.method))
+	}
+	return t + h
+}
+
+// Solution records a trajectory sampled at fixed intervals.
+type Solution struct {
+	Times  []float64
+	States []la.Vector // one snapshot per recorded time
+}
+
+// Last returns the final recorded state (nil if empty).
+func (s *Solution) Last() la.Vector {
+	if len(s.States) == 0 {
+		return nil
+	}
+	return s.States[len(s.States)-1]
+}
+
+// SolveOptions controls a fixed-step integration run.
+type SolveOptions struct {
+	Method Method
+	// Step is the fixed time step h.
+	Step float64
+	// Record, if positive, stores every Record-th step in the Solution
+	// (the initial state is always stored). Zero records only start/end.
+	Record int
+}
+
+// Solve integrates sys from u0 over [0, duration] and returns the sampled
+// trajectory. u0 is not modified. It returns ErrUnstable if the state
+// diverges to NaN/Inf.
+func Solve(sys System, u0 la.Vector, duration float64, opt SolveOptions) (*Solution, error) {
+	if opt.Step <= 0 {
+		return nil, fmt.Errorf("ode: non-positive step %v", opt.Step)
+	}
+	if len(u0) != sys.Dim() {
+		return nil, fmt.Errorf("ode: u0 length %d != system dim %d", len(u0), sys.Dim())
+	}
+	in := NewIntegrator(opt.Method, sys)
+	u := u0.Clone()
+	sol := &Solution{Times: []float64{0}, States: []la.Vector{u.Clone()}}
+	steps := int(math.Ceil(duration / opt.Step))
+	t := 0.0
+	for i := 0; i < steps; i++ {
+		h := opt.Step
+		if t+h > duration {
+			h = duration - t
+		}
+		t = in.Step(t, u, h)
+		if !u.IsFinite() {
+			return sol, fmt.Errorf("ode: at t=%v: %w", t, ErrUnstable)
+		}
+		if opt.Record > 0 && (i+1)%opt.Record == 0 && i+1 < steps {
+			sol.Times = append(sol.Times, t)
+			sol.States = append(sol.States, u.Clone())
+		}
+	}
+	sol.Times = append(sol.Times, t)
+	sol.States = append(sol.States, u.Clone())
+	return sol, nil
+}
+
+// EulerPath reproduces Algorithm 1 of the paper verbatim for the scalar ODE
+// du/dt = a·u + b: it divides `time` into `steps` Euler steps from uInit and
+// returns the full evolution of u (steps+1 samples including the start).
+func EulerPath(time float64, steps int, a, b, uInit float64) []float64 {
+	if steps <= 0 {
+		return []float64{uInit}
+	}
+	stepSize := time / float64(steps)
+	out := make([]float64, steps+1)
+	u := uInit
+	out[0] = u
+	for step := 0; step < steps; step++ {
+		delta := a*u + b
+		u += stepSize * delta
+		out[step+1] = u
+	}
+	return out
+}
+
+// SettleOptions controls integration-until-steady-state, which is how the
+// analog accelerator is used as a linear-equation solver: the circuit runs
+// until du/dt is negligible, then the ADC samples the stable output.
+type SettleOptions struct {
+	Method Method
+	// Step is the integration step.
+	Step float64
+	// DerivTol stops when ‖du/dt‖∞ ≤ DerivTol.
+	DerivTol float64
+	// DeltaTol (optional) additionally requires the state change over one
+	// check interval to be at most DeltaTol in max-norm.
+	DeltaTol float64
+	// CheckEvery tests convergence every CheckEvery steps (default 1).
+	CheckEvery int
+	// MaxTime aborts the run after this much simulated time.
+	MaxTime float64
+}
+
+// SettleResult reports a settling run.
+type SettleResult struct {
+	U        la.Vector // final state
+	Time     float64   // simulated time elapsed
+	Steps    int       // integration steps taken
+	Settled  bool      // true if tolerance met before MaxTime
+	DerivInf float64   // final ‖du/dt‖∞
+}
+
+// Settle integrates sys from u0 until the derivative norm falls under
+// opt.DerivTol or MaxTime elapses, and returns the final state. This is the
+// digital twin of "release the integrators and wait for steady state".
+func Settle(sys System, u0 la.Vector, opt SettleOptions) (SettleResult, error) {
+	if opt.Step <= 0 || opt.MaxTime <= 0 {
+		return SettleResult{}, fmt.Errorf("ode: Settle needs positive Step and MaxTime (got %v, %v)", opt.Step, opt.MaxTime)
+	}
+	if opt.CheckEvery <= 0 {
+		opt.CheckEvery = 1
+	}
+	in := NewIntegrator(opt.Method, sys)
+	u := u0.Clone()
+	deriv := la.NewVector(sys.Dim())
+	prev := u.Clone()
+	t := 0.0
+	steps := 0
+	for t < opt.MaxTime {
+		t = in.Step(t, u, opt.Step)
+		steps++
+		if !u.IsFinite() {
+			return SettleResult{U: u, Time: t, Steps: steps}, fmt.Errorf("ode: at t=%v: %w", t, ErrUnstable)
+		}
+		if steps%opt.CheckEvery != 0 {
+			continue
+		}
+		sys.Derivative(deriv, t, u)
+		dinf := deriv.NormInf()
+		deltaOK := true
+		if opt.DeltaTol > 0 {
+			deltaOK = la.Sub2(u, prev).NormInf() <= opt.DeltaTol
+			prev.CopyFrom(u)
+		}
+		if dinf <= opt.DerivTol && deltaOK {
+			return SettleResult{U: u, Time: t, Steps: steps, Settled: true, DerivInf: dinf}, nil
+		}
+	}
+	sys.Derivative(deriv, t, u)
+	return SettleResult{U: u, Time: t, Steps: steps, Settled: false, DerivInf: deriv.NormInf()}, nil
+}

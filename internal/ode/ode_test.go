@@ -1,0 +1,292 @@
+package ode
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"analogacc/internal/la"
+)
+
+// decay is du/dt = -u with solution e^{-t}.
+func decay() System {
+	return Func{N: 1, F: func(dst la.Vector, _ float64, u la.Vector) { dst[0] = -u[0] }}
+}
+
+// oscillator is u” = -u as a 2-state system; energy u²+v² is conserved.
+func oscillator() System {
+	return Func{N: 2, F: func(dst la.Vector, _ float64, u la.Vector) {
+		dst[0] = u[1]
+		dst[1] = -u[0]
+	}}
+}
+
+func TestEulerPathMatchesAlgorithm1(t *testing.T) {
+	// Hand-computed: du/dt = -u + 1, u0 = 0, 2 steps of size 0.5:
+	// step1: delta = 1, u = 0.5; step2: delta = 0.5, u = 0.75.
+	got := EulerPath(1.0, 2, -1, 1, 0)
+	want := []float64{0, 0.5, 0.75}
+	if len(got) != 3 {
+		t.Fatalf("len=%d", len(got))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-15 {
+			t.Fatalf("step %d: %v want %v", i, got[i], want[i])
+		}
+	}
+	if p := EulerPath(1, 0, 1, 1, 7); len(p) != 1 || p[0] != 7 {
+		t.Fatalf("degenerate steps: %v", p)
+	}
+}
+
+func TestMethodOrdersOnDecay(t *testing.T) {
+	// Integrate e^{-t} to t=1 with two step sizes; error must shrink at
+	// the method's order.
+	orders := map[Method]float64{Euler: 1, Heun: 2, RK4: 4}
+	for m, p := range orders {
+		errAt := func(h float64) float64 {
+			sol, err := Solve(decay(), la.VectorOf(1), 1, SolveOptions{Method: m, Step: h})
+			if err != nil {
+				t.Fatalf("%v: %v", m, err)
+			}
+			return math.Abs(sol.Last()[0] - math.Exp(-1))
+		}
+		e1, e2 := errAt(0.02), errAt(0.01)
+		gotOrder := math.Log2(e1 / e2)
+		if gotOrder < p-0.4 {
+			t.Errorf("%v: observed order %.2f want >= %v (e1=%g e2=%g)", m, gotOrder, p-0.4, e1, e2)
+		}
+	}
+}
+
+func TestSolveRecordsTrajectory(t *testing.T) {
+	sol, err := Solve(decay(), la.VectorOf(1), 1, SolveOptions{Method: RK4, Step: 0.1, Record: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Times) < 4 {
+		t.Fatalf("only %d samples", len(sol.Times))
+	}
+	if sol.Times[0] != 0 || sol.States[0][0] != 1 {
+		t.Fatal("initial state not recorded")
+	}
+	if math.Abs(sol.Times[len(sol.Times)-1]-1) > 1e-12 {
+		t.Fatalf("final time %v", sol.Times[len(sol.Times)-1])
+	}
+	// Times strictly increasing.
+	for i := 1; i < len(sol.Times); i++ {
+		if sol.Times[i] <= sol.Times[i-1] {
+			t.Fatalf("times not increasing at %d: %v", i, sol.Times)
+		}
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	if _, err := Solve(decay(), la.VectorOf(1), 1, SolveOptions{Step: 0}); err == nil {
+		t.Fatal("zero step accepted")
+	}
+	if _, err := Solve(decay(), la.VectorOf(1, 2), 1, SolveOptions{Step: 0.1}); err == nil {
+		t.Fatal("wrong-length u0 accepted")
+	}
+}
+
+func TestSolveDetectsInstability(t *testing.T) {
+	// Forward Euler on du/dt = -u is unstable for h > 2.
+	_, err := Solve(decay(), la.VectorOf(1), 4000, SolveOptions{Method: Euler, Step: 4})
+	if !errors.Is(err, ErrUnstable) {
+		t.Fatalf("err=%v want ErrUnstable", err)
+	}
+}
+
+func TestSolutionLastEmpty(t *testing.T) {
+	var s Solution
+	if s.Last() != nil {
+		t.Fatal("empty solution Last != nil")
+	}
+}
+
+func TestLinearSystemSteadyState(t *testing.T) {
+	// du/dt = b - A u settles to A^{-1} b for SPD A.
+	a := la.DenseOf([]float64{2, -1}, []float64{-1, 2})
+	b := la.VectorOf(1, 0.5)
+	sys := &LinearSystem{A: a, B: b}
+	res, err := Settle(sys, la.NewVector(2), SettleOptions{
+		Method: RK4, Step: 0.01, DerivTol: 1e-10, MaxTime: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Settled {
+		t.Fatalf("did not settle: %+v", res)
+	}
+	// Exact solution: A^{-1} b = [ (2*1+1*0.5)/3, (1*1+2*0.5)/3 ] = [5/6, 2/3].
+	want := la.VectorOf(5.0/6, 2.0/3)
+	if !res.U.Equal(want, 1e-8) {
+		t.Fatalf("steady state %v want %v", res.U, want)
+	}
+	if la.Residual(a, res.U, b).Norm2() > 1e-8 {
+		t.Fatal("settled state does not satisfy Au=b")
+	}
+}
+
+func TestSettleRespectsMaxTime(t *testing.T) {
+	// An undamped oscillator never settles.
+	res, err := Settle(oscillator(), la.VectorOf(1, 0), SettleOptions{
+		Method: RK4, Step: 0.01, DerivTol: 1e-12, MaxTime: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Settled {
+		t.Fatal("oscillator reported settled")
+	}
+	if res.Time < 5 {
+		t.Fatalf("stopped early at %v", res.Time)
+	}
+}
+
+func TestSettleValidation(t *testing.T) {
+	if _, err := Settle(decay(), la.VectorOf(1), SettleOptions{Step: 0, MaxTime: 1}); err == nil {
+		t.Fatal("zero step accepted")
+	}
+	if _, err := Settle(decay(), la.VectorOf(1), SettleOptions{Step: 0.1, MaxTime: 0}); err == nil {
+		t.Fatal("zero MaxTime accepted")
+	}
+}
+
+func TestSettleDeltaTol(t *testing.T) {
+	// With a DeltaTol, settling additionally requires the state to stop
+	// moving between checks; the result must still be the fixed point.
+	a := la.DenseOf([]float64{3})
+	sys := &LinearSystem{A: a, B: la.VectorOf(6)}
+	res, err := Settle(sys, la.VectorOf(0), SettleOptions{
+		Method: RK4, Step: 0.005, DerivTol: 1e-9, DeltaTol: 1e-9, CheckEvery: 10, MaxTime: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Settled || math.Abs(res.U[0]-2) > 1e-7 {
+		t.Fatalf("res=%+v want u=2", res)
+	}
+}
+
+func TestSettleUnstableReportsError(t *testing.T) {
+	// Euler with a step far beyond 2/λ diverges; Settle must surface it.
+	a := la.DenseOf([]float64{1})
+	sys := &LinearSystem{A: a, B: la.VectorOf(0)}
+	_, err := Settle(sys, la.VectorOf(1), SettleOptions{
+		Method: Euler, Step: 10, DerivTol: 1e-12, MaxTime: 1e6,
+	})
+	if !errors.Is(err, ErrUnstable) {
+		t.Fatalf("err=%v want ErrUnstable", err)
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if Euler.String() != "euler" || Heun.String() != "heun" || RK4.String() != "rk4" {
+		t.Fatal("method names wrong")
+	}
+	if Method(99).String() == "" {
+		t.Fatal("unknown method has empty name")
+	}
+}
+
+func TestSolveAdaptiveDecay(t *testing.T) {
+	res, err := SolveAdaptive(decay(), la.VectorOf(1), 5, AdaptiveOptions{AbsTol: 1e-10, RelTol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.U[0]-math.Exp(-5)) > 1e-8 {
+		t.Fatalf("u(5)=%v want %v", res.U[0], math.Exp(-5))
+	}
+	if res.Steps == 0 {
+		t.Fatal("no accepted steps")
+	}
+}
+
+func TestSolveAdaptiveOscillatorEnergy(t *testing.T) {
+	res, err := SolveAdaptive(oscillator(), la.VectorOf(1, 0), 2*math.Pi, AdaptiveOptions{AbsTol: 1e-11, RelTol: 1e-11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After one full period the state returns to (1, 0).
+	if !res.U.Equal(la.VectorOf(1, 0), 1e-7) {
+		t.Fatalf("after period: %v", res.U)
+	}
+}
+
+func TestSolveAdaptiveValidation(t *testing.T) {
+	if _, err := SolveAdaptive(decay(), la.VectorOf(1), -1, AdaptiveOptions{}); err == nil {
+		t.Fatal("negative duration accepted")
+	}
+	if _, err := SolveAdaptive(decay(), la.VectorOf(1, 2), 1, AdaptiveOptions{}); err == nil {
+		t.Fatal("wrong-length u0 accepted")
+	}
+}
+
+func TestSolveAdaptiveStiffRejectsSteps(t *testing.T) {
+	// A stiff decay forces the controller to reject oversized trial steps.
+	stiff := Func{N: 1, F: func(dst la.Vector, _ float64, u la.Vector) { dst[0] = -1e4 * u[0] }}
+	res, err := SolveAdaptive(stiff, la.VectorOf(1), 0.01, AdaptiveOptions{AbsTol: 1e-8, RelTol: 1e-8, InitialStep: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected == 0 {
+		t.Fatal("expected at least one rejected step for a stiff system")
+	}
+	if math.Abs(res.U[0]-math.Exp(-100)) > 1e-6 {
+		t.Fatalf("stiff result %v want %v", res.U[0], math.Exp(-100))
+	}
+}
+
+// Property: for random SPD 2x2 systems, Settle reaches a state whose
+// residual matches the requested derivative tolerance (the derivative of
+// the linear system IS the residual).
+func TestPropSettleResidual(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Random SPD: A = M^T M + I.
+		m := la.NewDense(2, 2)
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				m.Set(i, j, r.NormFloat64())
+			}
+		}
+		a := m.Transpose().Mul(m)
+		a.Addf(0, 0, 1)
+		a.Addf(1, 1, 1)
+		b := la.VectorOf(r.NormFloat64(), r.NormFloat64())
+		sys := &LinearSystem{A: a, B: b}
+		res, err := Settle(sys, la.NewVector(2), SettleOptions{
+			Method: RK4, Step: 0.001, DerivTol: 1e-8, MaxTime: 200,
+		})
+		if err != nil || !res.Settled {
+			return false
+		}
+		return la.Residual(a, res.U, b).NormInf() <= 1e-8*1.01
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RK4 fixed-step and RKF45 adaptive agree on smooth linear
+// systems.
+func TestPropFixedVsAdaptiveAgreement(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		lambda := 0.2 + r.Float64()*2
+		sys := Func{N: 1, F: func(dst la.Vector, _ float64, u la.Vector) { dst[0] = -lambda * u[0] }}
+		fixed, err1 := Solve(sys, la.VectorOf(1), 3, SolveOptions{Method: RK4, Step: 0.001})
+		ad, err2 := SolveAdaptive(sys, la.VectorOf(1), 3, AdaptiveOptions{AbsTol: 1e-11, RelTol: 1e-11})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(fixed.Last()[0]-ad.U[0]) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,152 @@
+package pde
+
+import (
+	"fmt"
+	"math"
+
+	"analogacc/internal/la"
+)
+
+// Time-dependent PDEs (the left branch of the paper's Figure 4 taxonomy):
+// spatial discretization turns a parabolic or hyperbolic PDE into a system
+// of ODEs, which explicit steppers — "e.g., RK4, analog" — integrate
+// directly. On the accelerator this is native ODE mode: the heat equation
+// runs as du/dt = −A·u + q, the wave equation as a 2N-state first-order
+// system.
+
+// HeatProblem is ∂u/∂t = ∇²u + q on the unit interval/square with
+// homogeneous Dirichlet boundaries, discretized in space.
+type HeatProblem struct {
+	Grid la.Grid
+	// M is the ODE system matrix (−A for the discrete Laplacian A).
+	M *la.CSR
+	// Q is the constant source term.
+	Q la.Vector
+	// U0 is the initial temperature field.
+	U0 la.Vector
+	// modes holds the eigen-decomposition of U0 for the exact solution
+	// (available when the problem was built from eigenmodes).
+	modes []heatMode
+}
+
+type heatMode struct {
+	amp    float64
+	lambda float64
+	shape  la.Vector
+}
+
+// NewHeatEigenmodes builds a 1-D heat problem whose initial condition is a
+// sum of Laplacian eigenmodes amp_k·sin(kπx), giving the closed-form
+// solution u(t) = Σ amp_k·e^{−λ_k t}·sin(kπx) with
+// λ_k = (4/h²)·sin²(kπh/2) — the discrete (not continuum) decay rates, so
+// the comparison isolates the solver from discretization error.
+func NewHeatEigenmodes(l int, amps map[int]float64) (*HeatProblem, error) {
+	g, err := la.NewGrid(1, l)
+	if err != nil {
+		return nil, err
+	}
+	a := la.PoissonMatrix(g)
+	h := g.H()
+	p := &HeatProblem{
+		Grid: g,
+		M:    a.Scaled(-1),
+		Q:    la.NewVector(g.N()),
+		U0:   la.NewVector(g.N()),
+	}
+	for k, amp := range amps {
+		if k < 1 || k > l {
+			return nil, fmt.Errorf("pde: eigenmode %d outside 1..%d", k, l)
+		}
+		shape := la.NewVector(g.N())
+		for i := 0; i < g.N(); i++ {
+			shape[i] = math.Sin(float64(k) * math.Pi * float64(i+1) * h)
+		}
+		lambda := 4 / (h * h) * math.Pow(math.Sin(float64(k)*math.Pi*h/2), 2)
+		p.modes = append(p.modes, heatMode{amp: amp, lambda: lambda, shape: shape})
+		p.U0.AddScaled(amp, shape)
+	}
+	return p, nil
+}
+
+// Exact returns the closed-form field at time t (nil when the problem was
+// not built from eigenmodes).
+func (p *HeatProblem) Exact(t float64) la.Vector {
+	if p.modes == nil {
+		return nil
+	}
+	u := la.NewVector(p.Grid.N())
+	for _, m := range p.modes {
+		u.AddScaled(m.amp*math.Exp(-m.lambda*t), m.shape)
+	}
+	return u
+}
+
+// WaveProblem is ∂²u/∂t² = c²·∇²u as the first-order system
+// d/dt (u, v) = (v, −c²·A·u): 2N states, energy-conserving.
+type WaveProblem struct {
+	Grid la.Grid
+	// M is the 2N×2N first-order system matrix.
+	M *la.CSR
+	// U0 is the 2N-state initial condition (displacement then velocity).
+	U0 la.Vector
+	// mode bookkeeping for the closed form.
+	k     int
+	omega float64
+	amp   float64
+	shape la.Vector
+}
+
+// NewWaveEigenmode builds a 1-D wave problem vibrating in a single
+// discrete eigenmode: u(x,t) = amp·cos(ω_k t)·sin(kπx) with
+// ω_k = (2/h)·sin(kπh/2) for unit wave speed.
+func NewWaveEigenmode(l, k int, amp float64) (*WaveProblem, error) {
+	g, err := la.NewGrid(1, l)
+	if err != nil {
+		return nil, err
+	}
+	if k < 1 || k > l {
+		return nil, fmt.Errorf("pde: eigenmode %d outside 1..%d", k, l)
+	}
+	a := la.PoissonMatrix(g)
+	n := g.N()
+	var entries []la.COOEntry
+	// Top-right identity: du/dt = v.
+	for i := 0; i < n; i++ {
+		entries = append(entries, la.COOEntry{Row: i, Col: n + i, Val: 1})
+	}
+	// Bottom-left −A: dv/dt = −A·u.
+	for i := 0; i < n; i++ {
+		a.VisitRow(i, func(j int, v float64) {
+			entries = append(entries, la.COOEntry{Row: n + i, Col: j, Val: -v})
+		})
+	}
+	m := la.MustCSR(2*n, entries)
+	h := g.H()
+	shape := la.NewVector(n)
+	for i := 0; i < n; i++ {
+		shape[i] = math.Sin(float64(k) * math.Pi * float64(i+1) * h)
+	}
+	u0 := la.NewVector(2 * n)
+	for i := 0; i < n; i++ {
+		u0[i] = amp * shape[i]
+	}
+	return &WaveProblem{
+		Grid:  g,
+		M:     m,
+		U0:    u0,
+		k:     k,
+		omega: 2 / h * math.Sin(float64(k)*math.Pi*h/2),
+		amp:   amp,
+		shape: shape,
+	}, nil
+}
+
+// Omega returns the discrete eigenfrequency.
+func (p *WaveProblem) Omega() float64 { return p.omega }
+
+// ExactDisplacement returns the closed-form displacement field at time t.
+func (p *WaveProblem) ExactDisplacement(t float64) la.Vector {
+	u := la.NewVector(p.Grid.N())
+	u.AddScaled(p.amp*math.Cos(p.omega*t), p.shape)
+	return u
+}

@@ -1,0 +1,98 @@
+package pde
+
+import (
+	"math"
+	"testing"
+
+	"analogacc/internal/la"
+	"analogacc/internal/ode"
+)
+
+func TestHeatEigenmodesClosedFormMatchesRK4(t *testing.T) {
+	p, err := NewHeatEigenmodes(15, map[int]float64{1: 1.0, 3: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.U0.NormInf() == 0 {
+		t.Fatal("empty initial condition")
+	}
+	// Digital integration of the same ODE system must match the closed
+	// form to integrator accuracy.
+	sys := &ode.LinearSystem{A: p.M.Scaled(-1), B: p.Q}
+	const tEnd = 0.002
+	sol, err := ode.Solve(sys, p.U0, tEnd, ode.SolveOptions{Method: ode.RK4, Step: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.Exact(tEnd)
+	if !sol.Last().Equal(want, 1e-8) {
+		t.Fatalf("closed form and RK4 disagree by %v", la.Sub2(sol.Last(), want).NormInf())
+	}
+	// High modes decay faster: the k=3 content must shrink relative to k=1.
+	if p.Exact(0.001).NormInf() >= p.U0.NormInf() {
+		t.Fatal("heat did not decay")
+	}
+}
+
+func TestHeatEigenmodeValidation(t *testing.T) {
+	if _, err := NewHeatEigenmodes(8, map[int]float64{0: 1}); err == nil {
+		t.Fatal("mode 0 accepted")
+	}
+	if _, err := NewHeatEigenmodes(8, map[int]float64{99: 1}); err == nil {
+		t.Fatal("mode beyond grid accepted")
+	}
+	p, _ := NewHeatEigenmodes(8, nil)
+	if p.Exact(0).NormInf() != 0 {
+		t.Fatal("empty problem should be zero")
+	}
+	// A problem without modes: Exact must be nil-safe via modes==nil.
+	plain := &HeatProblem{Grid: p.Grid}
+	if plain.Exact(1) != nil {
+		t.Fatal("exact without modes should be nil")
+	}
+}
+
+func TestWaveEigenmodeClosedFormMatchesRK4(t *testing.T) {
+	p, err := NewWaveEigenmode(15, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := &ode.LinearSystem{A: p.M.Scaled(-1), B: la.NewVector(p.M.Dim())}
+	period := 2 * math.Pi / p.Omega()
+	sol, err := ode.Solve(sys, p.U0, period, ode.SolveOptions{Method: ode.RK4, Step: period / 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After one full period the displacement returns to the start.
+	got := la.Vector(sol.Last()[:p.Grid.N()])
+	if !got.Equal(la.Vector(p.U0[:p.Grid.N()]), 1e-6) {
+		t.Fatalf("wave did not return after a period: %v", la.Sub2(got, la.Vector(p.U0[:p.Grid.N()])).NormInf())
+	}
+	// Half period: inverted.
+	solHalf, err := ode.Solve(sys, p.U0, period/2, ode.SolveOptions{Method: ode.RK4, Step: period / 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inverted := la.Vector(p.U0[:p.Grid.N()]).Scaled(-1)
+	if !la.Vector(solHalf.Last()[:p.Grid.N()]).Equal(inverted, 1e-6) {
+		t.Fatal("wave not inverted at half period")
+	}
+	// Closed form agrees too.
+	want := p.ExactDisplacement(period / 3)
+	solThird, err := ode.Solve(sys, p.U0, period/3, ode.SolveOptions{Method: ode.RK4, Step: period / 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !la.Vector(solThird.Last()[:p.Grid.N()]).Equal(want, 1e-6) {
+		t.Fatal("closed form disagrees at T/3")
+	}
+}
+
+func TestWaveValidation(t *testing.T) {
+	if _, err := NewWaveEigenmode(8, 0, 1); err == nil {
+		t.Fatal("mode 0 accepted")
+	}
+	if _, err := NewWaveEigenmode(8, 9, 1); err == nil {
+		t.Fatal("mode beyond grid accepted")
+	}
+}

@@ -1,0 +1,234 @@
+package pde
+
+import (
+	"fmt"
+
+	"analogacc/internal/la"
+	"analogacc/internal/solvers"
+)
+
+// Geometric multigrid (Section IV-A): the overall PDE is converted to
+// linear problems at several spatial resolutions; coarse levels are cheap
+// to solve and accelerate the convergence of fine levels. "Because perfect
+// convergence is not required, less stable, inaccurate, low precision
+// techniques, such as analog acceleration, may also be used to support
+// multigrid" — hence the pluggable CoarseSolver hook, which the examples
+// and benchmarks connect to the analog accelerator.
+
+// Smoother damps high-frequency error of A·x = b in place.
+type Smoother func(a *la.CSR, b, x la.Vector, sweeps int)
+
+// CoarseSolver solves the coarsest level's system (approximately is fine).
+type CoarseSolver func(a *la.CSR, b la.Vector) (la.Vector, error)
+
+// MGOptions configures a multigrid solver.
+type MGOptions struct {
+	// PreSmooth/PostSmooth are smoothing sweeps around each coarse-grid
+	// correction (defaults 2 and 2).
+	PreSmooth, PostSmooth int
+	// CoarsestL stops coarsening at this many points per side (default 3).
+	CoarsestL int
+	// Tolerance is the stop test ‖b − A·x‖₂ ≤ Tolerance·‖b‖₂ (default 1e-8).
+	Tolerance float64
+	// MaxCycles bounds V-cycles (default 60).
+	MaxCycles int
+	// Smoother overrides damped Jacobi.
+	Smoother Smoother
+	// Coarse overrides the direct coarsest-level solve. Errors abort.
+	Coarse CoarseSolver
+}
+
+func (o MGOptions) withDefaults() MGOptions {
+	if o.PreSmooth <= 0 {
+		o.PreSmooth = 2
+	}
+	if o.PostSmooth <= 0 {
+		o.PostSmooth = 2
+	}
+	if o.CoarsestL <= 0 {
+		o.CoarsestL = 3
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-8
+	}
+	if o.MaxCycles <= 0 {
+		o.MaxCycles = 60
+	}
+	if o.Smoother == nil {
+		o.Smoother = DampedJacobi(2.0 / 3.0)
+	}
+	if o.Coarse == nil {
+		o.Coarse = func(a *la.CSR, b la.Vector) (la.Vector, error) {
+			return solvers.SolveCSRDirect(a, b)
+		}
+	}
+	return o
+}
+
+// DampedJacobi returns the classical weighted-Jacobi smoother
+// x ← x + ω·D⁻¹·(b − A·x).
+func DampedJacobi(omega float64) Smoother {
+	return func(a *la.CSR, b, x la.Vector, sweeps int) {
+		n := a.Dim()
+		diag := a.Diag()
+		r := la.NewVector(n)
+		for s := 0; s < sweeps; s++ {
+			la.ResidualInto(r, a, x, b)
+			for i := 0; i < n; i++ {
+				x[i] += omega * r[i] / diag[i]
+			}
+		}
+	}
+}
+
+// GaussSeidelSmoother smooths with forward Gauss-Seidel sweeps.
+func GaussSeidelSmoother() Smoother {
+	return func(a *la.CSR, b, x la.Vector, sweeps int) {
+		n := a.Dim()
+		for s := 0; s < sweeps; s++ {
+			for i := 0; i < n; i++ {
+				sum := b[i]
+				var d float64
+				a.VisitRow(i, func(j int, v float64) {
+					if j == i {
+						d = v
+					} else {
+						sum -= v * x[j]
+					}
+				})
+				x[i] = sum / d
+			}
+		}
+	}
+}
+
+// level is one resolution of the hierarchy.
+type level struct {
+	g la.Grid
+	a *la.CSR
+}
+
+// Multigrid is a geometric V-cycle solver for Poisson-type problems on
+// grids with L = 2^k − 1 interior points per side (1-D or 2-D).
+type Multigrid struct {
+	levels []level // 0 = finest
+	opt    MGOptions
+}
+
+// MGStats reports a multigrid solve.
+type MGStats struct {
+	Cycles       int
+	Levels       int
+	Residual     float64 // final relative residual
+	CoarseSolves int
+}
+
+// NewMultigrid builds the level hierarchy for a grid. The interior size
+// per side must satisfy L = 2^k − 1 so levels nest.
+func NewMultigrid(g la.Grid, opt MGOptions) (*Multigrid, error) {
+	if g.Dims != 1 && g.Dims != 2 {
+		return nil, fmt.Errorf("pde: multigrid supports 1-D and 2-D grids, got %d-D", g.Dims)
+	}
+	if !isPow2Minus1(g.L) {
+		return nil, fmt.Errorf("pde: multigrid needs L = 2^k − 1 interior points, got %d", g.L)
+	}
+	opt = opt.withDefaults()
+	mg := &Multigrid{opt: opt}
+	for l := g.L; ; l = (l - 1) / 2 {
+		lg, err := la.NewGrid(g.Dims, l)
+		if err != nil {
+			return nil, err
+		}
+		mg.levels = append(mg.levels, level{g: lg, a: la.PoissonMatrix(lg)})
+		if l <= opt.CoarsestL {
+			break
+		}
+	}
+	return mg, nil
+}
+
+func isPow2Minus1(l int) bool {
+	return l >= 1 && (l+1)&l == 0
+}
+
+// Levels returns the number of grid levels.
+func (mg *Multigrid) Levels() int { return len(mg.levels) }
+
+// Solve runs V-cycles from a zero initial guess until the relative
+// residual meets the tolerance. See also SolveW and SolveFMG.
+func (mg *Multigrid) Solve(b la.Vector) (la.Vector, MGStats, error) {
+	return mg.solveCycles(b, 1)
+}
+
+// restrict transfers a fine-grid vector to the coarse grid by full
+// weighting. Coarse interior point i sits at fine index 2i+1.
+func restrict(fine, coarse la.Grid, r la.Vector) la.Vector {
+	rc := la.NewVector(coarse.N())
+	get := func(x, y int) float64 {
+		if x < 0 || y < 0 || x >= fine.L || y >= fine.L {
+			return 0
+		}
+		return r[fine.Index(x, y, 0)]
+	}
+	switch fine.Dims {
+	case 1:
+		for i := 0; i < coarse.L; i++ {
+			f := 2*i + 1
+			rc[i] = 0.25 * (get(f-1, 0) + 2*get(f, 0) + get(f+1, 0))
+		}
+	default: // 2-D: 9-point full weighting
+		for cy := 0; cy < coarse.L; cy++ {
+			for cx := 0; cx < coarse.L; cx++ {
+				fx, fy := 2*cx+1, 2*cy+1
+				sum := 4*get(fx, fy) +
+					2*(get(fx-1, fy)+get(fx+1, fy)+get(fx, fy-1)+get(fx, fy+1)) +
+					get(fx-1, fy-1) + get(fx+1, fy-1) + get(fx-1, fy+1) + get(fx+1, fy+1)
+				rc[coarse.Index(cx, cy, 0)] = sum / 16
+			}
+		}
+	}
+	return rc
+}
+
+// prolong interpolates a coarse-grid vector to the fine grid (linear /
+// bilinear), the transpose-like partner of restrict.
+func prolong(coarse, fine la.Grid, e la.Vector) la.Vector {
+	ef := la.NewVector(fine.N())
+	get := func(x, y int) float64 {
+		if x < 0 || y < 0 || x >= coarse.L || y >= coarse.L {
+			return 0
+		}
+		return e[coarse.Index(x, y, 0)]
+	}
+	switch fine.Dims {
+	case 1:
+		for f := 0; f < fine.L; f++ {
+			if f%2 == 1 {
+				ef[f] = get((f-1)/2, 0)
+			} else {
+				ef[f] = 0.5 * (get(f/2-1, 0) + get(f/2, 0))
+			}
+		}
+	default:
+		for fy := 0; fy < fine.L; fy++ {
+			for fx := 0; fx < fine.L; fx++ {
+				// Coarse coordinates surrounding the fine point.
+				cxLo, cyLo := (fx-1)/2, (fy-1)/2
+				var v float64
+				switch {
+				case fx%2 == 1 && fy%2 == 1:
+					v = get(cxLo, cyLo)
+				case fx%2 == 0 && fy%2 == 1:
+					v = 0.5 * (get(fx/2-1, cyLo) + get(fx/2, cyLo))
+				case fx%2 == 1 && fy%2 == 0:
+					v = 0.5 * (get(cxLo, fy/2-1) + get(cxLo, fy/2))
+				default:
+					v = 0.25 * (get(fx/2-1, fy/2-1) + get(fx/2, fy/2-1) +
+						get(fx/2-1, fy/2) + get(fx/2, fy/2))
+				}
+				ef[fine.Index(fx, fy, 0)] = v
+			}
+		}
+	}
+	return ef
+}

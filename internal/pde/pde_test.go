@@ -1,0 +1,327 @@
+package pde
+
+import (
+	"math"
+	"testing"
+
+	"analogacc/internal/la"
+	"analogacc/internal/solvers"
+)
+
+func TestPoissonManufactured(t *testing.T) {
+	for _, dims := range []int{1, 2, 3} {
+		p, err := Poisson(dims, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Exact == nil || p.A.Dim() != p.Grid.N() {
+			t.Fatalf("dims=%d malformed problem", dims)
+		}
+		// The manufactured exact solution solves the discrete system by
+		// construction.
+		if r := p.Residual(p.Exact); r > 1e-9 {
+			t.Fatalf("dims=%d residual at exact %v", dims, r)
+		}
+		if e := p.L2Error(p.Exact); e != 0 {
+			t.Fatalf("dims=%d self error %v", dims, e)
+		}
+	}
+	if _, err := Poisson(4, 4); err == nil {
+		t.Fatal("dims=4 accepted")
+	}
+}
+
+func TestFigure7ProblemSetup(t *testing.T) {
+	p, err := Figure7Problem(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Grid.N() != 512 {
+		t.Fatalf("N=%d", p.Grid.N())
+	}
+	// Only nodes on the x=0 face carry boundary load.
+	h := p.Grid.H()
+	inv := 1 / (h * h)
+	for i := 0; i < p.Grid.N(); i++ {
+		xi, _, _ := p.Grid.Coords(i)
+		want := 0.0
+		if xi == 0 {
+			want = inv
+		}
+		if p.B[i] != want {
+			t.Fatalf("b[%d]=%v want %v", i, p.B[i], want)
+		}
+	}
+	// Default size is 16³ = 4096.
+	big, err := Figure7Problem(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Grid.N() != 4096 {
+		t.Fatalf("default N=%d want 4096", big.Grid.N())
+	}
+	// Sanity: the solution is positive and bounded by the boundary value.
+	u, err := solvers.SolveCSRDirect(p.A, p.B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range u {
+		if v < -1e-9 || v > 1+1e-9 {
+			t.Fatalf("u[%d]=%v outside [0,1]", i, v)
+		}
+	}
+}
+
+func TestStripDecomposition(t *testing.T) {
+	g, _ := la.NewGrid(2, 4)
+	blocks := StripDecomposition(g)
+	if len(blocks) != 4 {
+		t.Fatalf("%d strips", len(blocks))
+	}
+	if blocks[1][0] != 4 || blocks[1][3] != 7 {
+		t.Fatalf("strip 1 = %v", blocks[1])
+	}
+	g1, _ := la.NewGrid(1, 4)
+	if StripDecomposition(g1) != nil {
+		t.Fatal("1-D decomposition should be nil")
+	}
+}
+
+func TestIsPow2Minus1(t *testing.T) {
+	yes := []int{1, 3, 7, 15, 31, 63, 127}
+	no := []int{0, 2, 4, 5, 6, 8, 16, 100}
+	for _, v := range yes {
+		if !isPow2Minus1(v) {
+			t.Errorf("%d should qualify", v)
+		}
+	}
+	for _, v := range no {
+		if isPow2Minus1(v) {
+			t.Errorf("%d should not qualify", v)
+		}
+	}
+}
+
+func TestMultigridSolves1D(t *testing.T) {
+	p, _ := Poisson(1, 63)
+	mg, err := NewMultigrid(p.Grid, MGOptions{Tolerance: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, stats, err := mg.Solve(p.B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Equal(p.Exact, 1e-7) {
+		t.Fatalf("error %v", p.L2Error(u))
+	}
+	if stats.Levels < 4 {
+		t.Fatalf("levels=%d", stats.Levels)
+	}
+	// Textbook multigrid: convergence independent of grid size, a few
+	// cycles for 1e-10.
+	if stats.Cycles > 15 {
+		t.Fatalf("cycles=%d", stats.Cycles)
+	}
+}
+
+func TestMultigridSolves2D(t *testing.T) {
+	p, _ := Poisson(2, 31)
+	mg, err := NewMultigrid(p.Grid, MGOptions{Tolerance: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, stats, err := mg.Solve(p.B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Equal(p.Exact, 1e-6) {
+		t.Fatalf("error %v", p.L2Error(u))
+	}
+	if stats.Cycles > 20 {
+		t.Fatalf("cycles=%d", stats.Cycles)
+	}
+	if stats.CoarseSolves != stats.Cycles {
+		t.Fatalf("coarse solves %d != cycles %d (one per V-cycle)", stats.CoarseSolves, stats.Cycles)
+	}
+}
+
+func TestMultigridGridSizeIndependentCycles(t *testing.T) {
+	// The multigrid selling point: cycle count is ~constant in L.
+	var cycles []int
+	for _, l := range []int{15, 31, 63} {
+		p, _ := Poisson(2, l)
+		mg, err := NewMultigrid(p.Grid, MGOptions{Tolerance: 1e-8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, stats, err := mg.Solve(p.B)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles = append(cycles, stats.Cycles)
+	}
+	if cycles[2] > cycles[0]*2+2 {
+		t.Fatalf("cycles grew with grid size: %v", cycles)
+	}
+}
+
+func TestMultigridApproximateCoarseSolver(t *testing.T) {
+	// The Section IV-A claim: an imprecise coarse solver (like one analog
+	// run) still converges overall, because the fine-level iteration
+	// corrects it. Simulate 8-bit-grade coarse solves by quantizing.
+	p, _ := Poisson(2, 31)
+	coarse := func(a *la.CSR, b la.Vector) (la.Vector, error) {
+		u, err := solvers.SolveCSRDirect(a, b)
+		if err != nil {
+			return nil, err
+		}
+		peak := u.NormInf()
+		if peak == 0 {
+			return u, nil
+		}
+		for i := range u {
+			// Round to 8-bit resolution of the solve's own full scale.
+			u[i] = math.Round(u[i]/peak*127) / 127 * peak
+		}
+		return u, nil
+	}
+	mg, err := NewMultigrid(p.Grid, MGOptions{Tolerance: 1e-8, Coarse: coarse})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, stats, err := mg.Solve(p.B)
+	if err != nil {
+		t.Fatalf("%v (stats %+v)", err, stats)
+	}
+	if !u.Equal(p.Exact, 1e-5) {
+		t.Fatalf("error %v with approximate coarse solver", p.L2Error(u))
+	}
+}
+
+func TestMultigridGaussSeidelSmoother(t *testing.T) {
+	p, _ := Poisson(2, 15)
+	mg, err := NewMultigrid(p.Grid, MGOptions{Tolerance: 1e-9, Smoother: GaussSeidelSmoother()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, stats, err := mg.Solve(p.B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Equal(p.Exact, 1e-6) {
+		t.Fatalf("GS smoother error %v", p.L2Error(u))
+	}
+	if stats.Cycles > 12 {
+		t.Fatalf("GS cycles=%d", stats.Cycles)
+	}
+}
+
+func TestMultigridValidation(t *testing.T) {
+	g, _ := la.NewGrid(2, 10) // not 2^k-1
+	if _, err := NewMultigrid(g, MGOptions{}); err == nil {
+		t.Fatal("L=10 accepted")
+	}
+	g3, _ := la.NewGrid(3, 7)
+	if _, err := NewMultigrid(g3, MGOptions{}); err == nil {
+		t.Fatal("3-D accepted")
+	}
+	gOK, _ := la.NewGrid(1, 7)
+	mg, err := NewMultigrid(gOK, MGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := mg.Solve(la.NewVector(3)); err == nil {
+		t.Fatal("wrong-length b accepted")
+	}
+	// Zero b: trivial zero solution.
+	u, _, err := mg.Solve(la.NewVector(7))
+	if err != nil || u.Norm2() != 0 {
+		t.Fatalf("zero-b solve: %v %v", u, err)
+	}
+}
+
+func TestRestrictProlongPartnership(t *testing.T) {
+	// Prolongation of a constant is (interior) constant; restriction of
+	// a constant stays near-constant away from boundaries.
+	fine, _ := la.NewGrid(2, 7)
+	coarse, _ := la.NewGrid(2, 3)
+	ec := la.Constant(coarse.N(), 1)
+	ef := prolong(coarse, fine, ec)
+	// Center fine point coincides with a coarse point.
+	if ef[fine.Index(3, 3, 0)] != 1 {
+		t.Fatalf("coarse-coincident point %v", ef[fine.Index(3, 3, 0)])
+	}
+	// Odd-odd points copy; even points interpolate to 1 in the interior.
+	if ef[fine.Index(3, 2, 0)] != 1 || ef[fine.Index(2, 3, 0)] != 1 {
+		t.Fatalf("interpolated interior points %v %v", ef[fine.Index(3, 2, 0)], ef[fine.Index(2, 3, 0)])
+	}
+	rf := la.Constant(fine.N(), 1)
+	rc := restrict(fine, coarse, rf)
+	if math.Abs(rc[coarse.Index(1, 1, 0)]-1) > 1e-12 {
+		t.Fatalf("interior restriction %v", rc[coarse.Index(1, 1, 0)])
+	}
+}
+
+func TestBratuNewtonDigital(t *testing.T) {
+	// Solve 1-D Bratu with plain digital Newton as a reference; validates
+	// Eval/Jacobian consistency (finite-difference check) and physical
+	// shape (positive, symmetric).
+	p, err := NewBratu(1, 15, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := p.Dim()
+	u := la.NewVector(n)
+	for it := 0; it < 30; it++ {
+		f := la.NewVector(n)
+		p.Eval(f, u)
+		if f.NormInf() < 1e-11 {
+			break
+		}
+		step, err := solvers.SolveCSRDirect(p.Jacobian(u), f.Scaled(-1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		u.Add(step)
+	}
+	f := la.NewVector(n)
+	p.Eval(f, u)
+	if f.NormInf() > 1e-10 {
+		t.Fatalf("digital Newton stalled at %v", f.NormInf())
+	}
+	// Shape: positive, symmetric about the midpoint.
+	for i := 0; i < n; i++ {
+		if u[i] <= 0 {
+			t.Fatalf("u[%d]=%v not positive", i, u[i])
+		}
+		if math.Abs(u[i]-u[n-1-i]) > 1e-9 {
+			t.Fatalf("asymmetric solution at %d", i)
+		}
+	}
+	// Jacobian consistency: J(u)·v ≈ (F(u+εv) − F(u))/ε.
+	v := la.NewVector(n)
+	for i := range v {
+		v[i] = math.Sin(float64(i))
+	}
+	eps := 1e-7
+	uPert := u.Clone()
+	uPert.AddScaled(eps, v)
+	fPert := la.NewVector(n)
+	p.Eval(fPert, uPert)
+	fd := la.Sub2(fPert, f).Scaled(1 / eps)
+	jv := la.NewVector(n)
+	p.Jacobian(u).Apply(jv, v)
+	if !fd.Equal(jv, 1e-4*math.Max(1, jv.NormInf())) {
+		t.Fatal("Jacobian inconsistent with finite differences")
+	}
+}
+
+func TestBratuValidation(t *testing.T) {
+	if _, err := NewBratu(1, 5, -1); err == nil {
+		t.Fatal("negative lambda accepted")
+	}
+	if _, err := NewBratu(5, 5, 1); err == nil {
+		t.Fatal("bad dims accepted")
+	}
+}

@@ -1,0 +1,106 @@
+package solvers
+
+import (
+	"fmt"
+	"math"
+
+	"analogacc/internal/la"
+)
+
+// Chebyshev iteration: the optimal *fixed-coefficient* iterative method.
+// Section VI-B of the paper frames the analog accelerator as "fixed-step
+// size relaxation or steepest descent" — an iteration whose coefficients
+// cannot adapt to the residual the way CG's do. Chebyshev iteration is
+// the best possible method under that same restriction (its coefficients
+// are precomputed from the spectrum, not from inner products), so it
+// bounds from above what any fixed-schedule analog evolution could
+// achieve, sitting exactly between gradient flow and CG.
+
+// Chebyshev solves SPD A·x = b given eigenvalue bounds 0 < lmin <= lmax.
+// Convergence matches CG's √κ rate but with a worse constant and no
+// adaptivity; wrong bounds degrade or break convergence, which is the
+// classical argument for CG's step-size intelligence (Section VI-B).
+func Chebyshev(a la.Operator, b la.Vector, lmin, lmax float64, opt Options) (Result, error) {
+	n := a.Dim()
+	if len(b) != n {
+		return Result{}, fmt.Errorf("solvers: Chebyshev b length %d != %d", len(b), n)
+	}
+	if lmin <= 0 || lmax <= lmin {
+		return Result{}, fmt.Errorf("solvers: Chebyshev needs 0 < lmin < lmax, got %v, %v", lmin, lmax)
+	}
+	opt = opt.withDefaults(n)
+	theta := (lmax + lmin) / 2
+	delta := (lmax - lmin) / 2
+	x := startingGuess(opt.X0, n)
+	r := la.Residual(a, x, b)
+	p := la.NewVector(n)
+	ap := la.NewVector(n)
+	old := la.NewVector(n)
+	var alpha, beta float64
+	var macs int64
+	bn := b.Norm2()
+	if bn == 0 {
+		bn = 1
+	}
+	for iter := 1; iter <= opt.MaxIter; iter++ {
+		switch iter {
+		case 1:
+			p.CopyFrom(r)
+			alpha = 1 / theta
+		case 2:
+			beta = 0.5 * (delta * alpha) * (delta * alpha)
+			alpha = 1 / (theta - beta/alpha)
+			p.Axpby(1, r, beta)
+		default:
+			beta = (delta * alpha / 2) * (delta * alpha / 2)
+			alpha = 1 / (theta - beta/alpha)
+			p.Axpby(1, r, beta)
+		}
+		old.CopyFrom(x)
+		x.AddScaled(alpha, p)
+		a.Apply(ap, p)
+		r.AddScaled(-alpha, ap)
+		macs += macsPerApply(a) + 3*int64(n)
+		if opt.Observer != nil {
+			opt.Observer(iter, x)
+		}
+		var done bool
+		if opt.Criterion == DeltaInf {
+			done = la.Sub2(x, old).NormInf() <= opt.Tol
+		} else {
+			done = r.Norm2()/bn <= opt.Tol
+		}
+		if done {
+			return finish(a, b, x, iter, true, macs), nil
+		}
+		if !x.IsFinite() {
+			return finish(a, b, x, iter, false, macs), fmt.Errorf("solvers: Chebyshev diverged (bad eigenvalue bounds?): %w", ErrBreakdown)
+		}
+	}
+	return finish(a, b, x, opt.MaxIter, false, macs), fmt.Errorf("solvers: Chebyshev after %d iterations: %w", opt.MaxIter, ErrNotConverged)
+}
+
+// GershgorinBoundsOf extracts spectrum bounds for Chebyshev from any
+// row-visitable operator, clamping the lower bound away from zero.
+func GershgorinBoundsOf(a interface {
+	la.Operator
+	la.RowVisitor
+}, floor float64) (lmin, lmax float64) {
+	lmin, lmax = math.Inf(1), math.Inf(-1)
+	for i := 0; i < a.Dim(); i++ {
+		var d, r float64
+		a.VisitRow(i, func(j int, v float64) {
+			if j == i {
+				d = v
+			} else {
+				r += math.Abs(v)
+			}
+		})
+		lmin = math.Min(lmin, d-r)
+		lmax = math.Max(lmax, d+r)
+	}
+	if lmin < floor {
+		lmin = floor
+	}
+	return lmin, lmax
+}

@@ -1,0 +1,103 @@
+package solvers
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"analogacc/internal/la"
+)
+
+// eigBounds1DPoisson returns the exact spectrum edges of the 1-D operator.
+func eigBounds1DPoisson(l int) (float64, float64) {
+	h := 1.0 / float64(l+1)
+	lmin := 4 / (h * h) * math.Pow(math.Sin(math.Pi*h/2), 2)
+	lmax := 4 / (h * h) * math.Pow(math.Cos(math.Pi*h/2), 2)
+	return lmin, lmax
+}
+
+func TestChebyshevSolvesWithExactBounds(t *testing.T) {
+	a, b, exact := poisson1D(20)
+	lmin, lmax := eigBounds1DPoisson(20)
+	res, err := Chebyshev(a, b, lmin, lmax, Options{Tol: 1e-10, MaxIter: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.X.Equal(exact, 1e-6) {
+		t.Fatalf("error %v", la.Sub2(res.X, exact).NormInf())
+	}
+}
+
+func TestChebyshevBetweenSteepestAndCG(t *testing.T) {
+	// The Section VI-B hierarchy, quantified: fixed-coefficient Chebyshev
+	// beats steepest descent (what the analog computer effectively does)
+	// but loses to CG's adaptive steps.
+	a, b, _ := poisson2D(10)
+	lo, hi := GershgorinBoundsOf(a, 0)
+	// Gershgorin's lower bound is 0 for Poisson; use the exact lmin.
+	h := 1.0 / 11.0
+	lo = 8 / (h * h) * math.Pow(math.Sin(math.Pi*h/2), 2)
+	cheb, err := Chebyshev(a, b, lo, hi, Options{Tol: 1e-9, MaxIter: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := CG(a, b, Options{Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := SteepestDescent(a, b, Options{Tol: 1e-9, MaxIter: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(cg.Iterations < cheb.Iterations && cheb.Iterations < sd.Iterations) {
+		t.Fatalf("hierarchy broken: cg=%d cheb=%d steepest=%d", cg.Iterations, cheb.Iterations, sd.Iterations)
+	}
+}
+
+func TestChebyshevValidation(t *testing.T) {
+	a, b, _ := poisson1D(6)
+	if _, err := Chebyshev(a, b, 0, 1, Options{}); err == nil {
+		t.Fatal("lmin=0 accepted")
+	}
+	if _, err := Chebyshev(a, b, 2, 1, Options{}); err == nil {
+		t.Fatal("lmax<lmin accepted")
+	}
+	if _, err := Chebyshev(a, la.NewVector(3), 1, 2, Options{}); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+}
+
+func TestChebyshevDivergesOnBadBounds(t *testing.T) {
+	// Underestimating lmax badly makes the iteration unstable; it must
+	// report breakdown or non-convergence, not hang or lie.
+	a, b, _ := poisson1D(16)
+	_, err := Chebyshev(a, b, 1, 5, Options{Tol: 1e-10, MaxIter: 3000})
+	if err == nil {
+		t.Fatal("wildly wrong bounds converged")
+	}
+	if !errors.Is(err, ErrBreakdown) && !errors.Is(err, ErrNotConverged) {
+		t.Fatalf("unexpected error type: %v", err)
+	}
+}
+
+func TestGershgorinBoundsOf(t *testing.T) {
+	a := la.Tridiag(10, -1, 4, -1)
+	lo, hi := GershgorinBoundsOf(a, 0.1)
+	if lo != 2 || hi != 6 {
+		t.Fatalf("bounds [%v,%v]", lo, hi)
+	}
+	p := la.PoissonMatrix(mustGrid(t, 2, 4))
+	lo, _ = GershgorinBoundsOf(p, 0.5)
+	if lo != 0.5 {
+		t.Fatalf("floor not applied: %v", lo)
+	}
+}
+
+func mustGrid(t *testing.T, dims, l int) la.Grid {
+	t.Helper()
+	g, err := la.NewGrid(dims, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

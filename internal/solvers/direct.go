@@ -1,0 +1,200 @@
+package solvers
+
+import (
+	"fmt"
+	"math"
+
+	"analogacc/internal/la"
+)
+
+// Direct solvers. The paper's taxonomy (Figure 4) lists Cholesky, QR and
+// Gaussian elimination as the direct alternatives to iterative methods, and
+// notes that "analog computers are not suitable for direct linear algebra
+// approaches" — so these run only on the digital side, as references for
+// accuracy checks and for small dense subproblems.
+
+// Cholesky factors an SPD dense matrix A = L·Lᵀ and returns the lower
+// triangular factor. It fails with ErrBreakdown if A is not positive
+// definite (within roundoff).
+func Cholesky(a *la.Dense) (*la.Dense, error) {
+	n := a.Rows()
+	if n != a.Cols() {
+		return nil, fmt.Errorf("solvers: Cholesky requires square matrix, got %dx%d", a.Rows(), a.Cols())
+	}
+	l := la.NewDense(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("solvers: Cholesky pivot %d is %v: %w", j, d, ErrBreakdown)
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/ljj)
+		}
+	}
+	return l, nil
+}
+
+// CholeskySolve solves A·x = b given the Cholesky factor L of A, by
+// forward then backward substitution.
+func CholeskySolve(l *la.Dense, b la.Vector) la.Vector {
+	n := l.Rows()
+	y := b.Clone()
+	for i := 0; i < n; i++ {
+		s := y[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	return y
+}
+
+// SolveSPD solves an SPD system by Cholesky factorization.
+func SolveSPD(a *la.Dense, b la.Vector) (la.Vector, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	return CholeskySolve(l, b), nil
+}
+
+// LU holds a dense LU factorization with partial pivoting: P·A = L·U with
+// unit lower-triangular L and upper-triangular U packed into one matrix.
+type LU struct {
+	lu   *la.Dense
+	perm []int
+}
+
+// NewLU factors a square dense matrix with partial pivoting (Gaussian
+// elimination, Figure 4's "direct solvers"). Returns ErrBreakdown for
+// (numerically) singular matrices.
+func NewLU(a *la.Dense) (*LU, error) {
+	n := a.Rows()
+	if n != a.Cols() {
+		return nil, fmt.Errorf("solvers: LU requires square matrix, got %dx%d", a.Rows(), a.Cols())
+	}
+	m := a.Clone()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for k := 0; k < n; k++ {
+		p := k
+		for i := k + 1; i < n; i++ {
+			if math.Abs(m.At(i, k)) > math.Abs(m.At(p, k)) {
+				p = i
+			}
+		}
+		if m.At(p, k) == 0 {
+			return nil, fmt.Errorf("solvers: LU singular at column %d: %w", k, ErrBreakdown)
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				tmp := m.At(k, j)
+				m.Set(k, j, m.At(p, j))
+				m.Set(p, j, tmp)
+			}
+			perm[k], perm[p] = perm[p], perm[k]
+		}
+		pivot := m.At(k, k)
+		for i := k + 1; i < n; i++ {
+			f := m.At(i, k) / pivot
+			m.Set(i, k, f)
+			if f == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				m.Addf(i, j, -f*m.At(k, j))
+			}
+		}
+	}
+	return &LU{lu: m, perm: perm}, nil
+}
+
+// Solve solves A·x = b using the factorization.
+func (f *LU) Solve(b la.Vector) la.Vector {
+	n := f.lu.Rows()
+	x := la.NewVector(n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.perm[i]]
+	}
+	for i := 0; i < n; i++ {
+		s := x[i]
+		for k := 0; k < i; k++ {
+			s -= f.lu.At(i, k) * x[k]
+		}
+		x[i] = s
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for k := i + 1; k < n; k++ {
+			s -= f.lu.At(i, k) * x[k]
+		}
+		x[i] = s / f.lu.At(i, i)
+	}
+	return x
+}
+
+// SolveDense factors and solves in one call.
+func SolveDense(a *la.Dense, b la.Vector) (la.Vector, error) {
+	f, err := NewLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}
+
+// Thomas solves a tridiagonal system in O(n): sub/diag/super hold the three
+// bands (sub[0] and super[n-1] are ignored). It is the natural digital
+// baseline for the 1-D strip subproblems of the paper's domain
+// decomposition (Section IV-B).
+func Thomas(sub, diag, super, b la.Vector) (la.Vector, error) {
+	n := len(diag)
+	if len(sub) != n || len(super) != n || len(b) != n {
+		return nil, fmt.Errorf("solvers: Thomas band lengths %d/%d/%d/%d must match", len(sub), len(diag), len(super), len(b))
+	}
+	c := make(la.Vector, n)
+	d := make(la.Vector, n)
+	if diag[0] == 0 {
+		return nil, fmt.Errorf("solvers: Thomas zero pivot at 0: %w", ErrBreakdown)
+	}
+	c[0] = super[0] / diag[0]
+	d[0] = b[0] / diag[0]
+	for i := 1; i < n; i++ {
+		den := diag[i] - sub[i]*c[i-1]
+		if den == 0 {
+			return nil, fmt.Errorf("solvers: Thomas zero pivot at %d: %w", i, ErrBreakdown)
+		}
+		if i < n-1 {
+			c[i] = super[i] / den
+		}
+		d[i] = (b[i] - sub[i]*d[i-1]) / den
+	}
+	x := d
+	for i := n - 2; i >= 0; i-- {
+		x[i] -= c[i] * x[i+1]
+	}
+	return x, nil
+}
+
+// SolveCSRDirect densifies a sparse system and solves it by LU; intended
+// for small systems (tests, reference answers).
+func SolveCSRDirect(a *la.CSR, b la.Vector) (la.Vector, error) {
+	return SolveDense(a.Dense(), b)
+}

@@ -1,0 +1,171 @@
+package solvers
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"analogacc/internal/la"
+)
+
+func TestCholeskyKnownFactor(t *testing.T) {
+	a := la.DenseOf([]float64{4, 2}, []float64{2, 5})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// L = [[2,0],[1,2]].
+	want := la.DenseOf([]float64{2, 0}, []float64{1, 2})
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if math.Abs(l.At(i, j)-want.At(i, j)) > 1e-12 {
+				t.Fatalf("L[%d][%d]=%v want %v", i, j, l.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := la.DenseOf([]float64{1, 2}, []float64{2, 1})
+	if _, err := Cholesky(a); !errors.Is(err, ErrBreakdown) {
+		t.Fatalf("err=%v want ErrBreakdown", err)
+	}
+	if _, err := Cholesky(la.NewDense(2, 3)); err == nil {
+		t.Fatal("non-square accepted")
+	}
+}
+
+func TestSolveSPDOnPoisson(t *testing.T) {
+	g, _ := la.NewGrid(2, 5)
+	a := la.PoissonMatrix(g).Dense()
+	exact := la.NewVector(g.N())
+	for i := range exact {
+		exact[i] = math.Cos(float64(i))
+	}
+	b := a.MulVec(exact)
+	x, err := SolveSPD(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.Equal(exact, 1e-8) {
+		t.Fatalf("SolveSPD error %v", la.Sub2(x, exact).NormInf())
+	}
+}
+
+func TestLUWithPivoting(t *testing.T) {
+	// Requires pivoting: zero leading pivot.
+	a := la.DenseOf([]float64{0, 1}, []float64{1, 0})
+	f, err := NewLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := f.Solve(la.VectorOf(3, 7))
+	if !x.Equal(la.VectorOf(7, 3), 1e-14) {
+		t.Fatalf("x=%v", x)
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := la.DenseOf([]float64{1, 2}, []float64{2, 4})
+	if _, err := NewLU(a); !errors.Is(err, ErrBreakdown) {
+		t.Fatalf("err=%v want ErrBreakdown", err)
+	}
+	if _, err := NewLU(la.NewDense(1, 2)); err == nil {
+		t.Fatal("non-square accepted")
+	}
+}
+
+func TestThomasMatchesDense(t *testing.T) {
+	n := 50
+	sub := la.Constant(n, -1)
+	diag := la.Constant(n, 2.5)
+	super := la.Constant(n, -1)
+	b := la.NewVector(n)
+	for i := range b {
+		b[i] = math.Sin(float64(i) * 0.3)
+	}
+	x, err := Thomas(sub, diag, super, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := la.Tridiag(n, -1, 2.5, -1)
+	want, err := SolveCSRDirect(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.Equal(want, 1e-10) {
+		t.Fatal("Thomas disagrees with LU")
+	}
+}
+
+func TestThomasValidation(t *testing.T) {
+	if _, err := Thomas(la.NewVector(2), la.NewVector(3), la.NewVector(3), la.NewVector(3)); err == nil {
+		t.Fatal("mismatched bands accepted")
+	}
+	if _, err := Thomas(la.NewVector(1), la.NewVector(1), la.NewVector(1), la.VectorOf(1)); !errors.Is(err, ErrBreakdown) {
+		t.Fatal("zero pivot not detected")
+	}
+}
+
+// Property: Cholesky reconstructs A = L·Lᵀ on random SPD matrices.
+func TestPropCholeskyReconstruction(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(10)
+		m := la.NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				m.Set(i, j, r.NormFloat64())
+			}
+		}
+		a := m.Transpose().Mul(m)
+		for i := 0; i < n; i++ {
+			a.Addf(i, i, float64(n)) // make well-conditioned
+		}
+		l, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		rec := l.Mul(l.Transpose())
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if math.Abs(rec.At(i, j)-a.At(i, j)) > 1e-8*math.Max(1, a.MaxAbs()) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LU solve then multiply returns b on random nonsingular systems.
+func TestPropLURoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(12)
+		a := la.NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, r.NormFloat64())
+			}
+			a.Addf(i, i, float64(n)) // keep comfortably nonsingular
+		}
+		b := la.NewVector(n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		x, err := SolveDense(a, b)
+		if err != nil {
+			return false
+		}
+		return a.MulVec(x).Equal(b, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

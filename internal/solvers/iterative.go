@@ -1,0 +1,371 @@
+// Package solvers implements the digital linear-algebra baselines the paper
+// compares the analog accelerator against: the classical iterative methods
+// of Figure 7 (Jacobi, Gauss-Seidel, successive over-relaxation, steepest
+// descent, conjugate gradients) and direct factorizations (Cholesky, LU,
+// Thomas). Conjugate gradients is implemented against the la.Operator
+// interface so it runs matrix-free on stencils, exactly as the paper's
+// CPU baseline does ("implemented using stencils ... without having to
+// allocate memory for the full matrix").
+//
+// Every iterative solver counts fused multiply-add operations (MACs), which
+// the GPU energy model of Figure 12 converts to Joules at 225 pJ/MAC.
+package solvers
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"analogacc/internal/la"
+)
+
+// Criterion selects the convergence test for iterative solvers.
+type Criterion int
+
+const (
+	// RelResidual stops when ‖b − A·x‖₂ / ‖b‖₂ ≤ Tol.
+	RelResidual Criterion = iota
+	// DeltaInf stops when no element of x changes by more than Tol in one
+	// iteration. This is the paper's stopping criterion (Section V):
+	// "when no element in the output vector u changes by more than 1/256
+	// of full scale", which equalizes accuracy with one analog run.
+	DeltaInf
+)
+
+// String names the criterion.
+func (c Criterion) String() string {
+	switch c {
+	case RelResidual:
+		return "rel-residual"
+	case DeltaInf:
+		return "delta-inf"
+	default:
+		return fmt.Sprintf("Criterion(%d)", int(c))
+	}
+}
+
+// ErrNotConverged is wrapped into errors returned when an iterative method
+// exhausts MaxIter without meeting its tolerance.
+var ErrNotConverged = errors.New("solvers: not converged")
+
+// ErrBreakdown is returned when an iteration hits a numerical breakdown
+// (zero diagonal, non-SPD matrix in CG/Cholesky, and similar).
+var ErrBreakdown = errors.New("solvers: numerical breakdown")
+
+// Options configures an iterative solve.
+type Options struct {
+	// MaxIter bounds the iteration count (default 10·n + 100).
+	MaxIter int
+	// Tol is interpreted per Criterion (default 1e-10).
+	Tol float64
+	// Criterion selects the stopping rule (default RelResidual).
+	Criterion Criterion
+	// Omega is the SOR relaxation factor (default 1.5; 1.0 degenerates to
+	// Gauss-Seidel).
+	Omega float64
+	// X0 is the initial guess (default zero vector).
+	X0 la.Vector
+	// Observer, if non-nil, is invoked after every iteration with the
+	// current iterate. Figure 7 uses it to record error norms; the
+	// iterate must not be retained or modified.
+	Observer func(iter int, x la.Vector)
+}
+
+func (o Options) withDefaults(n int) Options {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 10*n + 100
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-10
+	}
+	if o.Omega == 0 {
+		o.Omega = 1.5
+	}
+	return o
+}
+
+// Result reports an iterative solve.
+type Result struct {
+	X          la.Vector
+	Iterations int
+	Converged  bool
+	// Residual is the final relative residual ‖b−Ax‖/‖b‖.
+	Residual float64
+	// MACs counts multiply-add operations executed, for the energy model.
+	MACs int64
+}
+
+func finish(a la.Operator, b la.Vector, x la.Vector, iters int, converged bool, macs int64) Result {
+	return Result{
+		X:          x,
+		Iterations: iters,
+		Converged:  converged,
+		Residual:   la.RelativeResidual(a, x, b),
+		MACs:       macs,
+	}
+}
+
+// converged applies the stopping rule given the pre-iteration iterate old,
+// the new iterate x, and the current residual r (may be nil for stationary
+// methods, which then compute it on demand).
+func testConverged(crit Criterion, tol float64, a la.Operator, b, old, x la.Vector) bool {
+	switch crit {
+	case DeltaInf:
+		return la.Sub2(x, old).NormInf() <= tol
+	default:
+		return la.RelativeResidual(a, x, b) <= tol
+	}
+}
+
+// Jacobi solves A·x = b with the Jacobi iteration
+// x_i ← (b_i − Σ_{j≠i} a_ij·x_j) / a_ii.
+func Jacobi(a *la.CSR, b la.Vector, opt Options) (Result, error) {
+	n := a.Dim()
+	if len(b) != n {
+		return Result{}, fmt.Errorf("solvers: Jacobi b length %d != %d", len(b), n)
+	}
+	opt = opt.withDefaults(n)
+	diag := a.Diag()
+	for i, d := range diag {
+		if d == 0 {
+			return Result{}, fmt.Errorf("solvers: Jacobi zero diagonal at %d: %w", i, ErrBreakdown)
+		}
+	}
+	x := startingGuess(opt.X0, n)
+	next := la.NewVector(n)
+	var macs int64
+	for iter := 1; iter <= opt.MaxIter; iter++ {
+		for i := 0; i < n; i++ {
+			s := b[i]
+			a.VisitRow(i, func(j int, v float64) {
+				if j != i {
+					s -= v * x[j]
+				}
+			})
+			next[i] = s / diag[i]
+		}
+		macs += int64(a.NNZ())
+		x, next = next, x
+		if opt.Observer != nil {
+			opt.Observer(iter, x)
+		}
+		if testConverged(opt.Criterion, opt.Tol, a, b, next, x) {
+			return finish(a, b, x.Clone(), iter, true, macs), nil
+		}
+	}
+	return finish(a, b, x.Clone(), opt.MaxIter, false, macs), fmt.Errorf("solvers: Jacobi after %d iterations: %w", opt.MaxIter, ErrNotConverged)
+}
+
+// GaussSeidel solves A·x = b with the Gauss-Seidel iteration (SOR with
+// ω = 1).
+func GaussSeidel(a *la.CSR, b la.Vector, opt Options) (Result, error) {
+	opt = opt.withDefaults(a.Dim())
+	opt.Omega = 1
+	return SOR(a, b, opt)
+}
+
+// SOR solves A·x = b with successive over-relaxation using factor
+// opt.Omega ∈ (0, 2).
+func SOR(a *la.CSR, b la.Vector, opt Options) (Result, error) {
+	n := a.Dim()
+	if len(b) != n {
+		return Result{}, fmt.Errorf("solvers: SOR b length %d != %d", len(b), n)
+	}
+	opt = opt.withDefaults(n)
+	if opt.Omega <= 0 || opt.Omega >= 2 {
+		return Result{}, fmt.Errorf("solvers: SOR omega %v outside (0,2)", opt.Omega)
+	}
+	diag := a.Diag()
+	for i, d := range diag {
+		if d == 0 {
+			return Result{}, fmt.Errorf("solvers: SOR zero diagonal at %d: %w", i, ErrBreakdown)
+		}
+	}
+	x := startingGuess(opt.X0, n)
+	old := la.NewVector(n)
+	var macs int64
+	for iter := 1; iter <= opt.MaxIter; iter++ {
+		old.CopyFrom(x)
+		for i := 0; i < n; i++ {
+			s := b[i]
+			a.VisitRow(i, func(j int, v float64) {
+				if j != i {
+					s -= v * x[j]
+				}
+			})
+			gs := s / diag[i]
+			x[i] = x[i] + opt.Omega*(gs-x[i])
+		}
+		macs += int64(a.NNZ()) + int64(n)
+		if opt.Observer != nil {
+			opt.Observer(iter, x)
+		}
+		if testConverged(opt.Criterion, opt.Tol, a, b, old, x) {
+			return finish(a, b, x.Clone(), iter, true, macs), nil
+		}
+	}
+	return finish(a, b, x.Clone(), opt.MaxIter, false, macs), fmt.Errorf("solvers: SOR after %d iterations: %w", opt.MaxIter, ErrNotConverged)
+}
+
+// SteepestDescent solves SPD A·x = b by gradient descent with exact line
+// search: the discrete-time analog of the accelerator's continuous-time
+// dynamics du/dt = b − A·u (Section VI-B).
+func SteepestDescent(a la.Operator, b la.Vector, opt Options) (Result, error) {
+	n := a.Dim()
+	if len(b) != n {
+		return Result{}, fmt.Errorf("solvers: SteepestDescent b length %d != %d", len(b), n)
+	}
+	opt = opt.withDefaults(n)
+	x := startingGuess(opt.X0, n)
+	r := la.Residual(a, x, b)
+	ar := la.NewVector(n)
+	old := la.NewVector(n)
+	var macs int64
+	bn := b.Norm2()
+	if bn == 0 {
+		bn = 1
+	}
+	for iter := 1; iter <= opt.MaxIter; iter++ {
+		a.Apply(ar, r)
+		rr := r.Dot(r)
+		rar := r.Dot(ar)
+		macs += macsPerApply(a) + 2*int64(n)
+		if rar <= 0 {
+			return finish(a, b, x, iter, false, macs), fmt.Errorf("solvers: SteepestDescent rᵀAr=%v not positive (matrix not SPD?): %w", rar, ErrBreakdown)
+		}
+		alpha := rr / rar
+		old.CopyFrom(x)
+		x.AddScaled(alpha, r)
+		r.AddScaled(-alpha, ar)
+		macs += 2 * int64(n)
+		if opt.Observer != nil {
+			opt.Observer(iter, x)
+		}
+		var done bool
+		if opt.Criterion == DeltaInf {
+			done = la.Sub2(x, old).NormInf() <= opt.Tol
+		} else {
+			done = r.Norm2()/bn <= opt.Tol
+		}
+		if done {
+			return finish(a, b, x, iter, true, macs), nil
+		}
+	}
+	return finish(a, b, x, opt.MaxIter, false, macs), fmt.Errorf("solvers: SteepestDescent after %d iterations: %w", opt.MaxIter, ErrNotConverged)
+}
+
+// CG solves SPD A·x = b with the conjugate-gradient method, the paper's
+// strongest digital baseline ("the most efficient and sophisticated of the
+// classical iterative algorithms", Section VI-B). It is matrix-free: any
+// la.Operator works, including PoissonStencil.
+func CG(a la.Operator, b la.Vector, opt Options) (Result, error) {
+	n := a.Dim()
+	if len(b) != n {
+		return Result{}, fmt.Errorf("solvers: CG b length %d != %d", len(b), n)
+	}
+	opt = opt.withDefaults(n)
+	x := startingGuess(opt.X0, n)
+	r := la.Residual(a, x, b)
+	p := r.Clone()
+	ap := la.NewVector(n)
+	old := la.NewVector(n)
+	rr := r.Dot(r)
+	var macs int64
+	bn := b.Norm2()
+	if bn == 0 {
+		bn = 1
+	}
+	if math.Sqrt(rr)/bn <= opt.Tol && opt.Criterion == RelResidual {
+		return finish(a, b, x, 0, true, 0), nil
+	}
+	for iter := 1; iter <= opt.MaxIter; iter++ {
+		a.Apply(ap, p)
+		pap := p.Dot(ap)
+		macs += macsPerApply(a) + int64(n)
+		if pap <= 0 {
+			return finish(a, b, x, iter, false, macs), fmt.Errorf("solvers: CG pᵀAp=%v not positive (matrix not SPD?): %w", pap, ErrBreakdown)
+		}
+		alpha := rr / pap
+		old.CopyFrom(x)
+		x.AddScaled(alpha, p)
+		r.AddScaled(-alpha, ap)
+		rrNew := r.Dot(r)
+		macs += 3 * int64(n)
+		if opt.Observer != nil {
+			opt.Observer(iter, x)
+		}
+		var done bool
+		if opt.Criterion == DeltaInf {
+			done = la.Sub2(x, old).NormInf() <= opt.Tol
+		} else {
+			done = math.Sqrt(rrNew)/bn <= opt.Tol
+		}
+		if done {
+			return finish(a, b, x, iter, true, macs), nil
+		}
+		beta := rrNew / rr
+		rr = rrNew
+		p.Axpby(1, r, beta)
+		macs += int64(n)
+	}
+	return finish(a, b, x, opt.MaxIter, false, macs), fmt.Errorf("solvers: CG after %d iterations: %w", opt.MaxIter, ErrNotConverged)
+}
+
+// macsPerApply estimates multiply-adds in one operator application: nnz for
+// sparse/stencil operators, n² for dense.
+func macsPerApply(a la.Operator) int64 {
+	switch m := a.(type) {
+	case interface{ NNZ() int }:
+		return int64(m.NNZ())
+	default:
+		return int64(a.Dim()) * int64(a.Dim())
+	}
+}
+
+func startingGuess(x0 la.Vector, n int) la.Vector {
+	if x0 == nil {
+		return la.NewVector(n)
+	}
+	if len(x0) != n {
+		panic(fmt.Sprintf("solvers: X0 length %d != %d", len(x0), n))
+	}
+	return x0.Clone()
+}
+
+// Named solver registry for the command-line tools and the Figure 7 sweep.
+
+// Name identifies an iterative method.
+type Name string
+
+// Registry names, matching the series labels in Figure 7.
+const (
+	NameCG       Name = "cg"
+	NameSteepest Name = "steepest"
+	NameSOR      Name = "sor"
+	NameGS       Name = "gs"
+	NameJacobi   Name = "jacobi"
+)
+
+// AllNames lists the Figure 7 methods in the paper's legend order.
+func AllNames() []Name {
+	return []Name{NameCG, NameSteepest, NameSOR, NameGS, NameJacobi}
+}
+
+// Solve dispatches to a named method. CSR is required (CG and steepest
+// descent accept any operator; the stationary methods need row access).
+func Solve(name Name, a *la.CSR, b la.Vector, opt Options) (Result, error) {
+	switch name {
+	case NameCG:
+		return CG(a, b, opt)
+	case NameSteepest:
+		return SteepestDescent(a, b, opt)
+	case NameSOR:
+		return SOR(a, b, opt)
+	case NameGS:
+		return GaussSeidel(a, b, opt)
+	case NameJacobi:
+		return Jacobi(a, b, opt)
+	default:
+		return Result{}, fmt.Errorf("solvers: unknown method %q", name)
+	}
+}

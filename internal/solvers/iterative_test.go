@@ -1,0 +1,313 @@
+package solvers
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"analogacc/internal/la"
+)
+
+// poisson1D returns the 1-D Poisson system with a known smooth solution.
+func poisson1D(l int) (*la.CSR, la.Vector, la.Vector) {
+	g, _ := la.NewGrid(1, l)
+	a := la.PoissonMatrix(g)
+	exact := la.NewVector(g.N())
+	h := g.H()
+	for i := range exact {
+		x := float64(i+1) * h
+		// Deliberately NOT an eigenvector of the discrete Laplacian, so
+		// iterative methods need more than one step.
+		exact[i] = x * (1 - x) * (x + 0.3)
+	}
+	b := la.NewVector(g.N())
+	a.Apply(b, exact)
+	return a, b, exact
+}
+
+func poisson2D(l int) (*la.CSR, la.Vector, la.Vector) {
+	g, _ := la.NewGrid(2, l)
+	a := la.PoissonMatrix(g)
+	exact := la.NewVector(g.N())
+	for i := range exact {
+		xi, yi, _ := g.Coords(i)
+		x, y := float64(xi+1)*g.H(), float64(yi+1)*g.H()
+		// Polynomial bubble times a tilt: smooth but not an eigenvector.
+		exact[i] = x * (1 - x) * y * (1 - y) * (1 + 2*x + y)
+	}
+	b := la.NewVector(g.N())
+	a.Apply(b, exact)
+	return a, b, exact
+}
+
+func checkSolves(t *testing.T, name string, res Result, err error, exact la.Vector, tol float64) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if !res.Converged {
+		t.Fatalf("%s: not converged after %d iterations (residual %v)", name, res.Iterations, res.Residual)
+	}
+	if !res.X.Equal(exact, tol) {
+		t.Fatalf("%s: wrong answer, err=%v", name, la.Sub2(res.X, exact).NormInf())
+	}
+	if res.MACs <= 0 {
+		t.Fatalf("%s: MAC count %d not positive", name, res.MACs)
+	}
+}
+
+func TestAllIterativeMethodsSolvePoisson1D(t *testing.T) {
+	a, b, exact := poisson1D(12)
+	for _, name := range AllNames() {
+		res, err := Solve(name, a, b, Options{Tol: 1e-10, MaxIter: 20000})
+		checkSolves(t, string(name), res, err, exact, 1e-6)
+	}
+}
+
+func TestAllIterativeMethodsSolvePoisson2D(t *testing.T) {
+	a, b, exact := poisson2D(8)
+	for _, name := range AllNames() {
+		res, err := Solve(name, a, b, Options{Tol: 1e-10, MaxIter: 40000})
+		checkSolves(t, string(name), res, err, exact, 1e-6)
+	}
+}
+
+func TestCGMatrixFreeMatchesCSR(t *testing.T) {
+	g, _ := la.NewGrid(2, 10)
+	st := la.NewPoissonStencil(g)
+	a := st.CSR()
+	b := la.NewVector(g.N())
+	for i := range b {
+		b[i] = math.Sin(float64(i))
+	}
+	r1, err1 := CG(st, b, Options{Tol: 1e-12})
+	r2, err2 := CG(a, b, Options{Tol: 1e-12})
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errs %v %v", err1, err2)
+	}
+	if !r1.X.Equal(r2.X, 1e-8) {
+		t.Fatal("matrix-free CG disagrees with CSR CG")
+	}
+	if r1.MACs != r2.MACs {
+		t.Fatalf("MAC accounting differs for identical work: stencil=%d csr=%d", r1.MACs, r2.MACs)
+	}
+}
+
+func TestCGConvergesInNIterationsExact(t *testing.T) {
+	// In exact arithmetic CG converges in ≤ n iterations; on a tiny
+	// well-conditioned system it should need far fewer than the classical
+	// methods.
+	a, b, _ := poisson1D(20)
+	cg, err := CG(a, b, Options{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jac, err := Jacobi(a, b, Options{Tol: 1e-12, MaxIter: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg.Iterations >= jac.Iterations {
+		t.Fatalf("CG (%d iters) not faster than Jacobi (%d)", cg.Iterations, jac.Iterations)
+	}
+	if cg.Iterations > 25 {
+		t.Fatalf("CG took %d iterations on n=20", cg.Iterations)
+	}
+}
+
+func TestFigure7Ordering(t *testing.T) {
+	// The paper's Figure 7 finding: convergence rate orders
+	// CG > steepest/SOR > GS > Jacobi on a Poisson problem. Compare
+	// iterations to a fixed residual.
+	a, b, _ := poisson2D(8)
+	iters := map[Name]int{}
+	for _, name := range AllNames() {
+		res, err := Solve(name, a, b, Options{Tol: 1e-8, MaxIter: 200000})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		iters[name] = res.Iterations
+	}
+	if !(iters[NameCG] < iters[NameSOR] && iters[NameSOR] < iters[NameGS] && iters[NameGS] < iters[NameJacobi]) {
+		t.Fatalf("iteration ordering violates Figure 7: %v", iters)
+	}
+	if iters[NameCG] >= iters[NameSteepest] {
+		t.Fatalf("CG (%d) not faster than steepest descent (%d)", iters[NameCG], iters[NameSteepest])
+	}
+}
+
+func TestDeltaInfCriterionMatchesPaperStop(t *testing.T) {
+	// Stopping at 1/256 per-element change (the paper's rule) must stop
+	// earlier than a deep residual tolerance, and still be roughly accurate.
+	a, b, exact := poisson2D(6)
+	full := exact.NormInf()
+	coarse, err := CG(a, b, Options{Tol: full / 256, Criterion: DeltaInf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := CG(a, b, Options{Tol: 1e-13, Criterion: RelResidual})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coarse.Iterations > fine.Iterations {
+		t.Fatalf("coarse stop (%d) took more iterations than fine stop (%d)", coarse.Iterations, fine.Iterations)
+	}
+	if la.Sub2(coarse.X, exact).NormInf() > full {
+		t.Fatal("coarse solution wildly inaccurate")
+	}
+}
+
+func TestObserverSeesMonotoneCGResidual(t *testing.T) {
+	a, b, exact := poisson2D(6)
+	var errs []float64
+	_, err := CG(a, b, Options{Tol: 1e-12, Observer: func(_ int, x la.Vector) {
+		errs = append(errs, la.Sub2(x, exact).Norm2())
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(errs) < 3 {
+		t.Fatalf("observer called %d times", len(errs))
+	}
+	if errs[len(errs)-1] > errs[0] {
+		t.Fatal("error grew over CG iterations")
+	}
+}
+
+func TestJacobiFailsOnZeroDiagonal(t *testing.T) {
+	a := la.MustCSR(2, []la.COOEntry{{Row: 0, Col: 1, Val: 1}, {Row: 1, Col: 0, Val: 1}})
+	if _, err := Jacobi(a, la.VectorOf(1, 1), Options{}); !errors.Is(err, ErrBreakdown) {
+		t.Fatalf("err=%v want ErrBreakdown", err)
+	}
+	if _, err := SOR(a, la.VectorOf(1, 1), Options{}); !errors.Is(err, ErrBreakdown) {
+		t.Fatalf("SOR err=%v want ErrBreakdown", err)
+	}
+}
+
+func TestJacobiDivergesOnNonDominant(t *testing.T) {
+	// Jacobi diverges when the spectral radius of the iteration matrix
+	// exceeds 1; must report ErrNotConverged, not hang or lie.
+	a := la.MustCSR(2, []la.COOEntry{
+		{Row: 0, Col: 0, Val: 1}, {Row: 0, Col: 1, Val: 3},
+		{Row: 1, Col: 0, Val: 3}, {Row: 1, Col: 1, Val: 1},
+	})
+	_, err := Jacobi(a, la.VectorOf(1, 1), Options{MaxIter: 50})
+	if !errors.Is(err, ErrNotConverged) {
+		t.Fatalf("err=%v want ErrNotConverged", err)
+	}
+}
+
+func TestCGRejectsIndefinite(t *testing.T) {
+	a := la.DenseOf([]float64{1, 0}, []float64{0, -1})
+	_, err := CG(a, la.VectorOf(0, 1), Options{})
+	if !errors.Is(err, ErrBreakdown) {
+		t.Fatalf("err=%v want ErrBreakdown", err)
+	}
+	_, err = SteepestDescent(a, la.VectorOf(0, 1), Options{})
+	if !errors.Is(err, ErrBreakdown) {
+		t.Fatalf("steepest err=%v want ErrBreakdown", err)
+	}
+}
+
+func TestSORRejectsBadOmega(t *testing.T) {
+	a, b, _ := poisson1D(4)
+	for _, w := range []float64{-1, 2, 2.5} {
+		if _, err := SOR(a, b, Options{Omega: w}); err == nil {
+			t.Fatalf("omega=%v accepted", w)
+		}
+	}
+}
+
+func TestSolveUnknownName(t *testing.T) {
+	a, b, _ := poisson1D(4)
+	if _, err := Solve("nope", a, b, Options{}); err == nil {
+		t.Fatal("unknown solver accepted")
+	}
+}
+
+func TestDimensionValidation(t *testing.T) {
+	a, _, _ := poisson1D(4)
+	short := la.NewVector(2)
+	if _, err := CG(a, short, Options{}); err == nil {
+		t.Fatal("CG accepted short b")
+	}
+	if _, err := Jacobi(a, short, Options{}); err == nil {
+		t.Fatal("Jacobi accepted short b")
+	}
+	if _, err := SOR(a, short, Options{}); err == nil {
+		t.Fatal("SOR accepted short b")
+	}
+	if _, err := SteepestDescent(a, short, Options{}); err == nil {
+		t.Fatal("SteepestDescent accepted short b")
+	}
+}
+
+func TestX0Respected(t *testing.T) {
+	a, b, exact := poisson1D(10)
+	// Start from the exact answer: CG should converge immediately (0 or 1
+	// iterations) without modifying the caller's X0.
+	x0 := exact.Clone()
+	res, err := CG(a, b, Options{Tol: 1e-9, X0: x0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > 1 {
+		t.Fatalf("CG from exact start took %d iterations", res.Iterations)
+	}
+	if !x0.Equal(exact, 0) {
+		t.Fatal("solver mutated caller's X0")
+	}
+}
+
+func TestCriterionString(t *testing.T) {
+	if RelResidual.String() != "rel-residual" || DeltaInf.String() != "delta-inf" {
+		t.Fatal("criterion names wrong")
+	}
+	if Criterion(9).String() == "" {
+		t.Fatal("unknown criterion empty")
+	}
+}
+
+// Property: every method agrees with the LU direct solve on random SPD
+// diagonally dominant sparse systems.
+func TestPropIterativeAgreesWithDirect(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(12)
+		var entries []la.COOEntry
+		for i := 0; i < n; i++ {
+			var off float64
+			for k := 0; k < 2; k++ {
+				j := r.Intn(n)
+				if j == i {
+					continue
+				}
+				v := r.NormFloat64() * 0.3
+				entries = append(entries, la.COOEntry{Row: i, Col: j, Val: v}, la.COOEntry{Row: j, Col: i, Val: v})
+				off += math.Abs(v)
+			}
+			entries = append(entries, la.COOEntry{Row: i, Col: i, Val: 3 + off + r.Float64()})
+		}
+		a := la.MustCSR(n, entries)
+		// Symmetrize the diagonal dominance: already symmetric by construction.
+		b := la.NewVector(n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		want, err := SolveCSRDirect(a, b)
+		if err != nil {
+			return false
+		}
+		for _, name := range AllNames() {
+			res, err := Solve(name, a, b, Options{Tol: 1e-11, MaxIter: 100000})
+			if err != nil || !res.X.Equal(want, 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

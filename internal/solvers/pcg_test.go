@@ -1,0 +1,158 @@
+package solvers
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"analogacc/internal/la"
+)
+
+func TestJacobiPreconditionerBasics(t *testing.T) {
+	a := la.Tridiag(4, -1, 2, -1)
+	p, err := NewJacobiPreconditioner(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := la.NewVector(4)
+	p.ApplyInv(z, la.VectorOf(2, 4, 6, 8))
+	if !z.Equal(la.VectorOf(1, 2, 3, 4), 1e-15) {
+		t.Fatalf("z=%v", z)
+	}
+	bad := la.MustCSR(2, []la.COOEntry{{Row: 0, Col: 1, Val: 1}, {Row: 1, Col: 0, Val: 1}})
+	if _, err := NewJacobiPreconditioner(bad); !errors.Is(err, ErrBreakdown) {
+		t.Fatalf("zero diag: %v", err)
+	}
+}
+
+func TestSSORPreconditionerValidation(t *testing.T) {
+	a := la.Tridiag(4, -1, 2, -1)
+	if _, err := NewSSORPreconditioner(a, 0); err == nil {
+		t.Fatal("omega=0 accepted")
+	}
+	if _, err := NewSSORPreconditioner(a, 2); err == nil {
+		t.Fatal("omega=2 accepted")
+	}
+	bad := la.MustCSR(2, []la.COOEntry{{Row: 0, Col: 1, Val: 1}, {Row: 1, Col: 0, Val: 1}})
+	if _, err := NewSSORPreconditioner(bad, 1); !errors.Is(err, ErrBreakdown) {
+		t.Fatalf("zero diag: %v", err)
+	}
+}
+
+func TestPCGSolvesPoisson(t *testing.T) {
+	a, b, exact := poisson2D(8)
+	for name, pre := range map[string]Preconditioner{
+		"jacobi": mustJacobi(t, a),
+		"ssor":   mustSSOR(t, a, 1.2),
+	} {
+		res, err := PCG(a, pre, b, Options{Tol: 1e-11})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.X.Equal(exact, 1e-6) {
+			t.Fatalf("%s: error %v", name, la.Sub2(res.X, exact).NormInf())
+		}
+	}
+}
+
+func mustJacobi(t *testing.T, a *la.CSR) Preconditioner {
+	t.Helper()
+	p, err := NewJacobiPreconditioner(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mustSSOR(t *testing.T, a *la.CSR, w float64) Preconditioner {
+	t.Helper()
+	p, err := NewSSORPreconditioner(a, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSSORPCGBeatsPlainCGIterations(t *testing.T) {
+	// On Poisson, SSOR-preconditioned CG needs noticeably fewer
+	// iterations than plain CG at the same tolerance.
+	a, b, _ := poisson2D(12)
+	plain, err := CG(a, b, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := PCG(a, mustSSOR(t, a, 1.3), b, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.Iterations >= plain.Iterations {
+		t.Fatalf("SSOR-PCG (%d iters) not faster than CG (%d)", pre.Iterations, plain.Iterations)
+	}
+}
+
+func TestPCGRejectsIndefinite(t *testing.T) {
+	d := la.CSRFromDense(la.DenseOf([]float64{1, 0}, []float64{0, -1}))
+	if _, err := PCG(d, mustJacobi(t, la.Tridiag(2, 0, 1, 0)), la.VectorOf(0, 1), Options{}); !errors.Is(err, ErrBreakdown) {
+		t.Fatalf("err=%v", err)
+	}
+	a := la.Tridiag(4, -1, 2, -1)
+	if _, err := PCG(a, mustJacobi(t, a), la.NewVector(3), Options{}); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+}
+
+func TestPCGDeltaInfCriterion(t *testing.T) {
+	a, b, exact := poisson1D(10)
+	res, err := PCG(a, mustJacobi(t, a), b, Options{Criterion: DeltaInf, Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.X.Equal(exact, 1e-8) {
+		t.Fatal("DeltaInf PCG inaccurate")
+	}
+}
+
+// Property: PCG with either preconditioner matches LU on random SPD
+// dominant systems.
+func TestPropPCGMatchesDirect(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(10)
+		var entries []la.COOEntry
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				v := -r.Float64()
+				entries = append(entries, la.COOEntry{Row: i, Col: i - 1, Val: v}, la.COOEntry{Row: i - 1, Col: i, Val: v})
+			}
+			entries = append(entries, la.COOEntry{Row: i, Col: i, Val: 3 + r.Float64()})
+		}
+		a := la.MustCSR(n, entries)
+		b := la.NewVector(n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		want, err := SolveCSRDirect(a, b)
+		if err != nil {
+			return false
+		}
+		jac, err := NewJacobiPreconditioner(a)
+		if err != nil {
+			return false
+		}
+		ssor, err := NewSSORPreconditioner(a, 1.1)
+		if err != nil {
+			return false
+		}
+		for _, pre := range []Preconditioner{jac, ssor} {
+			res, err := PCG(a, pre, b, Options{Tol: 1e-12})
+			if err != nil || !res.X.Equal(want, 1e-7) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
