@@ -263,4 +263,7 @@ var (
 	Experiments = bench.All
 	// ExperimentByID looks one up ("fig8", "table3", ...).
 	ExperimentByID = bench.ByID
+	// RunExperiments runs experiments concurrently (ExperimentConfig.Jobs
+	// workers) and returns their tables in input order.
+	RunExperiments = bench.RunMany
 )

@@ -27,6 +27,7 @@ func main() {
 		csv   = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 		out   = flag.String("o", "", "write output to a file instead of stdout")
 		quiet = flag.Bool("q", false, "suppress progress messages")
+		jobs  = flag.Int("j", 0, "max concurrent sweep points/experiments (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -52,7 +53,7 @@ func main() {
 		w = f
 	}
 
-	cfg := analogacc.ExperimentConfig{Quick: *quick}
+	cfg := analogacc.ExperimentConfig{Quick: *quick, Jobs: *jobs}
 	if !*quiet {
 		cfg.Progress = os.Stderr
 	}
@@ -69,12 +70,12 @@ func main() {
 		targets = []analogacc.Experiment{e}
 	}
 
-	for i, e := range targets {
-		table, err := e.Run(cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "alabench: %s: %v\n", e.ID, err)
-			os.Exit(1)
-		}
+	tables, err := analogacc.RunExperiments(cfg, targets)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "alabench: %v\n", err)
+		os.Exit(1)
+	}
+	for i, table := range tables {
 		if i > 0 {
 			fmt.Fprintln(w)
 		}
@@ -85,7 +86,7 @@ func main() {
 			rerr = table.Render(w)
 		}
 		if rerr != nil {
-			fmt.Fprintf(os.Stderr, "alabench: rendering %s: %v\n", e.ID, rerr)
+			fmt.Fprintf(os.Stderr, "alabench: rendering %s: %v\n", table.ID, rerr)
 			os.Exit(1)
 		}
 	}

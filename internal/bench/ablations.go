@@ -51,16 +51,18 @@ func runADCRes(cfg Config) (*Table, error) {
 	if cfg.Quick {
 		bitsList = []int{8, 12}
 	}
-	for _, bits := range bitsList {
+	rows := make([][]interface{}, len(bitsList))
+	err = runPoints(cfg, len(bitsList), func(i int) error {
+		bits := bitsList[i]
 		cfg.logf("adcres: %d bits", bits)
 		spec := analogSpecFor(2, prob.Grid.N(), bits, 20e3)
 		acc, _, err := core.NewSimulated(spec)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		_, stats, err := acc.SolveRefined(prob.A, prob.B, core.SolveOptions{Tolerance: 1e-6})
 		if err != nil {
-			return nil, fmt.Errorf("bench: adcres %d bits: %w", bits, err)
+			return fmt.Errorf("bench: adcres %d bits: %w", bits, err)
 		}
 		// Digital equal-precision run: stop when no element moves more
 		// than one ADC LSB of full scale.
@@ -71,10 +73,17 @@ func runADCRes(cfg Config) (*Table, error) {
 			MaxIter:   100 * prob.Grid.N(),
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.AddRow(bits, stats.Refinements, fmt.Sprintf("%.3e", stats.AnalogTime),
-			fmt.Sprintf("%.1e", stats.Residual), res.Iterations)
+		rows[i] = []interface{}{bits, stats.Refinements, fmt.Sprintf("%.3e", stats.AnalogTime),
+			fmt.Sprintf("%.1e", stats.Residual), res.Iterations}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,
 		"paper expectation: each analog run contributes ~ADC-resolution bits, so passes fall as bits rise; \"at the levels of ADC precision we consider, 8-12 bits, the digital algorithm takes only a few iterations to reach the same level of precision\"",
@@ -102,7 +111,9 @@ func runCalib(cfg Config) (*Table, error) {
 	if cfg.Quick {
 		sigmas = []float64{0.01}
 	}
-	for _, sigma := range sigmas {
+	rows := make([][]interface{}, len(sigmas))
+	err = runPoints(cfg, len(sigmas), func(i int) error {
+		sigma := sigmas[i]
 		cfg.logf("calib: sigma=%v", sigma)
 		errFor := func(calibrate bool) (float64, error) {
 			spec := analogSpecFor(2, prob.Grid.N(), 12, 20e3)
@@ -122,17 +133,24 @@ func runCalib(cfg Config) (*Table, error) {
 		}
 		raw, err := errFor(false)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cal, err := errFor(true)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		improvement := "-"
 		if cal > 0 {
 			improvement = fmt.Sprintf("%.1fx", raw/cal)
 		}
-		t.AddRow(fmt.Sprintf("%.1f%%", sigma*100), fmt.Sprintf("%.2e", raw), fmt.Sprintf("%.2e", cal), improvement)
+		rows[i] = []interface{}{fmt.Sprintf("%.1f%%", sigma*100), fmt.Sprintf("%.2e", raw), fmt.Sprintf("%.2e", cal), improvement}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,
 		"paper expectation: offset bias and gain error dominate uncalibrated error; trim DACs set by the host's binary search cancel them (Section III-B)",
@@ -228,15 +246,20 @@ func runDecomp(cfg Config) (*Table, error) {
 	if cfg.Quick {
 		sizes = []int{l, 2 * l}
 	}
+	var fit []int
 	for _, size := range sizes {
-		if size > n {
-			continue
+		if size <= n {
+			fit = append(fit, size)
 		}
+	}
+	rows := make([][]interface{}, len(fit))
+	err = runPoints(cfg, len(fit), func(i int) error {
+		size := fit[i]
 		cfg.logf("decomp: block size %d", size)
 		spec := analogSpecFor(2, size, 12, 20e3)
 		acc, _, err := core.NewSimulated(spec)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		x, stats, err := acc.SolveDecomposed(prob.A, prob.B, core.DecomposeOptions{
 			BlockSize:      size,
@@ -244,11 +267,18 @@ func runDecomp(cfg Config) (*Table, error) {
 			Inner:          core.SolveOptions{Tolerance: 1e-6},
 		})
 		if err != nil {
-			return nil, fmt.Errorf("bench: decomp size %d: %w", size, err)
+			return fmt.Errorf("bench: decomp size %d: %w", size, err)
 		}
-		t.AddRow(size, stats.Blocks, stats.Sweeps,
+		rows[i] = []interface{}{size, stats.Blocks, stats.Sweeps,
 			fmt.Sprintf("%.3e", stats.AnalogTime),
-			fmt.Sprintf("%.1e", la.RelativeResidual(prob.A, x, prob.B)))
+			fmt.Sprintf("%.1e", la.RelativeResidual(prob.A, x, prob.B))}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,
 		"paper expectation: outer block iteration converges more slowly than element-wise methods, so sweeps fall as blocks grow",

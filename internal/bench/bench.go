@@ -9,6 +9,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Table is one experiment's output: a titled grid of formatted values plus
@@ -140,10 +141,20 @@ type Config struct {
 	Quick bool
 	// Progress, if non-nil, receives one-line status updates.
 	Progress io.Writer
+	// Jobs bounds how many independent sweep points (and, via RunMany,
+	// experiments) run concurrently. 0 means GOMAXPROCS; 1 forces the
+	// sequential order. Tables are byte-identical across settings (wall-
+	// clock measurement columns excepted).
+	Jobs int
 }
+
+// progressMu serializes progress lines from concurrent sweep points.
+var progressMu sync.Mutex
 
 func (c Config) logf(format string, args ...interface{}) {
 	if c.Progress != nil {
+		progressMu.Lock()
+		defer progressMu.Unlock()
 		fmt.Fprintf(c.Progress, format+"\n", args...)
 	}
 }

@@ -40,10 +40,12 @@ func runFig7(cfg Config) (*Table, error) {
 
 	methods := solvers.AllNames()
 	// errAt[m][k] is the L2 error of method m after iteration k (index 0
-	// is the zero initial guess).
-	errAt := make(map[solvers.Name][]float64, len(methods))
+	// is the zero initial guess). Methods are independent sweep points;
+	// each builds its own series, keyed after the parallel run completes.
 	base := la.Sub2(la.NewVector(prob.Grid.N()), ref.X).Norm2()
-	for _, m := range methods {
+	allSeries := make([][]float64, len(methods))
+	if err := runPoints(cfg, len(methods), func(i int) error {
+		m := methods[i]
 		cfg.logf("fig7: running %s", m)
 		series := []float64{base}
 		opt := solvers.Options{
@@ -58,7 +60,14 @@ func runFig7(cfg Config) (*Table, error) {
 		if _, err := solvers.Solve(m, prob.A, prob.B, opt); err != nil {
 			cfg.logf("fig7: %s: %v (expected: sampling only)", m, err)
 		}
-		errAt[m] = series
+		allSeries[i] = series
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	errAt := make(map[solvers.Name][]float64, len(methods))
+	for i, m := range methods {
+		errAt[m] = allSeries[i]
 	}
 
 	t := &Table{

@@ -95,21 +95,24 @@ func runFig8(cfg Config) (*Table, error) {
 			"analog 20kHz model (s)", "analog 80kHz model (s)",
 		},
 	}
-	for _, l := range fig8Ls(cfg.Quick) {
+	ls := fig8Ls(cfg.Quick)
+	rows := make([][]interface{}, len(ls))
+	err := runPoints(cfg, len(ls), func(i int) error {
+		l := ls[i]
 		prob, err := pde.Poisson(2, l)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cfg.logf("fig8: L=%d (N=%d)", l, prob.Grid.N())
 		wall, iters, _, err := digitalCG(prob)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		simTime, err := analogSolveTime(prob, adcBits, 20e3)
 		if err != nil {
-			return nil, fmt.Errorf("bench: fig8 analog L=%d: %w", l, err)
+			return fmt.Errorf("bench: fig8 analog L=%d: %w", l, err)
 		}
-		t.AddRow(
+		rows[i] = []interface{}{
 			prob.Grid.N(),
 			fmt.Sprintf("%.3e", wall),
 			iters,
@@ -117,7 +120,14 @@ func runFig8(cfg Config) (*Table, error) {
 			fmt.Sprintf("%.3e", simTime),
 			fmt.Sprintf("%.3e", model.Design{BandwidthHz: 20e3}.SolveTimePoisson(2, l, adcBits)),
 			fmt.Sprintf("%.3e", model.Design{BandwidthHz: 80e3}.SolveTimePoisson(2, l, adcBits)),
-		)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,
 		"paper expectation: analog time grows ∝ N, digital CG ∝ N^1.5; prototype-bandwidth parity near 650 integrators on the 2009-era Xeon",
@@ -143,14 +153,17 @@ func runFig9(cfg Config) (*Table, error) {
 		Columns: cols,
 	}
 	ls := fig8Ls(cfg.Quick)
-	for _, l := range ls {
+	rows := make([][]interface{}, len(ls))
+	err := runPoints(cfg, len(ls), func(i int) error {
+		l := ls[i]
 		prob, err := pde.Poisson(2, l)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		cfg.logf("fig9: L=%d (N=%d)", l, prob.Grid.N())
 		_, iters, _, err := digitalCG(prob)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := []interface{}{prob.Grid.N(), fmt.Sprintf("%.3e", model.CPUTimeCG(prob.Grid.N(), iters))}
 		for _, bw := range designs {
@@ -161,6 +174,13 @@ func runFig9(cfg Config) (*Table, error) {
 			}
 			row = append(row, fmt.Sprintf("%.3e", d.SolveTimePoisson(2, l, adcBits)))
 		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
 		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,

@@ -52,7 +52,10 @@ func runFig10(cfg Config) (*Table, error) {
 		cols = append(cols, fmt.Sprintf("%s power (W)", bwLabel(bw)))
 	}
 	t := &Table{ID: "fig10", Title: "Maximum activity power (W) vs grid points", Columns: cols}
-	for _, n := range figNs(cfg.Quick, 2048) {
+	ns := figNs(cfg.Quick, 2048)
+	rows := make([][]interface{}, len(ns))
+	if err := runPoints(cfg, len(ns), func(i int) error {
+		n := ns[i]
 		row := []interface{}{n}
 		for _, bw := range designs {
 			d := model.Design{BandwidthHz: bw}
@@ -62,6 +65,12 @@ func runFig10(cfg Config) (*Table, error) {
 			}
 			row = append(row, fmt.Sprintf("%.4f", d.Power(n, comp)))
 		}
+		rows[i] = row
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
 		t.AddRow(row...)
 	}
 	d20 := model.Design{BandwidthHz: 20e3}
@@ -81,7 +90,10 @@ func runFig11(cfg Config) (*Table, error) {
 		cols = append(cols, fmt.Sprintf("%s area (mm^2)", bwLabel(bw)))
 	}
 	t := &Table{ID: "fig11", Title: "Accelerator area (mm²) vs grid points", Columns: cols}
-	for _, n := range figNs(cfg.Quick, 2048) {
+	ns := figNs(cfg.Quick, 2048)
+	rows := make([][]interface{}, len(ns))
+	if err := runPoints(cfg, len(ns), func(i int) error {
+		n := ns[i]
 		row := []interface{}{n}
 		for _, bw := range designs {
 			d := model.Design{BandwidthHz: bw}
@@ -92,6 +104,12 @@ func runFig11(cfg Config) (*Table, error) {
 			}
 			row = append(row, fmt.Sprintf("%.1f", area))
 		}
+		rows[i] = row
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
 		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,
@@ -116,16 +134,18 @@ func runFig12(cfg Config) (*Table, error) {
 	t := &Table{ID: "fig12", Title: "Solution energy (J) vs grid points, 2-D Poisson", Columns: cols}
 
 	ls := fig8Ls(cfg.Quick)
-	for _, l := range ls {
+	rows := make([][]interface{}, len(ls))
+	err := runPoints(cfg, len(ls), func(i int) error {
+		l := ls[i]
 		prob, err := pde.Poisson(2, l)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		n := prob.Grid.N()
 		cfg.logf("fig12: L=%d (N=%d)", l, n)
 		_, _, macs, err := digitalCG(prob)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Second baseline: CG run to double-precision limits, the digital
 		// practice Section VI-D describes ("the digital algorithm can
@@ -135,7 +155,7 @@ func runFig12(cfg Config) (*Table, error) {
 		st := la.NewPoissonStencil(prob.Grid)
 		fp64, err := solvers.CG(st, prob.B, solvers.Options{Tol: 1e-14, MaxIter: 100 * n})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := []interface{}{n,
 			fmt.Sprintf("%.3e", model.GPUEnergyCG(macs)),
@@ -152,9 +172,16 @@ func runFig12(cfg Config) (*Table, error) {
 		// analog seconds × the model's power for this capacity.
 		simTime, err := analogSolveTime(prob, adcBits, 20e3)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row = append(row, fmt.Sprintf("%.3e", simTime*(model.Design{BandwidthHz: 20e3}).Power(n, comp)))
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
 		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,

@@ -45,18 +45,20 @@ func runNoise(cfg Config) (*Table, error) {
 	if cfg.Quick {
 		sigmas = []float64{0, 1e-3}
 	}
-	for _, sigma := range sigmas {
+	rows := make([][]interface{}, len(sigmas))
+	perr := runPoints(cfg, len(sigmas), func(i int) error {
+		sigma := sigmas[i]
 		cfg.logf("noise: sigma=%v", sigma)
 		spec := analogSpecFor(2, prob.Grid.N(), 12, 20e3)
 		spec.NoiseSigma = sigma
 		spec.Seed = 77
 		acc, _, err := core.NewSimulated(spec)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		single, _, err := acc.Solve(prob.A, prob.B, core.SolveOptions{})
 		if err != nil {
-			return nil, fmt.Errorf("bench: noise sigma=%v single: %w", sigma, err)
+			return fmt.Errorf("bench: noise sigma=%v single: %w", sigma, err)
 		}
 		refined, stats, err := acc.SolveRefined(prob.A, prob.B, core.SolveOptions{
 			Tolerance:      5e-5,
@@ -70,11 +72,18 @@ func runNoise(cfg Config) (*Table, error) {
 		} else {
 			refinedErr = "did not reach 5e-5"
 		}
-		t.AddRow(
+		rows[i] = []interface{}{
 			fmt.Sprintf("%.0e", sigma),
 			fmt.Sprintf("%.2e", la.Sub2(single, want).NormInf()/want.NormInf()),
 			refinedErr, passes,
-		)
+		}
+		return nil
+	})
+	if perr != nil {
+		return nil, perr
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,
 		"expectation: single-run error tracks the noise floor; refinement keeps helping until per-pass corrections drown in noise (precision limited by signal-to-noise ratio, Section VI-C)",

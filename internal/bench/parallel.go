@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Parallel sweep runner: every experiment sweep (grid sizes in fig8/fig9,
+// rows in fig10–12, ablation settings, fig7's methods) consists of
+// independent points — each builds its own simulated chips with its own
+// deterministic seeds, so points share no mutable state. runPoints executes
+// them on a bounded worker pool while the callers keep deterministic row
+// ordering by writing results into index-addressed slots and appending rows
+// only after every point has finished. Tables are therefore byte-identical
+// across -j settings (wall-clock columns excepted: those are nondeterministic
+// even sequentially).
+
+// jobs resolves the configured worker bound: 0 means GOMAXPROCS.
+func (c Config) jobs() int {
+	if c.Jobs > 0 {
+		return c.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runPoints runs point(0..n-1) with at most cfg.jobs() in flight. Every
+// point runs even when another fails; the lowest-indexed error wins, so
+// the reported failure does not depend on goroutine scheduling.
+func runPoints(cfg Config, n int, point func(i int) error) error {
+	workers := cfg.jobs()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := point(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	sem := make(chan struct{}, workers)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = point(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunMany executes experiments with up to cfg.jobs() running concurrently
+// (each experiment additionally parallelizes its own sweep under the same
+// bound) and returns their tables in input order. The first failure, in
+// input order, is returned after all experiments finish.
+func RunMany(cfg Config, exps []Experiment) ([]*Table, error) {
+	tables := make([]*Table, len(exps))
+	err := runPoints(cfg, len(exps), func(i int) error {
+		t, err := exps[i].Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", exps[i].ID, err)
+		}
+		tables[i] = t
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tables, nil
+}

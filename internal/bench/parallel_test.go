@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestJobsResolution(t *testing.T) {
+	if got := (Config{Jobs: 3}).jobs(); got != 3 {
+		t.Fatalf("Jobs=3 resolved to %d", got)
+	}
+	if got := (Config{}).jobs(); got < 1 {
+		t.Fatalf("default jobs %d < 1", got)
+	}
+	if got := (Config{Jobs: -2}).jobs(); got < 1 {
+		t.Fatalf("negative Jobs resolved to %d", got)
+	}
+}
+
+func TestRunPointsRunsEveryPointOnce(t *testing.T) {
+	for _, jobs := range []int{1, 4} {
+		const n = 37
+		var counts [n]int32
+		err := runPoints(Config{Jobs: jobs}, n, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("jobs=%d: point %d ran %d times", jobs, i, c)
+			}
+		}
+	}
+}
+
+func TestRunPointsLowestIndexedErrorWins(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	// With 4 workers, point 9's error must not mask point 2's.
+	err := runPoints(Config{Jobs: 4}, 12, func(i int) error {
+		switch i {
+		case 2:
+			return errA
+		case 9:
+			return errB
+		}
+		return nil
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("got %v, want lowest-indexed error %v", err, errA)
+	}
+}
+
+func TestRunPointsBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak int32
+	var mu sync.Mutex
+	err := runPoints(Config{Jobs: workers}, 24, func(int) error {
+		cur := atomic.AddInt32(&inFlight, 1)
+		mu.Lock()
+		if cur > peak {
+			peak = cur
+		}
+		mu.Unlock()
+		defer atomic.AddInt32(&inFlight, -1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > workers {
+		t.Fatalf("peak concurrency %d exceeds bound %d", peak, workers)
+	}
+}
+
+// renderAll renders experiments via RunMany into one byte stream,
+// mirroring what cmd/alabench emits.
+func renderAll(t *testing.T, cfg Config, ids []string) []byte {
+	t.Helper()
+	var exps []Experiment
+	for _, id := range ids {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %s missing", id)
+		}
+		exps = append(exps, e)
+	}
+	tables, err := RunMany(cfg, exps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, tb := range tables {
+		if err := tb.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestParallelTablesByteIdentical checks the determinism contract: a
+// sweep run on 4 workers emits exactly the bytes of a sequential run.
+// Only deterministic experiments qualify — fig8/fig9/dda include
+// wall-clock columns that differ run to run even sequentially.
+func TestParallelTablesByteIdentical(t *testing.T) {
+	ids := []string{"fig7", "fig10", "fig11", "adcres", "calib", "decomp", "noise", "table3"}
+	if testing.Short() {
+		ids = []string{"fig10", "fig11", "calib"}
+	}
+	cfg := Config{Quick: true}
+	cfg.Jobs = 1
+	seq := renderAll(t, cfg, ids)
+	cfg.Jobs = 4
+	par := renderAll(t, cfg, ids)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("tables differ between -j 1 and -j 4:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+}
+
+func TestRunManyReportsExperimentID(t *testing.T) {
+	boom := errors.New("boom")
+	exps := []Experiment{
+		{ID: "ok", Title: "ok", Run: func(Config) (*Table, error) { return &Table{ID: "ok"}, nil }},
+		{ID: "bad", Title: "bad", Run: func(Config) (*Table, error) { return nil, boom }},
+	}
+	_, err := RunMany(Config{Jobs: 2}, exps)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err %v does not wrap the run error", err)
+	}
+	if got := err.Error(); got != "bad: boom" {
+		t.Fatalf("err %q not prefixed with experiment ID", got)
+	}
+}

@@ -204,31 +204,62 @@ func runTable3(cfg Config) (*Table, error) {
 	// 12-bit converters (the paper's model accelerator): the 1-D sweep's
 	// largest grids have κ(A_s) beyond what an 8-bit reading can verify.
 	const adcBits = 12
+	// Flatten the dims × L grid into one list of independent sweep points.
+	type pointKey struct{ dims, li, l int }
+	var points []pointKey
 	for dims := 1; dims <= 3; dims++ {
-		var ns, analogTimes, cgIters, cgTimes []float64
-		for _, l := range sweeps[dims] {
-			prob, err := pde.Poisson(dims, l)
-			if err != nil {
-				return nil, err
-			}
-			cfg.logf("table3: %d-D L=%d (N=%d)", dims, l, prob.Grid.N())
-			at, err := analogSolveTime(prob, adcBits, 20e3)
-			if err != nil {
-				return nil, fmt.Errorf("bench: table3 %d-D L=%d: %w", dims, l, err)
-			}
-			full := prob.Exact.NormInf()
-			res, err := solvers.CG(prob.A, prob.B, solvers.Options{
-				Criterion: solvers.DeltaInf, Tol: full / 256, MaxIter: 100 * prob.Grid.N(),
-			})
-			if err != nil {
-				return nil, err
-			}
-			n := float64(prob.Grid.N())
-			ns = append(ns, n)
-			analogTimes = append(analogTimes, at)
-			cgIters = append(cgIters, float64(res.Iterations))
-			cgTimes = append(cgTimes, model.CPUTimeCG(prob.Grid.N(), res.Iterations))
+		for li, l := range sweeps[dims] {
+			points = append(points, pointKey{dims, li, l})
 		}
+	}
+	type pointRes struct{ n, analogTime, cgIters, cgTime float64 }
+	results := make([]pointRes, len(points))
+	if err := runPoints(cfg, len(points), func(i int) error {
+		pt := points[i]
+		prob, err := pde.Poisson(pt.dims, pt.l)
+		if err != nil {
+			return err
+		}
+		cfg.logf("table3: %d-D L=%d (N=%d)", pt.dims, pt.l, prob.Grid.N())
+		at, err := analogSolveTime(prob, adcBits, 20e3)
+		if err != nil {
+			return fmt.Errorf("bench: table3 %d-D L=%d: %w", pt.dims, pt.l, err)
+		}
+		full := prob.Exact.NormInf()
+		res, err := solvers.CG(prob.A, prob.B, solvers.Options{
+			Criterion: solvers.DeltaInf, Tol: full / 256, MaxIter: 100 * prob.Grid.N(),
+		})
+		if err != nil {
+			return err
+		}
+		results[i] = pointRes{
+			n:          float64(prob.Grid.N()),
+			analogTime: at,
+			cgIters:    float64(res.Iterations),
+			cgTime:     model.CPUTimeCG(prob.Grid.N(), res.Iterations),
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	perDim := map[int]*struct{ ns, analogTimes, cgIters, cgTimes []float64 }{}
+	for i, pt := range points {
+		d := perDim[pt.dims]
+		if d == nil {
+			d = &struct{ ns, analogTimes, cgIters, cgTimes []float64 }{}
+			perDim[pt.dims] = d
+		}
+		r := results[i]
+		d.ns = append(d.ns, r.n)
+		d.analogTimes = append(d.analogTimes, r.analogTime)
+		d.cgIters = append(d.cgIters, r.cgIters)
+		d.cgTimes = append(d.cgTimes, r.cgTime)
+	}
+	for dims := 1; dims <= 3; dims++ {
+		ns := perDim[dims].ns
+		analogTimes := perDim[dims].analogTimes
+		cgIters := perDim[dims].cgIters
+		cgTimes := perDim[dims].cgTimes
 		trends := model.TableIIITrends(dims)
 		measured := map[string]float64{
 			"analog HW cost":     1, // by construction: one integrator per point

@@ -42,6 +42,13 @@ type Simulator struct {
 	// a committed datapath runs; see ReloadBlockParams).
 	effOff  []float64
 	effGain []float64
+	// prog is the compiled op-stream lowering of the netlist (see
+	// compiled.go); reference forces the original block-walk interpreter.
+	prog      *program
+	reference bool
+	// valsDirty marks netVals stale relative to (time, state): stepH can
+	// otherwise reuse the post-step evaluation as the next step's k1 stage.
+	valsDirty bool
 }
 
 // NewSimulator compiles the netlist (detecting algebraic loops) and prepares
@@ -67,6 +74,7 @@ func NewSimulator(nl *Netlist, dt float64) (*Simulator, error) {
 	if err := s.compile(); err != nil {
 		return nil, err
 	}
+	s.prog = s.lower()
 	s.ReloadBlockParams()
 	if dt <= 0 {
 		dt = s.autoStep()
@@ -188,6 +196,19 @@ func (s *Simulator) ReloadBlockParams() {
 	for i, b := range s.nl.blocks {
 		s.effOff[i], s.effGain[i] = s.nl.effective(b)
 	}
+	if s.prog != nil {
+		s.prog.refold(s)
+	}
+	s.valsDirty = true
+}
+
+// SetReferenceEngine selects the original block-walk interpreter instead
+// of the compiled op-stream engine. The two are bit-identical (enforced by
+// differential tests); the reference engine exists as the executable
+// specification and for benchmarking the compiled engine against.
+func (s *Simulator) SetReferenceEngine(on bool) {
+	s.reference = on
+	s.valsDirty = true
 }
 
 // Reset loads integrator initial conditions, rewinds time, and clears
@@ -205,6 +226,7 @@ func (s *Simulator) Reset() {
 		p.Vals = p.Vals[:0]
 	}
 	s.eval(s.time, s.state, true)
+	s.valsDirty = false
 }
 
 // Time returns the simulated (analog) time in seconds.
@@ -231,7 +253,23 @@ func softSat(v, fs, sat float64) float64 {
 // eval computes all net values for the given state at time t. When record
 // is true it also latches overflow exceptions and updates peak trackers
 // (record is false during RK4 trial stages, which are not physical states).
+// It dispatches to the compiled op-stream engine unless the reference
+// block-walk interpreter was selected (SetReferenceEngine).
 func (s *Simulator) eval(t float64, state []float64, record bool) {
+	if !s.reference && s.prog != nil {
+		if record {
+			s.prog.evalRecord(s, t, state)
+		} else {
+			s.prog.evalFast(s, t, state)
+		}
+		return
+	}
+	s.evalReference(t, state, record)
+}
+
+// evalReference is the original block-walk interpreter: the executable
+// specification the compiled engine is differentially tested against.
+func (s *Simulator) evalReference(t float64, state []float64, record bool) {
 	fs := s.nl.cfg.FullScale
 	sat := s.nl.cfg.SatLevel
 	for i := range s.netVals {
@@ -297,23 +335,39 @@ func (s *Simulator) eval(t float64, state []float64, record bool) {
 	}
 }
 
-// derivs evaluates integrator derivatives for the given state.
-func (s *Simulator) derivs(dst []float64, t float64, state []float64) {
-	s.eval(t, state, false)
+// stage computes integrator derivatives from the current net values into
+// dst and, when tmp is non-nil, fuses the RK4 trial-state update
+// tmp = state + c·dst into the same pass. Callers must have evaluated
+// netVals for the state the derivatives belong to.
+func (s *Simulator) stage(dst, tmp []float64, c float64) {
+	if !s.reference && s.prog != nil {
+		s.prog.stage(s, dst, tmp, c)
+		return
+	}
 	for i, b := range s.integrators {
 		off, gf := s.effOff[b.ID], s.effGain[b.ID]
 		in := 0.0
 		if b.in[0] != noNet {
 			in = s.netVals[b.in[0]]
 		}
-		dst[i] = s.k * (gf*in + off)
+		d := s.k * (gf*in + off)
+		dst[i] = d
+		if tmp != nil {
+			tmp[i] = s.state[i] + c*d
+		}
 	}
 }
 
 var probeLimit = 1 << 22 // safety cap on recorded samples per probe
 
-// probes are attached scopes.
-func (s *Simulator) addProbeInternal(p *Probe) { s.probes = append(s.probes, p) }
+// probes are attached scopes. Every is normalized here, at attach time, so
+// the hot loop never mutates probe state.
+func (s *Simulator) addProbeInternal(p *Probe) {
+	if p.Every <= 0 {
+		p.Every = 1
+	}
+	s.probes = append(s.probes, p)
+}
 
 // Step advances one RK4 step, applies saturation and noise, latches
 // exceptions, and records probes.
@@ -321,19 +375,21 @@ func (s *Simulator) Step() { s.stepH(s.dt) }
 
 func (s *Simulator) stepH(h float64) {
 	k1, k2, k3, k4, tmp := s.scratch[0], s.scratch[1], s.scratch[2], s.scratch[3], s.scratch[4]
-	s.derivs(k1, s.time, s.state)
-	for i := range tmp {
-		tmp[i] = s.state[i] + h/2*k1[i]
+	// The post-step recording evaluation already computed netVals for
+	// (time, state), so the k1 stage can reuse it: four evaluations per
+	// step instead of five. valsDirty guards the cases that invalidate the
+	// cache (Reset-less state pokes, trim reloads, engine switches).
+	if s.valsDirty {
+		s.eval(s.time, s.state, false)
+		s.valsDirty = false
 	}
-	s.derivs(k2, s.time+h/2, tmp)
-	for i := range tmp {
-		tmp[i] = s.state[i] + h/2*k2[i]
-	}
-	s.derivs(k3, s.time+h/2, tmp)
-	for i := range tmp {
-		tmp[i] = s.state[i] + h*k3[i]
-	}
-	s.derivs(k4, s.time+h, tmp)
+	s.stage(k1, tmp, h/2)
+	s.eval(s.time+h/2, tmp, false)
+	s.stage(k2, tmp, h/2)
+	s.eval(s.time+h/2, tmp, false)
+	s.stage(k3, tmp, h)
+	s.eval(s.time+h, tmp, false)
+	s.stage(k4, nil, 0)
 	fs, sat := s.nl.cfg.FullScale, s.nl.cfg.SatLevel
 	noiseAmp := 0.0
 	if s.nl.cfg.NoiseSigma > 0 {
@@ -359,9 +415,6 @@ func (s *Simulator) stepH(h float64) {
 	s.steps++
 	s.eval(s.time, s.state, true)
 	for _, p := range s.probes {
-		if p.Every <= 0 {
-			p.Every = 1
-		}
 		if s.steps%int64(p.Every) == 0 && len(p.Vals) < probeLimit {
 			p.Times = append(p.Times, s.time)
 			p.Vals = append(p.Vals, s.netVals[p.Net])
@@ -373,7 +426,11 @@ func (s *Simulator) stepH(h float64) {
 // one shorter final step for the remainder, so armed timeouts correspond to
 // precise amounts of analog time.
 func (s *Simulator) Run(duration float64) {
-	whole := int(duration / s.dt)
+	// Floor with a relative epsilon: duration = n·dt must map to exactly
+	// n whole steps even when duration/s.dt lands a few ulps below n, or
+	// an armed timeout takes n−1 whole steps plus a spurious ~dt-long
+	// "remainder" step.
+	whole := int(math.Floor(duration/s.dt + 1e-9))
 	for i := 0; i < whole; i++ {
 		s.Step()
 	}
@@ -445,6 +502,7 @@ func (s *Simulator) SetIntegratorValue(b *Block, v float64) error {
 		return fmt.Errorf("circuit: block %d is not a compiled integrator", b.ID)
 	}
 	s.state[b.stateIdx] = v
+	s.valsDirty = true
 	return nil
 }
 

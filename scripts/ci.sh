@@ -1,0 +1,10 @@
+#!/bin/sh
+# CI gate: vet plus the full test suite under the race detector.
+# The -race run is what exercises the concurrent paths for real:
+# internal/core's Farm (SolveDecomposedParallel) and internal/bench's
+# runPoints/RunMany worker pools.
+set -eux
+cd "$(dirname "$0")/.."
+go vet ./...
+go build ./...
+go test -race ./...
