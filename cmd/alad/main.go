@@ -1,0 +1,122 @@
+// Command alad is the analog-accelerator solve daemon: an HTTP/JSON
+// service that keeps a pool of pre-built, pre-calibrated simulated chips
+// warm and serves A·u = b solve requests on them (or on the digital
+// baseline backends), with bounded admission, per-request deadlines, and
+// a /metrics observability surface.
+//
+// Usage:
+//
+//	alad -addr :8080 -pool 4
+//	curl -s localhost:8080/v1/solve -d '{
+//	  "backend": "analog-refined",
+//	  "n": 2,
+//	  "A": [{"i":0,"j":0,"v":0.8},{"i":0,"j":1,"v":0.2},
+//	        {"i":1,"j":0,"v":0.2},{"i":1,"j":1,"v":0.6}],
+//	  "b": [0.5, 0.3]
+//	}'
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM drain in-flight solves before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"analogacc/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		pool      = flag.Int("pool", 2, "chips per size class")
+		warm      = flag.String("warm", "4,16", "comma-separated system orders whose chip classes are pre-built at startup")
+		maxDim    = flag.Int("max-dim", 256, "largest servable system order")
+		queue     = flag.Int("queue", 64, "admission queue bound (requests beyond it get 429)")
+		adcBits   = flag.Int("adc-bits", 12, "chip converter resolution")
+		bandwidth = flag.Float64("bandwidth", 20e3, "chip analog bandwidth in Hz")
+		timeout   = flag.Duration("timeout", 30*time.Second, "default per-request solve deadline")
+		drain     = flag.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight solves")
+	)
+	flag.Parse()
+
+	warmSizes, err := parseWarm(*warm)
+	if err != nil {
+		log.Fatalf("alad: %v", err)
+	}
+	srv, err := serve.New(serve.Config{
+		Pool: serve.PoolConfig{
+			ChipsPerClass: *pool,
+			WarmSizes:     warmSizes,
+			MaxDim:        *maxDim,
+			ADCBits:       *adcBits,
+			Bandwidth:     *bandwidth,
+		},
+		QueueBound:     *queue,
+		DefaultTimeout: *timeout,
+	})
+	if err != nil {
+		log.Fatalf("alad: %v", err)
+	}
+	expvar.Publish("alad", expvar.Func(func() any { return srv.Snapshot() }))
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.Handle("GET /debug/vars", expvar.Handler())
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("alad: %v", err)
+	}
+	httpSrv := &http.Server{Handler: mux}
+	log.Printf("alad: listening on %s (pool %d/class, warm %v, queue %d)",
+		ln.Addr(), *pool, warmSizes, *queue)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("alad: %v — draining in-flight solves (budget %v)", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Fatalf("alad: drain incomplete: %v", err)
+		}
+		log.Printf("alad: drained, bye")
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("alad: %v", err)
+		}
+	}
+}
+
+func parseWarm(s string) ([]int, error) {
+	var sizes []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad warm size %q", f)
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes, nil
+}

@@ -2,26 +2,30 @@
 // simple triplet file (see internal/la.ReadSystem) on a chosen backend:
 // the simulated analog accelerator (one-shot or with Algorithm 2
 // refinement), any of the digital iterative baselines, or dense LU.
+// With -server it submits the solve to a running alad daemon instead of
+// solving locally, using the same request schema.
 //
 // Usage:
 //
 //	alasolve -f system.txt -backend analog-refined -tol 1e-8
 //	alasolve -f poisson.txt -backend cg
+//	alasolve -f system.txt -server localhost:8080
 //	echo "n 1
 //	a 0 0 0.5
 //	b 0 0.25" | alasolve -backend analog
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
-	"analogacc"
 	"analogacc/internal/cli"
 	"analogacc/internal/la"
-	"analogacc/internal/solvers"
+	"analogacc/internal/serve"
 )
 
 func main() {
@@ -29,14 +33,22 @@ func main() {
 		file      = flag.String("f", "", "system file (default: stdin)")
 		format    = flag.String("format", "triplet", "triplet (A and b in one file) | mm (MatrixMarket matrix; see -rhs)")
 		rhsFile   = flag.String("rhs", "", "with -format mm: file of right-hand-side values, one per line (default: all ones)")
-		backend   = flag.String("backend", "analog-refined", "analog | analog-refined | cg | steepest | sor | gs | jacobi | direct")
+		backend   = flag.String("backend", "analog-refined", cli.BackendUsage())
 		tol       = flag.Float64("tol", 1e-8, "convergence / refinement tolerance")
 		adcBits   = flag.Int("adc-bits", 12, "analog chip converter resolution")
 		bandwidth = flag.Float64("bandwidth", 20e3, "analog bandwidth in Hz")
 		calibrate = flag.Bool("calibrate", false, "run the chip init calibration first")
+		server    = flag.String("server", "", "alad daemon address: submit the solve remotely instead of solving in-process")
+		deadline  = flag.Duration("deadline", 0, "with -server: per-request solve deadline (default: server's)")
 		quiet     = flag.Bool("q", false, "print only the solution values")
 	)
 	flag.Parse()
+
+	// Fail fast on a bad backend before touching (or fully parsing) the
+	// input: `alasolve -backend typo < big.mtx` must not read big.mtx.
+	if !cli.ValidBackend(*backend) {
+		fail("unknown backend %q (known: %s)", *backend, cli.BackendUsage())
+	}
 
 	var in io.Reader = os.Stdin
 	if *file != "" {
@@ -79,41 +91,19 @@ func main() {
 		u     la.Vector
 		extra string
 	)
-	switch *backend {
-	case "analog", "analog-refined":
-		n := a.Dim()
-		spec := analogacc.ScaledChip(n, *adcBits, *bandwidth, a.MaxRowNNZ()+1)
-		spec.FanoutsPerMB = (a.MaxRowNNZ()+3)/3 + 1
-		acc, _, err := analogacc.NewSimulated(spec)
-		if err != nil {
-			fail("building chip: %v", err)
-		}
-		opt := analogacc.SolveOptions{Tolerance: *tol, Calibrate: *calibrate}
-		var stats analogacc.Stats
-		if *backend == "analog" {
-			u, stats, err = acc.Solve(a, b, opt)
-		} else {
-			u, stats, err = acc.SolveRefined(a, b, opt)
-		}
-		if err != nil {
-			fail("analog solve: %v", err)
-		}
-		extra = fmt.Sprintf("analog time %.3e s, %d runs, %d refinements, %d rescales, value scale S=%.4g",
-			stats.AnalogTime, stats.Runs, stats.Refinements, stats.Rescales, stats.Scaling.S)
-	case "direct":
-		var err error
-		u, err = solvers.SolveCSRDirect(a, b)
-		if err != nil {
-			fail("direct solve: %v", err)
-		}
-		extra = "dense LU with partial pivoting"
-	default:
-		res, err := solvers.Solve(solvers.Name(*backend), a, b, solvers.Options{Tol: *tol})
+	if *server != "" {
+		u, extra = solveRemote(*server, *backend, a, b, *tol, *deadline)
+	} else {
+		out, err := cli.SolveSystem(context.Background(), *backend, a, b, cli.SolveParams{
+			Tol:       *tol,
+			ADCBits:   *adcBits,
+			Bandwidth: *bandwidth,
+			Calibrate: *calibrate,
+		})
 		if err != nil {
 			fail("%s: %v", *backend, err)
 		}
-		u = res.X
-		extra = fmt.Sprintf("%d iterations, %d MACs", res.Iterations, res.MACs)
+		u, extra = out.U, out.Note
 	}
 
 	for i, v := range u {
@@ -127,6 +117,32 @@ func main() {
 		fmt.Printf("# backend: %s (%s)\n", *backend, extra)
 		fmt.Printf("# relative residual: %.3e\n", la.RelativeResidual(a, u, b))
 	}
+}
+
+// solveRemote ships the parsed system to an alad daemon over the shared
+// serve schema and returns the solution plus a cost summary.
+func solveRemote(addr, backend string, a *la.CSR, b la.Vector, tol float64, deadline time.Duration) (la.Vector, string) {
+	req := serve.SolveRequest{Backend: backend, N: a.Dim(), B: b, Tol: tol}
+	for i := 0; i < a.Dim(); i++ {
+		a.VisitRow(i, func(j int, v float64) {
+			req.A = append(req.A, serve.Entry{Row: i, Col: j, Val: v})
+		})
+	}
+	if deadline > 0 {
+		req.TimeoutMs = int(deadline / time.Millisecond)
+	}
+	resp, err := serve.NewClient(addr).Solve(context.Background(), req)
+	if err != nil {
+		fail("remote solve: %v", err)
+	}
+	extra := fmt.Sprintf("served by %s in %.1f ms", addr, resp.ElapsedMs)
+	if s := resp.Analog; s != nil {
+		extra += fmt.Sprintf(", analog time %.3e s, %d runs, %d refinements, %d rescales, chip class %d",
+			s.AnalogSeconds, s.Runs, s.Refinements, s.Rescales, s.ChipClass)
+	} else if s := resp.Digital; s != nil {
+		extra += fmt.Sprintf(", %d iterations, %d MACs", s.Iterations, s.MACs)
+	}
+	return la.Vector(resp.U), extra
 }
 
 // readRHS loads one float per non-empty line.

@@ -145,6 +145,22 @@ func unitOrder() []UnitClass {
 	return []UnitClass{ClassIntegrator, ClassMultiplier, ClassFanout, ClassADC, ClassDAC, ClassLUT, ClassInput}
 }
 
+// TrimCodes returns a flat snapshot of every unit's calibration codes
+// (offset trim, gain trim) in exception-vector unit order. Calibration
+// codes "remain constant during accelerator operation and between solving
+// different problems", so two snapshots bracketing any amount of solving
+// must be identical — the invariant the serve pool's stress test checks
+// when a chip comes back from a checkout.
+func (c *Chip) TrimCodes() []int {
+	codes := make([]int, 0, 2*c.NumUnits())
+	for _, cl := range unitOrder() {
+		for _, u := range c.units[cl] {
+			codes = append(codes, u.offsetTrim, u.gainTrim)
+		}
+	}
+	return codes
+}
+
 // NumUnits returns the total unit count (the exception vector length).
 func (c *Chip) NumUnits() int {
 	n := 0

@@ -1,0 +1,183 @@
+package cli
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"analogacc/internal/chip"
+	"analogacc/internal/core"
+	"analogacc/internal/la"
+	"analogacc/internal/solvers"
+)
+
+// Backend dispatch shared by cmd/alasolve and the internal/serve daemon:
+// one registry of solver names, one chip-sizing rule, one entry point that
+// runs a system on any backend. Keeping it here means the CLI and the
+// network service cannot drift apart on what "backend" means.
+
+// Backend names beyond the solvers registry.
+const (
+	BackendAnalog        = "analog"
+	BackendAnalogRefined = "analog-refined"
+	BackendDirect        = "direct"
+)
+
+// Backends lists every solvable backend: the two analog modes, dense LU,
+// and the Figure 7 iterative methods.
+func Backends() []string {
+	names := []string{BackendAnalog, BackendAnalogRefined}
+	for _, n := range solvers.AllNames() {
+		names = append(names, string(n))
+	}
+	return append(names, BackendDirect)
+}
+
+// ValidBackend reports whether name is a known backend.
+func ValidBackend(name string) bool {
+	for _, n := range Backends() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// BackendUsage is the "known backends" string for error messages and flag
+// help.
+func BackendUsage() string { return strings.Join(Backends(), " | ") }
+
+// IsAnalogBackend reports whether the backend runs on an accelerator chip
+// (and therefore needs one checked out of a pool, or built ad hoc).
+func IsAnalogBackend(name string) bool {
+	return name == BackendAnalog || name == BackendAnalogRefined
+}
+
+// SpecFor sizes a model accelerator for one system: enough multipliers per
+// macroblock for the densest row plus its bias path, and fanout trees wide
+// enough to copy each variable to its consumers.
+func SpecFor(a *la.CSR, adcBits int, bandwidth float64) chip.Spec {
+	spec := chip.ScaledSpec(a.Dim(), adcBits, bandwidth, a.MaxRowNNZ()+1)
+	spec.FanoutsPerMB = (a.MaxRowNNZ()+3)/3 + 1
+	return spec
+}
+
+// SolveParams tunes a backend run. The zero value gives the alasolve
+// defaults (tol 1e-8, 12-bit converters, 20 kHz bandwidth).
+type SolveParams struct {
+	// Tol is the convergence / refinement tolerance (default 1e-8).
+	Tol float64
+	// ADCBits and Bandwidth size the ad-hoc chip for analog backends
+	// (defaults 12 bits, 20 kHz); ignored when Acc is set.
+	ADCBits   int
+	Bandwidth float64
+	// Calibrate runs the chip init sequence before solving.
+	Calibrate bool
+	// Acc, if non-nil, is a pre-built accelerator the analog backends run
+	// on (the serve pool's warm chips); nil builds a chip sized by
+	// SpecFor. Digital backends ignore it.
+	Acc *core.Accelerator
+}
+
+func (p SolveParams) withDefaults() SolveParams {
+	if p.Tol <= 0 {
+		p.Tol = 1e-8
+	}
+	if p.ADCBits <= 0 {
+		p.ADCBits = 12
+	}
+	if p.Bandwidth <= 0 {
+		p.Bandwidth = 20e3
+	}
+	return p
+}
+
+// Outcome is what a backend run produced, with enough cost accounting for
+// both the CLI's one-line summary and the daemon's metrics.
+type Outcome struct {
+	U la.Vector
+	// Note is a human-readable cost summary ("3 refinements, ...").
+	Note string
+	// Analog is set when the solve ran on a chip; the analog cost fields
+	// below are populated only then.
+	Analog      bool
+	AnalogTime  float64
+	SettleTime  float64
+	Runs        int
+	Rescales    int
+	Overflows   int
+	Refinements int
+	ScaleS      float64
+	// Iterations and MACs are the digital iterative costs.
+	Iterations int
+	MACs       int64
+}
+
+// SolveSystem runs A·u = b on the named backend. Analog backends honor
+// ctx down to the chip's settle loop; digital backends are checked before
+// dispatch (the baselines are fast enough that mid-iteration cancellation
+// buys nothing).
+func SolveSystem(ctx context.Context, backend string, a *la.CSR, b la.Vector, p SolveParams) (Outcome, error) {
+	p = p.withDefaults()
+	if !ValidBackend(backend) {
+		return Outcome{}, fmt.Errorf("cli: unknown backend %q (known: %s)", backend, BackendUsage())
+	}
+	if err := ctx.Err(); err != nil {
+		return Outcome{}, err
+	}
+	switch backend {
+	case BackendAnalog, BackendAnalogRefined:
+		acc := p.Acc
+		if acc == nil {
+			var err error
+			acc, _, err = core.NewSimulated(SpecFor(a, p.ADCBits, p.Bandwidth))
+			if err != nil {
+				return Outcome{}, fmt.Errorf("cli: building chip: %w", err)
+			}
+		}
+		opt := core.SolveOptions{Tolerance: p.Tol, Calibrate: p.Calibrate}
+		var (
+			u     la.Vector
+			stats core.Stats
+			err   error
+		)
+		if backend == BackendAnalog {
+			u, stats, err = acc.SolveCtx(ctx, a, b, opt)
+		} else {
+			u, stats, err = acc.SolveRefinedCtx(ctx, a, b, opt)
+		}
+		if err != nil {
+			return Outcome{}, err
+		}
+		return Outcome{
+			U: u,
+			Note: fmt.Sprintf("analog time %.3e s, %d runs, %d refinements, %d rescales, value scale S=%.4g",
+				stats.AnalogTime, stats.Runs, stats.Refinements, stats.Rescales, stats.Scaling.S),
+			Analog:      true,
+			AnalogTime:  stats.AnalogTime,
+			SettleTime:  stats.SettleTime,
+			Runs:        stats.Runs,
+			Rescales:    stats.Rescales,
+			Overflows:   stats.Overflows,
+			Refinements: stats.Refinements,
+			ScaleS:      stats.Scaling.S,
+		}, nil
+	case BackendDirect:
+		u, err := solvers.SolveCSRDirect(a, b)
+		if err != nil {
+			return Outcome{}, err
+		}
+		return Outcome{U: u, Note: "dense LU with partial pivoting"}, nil
+	default:
+		res, err := solvers.Solve(solvers.Name(backend), a, b, solvers.Options{Tol: p.Tol})
+		if err != nil {
+			return Outcome{}, err
+		}
+		return Outcome{
+			U:          res.X,
+			Note:       fmt.Sprintf("%d iterations, %d MACs", res.Iterations, res.MACs),
+			Iterations: res.Iterations,
+			MACs:       res.MACs,
+		}, nil
+	}
+}

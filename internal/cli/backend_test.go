@@ -1,0 +1,98 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"analogacc/internal/core"
+	"analogacc/internal/la"
+)
+
+func eq2() (*la.CSR, la.Vector) {
+	a := la.MustCSR(2, []la.COOEntry{
+		{Row: 0, Col: 0, Val: 0.8}, {Row: 0, Col: 1, Val: 0.2},
+		{Row: 1, Col: 0, Val: 0.2}, {Row: 1, Col: 1, Val: 0.6},
+	})
+	return a, la.VectorOf(0.5, 0.3)
+}
+
+func TestBackendRegistry(t *testing.T) {
+	for _, want := range []string{"analog", "analog-refined", "cg", "jacobi", "gs", "sor", "steepest", "direct"} {
+		if !ValidBackend(want) {
+			t.Errorf("ValidBackend(%q) = false", want)
+		}
+	}
+	for _, bad := range []string{"", "typo", "Analog", "cg "} {
+		if ValidBackend(bad) {
+			t.Errorf("ValidBackend(%q) = true", bad)
+		}
+	}
+	if len(Backends()) != 8 {
+		t.Fatalf("backend registry drifted: %v", Backends())
+	}
+}
+
+func TestSolveSystemAllBackends(t *testing.T) {
+	a, b := eq2()
+	for _, backend := range Backends() {
+		out, err := SolveSystem(context.Background(), backend, a, b, SolveParams{Tol: 1e-6})
+		if err != nil {
+			t.Errorf("%s: %v", backend, err)
+			continue
+		}
+		if r := la.RelativeResidual(a, out.U, b); r > 1e-2 {
+			t.Errorf("%s: residual %v", backend, r)
+		}
+		if out.Note == "" {
+			t.Errorf("%s: empty cost note", backend)
+		}
+		if IsAnalogBackend(backend) != out.Analog {
+			t.Errorf("%s: Analog flag %v", backend, out.Analog)
+		}
+		if out.Analog && out.AnalogTime <= 0 {
+			t.Errorf("%s: no analog time accounted", backend)
+		}
+	}
+}
+
+func TestSolveSystemUnknownBackend(t *testing.T) {
+	a, b := eq2()
+	if _, err := SolveSystem(context.Background(), "typo", a, b, SolveParams{}); err == nil {
+		t.Fatal("unknown backend must fail")
+	}
+}
+
+func TestSolveSystemReusesProvidedChip(t *testing.T) {
+	a, b := eq2()
+	acc, _, err := core.NewSimulated(SpecFor(a, 12, 20e3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := acc.AnalogTime()
+	out, err := SolveSystem(context.Background(), BackendAnalogRefined, a, b, SolveParams{Acc: acc, Tol: 1e-7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.AnalogTime() <= before {
+		t.Fatal("provided accelerator was not the one that solved")
+	}
+	if r := la.RelativeResidual(a, out.U, b); r > 1e-6 {
+		t.Fatalf("residual %v", r)
+	}
+}
+
+func TestSolveSystemCancelled(t *testing.T) {
+	a, b := eq2()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SolveSystem(ctx, BackendAnalogRefined, a, b, SolveParams{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// Digital backends check the context too, before dispatch.
+	_, err = SolveSystem(ctx, "cg", a, b, SolveParams{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cg: want context.Canceled, got %v", err)
+	}
+}

@@ -182,9 +182,14 @@ func fanoutTreeSize(consumers, ways int) int {
 
 // Fits reports whether the system can be compiled onto the chip, and the
 // shortfall if not.
-func (acc *Accelerator) Fits(a Matrix) error {
+func (acc *Accelerator) Fits(a Matrix) error { return SpecFits(acc.spec, a) }
+
+// SpecFits reports whether a system can be compiled onto a chip of the
+// given design, without fabricating one — the check the serve pool uses to
+// pick the smallest size class whose chips can hold a request's matrix.
+func SpecFits(spec chip.Spec, a Matrix) error {
 	req := requirementsOf(a)
-	counts := acc.spec.Counts()
+	counts := spec.Counts()
 	n := a.Dim()
 	colUse := make([]int, n)
 	for i := 0; i < n; i++ {
@@ -192,7 +197,7 @@ func (acc *Accelerator) Fits(a Matrix) error {
 	}
 	fanouts := 0
 	for j := 0; j < n; j++ {
-		fanouts += fanoutTreeSize(colUse[j]+1, acc.spec.FanoutWays)
+		fanouts += fanoutTreeSize(colUse[j]+1, spec.FanoutWays)
 	}
 	switch {
 	case req.Variables > counts.Integrators:

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"analogacc/internal/chip"
+	"analogacc/internal/la"
+)
+
+func ctxTestSystem(t *testing.T) (*Accelerator, *la.CSR, la.Vector) {
+	t.Helper()
+	acc, _, err := NewSimulated(chip.PrototypeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := la.MustCSR(2, []la.COOEntry{
+		{Row: 0, Col: 0, Val: 0.8}, {Row: 0, Col: 1, Val: 0.2},
+		{Row: 1, Col: 0, Val: 0.2}, {Row: 1, Col: 1, Val: 0.6},
+	})
+	return acc, a, la.VectorOf(0.5, 0.3)
+}
+
+func TestSolveCtxCancelledBeforeStart(t *testing.T) {
+	acc, a, b := ctxTestSystem(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := acc.SolveCtx(ctx, a, b, SolveOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// The driver must remain usable after an aborted solve.
+	u, _, err := acc.Solve(a, b, SolveOptions{})
+	if err != nil {
+		t.Fatalf("solve after abort: %v", err)
+	}
+	if r := la.RelativeResidual(a, u, b); r > 0.05 {
+		t.Fatalf("residual %v after aborted-then-retried solve", r)
+	}
+}
+
+func TestSolveRefinedCtxDeadlineExceeded(t *testing.T) {
+	acc, a, b := ctxTestSystem(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, _, err := acc.SolveRefinedCtx(ctx, a, b, SolveOptions{Tolerance: 1e-9})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestSolveCtxCancelMidSettle(t *testing.T) {
+	acc, a, b := ctxTestSystem(t)
+	sess, err := acc.BeginSession(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A context that expires while the settle loop is polling: the check
+	// sits at every chunk boundary, so the solve must abort rather than
+	// run out its doubling budget.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(time.Millisecond)
+		cancel()
+	}()
+	_, _, err = sess.SolveForCtx(ctx, b, SolveOptions{})
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("abort must surface ctx error or succeed before cancel; got %v", err)
+	}
+	// Session stays live either way.
+	if _, _, err := sess.SolveFor(b, SolveOptions{}); err != nil {
+		t.Fatalf("solve after mid-settle cancel: %v", err)
+	}
+}
+
+func TestSolveRefinedCtxBackgroundMatchesPlain(t *testing.T) {
+	accA, a, b := ctxTestSystem(t)
+	accB, _, _ := ctxTestSystem(t)
+	uPlain, stPlain, err := accA.SolveRefined(a, b, SolveOptions{Tolerance: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uCtx, stCtx, err := accB.SolveRefinedCtx(context.Background(), a, b, SolveOptions{Tolerance: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !uPlain.Equal(uCtx, 0) {
+		t.Fatalf("ctx wrapper changed the result: %v vs %v", uPlain, uCtx)
+	}
+	if stPlain.Runs != stCtx.Runs || stPlain.Refinements != stCtx.Refinements {
+		t.Fatalf("ctx wrapper changed the work: %+v vs %+v", stPlain, stCtx)
+	}
+}
+
+func TestSpecFitsMatchesAcceleratorFits(t *testing.T) {
+	spec := chip.PrototypeSpec()
+	acc, _, err := NewSimulated(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := la.MustCSR(2, []la.COOEntry{{Row: 0, Col: 0, Val: 1}, {Row: 1, Col: 1, Val: 1}})
+	grid, err := la.NewGrid(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := la.PoissonMatrix(grid)
+	for _, m := range []Matrix{small, big} {
+		got, want := SpecFits(spec, m), acc.Fits(m)
+		if (got == nil) != (want == nil) {
+			t.Fatalf("SpecFits=%v but Fits=%v", got, want)
+		}
+	}
+	if err := SpecFits(spec, big); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("64-variable system must not fit the 4-macroblock prototype: %v", err)
+	}
+}

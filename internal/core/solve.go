@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -65,6 +66,10 @@ type Stats struct {
 	Runs int
 	// Rescales counts overflow- or range-driven re-scalings.
 	Rescales int
+	// Overflows counts the overflow exceptions latched by the chip (the
+	// subset of Rescales driven by the exception mechanism rather than
+	// the dynamic-range boost).
+	Overflows int
 	// Refinements counts Algorithm 2 passes (SolveRefined only).
 	Refinements int
 	// Scaling records the final value/solution scales used.
@@ -83,6 +88,7 @@ func (s *Stats) add(other Stats) {
 	s.AnalogTime += other.AnalogTime
 	s.Runs += other.Runs
 	s.Rescales += other.Rescales
+	s.Overflows += other.Overflows
 }
 
 // Session is a compiled system resident on the chip: the matrix gains and
@@ -205,7 +211,17 @@ func (s *Session) settleTolerances() la.Vector {
 // overflow halves the solution scale and retries; a settled solution using
 // almost none of the dynamic range is re-run at a tighter scale for
 // precision.
-func (s *Session) SolveFor(rhs la.Vector, opt SolveOptions) (u la.Vector, stats Stats, err error) {
+func (s *Session) SolveFor(rhs la.Vector, opt SolveOptions) (la.Vector, Stats, error) {
+	return s.SolveForCtx(context.Background(), rhs, opt)
+}
+
+// SolveForCtx is SolveFor under a context: the host polls ctx at every
+// rescale attempt and at every settle-poll chunk boundary. Each armed run
+// is already bounded by the chip's timeout timer, so control returns to
+// the host (and the context is observed) within one doubling chunk — a
+// cancelled or expired deadline aborts the solve with ctx's error, leaving
+// the chip held but reusable (the next solve reprograms it).
+func (s *Session) SolveForCtx(ctx context.Context, rhs la.Vector, opt SolveOptions) (u la.Vector, stats Stats, err error) {
 	opt = opt.withDefaults()
 	stats = Stats{Scaling: s.sc}
 	if len(rhs) != s.n {
@@ -243,11 +259,14 @@ func (s *Session) SolveFor(rhs la.Vector, opt SolveOptions) (u la.Vector, stats 
 	}()
 
 	for attempt := 0; attempt <= opt.MaxRescales; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, fmt.Errorf("core: solve aborted before attempt %d: %w", attempt, err)
+		}
 		bs := rhs.Scaled(1 / (s.sc.S * sigma))
 		if err := s.acc.reprogramBias(bs, nil); err != nil {
 			return nil, stats, err
 		}
-		settled, overflowed, settleTime, err := s.settle(bs, opt)
+		settled, overflowed, settleTime, err := s.settle(ctx, bs, opt)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -255,6 +274,7 @@ func (s *Session) SolveFor(rhs la.Vector, opt SolveOptions) (u la.Vector, stats 
 		if overflowed {
 			sigma *= 2
 			stats.Rescales++
+			stats.Overflows++
 			continue
 		}
 		if !settled {
@@ -308,7 +328,7 @@ func (s *Session) SolveFor(rhs la.Vector, opt SolveOptions) (u la.Vector, stats 
 // state stops evolving when the bias is small relative to full scale).
 // On success it also returns the midpoint estimate of when settling
 // happened: the event is bracketed inside the final chunk.
-func (s *Session) settle(bs la.Vector, opt SolveOptions) (settled, overflowed bool, settleTime float64, err error) {
+func (s *Session) settle(ctx context.Context, bs la.Vector, opt SolveOptions) (settled, overflowed bool, settleTime float64, err error) {
 	k := 2 * math.Pi * s.acc.spec.Bandwidth
 	chunk := 2 / k
 	tols := s.settleTolerances()
@@ -352,6 +372,9 @@ func (s *Session) settle(bs la.Vector, opt SolveOptions) (settled, overflowed bo
 	elapsed := 0.0
 	prevT, prevM := 0.0, math.Inf(1) // residual-margin history for interpolation
 	for d := 0; d < opt.MaxDoublings; d++ {
+		if err := ctx.Err(); err != nil {
+			return false, false, 0, fmt.Errorf("core: settle aborted after %d chunks: %w", d, err)
+		}
 		if err := s.acc.runFor(chunk); err != nil {
 			return false, false, 0, err
 		}
@@ -410,11 +433,17 @@ func (s *Session) settle(bs la.Vector, opt SolveOptions) (settled, overflowed bo
 // Solve compiles and solves A·u = b in one shot: one analog run's worth of
 // precision (bounded by the ADC), Section IV-A's basic usage.
 func (acc *Accelerator) Solve(a Matrix, b la.Vector, opt SolveOptions) (la.Vector, Stats, error) {
+	return acc.SolveCtx(context.Background(), a, b, opt)
+}
+
+// SolveCtx is Solve under a context (see Session.SolveForCtx for the
+// cancellation points).
+func (acc *Accelerator) SolveCtx(ctx context.Context, a Matrix, b la.Vector, opt SolveOptions) (la.Vector, Stats, error) {
 	sess, err := acc.BeginSession(a)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	return sess.SolveFor(b, opt)
+	return sess.SolveForCtx(ctx, b, opt)
 }
 
 // SolveRefined runs Algorithm 2: repeated analog solves against the
@@ -425,16 +454,30 @@ func (acc *Accelerator) Solve(a Matrix, b la.Vector, opt SolveOptions) (la.Vecto
 // results ... can be increased arbitrarily irrespective of the resolution
 // of the analog-to-digital converter".
 func (acc *Accelerator) SolveRefined(a Matrix, b la.Vector, opt SolveOptions) (la.Vector, Stats, error) {
+	return acc.SolveRefinedCtx(context.Background(), a, b, opt)
+}
+
+// SolveRefinedCtx is SolveRefined under a context: the context is polled
+// between refinement passes and inside every analog solve.
+func (acc *Accelerator) SolveRefinedCtx(ctx context.Context, a Matrix, b la.Vector, opt SolveOptions) (la.Vector, Stats, error) {
 	opt = opt.withDefaults()
 	sess, err := acc.BeginSession(a)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	return sess.SolveForRefined(b, opt)
+	return sess.SolveForRefinedCtx(ctx, b, opt)
 }
 
 // SolveForRefined is Algorithm 2 against an existing session.
 func (s *Session) SolveForRefined(b la.Vector, opt SolveOptions) (la.Vector, Stats, error) {
+	return s.SolveForRefinedCtx(context.Background(), b, opt)
+}
+
+// SolveForRefinedCtx is SolveForRefined under a context: cancellation is
+// checked before every refinement pass (and inside each pass's rescale and
+// settle loops), so a deadline aborts between passes with the partial
+// accumulation discarded.
+func (s *Session) SolveForRefinedCtx(ctx context.Context, b la.Vector, opt SolveOptions) (la.Vector, Stats, error) {
 	opt = opt.withDefaults()
 	total := Stats{Scaling: s.sc}
 	uPrecise := la.NewVector(s.n)
@@ -453,7 +496,10 @@ func (s *Session) SolveForRefined(b la.Vector, opt SolveOptions) (la.Vector, Sta
 			total.Scaling = s.sc
 			return uPrecise, total, nil
 		}
-		uFinal, st, err := s.SolveFor(residual, opt)
+		if err := ctx.Err(); err != nil {
+			return uPrecise, total, fmt.Errorf("core: refinement aborted before pass %d: %w", pass, err)
+		}
+		uFinal, st, err := s.SolveForCtx(ctx, residual, opt)
 		total.add(st)
 		total.SettleTime += st.SettleTime
 		if err != nil {

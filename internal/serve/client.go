@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client submits solve requests to a running alad daemon. It is what
+// `alasolve -server <addr>` uses, so the CLI and the service share one
+// request schema by construction.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// NewClient accepts "host:port" or a full http(s) URL.
+func NewClient(addr string) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &Client{BaseURL: strings.TrimRight(addr, "/")}
+}
+
+// BusyError is the typed 429: the daemon's admission queue is full.
+type BusyError struct {
+	// RetryAfter is the server's backoff hint.
+	RetryAfter time.Duration
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("serve: server busy, retry after %v", e.RetryAfter)
+}
+
+// RemoteError is any other non-2xx answer, with the server's stable error
+// code preserved.
+type RemoteError struct {
+	StatusCode int
+	Code       string
+	Message    string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("serve: server error %d (%s): %s", e.StatusCode, e.Code, e.Message)
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// Solve submits one request and returns the server's answer. A full
+// admission queue surfaces as *BusyError; other failures as *RemoteError.
+func (c *Client) Solve(ctx context.Context, req SolveRequest) (*SolveResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("serve: encoding request: %w", err)
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/solve", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(httpReq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		retry := time.Second
+		if v, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && v > 0 {
+			retry = time.Duration(v) * time.Second
+		}
+		io.Copy(io.Discard, resp.Body)
+		return nil, &BusyError{RetryAfter: retry}
+	}
+	if resp.StatusCode != http.StatusOK {
+		var er ErrorResponse
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		if json.Unmarshal(msg, &er) != nil || er.Error == "" {
+			er = ErrorResponse{Code: CodeInternal, Error: strings.TrimSpace(string(msg))}
+		}
+		return nil, &RemoteError{StatusCode: resp.StatusCode, Code: er.Code, Message: er.Error}
+	}
+	var out SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("serve: decoding response: %w", err)
+	}
+	return &out, nil
+}
+
+// Healthz checks the daemon's health endpoint.
+func (c *Client) Healthz(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("serve: healthz status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Metrics fetches the raw /metrics text (the smoke test scrapes it).
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("serve: metrics status %d", resp.StatusCode)
+	}
+	return string(raw), nil
+}

@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the daemon's observability surface: counters and gauges for
+// admission, solving, and analog cost, plus a request-latency histogram.
+// Everything is exported in a Prometheus-compatible text format by
+// WriteTo; cmd/alad additionally publishes the same snapshot via expvar.
+type Metrics struct {
+	start time.Time
+
+	// Admission.
+	rejected atomic.Int64 // 429s
+	inFlight atomic.Int64 // requests actively solving
+
+	// Outcomes.
+	deadlineExceeded atomic.Int64
+	solveErrors      atomic.Int64
+
+	// Analog cost accumulators.
+	runs        atomic.Int64
+	rescales    atomic.Int64
+	overflows   atomic.Int64
+	refinements atomic.Int64
+
+	mu            sync.Mutex
+	solves        map[string]int64 // by backend
+	analogSeconds float64
+
+	// Latency histogram (seconds, cumulative le-buckets + +Inf).
+	latBounds []float64
+	latCounts []atomic.Int64
+	latSum    atomic.Int64 // microseconds, to stay atomic
+	latN      atomic.Int64
+}
+
+// NewMetrics returns a zeroed metrics set.
+func NewMetrics() *Metrics {
+	bounds := []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+	return &Metrics{
+		start:     time.Now(),
+		solves:    make(map[string]int64),
+		latBounds: bounds,
+		latCounts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Rejected records one 429.
+func (m *Metrics) Rejected() { m.rejected.Add(1) }
+
+// SolveStarted / SolveFinished bracket the in-flight gauge.
+func (m *Metrics) SolveStarted() { m.inFlight.Add(1) }
+
+// SolveFinished decrements the in-flight gauge.
+func (m *Metrics) SolveFinished() { m.inFlight.Add(-1) }
+
+// DeadlineExceeded records a solve aborted by its deadline.
+func (m *Metrics) DeadlineExceeded() { m.deadlineExceeded.Add(1) }
+
+// SolveError records a failed solve (non-deadline).
+func (m *Metrics) SolveError() { m.solveErrors.Add(1) }
+
+// SolveOK records a completed solve and its analog cost.
+func (m *Metrics) SolveOK(backend string, analogSeconds float64, runs, rescales, overflows, refinements int) {
+	m.runs.Add(int64(runs))
+	m.rescales.Add(int64(rescales))
+	m.overflows.Add(int64(overflows))
+	m.refinements.Add(int64(refinements))
+	m.mu.Lock()
+	m.solves[backend]++
+	m.analogSeconds += analogSeconds
+	m.mu.Unlock()
+}
+
+// ObserveLatency records one request's wall-clock solve latency.
+func (m *Metrics) ObserveLatency(d time.Duration) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(m.latBounds, s)
+	m.latCounts[i].Add(1)
+	m.latSum.Add(d.Microseconds())
+	m.latN.Add(1)
+}
+
+// Snapshot is a point-in-time copy of every metric, used both by the
+// /metrics text format and by expvar.
+type Snapshot struct {
+	UptimeSeconds    float64          `json:"uptime_seconds"`
+	QueueDepth       int              `json:"queue_depth"`
+	InFlight         int64            `json:"inflight"`
+	Rejected         int64            `json:"rejected_total"`
+	DeadlineExceeded int64            `json:"deadline_exceeded_total"`
+	SolveErrors      int64            `json:"solve_errors_total"`
+	Solves           map[string]int64 `json:"solves_total"`
+	AnalogSeconds    float64          `json:"analog_seconds_total"`
+	Runs             int64            `json:"runs_total"`
+	Rescales         int64            `json:"rescales_total"`
+	Overflows        int64            `json:"overflows_total"`
+	Refinements      int64            `json:"refinements_total"`
+	PoolBuilds       int64            `json:"pool_builds_total"`
+	PoolCalibrations int64            `json:"pool_calibrations_total"`
+	PoolClasses      []ClassStat      `json:"pool_classes"`
+}
+
+// snapshot collects everything except the histogram (which only the text
+// format renders). queueDepth and pool are sampled by the caller.
+func (m *Metrics) snapshot(queueDepth int, pool *Pool) Snapshot {
+	s := Snapshot{
+		UptimeSeconds:    time.Since(m.start).Seconds(),
+		QueueDepth:       queueDepth,
+		InFlight:         m.inFlight.Load(),
+		Rejected:         m.rejected.Load(),
+		DeadlineExceeded: m.deadlineExceeded.Load(),
+		SolveErrors:      m.solveErrors.Load(),
+		Runs:             m.runs.Load(),
+		Rescales:         m.rescales.Load(),
+		Overflows:        m.overflows.Load(),
+		Refinements:      m.refinements.Load(),
+		Solves:           make(map[string]int64),
+	}
+	m.mu.Lock()
+	for k, v := range m.solves {
+		s.Solves[k] = v
+	}
+	s.AnalogSeconds = m.analogSeconds
+	m.mu.Unlock()
+	if pool != nil {
+		s.PoolBuilds = pool.Builds()
+		s.PoolCalibrations = pool.Calibrations()
+		s.PoolClasses = pool.Stats()
+	}
+	return s
+}
+
+// writeTo renders the Prometheus text format.
+func (m *Metrics) writeTo(w io.Writer, queueDepth int, pool *Pool) {
+	s := m.snapshot(queueDepth, pool)
+	fmt.Fprintf(w, "# TYPE alad_uptime_seconds gauge\nalad_uptime_seconds %g\n", s.UptimeSeconds)
+	fmt.Fprintf(w, "# TYPE alad_queue_depth gauge\nalad_queue_depth %d\n", s.QueueDepth)
+	fmt.Fprintf(w, "# TYPE alad_inflight gauge\nalad_inflight %d\n", s.InFlight)
+	fmt.Fprintf(w, "# TYPE alad_rejected_total counter\nalad_rejected_total %d\n", s.Rejected)
+	fmt.Fprintf(w, "# TYPE alad_deadline_exceeded_total counter\nalad_deadline_exceeded_total %d\n", s.DeadlineExceeded)
+	fmt.Fprintf(w, "# TYPE alad_solve_errors_total counter\nalad_solve_errors_total %d\n", s.SolveErrors)
+	fmt.Fprint(w, "# TYPE alad_solves_total counter\n")
+	backends := make([]string, 0, len(s.Solves))
+	for k := range s.Solves {
+		backends = append(backends, k)
+	}
+	sort.Strings(backends)
+	for _, k := range backends {
+		fmt.Fprintf(w, "alad_solves_total{backend=%q} %d\n", k, s.Solves[k])
+	}
+	fmt.Fprintf(w, "# TYPE alad_analog_seconds_total counter\nalad_analog_seconds_total %g\n", s.AnalogSeconds)
+	fmt.Fprintf(w, "# TYPE alad_runs_total counter\nalad_runs_total %d\n", s.Runs)
+	fmt.Fprintf(w, "# TYPE alad_rescales_total counter\nalad_rescales_total %d\n", s.Rescales)
+	fmt.Fprintf(w, "# TYPE alad_overflows_total counter\nalad_overflows_total %d\n", s.Overflows)
+	fmt.Fprintf(w, "# TYPE alad_refinements_total counter\nalad_refinements_total %d\n", s.Refinements)
+	fmt.Fprintf(w, "# TYPE alad_pool_builds_total counter\nalad_pool_builds_total %d\n", s.PoolBuilds)
+	fmt.Fprintf(w, "# TYPE alad_pool_calibrations_total counter\nalad_pool_calibrations_total %d\n", s.PoolCalibrations)
+	fmt.Fprint(w, "# TYPE alad_pool_chips_built gauge\n# TYPE alad_pool_chips_free gauge\n")
+	for _, c := range s.PoolClasses {
+		fmt.Fprintf(w, "alad_pool_chips_built{class=\"%d\"} %d\n", c.Class, c.Built)
+		fmt.Fprintf(w, "alad_pool_chips_free{class=\"%d\"} %d\n", c.Class, c.Free)
+	}
+	fmt.Fprint(w, "# TYPE alad_request_seconds histogram\n")
+	var cum int64
+	for i, bound := range m.latBounds {
+		cum += m.latCounts[i].Load()
+		fmt.Fprintf(w, "alad_request_seconds_bucket{le=\"%g\"} %d\n", bound, cum)
+	}
+	cum += m.latCounts[len(m.latBounds)].Load()
+	fmt.Fprintf(w, "alad_request_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "alad_request_seconds_sum %g\n", float64(m.latSum.Load())/1e6)
+	fmt.Fprintf(w, "alad_request_seconds_count %d\n", m.latN.Load())
+}

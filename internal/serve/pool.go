@@ -1,0 +1,338 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"analogacc/internal/chip"
+	"analogacc/internal/core"
+)
+
+// The chip pool. Building a simulated accelerator and trimming its units
+// (the Table I init sequence) is the expensive part of an analog solve, so
+// the daemon keeps a fixed set of pre-built, pre-calibrated chips warm and
+// lends them out per request. Chips are grouped into size classes (dims
+// doubling from MinClass up to MaxDim); a request lands on the smallest
+// class whose ChipSpec fits its matrix (core.SpecFits — structure, not
+// just order, decides: a dense row needs more multipliers and fanout
+// copies than a stencil row). Classes named in WarmSizes are built at
+// startup; anything else is constructed and calibrated lazily on first
+// use, up to ChipsPerClass chips per class.
+
+// PoolConfig sizes the pool. The zero value gives a small warm pool
+// suitable for tests; cmd/alad exposes the knobs as flags.
+type PoolConfig struct {
+	// ChipsPerClass caps how many chips each size class may hold
+	// (default 2).
+	ChipsPerClass int
+	// WarmSizes lists system orders whose classes are pre-built (and
+	// pre-calibrated) at NewPool time (default {4}).
+	WarmSizes []int
+	// MinClass is the smallest class dimension (default 4).
+	MinClass int
+	// MaxDim is the largest class dimension; systems that do not fit any
+	// class up to it are rejected with core.ErrTooLarge (default 256).
+	MaxDim int
+	// ADCBits and Bandwidth parameterize every class's ChipSpec
+	// (defaults 12 bits, 20 kHz).
+	ADCBits   int
+	Bandwidth float64
+	// MulsPerMB is the multiplier budget per macroblock (default 8:
+	// seven coefficients plus the bias path — enough for 3-D stencil
+	// rows; denser rows escalate to a larger class).
+	MulsPerMB int
+	// SkipCalibrate leaves chips untrimmed at build (tests only; real
+	// serving wants calibrated chips).
+	SkipCalibrate bool
+	// Seed varies per-chip process variation; each built chip draws from
+	// Seed offset by its class and slot so no two chips are identical.
+	Seed int64
+}
+
+func (c PoolConfig) withDefaults() PoolConfig {
+	if c.ChipsPerClass <= 0 {
+		c.ChipsPerClass = 2
+	}
+	if c.MinClass <= 0 {
+		c.MinClass = 4
+	}
+	if c.MaxDim <= 0 {
+		c.MaxDim = 256
+	}
+	if c.ADCBits <= 0 {
+		c.ADCBits = 12
+	}
+	if c.Bandwidth <= 0 {
+		c.Bandwidth = 20e3
+	}
+	if c.MulsPerMB <= 0 {
+		c.MulsPerMB = 8
+	}
+	if c.WarmSizes == nil {
+		c.WarmSizes = []int{4}
+	}
+	return c
+}
+
+// PooledChip is one accelerator on loan from the pool. Acc is the driver
+// the solve runs on; Dev is the bench handle (the stress test snapshots
+// its calibration trims).
+type PooledChip struct {
+	Acc   *core.Accelerator
+	Dev   *chip.Chip
+	Class int
+	slot  int
+	inUse atomic.Bool
+}
+
+type subpool struct {
+	dim  int
+	spec chip.Spec
+	free chan *PooledChip
+
+	mu    sync.Mutex
+	built int
+}
+
+// Pool is the chip pool: per-size sub-pools with checkout/checkin
+// semantics. Safe for concurrent use.
+type Pool struct {
+	cfg PoolConfig
+
+	mu      sync.Mutex
+	classes map[int]*subpool
+
+	// builds and calibrations count chip constructions (for /metrics).
+	builds       atomic.Int64
+	calibrations atomic.Int64
+}
+
+// NewPool builds the pool and pre-warms the classes covering
+// cfg.WarmSizes.
+func NewPool(cfg PoolConfig) (*Pool, error) {
+	cfg = cfg.withDefaults()
+	p := &Pool{cfg: cfg, classes: make(map[int]*subpool)}
+	for _, n := range cfg.WarmSizes {
+		if n > cfg.MaxDim {
+			return nil, fmt.Errorf("serve: warm size %d exceeds max dimension %d", n, cfg.MaxDim)
+		}
+		sp := p.subpoolFor(p.classFor(n))
+		for {
+			slot, ok := sp.reserve(cfg.ChipsPerClass)
+			if !ok {
+				break
+			}
+			c, err := p.build(sp, slot)
+			if err != nil {
+				return nil, fmt.Errorf("serve: warming class %d: %w", sp.dim, err)
+			}
+			sp.free <- c
+		}
+	}
+	return p, nil
+}
+
+// classFor rounds a system order up to its size class: the first
+// power-of-two multiple of MinClass that holds dim.
+func (p *Pool) classFor(dim int) int {
+	class := p.cfg.MinClass
+	for class < dim && class < p.cfg.MaxDim {
+		class *= 2
+	}
+	return class
+}
+
+// specFor is the chip design of one size class.
+func (p *Pool) specFor(class int) chip.Spec {
+	spec := chip.ScaledSpec(class, p.cfg.ADCBits, p.cfg.Bandwidth, p.cfg.MulsPerMB)
+	spec.FanoutsPerMB = 2
+	return spec
+}
+
+func (p *Pool) subpoolFor(class int) *subpool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sp, ok := p.classes[class]
+	if !ok {
+		sp = &subpool{
+			dim:  class,
+			spec: p.specFor(class),
+			free: make(chan *PooledChip, p.cfg.ChipsPerClass),
+		}
+		p.classes[class] = sp
+	}
+	return sp
+}
+
+// reserve claims a build slot if the class is below its cap. The check
+// and the claim are one critical section so two concurrent checkouts can
+// never both build the same slot past the cap.
+func (sp *subpool) reserve(cap int) (slot int, ok bool) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.built >= cap {
+		return 0, false
+	}
+	slot = sp.built
+	sp.built++
+	return slot, true
+}
+
+// build fabricates (and unless configured otherwise, calibrates) one chip
+// for a subpool slot already reserved via sp.reserve.
+func (p *Pool) build(sp *subpool, slot int) (*PooledChip, error) {
+	spec := sp.spec
+	spec.Seed = p.cfg.Seed + int64(sp.dim)*1009 + int64(slot)
+	acc, dev, err := core.NewSimulated(spec)
+	if err != nil {
+		sp.mu.Lock()
+		sp.built--
+		sp.mu.Unlock()
+		return nil, err
+	}
+	p.builds.Add(1)
+	if !p.cfg.SkipCalibrate {
+		if _, err := acc.Calibrate(); err != nil {
+			sp.mu.Lock()
+			sp.built--
+			sp.mu.Unlock()
+			return nil, fmt.Errorf("serve: calibrating class-%d chip: %w", sp.dim, err)
+		}
+		p.calibrations.Add(1)
+	}
+	return &PooledChip{Acc: acc, Dev: dev, Class: sp.dim, slot: slot}, nil
+}
+
+// Checkout lends out a calibrated chip whose design fits the matrix,
+// blocking (under ctx) when every fitting chip is on loan. Requests whose
+// structure exceeds every class up to MaxDim fail with core.ErrTooLarge.
+func (p *Pool) Checkout(ctx context.Context, a core.Matrix) (*PooledChip, error) {
+	var lastFit error
+	for class := p.classFor(a.Dim()); class <= p.cfg.MaxDim; class *= 2 {
+		sp := p.subpoolFor(class)
+		if err := core.SpecFits(sp.spec, a); err != nil {
+			// Too dense for this class's per-variable budget: escalate
+			// to the next class, whose totals are twice as large.
+			lastFit = err
+			continue
+		}
+		return p.checkout(ctx, sp)
+	}
+	if lastFit == nil {
+		lastFit = fmt.Errorf("serve: order %d exceeds pool max dimension %d: %w",
+			a.Dim(), p.cfg.MaxDim, core.ErrTooLarge)
+	}
+	return nil, fmt.Errorf("serve: no pool class up to %d fits the system: %w", p.cfg.MaxDim, lastFit)
+}
+
+func (p *Pool) checkout(ctx context.Context, sp *subpool) (*PooledChip, error) {
+	// Fast path: a warm chip is free.
+	select {
+	case c := <-sp.free:
+		return c.lend()
+	default:
+	}
+	// Lazy construction while the class is below its cap.
+	if slot, ok := sp.reserve(p.cfg.ChipsPerClass); ok {
+		c, err := p.build(sp, slot)
+		if err != nil {
+			return nil, err
+		}
+		return c.lend()
+	}
+	// Every chip in the class is on loan: wait for a checkin or the
+	// request's deadline, whichever comes first.
+	select {
+	case c := <-sp.free:
+		return c.lend()
+	case <-ctx.Done():
+		return nil, fmt.Errorf("serve: waiting for a class-%d chip: %w", sp.dim, ctx.Err())
+	}
+}
+
+func (c *PooledChip) lend() (*PooledChip, error) {
+	if c.inUse.Swap(true) {
+		// Cannot happen through the channel discipline; a panic here
+		// means the pool invariant broke and solving on a shared chip
+		// would corrupt results silently.
+		panic(fmt.Sprintf("serve: class-%d chip %d checked out twice", c.Class, c.slot))
+	}
+	return c, nil
+}
+
+// Checkin returns a chip to its class's free list. The chip's calibration
+// trims persist across loans (they "remain constant during accelerator
+// operation and between solving different problems") — nothing is
+// re-trimmed on the way back in.
+func (p *Pool) Checkin(c *PooledChip) {
+	if c == nil {
+		return
+	}
+	if !c.inUse.Swap(false) {
+		panic(fmt.Sprintf("serve: class-%d chip %d checked in while free", c.Class, c.slot))
+	}
+	sp := p.subpoolFor(c.Class)
+	select {
+	case sp.free <- c:
+	default:
+		panic(fmt.Sprintf("serve: class-%d free list overflow", c.Class))
+	}
+}
+
+// ClassStat is one size class's inventory for /metrics.
+type ClassStat struct {
+	Class int
+	Built int
+	Free  int
+}
+
+// Stats snapshots the pool inventory, smallest class first.
+func (p *Pool) Stats() []ClassStat {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]ClassStat, 0, len(p.classes))
+	for _, sp := range p.classes {
+		sp.mu.Lock()
+		out = append(out, ClassStat{Class: sp.dim, Built: sp.built, Free: len(sp.free)})
+		sp.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out
+}
+
+// Builds returns how many chips the pool has fabricated.
+func (p *Pool) Builds() int64 { return p.builds.Load() }
+
+// Calibrations returns how many init sequences the pool has run.
+func (p *Pool) Calibrations() int64 { return p.calibrations.Load() }
+
+// AnalogSeconds sums virtual analog time across every built chip still
+// known to the pool (on loan or free) — the fleet-wide convergence-time
+// odometer. It reads free-list chips without checking them out, which is
+// safe: AnalogTime is monotone and a torn read only lags.
+func (p *Pool) AnalogSeconds() float64 {
+	// Accelerator.AnalogTime is not synchronized, so instead of touching
+	// chips on loan we only visit free chips by cycling the free list.
+	p.mu.Lock()
+	subs := make([]*subpool, 0, len(p.classes))
+	for _, sp := range p.classes {
+		subs = append(subs, sp)
+	}
+	p.mu.Unlock()
+	var total float64
+	for _, sp := range subs {
+		n := len(sp.free)
+		for i := 0; i < n; i++ {
+			select {
+			case c := <-sp.free:
+				total += c.Acc.AnalogTime()
+				sp.free <- c
+			default:
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,172 @@
+// Package serve is the networked solve service: an HTTP/JSON front end
+// over the accelerator architecture, scaled out one level above the
+// paper's host/peripheral split. Where internal/core is one digital host
+// driving one analog chip over the Table I ISA, serve is a service host
+// driving a *pool* of simulated chips — pre-built, pre-calibrated, checked
+// out per request — behind a bounded admission queue with backpressure,
+// per-request deadlines propagated down into the chip's settle loop, and
+// an observability surface (/metrics, /healthz).
+//
+// The request schema here is shared verbatim by the server handlers, the
+// Go Client, and alasolve -server, so the CLI and the daemon cannot drift.
+package serve
+
+import (
+	"fmt"
+	"strings"
+
+	"analogacc/internal/la"
+)
+
+// Entry is one matrix coefficient in the structured request form.
+type Entry struct {
+	Row int     `json:"i"`
+	Col int     `json:"j"`
+	Val float64 `json:"v"`
+}
+
+// SolveRequest asks the service to solve A·u = b. Exactly one of the
+// three payload forms must be present:
+//
+//   - structured: N, A (triplets, duplicates sum) and B;
+//   - System: a raw triplet-format file (la.ReadSystem), carrying both A
+//     and b — B, if also set, overrides the file's right-hand side;
+//   - MatrixMarket: a raw MatrixMarket coordinate file carrying A; B is
+//     the right-hand side (default: all ones).
+type SolveRequest struct {
+	// Backend selects the solver (default "analog-refined"); see
+	// cli.Backends for the registry.
+	Backend string `json:"backend,omitempty"`
+
+	N int       `json:"n,omitempty"`
+	A []Entry   `json:"A,omitempty"`
+	B []float64 `json:"b,omitempty"`
+
+	System       string `json:"system,omitempty"`
+	MatrixMarket string `json:"matrix_market,omitempty"`
+
+	// Tol is the convergence / refinement tolerance (default 1e-8).
+	Tol float64 `json:"tol,omitempty"`
+	// TimeoutMs caps this request's solve deadline; the server clamps it
+	// to its own maximum. Zero means the server default.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// BuildSystem materializes the request's system in whichever form it was
+// sent. Errors are client errors (HTTP 400).
+func (r *SolveRequest) BuildSystem() (*la.CSR, la.Vector, error) {
+	forms := 0
+	if len(r.A) > 0 || r.N > 0 {
+		forms++
+	}
+	if r.System != "" {
+		forms++
+	}
+	if r.MatrixMarket != "" {
+		forms++
+	}
+	if forms != 1 {
+		return nil, nil, fmt.Errorf("serve: request must carry exactly one of (n,A,b), system, matrix_market; got %d forms", forms)
+	}
+	switch {
+	case r.System != "":
+		a, b, err := la.ReadSystem(strings.NewReader(r.System))
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(r.B) > 0 {
+			if len(r.B) != a.Dim() {
+				return nil, nil, fmt.Errorf("serve: b has %d values, matrix order is %d", len(r.B), a.Dim())
+			}
+			b = la.Vector(r.B)
+		}
+		return a, b, nil
+	case r.MatrixMarket != "":
+		a, err := la.ReadMatrixMarket(strings.NewReader(r.MatrixMarket))
+		if err != nil {
+			return nil, nil, err
+		}
+		b := la.Constant(a.Dim(), 1)
+		if len(r.B) > 0 {
+			if len(r.B) != a.Dim() {
+				return nil, nil, fmt.Errorf("serve: b has %d values, matrix order is %d", len(r.B), a.Dim())
+			}
+			b = la.Vector(r.B)
+		}
+		return a, b, nil
+	default:
+		if r.N <= 0 {
+			return nil, nil, fmt.Errorf("serve: structured request needs n > 0")
+		}
+		if len(r.A) == 0 {
+			return nil, nil, fmt.Errorf("serve: structured request needs matrix entries in A")
+		}
+		if len(r.B) != r.N {
+			return nil, nil, fmt.Errorf("serve: b has %d values, n is %d", len(r.B), r.N)
+		}
+		entries := make([]la.COOEntry, len(r.A))
+		for i, e := range r.A {
+			entries[i] = la.COOEntry{Row: e.Row, Col: e.Col, Val: e.Val}
+		}
+		a, err := la.NewCSR(r.N, entries)
+		if err != nil {
+			return nil, nil, err
+		}
+		return a, la.Vector(r.B), nil
+	}
+}
+
+// AnalogStats is the analog cost block of a response (present only when
+// the solve ran on a chip).
+type AnalogStats struct {
+	// AnalogSeconds is the virtual analog time armed for this solve — the
+	// paper's convergence-time metric.
+	AnalogSeconds float64 `json:"analog_seconds"`
+	// SettleSeconds estimates when the final run actually settled.
+	SettleSeconds float64 `json:"settle_seconds"`
+	Runs          int     `json:"runs"`
+	Rescales      int     `json:"rescales"`
+	Overflows     int     `json:"overflows"`
+	Refinements   int     `json:"refinements"`
+	// ScaleS is the final value scale the solve used.
+	ScaleS float64 `json:"scale_s"`
+	// ChipClass is the pool size class the chip came from.
+	ChipClass int `json:"chip_class,omitempty"`
+}
+
+// DigitalStats is the iterative-baseline cost block.
+type DigitalStats struct {
+	Iterations int   `json:"iterations"`
+	MACs       int64 `json:"macs"`
+}
+
+// SolveResponse is the service's answer.
+type SolveResponse struct {
+	U       []float64 `json:"u"`
+	N       int       `json:"n"`
+	Backend string    `json:"backend"`
+	// Residual is the digital relative residual ‖b − A·u‖∞/‖b‖∞.
+	Residual  float64       `json:"residual"`
+	ElapsedMs float64       `json:"elapsed_ms"`
+	Analog    *AnalogStats  `json:"analog,omitempty"`
+	Digital   *DigitalStats `json:"digital,omitempty"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx answer.
+type ErrorResponse struct {
+	// Code is a stable machine-readable error class: bad_request,
+	// bad_backend, too_large, busy, deadline, solve_failed, internal.
+	Code  string `json:"code"`
+	Error string `json:"error"`
+}
+
+// Stable error codes.
+const (
+	CodeBadRequest  = "bad_request"
+	CodeBadBackend  = "bad_backend"
+	CodeTooLarge    = "too_large"
+	CodeBusy        = "busy"
+	CodeDeadline    = "deadline"
+	CodeSolveFailed = "solve_failed"
+	CodeInternal    = "internal"
+)

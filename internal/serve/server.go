@@ -1,0 +1,271 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"analogacc/internal/cli"
+	"analogacc/internal/core"
+	"analogacc/internal/la"
+)
+
+// Config sizes the server. The zero value gives sensible defaults.
+type Config struct {
+	// Pool sizes the chip pool.
+	Pool PoolConfig
+	// QueueBound caps admitted requests (queued waiting for a chip plus
+	// actively solving). Beyond it the server answers 429 with a
+	// Retry-After hint instead of queueing unboundedly (default 64).
+	QueueBound int
+	// DefaultTimeout is the per-request solve deadline when the request
+	// carries none (default 30s); MaxTimeout clamps what a request may
+	// ask for (default 2m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// RetryAfter is the backoff hint sent with 429s (default 1s).
+	RetryAfter time.Duration
+	// MaxBodyBytes bounds request bodies (default 32 MiB).
+	MaxBodyBytes int64
+	// Tol is the default solve tolerance for requests that carry none.
+	Tol float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueBound <= 0 {
+		c.QueueBound = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-8
+	}
+	return c
+}
+
+// Server wires the pool, the admission queue, the metrics, and the HTTP
+// handlers together. Create with New, mount Handler on an http.Server.
+type Server struct {
+	cfg     Config
+	pool    *Pool
+	metrics *Metrics
+	// slots is the bounded admission queue: a request holds one slot from
+	// admission to response. Its depth (len) is the queue-depth gauge;
+	// TryAcquire failure is the 429 path.
+	slots chan struct{}
+	mux   *http.ServeMux
+
+	// solve is the backend dispatch, swappable by tests that need a
+	// deterministic slow or failing solver.
+	solve func(ctx context.Context, backend string, a *la.CSR, b la.Vector, p cli.SolveParams) (cli.Outcome, error)
+}
+
+// New builds a server and pre-warms its pool.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	pool, err := NewPool(cfg.Pool)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		pool:    pool,
+		metrics: NewMetrics(),
+		slots:   make(chan struct{}, cfg.QueueBound),
+		solve:   cli.SolveSystem,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("GET /v1/backends", s.handleBackends)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Pool exposes the chip pool (tests, expvar).
+func (s *Server) Pool() *Pool { return s.pool }
+
+// Metrics exposes the metrics set (tests, expvar).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// QueueDepth reports currently admitted requests.
+func (s *Server) QueueDepth() int { return len(s.slots) }
+
+// Snapshot returns the full metrics snapshot (expvar publishing).
+func (s *Server) Snapshot() Snapshot { return s.metrics.snapshot(s.QueueDepth(), s.pool) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Code: code, Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleBackends(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"backends": cli.Backends()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.writeTo(w, s.QueueDepth(), s.pool)
+}
+
+// handleSolve is the solve path: decode → validate → admit (bounded,
+// backpressured) → checkout chip (analog backends) → solve under deadline
+// → respond.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req SolveRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Backend == "" {
+		req.Backend = cli.BackendAnalogRefined
+	}
+	// Backend validation comes before the (potentially large) matrix is
+	// even assembled, mirroring alasolve's fail-fast rule.
+	if !cli.ValidBackend(req.Backend) {
+		s.writeError(w, http.StatusBadRequest, CodeBadBackend,
+			"unknown backend %q (known: %s)", req.Backend, cli.BackendUsage())
+		return
+	}
+	a, b, err := req.BuildSystem()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+
+	// Per-request deadline, clamped to the server's ceiling, propagated
+	// from here down to the chip's settle loop.
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// Bounded admission: a full queue answers 429 immediately — the
+	// service never blocks unboundedly on overload.
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		s.metrics.Rejected()
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		s.writeError(w, http.StatusTooManyRequests, CodeBusy,
+			"admission queue full (%d requests)", s.cfg.QueueBound)
+		return
+	}
+	defer func() { <-s.slots }()
+
+	params := cli.SolveParams{Tol: req.Tol, ADCBits: s.cfg.Pool.ADCBits, Bandwidth: s.cfg.Pool.Bandwidth}
+	if params.Tol <= 0 {
+		params.Tol = s.cfg.Tol
+	}
+	var chipClass int
+	if cli.IsAnalogBackend(req.Backend) {
+		pc, err := s.pool.Checkout(ctx, a)
+		if err != nil {
+			s.checkoutError(w, err)
+			return
+		}
+		defer s.pool.Checkin(pc)
+		params.Acc = pc.Acc
+		chipClass = pc.Class
+	}
+
+	s.metrics.SolveStarted()
+	start := time.Now()
+	out, err := s.solve(ctx, req.Backend, a, b, params)
+	elapsed := time.Since(start)
+	s.metrics.SolveFinished()
+	s.metrics.ObserveLatency(elapsed)
+	if err != nil {
+		s.solveError(w, ctx, err)
+		return
+	}
+	s.metrics.SolveOK(req.Backend, out.AnalogTime, out.Runs, out.Rescales, out.Overflows, out.Refinements)
+
+	resp := SolveResponse{
+		U:         []float64(out.U),
+		N:         a.Dim(),
+		Backend:   req.Backend,
+		Residual:  la.RelativeResidual(a, out.U, b),
+		ElapsedMs: float64(elapsed.Microseconds()) / 1000,
+	}
+	if out.Analog {
+		resp.Analog = &AnalogStats{
+			AnalogSeconds: out.AnalogTime,
+			SettleSeconds: out.SettleTime,
+			Runs:          out.Runs,
+			Rescales:      out.Rescales,
+			Overflows:     out.Overflows,
+			Refinements:   out.Refinements,
+			ScaleS:        out.ScaleS,
+			ChipClass:     chipClass,
+		}
+	} else if out.Iterations > 0 || out.MACs > 0 {
+		resp.Digital = &DigitalStats{Iterations: out.Iterations, MACs: out.MACs}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) checkoutError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, core.ErrTooLarge):
+		s.writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge, "%v", err)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.metrics.DeadlineExceeded()
+		s.writeError(w, http.StatusGatewayTimeout, CodeDeadline, "deadline expired waiting for a chip: %v", err)
+	case errors.Is(err, context.Canceled):
+		s.writeError(w, http.StatusServiceUnavailable, CodeInternal, "request cancelled while queued: %v", err)
+	default:
+		s.metrics.SolveError()
+		s.writeError(w, http.StatusInternalServerError, CodeInternal, "%v", err)
+	}
+}
+
+func (s *Server) solveError(w http.ResponseWriter, ctx context.Context, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded):
+		s.metrics.DeadlineExceeded()
+		s.writeError(w, http.StatusGatewayTimeout, CodeDeadline, "solve aborted by deadline: %v", err)
+	case errors.Is(err, context.Canceled):
+		s.writeError(w, http.StatusServiceUnavailable, CodeInternal, "solve cancelled: %v", err)
+	case errors.Is(err, core.ErrTooLarge):
+		s.writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge, "%v", err)
+	default:
+		s.metrics.SolveError()
+		s.writeError(w, http.StatusUnprocessableEntity, CodeSolveFailed, "%v", err)
+	}
+}

@@ -1,10 +1,22 @@
 #!/bin/sh
 # CI gate: vet plus the full test suite under the race detector.
 # The -race run is what exercises the concurrent paths for real:
-# internal/core's Farm (SolveDecomposedParallel) and internal/bench's
-# runPoints/RunMany worker pools.
+# internal/core's Farm (SolveDecomposedParallel), internal/bench's
+# runPoints/RunMany worker pools, and internal/serve's chip pool and
+# admission queue (TestPoolStress fires more solvers than chips).
 set -eux
 cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
 go test -race ./...
+
+# End-to-end serve smoke: start a real alad daemon on a random port, solve
+# the Equation 2 system through serve.Client, scrape /metrics to confirm
+# the solve counter moved, round-trip alasolve -server, then SIGTERM and
+# assert a clean drain. See scripts/smoke/main.go.
+BIN="${TMPDIR:-/tmp}/alad-smoke-$$"
+mkdir -p "$BIN"
+trap 'rm -rf "$BIN"' EXIT
+go build -o "$BIN/alad" ./cmd/alad
+go build -o "$BIN/alasolve" ./cmd/alasolve
+go run ./scripts/smoke -alad "$BIN/alad" -alasolve "$BIN/alasolve"

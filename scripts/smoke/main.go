@@ -1,0 +1,156 @@
+// Command smoke is the CI end-to-end gate for the serve subsystem: it
+// starts a real alad daemon on a random port, solves the paper's
+// Equation 2 system through serve.Client, scrapes /metrics to confirm the
+// solve counter moved, optionally round-trips alasolve -server, then
+// SIGTERMs the daemon and asserts a clean drain. Run by scripts/ci.sh:
+//
+//	go run ./scripts/smoke -alad /tmp/alad [-alasolve /tmp/alasolve]
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"regexp"
+	"strings"
+	"syscall"
+	"time"
+
+	"analogacc/internal/serve"
+)
+
+func main() {
+	aladPath := flag.String("alad", "", "path to the alad binary")
+	alasolvePath := flag.String("alasolve", "", "path to the alasolve binary (optional)")
+	flag.Parse()
+	if *aladPath == "" {
+		die("usage: smoke -alad <path> [-alasolve <path>]")
+	}
+
+	// 1. Start alad on a random port with a tiny warm pool.
+	cmd := exec.Command(*aladPath, "-addr", "127.0.0.1:0", "-pool", "1", "-warm", "2", "-queue", "8")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		die("stderr pipe: %v", err)
+	}
+	if err := cmd.Start(); err != nil {
+		die("starting alad: %v", err)
+	}
+	defer cmd.Process.Kill()
+
+	// Forward the daemon's log while watching for the listen line and,
+	// later, the drain line.
+	addrCh := make(chan string, 1)
+	drained := make(chan bool, 1)
+	go func() {
+		sawDrain := false
+		listenRe := regexp.MustCompile(`listening on (\S+)`)
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintf(os.Stderr, "[alad] %s\n", line)
+			if m := listenRe.FindStringSubmatch(line); m != nil {
+				addrCh <- m[1]
+			}
+			if strings.Contains(line, "drained, bye") {
+				sawDrain = true
+			}
+		}
+		drained <- sawDrain
+	}()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(30 * time.Second):
+		die("alad never announced its listen address")
+	}
+	client := serve.NewClient(addr)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := client.Healthz(ctx); err != nil {
+		die("healthz: %v", err)
+	}
+
+	// 2. Solve Equation 2 (the paper's 2x2 system) through serve.Client.
+	resp, err := client.Solve(ctx, serve.SolveRequest{
+		Backend: "analog-refined",
+		N:       2,
+		A: []serve.Entry{
+			{Row: 0, Col: 0, Val: 0.8}, {Row: 0, Col: 1, Val: 0.2},
+			{Row: 1, Col: 0, Val: 0.2}, {Row: 1, Col: 1, Val: 0.6},
+		},
+		B:   []float64{0.5, 0.3},
+		Tol: 1e-8,
+	})
+	if err != nil {
+		die("solve: %v", err)
+	}
+	want := []float64{0.24 / 0.44, 0.14 / 0.44}
+	for i := range want {
+		if math.Abs(resp.U[i]-want[i]) > 1e-6 {
+			die("u[%d] = %v, want %v", i, resp.U[i], want[i])
+		}
+	}
+	if resp.Analog == nil || resp.Analog.AnalogSeconds <= 0 {
+		die("no analog cost accounting in response: %+v", resp)
+	}
+	fmt.Fprintf(os.Stderr, "[smoke] solve ok: u=%v residual=%.3g analog=%.3es\n",
+		resp.U, resp.Residual, resp.Analog.AnalogSeconds)
+
+	// 3. Scrape /metrics: the solve counter must have incremented.
+	text, err := client.Metrics(ctx)
+	if err != nil {
+		die("metrics: %v", err)
+	}
+	for _, needle := range []string{
+		`alad_solves_total{backend="analog-refined"} 1`,
+		"alad_analog_seconds_total",
+		"alad_request_seconds_count 1",
+	} {
+		if !strings.Contains(text, needle) {
+			die("metrics missing %q", needle)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "[smoke] metrics ok\n")
+
+	// 4. Optionally, the CLI's remote path against the same daemon.
+	if *alasolvePath != "" {
+		out, err := exec.Command(*alasolvePath, "-server", addr, "-f", "testdata/eq2.txt").CombinedOutput()
+		if err != nil {
+			die("alasolve -server: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "served by") {
+			die("alasolve -server did not go remote:\n%s", out)
+		}
+		fmt.Fprintf(os.Stderr, "[smoke] alasolve -server ok\n")
+	}
+
+	// 5. SIGTERM and assert a clean drain.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		die("sigterm: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			die("alad exited dirty: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		die("alad did not exit within the drain budget")
+	}
+	if !<-drained {
+		die("alad exited without logging a clean drain")
+	}
+	fmt.Fprintf(os.Stderr, "[smoke] drain ok\n")
+}
+
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "smoke: "+format+"\n", args...)
+	os.Exit(1)
+}
