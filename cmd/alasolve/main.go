@@ -38,6 +38,8 @@ func main() {
 		adcBits   = flag.Int("adc-bits", 12, "analog chip converter resolution")
 		bandwidth = flag.Float64("bandwidth", 20e3, "analog bandwidth in Hz")
 		calibrate = flag.Bool("calibrate", false, "run the chip init calibration first")
+		jobs      = flag.Int("j", 0, "decomposed backend: chips to fan block solves out over (default: one per block; local solves build max(j,2) chips)")
+		blockSize = flag.Int("block", 0, "decomposed backend: variables per block (default: auto)")
 		server    = flag.String("server", "", "alad daemon address: submit the solve remotely instead of solving in-process")
 		deadline  = flag.Duration("deadline", 0, "with -server: per-request solve deadline (default: server's)")
 		quiet     = flag.Bool("q", false, "print only the solution values")
@@ -92,13 +94,15 @@ func main() {
 		extra string
 	)
 	if *server != "" {
-		u, extra = solveRemote(*server, *backend, a, b, *tol, *deadline)
+		u, extra = solveRemote(*server, *backend, a, b, *tol, *deadline, *jobs)
 	} else {
 		out, err := cli.SolveSystem(context.Background(), *backend, a, b, cli.SolveParams{
 			Tol:       *tol,
 			ADCBits:   *adcBits,
 			Bandwidth: *bandwidth,
 			Calibrate: *calibrate,
+			Workers:   *jobs,
+			BlockSize: *blockSize,
 		})
 		if err != nil {
 			fail("%s: %v", *backend, err)
@@ -121,8 +125,8 @@ func main() {
 
 // solveRemote ships the parsed system to an alad daemon over the shared
 // serve schema and returns the solution plus a cost summary.
-func solveRemote(addr, backend string, a *la.CSR, b la.Vector, tol float64, deadline time.Duration) (la.Vector, string) {
-	req := serve.SolveRequest{Backend: backend, N: a.Dim(), B: b, Tol: tol}
+func solveRemote(addr, backend string, a *la.CSR, b la.Vector, tol float64, deadline time.Duration, jobs int) (la.Vector, string) {
+	req := serve.SolveRequest{Backend: backend, N: a.Dim(), B: b, Tol: tol, Workers: jobs}
 	for i := 0; i < a.Dim(); i++ {
 		a.VisitRow(i, func(j int, v float64) {
 			req.A = append(req.A, serve.Entry{Row: i, Col: j, Val: v})
@@ -136,11 +140,20 @@ func solveRemote(addr, backend string, a *la.CSR, b la.Vector, tol float64, dead
 		fail("remote solve: %v", err)
 	}
 	extra := fmt.Sprintf("served by %s in %.1f ms", addr, resp.ElapsedMs)
+	if resp.Backend != backend {
+		// The server routed the request elsewhere (e.g. a too-large analog
+		// system fanned out over the pool as a decomposed solve).
+		extra += fmt.Sprintf(", routed to %s", resp.Backend)
+	}
 	if s := resp.Analog; s != nil {
 		extra += fmt.Sprintf(", analog time %.3e s, %d runs, %d refinements, %d rescales, chip class %d",
 			s.AnalogSeconds, s.Runs, s.Refinements, s.Rescales, s.ChipClass)
 	} else if s := resp.Digital; s != nil {
 		extra += fmt.Sprintf(", %d iterations, %d MACs", s.Iterations, s.MACs)
+	}
+	if d := resp.Decompose; d != nil {
+		extra += fmt.Sprintf("; decomposed: %d blocks × %d sweeps on %d chips, %d configs (%d pinned reuses), %d inner refinements",
+			d.Blocks, d.Sweeps, d.Chips, d.Configs, d.ReuseHits, d.InnerRefinements)
 	}
 	return la.Vector(resp.U), extra
 }

@@ -87,7 +87,12 @@ func NewSimulator(nl *Netlist, dt float64) (*Simulator, error) {
 	return s, nil
 }
 
-// compile topologically orders the combinational blocks.
+// compile topologically orders the combinational blocks. The ordering is
+// deterministic: nodes are visited in block-instantiation order, never in
+// map order, so two commits of the same configuration produce the same
+// net-summation order — and therefore bit-identical trajectories — across
+// processes. The parallel decomposition determinism guarantee (identical
+// results regardless of worker count) rests on this.
 func (s *Simulator) compile() error {
 	type nodeInfo struct {
 		block *Block
@@ -95,24 +100,23 @@ func (s *Simulator) compile() error {
 		succ  []int
 	}
 	var nodes []nodeInfo
-	idxOf := map[*Block]int{}
 	for _, b := range s.nl.blocks {
 		switch b.Kind {
 		case KindMultiplier, KindFanout, KindLUT:
-			idxOf[b] = len(nodes)
 			nodes = append(nodes, nodeInfo{block: b})
 		}
 	}
 	// netDrivenBy[n] lists combinational nodes driving net n.
 	netDrivenBy := make(map[Net][]int)
-	for b, i := range idxOf {
-		for _, n := range b.out {
+	for i := range nodes {
+		for _, n := range nodes[i].block.out {
 			if n != noNet {
 				netDrivenBy[n] = append(netDrivenBy[n], i)
 			}
 		}
 	}
-	for b, i := range idxOf {
+	for i := range nodes {
+		b := nodes[i].block
 		seen := map[int]bool{}
 		for _, n := range b.in {
 			if n == noNet {
@@ -182,6 +186,16 @@ func (s *Simulator) autoStep() float64 {
 		}
 	}
 	return 0.1 / (s.k * maxSum)
+}
+
+// ReloadStep recomputes the automatic integration step from the blocks'
+// current gains. The chip layer calls it after a parameter-only commit on
+// a live simulator: new multiplier gains move the stability bound, and a
+// full rebuild would have re-derived dt the same way.
+func (s *Simulator) ReloadStep() {
+	if dt := s.autoStep(); dt > 0 {
+		s.dt = dt
+	}
 }
 
 // ReloadBlockParams re-caches every block's effective offset and gain.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"analogacc/internal/chip"
 	"analogacc/internal/core"
@@ -20,13 +21,15 @@ import (
 const (
 	BackendAnalog        = "analog"
 	BackendAnalogRefined = "analog-refined"
+	BackendDecomposed    = "decomposed"
 	BackendDirect        = "direct"
 )
 
-// Backends lists every solvable backend: the two analog modes, dense LU,
-// and the Figure 7 iterative methods.
+// Backends lists every solvable backend: the analog modes (one-shot,
+// refined, parallel block decomposition), dense LU, and the Figure 7
+// iterative methods.
 func Backends() []string {
-	names := []string{BackendAnalog, BackendAnalogRefined}
+	names := []string{BackendAnalog, BackendAnalogRefined, BackendDecomposed}
 	for _, n := range solvers.AllNames() {
 		names = append(names, string(n))
 	}
@@ -47,8 +50,11 @@ func ValidBackend(name string) bool {
 // help.
 func BackendUsage() string { return strings.Join(Backends(), " | ") }
 
-// IsAnalogBackend reports whether the backend runs on an accelerator chip
-// (and therefore needs one checked out of a pool, or built ad hoc).
+// IsAnalogBackend reports whether the backend runs on exactly one
+// accelerator chip (and therefore needs one checked out of a pool, or
+// built ad hoc). The decomposed backend is analog too but fans out over
+// several chips through a core.SessionProvider, so it is routed
+// separately.
 func IsAnalogBackend(name string) bool {
 	return name == BackendAnalog || name == BackendAnalogRefined
 }
@@ -77,6 +83,20 @@ type SolveParams struct {
 	// on (the serve pool's warm chips); nil builds a chip sized by
 	// SpecFor. Digital backends ignore it.
 	Acc *core.Accelerator
+	// Workers caps how many chips the decomposed backend fans out over
+	// (default: one per block, bounded by what the provider lends).
+	Workers int
+	// BlockSize overrides the decomposed backend's per-block order
+	// (default: chosen by the provider, or n split over max(Workers, 2)
+	// ad-hoc chips).
+	BlockSize int
+	// Provider supplies chips for the decomposed backend (the serve
+	// pool); nil builds Workers identical simulated chips sized for one
+	// block.
+	Provider core.SessionProvider
+	// OnSweep observes decomposed outer sweeps (the daemon's per-sweep
+	// latency histogram).
+	OnSweep func(sweep int, residual float64, elapsed time.Duration)
 }
 
 func (p SolveParams) withDefaults() SolveParams {
@@ -108,6 +128,8 @@ type Outcome struct {
 	Overflows   int
 	Refinements int
 	ScaleS      float64
+	// Decompose carries the outer-iteration stats of a decomposed solve.
+	Decompose *core.DecomposeStats
 	// Iterations and MACs are the digital iterative costs.
 	Iterations int
 	MACs       int64
@@ -162,6 +184,8 @@ func SolveSystem(ctx context.Context, backend string, a *la.CSR, b la.Vector, p 
 			Refinements: stats.Refinements,
 			ScaleS:      stats.Scaling.S,
 		}, nil
+	case BackendDecomposed:
+		return solveDecomposed(ctx, a, b, p)
 	case BackendDirect:
 		u, err := solvers.SolveCSRDirect(a, b)
 		if err != nil {
@@ -180,4 +204,71 @@ func SolveSystem(ctx context.Context, backend string, a *la.CSR, b la.Vector, p 
 			MACs:       res.MACs,
 		}, nil
 	}
+}
+
+// solveDecomposed runs the parallel block-Jacobi backend. With a provider
+// (the serve pool) chips are leased; without one it fabricates Workers
+// identical simulated chips sized for one block — identical specs and
+// seeds, so the answer does not depend on which chip solves which block.
+func solveDecomposed(ctx context.Context, a *la.CSR, b la.Vector, p SolveParams) (Outcome, error) {
+	workers := p.Workers
+	if workers <= 0 {
+		workers = 2
+	}
+	prov := p.Provider
+	size := p.BlockSize
+	if prov == nil {
+		if size <= 0 {
+			parts := workers
+			if parts < 2 {
+				parts = 2
+			}
+			size = (a.Dim() + parts - 1) / parts
+		}
+		spec := chip.ScaledSpec(size, p.ADCBits, p.Bandwidth, a.MaxRowNNZ()+1)
+		spec.FanoutsPerMB = (a.MaxRowNNZ()+3)/3 + 1
+		accs := make(core.Accelerators, workers)
+		for i := range accs {
+			acc, _, err := core.NewSimulated(spec)
+			if err != nil {
+				return Outcome{}, fmt.Errorf("cli: building chip %d: %w", i, err)
+			}
+			if p.Calibrate {
+				if _, err := acc.Calibrate(); err != nil {
+					return Outcome{}, fmt.Errorf("cli: calibrating chip %d: %w", i, err)
+				}
+			}
+			accs[i] = acc
+		}
+		prov = accs
+	}
+	// The caller's tolerance is the global residual target; the per-block
+	// solves refine one decade tighter so block precision never limits the
+	// outer iteration.
+	innerTol := p.Tol / 10
+	pd := &core.ParallelDecompose{
+		Provider: prov,
+		Workers:  workers,
+		Opt: core.DecomposeOptions{
+			BlockSize:      size,
+			Jacobi:         true,
+			OuterTolerance: p.Tol,
+			Inner:          core.SolveOptions{Tolerance: innerTol},
+		},
+		OnSweep: p.OnSweep,
+	}
+	u, ds, err := pd.Solve(ctx, a, b)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return Outcome{
+		U: u,
+		Note: fmt.Sprintf("%d blocks × %d sweeps on %d chips, %d matrix configs (%d pinned reuses), %d inner refinements, analog %.3e s (critical path %.3e s)",
+			ds.Blocks, ds.Sweeps, ds.Chips, ds.Configs, ds.ReuseHits, ds.InnerRefinements, ds.AnalogTime, ds.AnalogCritical),
+		Analog:      true,
+		AnalogTime:  ds.AnalogTime,
+		Runs:        ds.Runs,
+		Refinements: ds.InnerRefinements,
+		Decompose:   &ds,
+	}, nil
 }

@@ -18,7 +18,7 @@ func eq2() (*la.CSR, la.Vector) {
 }
 
 func TestBackendRegistry(t *testing.T) {
-	for _, want := range []string{"analog", "analog-refined", "cg", "jacobi", "gs", "sor", "steepest", "direct"} {
+	for _, want := range []string{"analog", "analog-refined", "decomposed", "cg", "jacobi", "gs", "sor", "steepest", "direct"} {
 		if !ValidBackend(want) {
 			t.Errorf("ValidBackend(%q) = false", want)
 		}
@@ -28,7 +28,7 @@ func TestBackendRegistry(t *testing.T) {
 			t.Errorf("ValidBackend(%q) = true", bad)
 		}
 	}
-	if len(Backends()) != 8 {
+	if len(Backends()) != 9 {
 		t.Fatalf("backend registry drifted: %v", Backends())
 	}
 }
@@ -47,7 +47,10 @@ func TestSolveSystemAllBackends(t *testing.T) {
 		if out.Note == "" {
 			t.Errorf("%s: empty cost note", backend)
 		}
-		if IsAnalogBackend(backend) != out.Analog {
+		// The decomposed backend is analog too, but routed through a
+		// SessionProvider rather than a single checked-out chip.
+		analog := IsAnalogBackend(backend) || backend == BackendDecomposed
+		if analog != out.Analog {
 			t.Errorf("%s: Analog flag %v", backend, out.Analog)
 		}
 		if out.Analog && out.AnalogTime <= 0 {

@@ -67,6 +67,7 @@ type Accelerator struct {
 
 	analogTime float64 // Σ armed-and-executed timeout durations
 	runs       int     // execStart count
+	configs    int     // full matrix programming passes (gains + routing)
 	calibrated bool
 	// current is the session whose matrix is programmed on the chip;
 	// sessions re-acquire ownership transparently (see Session.ensureOwned).
@@ -116,6 +117,13 @@ func (acc *Accelerator) AnalogTime() float64 { return acc.analogTime }
 
 // Runs returns how many execStart cycles the driver has issued.
 func (acc *Accelerator) Runs() int { return acc.runs }
+
+// Configurations returns how many full linear-system programming passes
+// (matrix gains + crossbar routing + commit) the driver has compiled onto
+// the chip. Bias-only rewrites between refinement passes and sweeps do not
+// count — the gap between block solves and configurations is the payoff of
+// session pinning, and the decomposition stats report it as reuse hits.
+func (acc *Accelerator) Configurations() int { return acc.configs }
 
 // Calibrate runs the chip's init sequence (Table I) once; repeated calls
 // re-calibrate. Returns the number of units trimmed.
@@ -305,6 +313,7 @@ func (acc *Accelerator) program(as Matrix, bs la.Vector, ics la.Vector) error {
 	if err := h.CfgCommit(); err != nil {
 		return fmt.Errorf("core: commit: %w", err)
 	}
+	acc.configs++
 	return nil
 }
 

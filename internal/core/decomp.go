@@ -1,0 +1,310 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"analogacc/internal/la"
+)
+
+// Parallel domain decomposition over leased chips. Section IV-B's parallel
+// form — "the subproblems can be solved separately on multiple
+// accelerators" — only pays off if each accelerator programs its block's
+// principal submatrix once and then keeps it resident: the matrix
+// configuration is O(block²) crossbar work, while the per-sweep right-hand
+// side rewrite (b_s − A_off·x) is O(block). ParallelDecompose is that
+// engine. It is deliberately ignorant of where chips come from: a
+// SessionProvider hands it K accelerators, which makes the same engine run
+// against a plain slice of drivers (Accelerators, the Farm) and against
+// the serve package's warm chip pool.
+
+// SessionProvider supplies the accelerators a parallel decomposed solve
+// fans out over. sample is a representative block submatrix: every
+// returned accelerator must be able to program it (and, for contiguous
+// equal-size decompositions, therefore every block). Providers may return
+// fewer than want chips — the engine schedules blocks over whatever it
+// gets — but must return at least one or an error. The release function,
+// if non-nil, is called exactly once when the solve is done with the
+// chips.
+type SessionProvider interface {
+	AcquireChips(ctx context.Context, sample Matrix, want int) (accs []*Accelerator, release func(), err error)
+}
+
+// BlockSizer is optionally implemented by providers that can choose the
+// largest block size their chips accommodate for a given system. The
+// engine consults it when DecomposeOptions.BlockSize is unset.
+type BlockSizer interface {
+	MaxBlockSize(a *la.CSR) int
+}
+
+// Accelerators adapts a plain slice of drivers to SessionProvider: it
+// lends every accelerator that fits the sample block, up to want. The
+// zero-cost release makes this the in-process form used by Farm and the
+// CLI's local decomposed backend.
+type Accelerators []*Accelerator
+
+// AcquireChips implements SessionProvider.
+func (s Accelerators) AcquireChips(_ context.Context, sample Matrix, want int) ([]*Accelerator, func(), error) {
+	var fit []*Accelerator
+	var lastErr error
+	for _, acc := range s {
+		if err := acc.Fits(sample); err != nil {
+			lastErr = err
+			continue
+		}
+		fit = append(fit, acc)
+		if len(fit) == want {
+			break
+		}
+	}
+	if len(fit) == 0 {
+		if lastErr == nil {
+			lastErr = fmt.Errorf("empty accelerator set")
+		}
+		return nil, nil, fmt.Errorf("core: no accelerator fits the block: %w", lastErr)
+	}
+	return fit, nil, nil
+}
+
+// MaxBlockSize implements BlockSizer using the first accelerator's
+// capacity (a homogeneous farm is the common case).
+func (s Accelerators) MaxBlockSize(a *la.CSR) int {
+	if len(s) == 0 {
+		return 0
+	}
+	return s[0].maxBlockSize(a)
+}
+
+// ParallelDecompose runs block-Jacobi outer sweeps with the block solves
+// fanned out over chips leased from a SessionProvider. Each block's
+// submatrix is programmed onto its chip once, through a pinned Session;
+// between sweeps only the O(block) right-hand side moves. Blocks are
+// grouped by identical submatrices and the groups are kept contiguous per
+// chip, so a chip owning several blocks of a regular grid adopts the
+// already-programmed matrix instead of recompiling it.
+//
+// The outer iteration is Jacobi, not Gauss-Seidel: every block solve in a
+// sweep reads the previous sweep's iterate, so the blocks are independent
+// and their schedule — and hence the worker count — cannot change the
+// result. The price is roughly 2× the sweeps of Gauss-Seidel on
+// diagonally dominant systems; the payoff is that K chips cut the analog
+// critical path by ~K and the answer is bit-identical for any K.
+type ParallelDecompose struct {
+	// Provider leases the chips. Required.
+	Provider SessionProvider
+	// Workers caps how many chips are requested (default and upper bound:
+	// one per block).
+	Workers int
+	// Opt tunes the decomposition. Jacobi semantics are implied by the
+	// parallel schedule regardless of Opt.Jacobi; BlockSize defaults to
+	// the provider's BlockSizer choice when unset.
+	Opt DecomposeOptions
+	// OnSweep, if non-nil, observes every completed outer sweep (the
+	// serve layer feeds its per-sweep latency histogram with it).
+	OnSweep func(sweep int, residual float64, elapsed time.Duration)
+}
+
+// chipWorker is one leased chip's schedule: the blocks it owns, in
+// group-contiguous order, and its per-solve scratch.
+type chipWorker struct {
+	acc                      *Accelerator
+	blocks                   []*decompBlock
+	rhsBuf, offBuf, guessBuf la.Vector
+	refinements              int
+	err                      error
+}
+
+type decompBlock struct {
+	idx   []int
+	sub   *la.CSR // group representative: pointer-shared across equal blocks
+	group int
+	sess  *Session
+}
+
+// Solve runs the decomposed solve. The context aborts between sweeps and
+// inside the per-block analog solves (settle/refinement checkpoints).
+func (pd *ParallelDecompose) Solve(ctx context.Context, a *la.CSR, b la.Vector) (u la.Vector, stats DecomposeStats, err error) {
+	if pd.Provider == nil {
+		return nil, stats, fmt.Errorf("core: ParallelDecompose needs a SessionProvider")
+	}
+	opt := pd.Opt.withDefaults()
+	n := a.Dim()
+	if len(b) != n {
+		return nil, stats, fmt.Errorf("core: b length %d != %d", len(b), n)
+	}
+	size := opt.BlockSize
+	if size <= 0 {
+		if bs, ok := pd.Provider.(BlockSizer); ok {
+			size = bs.MaxBlockSize(a)
+		}
+		if size <= 0 {
+			return nil, stats, fmt.Errorf("core: no block size: set DecomposeOptions.BlockSize or use a provider with BlockSizer")
+		}
+	}
+	if size > n {
+		size = n
+	}
+	ranges := blockRanges(n, size)
+	stats.Blocks = len(ranges)
+
+	// Group blocks with identical submatrices and share one CSR per
+	// group: sessions built from the representative compare pointer-equal
+	// in ensureOwned, so switching between same-group blocks on a chip
+	// never reprograms the matrix.
+	blocks := make([]*decompBlock, len(ranges))
+	var groups []*la.CSR
+	for bi, idx := range ranges {
+		sub := a.Submatrix(idx)
+		g := -1
+		for gi, rep := range groups {
+			if rep.Dim() == sub.Dim() && matrixEqual(rep, sub) {
+				g = gi
+				break
+			}
+		}
+		if g < 0 {
+			g = len(groups)
+			groups = append(groups, sub)
+		}
+		blocks[bi] = &decompBlock{idx: idx, sub: groups[g], group: g}
+	}
+
+	want := pd.Workers
+	if want <= 0 || want > len(blocks) {
+		want = len(blocks)
+	}
+	accs, release, err := pd.Provider.AcquireChips(ctx, blocks[0].sub, want)
+	if release != nil {
+		defer release()
+	}
+	if err != nil {
+		return nil, stats, err
+	}
+	if len(accs) == 0 {
+		return nil, stats, fmt.Errorf("core: provider returned no chips")
+	}
+	stats.Chips = len(accs)
+
+	// Sort blocks by group, then chunk contiguously over the chips: each
+	// chip sees as few distinct matrices as possible, and a block keeps
+	// the same chip for the whole solve (the pinned session).
+	order := make([]int, len(blocks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool { return blocks[order[i]].group < blocks[order[j]].group })
+	workers := make([]*chipWorker, len(accs))
+	for i, acc := range accs {
+		workers[i] = &chipWorker{acc: acc, rhsBuf: la.NewVector(size), offBuf: la.NewVector(size), guessBuf: la.NewVector(size)}
+	}
+	for i, bi := range order {
+		w := workers[i*len(workers)/len(order)]
+		w.blocks = append(w.blocks, blocks[bi])
+	}
+
+	timeBase := make([]float64, len(accs))
+	runsBase := make([]int, len(accs))
+	cfgBase := make([]int, len(accs))
+	for i, acc := range accs {
+		timeBase[i] = acc.AnalogTime()
+		runsBase[i] = acc.Runs()
+		cfgBase[i] = acc.Configurations()
+	}
+	defer func() {
+		var critical float64
+		for i, acc := range accs {
+			dt := acc.AnalogTime() - timeBase[i]
+			stats.AnalogTime += dt
+			if dt > critical {
+				critical = dt
+			}
+			stats.Runs += acc.Runs() - runsBase[i]
+			stats.Configs += acc.Configurations() - cfgBase[i]
+		}
+		stats.AnalogCritical = critical
+		for _, w := range workers {
+			stats.InnerRefinements += w.refinements
+		}
+		if hits := stats.Sweeps*stats.Blocks - stats.Configs; hits > 0 {
+			stats.ReuseHits = hits
+		}
+	}()
+
+	x := la.NewVector(n)
+	xNext := la.NewVector(n)
+	if b.NormInf() == 0 {
+		return x, stats, nil
+	}
+	inner := opt.Inner
+	for sweep := 1; sweep <= opt.MaxSweeps; sweep++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, stats, fmt.Errorf("core: decomposed solve aborted before sweep %d: %w", sweep, cerr)
+		}
+		start := time.Now()
+		var wg sync.WaitGroup
+		for _, w := range workers {
+			wg.Add(1)
+			go func(w *chipWorker) {
+				defer wg.Done()
+				w.sweep(ctx, a, b, x, xNext, sweep, inner)
+			}(w)
+		}
+		wg.Wait()
+		for _, w := range workers {
+			if w.err != nil {
+				return nil, stats, w.err
+			}
+		}
+		// Every index belongs to exactly one block and every block wrote
+		// its slice of xNext, so the swap is a complete Jacobi update.
+		x, xNext = xNext, x
+		stats.Sweeps = sweep
+		stats.Residual = la.RelativeResidual(a, x, b)
+		if pd.OnSweep != nil {
+			pd.OnSweep(sweep, stats.Residual, time.Since(start))
+		}
+		if stats.Residual <= opt.OuterTolerance {
+			return x, stats, nil
+		}
+	}
+	return x, stats, fmt.Errorf("core: residual %v after %d sweeps (target %v): %w",
+		stats.Residual, opt.MaxSweeps, opt.OuterTolerance, ErrNotSettled)
+}
+
+// sweep runs one Jacobi sweep's worth of this chip's blocks: rebuild each
+// block's right-hand side from the previous iterate x, solve it on the
+// pinned session, and write the solution into this block's slice of
+// xNext. Blocks partition the index range, so writes are disjoint across
+// workers.
+func (w *chipWorker) sweep(ctx context.Context, a *la.CSR, b, x, xNext la.Vector, sweep int, inner SolveOptions) {
+	for _, blk := range w.blocks {
+		rhs := blockRHS(w.rhsBuf, w.offBuf, a, blk.idx, b, x)
+		// Seed with the previous iterate (see SolveOptions.Guess): the
+		// guess is x restricted to the block, identical under any
+		// block→chip schedule, so determinism across worker counts holds.
+		inner.Guess = w.guessBuf[:len(blk.idx)]
+		for p, g := range blk.idx {
+			inner.Guess[p] = x[g]
+		}
+		if blk.sess == nil {
+			sess, err := w.acc.BeginSession(blk.sub)
+			if err != nil {
+				w.err = fmt.Errorf("core: block at %d: %w", blk.idx[0], err)
+				return
+			}
+			blk.sess = sess
+		}
+		u, st, err := blk.sess.SolveForRefinedCtx(ctx, rhs, inner)
+		w.refinements += st.Refinements
+		if err != nil {
+			w.err = fmt.Errorf("core: sweep %d block at %d: %w", sweep, blk.idx[0], err)
+			return
+		}
+		for p, g := range blk.idx {
+			xNext[g] = u[p]
+		}
+	}
+}

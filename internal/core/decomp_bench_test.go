@@ -1,0 +1,113 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"analogacc/internal/chip"
+	"analogacc/internal/la"
+)
+
+// Decomposition scaling benchmarks: sequential block-Jacobi on one chip
+// versus the parallel engine at 1/2/4/8 workers (scripts/bench.sh turns
+// these into BENCH_3.json). The system is built so the speedup mechanism
+// is configuration economy, not host CPU parallelism: 8 blocks in 4
+// distinct coefficient groups means one chip must reprogram its crossbar
+// at every group switch, every sweep, while K≥4 pinned chips each keep one
+// group resident and only rewrite the O(block) right-hand side between
+// sweeps. The configs/op metric makes the mechanism visible: it grows with
+// blocks×sweeps on the left of the scaling curve and flattens to ~groups
+// once every group has its own chip.
+
+const (
+	benchBlockSize = 12
+	benchBlocks    = 8
+	benchN         = benchBlockSize * benchBlocks
+)
+
+// benchSystem is a block-tridiagonal diagonally dominant system whose
+// per-block diagonal steps every second block: blocks AABBCCDD, so 4
+// distinct benchBlockSize² principal submatrices over 8 blocks.
+func benchSystem() (*la.CSR, la.Vector) {
+	var entries []la.COOEntry
+	for i := 0; i < benchN; i++ {
+		diag := 4 + 0.5*float64(i/(2*benchBlockSize))
+		entries = append(entries, la.COOEntry{Row: i, Col: i, Val: diag})
+		if i > 0 {
+			entries = append(entries, la.COOEntry{Row: i, Col: i - 1, Val: -1})
+			entries = append(entries, la.COOEntry{Row: i - 1, Col: i, Val: -1})
+		}
+	}
+	a := la.MustCSR(benchN, entries)
+	b := la.NewVector(benchN)
+	for i := range b {
+		b[i] = 1 + 0.25*float64(i%5)
+	}
+	return a, b
+}
+
+func benchOpt() DecomposeOptions {
+	return DecomposeOptions{
+		BlockSize: benchBlockSize, Jacobi: true,
+		OuterTolerance: 1e-7,
+		Inner:          SolveOptions{Tolerance: 1e-8},
+	}
+}
+
+func benchAccs(b *testing.B, n int) Accelerators {
+	b.Helper()
+	spec := chip.ScaledSpec(benchBlockSize, 12, 20e3, 4)
+	accs := make(Accelerators, n)
+	for i := range accs {
+		acc, _, err := NewSimulated(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		accs[i] = acc
+	}
+	return accs
+}
+
+func BenchmarkDecomposedSequential(b *testing.B) {
+	a, rhs := benchSystem()
+	accs := benchAccs(b, 1)
+	var configs, sweeps int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, stats, err := accs[0].SolveDecomposed(a, rhs, benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		configs += stats.Configs
+		sweeps += stats.Sweeps
+	}
+	b.ReportMetric(float64(configs)/float64(b.N), "configs/op")
+	b.ReportMetric(float64(sweeps)/float64(b.N), "sweeps/op")
+}
+
+func benchParallel(b *testing.B, workers int) {
+	a, rhs := benchSystem()
+	accs := benchAccs(b, workers)
+	var configs, sweeps int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pd := &ParallelDecompose{Provider: accs, Workers: workers, Opt: benchOpt()}
+		_, stats, err := pd.Solve(context.Background(), a, rhs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		configs += stats.Configs
+		sweeps += stats.Sweeps
+	}
+	b.ReportMetric(float64(configs)/float64(b.N), "configs/op")
+	b.ReportMetric(float64(sweeps)/float64(b.N), "sweeps/op")
+}
+
+func BenchmarkDecomposedParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchParallel(b, workers)
+		})
+	}
+}

@@ -47,13 +47,42 @@ func (o DecomposeOptions) withDefaults() DecomposeOptions {
 
 // DecomposeStats reports the outer iteration.
 type DecomposeStats struct {
-	Blocks     int
-	Sweeps     int
-	AnalogTime float64
-	Runs       int
+	Blocks int
+	Sweeps int
+	// Chips is how many accelerators the solve fanned out over (always 1
+	// for the sequential path).
+	Chips int
+	// AnalogTime is the summed virtual analog seconds across all chips;
+	// AnalogCritical is the per-chip maximum — the analog time on the
+	// critical path when block solves run concurrently. On one chip the
+	// two are equal.
+	AnalogTime     float64
+	AnalogCritical float64
+	Runs           int
 	// InnerRefinements totals Algorithm 2 passes across all block solves.
 	InnerRefinements int
-	Residual         float64
+	// Configs counts full matrix programming passes (gains + routing)
+	// performed during the solve; ReuseHits counts block solves served by
+	// a chip that already held the block's matrix. Session pinning makes
+	// Configs grow with the number of distinct blocks, not blocks×sweeps.
+	Configs   int
+	ReuseHits int
+	Residual  float64
+}
+
+// blockRHS forms one block's right-hand side rhs = b_s − A_off·x in the
+// caller's scratch storage, allocating nothing: dst and off must each hold
+// at least len(idx) elements. idx must be a contiguous ascending range,
+// which is exactly what blockRanges produces.
+func blockRHS(dst, off la.Vector, a *la.CSR, idx []int, b, x la.Vector) la.Vector {
+	k := len(idx)
+	rhs, neg := dst[:k], off[:k]
+	neg.Zero()
+	a.OffRangeApply(neg, idx[0], idx[0]+k, x)
+	for p, g := range idx {
+		rhs[p] = b[g] - neg[p]
+	}
+	return rhs
 }
 
 // blockRange computes contiguous blocks of at most size over n indices.
@@ -113,11 +142,18 @@ func (acc *Accelerator) SolveDecomposed(a *la.CSR, b la.Vector, opt DecomposeOpt
 	}
 	blocks := blockRanges(n, size)
 	stats.Blocks = len(blocks)
+	stats.Chips = 1
 	timeBase := acc.AnalogTime()
 	runsBase := acc.Runs()
+	cfgBase := acc.Configurations()
 	defer func() {
 		stats.AnalogTime = acc.AnalogTime() - timeBase
+		stats.AnalogCritical = stats.AnalogTime
 		stats.Runs = acc.Runs() - runsBase
+		stats.Configs = acc.Configurations() - cfgBase
+		if hits := stats.Sweeps*stats.Blocks - stats.Configs; hits > 0 {
+			stats.ReuseHits = hits
+		}
 	}()
 
 	// One session per distinct block matrix. For regular grids most
@@ -140,6 +176,18 @@ func (acc *Accelerator) SolveDecomposed(a *la.CSR, b la.Vector, opt DecomposeOpt
 	if bn == 0 {
 		return x, stats, nil
 	}
+	// Scratch for the per-block right-hand sides, sized once for the
+	// largest block and resliced inside the sweeps: the outer loop runs
+	// blocks×sweeps times and must not allocate per iteration.
+	maxLen := 0
+	for _, idx := range blocks {
+		if len(idx) > maxLen {
+			maxLen = len(idx)
+		}
+	}
+	rhsBuf := la.NewVector(maxLen)
+	offBuf := la.NewVector(maxLen)
+	guessBuf := la.NewVector(maxLen)
 	inner := opt.Inner
 	for sweep := 1; sweep <= opt.MaxSweeps; sweep++ {
 		src := x
@@ -150,13 +198,15 @@ func (acc *Accelerator) SolveDecomposed(a *la.CSR, b la.Vector, opt DecomposeOpt
 		}
 		for _, st := range states {
 			// rhs_s = b_s − (off-block couplings)·x.
-			rhs := la.NewVector(len(st.idx))
+			rhs := blockRHS(rhsBuf, offBuf, a, st.idx, b, src)
+			// Seed the block solve with the previous iterate: late sweeps
+			// change each block little, so refinement starts from (or
+			// digitally confirms) a near-solution instead of solving from
+			// scratch.
+			inner.Guess = guessBuf[:len(st.idx)]
 			for p, g := range st.idx {
-				rhs[p] = b[g]
+				inner.Guess[p] = src[g]
 			}
-			neg := la.NewVector(len(st.idx))
-			a.OffBlockApply(neg, st.idx, src)
-			rhs.Sub(neg)
 			if st.sess == nil {
 				// Sessions share the one chip; SolveFor reprograms the
 				// gains automatically when ownership changes, and skips

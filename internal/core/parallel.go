@@ -1,8 +1,8 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"analogacc/internal/la"
 )
@@ -62,101 +62,18 @@ type ParallelStats struct {
 
 // SolveDecomposedParallel solves A·x = b by block-Jacobi decomposition
 // with blocks distributed over the farm's chips and solved concurrently
-// within each sweep. Each chip keeps a session per block it owns, so
-// matrix reprogramming only happens when a chip switches between blocks
-// with different matrices.
+// within each sweep. It is a thin front over ParallelDecompose with the
+// farm as the session provider: each block's matrix is pinned to its chip
+// once, so matrix reprogramming only happens when a chip switches between
+// blocks with different matrices.
 func (f *Farm) SolveDecomposedParallel(a *la.CSR, b la.Vector, opt DecomposeOptions) (la.Vector, ParallelStats, error) {
-	opt = opt.withDefaults()
-	n := a.Dim()
 	stats := ParallelStats{Chips: len(f.accs)}
-	if len(b) != n {
-		return nil, stats, fmt.Errorf("core: b length %d != %d", len(b), n)
-	}
-	size := opt.BlockSize
-	if size <= 0 {
-		size = f.accs[0].maxBlockSize(a)
-	}
-	blocks := blockRanges(n, size)
-	stats.Blocks = len(blocks)
-
-	// Assign blocks round-robin to chips and pre-build sessions.
-	type assignment struct {
-		idx  []int
-		sub  *la.CSR
-		sess *Session
-	}
-	perChip := make([][]*assignment, len(f.accs))
-	for bi, idx := range blocks {
-		chip := bi % len(f.accs)
-		sub := a.Submatrix(idx)
-		sess, err := f.accs[chip].BeginSession(sub)
-		if err != nil {
-			return nil, stats, fmt.Errorf("core: block at %d: %w", idx[0], err)
-		}
-		perChip[chip] = append(perChip[chip], &assignment{idx: idx, sub: sub, sess: sess})
-	}
-
-	x := la.NewVector(n)
-	xNext := la.NewVector(n)
-	bn := b.NormInf()
-	if bn == 0 {
-		return x, stats, nil
-	}
-	baseTimes := make([]float64, len(f.accs))
-	for i, acc := range f.accs {
-		baseTimes[i] = acc.AnalogTime()
-	}
-	for sweep := 1; sweep <= opt.MaxSweeps; sweep++ {
-		xNext.CopyFrom(x)
-		var wg sync.WaitGroup
-		errs := make([]error, len(f.accs))
-		for ci := range f.accs {
-			wg.Add(1)
-			go func(ci int) {
-				defer wg.Done()
-				for _, as := range perChip[ci] {
-					rhs := la.NewVector(len(as.idx))
-					for p, g := range as.idx {
-						rhs[p] = b[g]
-					}
-					neg := la.NewVector(len(as.idx))
-					a.OffBlockApply(neg, as.idx, x)
-					rhs.Sub(neg)
-					u, _, err := as.sess.SolveForRefined(rhs, opt.Inner)
-					if err != nil {
-						errs[ci] = fmt.Errorf("core: sweep %d block at %d: %w", sweep, as.idx[0], err)
-						return
-					}
-					for p, g := range as.idx {
-						xNext[g] = u[p]
-					}
-				}
-			}(ci)
-		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return nil, stats, err
-			}
-		}
-		x.CopyFrom(xNext)
-		stats.Sweeps = sweep
-		stats.Residual = la.RelativeResidual(a, x, b)
-		if stats.Residual <= opt.OuterTolerance {
-			break
-		}
-	}
-	var critical float64
-	for i, acc := range f.accs {
-		stats.AnalogTimeTotal += acc.AnalogTime() - baseTimes[i]
-		if t := acc.AnalogTime() - baseTimes[i]; t > critical {
-			critical = t
-		}
-	}
-	stats.AnalogTimeCritical = critical
-	if stats.Residual > opt.OuterTolerance {
-		return x, stats, fmt.Errorf("core: residual %v after %d sweeps (target %v): %w",
-			stats.Residual, opt.MaxSweeps, opt.OuterTolerance, ErrNotSettled)
-	}
-	return x, stats, nil
+	pd := &ParallelDecompose{Provider: Accelerators(f.accs), Workers: len(f.accs), Opt: opt}
+	x, ds, err := pd.Solve(context.Background(), a, b)
+	stats.Blocks = ds.Blocks
+	stats.Sweeps = ds.Sweeps
+	stats.AnalogTimeTotal = ds.AnalogTime
+	stats.AnalogTimeCritical = ds.AnalogCritical
+	stats.Residual = ds.Residual
+	return x, stats, err
 }

@@ -274,3 +274,23 @@ func (m *CSR) OffBlockApply(dst Vector, idx []int, x Vector) {
 		dst[p] += s
 	}
 }
+
+// OffRangeApply is OffBlockApply specialised to the contiguous index block
+// [lo, hi): dst[p] += Σ_{j<lo or j≥hi} a(lo+p, j)·x[j]. It walks the CSR
+// arrays directly and allocates nothing, which keeps the decomposition
+// sweep loop — where block right-hand sides are rebuilt every sweep —
+// allocation-free.
+func (m *CSR) OffRangeApply(dst Vector, lo, hi int, x Vector) {
+	if lo < 0 || hi > m.n || hi < lo || len(dst) != hi-lo || len(x) != m.n {
+		panic("la: OffRangeApply dimension mismatch")
+	}
+	for i := lo; i < hi; i++ {
+		var s float64
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			if j := m.colIdx[k]; j < lo || j >= hi {
+				s += m.values[k] * x[j]
+			}
+		}
+		dst[i-lo] += s
+	}
+}

@@ -30,6 +30,14 @@ type Metrics struct {
 	overflows   atomic.Int64
 	refinements atomic.Int64
 
+	// Decomposed-solve accumulators: fan-out volume and the pinned-session
+	// economy (reuse hits vs. full matrix configurations).
+	decomposed      atomic.Int64
+	decompBlocks    atomic.Int64
+	decompSweeps    atomic.Int64
+	decompConfigs   atomic.Int64
+	decompReuseHits atomic.Int64
+
 	mu            sync.Mutex
 	solves        map[string]int64 // by backend
 	analogSeconds float64
@@ -39,16 +47,22 @@ type Metrics struct {
 	latCounts []atomic.Int64
 	latSum    atomic.Int64 // microseconds, to stay atomic
 	latN      atomic.Int64
+
+	// Per-sweep latency histogram for decomposed solves (same buckets).
+	sweepCounts []atomic.Int64
+	sweepSum    atomic.Int64 // microseconds
+	sweepN      atomic.Int64
 }
 
 // NewMetrics returns a zeroed metrics set.
 func NewMetrics() *Metrics {
 	bounds := []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
 	return &Metrics{
-		start:     time.Now(),
-		solves:    make(map[string]int64),
-		latBounds: bounds,
-		latCounts: make([]atomic.Int64, len(bounds)+1),
+		start:       time.Now(),
+		solves:      make(map[string]int64),
+		latBounds:   bounds,
+		latCounts:   make([]atomic.Int64, len(bounds)+1),
+		sweepCounts: make([]atomic.Int64, len(bounds)+1),
 	}
 }
 
@@ -88,6 +102,25 @@ func (m *Metrics) ObserveLatency(d time.Duration) {
 	m.latN.Add(1)
 }
 
+// ObserveSweep records one decomposed outer sweep's wall-clock latency.
+func (m *Metrics) ObserveSweep(d time.Duration) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(m.latBounds, s)
+	m.sweepCounts[i].Add(1)
+	m.sweepSum.Add(d.Microseconds())
+	m.sweepN.Add(1)
+}
+
+// DecomposedOK records a completed decomposed solve's fan-out volume and
+// its pinned-session economy.
+func (m *Metrics) DecomposedOK(blocks, sweeps, configs, reuseHits int) {
+	m.decomposed.Add(1)
+	m.decompBlocks.Add(int64(blocks))
+	m.decompSweeps.Add(int64(sweeps))
+	m.decompConfigs.Add(int64(configs))
+	m.decompReuseHits.Add(int64(reuseHits))
+}
+
 // Snapshot is a point-in-time copy of every metric, used both by the
 // /metrics text format and by expvar.
 type Snapshot struct {
@@ -103,6 +136,11 @@ type Snapshot struct {
 	Rescales         int64            `json:"rescales_total"`
 	Overflows        int64            `json:"overflows_total"`
 	Refinements      int64            `json:"refinements_total"`
+	Decomposed       int64            `json:"decomposed_total"`
+	DecompBlocks     int64            `json:"decomposed_blocks_total"`
+	DecompSweeps     int64            `json:"decomposed_sweeps_total"`
+	DecompConfigs    int64            `json:"decomposed_configs_total"`
+	DecompReuseHits  int64            `json:"decomposed_reuse_hits_total"`
 	PoolBuilds       int64            `json:"pool_builds_total"`
 	PoolCalibrations int64            `json:"pool_calibrations_total"`
 	PoolClasses      []ClassStat      `json:"pool_classes"`
@@ -122,6 +160,11 @@ func (m *Metrics) snapshot(queueDepth int, pool *Pool) Snapshot {
 		Rescales:         m.rescales.Load(),
 		Overflows:        m.overflows.Load(),
 		Refinements:      m.refinements.Load(),
+		Decomposed:       m.decomposed.Load(),
+		DecompBlocks:     m.decompBlocks.Load(),
+		DecompSweeps:     m.decompSweeps.Load(),
+		DecompConfigs:    m.decompConfigs.Load(),
+		DecompReuseHits:  m.decompReuseHits.Load(),
 		Solves:           make(map[string]int64),
 	}
 	m.mu.Lock()
@@ -161,6 +204,11 @@ func (m *Metrics) writeTo(w io.Writer, queueDepth int, pool *Pool) {
 	fmt.Fprintf(w, "# TYPE alad_rescales_total counter\nalad_rescales_total %d\n", s.Rescales)
 	fmt.Fprintf(w, "# TYPE alad_overflows_total counter\nalad_overflows_total %d\n", s.Overflows)
 	fmt.Fprintf(w, "# TYPE alad_refinements_total counter\nalad_refinements_total %d\n", s.Refinements)
+	fmt.Fprintf(w, "# TYPE alad_decomposed_total counter\nalad_decomposed_total %d\n", s.Decomposed)
+	fmt.Fprintf(w, "# TYPE alad_decomposed_blocks_total counter\nalad_decomposed_blocks_total %d\n", s.DecompBlocks)
+	fmt.Fprintf(w, "# TYPE alad_decomposed_sweeps_total counter\nalad_decomposed_sweeps_total %d\n", s.DecompSweeps)
+	fmt.Fprintf(w, "# TYPE alad_decomposed_configs_total counter\nalad_decomposed_configs_total %d\n", s.DecompConfigs)
+	fmt.Fprintf(w, "# TYPE alad_decomposed_reuse_hits_total counter\nalad_decomposed_reuse_hits_total %d\n", s.DecompReuseHits)
 	fmt.Fprintf(w, "# TYPE alad_pool_builds_total counter\nalad_pool_builds_total %d\n", s.PoolBuilds)
 	fmt.Fprintf(w, "# TYPE alad_pool_calibrations_total counter\nalad_pool_calibrations_total %d\n", s.PoolCalibrations)
 	fmt.Fprint(w, "# TYPE alad_pool_chips_built gauge\n# TYPE alad_pool_chips_free gauge\n")
@@ -178,4 +226,14 @@ func (m *Metrics) writeTo(w io.Writer, queueDepth int, pool *Pool) {
 	fmt.Fprintf(w, "alad_request_seconds_bucket{le=\"+Inf\"} %d\n", cum)
 	fmt.Fprintf(w, "alad_request_seconds_sum %g\n", float64(m.latSum.Load())/1e6)
 	fmt.Fprintf(w, "alad_request_seconds_count %d\n", m.latN.Load())
+	fmt.Fprint(w, "# TYPE alad_sweep_seconds histogram\n")
+	cum = 0
+	for i, bound := range m.latBounds {
+		cum += m.sweepCounts[i].Load()
+		fmt.Fprintf(w, "alad_sweep_seconds_bucket{le=\"%g\"} %d\n", bound, cum)
+	}
+	cum += m.sweepCounts[len(m.latBounds)].Load()
+	fmt.Fprintf(w, "alad_sweep_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "alad_sweep_seconds_sum %g\n", float64(m.sweepSum.Load())/1e6)
+	fmt.Fprintf(w, "alad_sweep_seconds_count %d\n", m.sweepN.Load())
 }

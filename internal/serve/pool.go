@@ -228,6 +228,55 @@ func (p *Pool) Checkout(ctx context.Context, a core.Matrix) (*PooledChip, error)
 	return nil, fmt.Errorf("serve: no pool class up to %d fits the system: %w", p.cfg.MaxDim, lastFit)
 }
 
+// Fits reports whether some class up to MaxDim can program the matrix —
+// nil, or the error Checkout would fail with (core.ErrTooLarge for
+// systems beyond every class). The request router uses it to send
+// too-large systems down the decomposed fan-out path instead of rejecting
+// them.
+func (p *Pool) Fits(a core.Matrix) error {
+	var lastFit error
+	for class := p.classFor(a.Dim()); class <= p.cfg.MaxDim; class *= 2 {
+		if err := core.SpecFits(p.subpoolFor(class).spec, a); err != nil {
+			lastFit = err
+			continue
+		}
+		return nil
+	}
+	if lastFit == nil {
+		lastFit = fmt.Errorf("serve: order %d exceeds pool max dimension %d: %w",
+			a.Dim(), p.cfg.MaxDim, core.ErrTooLarge)
+	}
+	return fmt.Errorf("serve: no pool class up to %d fits the system: %w", p.cfg.MaxDim, lastFit)
+}
+
+// TryCheckout lends out a fitting chip without blocking: a free chip of
+// any fitting class, or a lazily built one while some class is below cap.
+// It returns (nil, nil) when every fitting chip is on loan — the
+// decomposed fan-out uses it to pick up opportunistic extra workers after
+// its first, blocking checkout, degrading to fewer chips rather than
+// deadlocking the pool under concurrent decomposed solves.
+func (p *Pool) TryCheckout(a core.Matrix) (*PooledChip, error) {
+	for class := p.classFor(a.Dim()); class <= p.cfg.MaxDim; class *= 2 {
+		sp := p.subpoolFor(class)
+		if core.SpecFits(sp.spec, a) != nil {
+			continue
+		}
+		select {
+		case c := <-sp.free:
+			return c.lend()
+		default:
+		}
+		if slot, ok := sp.reserve(p.cfg.ChipsPerClass); ok {
+			c, err := p.build(sp, slot)
+			if err != nil {
+				return nil, err
+			}
+			return c.lend()
+		}
+	}
+	return nil, nil
+}
+
 func (p *Pool) checkout(ctx context.Context, sp *subpool) (*PooledChip, error) {
 	// Fast path: a warm chip is free.
 	select {

@@ -50,6 +50,11 @@ type SolveRequest struct {
 	// TimeoutMs caps this request's solve deadline; the server clamps it
 	// to its own maximum. Zero means the server default.
 	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// Workers caps the chips a decomposed solve fans out over (zero: one
+	// per block, bounded by what the pool can lend without blocking).
+	// Only meaningful for the "decomposed" backend and for analog
+	// requests the server routes to it.
+	Workers int `json:"workers,omitempty"`
 }
 
 // BuildSystem materializes the request's system in whichever form it was
@@ -140,16 +145,34 @@ type DigitalStats struct {
 	MACs       int64 `json:"macs"`
 }
 
+// DecomposeInfo is the outer-iteration cost block of a decomposed solve:
+// how the system was partitioned, how many Jacobi sweeps it took, and how
+// much matrix reprogramming session pinning avoided.
+type DecomposeInfo struct {
+	Blocks           int `json:"blocks"`
+	Sweeps           int `json:"sweeps"`
+	Chips            int `json:"chips"`
+	InnerRefinements int `json:"inner_refinements"`
+	// Configs is how many full matrix programming passes ran; ReuseHits
+	// is how many block solves reused an already-programmed matrix.
+	Configs   int `json:"configs"`
+	ReuseHits int `json:"reuse_hits"`
+	// AnalogCriticalSeconds is the per-chip maximum analog time — the
+	// analog critical path with blocks solving concurrently.
+	AnalogCriticalSeconds float64 `json:"analog_critical_seconds"`
+}
+
 // SolveResponse is the service's answer.
 type SolveResponse struct {
 	U       []float64 `json:"u"`
 	N       int       `json:"n"`
 	Backend string    `json:"backend"`
 	// Residual is the digital relative residual ‖b − A·u‖∞/‖b‖∞.
-	Residual  float64       `json:"residual"`
-	ElapsedMs float64       `json:"elapsed_ms"`
-	Analog    *AnalogStats  `json:"analog,omitempty"`
-	Digital   *DigitalStats `json:"digital,omitempty"`
+	Residual  float64        `json:"residual"`
+	ElapsedMs float64        `json:"elapsed_ms"`
+	Analog    *AnalogStats   `json:"analog,omitempty"`
+	Digital   *DigitalStats  `json:"digital,omitempty"`
+	Decompose *DecomposeInfo `json:"decompose,omitempty"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx answer.

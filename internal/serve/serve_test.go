@@ -149,18 +149,83 @@ func TestServeValidation(t *testing.T) {
 	}
 }
 
-func TestServeTooLarge(t *testing.T) {
-	_, client, done := newTestServer(t, Config{})
+// TestServeTooLargeFansOut sends an analog request bigger than the pool's
+// largest size class (n=64 vs MaxDim 32). Before the decomposition path
+// this bounced with 413 too_large; now the server partitions it and fans
+// the blocks out over the pool as a decomposed solve.
+func TestServeTooLargeFansOut(t *testing.T) {
+	s, client, done := newTestServer(t, Config{})
 	defer done()
-	req := SolveRequest{Backend: "analog", N: 64, B: make([]float64, 64)}
+	req := SolveRequest{Backend: "analog", N: 64, B: make([]float64, 64), Tol: 1e-6}
 	for i := 0; i < 64; i++ {
 		req.A = append(req.A, Entry{Row: i, Col: i, Val: 1})
 		req.B[i] = 1
 	}
-	_, err := client.Solve(context.Background(), req)
-	var re *RemoteError
-	if !errors.As(err, &re) || re.Code != CodeTooLarge || re.StatusCode != 413 {
-		t.Fatalf("want 413 too_large (pool MaxDim 32), got %v", err)
+	resp, err := client.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatalf("oversized analog request should fan out, got %v", err)
+	}
+	if resp.Backend != cli.BackendDecomposed {
+		t.Fatalf("backend = %q, want routed to %q", resp.Backend, cli.BackendDecomposed)
+	}
+	if resp.Residual > 1e-6 {
+		t.Fatalf("residual %v", resp.Residual)
+	}
+	d := resp.Decompose
+	if d == nil || d.Blocks < 2 || d.Sweeps < 1 || d.Chips < 1 {
+		t.Fatalf("decompose stats missing or degenerate: %+v", d)
+	}
+	// Session pinning: matrix configurations grow with blocks, not
+	// blocks×sweeps (identical diagonal blocks share one group here, so
+	// even fewer configs than blocks is fine).
+	if d.Configs > d.Blocks {
+		t.Fatalf("%d configs for %d blocks × %d sweeps: pinning is not working", d.Configs, d.Blocks, d.Sweeps)
+	}
+	// The metrics surface saw the fan-out.
+	snap := s.Snapshot()
+	if snap.Decomposed != 1 || snap.DecompBlocks != int64(d.Blocks) || snap.DecompSweeps < 1 {
+		t.Fatalf("decomposed metrics wrong: %+v", snap)
+	}
+	text, err := client.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, needle := range []string{
+		"alad_decomposed_total 1",
+		`alad_solves_total{backend="decomposed"} 1`,
+		"alad_sweep_seconds_count",
+	} {
+		if !strings.Contains(text, needle) {
+			t.Errorf("metrics missing %q", needle)
+		}
+	}
+}
+
+// TestServeDecomposedExplicit requests the decomposed backend directly for
+// a system that would also fit a single chip, with a worker cap.
+func TestServeDecomposedExplicit(t *testing.T) {
+	_, client, done := newTestServer(t, Config{})
+	defer done()
+	const n = 48 // two blocks against the test pool's MaxDim 32
+	req := SolveRequest{Backend: "decomposed", N: n, B: make([]float64, n), Tol: 1e-6, Workers: 2}
+	for i := 0; i < n; i++ {
+		req.A = append(req.A, Entry{Row: i, Col: i, Val: 2})
+		if i > 0 {
+			req.A = append(req.A, Entry{Row: i, Col: i - 1, Val: -0.5})
+			req.A = append(req.A, Entry{Row: i - 1, Col: i, Val: -0.5})
+		}
+		req.B[i] = 1
+	}
+	resp, err := client.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Backend != cli.BackendDecomposed || resp.Residual > 1e-6 {
+		t.Fatalf("backend %q residual %v", resp.Backend, resp.Residual)
+	}
+	d := resp.Decompose
+	if d == nil || d.Blocks < 2 || d.Chips > 2 {
+		t.Fatalf("decompose stats: %+v", d)
 	}
 }
 

@@ -192,8 +192,26 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if params.Tol <= 0 {
 		params.Tol = s.cfg.Tol
 	}
+	backendRun := req.Backend
+	decomposed := req.Backend == cli.BackendDecomposed
+	if !decomposed && cli.IsAnalogBackend(req.Backend) {
+		if ferr := s.pool.Fits(a); ferr != nil {
+			// No single size class can hold the system (or its density).
+			// Instead of the pre-decomposition ErrTooLarge rejection,
+			// partition it and fan the blocks out over the pool.
+			decomposed = true
+			backendRun = cli.BackendDecomposed
+		}
+	}
 	var chipClass int
-	if cli.IsAnalogBackend(req.Backend) {
+	switch {
+	case decomposed:
+		params.Provider = s.pool.DecompProvider()
+		params.Workers = req.Workers
+		params.OnSweep = func(_ int, _ float64, elapsed time.Duration) {
+			s.metrics.ObserveSweep(elapsed)
+		}
+	case cli.IsAnalogBackend(req.Backend):
 		pc, err := s.pool.Checkout(ctx, a)
 		if err != nil {
 			s.checkoutError(w, err)
@@ -206,7 +224,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	s.metrics.SolveStarted()
 	start := time.Now()
-	out, err := s.solve(ctx, req.Backend, a, b, params)
+	out, err := s.solve(ctx, backendRun, a, b, params)
 	elapsed := time.Since(start)
 	s.metrics.SolveFinished()
 	s.metrics.ObserveLatency(elapsed)
@@ -214,14 +232,28 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.solveError(w, ctx, err)
 		return
 	}
-	s.metrics.SolveOK(req.Backend, out.AnalogTime, out.Runs, out.Rescales, out.Overflows, out.Refinements)
+	s.metrics.SolveOK(backendRun, out.AnalogTime, out.Runs, out.Rescales, out.Overflows, out.Refinements)
+	if ds := out.Decompose; ds != nil {
+		s.metrics.DecomposedOK(ds.Blocks, ds.Sweeps, ds.Configs, ds.ReuseHits)
+	}
 
 	resp := SolveResponse{
 		U:         []float64(out.U),
 		N:         a.Dim(),
-		Backend:   req.Backend,
+		Backend:   backendRun,
 		Residual:  la.RelativeResidual(a, out.U, b),
 		ElapsedMs: float64(elapsed.Microseconds()) / 1000,
+	}
+	if ds := out.Decompose; ds != nil {
+		resp.Decompose = &DecomposeInfo{
+			Blocks:                ds.Blocks,
+			Sweeps:                ds.Sweeps,
+			Chips:                 ds.Chips,
+			InnerRefinements:      ds.InnerRefinements,
+			Configs:               ds.Configs,
+			ReuseHits:             ds.ReuseHits,
+			AnalogCriticalSeconds: ds.AnalogCritical,
+		}
 	}
 	if out.Analog {
 		resp.Analog = &AnalogStats{

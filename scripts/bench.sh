@@ -1,0 +1,75 @@
+#!/bin/sh
+# Regenerates a BENCH_*.json file deterministically from `go test -bench`:
+# fixed benchtime, fixed benchmark selection, one JSON emitter. Custom
+# b.ReportMetric values (configs/op, sweeps/op, ...) are captured alongside
+# the standard ns/bytes/allocs columns.
+#
+# Usage: scripts/bench.sh <suite> [benchtime]
+#
+#   scripts/bench.sh 1       # BENCH_1.json: circuit hot-loop microbenchmarks
+#   scripts/bench.sh 3 10x   # BENCH_3.json: decomposition scaling
+set -eu
+cd "$(dirname "$0")/.."
+
+SUITE="${1:?usage: scripts/bench.sh <suite-number> [benchtime]}"
+case "$SUITE" in
+1)
+	PKG=./internal/circuit
+	BENCH='Eval|Step|RunUntilSettled'
+	BENCHTIME="${2:-1s}"
+	DESC="internal/circuit hot loop (32x32 Poisson fig8 netlist)"
+	;;
+3)
+	PKG=./internal/core
+	BENCH='Decomposed'
+	BENCHTIME="${2:-5x}"
+	DESC="block-Jacobi decomposition: sequential one-chip vs parallel pinned sessions at 1/2/4/8 workers (8 blocks, 4 distinct groups)"
+	;;
+*)
+	echo "bench.sh: unknown suite $SUITE (known: 1, 3)" >&2
+	exit 2
+	;;
+esac
+OUT="BENCH_${SUITE}.json"
+
+RAW=$(go test "$PKG" -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -benchmem)
+echo "$RAW"
+
+echo "$RAW" | awk -v host="$(uname -sm)" -v go="$(go env GOVERSION)" -v desc="$DESC" '
+BEGIN {
+	print "{"
+	printf "  \"suite\": \"%s\",\n", desc
+	printf "  \"go\": \"%s\",\n", go
+	printf "  \"host\": \"%s\",\n", host
+	print "  \"benchmarks\": ["
+	first = 1
+}
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns = ""; bytes = ""; allocs = ""; extras = ""
+	# Fields after the iteration count come in value-unit pairs; standard
+	# units get their own keys, anything else (ReportMetric) is kept under
+	# its unit name with / mapped to _per_.
+	for (i = 3; i < NF; i += 2) {
+		val = $i; unit = $(i + 1)
+		if (unit == "ns/op") ns = val
+		else if (unit == "B/op") bytes = val
+		else if (unit == "allocs/op") allocs = val
+		else {
+			key = unit
+			gsub(/\//, "_per_", key)
+			extras = extras sprintf(", \"%s\": %s", key, val)
+		}
+	}
+	if (!first) printf ",\n"
+	first = 0
+	printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s%s}", \
+		name, $2, ns, bytes, allocs, extras
+}
+END {
+	print "\n  ]"
+	print "}"
+}' > "$OUT"
+
+echo "wrote $OUT"

@@ -1,37 +1,7 @@
 #!/bin/sh
-# Runs the analog hot-loop micro-benchmarks (eval / step / settle on the
-# fig8-style 32x32 Poisson netlist, reference vs compiled engine) and
-# records the results as JSON in BENCH_1.json at the repo root.
+# Back-compat wrapper: the hot-loop suite now lives in scripts/bench.sh as
+# suite 1 (same benchmarks, same JSON shape, same BENCH_1.json output).
 #
 # Usage: scripts/bench_hotloop.sh [benchtime]
 set -eu
-cd "$(dirname "$0")/.."
-BENCHTIME="${1:-1s}"
-
-RAW=$(go test ./internal/circuit -run '^$' \
-	-bench 'Eval|Step|RunUntilSettled' -benchtime "$BENCHTIME" -benchmem)
-echo "$RAW"
-
-echo "$RAW" | awk -v host="$(uname -sm)" -v go="$(go env GOVERSION)" '
-BEGIN {
-	print "{"
-	printf "  \"suite\": \"internal/circuit hot loop (32x32 Poisson fig8 netlist)\",\n"
-	printf "  \"go\": \"%s\",\n", go
-	printf "  \"host\": \"%s\",\n", host
-	print "  \"benchmarks\": ["
-	first = 1
-}
-/^Benchmark/ {
-	name = $1
-	sub(/-[0-9]+$/, "", name)
-	if (!first) printf ",\n"
-	first = 0
-	printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
-		name, $2, $3, $5, $7
-}
-END {
-	print "\n  ]"
-	print "}"
-}' > BENCH_1.json
-
-echo "wrote BENCH_1.json"
+exec "$(dirname "$0")/bench.sh" 1 "${1:-1s}"

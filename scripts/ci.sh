@@ -10,6 +10,12 @@ go vet ./...
 go build ./...
 go test -race ./...
 
+# The parallel decomposition engine is the newest concurrent path — pinned
+# sessions, per-chip scratch, the Jacobi sweep barrier, and the pool-backed
+# SessionProvider. Run its tests a second time under -race with -count=2 to
+# shake out schedule-dependent interleavings the full-suite pass may miss.
+go test -race -count=2 -run 'ParallelDecompose|PoolProvider|PoolTryCheckout|ServeDecomposed|FansOut' ./internal/core ./internal/serve
+
 # End-to-end serve smoke: start a real alad daemon on a random port, solve
 # the Equation 2 system through serve.Client, scrape /metrics to confirm
 # the solve counter moved, round-trip alasolve -server, then SIGTERM and

@@ -20,7 +20,9 @@ import (
 	"syscall"
 	"time"
 
+	"analogacc/internal/la"
 	"analogacc/internal/serve"
+	"analogacc/internal/solvers"
 )
 
 func main() {
@@ -31,8 +33,10 @@ func main() {
 		die("usage: smoke -alad <path> [-alasolve <path>]")
 	}
 
-	// 1. Start alad on a random port with a tiny warm pool.
-	cmd := exec.Command(*aladPath, "-addr", "127.0.0.1:0", "-pool", "1", "-warm", "2", "-queue", "8")
+	// 1. Start alad on a random port with a tiny warm pool. -max-dim 8
+	// keeps the largest chip class small so step 4 can exercise the
+	// decomposed fan-out path with a modest n=16 system.
+	cmd := exec.Command(*aladPath, "-addr", "127.0.0.1:0", "-pool", "1", "-warm", "2", "-queue", "8", "-max-dim", "8")
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		die("stderr pipe: %v", err)
@@ -118,7 +122,63 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "[smoke] metrics ok\n")
 
-	// 4. Optionally, the CLI's remote path against the same daemon.
+	// 4. Oversized solve: n=16 against -max-dim 8 is bigger than any chip
+	// class, so the daemon must partition it and fan the blocks out through
+	// the decomposition engine instead of rejecting it as too_large.
+	const big = 16
+	var bigA []serve.Entry
+	bigB := make([]float64, big)
+	for i := 0; i < big; i++ {
+		bigA = append(bigA, serve.Entry{Row: i, Col: i, Val: 4})
+		if i > 0 {
+			bigA = append(bigA, serve.Entry{Row: i, Col: i - 1, Val: -1})
+			bigA = append(bigA, serve.Entry{Row: i - 1, Col: i, Val: -1})
+		}
+		bigB[i] = 1 + 0.25*float64(i%3)
+	}
+	bigResp, err := client.Solve(ctx, serve.SolveRequest{
+		Backend: "analog-refined", N: big, A: bigA, B: bigB, Tol: 1e-6,
+	})
+	if err != nil {
+		die("oversized solve: %v", err)
+	}
+	if bigResp.Backend != "decomposed" {
+		die("oversized solve ran on %q, want decomposed", bigResp.Backend)
+	}
+	d := bigResp.Decompose
+	if d == nil || d.Blocks < 2 || d.Sweeps < 1 || d.Chips < 1 {
+		die("oversized solve missing decompose stats: %+v", d)
+	}
+	ents := make([]la.COOEntry, len(bigA))
+	for i, e := range bigA {
+		ents[i] = la.COOEntry{Row: e.Row, Col: e.Col, Val: e.Val}
+	}
+	ref, err := solvers.SolveCSRDirect(la.MustCSR(big, ents), la.Vector(bigB))
+	if err != nil {
+		die("digital reference: %v", err)
+	}
+	for i := range ref {
+		if math.Abs(bigResp.U[i]-ref[i]) > 1e-5 {
+			die("oversized u[%d] = %v, digital reference %v", i, bigResp.U[i], ref[i])
+		}
+	}
+	text, err = client.Metrics(ctx)
+	if err != nil {
+		die("metrics after oversized solve: %v", err)
+	}
+	for _, needle := range []string{
+		"alad_decomposed_total 1",
+		`alad_solves_total{backend="decomposed"} 1`,
+		"alad_sweep_seconds_count",
+	} {
+		if !strings.Contains(text, needle) {
+			die("metrics missing %q after oversized solve", needle)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "[smoke] oversized solve ok: blocks=%d sweeps=%d chips=%d configs=%d reuse=%d\n",
+		d.Blocks, d.Sweeps, d.Chips, d.Configs, d.ReuseHits)
+
+	// 5. Optionally, the CLI's remote path against the same daemon.
 	if *alasolvePath != "" {
 		out, err := exec.Command(*alasolvePath, "-server", addr, "-f", "testdata/eq2.txt").CombinedOutput()
 		if err != nil {
@@ -130,7 +190,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "[smoke] alasolve -server ok\n")
 	}
 
-	// 5. SIGTERM and assert a clean drain.
+	// 6. SIGTERM and assert a clean drain.
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		die("sigterm: %v", err)
 	}
