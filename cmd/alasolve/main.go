@@ -33,6 +33,7 @@ func main() {
 		file      = flag.String("f", "", "system file (default: stdin)")
 		format    = flag.String("format", "triplet", "triplet (A and b in one file) | mm (MatrixMarket matrix; see -rhs)")
 		rhsFile   = flag.String("rhs", "", "with -format mm: file of right-hand-side values, one per line (default: all ones)")
+		batchFile = flag.String("rhs-file", "", "batch mode: file of right-hand sides, one per line (n whitespace-separated values); the matrix is programmed once and every rhs solves on it")
 		backend   = flag.String("backend", "analog-refined", cli.BackendUsage())
 		tol       = flag.Float64("tol", 1e-8, "convergence / refinement tolerance")
 		adcBits   = flag.Int("adc-bits", 12, "analog chip converter resolution")
@@ -89,6 +90,19 @@ func main() {
 		fail("unknown format %q", *format)
 	}
 
+	if *batchFile != "" {
+		raw, err := os.ReadFile(*batchFile)
+		if err != nil {
+			fail("%v", err)
+		}
+		rhs, err := cli.ParseRHSBatch(string(raw), a.Dim())
+		if err != nil {
+			fail("%v", err)
+		}
+		solveBatch(a, rhs, *server, *backend, *tol, *deadline, *adcBits, *bandwidth, *calibrate, *quiet)
+		return
+	}
+
 	var (
 		u     la.Vector
 		extra string
@@ -120,6 +134,71 @@ func main() {
 	if !*quiet {
 		fmt.Printf("# backend: %s (%s)\n", *backend, extra)
 		fmt.Printf("# relative residual: %.3e\n", la.RelativeResidual(a, u, b))
+	}
+}
+
+// solveBatch runs the multi-RHS path — locally through one compiled
+// session, or remotely through POST /v1/solve/batch — and prints one
+// solution block per right-hand side.
+func solveBatch(a *la.CSR, rhs []la.Vector, server, backend string, tol float64, deadline time.Duration, adcBits int, bandwidth float64, calibrate, quiet bool) {
+	type item struct {
+		u     la.Vector
+		extra string
+	}
+	items := make([]item, 0, len(rhs))
+	var summary string
+	if server != "" {
+		req := serve.BatchSolveRequest{Backend: backend, N: a.Dim(), Tol: tol}
+		for i := 0; i < a.Dim(); i++ {
+			a.VisitRow(i, func(j int, v float64) {
+				req.A = append(req.A, serve.Entry{Row: i, Col: j, Val: v})
+			})
+		}
+		for _, b := range rhs {
+			req.RHS = append(req.RHS, []float64(b))
+		}
+		if deadline > 0 {
+			req.TimeoutMs = int(deadline / time.Millisecond)
+		}
+		resp, err := serve.NewClient(server).SolveBatch(context.Background(), req)
+		if err != nil {
+			fail("remote batch solve: %v", err)
+		}
+		for _, it := range resp.Items {
+			ex := fmt.Sprintf("residual %.3e", it.Residual)
+			if s := it.Analog; s != nil {
+				ex += fmt.Sprintf(", analog time %.3e s, %d runs, %d refinements", s.AnalogSeconds, s.Runs, s.Refinements)
+			}
+			items = append(items, item{u: la.Vector(it.U), extra: ex})
+		}
+		summary = fmt.Sprintf("%d rhs served by %s in %.1f ms", len(resp.Items), server, resp.ElapsedMs)
+	} else {
+		outs, err := cli.SolveSystemBatch(context.Background(), backend, a, rhs, cli.SolveParams{
+			Tol: tol, ADCBits: adcBits, Bandwidth: bandwidth, Calibrate: calibrate,
+		})
+		if err != nil {
+			fail("%s: %v", backend, err)
+		}
+		for k, out := range outs {
+			items = append(items, item{u: out.U, extra: fmt.Sprintf("residual %.3e, %s",
+				la.RelativeResidual(a, out.U, rhs[k]), out.Note)})
+		}
+		summary = fmt.Sprintf("%d rhs solved on one compiled session", len(outs))
+	}
+	for k, it := range items {
+		if quiet {
+			for _, v := range it.u {
+				fmt.Printf("%.12g\n", v)
+			}
+			continue
+		}
+		fmt.Printf("# rhs %d (%s)\n", k, it.extra)
+		for i, v := range it.u {
+			fmt.Printf("u[%d] = %.12g\n", i, v)
+		}
+	}
+	if !quiet {
+		fmt.Printf("# backend: %s (%s)\n", backend, summary)
 	}
 }
 

@@ -206,6 +206,80 @@ func SolveSystem(ctx context.Context, backend string, a *la.CSR, b la.Vector, p 
 	}
 }
 
+// SolveSystemBatch runs A·u = rhs[k] for every right-hand side on the
+// named backend. On the analog backends the matrix is compiled onto the
+// chip once (a core.Session) and only the DAC biases are rewritten
+// between items — a batch of N costs one configuration, not N — and the
+// learned dynamic-range scale carries across items. Other backends solve
+// the items sequentially. Outcomes are positional; the first failing item
+// aborts the batch with its index in the error.
+func SolveSystemBatch(ctx context.Context, backend string, a *la.CSR, rhs []la.Vector, p SolveParams) ([]Outcome, error) {
+	p = p.withDefaults()
+	if !ValidBackend(backend) {
+		return nil, fmt.Errorf("cli: unknown backend %q (known: %s)", backend, BackendUsage())
+	}
+	if len(rhs) == 0 {
+		return nil, fmt.Errorf("cli: batch solve needs at least one right-hand side")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if !IsAnalogBackend(backend) {
+		outs := make([]Outcome, len(rhs))
+		for k, b := range rhs {
+			out, err := SolveSystem(ctx, backend, a, b, p)
+			if err != nil {
+				return nil, fmt.Errorf("cli: batch rhs %d: %w", k, err)
+			}
+			outs[k] = out
+		}
+		return outs, nil
+	}
+	acc := p.Acc
+	if acc == nil {
+		var err error
+		acc, _, err = core.NewSimulated(SpecFor(a, p.ADCBits, p.Bandwidth))
+		if err != nil {
+			return nil, fmt.Errorf("cli: building chip: %w", err)
+		}
+	}
+	sess, err := acc.BeginSession(a)
+	if err != nil {
+		return nil, fmt.Errorf("cli: compiling batch matrix: %w", err)
+	}
+	opt := core.SolveOptions{Tolerance: p.Tol, Calibrate: p.Calibrate}
+	var (
+		us    []la.Vector
+		stats []core.Stats
+	)
+	if backend == BackendAnalog {
+		us, stats, err = sess.SolveBatch(ctx, rhs, opt)
+	} else {
+		us, stats, err = sess.SolveBatchRefined(ctx, rhs, opt)
+	}
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]Outcome, len(rhs))
+	for k := range rhs {
+		st := stats[k]
+		outs[k] = Outcome{
+			U: us[k],
+			Note: fmt.Sprintf("analog time %.3e s, %d runs, %d refinements, %d rescales, value scale S=%.4g",
+				st.AnalogTime, st.Runs, st.Refinements, st.Rescales, st.Scaling.S),
+			Analog:      true,
+			AnalogTime:  st.AnalogTime,
+			SettleTime:  st.SettleTime,
+			Runs:        st.Runs,
+			Rescales:    st.Rescales,
+			Overflows:   st.Overflows,
+			Refinements: st.Refinements,
+			ScaleS:      st.Scaling.S,
+		}
+	}
+	return outs, nil
+}
+
 // solveDecomposed runs the parallel block-Jacobi backend. With a provider
 // (the serve pool) chips are leased; without one it fabricates Workers
 // identical simulated chips sized for one block — identical specs and

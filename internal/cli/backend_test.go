@@ -85,6 +85,49 @@ func TestSolveSystemReusesProvidedChip(t *testing.T) {
 	}
 }
 
+func TestSolveSystemBatch(t *testing.T) {
+	a, _ := eq2()
+	rhs := []la.Vector{la.VectorOf(0.5, 0.3), la.VectorOf(-0.2, 0.4), la.VectorOf(0.1, -0.6)}
+	for _, backend := range []string{BackendAnalog, BackendAnalogRefined, "cg", BackendDirect} {
+		outs, err := SolveSystemBatch(context.Background(), backend, a, rhs, SolveParams{Tol: 1e-6})
+		if err != nil {
+			t.Errorf("%s: %v", backend, err)
+			continue
+		}
+		if len(outs) != len(rhs) {
+			t.Errorf("%s: %d outcomes for %d rhs", backend, len(outs), len(rhs))
+			continue
+		}
+		for k, out := range outs {
+			if r := la.RelativeResidual(a, out.U, rhs[k]); r > 1e-2 {
+				t.Errorf("%s rhs %d: residual %v", backend, k, r)
+			}
+		}
+	}
+}
+
+func TestSolveSystemBatchAmortizesConfiguration(t *testing.T) {
+	a, _ := eq2()
+	rhs := []la.Vector{la.VectorOf(0.5, 0.3), la.VectorOf(-0.2, 0.4), la.VectorOf(0.1, -0.6)}
+	acc, _, err := core.NewSimulated(SpecFor(a, 12, 20e3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SolveSystemBatch(context.Background(), BackendAnalogRefined, a, rhs, SolveParams{Acc: acc, Tol: 1e-6}); err != nil {
+		t.Fatal(err)
+	}
+	if got := acc.Configurations(); got != 1 {
+		t.Fatalf("batch of %d cost %d matrix configurations, want 1", len(rhs), got)
+	}
+}
+
+func TestSolveSystemBatchEmpty(t *testing.T) {
+	a, _ := eq2()
+	if _, err := SolveSystemBatch(context.Background(), BackendAnalogRefined, a, nil, SolveParams{}); err == nil {
+		t.Fatal("empty batch must fail")
+	}
+}
+
 func TestSolveSystemCancelled(t *testing.T) {
 	a, b := eq2()
 	ctx, cancel := context.WithCancel(context.Background())

@@ -52,3 +52,34 @@ func ParseRHS(raw string, n int) (la.Vector, error) {
 	}
 	return b, nil
 }
+
+// ParseRHSBatch loads a multi-RHS file: every non-empty, non-comment line
+// is one right-hand side of n whitespace-separated values. The batch solve
+// path (alasolve -rhs-file, POST /v1/solve/batch) amortizes one matrix
+// programming across all of them.
+func ParseRHSBatch(raw string, n int) ([]la.Vector, error) {
+	var rhs []la.Vector
+	for _, line := range strings.Split(raw, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != n {
+			return nil, fmt.Errorf("rhs %d has %d values, matrix order is %d", len(rhs), len(fields), n)
+		}
+		b := la.NewVector(n)
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("rhs %d: bad value %q", len(rhs), f)
+			}
+			b[i] = v
+		}
+		rhs = append(rhs, b)
+	}
+	if len(rhs) == 0 {
+		return nil, fmt.Errorf("rhs file holds no right-hand sides")
+	}
+	return rhs, nil
+}

@@ -48,3 +48,25 @@ func TestParseRHS(t *testing.T) {
 		t.Fatal("junk accepted")
 	}
 }
+
+func TestParseRHSBatch(t *testing.T) {
+	rhs, err := ParseRHSBatch("0.5 0.3\n# comment\n\n-0.2\t0.4\n", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rhs) != 2 {
+		t.Fatalf("%d right-hand sides", len(rhs))
+	}
+	if rhs[0][0] != 0.5 || rhs[0][1] != 0.3 || rhs[1][0] != -0.2 || rhs[1][1] != 0.4 {
+		t.Fatalf("rhs=%v", rhs)
+	}
+	if _, err := ParseRHSBatch("1 2 3\n", 2); err == nil {
+		t.Fatal("row-length mismatch accepted")
+	}
+	if _, err := ParseRHSBatch("1 abc\n", 2); err == nil {
+		t.Fatal("junk accepted")
+	}
+	if _, err := ParseRHSBatch("# only comments\n", 2); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"analogacc/internal/chip"
+	"analogacc/internal/la"
+)
+
+// batchRHS is a fixed multi-RHS workload for the eq2 system.
+func batchRHS() []la.Vector {
+	return []la.Vector{
+		la.VectorOf(0.5, 0.3),
+		la.VectorOf(-0.2, 0.4),
+		la.VectorOf(0.1, -0.6),
+		la.VectorOf(0.7, 0.7),
+	}
+}
+
+func TestSolveBatchMatchesSequential(t *testing.T) {
+	// SolveBatch must be bit-identical to running the same right-hand
+	// sides one SolveFor at a time on an identically seeded chip: the
+	// batch path amortizes configuration, it must not change results.
+	spec := chip.PrototypeSpec()
+	spec.Seed = 42
+	a, _ := eq2System()
+	rhs := batchRHS()
+
+	accSeq := simAcc(t, spec)
+	seqSess, err := accSeq.BeginSession(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := make([]la.Vector, len(rhs))
+	for k, b := range rhs {
+		u, _, err := seqSess.SolveFor(b, SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq[k] = u
+	}
+
+	accBatch := simAcc(t, spec)
+	batchSess, err := accBatch.BeginSession(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	us, stats, err := batchSess.SolveBatch(context.Background(), rhs, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(us) != len(rhs) || len(stats) != len(rhs) {
+		t.Fatalf("batch returned %d solutions, %d stats for %d rhs", len(us), len(stats), len(rhs))
+	}
+	for k := range rhs {
+		for i := range us[k] {
+			if us[k][i] != seq[k][i] {
+				t.Fatalf("rhs %d component %d: batch %v != sequential %v", k, i, us[k][i], seq[k][i])
+			}
+		}
+		if stats[k].Runs == 0 || stats[k].AnalogTime <= 0 {
+			t.Fatalf("rhs %d: stats not accounted: %+v", k, stats[k])
+		}
+	}
+}
+
+func TestSolveBatchSingleConfiguration(t *testing.T) {
+	// A batch of N right-hand sides must cost one matrix configuration,
+	// not N: only DAC biases are rewritten between items.
+	acc := simAcc(t, chip.PrototypeSpec())
+	a, _ := eq2System()
+	sess, err := acc.BeginSession(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	configsAfterProgram := acc.Configurations()
+	if _, _, err := sess.SolveBatch(context.Background(), batchRHS(), SolveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := acc.Configurations(); got != configsAfterProgram {
+		t.Fatalf("batch reconfigured the chip: %d configurations, want %d", got, configsAfterProgram)
+	}
+}
+
+func TestSolveBatchErrorReportsIndex(t *testing.T) {
+	acc := simAcc(t, chip.PrototypeSpec())
+	a, _ := eq2System()
+	sess, err := acc.BeginSession(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := []la.Vector{la.VectorOf(0.5, 0.3), la.VectorOf(0.1, 0.2, 0.3)}
+	us, stats, err := sess.SolveBatch(context.Background(), rhs, SolveOptions{})
+	if err == nil {
+		t.Fatal("batch with a bad item succeeded")
+	}
+	if us != nil {
+		t.Fatal("failed batch returned solutions")
+	}
+	if len(stats) != len(rhs) {
+		t.Fatalf("failed batch returned %d stats, want %d", len(stats), len(rhs))
+	}
+	if want := "batch rhs 1"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not name the failing item (%q)", err, want)
+	}
+}
+
+func TestSolveBatchCancellation(t *testing.T) {
+	acc := simAcc(t, chip.PrototypeSpec())
+	a, _ := eq2System()
+	sess, err := acc.BeginSession(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := sess.SolveBatch(ctx, batchRHS(), SolveOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled batch returned %v, want context.Canceled", err)
+	}
+}
+
+func TestSolveBatchRefined(t *testing.T) {
+	acc := simAcc(t, chip.PrototypeSpec())
+	a, _ := eq2System()
+	sess, err := acc.BeginSession(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := batchRHS()
+	opt := SolveOptions{Tolerance: 1e-9}
+	us, stats, err := sess.SolveBatchRefined(context.Background(), rhs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, b := range rhs {
+		if stats[k].Residual > opt.Tolerance {
+			t.Fatalf("rhs %d: residual %v above tolerance", k, stats[k].Residual)
+		}
+		// Check the residual claim digitally.
+		r := b.Clone()
+		a.Apply(r, us[k])
+		for i := range r {
+			r[i] = b[i] - r[i]
+		}
+		if rel := r.NormInf() / b.NormInf(); rel > opt.Tolerance {
+			t.Fatalf("rhs %d: recomputed residual %v above tolerance", k, rel)
+		}
+	}
+}
+
+func TestSolveBatchAllocs(t *testing.T) {
+	// The batch inner loop must not allocate per right-hand side beyond
+	// what each solve itself produces (the result vector and the chip
+	// transactions): a batch of N allocates no more than N sequential
+	// SolveFor calls plus the two result slices. Both sides run on
+	// identically seeded chips so they execute the same transaction
+	// sequence.
+	spec := chip.PrototypeSpec()
+	spec.Seed = 7
+	a, _ := eq2System()
+	rhs := batchRHS()
+
+	accSeq := simAcc(t, spec)
+	seqSess, err := accSeq.BeginSession(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqAllocs := testing.AllocsPerRun(1, func() {
+		for _, b := range rhs {
+			if _, _, err := seqSess.SolveFor(b, SolveOptions{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+
+	accBatch := simAcc(t, spec)
+	batchSess, err := accBatch.BeginSession(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchAllocs := testing.AllocsPerRun(1, func() {
+		if _, _, err := batchSess.SolveBatch(context.Background(), rhs, SolveOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// Allow the result-slice pair plus a little headroom, nothing per-RHS.
+	if batchAllocs > seqAllocs+4 {
+		t.Fatalf("batch allocates %v, sequential %v: batch adds per-RHS allocations", batchAllocs, seqAllocs)
+	}
+}

@@ -65,10 +65,11 @@ type Accelerator struct {
 	spec chip.Spec
 	pm   *chip.PortMap
 
-	analogTime float64 // Σ armed-and-executed timeout durations
-	runs       int     // execStart count
-	configs    int     // full matrix programming passes (gains + routing)
-	calibrated bool
+	analogTime   float64 // Σ armed-and-executed timeout durations
+	runs         int     // execStart count
+	configs      int     // full matrix programming passes (gains + routing)
+	calibrated   bool
+	calibrations int // Calibrate successes; caches watch it for trim drift
 	// current is the session whose matrix is programmed on the chip;
 	// sessions re-acquire ownership transparently (see Session.ensureOwned).
 	current *Session
@@ -131,12 +132,32 @@ func (acc *Accelerator) Calibrate() (int, error) {
 	n, err := acc.host.Init()
 	if err == nil {
 		acc.calibrated = true
+		acc.calibrations++
 	}
 	return n, err
 }
 
 // Calibrated reports whether Calibrate has succeeded on this driver.
 func (acc *Accelerator) Calibrated() bool { return acc.calibrated }
+
+// CalibrationCount returns how many init sequences have succeeded on this
+// driver. Session caches compare it across loans: a change means the trims
+// drifted under a resident configuration, whose learned scales are then
+// stale and must be invalidated.
+func (acc *Accelerator) CalibrationCount() int { return acc.calibrations }
+
+// ResidentFingerprint returns the la.Fingerprint and order of the matrix
+// currently programmed on the chip (the live session), or (0, 0) when the
+// chip holds no system. The serve pool keys its operator-affinity cache on
+// it: a checkout for a matrix with the same fingerprint adopts the
+// resident configuration through the BeginSession fast path instead of
+// reprogramming gains and routing.
+func (acc *Accelerator) ResidentFingerprint() (uint64, int) {
+	if acc.current == nil {
+		return 0, 0
+	}
+	return acc.current.fp, acc.current.n
+}
 
 // Requirements describes the chip resources a compiled system needs.
 type Requirements struct {
@@ -422,32 +443,50 @@ func (acc *Accelerator) runFor(seconds float64) error {
 
 // readCodes returns the raw ADC codes for the first n converters.
 func (acc *Accelerator) readCodes(n int) ([]int, error) {
-	raw, err := acc.host.ReadSerial()
-	if err != nil {
+	codes := make([]int, n)
+	if err := acc.readCodesInto(codes); err != nil {
 		return nil, err
 	}
-	if len(raw) < 2*n {
-		return nil, fmt.Errorf("core: readSerial returned %d bytes, need %d", len(raw), 2*n)
+	return codes, nil
+}
+
+// readCodesInto fills codes with the raw ADC readings of the first
+// len(codes) converters; the settle poll loop reuses one buffer across
+// its doubling chunks instead of allocating per poll.
+func (acc *Accelerator) readCodesInto(codes []int) error {
+	raw, err := acc.host.ReadSerial()
+	if err != nil {
+		return err
 	}
-	codes := make([]int, n)
+	if len(raw) < 2*len(codes) {
+		return fmt.Errorf("core: readSerial returned %d bytes, need %d", len(raw), 2*len(codes))
+	}
 	for i := range codes {
 		codes[i] = int(isa.GetU16(raw, 2*i))
 	}
-	return codes, nil
+	return nil
 }
 
 // readSolution averages each variable's ADC and returns values in
 // full-scale units.
 func (acc *Accelerator) readSolution(n, samples int) (la.Vector, error) {
 	u := la.NewVector(n)
-	for i := 0; i < n; i++ {
+	if err := acc.readSolutionInto(u, samples); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// readSolutionInto is readSolution against a caller-owned buffer.
+func (acc *Accelerator) readSolutionInto(u la.Vector, samples int) error {
+	for i := range u {
 		v, err := acc.host.AnalogAvg(uint16(i), uint16(samples))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		u[i] = v
 	}
-	return u, nil
+	return nil
 }
 
 // anyException reads the exception vector and reports whether any unit

@@ -323,22 +323,66 @@ func TestSessionOwnershipSwitch(t *testing.T) {
 	}
 }
 
-func TestMatrixEqual(t *testing.T) {
+func TestSessionFingerprintIdentity(t *testing.T) {
+	// Sessions identify their matrix by la.Fingerprint; two sessions over
+	// equal-by-value matrices must share an identity (that's what the
+	// serve-pool cache and BeginSession adoption key on), and distinct
+	// matrices must not.
+	acc := simAcc(t, chip.PrototypeSpec())
 	a1, _ := eq2System()
 	a2, _ := eq2System()
-	if !matrixEqual(a1, a1) || !matrixEqual(a1, a2) {
-		t.Fatal("equal matrices not detected")
+	s1, err := acc.BeginSession(a1)
+	if err != nil {
+		t.Fatal(err)
 	}
-	a3 := a2.Scaled(2)
-	if matrixEqual(a1, a3) {
-		t.Fatal("different values reported equal")
+	s2, err := acc.BeginSession(a2)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if matrixEqual(a1, la.Tridiag(3, -1, 2, -1)) {
-		t.Fatal("different dims reported equal")
+	if s1.Fingerprint() != s2.Fingerprint() {
+		t.Fatal("equal matrices produced different session fingerprints")
 	}
-	d := la.MustCSR(2, []la.COOEntry{{Row: 0, Col: 0, Val: 0.8}, {Row: 1, Col: 1, Val: 0.6}})
-	if matrixEqual(a1, d) {
-		t.Fatal("different sparsity reported equal")
+	if fp, n := acc.ResidentFingerprint(); fp != s2.Fingerprint() || n != 2 {
+		t.Fatalf("resident fingerprint %#x/%d, want %#x/2", fp, n, s2.Fingerprint())
+	}
+	for name, m := range map[string]*la.CSR{
+		"scaled values": a2.Scaled(2),
+		"bigger":        la.Tridiag(3, -1, 2, -1),
+		"sparser":       la.MustCSR(2, []la.COOEntry{{Row: 0, Col: 0, Val: 0.8}, {Row: 1, Col: 1, Val: 0.6}}),
+	} {
+		if la.Fingerprint(m) == s1.Fingerprint() {
+			t.Fatalf("%s: fingerprint collides with base system", name)
+		}
+	}
+}
+
+func TestBeginSessionAdoptionSkipsReprogram(t *testing.T) {
+	// A second BeginSession over an equal matrix must adopt the resident
+	// configuration instead of recompiling it: the chip sees no new
+	// configuration commits.
+	acc := simAcc(t, chip.PrototypeSpec())
+	a1, _ := eq2System()
+	a2, _ := eq2System()
+	if _, err := acc.BeginSession(a1); err != nil {
+		t.Fatal(err)
+	}
+	before := acc.Configurations()
+	sess, err := acc.BeginSession(a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := acc.Configurations(); got != before {
+		t.Fatalf("adoption reprogrammed the chip: %d configurations, want %d", got, before)
+	}
+	// The adopted session must still solve correctly.
+	b := la.VectorOf(0.5, 0.3)
+	u, _, err := sess.SolveFor(b, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := solvers.SolveCSRDirect(a2, b)
+	if !u.Equal(want, 0.05) {
+		t.Fatalf("adopted session solve u=%v want %v", u, want)
 	}
 }
 

@@ -156,11 +156,13 @@ func (pd *ParallelDecompose) Solve(ctx context.Context, a *la.CSR, b la.Vector) 
 	// never reprograms the matrix.
 	blocks := make([]*decompBlock, len(ranges))
 	var groups []*la.CSR
+	var groupFPs []uint64
 	for bi, idx := range ranges {
 		sub := a.Submatrix(idx)
+		fp := la.Fingerprint(sub)
 		g := -1
 		for gi, rep := range groups {
-			if rep.Dim() == sub.Dim() && matrixEqual(rep, sub) {
+			if rep.Dim() == sub.Dim() && groupFPs[gi] == fp && fpVerify(rep, sub) {
 				g = gi
 				break
 			}
@@ -168,6 +170,7 @@ func (pd *ParallelDecompose) Solve(ctx context.Context, a *la.CSR, b la.Vector) 
 		if g < 0 {
 			g = len(groups)
 			groups = append(groups, sub)
+			groupFPs = append(groupFPs, fp)
 		}
 		blocks[bi] = &decompBlock{idx: idx, sub: groups[g], group: g}
 	}

@@ -1,0 +1,47 @@
+//go:build fpdebug
+
+package core
+
+import "fmt"
+
+// fpVerify (fpdebug build) re-checks a fingerprint match entry-for-entry.
+// The fingerprint fast paths only call it when two fingerprints already
+// compare equal, so a deep mismatch here is a hash collision (~2⁻⁶⁴) or a
+// fingerprint bug — either way adopting the configuration would silently
+// solve the wrong system, so it panics rather than returning false.
+func fpVerify(a, b Matrix) bool {
+	if !matrixDeepEqual(a, b) {
+		panic(fmt.Sprintf("core: fingerprint collision between distinct %dx%d matrices", a.Dim(), b.Dim()))
+	}
+	return true
+}
+
+// matrixDeepEqual compares two matrices entry-for-entry via their row
+// streams — the pre-fingerprint identity check, kept under this build tag
+// as the collision audit.
+func matrixDeepEqual(a, b Matrix) bool {
+	if a == b {
+		return true
+	}
+	if a.Dim() != b.Dim() {
+		return false
+	}
+	for i := 0; i < a.Dim(); i++ {
+		type entry struct {
+			j int
+			v float64
+		}
+		var ra, rb []entry
+		a.VisitRow(i, func(j int, v float64) { ra = append(ra, entry{j, v}) })
+		b.VisitRow(i, func(j int, v float64) { rb = append(rb, entry{j, v}) })
+		if len(ra) != len(rb) {
+			return false
+		}
+		for k := range ra {
+			if ra[k] != rb[k] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,49 @@
+//go:build fpdebug
+
+package core
+
+import (
+	"testing"
+
+	"analogacc/internal/la"
+)
+
+func TestMatrixDeepEqual(t *testing.T) {
+	a1, _ := eq2System()
+	a2, _ := eq2System()
+	if !matrixDeepEqual(a1, a1) || !matrixDeepEqual(a1, a2) {
+		t.Fatal("equal matrices not detected")
+	}
+	if matrixDeepEqual(a1, a2.Scaled(2)) {
+		t.Fatal("different values reported equal")
+	}
+	if matrixDeepEqual(a1, la.Tridiag(3, -1, 2, -1)) {
+		t.Fatal("different dims reported equal")
+	}
+	d := la.MustCSR(2, []la.COOEntry{{Row: 0, Col: 0, Val: 0.8}, {Row: 1, Col: 1, Val: 0.6}})
+	if matrixDeepEqual(a1, d) {
+		t.Fatal("different sparsity reported equal")
+	}
+}
+
+func TestFpVerifyPanicsOnCollision(t *testing.T) {
+	// fpVerify is only reached when two fingerprints already match; handed
+	// matrices that are actually different it must panic (a collision or a
+	// fingerprint bug) rather than let a session adopt the wrong system.
+	a1, _ := eq2System()
+	a3 := a1.Scaled(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("fpVerify accepted distinct matrices")
+		}
+	}()
+	fpVerify(a1, a3)
+}
+
+func TestFpVerifyAcceptsEqual(t *testing.T) {
+	a1, _ := eq2System()
+	a2, _ := eq2System()
+	if !fpVerify(a1, a2) {
+		t.Fatal("fpVerify rejected equal matrices")
+	}
+}

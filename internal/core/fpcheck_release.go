@@ -1,0 +1,13 @@
+//go:build !fpdebug
+
+package core
+
+// fpVerify is the fingerprint-collision fallback hook. In normal builds a
+// 64-bit la.Fingerprint match IS matrix identity — unequal matrices
+// collide with probability ~2⁻⁶⁴, far below the simulator's own soft-error
+// budget — so the check compiles to a constant and the session fast paths
+// cost one integer compare. Building with -tags fpdebug (scripts/ci.sh
+// runs the core tests that way) swaps in an entry-for-entry
+// re-verification that panics on a collision, which is how a fingerprint
+// bug would surface instead of silently adopting the wrong configuration.
+func fpVerify(a, b Matrix) bool { return true }

@@ -105,19 +105,55 @@ func (s *Stats) add(other Stats) {
 type Session struct {
 	acc *Accelerator
 	a   Matrix
-	as  scaledView
-	sc  Scaling
-	n   int
+	// fp is la.Fingerprint(a): the session's cache identity. Ownership
+	// checks (adoption in BeginSession, re-acquisition in ensureOwned)
+	// compare fingerprints instead of deep-scanning both matrices; build
+	// with -tags fpdebug to re-verify every match entry-for-entry.
+	fp uint64
+	as scaledView
+	sc Scaling
+	n  int
 	// sigmaGain remembers the learned ratio sigma·S/‖rhs‖∞ from the last
 	// successful solve, so later right-hand sides (refinement residuals,
-	// decomposition sweeps) start at the right dynamic-range scale
-	// instead of re-running the exception-driven search.
+	// decomposition sweeps, batch items) start at the right dynamic-range
+	// scale instead of re-running the exception-driven search.
 	sigmaGain float64
 	// baseS is the compile-time value scale; dynamic-range boosts may
 	// grow sc.S (softer gains, more time) but only up to a bounded
 	// multiple of baseS — boosts are sticky for the session, and without
 	// the bound repeated solves would dilate time without limit.
 	baseS float64
+	// scratch holds the per-solve work buffers, sized once per session so
+	// repeated right-hand sides — refinement passes, sweeps, and the
+	// SolveBatch inner loop — allocate nothing beyond each result vector.
+	scratch solveScratch
+}
+
+// solveScratch is the reusable working set of one solve attempt. A session
+// is single-threaded by construction (it drives one chip), so one set
+// suffices.
+type solveScratch struct {
+	bs        la.Vector // scaled right-hand side of the current attempt
+	bq        la.Vector // bias as actually quantized through the DAC path
+	tols      la.Vector // per-row settle tolerances
+	uHat      la.Vector // raw full-scale readings
+	resid     la.Vector // digitally reconstructed residual
+	refResid  la.Vector // refinement-loop residual accumulator
+	codes     []int     // current settle-poll ADC codes
+	prevCodes []int     // previous poll, for the stability test
+}
+
+func newSolveScratch(n int) solveScratch {
+	return solveScratch{
+		bs:        la.NewVector(n),
+		bq:        la.NewVector(n),
+		tols:      la.NewVector(n),
+		uHat:      la.NewVector(n),
+		resid:     la.NewVector(n),
+		refResid:  la.NewVector(n),
+		codes:     make([]int, n),
+		prevCodes: make([]int, n),
+	}
 }
 
 // BeginSession compiles A onto the chip with zero biases. The matrix must
@@ -125,13 +161,21 @@ type Session struct {
 func (acc *Accelerator) BeginSession(a Matrix) (*Session, error) {
 	s := matrixScale(a, acc.spec.MaxGain)
 	as := newScaledView(a, s)
-	sess := &Session{acc: acc, a: a, as: as, sc: Scaling{S: s, Sigma: 1}, n: a.Dim(), baseS: s}
+	sess := &Session{
+		acc: acc, a: a, fp: la.Fingerprint(a), as: as,
+		sc: Scaling{S: s, Sigma: 1}, n: a.Dim(), baseS: s,
+		scratch: newSolveScratch(a.Dim()),
+	}
 	// Adoption fast path: if the chip already holds an identical matrix at
-	// the same scale (a pinned session for this block, or another block
-	// with the same interior stencil), take ownership of the programmed
-	// configuration instead of recompiling it. Biases are stale either
-	// way — every SolveFor rewrites them before running.
-	if cur := acc.current; cur != nil && cur.n == sess.n && cur.sc.S == s && matrixEqual(cur.a, a) {
+	// the same scale (a pinned session for this block, a cached session
+	// from an earlier request on a pooled chip, or another block with the
+	// same interior stencil), take ownership of the programmed
+	// configuration instead of recompiling it. Identity is the
+	// fingerprint, O(nnz) to hash once against O(nnz) per candidate for a
+	// deep scan. Biases are stale either way — every SolveFor rewrites
+	// them before running.
+	if cur := acc.current; cur != nil && cur.n == sess.n && cur.sc.S == s &&
+		cur.fp == sess.fp && fpVerify(cur.a, a) {
 		acc.current = sess
 		return sess, nil
 	}
@@ -142,6 +186,10 @@ func (acc *Accelerator) BeginSession(a Matrix) (*Session, error) {
 	return sess, nil
 }
 
+// Fingerprint returns the session matrix's cache identity
+// (la.Fingerprint of A).
+func (s *Session) Fingerprint() uint64 { return s.fp }
+
 // ensureOwned makes the session's matrix the one programmed on the chip.
 // If another session with an identical scaled matrix owns the chip (all
 // interior blocks of a regular decomposition), ownership transfers without
@@ -151,7 +199,8 @@ func (s *Session) ensureOwned() error {
 	if cur == s {
 		return nil
 	}
-	if cur != nil && cur.n == s.n && cur.sc.S == s.sc.S && matrixEqual(cur.a, s.a) {
+	if cur != nil && cur.n == s.n && cur.sc.S == s.sc.S &&
+		cur.fp == s.fp && fpVerify(cur.a, s.a) {
 		s.acc.current = s
 		return nil
 	}
@@ -160,34 +209,6 @@ func (s *Session) ensureOwned() error {
 	}
 	s.acc.current = s
 	return nil
-}
-
-// matrixEqual compares two matrices entry-for-entry via their row streams.
-func matrixEqual(a, b Matrix) bool {
-	if a == b {
-		return true
-	}
-	if a.Dim() != b.Dim() {
-		return false
-	}
-	for i := 0; i < a.Dim(); i++ {
-		type entry struct {
-			j int
-			v float64
-		}
-		var ra, rb []entry
-		a.VisitRow(i, func(j int, v float64) { ra = append(ra, entry{j, v}) })
-		b.VisitRow(i, func(j int, v float64) { rb = append(rb, entry{j, v}) })
-		if len(ra) != len(rb) {
-			return false
-		}
-		for k := range ra {
-			if ra[k] != rb[k] {
-				return false
-			}
-		}
-	}
-	return true
 }
 
 // Scaling returns the session's value scale (Sigma reflects the last solve).
@@ -213,7 +234,7 @@ func (s *Session) settleTolerances() la.Vector {
 		}
 	}
 	mismatch += 6 * s.acc.spec.NoiseSigma
-	tols := la.NewVector(s.n)
+	tols := s.scratch.tols
 	for i := 0; i < s.n; i++ {
 		var rowSum float64
 		s.as.VisitRow(i, func(_ int, v float64) { rowSum += math.Abs(v) })
@@ -278,7 +299,11 @@ func (s *Session) SolveForCtx(ctx context.Context, rhs la.Vector, opt SolveOptio
 		if err := ctx.Err(); err != nil {
 			return nil, stats, fmt.Errorf("core: solve aborted before attempt %d: %w", attempt, err)
 		}
-		bs := rhs.Scaled(1 / (s.sc.S * sigma))
+		bs := s.scratch.bs
+		inv := 1 / (s.sc.S * sigma)
+		for i, v := range rhs {
+			bs[i] = v * inv
+		}
 		if err := s.acc.reprogramBias(bs, nil); err != nil {
 			return nil, stats, err
 		}
@@ -296,8 +321,8 @@ func (s *Session) SolveForCtx(ctx context.Context, rhs la.Vector, opt SolveOptio
 		if !settled {
 			return nil, stats, fmt.Errorf("core: sigma=%v: %w", sigma, ErrNotSettled)
 		}
-		uHat, err := s.acc.readSolution(s.n, opt.Samples)
-		if err != nil {
+		uHat := s.scratch.uHat
+		if err := s.acc.readSolutionInto(uHat, opt.Samples); err != nil {
 			return nil, stats, err
 		}
 		// Dynamic-range check (Section III-B): if the answer sits deep
@@ -329,7 +354,16 @@ func (s *Session) SolveForCtx(ctx context.Context, rhs la.Vector, opt SolveOptio
 		s.sc.Sigma = sigma
 		s.sigmaGain = sigma * s.sc.S / rhs.NormInf()
 		stats.Scaling = s.sc
-		stats.Residual = la.RelativeResidual(s.a, u, rhs)
+		// Digital residual into scratch: ‖b − A·u‖∞ / ‖b‖∞ without the
+		// temporary vector la.RelativeResidual would allocate.
+		s.a.Apply(s.scratch.resid, u)
+		var rn float64
+		for i, av := range s.scratch.resid {
+			if d := math.Abs(rhs[i] - av); d > rn {
+				rn = d
+			}
+		}
+		stats.Residual = rn / rhs.NormInf()
 		return u, stats, nil
 	}
 	return nil, stats, fmt.Errorf("core: after %d rescales: %w", opt.MaxRescales, ErrRescaleLimit)
@@ -348,8 +382,8 @@ func (s *Session) settle(ctx context.Context, bs la.Vector, opt SolveOptions) (s
 	k := 2 * math.Pi * s.acc.spec.Bandwidth
 	chunk := 2 / k
 	tols := s.settleTolerances()
-	uHat := la.NewVector(s.n)
-	resid := la.NewVector(s.n)
+	uHat := s.scratch.uHat
+	resid := s.scratch.resid
 	fs := math.Pow(2, float64(s.acc.spec.ADCBits)) - 1
 	lsb := 2.0 / fs
 	// Codes jitter with integrator noise; allow that much slack in the
@@ -358,7 +392,7 @@ func (s *Session) settle(ctx context.Context, bs la.Vector, opt SolveOptions) (s
 	// The chip realizes the bias as γ·quantize(bs/γ) through the bias-gain
 	// path, and the host knows both γ and the DAC transfer; compare the
 	// readings against what was actually programmed, not the ideal value.
-	bq := la.NewVector(s.n)
+	bq := s.scratch.bq
 	gamma := biasGamma(bs, s.acc.spec.MaxGain)
 	dacLevels := math.Pow(2, float64(s.acc.spec.DACBits)) - 1
 	for i, v := range bs {
@@ -384,7 +418,8 @@ func (s *Session) settle(ctx context.Context, bs la.Vector, opt SolveOptions) (s
 		return false, false, 0, fmt.Errorf("core: bias %.3g below residual floor %.3g at %d ADC bits: %w",
 			bqn, maxTol, s.acc.spec.ADCBits, ErrUnresolvable)
 	}
-	var prevCodes []int
+	codes, prevCodes := s.scratch.codes, s.scratch.prevCodes
+	havePrev := false
 	elapsed := 0.0
 	prevT, prevM := 0.0, math.Inf(1) // residual-margin history for interpolation
 	for d := 0; d < opt.MaxDoublings; d++ {
@@ -402,11 +437,10 @@ func (s *Session) settle(ctx context.Context, bs la.Vector, opt SolveOptions) (s
 		if exc {
 			return false, true, 0, nil
 		}
-		codes, err := s.acc.readCodes(s.n)
-		if err != nil {
+		if err := s.acc.readCodesInto(codes); err != nil {
 			return false, false, 0, err
 		}
-		stable := prevCodes != nil
+		stable := havePrev
 		if stable {
 			for i, c := range codes {
 				if diff := c - prevCodes[i]; diff > codeTol || diff < -codeTol {
@@ -415,7 +449,8 @@ func (s *Session) settle(ctx context.Context, bs la.Vector, opt SolveOptions) (s
 				}
 			}
 		}
-		prevCodes = codes
+		codes, prevCodes = prevCodes, codes
+		havePrev = true
 		// Residual margin m = max_i |resid_i|/tol_i; settled at m ≤ 1.
 		for i, c := range codes {
 			uHat[i] = float64(c)/fs*2 - 1
@@ -496,8 +531,12 @@ func (s *Session) SolveForRefined(b la.Vector, opt SolveOptions) (la.Vector, Sta
 func (s *Session) SolveForRefinedCtx(ctx context.Context, b la.Vector, opt SolveOptions) (la.Vector, Stats, error) {
 	opt = opt.withDefaults()
 	total := Stats{Scaling: s.sc}
+	if len(b) != s.n {
+		return nil, total, fmt.Errorf("core: rhs length %d != %d", len(b), s.n)
+	}
 	uPrecise := la.NewVector(s.n)
-	residual := b.Clone()
+	residual := s.scratch.refResid
+	residual.CopyFrom(b)
 	bn := b.NormInf()
 	if bn == 0 {
 		return uPrecise, total, nil
@@ -551,4 +590,43 @@ func (s *Session) SolveForRefinedCtx(ctx context.Context, b la.Vector, opt Solve
 			total.Residual, opt.MaxRefinements, opt.Tolerance, ErrNotSettled)
 	}
 	return uPrecise, total, nil
+}
+
+// SolveBatch solves A·u = rhs[k] for every right-hand side against the one
+// compiled session: the matrix is programmed (at most) once and only the
+// DAC biases are rewritten between items, so a batch of N costs one
+// configuration instead of N. Within the batch the learned dynamic-range
+// scale (sigmaGain) also carries forward, so later items usually skip the
+// exception-driven sigma search entirely. Results and per-item stats are
+// positional; the first failing item aborts the batch with its index in
+// the error.
+func (s *Session) SolveBatch(ctx context.Context, rhs []la.Vector, opt SolveOptions) ([]la.Vector, []Stats, error) {
+	us := make([]la.Vector, len(rhs))
+	stats := make([]Stats, len(rhs))
+	for k, b := range rhs {
+		u, st, err := s.SolveForCtx(ctx, b, opt)
+		stats[k] = st
+		if err != nil {
+			return nil, stats, fmt.Errorf("core: batch rhs %d: %w", k, err)
+		}
+		us[k] = u
+	}
+	return us, stats, nil
+}
+
+// SolveBatchRefined is SolveBatch with Algorithm 2 refinement per item:
+// every right-hand side is driven to opt.Tolerance while the matrix stays
+// resident across the whole batch.
+func (s *Session) SolveBatchRefined(ctx context.Context, rhs []la.Vector, opt SolveOptions) ([]la.Vector, []Stats, error) {
+	us := make([]la.Vector, len(rhs))
+	stats := make([]Stats, len(rhs))
+	for k, b := range rhs {
+		u, st, err := s.SolveForRefinedCtx(ctx, b, opt)
+		stats[k] = st
+		if err != nil {
+			return nil, stats, fmt.Errorf("core: batch rhs %d: %w", k, err)
+		}
+		us[k] = u
+	}
+	return us, stats, nil
 }

@@ -1,0 +1,88 @@
+package la
+
+import "math"
+
+// Matrix fingerprinting. A solve service that steers repeated operators
+// back to a chip already programmed with them needs a cheap, stable
+// identity for a matrix — comparing two operators entry-for-entry is
+// O(nnz) per *pair*, which turns an n-way cache lookup into n deep scans.
+// Fingerprint hashes the sparsity structure and the coefficient values
+// once into 64 bits, so identity checks become integer compares and a
+// cache can key on the hash.
+//
+// Values are hashed at full IEEE-754 precision (the quantization is the
+// identity map on float64 bits, with -0 folded into +0 so the two zero
+// encodings — indistinguishable to the compiler, which programs gains by
+// value — share a fingerprint). A coarser quantum would let two matrices
+// that differ below it silently share a chip configuration; the session
+// cache wants "same operator", not "similar operator".
+
+// RowMatrix is the minimal matrix shape Fingerprint needs: the order and
+// per-row access to structurally nonzero entries. core.Matrix satisfies
+// it; so do *CSR, *Dense, and the matrix-free stencils.
+type RowMatrix interface {
+	Dim() int
+	VisitRow(i int, fn func(j int, a float64))
+}
+
+// FNV-1a 64-bit parameters.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvMix(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= fnvPrime64
+		x >>= 8
+	}
+	return h
+}
+
+func fnvValue(v float64) uint64 {
+	if v == 0 {
+		v = 0 // fold -0 into +0: identical programmed gain
+	}
+	return math.Float64bits(v)
+}
+
+// Fingerprint hashes the matrix order, sparsity pattern, and coefficient
+// values into a 64-bit FNV-1a digest. Equal matrices (same order, same
+// stored pattern, bitwise-equal values) always collide; unequal matrices
+// collide with probability ~2⁻⁶⁴. Callers that cannot tolerate even that
+// (or want to audit it) build with the fpdebug tag in internal/core,
+// which re-verifies fingerprint matches entry-for-entry.
+func Fingerprint(m RowMatrix) uint64 {
+	if c, ok := m.(*CSR); ok {
+		return fingerprintCSR(c)
+	}
+	n := m.Dim()
+	h := fnvMix(uint64(fnvOffset64), uint64(n))
+	for i := 0; i < n; i++ {
+		h = fnvMix(h, uint64(i)|rowMark)
+		m.VisitRow(i, func(j int, a float64) {
+			h = fnvMix(h, uint64(j))
+			h = fnvMix(h, fnvValue(a))
+		})
+	}
+	return h
+}
+
+// rowMark keeps a row boundary from ever hashing identically to a column
+// index, so moving an entry across rows always changes the digest.
+const rowMark = uint64(1) << 63
+
+// fingerprintCSR is Fingerprint for CSR storage, walking the arrays
+// directly instead of going through per-entry closures.
+func fingerprintCSR(m *CSR) uint64 {
+	h := fnvMix(uint64(fnvOffset64), uint64(m.n))
+	for i := 0; i < m.n; i++ {
+		h = fnvMix(h, uint64(i)|rowMark)
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			h = fnvMix(h, uint64(m.colIdx[k]))
+			h = fnvMix(h, fnvValue(m.values[k]))
+		}
+	}
+	return h
+}

@@ -1,0 +1,90 @@
+package la
+
+import "testing"
+
+func TestFingerprintEqualMatrices(t *testing.T) {
+	a := MustCSR(3, []COOEntry{
+		{Row: 0, Col: 0, Val: 2}, {Row: 0, Col: 1, Val: -1},
+		{Row: 1, Col: 0, Val: -1}, {Row: 1, Col: 1, Val: 2}, {Row: 1, Col: 2, Val: -1},
+		{Row: 2, Col: 1, Val: -1}, {Row: 2, Col: 2, Val: 2},
+	})
+	b := a.Clone()
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Fatal("identical matrices fingerprint differently")
+	}
+	// The generic RowMatrix path and the CSR fast path must agree: a CSR
+	// wrapped so the type switch misses goes through VisitRow.
+	if Fingerprint(rowMatrixOnly{a}) != Fingerprint(a) {
+		t.Fatal("CSR fast path disagrees with the generic path")
+	}
+	// Tridiag is assembled independently but holds the same entries.
+	if Fingerprint(Tridiag(3, -1, 2, -1)) != Fingerprint(a) {
+		t.Fatal("equal-by-value matrices fingerprint differently")
+	}
+}
+
+type rowMatrixOnly struct{ m *CSR }
+
+func (r rowMatrixOnly) Dim() int                                  { return r.m.Dim() }
+func (r rowMatrixOnly) VisitRow(i int, fn func(j int, a float64)) { r.m.VisitRow(i, fn) }
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	base := MustCSR(2, []COOEntry{
+		{Row: 0, Col: 0, Val: 0.8}, {Row: 0, Col: 1, Val: 0.2},
+		{Row: 1, Col: 0, Val: 0.2}, {Row: 1, Col: 1, Val: 0.6},
+	})
+	fp := Fingerprint(base)
+	cases := map[string]*CSR{
+		"scaled values": base.Scaled(2),
+		"one value off": MustCSR(2, []COOEntry{
+			{Row: 0, Col: 0, Val: 0.8}, {Row: 0, Col: 1, Val: 0.2},
+			{Row: 1, Col: 0, Val: 0.2}, {Row: 1, Col: 1, Val: 0.6000000001},
+		}),
+		"sparser": MustCSR(2, []COOEntry{
+			{Row: 0, Col: 0, Val: 0.8}, {Row: 1, Col: 1, Val: 0.6},
+		}),
+		"entry moved across rows": MustCSR(2, []COOEntry{
+			{Row: 0, Col: 0, Val: 0.8},
+			{Row: 1, Col: 0, Val: 0.2}, {Row: 1, Col: 1, Val: 0.6}, {Row: 1, Col: 0, Val: 0.2},
+		}),
+		"bigger": Tridiag(3, 0.2, 0.8, 0.2),
+	}
+	for name, m := range cases {
+		if Fingerprint(m) == fp {
+			t.Errorf("%s: fingerprint collides with base", name)
+		}
+	}
+}
+
+func TestFingerprintZeroFolding(t *testing.T) {
+	pos := MustCSR(1, []COOEntry{{Row: 0, Col: 0, Val: 0}})
+	neg := MustCSR(1, []COOEntry{{Row: 0, Col: 0, Val: negZero()}})
+	if Fingerprint(pos) != Fingerprint(neg) {
+		t.Fatal("-0 and +0 program the same gain but fingerprint differently")
+	}
+}
+
+func negZero() float64 {
+	z := 0.0
+	return -z
+}
+
+func TestFingerprintStencilMatchesAssembled(t *testing.T) {
+	// A matrix-free stencil and its assembled CSR hold identical rows, so
+	// the session cache must treat them as the same operator.
+	g, err := NewGrid(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewPoissonStencil(g)
+	var entries []COOEntry
+	for i := 0; i < st.Dim(); i++ {
+		st.VisitRow(i, func(j int, a float64) {
+			entries = append(entries, COOEntry{Row: i, Col: j, Val: a})
+		})
+	}
+	asm := MustCSR(st.Dim(), entries)
+	if Fingerprint(st) != Fingerprint(asm) {
+		t.Fatal("stencil and assembled CSR fingerprint differently")
+	}
+}

@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func eq2BatchRequest(backend string) BatchSolveRequest {
+	return BatchSolveRequest{
+		Backend: backend,
+		N:       2,
+		A: []Entry{
+			{Row: 0, Col: 0, Val: 0.8}, {Row: 0, Col: 1, Val: 0.2},
+			{Row: 1, Col: 0, Val: 0.2}, {Row: 1, Col: 1, Val: 0.6},
+		},
+		RHS: [][]float64{
+			{0.5, 0.3},
+			{-0.2, 0.4},
+			{0.1, -0.6},
+		},
+		Tol: 1e-8,
+	}
+}
+
+func TestServeBatchEndToEnd(t *testing.T) {
+	s, client, done := newTestServer(t, Config{})
+	defer done()
+	ctx := context.Background()
+	resp, err := client.SolveBatch(ctx, eq2BatchRequest("analog-refined"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.N != 2 || len(resp.Items) != 3 {
+		t.Fatalf("malformed response: %+v", resp)
+	}
+	for k, it := range resp.Items {
+		if len(it.U) != 2 {
+			t.Fatalf("item %d: %d solution values", k, len(it.U))
+		}
+		if it.Residual > 1e-7 {
+			t.Fatalf("item %d residual %v", k, it.Residual)
+		}
+		if it.Analog == nil || it.Analog.AnalogSeconds <= 0 || it.Analog.ChipClass != 2 {
+			t.Fatalf("item %d analog stats missing or wrong: %+v", k, it.Analog)
+		}
+	}
+	// First item matches the single-solve answer u = A⁻¹(0.5, 0.3).
+	want := []float64{0.24 / 0.44, 0.14 / 0.44}
+	for i := range want {
+		if d := resp.Items[0].U[i] - want[i]; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("u[%d] = %v want %v", i, resp.Items[0].U[i], want[i])
+		}
+	}
+
+	// A second batch over the same matrix lands on the chip still holding
+	// it: the session cache serves a hit.
+	if _, err := client.SolveBatch(ctx, eq2BatchRequest("analog-refined")); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	if snap.BatchRHS != 6 {
+		t.Fatalf("batch_rhs_total = %d, want 6", snap.BatchRHS)
+	}
+	if snap.SessionCacheHits < 1 {
+		t.Fatalf("session cache hits = %d, want >= 1", snap.SessionCacheHits)
+	}
+	text, err := client.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, needle := range []string{
+		"alad_batch_rhs_total 6",
+		"alad_session_cache_hits_total 1",
+		"alad_session_cache_misses_total 1",
+		`alad_solves_total{backend="analog-refined"} 6`,
+	} {
+		if !strings.Contains(text, needle) {
+			t.Errorf("metrics missing %q in:\n%s", needle, text)
+		}
+	}
+}
+
+func TestServeBatchDigitalBackend(t *testing.T) {
+	_, client, done := newTestServer(t, Config{})
+	defer done()
+	resp, err := client.SolveBatch(context.Background(), eq2BatchRequest("cg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, it := range resp.Items {
+		if it.Residual > 1e-6 {
+			t.Fatalf("item %d residual %v", k, it.Residual)
+		}
+		if it.Analog != nil {
+			t.Fatalf("item %d: unexpected analog stats", k)
+		}
+	}
+}
+
+func TestServeBatchValidation(t *testing.T) {
+	_, client, done := newTestServer(t, Config{})
+	defer done()
+	ctx := context.Background()
+
+	noRHS := eq2BatchRequest("cg")
+	noRHS.RHS = nil
+	badRow := eq2BatchRequest("cg")
+	badRow.RHS = [][]float64{{0.5, 0.3}, {1, 2, 3}}
+	cases := []struct {
+		name string
+		req  BatchSolveRequest
+		code string
+	}{
+		{"bad backend", eq2BatchRequest("typo"), CodeBadBackend},
+		{"decomposed unsupported", eq2BatchRequest("decomposed"), CodeBadBackend},
+		{"no rhs", noRHS, CodeBadRequest},
+		{"wrong rhs length", badRow, CodeBadRequest},
+	}
+	for _, c := range cases {
+		_, err := client.SolveBatch(ctx, c.req)
+		var re *RemoteError
+		if !errors.As(err, &re) || re.Code != c.code {
+			t.Errorf("%s: want code %s, got %v", c.name, c.code, err)
+		}
+	}
+}

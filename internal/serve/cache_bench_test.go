@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"context"
+	"testing"
+
+	"analogacc/internal/chip"
+	"analogacc/internal/core"
+	"analogacc/internal/la"
+)
+
+// Bench suite 4 (scripts/bench.sh 4): the session-cache and batch-solve
+// economics. "Warm" checkouts find their operator already programmed on a
+// pooled chip (configs/op → 0); "cold" checkouts alternate operators on a
+// one-chip class so every request reprograms. The batch pair amortizes
+// one programming and the learned dynamic-range scale across 16
+// right-hand sides versus 16 independent sessions.
+
+func benchPool(b *testing.B) *Pool {
+	b.Helper()
+	pool, err := NewPool(PoolConfig{ChipsPerClass: 1, WarmSizes: []int{2}, MinClass: 2, MaxDim: 32})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pool
+}
+
+func benchSolveOnce(b *testing.B, c *PooledChip, a *la.CSR, rhs la.Vector) {
+	b.Helper()
+	sess, err := c.Acc.BeginSession(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Boosts are sticky per session and would drift the value scale away
+	// from what a fresh compile picks, silently breaking adoption.
+	if _, _, err := sess.SolveFor(rhs, core.SolveOptions{DisableBoost: true}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkPoolCheckoutWarm re-requests one operator: after the first
+// iteration every checkout is a session-cache hit and BeginSession adopts
+// the resident configuration instead of reprogramming.
+func BenchmarkPoolCheckoutWarm(b *testing.B) {
+	pool := benchPool(b)
+	a, rhs := eq2()
+	ctx := context.Background()
+
+	// Prime: the first request programs the matrix once.
+	c, err := pool.Checkout(ctx, a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	acc := c.Acc
+	benchSolveOnce(b, c, a, rhs)
+	pool.Checkin(c)
+
+	configs0, hits0 := acc.Configurations(), pool.CacheHits()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := pool.Checkout(ctx, a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSolveOnce(b, c, a, rhs)
+		pool.Checkin(c)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(acc.Configurations()-configs0)/float64(b.N), "configs/op")
+	b.ReportMetric(float64(pool.CacheHits()-hits0)/float64(b.N), "hits/op")
+}
+
+// BenchmarkPoolCheckoutCold alternates two operators through a one-chip
+// class: every checkout evicts the other operator's configuration, so
+// every solve pays a full matrix programming.
+func BenchmarkPoolCheckoutCold(b *testing.B) {
+	pool := benchPool(b)
+	a1, rhs := eq2()
+	a2 := la.MustCSR(2, []la.COOEntry{
+		{Row: 0, Col: 0, Val: 0.7}, {Row: 0, Col: 1, Val: 0.1},
+		{Row: 1, Col: 0, Val: 0.1}, {Row: 1, Col: 1, Val: 0.7},
+	})
+	ms := []*la.CSR{a1, a2}
+	ctx := context.Background()
+
+	c, err := pool.Checkout(ctx, a1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	acc := c.Acc
+	benchSolveOnce(b, c, a1, rhs)
+	pool.Checkin(c)
+
+	configs0, hits0 := acc.Configurations(), pool.CacheHits()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := ms[(i+1)%2] // never the operator left by the previous iteration
+		c, err := pool.Checkout(ctx, a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSolveOnce(b, c, a, rhs)
+		pool.Checkin(c)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(acc.Configurations()-configs0)/float64(b.N), "configs/op")
+	b.ReportMetric(float64(pool.CacheHits()-hits0)/float64(b.N), "hits/op")
+}
+
+const batchN = 16
+
+func batchBenchSystem(b *testing.B) (*core.Accelerator, *la.CSR, []la.Vector) {
+	b.Helper()
+	a := la.Tridiag(16, -0.25, 1, -0.25)
+	spec := chip.ScaledSpec(16, 12, 20e3, 4)
+	acc, _, err := core.NewSimulated(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := acc.Calibrate(); err != nil {
+		b.Fatal(err)
+	}
+	rhs := make([]la.Vector, batchN)
+	for k := range rhs {
+		v := la.NewVector(16)
+		for i := range v {
+			v[i] = 0.5 - 0.05*float64((k+3*i)%16)
+		}
+		rhs[k] = v
+	}
+	return acc, a, rhs
+}
+
+// BenchmarkBatchSolve16 solves 16 right-hand sides through one session:
+// one matrix programming, bias rewrites in between, and the learned
+// dynamic-range scale carried from item to item.
+func BenchmarkBatchSolve16(b *testing.B) {
+	acc, a, rhs := batchBenchSystem(b)
+	ctx := context.Background()
+	opt := core.SolveOptions{DisableBoost: true}
+	var rescales int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess, err := acc.BeginSession(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, stats, err := sess.SolveBatch(ctx, rhs, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, st := range stats {
+			rescales += st.Rescales
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rescales)/float64(b.N), "rescales/op")
+	b.ReportMetric(float64(acc.Configurations())/float64(b.N), "configs/op")
+}
+
+// BenchmarkSequentialSolve16 solves the same 16 right-hand sides as 16
+// independent requests: each starts a fresh session, so even though
+// adoption spares the reprogramming, every item re-runs the
+// exception-driven search for its dynamic-range scale.
+func BenchmarkSequentialSolve16(b *testing.B) {
+	acc, a, rhs := batchBenchSystem(b)
+	opt := core.SolveOptions{DisableBoost: true}
+	var rescales int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, v := range rhs {
+			sess, err := acc.BeginSession(a)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, stats, err := sess.SolveFor(v, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rescales += stats.Rescales
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rescales)/float64(b.N), "rescales/op")
+	b.ReportMetric(float64(acc.Configurations())/float64(b.N), "configs/op")
+}

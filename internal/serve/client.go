@@ -99,6 +99,47 @@ func (c *Client) Solve(ctx context.Context, req SolveRequest) (*SolveResponse, e
 	return &out, nil
 }
 
+// SolveBatch submits one multi-RHS request: the daemon programs the
+// matrix once and solves every right-hand side on the resident
+// configuration. Errors surface exactly as in Solve.
+func (c *Client) SolveBatch(ctx context.Context, req BatchSolveRequest) (*BatchSolveResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("serve: encoding request: %w", err)
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/solve/batch", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(httpReq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		retry := time.Second
+		if v, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && v > 0 {
+			retry = time.Duration(v) * time.Second
+		}
+		io.Copy(io.Discard, resp.Body)
+		return nil, &BusyError{RetryAfter: retry}
+	}
+	if resp.StatusCode != http.StatusOK {
+		var er ErrorResponse
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		if json.Unmarshal(msg, &er) != nil || er.Error == "" {
+			er = ErrorResponse{Code: CodeInternal, Error: strings.TrimSpace(string(msg))}
+		}
+		return nil, &RemoteError{StatusCode: resp.StatusCode, Code: er.Code, Message: er.Error}
+	}
+	var out BatchSolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("serve: decoding response: %w", err)
+	}
+	return &out, nil
+}
+
 // Healthz checks the daemon's health endpoint.
 func (c *Client) Healthz(ctx context.Context) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)

@@ -38,6 +38,9 @@ type Metrics struct {
 	decompConfigs   atomic.Int64
 	decompReuseHits atomic.Int64
 
+	// Batch-solve volume: right-hand sides arriving through /v1/solve/batch.
+	batchRHS atomic.Int64
+
 	mu            sync.Mutex
 	solves        map[string]int64 // by backend
 	analogSeconds float64
@@ -111,6 +114,9 @@ func (m *Metrics) ObserveSweep(d time.Duration) {
 	m.sweepN.Add(1)
 }
 
+// BatchRHS records the right-hand-side count of one batch request.
+func (m *Metrics) BatchRHS(n int) { m.batchRHS.Add(int64(n)) }
+
 // DecomposedOK records a completed decomposed solve's fan-out volume and
 // its pinned-session economy.
 func (m *Metrics) DecomposedOK(blocks, sweeps, configs, reuseHits int) {
@@ -141,9 +147,18 @@ type Snapshot struct {
 	DecompSweeps     int64            `json:"decomposed_sweeps_total"`
 	DecompConfigs    int64            `json:"decomposed_configs_total"`
 	DecompReuseHits  int64            `json:"decomposed_reuse_hits_total"`
+	BatchRHS         int64            `json:"batch_rhs_total"`
 	PoolBuilds       int64            `json:"pool_builds_total"`
 	PoolCalibrations int64            `json:"pool_calibrations_total"`
 	PoolClasses      []ClassStat      `json:"pool_classes"`
+
+	// Session-cache traffic and occupancy (cached entries also appear
+	// per class in PoolClasses).
+	SessionCacheHits          int64 `json:"session_cache_hits_total"`
+	SessionCacheMisses        int64 `json:"session_cache_misses_total"`
+	SessionCacheEvictions     int64 `json:"session_cache_evictions_total"`
+	SessionCacheInvalidations int64 `json:"session_cache_invalidations_total"`
+	SessionCacheResident      int   `json:"session_cache_resident"`
 }
 
 // snapshot collects everything except the histogram (which only the text
@@ -173,10 +188,18 @@ func (m *Metrics) snapshot(queueDepth int, pool *Pool) Snapshot {
 	}
 	s.AnalogSeconds = m.analogSeconds
 	m.mu.Unlock()
+	s.BatchRHS = m.batchRHS.Load()
 	if pool != nil {
 		s.PoolBuilds = pool.Builds()
 		s.PoolCalibrations = pool.Calibrations()
 		s.PoolClasses = pool.Stats()
+		s.SessionCacheHits = pool.CacheHits()
+		s.SessionCacheMisses = pool.CacheMisses()
+		s.SessionCacheEvictions = pool.CacheEvictions()
+		s.SessionCacheInvalidations = pool.CacheInvalidations()
+		for _, c := range s.PoolClasses {
+			s.SessionCacheResident += c.Cached
+		}
 	}
 	return s
 }
@@ -209,12 +232,18 @@ func (m *Metrics) writeTo(w io.Writer, queueDepth int, pool *Pool) {
 	fmt.Fprintf(w, "# TYPE alad_decomposed_sweeps_total counter\nalad_decomposed_sweeps_total %d\n", s.DecompSweeps)
 	fmt.Fprintf(w, "# TYPE alad_decomposed_configs_total counter\nalad_decomposed_configs_total %d\n", s.DecompConfigs)
 	fmt.Fprintf(w, "# TYPE alad_decomposed_reuse_hits_total counter\nalad_decomposed_reuse_hits_total %d\n", s.DecompReuseHits)
+	fmt.Fprintf(w, "# TYPE alad_batch_rhs_total counter\nalad_batch_rhs_total %d\n", s.BatchRHS)
+	fmt.Fprintf(w, "# TYPE alad_session_cache_hits_total counter\nalad_session_cache_hits_total %d\n", s.SessionCacheHits)
+	fmt.Fprintf(w, "# TYPE alad_session_cache_misses_total counter\nalad_session_cache_misses_total %d\n", s.SessionCacheMisses)
+	fmt.Fprintf(w, "# TYPE alad_session_cache_evictions_total counter\nalad_session_cache_evictions_total %d\n", s.SessionCacheEvictions)
+	fmt.Fprintf(w, "# TYPE alad_session_cache_invalidations_total counter\nalad_session_cache_invalidations_total %d\n", s.SessionCacheInvalidations)
 	fmt.Fprintf(w, "# TYPE alad_pool_builds_total counter\nalad_pool_builds_total %d\n", s.PoolBuilds)
 	fmt.Fprintf(w, "# TYPE alad_pool_calibrations_total counter\nalad_pool_calibrations_total %d\n", s.PoolCalibrations)
-	fmt.Fprint(w, "# TYPE alad_pool_chips_built gauge\n# TYPE alad_pool_chips_free gauge\n")
+	fmt.Fprint(w, "# TYPE alad_pool_chips_built gauge\n# TYPE alad_pool_chips_free gauge\n# TYPE alad_session_cache_resident gauge\n")
 	for _, c := range s.PoolClasses {
 		fmt.Fprintf(w, "alad_pool_chips_built{class=\"%d\"} %d\n", c.Class, c.Built)
 		fmt.Fprintf(w, "alad_pool_chips_free{class=\"%d\"} %d\n", c.Class, c.Free)
+		fmt.Fprintf(w, "alad_session_cache_resident{class=\"%d\"} %d\n", c.Class, c.Cached)
 	}
 	fmt.Fprint(w, "# TYPE alad_request_seconds histogram\n")
 	var cum int64

@@ -1,0 +1,271 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"analogacc/internal/core"
+	"analogacc/internal/la"
+)
+
+// Three distinct 2x2 operators sharing the warm size class.
+func cacheMatrices() []*la.CSR {
+	a1, _ := eq2()
+	a2 := la.MustCSR(2, []la.COOEntry{
+		{Row: 0, Col: 0, Val: 0.9}, {Row: 1, Col: 1, Val: 0.9},
+	})
+	a3 := la.MustCSR(2, []la.COOEntry{
+		{Row: 0, Col: 0, Val: 0.7}, {Row: 0, Col: 1, Val: 0.1},
+		{Row: 1, Col: 0, Val: 0.1}, {Row: 1, Col: 1, Val: 0.7},
+	})
+	return []*la.CSR{a1, a2, a3}
+}
+
+// solveOn programs a onto the chip and solves once, leaving the
+// configuration resident (refined solves never boost, so the value scale
+// stays at its compile-time value and a later session can adopt it).
+func solveOn(t *testing.T, c *PooledChip, a *la.CSR, b la.Vector) {
+	t.Helper()
+	if _, _, err := c.Acc.SolveRefined(a, b, core.SolveOptions{Tolerance: 1e-6}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolAffinityHit(t *testing.T) {
+	pool, err := NewPool(testPoolConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := eq2()
+	c1, err := pool.Checkout(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solveOn(t, c1, a, b)
+	configs := c1.Acc.Configurations()
+	pool.Checkin(c1)
+	if hits := pool.CacheHits(); hits != 0 {
+		t.Fatalf("cold checkout counted as hit (hits=%d)", hits)
+	}
+
+	c2, err := pool.Checkout(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 != c1 {
+		t.Fatal("checkout for a cached operator returned a different chip")
+	}
+	if hits := pool.CacheHits(); hits != 1 {
+		t.Fatalf("warm checkout hits=%d, want 1", hits)
+	}
+	// The cached configuration must actually be adopted: starting a
+	// session over the same matrix programs nothing.
+	if _, err := c2.Acc.BeginSession(a); err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.Acc.Configurations(); got != configs {
+		t.Fatalf("warm session reprogrammed the chip: %d configurations, want %d", got, configs)
+	}
+	pool.Checkin(c2)
+}
+
+func TestPoolPrefersBlankChipOverEviction(t *testing.T) {
+	pool, err := NewPool(testPoolConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := cacheMatrices()
+	b := la.VectorOf(0.4, 0.2)
+	c1, err := pool.Checkout(context.Background(), ms[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	solveOn(t, c1, ms[0], b)
+	pool.Checkin(c1)
+
+	// A different operator must land on the blank chip, preserving the
+	// cached one.
+	c2, err := pool.Checkout(context.Background(), ms[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 == c1 {
+		t.Fatal("checkout evicted a cached chip while a blank one was free")
+	}
+	if ev := pool.CacheEvictions(); ev != 0 {
+		t.Fatalf("evictions=%d, want 0", ev)
+	}
+	pool.Checkin(c2)
+
+	c3, err := pool.Checkout(context.Background(), ms[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3 != c1 {
+		t.Fatal("cached operator missed after an unrelated checkout")
+	}
+	pool.Checkin(c3)
+}
+
+func TestPoolLRUEvictionOrder(t *testing.T) {
+	pool, err := NewPool(testPoolConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := cacheMatrices()
+	b := la.VectorOf(0.4, 0.2)
+
+	// Fill both chips of the class with cached operators; chipA (holding
+	// ms[0]) checks in first, making it the LRU entry.
+	chips := checkoutAll(t, pool, ms[0])
+	if len(chips) != 2 {
+		t.Fatalf("warm class holds %d chips, want 2", len(chips))
+	}
+	chipA, chipB := chips[0], chips[1]
+	solveOn(t, chipA, ms[0], b)
+	solveOn(t, chipB, ms[1], b)
+	pool.Checkin(chipA)
+	pool.Checkin(chipB)
+
+	stats := pool.Stats()
+	if len(stats) == 0 || stats[0].Cached != 2 {
+		t.Fatalf("expected 2 cached entries, stats=%+v", stats)
+	}
+
+	// A third operator cannot hit or find a blank chip: it must evict the
+	// least recently used configuration — chipA's.
+	victim, err := pool.Checkout(context.Background(), ms[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if victim != chipA {
+		t.Fatal("eviction took the most recently used chip, want the LRU one")
+	}
+	if ev := pool.CacheEvictions(); ev != 1 {
+		t.Fatalf("evictions=%d, want 1", ev)
+	}
+	// chipB's entry survived.
+	hit, err := pool.Checkout(context.Background(), ms[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit != chipB {
+		t.Fatal("surviving cached operator missed after the eviction")
+	}
+	pool.Checkin(victim)
+	pool.Checkin(hit)
+}
+
+func TestPoolCalibrationDriftInvalidates(t *testing.T) {
+	pool, err := NewPool(testPoolConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := eq2()
+	c, err := pool.Checkout(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solveOn(t, c, a, b)
+	// The borrower re-runs the init sequence: the trims the cached entry
+	// was measured against are gone.
+	if _, err := c.Acc.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	pool.Checkin(c)
+	if inv := pool.CacheInvalidations(); inv != 1 {
+		t.Fatalf("invalidations=%d, want 1", inv)
+	}
+	for _, cs := range pool.Stats() {
+		if cs.Cached != 0 {
+			t.Fatalf("class %d still reports cached entries after drift", cs.Class)
+		}
+	}
+	c2, err := pool.Checkout(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := pool.CacheHits(); hits != 0 {
+		t.Fatalf("invalidated entry served a hit (hits=%d)", hits)
+	}
+	pool.Checkin(c2)
+}
+
+// TestPoolCacheStress drives concurrent fingerprint-aware checkouts over
+// mixed operators through a 2-chip class under -race (scripts/ci.sh runs
+// it with -count=2): the exclusivity invariant must hold, solves must
+// stay correct whichever cached configuration a chip carries, and every
+// checkout must be accounted as exactly one hit or miss.
+func TestPoolCacheStress(t *testing.T) {
+	pool, err := NewPool(testPoolConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := cacheMatrices()
+	b := la.VectorOf(0.4, 0.2)
+
+	const (
+		workers = 8
+		rounds  = 6
+	)
+	var (
+		mu  sync.Mutex
+		out = make(map[*PooledChip]bool)
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers*rounds)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				a := ms[(w+r)%len(ms)]
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				c, err := pool.Checkout(ctx, a)
+				if err != nil {
+					cancel()
+					errCh <- err
+					return
+				}
+				mu.Lock()
+				if out[c] {
+					mu.Unlock()
+					cancel()
+					errCh <- fmt.Errorf("chip class=%d slot=%d checked out twice at once", c.Class, c.slot)
+					return
+				}
+				out[c] = true
+				mu.Unlock()
+
+				u, _, err := c.Acc.SolveRefinedCtx(ctx, a, b, core.SolveOptions{Tolerance: 1e-6})
+				cancel()
+				if err != nil {
+					errCh <- err
+				} else if res := la.RelativeResidual(a, u, b); res > 1e-5 {
+					errCh <- fmt.Errorf("residual %v for operator %d on chip slot=%d", res, (w+r)%len(ms), c.slot)
+				}
+
+				mu.Lock()
+				out[c] = false
+				mu.Unlock()
+				pool.Checkin(c)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	total := int64(workers * rounds)
+	if got := pool.CacheHits() + pool.CacheMisses(); got != total {
+		t.Fatalf("hits+misses=%d, want one per checkout (%d)", got, total)
+	}
+	if pool.Builds() != 2 {
+		t.Fatalf("stress must reuse the 2 warm chips, built %d", pool.Builds())
+	}
+}

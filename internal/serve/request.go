@@ -121,6 +121,58 @@ func (r *SolveRequest) BuildSystem() (*la.CSR, la.Vector, error) {
 	}
 }
 
+// BatchSolveRequest asks the service to solve A·u = b for several
+// right-hand sides against one matrix. The matrix arrives in any of
+// SolveRequest's forms (structured A, system file, MatrixMarket — a
+// system file's own right-hand side is ignored); RHS carries the
+// right-hand sides, each of the matrix order. The server programs the
+// matrix once and rewrites only DAC biases between items.
+type BatchSolveRequest struct {
+	// Backend selects the solver (default "analog-refined").
+	Backend string `json:"backend,omitempty"`
+
+	N int     `json:"n,omitempty"`
+	A []Entry `json:"A,omitempty"`
+
+	System       string `json:"system,omitempty"`
+	MatrixMarket string `json:"matrix_market,omitempty"`
+
+	// RHS is the batch: one right-hand side per row.
+	RHS [][]float64 `json:"rhs"`
+
+	// Tol is the convergence / refinement tolerance (default 1e-8).
+	Tol float64 `json:"tol,omitempty"`
+	// TimeoutMs caps the whole batch's solve deadline; the server clamps
+	// it to its own maximum. Zero means the server default.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// BuildSystem materializes the batch request's matrix and right-hand
+// sides. Errors are client errors (HTTP 400).
+func (r *BatchSolveRequest) BuildSystem() (*la.CSR, []la.Vector, error) {
+	sr := SolveRequest{N: r.N, A: r.A, System: r.System, MatrixMarket: r.MatrixMarket}
+	if sr.N > 0 {
+		// Satisfy the single-solve form's b-length check; the batch
+		// carries its right-hand sides in RHS.
+		sr.B = make([]float64, sr.N)
+	}
+	a, _, err := sr.BuildSystem()
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(r.RHS) == 0 {
+		return nil, nil, fmt.Errorf("serve: batch request needs at least one right-hand side in rhs")
+	}
+	rhs := make([]la.Vector, len(r.RHS))
+	for k, row := range r.RHS {
+		if len(row) != a.Dim() {
+			return nil, nil, fmt.Errorf("serve: rhs %d has %d values, matrix order is %d", k, len(row), a.Dim())
+		}
+		rhs[k] = la.Vector(row)
+	}
+	return a, rhs, nil
+}
+
 // AnalogStats is the analog cost block of a response (present only when
 // the solve ran on a chip).
 type AnalogStats struct {
@@ -173,6 +225,24 @@ type SolveResponse struct {
 	Analog    *AnalogStats   `json:"analog,omitempty"`
 	Digital   *DigitalStats  `json:"digital,omitempty"`
 	Decompose *DecomposeInfo `json:"decompose,omitempty"`
+}
+
+// BatchItem is one right-hand side's answer within a batch response.
+type BatchItem struct {
+	U []float64 `json:"u"`
+	// Residual is the digital relative residual ‖b − A·u‖∞/‖b‖∞.
+	Residual float64       `json:"residual"`
+	Analog   *AnalogStats  `json:"analog,omitempty"`
+	Digital  *DigitalStats `json:"digital,omitempty"`
+}
+
+// BatchSolveResponse is the service's answer to a batch request. Items
+// are positional with the request's rhs rows.
+type BatchSolveResponse struct {
+	N         int         `json:"n"`
+	Backend   string      `json:"backend"`
+	Items     []BatchItem `json:"items"`
+	ElapsedMs float64     `json:"elapsed_ms"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx answer.

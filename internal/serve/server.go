@@ -70,8 +70,10 @@ type Server struct {
 	mux   *http.ServeMux
 
 	// solve is the backend dispatch, swappable by tests that need a
-	// deterministic slow or failing solver.
-	solve func(ctx context.Context, backend string, a *la.CSR, b la.Vector, p cli.SolveParams) (cli.Outcome, error)
+	// deterministic slow or failing solver; solveBatch is its multi-RHS
+	// counterpart.
+	solve      func(ctx context.Context, backend string, a *la.CSR, b la.Vector, p cli.SolveParams) (cli.Outcome, error)
+	solveBatch func(ctx context.Context, backend string, a *la.CSR, rhs []la.Vector, p cli.SolveParams) ([]cli.Outcome, error)
 }
 
 // New builds a server and pre-warms its pool.
@@ -82,14 +84,16 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:     cfg,
-		pool:    pool,
-		metrics: NewMetrics(),
-		slots:   make(chan struct{}, cfg.QueueBound),
-		solve:   cli.SolveSystem,
+		cfg:        cfg,
+		pool:       pool,
+		metrics:    NewMetrics(),
+		slots:      make(chan struct{}, cfg.QueueBound),
+		solve:      cli.SolveSystem,
+		solveBatch: cli.SolveSystemBatch,
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/solve/batch", s.handleSolveBatch)
 	mux.HandleFunc("GET /v1/backends", s.handleBackends)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -268,6 +272,124 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 	} else if out.Iterations > 0 || out.MACs > 0 {
 		resp.Digital = &DigitalStats{Iterations: out.Iterations, MACs: out.MACs}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSolveBatch is the multi-RHS path: one admission slot, one chip
+// checkout, one matrix programming — then every right-hand side solves on
+// the resident configuration with only bias rewrites in between.
+func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req BatchSolveRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Backend == "" {
+		req.Backend = cli.BackendAnalogRefined
+	}
+	if !cli.ValidBackend(req.Backend) {
+		s.writeError(w, http.StatusBadRequest, CodeBadBackend,
+			"unknown backend %q (known: %s)", req.Backend, cli.BackendUsage())
+		return
+	}
+	if req.Backend == cli.BackendDecomposed {
+		// The decomposed backend leases several chips per item; batching
+		// would hold the fan-out across the whole batch. Items that big
+		// should go through /v1/solve individually.
+		s.writeError(w, http.StatusBadRequest, CodeBadBackend,
+			"backend %q does not support batch solves", req.Backend)
+		return
+	}
+	a, rhs, err := req.BuildSystem()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		s.metrics.Rejected()
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		s.writeError(w, http.StatusTooManyRequests, CodeBusy,
+			"admission queue full (%d requests)", s.cfg.QueueBound)
+		return
+	}
+	defer func() { <-s.slots }()
+
+	params := cli.SolveParams{Tol: req.Tol, ADCBits: s.cfg.Pool.ADCBits, Bandwidth: s.cfg.Pool.Bandwidth}
+	if params.Tol <= 0 {
+		params.Tol = s.cfg.Tol
+	}
+	var chipClass int
+	if cli.IsAnalogBackend(req.Backend) {
+		if ferr := s.pool.Fits(a); ferr != nil {
+			s.checkoutError(w, ferr)
+			return
+		}
+		pc, err := s.pool.Checkout(ctx, a)
+		if err != nil {
+			s.checkoutError(w, err)
+			return
+		}
+		defer s.pool.Checkin(pc)
+		params.Acc = pc.Acc
+		chipClass = pc.Class
+	}
+
+	s.metrics.SolveStarted()
+	s.metrics.BatchRHS(len(rhs))
+	start := time.Now()
+	outs, err := s.solveBatch(ctx, req.Backend, a, rhs, params)
+	elapsed := time.Since(start)
+	s.metrics.SolveFinished()
+	s.metrics.ObserveLatency(elapsed)
+	if err != nil {
+		s.solveError(w, ctx, err)
+		return
+	}
+
+	resp := BatchSolveResponse{
+		N:         a.Dim(),
+		Backend:   req.Backend,
+		Items:     make([]BatchItem, len(outs)),
+		ElapsedMs: float64(elapsed.Microseconds()) / 1000,
+	}
+	for k, out := range outs {
+		s.metrics.SolveOK(req.Backend, out.AnalogTime, out.Runs, out.Rescales, out.Overflows, out.Refinements)
+		item := BatchItem{
+			U:        []float64(out.U),
+			Residual: la.RelativeResidual(a, out.U, rhs[k]),
+		}
+		if out.Analog {
+			item.Analog = &AnalogStats{
+				AnalogSeconds: out.AnalogTime,
+				SettleSeconds: out.SettleTime,
+				Runs:          out.Runs,
+				Rescales:      out.Rescales,
+				Overflows:     out.Overflows,
+				Refinements:   out.Refinements,
+				ScaleS:        out.ScaleS,
+				ChipClass:     chipClass,
+			}
+		} else if out.Iterations > 0 || out.MACs > 0 {
+			item.Digital = &DigitalStats{Iterations: out.Iterations, MACs: out.MACs}
+		}
+		resp.Items[k] = item
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

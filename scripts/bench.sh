@@ -8,6 +8,7 @@
 #
 #   scripts/bench.sh 1       # BENCH_1.json: circuit hot-loop microbenchmarks
 #   scripts/bench.sh 3 10x   # BENCH_3.json: decomposition scaling
+#   scripts/bench.sh 4       # BENCH_4.json: session cache + batch solves
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -25,8 +26,14 @@ case "$SUITE" in
 	BENCHTIME="${2:-5x}"
 	DESC="block-Jacobi decomposition: sequential one-chip vs parallel pinned sessions at 1/2/4/8 workers (8 blocks, 4 distinct groups)"
 	;;
+4)
+	PKG=./internal/serve
+	BENCH='PoolCheckout|BatchSolve16|SequentialSolve16'
+	BENCHTIME="${2:-20x}"
+	DESC="session cache + batch solves: warm vs cold pool checkout (configs/hits per op) and batch-of-16 vs 16 sequential sessions (rescales per op)"
+	;;
 *)
-	echo "bench.sh: unknown suite $SUITE (known: 1, 3)" >&2
+	echo "bench.sh: unknown suite $SUITE (known: 1, 3, 4)" >&2
 	exit 2
 	;;
 esac

@@ -6,15 +6,31 @@
 # admission queue (TestPoolStress fires more solvers than chips).
 set -eux
 cd "$(dirname "$0")/.."
+UNFORMATTED=$(gofmt -l .)
+if [ -n "$UNFORMATTED" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$UNFORMATTED" >&2
+	exit 1
+fi
 go vet ./...
 go build ./...
 go test -race ./...
+
+# The fpdebug build tag swaps the fingerprint collision check from
+# "trust the hash" to a full deep matrix comparison that panics on any
+# mismatch. Running the core suite under it proves adoption and block
+# grouping never pair a fingerprint with the wrong matrix.
+go test -tags fpdebug ./internal/core
 
 # The parallel decomposition engine is the newest concurrent path — pinned
 # sessions, per-chip scratch, the Jacobi sweep barrier, and the pool-backed
 # SessionProvider. Run its tests a second time under -race with -count=2 to
 # shake out schedule-dependent interleavings the full-suite pass may miss.
 go test -race -count=2 -run 'ParallelDecompose|PoolProvider|PoolTryCheckout|ServeDecomposed|FansOut' ./internal/core ./internal/serve
+
+# Session-cache concurrency: fingerprint-aware Checkout/Checkin with mixed
+# matrices races chip adoption against LRU eviction and drift invalidation.
+go test -race -count=2 -run 'PoolAffinity|PoolLRU|PoolCalibrationDrift|PoolCacheStress|PoolPrefersBlank|SolveBatch' ./internal/core ./internal/serve
 
 # End-to-end serve smoke: start a real alad daemon on a random port, solve
 # the Equation 2 system through serve.Client, scrape /metrics to confirm

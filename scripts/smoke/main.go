@@ -122,6 +122,57 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "[smoke] metrics ok\n")
 
+	// 3.5. Session cache: re-solving the same matrix must land on the chip
+	// that still holds it programmed, and a batch request must amortize one
+	// programming across its right-hand sides. Both show up in /metrics.
+	if _, err := client.Solve(ctx, serve.SolveRequest{
+		Backend: "analog-refined",
+		N:       2,
+		A: []serve.Entry{
+			{Row: 0, Col: 0, Val: 0.8}, {Row: 0, Col: 1, Val: 0.2},
+			{Row: 1, Col: 0, Val: 0.2}, {Row: 1, Col: 1, Val: 0.6},
+		},
+		B:   []float64{0.5, 0.3},
+		Tol: 1e-8,
+	}); err != nil {
+		die("repeat solve: %v", err)
+	}
+	batchResp, err := client.SolveBatch(ctx, serve.BatchSolveRequest{
+		Backend: "analog-refined",
+		N:       2,
+		A: []serve.Entry{
+			{Row: 0, Col: 0, Val: 0.8}, {Row: 0, Col: 1, Val: 0.2},
+			{Row: 1, Col: 0, Val: 0.2}, {Row: 1, Col: 1, Val: 0.6},
+		},
+		RHS: [][]float64{{0.5, 0.3}, {-0.2, 0.4}, {0.1, -0.6}},
+		Tol: 1e-8,
+	})
+	if err != nil {
+		die("batch solve: %v", err)
+	}
+	if len(batchResp.Items) != 3 {
+		die("batch returned %d items, want 3", len(batchResp.Items))
+	}
+	for i := range want {
+		if math.Abs(batchResp.Items[0].U[i]-want[i]) > 1e-6 {
+			die("batch u[%d] = %v, want %v", i, batchResp.Items[0].U[i], want[i])
+		}
+	}
+	text, err = client.Metrics(ctx)
+	if err != nil {
+		die("metrics after batch: %v", err)
+	}
+	if !strings.Contains(text, "alad_batch_rhs_total 3") {
+		die("metrics missing alad_batch_rhs_total 3")
+	}
+	hitsRe := regexp.MustCompile(`alad_session_cache_hits_total (\d+)`)
+	m := hitsRe.FindStringSubmatch(text)
+	if m == nil || m[1] == "0" {
+		die("session cache never hit: %q in metrics", hitsRe.String())
+	}
+	fmt.Fprintf(os.Stderr, "[smoke] session cache ok: hits=%s, batch of %d served\n",
+		m[1], len(batchResp.Items))
+
 	// 4. Oversized solve: n=16 against -max-dim 8 is bigger than any chip
 	// class, so the daemon must partition it and fan the blocks out through
 	// the decomposition engine instead of rejecting it as too_large.
@@ -188,6 +239,21 @@ func main() {
 			die("alasolve -server did not go remote:\n%s", out)
 		}
 		fmt.Fprintf(os.Stderr, "[smoke] alasolve -server ok\n")
+
+		// Batch mode over the wire: two right-hand sides, one programming.
+		rhsFile := fmt.Sprintf("%s/smoke-rhs-%d.txt", os.TempDir(), os.Getpid())
+		if err := os.WriteFile(rhsFile, []byte("0.5 0.3\n-0.2 0.4\n"), 0o644); err != nil {
+			die("writing rhs file: %v", err)
+		}
+		defer os.Remove(rhsFile)
+		out, err = exec.Command(*alasolvePath, "-server", addr, "-f", "testdata/eq2.txt", "-rhs-file", rhsFile).CombinedOutput()
+		if err != nil {
+			die("alasolve -rhs-file: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "# rhs 1") || !strings.Contains(string(out), "2 rhs served by") {
+			die("alasolve -rhs-file output malformed:\n%s", out)
+		}
+		fmt.Fprintf(os.Stderr, "[smoke] alasolve -rhs-file ok\n")
 	}
 
 	// 6. SIGTERM and assert a clean drain.
