@@ -47,6 +47,7 @@ func main() {
 		queue     = flag.Int("queue", 64, "admission queue bound (requests beyond it get 429)")
 		adcBits   = flag.Int("adc-bits", 12, "chip converter resolution")
 		bandwidth = flag.Float64("bandwidth", 20e3, "chip analog bandwidth in Hz")
+		maxBatch  = flag.Int("max-batch", 64, "largest number of right-hand sides one /v1/solve/batch request may carry")
 		timeout   = flag.Duration("timeout", 30*time.Second, "default per-request solve deadline")
 		drain     = flag.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight solves")
 	)
@@ -65,6 +66,7 @@ func main() {
 			Bandwidth:     *bandwidth,
 		},
 		QueueBound:     *queue,
+		MaxBatchRHS:    *maxBatch,
 		DefaultTimeout: *timeout,
 	})
 	if err != nil {

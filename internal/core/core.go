@@ -159,6 +159,18 @@ func (acc *Accelerator) ResidentFingerprint() (uint64, int) {
 	return acc.current.fp, acc.current.n
 }
 
+// ResidentAdoptable reports whether a fresh BeginSession over the same
+// matrix would adopt the resident configuration without reprogramming.
+// A dynamic-range boost reprograms the gains at a value scale above the
+// session's compile-time base, and a new session always starts at the
+// base scale, so a boosted resident configuration is not reusable as-is.
+// Session caches should only advertise residents for which this holds —
+// otherwise a "hit" still pays the full gain/routing rewrite.
+func (acc *Accelerator) ResidentAdoptable() bool {
+	cur := acc.current
+	return cur != nil && cur.sc.S == cur.baseS
+}
+
 // Requirements describes the chip resources a compiled system needs.
 type Requirements struct {
 	Variables   int

@@ -386,6 +386,45 @@ func TestBeginSessionAdoptionSkipsReprogram(t *testing.T) {
 	}
 }
 
+func TestResidentAdoptableTracksScaleDrift(t *testing.T) {
+	// ResidentAdoptable is the pool's cache-worthiness test: true while the
+	// resident gains sit at the session's compile-time base scale, false
+	// once a dynamic-range boost has grown sc.S — a fresh BeginSession over
+	// the same matrix would then reprogram rather than adopt.
+	acc := simAcc(t, chip.PrototypeSpec())
+	a, b := eq2System()
+	sess, err := acc.BeginSession(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !acc.ResidentAdoptable() {
+		t.Fatal("fresh session not adoptable")
+	}
+	if _, _, err := sess.SolveFor(b, SolveOptions{DisableBoost: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !acc.ResidentAdoptable() {
+		t.Fatal("unboosted solve left the session non-adoptable")
+	}
+	// Simulate a sticky dynamic-range boost: gains reprogrammed at 2·baseS.
+	sess.sc.S *= 2
+	sess.as = newScaledView(sess.a, sess.sc.S)
+	if err := acc.program(sess.as, la.NewVector(sess.n), nil); err != nil {
+		t.Fatal(err)
+	}
+	if acc.ResidentAdoptable() {
+		t.Fatal("boosted session still claims adoptable")
+	}
+	// And indeed a fresh BeginSession over the same matrix must reprogram.
+	before := acc.Configurations()
+	if _, err := acc.BeginSession(a); err != nil {
+		t.Fatal(err)
+	}
+	if got := acc.Configurations(); got == before {
+		t.Fatal("BeginSession adopted a boosted resident configuration")
+	}
+}
+
 func TestSolveDecomposedPoisson2D(t *testing.T) {
 	// 2-D Poisson with 36 unknowns on a chip holding only 6: six 1-D
 	// strip subproblems with an outer block iteration (Section IV-B).

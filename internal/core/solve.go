@@ -449,9 +449,8 @@ func (s *Session) settle(ctx context.Context, bs la.Vector, opt SolveOptions) (s
 				}
 			}
 		}
-		codes, prevCodes = prevCodes, codes
-		havePrev = true
 		// Residual margin m = max_i |resid_i|/tol_i; settled at m ≤ 1.
+		// Computed from the freshly read buffer — the swap happens after.
 		for i, c := range codes {
 			uHat[i] = float64(c)/fs*2 - 1
 		}
@@ -475,6 +474,8 @@ func (s *Session) settle(ctx context.Context, bs la.Vector, opt SolveOptions) (s
 			}
 			return true, false, settleAt, nil
 		}
+		codes, prevCodes = prevCodes, codes
+		havePrev = true
 		prevT, prevM = elapsed, m
 		chunk *= 2
 	}

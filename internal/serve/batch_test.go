@@ -99,6 +99,23 @@ func TestServeBatchDigitalBackend(t *testing.T) {
 	}
 }
 
+func TestServeBatchSizeLimit(t *testing.T) {
+	// A batch holds one chip and one admission slot for its whole timeout,
+	// so the server caps how many right-hand sides one request may carry.
+	_, client, done := newTestServer(t, Config{MaxBatchRHS: 2})
+	defer done()
+	req := eq2BatchRequest("cg") // 3 RHS > cap of 2
+	_, err := client.SolveBatch(context.Background(), req)
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Code != CodeBadRequest {
+		t.Fatalf("want %s for oversized batch, got %v", CodeBadRequest, err)
+	}
+	req.RHS = req.RHS[:2]
+	if _, err := client.SolveBatch(context.Background(), req); err != nil {
+		t.Fatalf("batch at the cap rejected: %v", err)
+	}
+}
+
 func TestServeBatchValidation(t *testing.T) {
 	_, client, done := newTestServer(t, Config{})
 	defer done()

@@ -460,7 +460,11 @@ func (p *Pool) Checkin(c *PooledChip) {
 	// below, so reading the driver is race-free.
 	fp, n := c.Acc.ResidentFingerprint()
 	cal := c.Acc.CalibrationCount()
-	c.hasResident = n > 0
+	// Only an adoptable resident is worth advertising: a solve whose
+	// dynamic-range boost left the gains programmed above the base scale
+	// would be reprogrammed by BeginSession anyway, so caching it would
+	// count hits that still pay the full configuration cost.
+	c.hasResident = n > 0 && c.Acc.ResidentAdoptable()
 	c.residentFP, c.residentN = fp, n
 	if cal != c.calSeen {
 		if c.hasResident {
@@ -479,8 +483,13 @@ func (p *Pool) release(sp *subpool, c *PooledChip) {
 	if len(sp.waiters) > 0 {
 		ch := sp.waiters[0]
 		sp.waiters = sp.waiters[1:]
-		sp.mu.Unlock()
+		// Each waiter channel is cap-1 buffered and receives at most one
+		// chip, so this send cannot block. Delivering under sp.mu makes
+		// pop+send atomic with a cancelled waiter's dequeue-and-drain: a
+		// waiter still in sp.waiters here will always find its chip when
+		// it drains after removing itself.
 		ch <- c
+		sp.mu.Unlock()
 		return
 	}
 	sp.free = append(sp.free, c)

@@ -31,6 +31,11 @@ type Config struct {
 	RetryAfter time.Duration
 	// MaxBodyBytes bounds request bodies (default 32 MiB).
 	MaxBodyBytes int64
+	// MaxBatchRHS caps how many right-hand sides one /v1/solve/batch
+	// request may carry (default 64). A batch holds one chip and one
+	// admission slot for its whole (clamped) timeout, so the cap bounds
+	// how long a single request can monopolize a chip class.
+	MaxBatchRHS int
 	// Tol is the default solve tolerance for requests that carry none.
 	Tol float64
 }
@@ -50,6 +55,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 32 << 20
+	}
+	if c.MaxBatchRHS <= 0 {
+		c.MaxBatchRHS = 64
 	}
 	if c.Tol <= 0 {
 		c.Tol = 1e-8
@@ -309,6 +317,12 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
+	if len(rhs) > s.cfg.MaxBatchRHS {
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest,
+			"batch of %d right-hand sides exceeds the server limit %d; split into smaller batches",
+			len(rhs), s.cfg.MaxBatchRHS)
+		return
+	}
 
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMs > 0 {
@@ -357,6 +371,10 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 	outs, err := s.solveBatch(ctx, req.Backend, a, rhs, params)
 	elapsed := time.Since(start)
 	s.metrics.SolveFinished()
+	// Latency is per request, not per item: the histogram measures what a
+	// caller waited for, so one batch is one observation even though each
+	// item bumps the SolveOK counters below. Divide alad_batch_rhs_total
+	// by request counts for a per-item view.
 	s.metrics.ObserveLatency(elapsed)
 	if err != nil {
 		s.solveError(w, ctx, err)
