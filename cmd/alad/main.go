@@ -28,6 +28,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // profiling handlers on DefaultServeMux, served only on -pprof
 	"os"
 	"os/signal"
 	"strconv"
@@ -50,6 +51,9 @@ func main() {
 		maxBatch  = flag.Int("max-batch", 64, "largest number of right-hand sides one /v1/solve/batch request may carry")
 		timeout   = flag.Duration("timeout", 30*time.Second, "default per-request solve deadline")
 		drain     = flag.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight solves")
+		engine    = flag.String("engine", "auto", "simulation kernel for pooled chips: auto | interpreter | compiled | fused")
+		simJobs   = flag.Int("sim-workers", 0, "fused-engine worker bound per chip (0 = auto; results are identical for every value)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 	)
 	flag.Parse()
 
@@ -64,6 +68,8 @@ func main() {
 			MaxDim:        *maxDim,
 			ADCBits:       *adcBits,
 			Bandwidth:     *bandwidth,
+			Engine:        *engine,
+			SimWorkers:    *simJobs,
 		},
 		QueueBound:     *queue,
 		MaxBatchRHS:    *maxBatch,
@@ -74,6 +80,22 @@ func main() {
 	}
 	expvar.Publish("alad", expvar.Func(func() any { return srv.Snapshot() }))
 
+	if *pprofAddr != "" {
+		// A separate listener keeps the profiling surface off the public
+		// service port; the pprof import registered its handlers on
+		// http.DefaultServeMux, which the main server never uses.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatalf("alad: pprof listener: %v", err)
+		}
+		log.Printf("alad: pprof on http://%s/debug/pprof/", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, nil); err != nil {
+				log.Printf("alad: pprof server: %v", err)
+			}
+		}()
+	}
+
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
 	mux.Handle("GET /debug/vars", expvar.Handler())
@@ -83,8 +105,8 @@ func main() {
 		log.Fatalf("alad: %v", err)
 	}
 	httpSrv := &http.Server{Handler: mux}
-	log.Printf("alad: listening on %s (pool %d/class, warm %v, queue %d)",
-		ln.Addr(), *pool, warmSizes, *queue)
+	log.Printf("alad: listening on %s (pool %d/class, warm %v, queue %d, engine %s)",
+		ln.Addr(), *pool, warmSizes, *queue, *engine)
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()

@@ -39,6 +39,7 @@ func main() {
 		adcBits   = flag.Int("adc-bits", 12, "analog chip converter resolution")
 		bandwidth = flag.Float64("bandwidth", 20e3, "analog bandwidth in Hz")
 		calibrate = flag.Bool("calibrate", false, "run the chip init calibration first")
+		engine    = flag.String("engine", "", "simulation kernel for local analog backends: auto | interpreter | compiled | fused (default auto)")
 		jobs      = flag.Int("j", 0, "decomposed backend: chips to fan block solves out over (default: one per block; local solves build max(j,2) chips)")
 		blockSize = flag.Int("block", 0, "decomposed backend: variables per block (default: auto)")
 		server    = flag.String("server", "", "alad daemon address: submit the solve remotely instead of solving in-process")
@@ -99,7 +100,7 @@ func main() {
 		if err != nil {
 			fail("%v", err)
 		}
-		solveBatch(a, rhs, *server, *backend, *tol, *deadline, *adcBits, *bandwidth, *calibrate, *quiet)
+		solveBatch(a, rhs, *server, *backend, *tol, *deadline, *adcBits, *bandwidth, *calibrate, *engine, *quiet)
 		return
 	}
 
@@ -115,6 +116,7 @@ func main() {
 			ADCBits:   *adcBits,
 			Bandwidth: *bandwidth,
 			Calibrate: *calibrate,
+			Engine:    *engine,
 			Workers:   *jobs,
 			BlockSize: *blockSize,
 		})
@@ -140,7 +142,7 @@ func main() {
 // solveBatch runs the multi-RHS path — locally through one compiled
 // session, or remotely through POST /v1/solve/batch — and prints one
 // solution block per right-hand side.
-func solveBatch(a *la.CSR, rhs []la.Vector, server, backend string, tol float64, deadline time.Duration, adcBits int, bandwidth float64, calibrate, quiet bool) {
+func solveBatch(a *la.CSR, rhs []la.Vector, server, backend string, tol float64, deadline time.Duration, adcBits int, bandwidth float64, calibrate bool, engine string, quiet bool) {
 	type item struct {
 		u     la.Vector
 		extra string
@@ -174,7 +176,7 @@ func solveBatch(a *la.CSR, rhs []la.Vector, server, backend string, tol float64,
 		summary = fmt.Sprintf("%d rhs served by %s in %.1f ms", len(resp.Items), server, resp.ElapsedMs)
 	} else {
 		outs, err := cli.SolveSystemBatch(context.Background(), backend, a, rhs, cli.SolveParams{
-			Tol: tol, ADCBits: adcBits, Bandwidth: bandwidth, Calibrate: calibrate,
+			Tol: tol, ADCBits: adcBits, Bandwidth: bandwidth, Calibrate: calibrate, Engine: engine,
 		})
 		if err != nil {
 			fail("%s: %v", backend, err)

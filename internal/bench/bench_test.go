@@ -8,7 +8,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"adcres", "calib", "dda", "decomp", "fig10", "fig11", "fig12", "fig7", "fig8", "fig9", "multigrid", "noise", "parallel", "table1", "table2", "table3"}
+	want := []string{"adcres", "calib", "dda", "decomp", "engines", "fig10", "fig11", "fig12", "fig7", "fig8", "fig9", "multigrid", "noise", "parallel", "table1", "table2", "table3"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("%d experiments registered, want %d", len(all), len(want))
@@ -103,6 +103,20 @@ func runQuick(t *testing.T, id string) *Table {
 		t.Fatalf("%s: empty table", id)
 	}
 	return tb
+}
+
+func TestEnginesQuickShape(t *testing.T) {
+	tb := runQuick(t, "engines")
+	// Three engines per grid size, and every compiled/fused solution must
+	// be bit-identical to the interpreter's.
+	if len(tb.Rows)%3 != 0 {
+		t.Fatalf("want 3 rows per grid size, got %d rows", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if match := row[4]; match != "—" && match != "yes" {
+			t.Fatalf("engine %s diverged from interpreter: %s", row[1], match)
+		}
+	}
 }
 
 func TestFig7QuickShape(t *testing.T) {

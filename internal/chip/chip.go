@@ -437,6 +437,14 @@ func (c *Chip) rebuild() isa.Status {
 		// Algebraic loop in the user's configuration.
 		return isa.StatusBadArgs
 	}
+	// Engine was validated with the spec; a bad name here means the spec
+	// skipped Validate, and auto is the right fallback.
+	if eng, err := circuit.ParseEngine(c.spec.Engine); err == nil {
+		sim.SetEngine(eng)
+	}
+	if c.spec.SimWorkers > 0 {
+		sim.SetWorkers(c.spec.SimWorkers)
+	}
 	c.nl, c.sim, c.blocks = nl, sim, blocks
 	c.state = stateReady
 	c.topoDirty = false
@@ -617,6 +625,29 @@ func (c *Chip) ParallelRegister() byte { return c.parallelReg }
 // Sim exposes the underlying simulator for bench instrumentation (probes,
 // direct integrator reads in tests). Nil before the first commit.
 func (c *Chip) Sim() *circuit.Simulator { return c.sim }
+
+// SelectEngine switches the simulation kernel on the live datapath and on
+// every future rebuild. Like Sim, this is a bench-side knob on the
+// simulation itself, not a Table I instruction: engines are bit-identical
+// and invisible to programs running on the chip. workers <= 0 keeps the
+// current worker bound.
+func (c *Chip) SelectEngine(name string, workers int) error {
+	eng, err := circuit.ParseEngine(name)
+	if err != nil {
+		return err
+	}
+	c.spec.Engine = name
+	if workers > 0 {
+		c.spec.SimWorkers = workers
+	}
+	if c.sim != nil {
+		c.sim.SetEngine(eng)
+		if workers > 0 {
+			c.sim.SetWorkers(workers)
+		}
+	}
+	return nil
+}
 
 // Netlist exposes the committed datapath (nil before the first commit).
 func (c *Chip) Netlist() *circuit.Netlist { return c.nl }

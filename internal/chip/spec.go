@@ -50,6 +50,14 @@ type Spec struct {
 	NoiseSigma  float64
 	TrimBits    int
 	Seed        int64
+	// Engine names the simulation kernel the chip's datapath runs on
+	// ("auto", "interpreter", "compiled", "fused"; empty = auto). A
+	// simulation-fidelity knob, not part of the Table I architecture:
+	// every engine is bit-identical, so it never changes answers.
+	Engine string
+	// SimWorkers bounds the fused engine's level-parallel worker pool
+	// (0 = automatic). Results are identical for every value.
+	SimWorkers int
 }
 
 // PrototypeSpec returns the fabricated 65 nm chip: four macroblocks,
@@ -153,6 +161,9 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("chip: max gain %v must be positive", s.MaxGain)
 	case s.SharePerConverter < 1:
 		return fmt.Errorf("chip: converter share %d must be at least 1", s.SharePerConverter)
+	}
+	if _, err := circuit.ParseEngine(s.Engine); err != nil {
+		return err
 	}
 	return (circuit.Config{
 		Bandwidth: s.Bandwidth,

@@ -59,6 +59,16 @@ type program struct {
 	// there, evalRecord walks the whole stream.
 	nFast int
 
+	// first[i] marks the first op in stream order driving out[i]. The
+	// fused engine stores (0 + v) there instead of accumulating, which is
+	// what lets it skip the netVals clear.
+	first []bool
+
+	// foldGen increments on every refold; the fused engine re-syncs its
+	// materialised copy of the folded constants when it observes a new
+	// generation.
+	foldGen uint64
+
 	// Integrator derivative stream: du/dt = k·(intGain·net[intNet] + intOff)
 	// per state slot, with intNet = -1 for a grounded input.
 	intNet  []int32
@@ -155,6 +165,17 @@ func (p *program) partitionSilent() {
 	p.cval = permuteFloat64(p.cval, order)
 	p.tab = permuteTables(p.tab, order)
 	p.blk = permuteBlocks(p.blk, order)
+
+	// First-driver flags over the final stream order (only the fast
+	// region matters: silent ops drive nothing).
+	p.first = make([]bool, n)
+	seen := make(map[int32]bool, p.nFast)
+	for i := 0; i < p.nFast; i++ {
+		if !seen[p.out[i]] {
+			p.first[i] = true
+			seen[p.out[i]] = true
+		}
+	}
 }
 
 func permuteOpcodes(src []opcode, order []int) []opcode {
@@ -235,6 +256,7 @@ func (p *program) refold(s *Simulator) {
 	for i, b := range s.integrators {
 		p.intOff[i], p.intGain[i] = s.effOff[b.ID], s.effGain[b.ID]
 	}
+	p.foldGen++
 }
 
 // evalFast computes all net values for the given state at time t, skipping
@@ -267,14 +289,7 @@ func (p *program) evalFast(s *Simulator, t float64, state []float64) {
 			v = gains[i]*(nv[in0s[i]]*nv[p.in1[i]]/fs) + offs[i]
 		case opLUT:
 			tab := p.tab[i]
-			in := nv[in0s[i]]
-			idx := int(math.Round((in + fs) / (2 * fs) * float64(len(tab)-1)))
-			if idx < 0 {
-				idx = 0
-			}
-			if idx >= len(tab) {
-				idx = len(tab) - 1
-			}
+			idx := lutIndex(nv[in0s[i]], fs, len(tab))
 			v = gains[i]*tab[idx] + offs[i]
 		}
 		// Inline softSat: the overwhelming majority of values are inside
@@ -316,14 +331,7 @@ func (p *program) evalRecord(s *Simulator, t float64, state []float64) {
 			raw = p.gain[i]*(nv[p.in0[i]]*nv[p.in1[i]]/fs) + p.off[i]
 		case opLUT:
 			tab := p.tab[i]
-			in := nv[p.in0[i]]
-			idx := int(math.Round((in + fs) / (2 * fs) * float64(len(tab)-1)))
-			if idx < 0 {
-				idx = 0
-			}
-			if idx >= len(tab) {
-				idx = len(tab) - 1
-			}
+			idx := lutIndex(nv[p.in0[i]], fs, len(tab))
 			raw = p.gain[i]*tab[idx] + p.off[i]
 		}
 		b := p.blk[i]

@@ -11,7 +11,7 @@ import (
 // fanouts, LUTs) form a DAG over already-driven nets, DACs and stimuli
 // inject sources, ADCs observe. Deterministic in rng, so two calls with
 // equally seeded rngs build identical netlists (same mismatch draws too).
-func buildRandomNetlist(t *testing.T, rng *rand.Rand, cfg Config) (*Netlist, []*Block, []*Block) {
+func buildRandomNetlist(t testing.TB, rng *rand.Rand, cfg Config) (*Netlist, []*Block, []*Block) {
 	t.Helper()
 	nl, err := NewNetlist(cfg)
 	if err != nil {
@@ -113,7 +113,7 @@ func appendIfFresh(avail []Net, uNets, dNets []Net, n Net) []Net {
 
 // expectSame asserts two simulators are in bit-identical externally
 // observable states.
-func expectSame(t *testing.T, ref, cmp *Simulator, adcsRef, adcsCmp []*Block, tag string) {
+func expectSame(t testing.TB, ref, cmp *Simulator, adcsRef, adcsCmp []*Block, tag string) {
 	t.Helper()
 	if ref.Steps() != cmp.Steps() || ref.Time() != cmp.Time() {
 		t.Fatalf("%s: steps/time diverge: (%d, %v) vs (%d, %v)",
@@ -163,6 +163,12 @@ func expectSame(t *testing.T, ref, cmp *Simulator, adcsRef, adcsCmp []*Block, ta
 // trackers, overflow latches, and ADC codes — the compiled op stream's
 // equivalence guarantee.
 func TestCompiledMatchesReference(t *testing.T) {
+	testEngineMatchesReference(t, EngineCompiled)
+}
+
+// testEngineMatchesReference is the shared differential harness: the
+// fused engine runs it too (TestFusedMatchesReference in fused_test.go).
+func testEngineMatchesReference(t *testing.T, engine Engine) {
 	for seed := int64(0); seed < 20; seed++ {
 		cfg := Config{
 			Bandwidth:   20e3,
@@ -185,6 +191,7 @@ func TestCompiledMatchesReference(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
+		cmp.SetEngine(engine)
 
 		prRef := ref.AddProbe(Net(0), 3)
 		prCmp := cmp.AddProbe(Net(0), 3)

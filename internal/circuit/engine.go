@@ -1,0 +1,102 @@
+package circuit
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Engine selects which evaluation kernel the simulator runs net updates
+// on. All engines are bit-identical (enforced by differential and fuzz
+// tests); they differ only in speed.
+type Engine uint8
+
+const (
+	// EngineAuto picks the fastest engine for the program (currently the
+	// fused kernel). The zero value, so new simulators default to it.
+	EngineAuto Engine = iota
+	// EngineReference is the original block-walk interpreter: the
+	// executable specification the other engines are tested against.
+	EngineReference
+	// EngineCompiled is the switch-dispatch op-stream engine (PR 1).
+	EngineCompiled
+	// EngineFused is the segmented step kernel: homogeneous op runs with
+	// no per-op dispatch, first-driver stores instead of a netVals clear,
+	// and level-scheduled parallel evaluation for large programs.
+	EngineFused
+)
+
+// ParseEngine maps a user-facing engine name to an Engine. The empty
+// string and "auto" mean EngineAuto; "interpreter" and "reference" both
+// name the block-walk interpreter.
+func ParseEngine(name string) (Engine, error) {
+	switch name {
+	case "", "auto":
+		return EngineAuto, nil
+	case "interpreter", "reference":
+		return EngineReference, nil
+	case "compiled":
+		return EngineCompiled, nil
+	case "fused":
+		return EngineFused, nil
+	}
+	return EngineAuto, fmt.Errorf("circuit: unknown engine %q (want auto, interpreter, compiled, or fused)", name)
+}
+
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineReference:
+		return "interpreter"
+	case EngineCompiled:
+		return "compiled"
+	case EngineFused:
+		return "fused"
+	}
+	return fmt.Sprintf("engine(%d)", uint8(e))
+}
+
+// SetEngine selects the evaluation engine. EngineAuto (the default)
+// resolves to the fused kernel.
+func (s *Simulator) SetEngine(e Engine) {
+	s.engine = e
+	s.valsDirty = true
+}
+
+// EngineSelected reports the engine that will actually run, with
+// EngineAuto resolved.
+func (s *Simulator) EngineSelected() Engine {
+	if s.engine == EngineAuto {
+		return EngineFused
+	}
+	return s.engine
+}
+
+// SetWorkers bounds the worker pool the fused engine may shard level
+// evaluation across. n <= 0 restores the automatic choice
+// (min(GOMAXPROCS, 4)). Results are bit-identical for every worker
+// count: workers own disjoint net ranges and each net's drivers are
+// summed in the same fixed stream order regardless of sharding.
+func (s *Simulator) SetWorkers(n int) {
+	if n <= 0 {
+		n = autoWorkers()
+	}
+	s.workers = n
+	if s.fused != nil {
+		s.fused.rebuildChunks(n)
+	}
+}
+
+// Workers returns the configured fused-engine worker bound.
+func (s *Simulator) Workers() int { return s.workers }
+
+func autoWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 4 {
+		w = 4
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}

@@ -1,0 +1,549 @@
+package circuit
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// Fused step kernel. The compiled engine (compiled.go) removed the block
+// interpreter's pointer-chasing but kept three per-eval costs on the RK4
+// trial path: an opcode dispatch on every op, a full netVals clear before
+// every evaluation — four times per step — and five bounds-checked
+// parallel-array loads per op. The fused engine removes all three:
+//
+//   - At lower time the fast ops are re-materialised into a compact
+//     24-byte struct-of-ops stream in execution order, segmented into
+//     homogeneous runs. Each run executes as a tight loop specialised for
+//     its opcode: no switch, no blk pointer loads (except opInput, which
+//     must read Stimulus live), and no per-op bounds checks on op data —
+//     the loops range over exact subslices. Cold fields (the op's stream
+//     index for fold re-sync, the second input net of a varmul) live in
+//     side arrays so the hot loops never pull them through the cache.
+//   - Execution order is phase-major: nets are assigned topological
+//     levels (a net's level is the max level of its driver ops; a
+//     combinational op sits one past its deepest input net) and every
+//     driver of a net executes in its net's phase. Each phase runs a
+//     store pass (the stream-first driver of each net, emitted as
+//     0 + v — exactly the reference's cleared-slot-plus-first-addend sum,
+//     so even signed zeros match bit-for-bit) followed by an add pass
+//     (the remaining drivers, in stream order). First-driver stores
+//     replace the netVals clear; the store/add split replaces the per-op
+//     first-flag branch. Per-net accumulation order is still exactly
+//     stream order, so results are bit-identical to the reference
+//     interpreter. Undriven nets are never written by any engine after
+//     Reset, so skipping them is safe.
+//
+// For large programs the kernel instead runs level-parallel: each
+// level's nets are sharded across a bounded worker set, and each
+// worker's share is materialised as its own store/add segment run, so
+// workers execute the very same branch-free loops as the serial kernel.
+// Chunks cover disjoint net sets — workers write disjoint netVals
+// entries — and every net's sum still accumulates left-to-right in the
+// same fixed order as the serial engines, so results are bit-identical
+// for any worker count. Cross-level reads are safe because an op in
+// phase L only reads nets that completed in phases < L.
+//
+// Record-mode evaluations (one per step, plus Reset) still run
+// evalRecord: peak/overflow latching walks every op anyway, so there is
+// nothing to fuse.
+
+// fusedParallelMinOps is the fast-op count above which the fused engine
+// shards levels across workers. Below it the per-level synchronisation
+// costs more than the arithmetic it hides. Overridable per simulator in
+// tests (Simulator.fusedMinOps).
+const fusedParallelMinOps = 8192
+
+// fusedOp is one materialised fast op: 24 bytes, only the fields the hot
+// loops touch. Meaning varies by segment opcode: for opConst, gain holds
+// the pre-saturated constant and in0 is unused; opState/opInput need no
+// folded constants. The op's index in the program's stream arrays and a
+// varmul's second input net live in the stream's side arrays.
+type fusedOp struct {
+	in0, out  int32
+	gain, off float64
+}
+
+// fusedSeg is one homogeneous run [start,end) of a materialised stream:
+// every op in it has the same opcode and the same store/add role.
+type fusedSeg struct {
+	op         opcode
+	store      bool
+	start, end int32
+}
+
+// fusedStream is one materialised execution stream: the serial kernel
+// has one covering the whole fast region; the parallel kernel has one
+// laid out per (level, worker chunk). aux[i] is op i's index in the
+// program's stream arrays (read during fold re-sync, and by LUT/input
+// loops to reach tables and stimulus blocks); in1[i] is the second input
+// net (read by varmul loops only).
+type fusedStream struct {
+	ops      []fusedOp
+	aux, in1 []int32
+	segs     []fusedSeg
+}
+
+// emit appends op i, merging it into the last segment when that segment
+// has the same opcode and store/add role and its index is at least
+// minSeg (chunk boundaries pass len(segs) to prevent merging across
+// workers).
+func (st *fusedStream) emit(p *program, i int32, store bool, minSeg int) {
+	kind := p.kind[i]
+	if n := len(st.segs); n > minSeg && st.segs[n-1].op == kind && st.segs[n-1].store == store {
+		st.segs[n-1].end++
+	} else {
+		st.segs = append(st.segs, fusedSeg{
+			op: kind, store: store,
+			start: int32(len(st.ops)), end: int32(len(st.ops)) + 1,
+		})
+	}
+	st.ops = append(st.ops, fusedOp{in0: p.in0[i], out: p.out[i]})
+	st.aux = append(st.aux, i)
+	st.in1 = append(st.in1, p.in1[i])
+}
+
+// syncFold copies the program's folded constants (refreshed by refold on
+// trim/mismatch changes) into the stream.
+func (st *fusedStream) syncFold(p *program) {
+	for si := range st.segs {
+		sg := &st.segs[si]
+		ops := st.ops[sg.start:sg.end]
+		auxs := st.aux[sg.start:sg.end]
+		if sg.op == opConst {
+			for i := range ops {
+				ops[i].gain = p.cval[auxs[i]]
+			}
+		} else {
+			for i := range ops {
+				ops[i].gain = p.gain[auxs[i]]
+				ops[i].off = p.off[auxs[i]]
+			}
+		}
+	}
+}
+
+func (st *fusedStream) reset() {
+	st.ops = st.ops[:0]
+	st.aux = st.aux[:0]
+	st.in1 = st.in1[:0]
+	st.segs = st.segs[:0]
+}
+
+// fusedChunk is one worker's share of a level: a contiguous run of
+// segments in the parallel stream. Chunks of the same level cover
+// disjoint net sets, so workers never write the same netVals entry.
+type fusedChunk struct{ segLo, segHi int32 }
+
+// fusedLevel is one topological phase of the parallel schedule.
+type fusedLevel struct {
+	lo, hi int32 // netOrder range of nets whose value completes this phase
+	chunks []fusedChunk
+}
+
+// fusedProg is the segmented / level-scheduled view of a program.
+// Topology is fixed for the life of a Simulator; the folded constants
+// copied into the streams are refreshed lazily whenever refold bumps the
+// program's generation (trim changes), so ReloadBlockParams keeps
+// working unchanged.
+type fusedProg struct {
+	p *program
+
+	// Serial kernel: the whole fast region in phase-major store/add
+	// order.
+	serial    fusedStream
+	syncedGen uint64
+
+	// Level schedule: driven nets grouped by level (ascending net id
+	// within a level), each with its driver ops in stream order. Feeds
+	// the per-chunk materialisation below.
+	netOrder []int32
+	opStart  []int32 // len(netOrder)+1 prefix sums into opIdx
+	opIdx    []int32
+
+	// Parallel kernel: a second stream laid out per (level, worker
+	// chunk). Rebuilt by SetWorkers.
+	par     fusedStream
+	levels  []fusedLevel
+	workers int // worker count the chunks were last built for
+}
+
+// buildFused computes the level schedule and the materialised streams
+// for p's fast region. nNets is the netlist's net count.
+func (p *program) buildFused(nNets, workers int) *fusedProg {
+	f := &fusedProg{p: p}
+
+	// Topological levels. The fast stream is ordered sources-first then
+	// topologically, so a single pass sees every driver of a net before
+	// any reader of it: netLevel is final by the time it is consumed.
+	netLevel := make([]int32, nNets)
+	drivers := make([]int32, nNets) // per-net fast driver count
+	maxLevel := int32(0)
+	for i := 0; i < p.nFast; i++ {
+		var lv int32
+		switch p.kind[i] {
+		case opLinear, opLUT:
+			lv = netLevel[p.in0[i]] + 1
+		case opVarMul:
+			lv = netLevel[p.in0[i]] + 1
+			if l2 := netLevel[p.in1[i]] + 1; l2 > lv {
+				lv = l2
+			}
+		}
+		out := p.out[i]
+		drivers[out]++
+		if netLevel[out] < lv {
+			netLevel[out] = lv
+		}
+		if lv > maxLevel {
+			maxLevel = lv
+		}
+	}
+
+	// Group driven nets by level, ascending net id within each level (the
+	// scan order), and record each level's [lo,hi) range of netOrder.
+	nDriven := 0
+	for n := 0; n < nNets; n++ {
+		if drivers[n] > 0 {
+			nDriven++
+		}
+	}
+	f.netOrder = make([]int32, 0, nDriven)
+	slot := make([]int32, nNets) // net id -> index in netOrder
+	f.levels = make([]fusedLevel, 0, maxLevel+1)
+	for lv := int32(0); lv <= maxLevel; lv++ {
+		lo := int32(len(f.netOrder))
+		for n := 0; n < nNets; n++ {
+			if drivers[n] > 0 && netLevel[n] == lv {
+				slot[n] = int32(len(f.netOrder))
+				f.netOrder = append(f.netOrder, int32(n))
+			}
+		}
+		f.levels = append(f.levels, fusedLevel{lo: lo, hi: int32(len(f.netOrder))})
+	}
+
+	// Per-net driver lists, stream order preserved by the scan order.
+	f.opStart = make([]int32, len(f.netOrder)+1)
+	for _, n := range f.netOrder {
+		f.opStart[slot[n]+1] = drivers[n]
+	}
+	for i := 1; i < len(f.opStart); i++ {
+		f.opStart[i] += f.opStart[i-1]
+	}
+	f.opIdx = make([]int32, p.nFast)
+	cursor := make([]int32, len(f.netOrder))
+	copy(cursor, f.opStart[:len(f.netOrder)])
+	for i := 0; i < p.nFast; i++ {
+		si := slot[p.out[i]]
+		f.opIdx[cursor[si]] = int32(i)
+		cursor[si]++
+	}
+
+	// Materialise the serial stream: phase-major (a driver executes in
+	// its net's phase, so the stream-first driver of every net runs
+	// before the rest even when their op levels differ), store pass then
+	// add pass per phase, stream order within each pass. Every input a
+	// phase-L op reads completed in a phase < L, so the reordering only
+	// ever commutes writes to different nets; per-net sums still
+	// accumulate in exactly the reference's order.
+	byPhase := make([][]int32, maxLevel+1)
+	for i := 0; i < p.nFast; i++ {
+		lv := netLevel[p.out[i]]
+		byPhase[lv] = append(byPhase[lv], int32(i)) // ascending i: stream order
+	}
+	f.serial.ops = make([]fusedOp, 0, p.nFast)
+	for _, phase := range byPhase {
+		for _, i := range phase {
+			if p.first[i] {
+				f.serial.emit(p, i, true, 0)
+			}
+		}
+		for _, i := range phase {
+			if !p.first[i] {
+				f.serial.emit(p, i, false, 0)
+			}
+		}
+	}
+
+	f.rebuildChunks(workers) // also syncs folded constants
+	return f
+}
+
+// rebuildChunks partitions each level's nets into up to `workers`
+// contiguous chunks balanced by driver-op count, and materialises each
+// chunk's ops as branch-free segments: one store per net (grouped by
+// opcode — stores hit distinct nets, so their relative order is free),
+// then the remaining drivers in global stream order, which preserves
+// every net's accumulation order. Chunk boundaries change with the
+// worker bound; per-net summation order does not.
+func (f *fusedProg) rebuildChunks(workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	f.workers = workers
+	f.par.reset()
+	var stores, adds []int32
+	for li := range f.levels {
+		lv := &f.levels[li]
+		lv.chunks = lv.chunks[:0]
+		nets := lv.hi - lv.lo
+		if nets <= 0 {
+			continue
+		}
+		w := int32(workers)
+		if w > nets {
+			w = nets
+		}
+		totalOps := f.opStart[lv.hi] - f.opStart[lv.lo]
+		target := (totalOps + w - 1) / w
+		if target < 1 {
+			target = 1
+		}
+		for lo := lv.lo; lo < lv.hi; {
+			hi := lo
+			var ops int32
+			for hi < lv.hi && (ops < target || hi == lo) {
+				ops += f.opStart[hi+1] - f.opStart[hi]
+				hi++
+			}
+			// Never emit more chunks than workers: fold the tail into the
+			// last chunk.
+			if int32(len(lv.chunks)) == w-1 {
+				hi = lv.hi
+			}
+			stores, adds = stores[:0], adds[:0]
+			for ni := lo; ni < hi; ni++ {
+				list := f.opIdx[f.opStart[ni]:f.opStart[ni+1]]
+				stores = append(stores, list[0]) // stream-first driver
+				adds = append(adds, list[1:]...)
+			}
+			sort.Slice(stores, func(a, b int) bool {
+				sa, sb := stores[a], stores[b]
+				if ka, kb := f.p.kind[sa], f.p.kind[sb]; ka != kb {
+					return ka < kb
+				}
+				return sa < sb
+			})
+			sort.Slice(adds, func(a, b int) bool { return adds[a] < adds[b] })
+			segLo := int32(len(f.par.segs))
+			for _, i := range stores {
+				f.par.emit(f.p, i, true, int(segLo))
+			}
+			for _, i := range adds {
+				f.par.emit(f.p, i, false, int(segLo))
+			}
+			lv.chunks = append(lv.chunks, fusedChunk{segLo: segLo, segHi: int32(len(f.par.segs))})
+			lo = hi
+		}
+	}
+	f.syncFold()
+}
+
+// syncFold refreshes both streams' folded constants from the program.
+func (f *fusedProg) syncFold() {
+	f.serial.syncFold(f.p)
+	f.par.syncFold(f.p)
+	f.syncedGen = f.p.foldGen
+}
+
+// eval dispatches between the serial segmented kernel and the
+// level-parallel kernel.
+func (f *fusedProg) eval(s *Simulator, t float64, state []float64) {
+	if f.syncedGen != f.p.foldGen {
+		f.syncFold()
+	}
+	if s.workers > 1 && f.p.nFast >= s.fusedMinOps && len(f.levels) > 0 {
+		f.evalParallel(s, t, state)
+		return
+	}
+	f.runSegs(s, t, state, &f.serial, f.serial.segs)
+}
+
+// evalParallel runs one phase per topological level, sharding the level's
+// nets across workers; every worker runs the same branch-free segment
+// loops as the serial kernel, just over its own chunk of the stream.
+// Goroutines are spawned per phase (a handful per eval); at the program
+// sizes that reach this path each phase carries thousands of ops, so the
+// spawn cost is noise.
+func (f *fusedProg) evalParallel(s *Simulator, t float64, state []float64) {
+	var wg sync.WaitGroup
+	for li := range f.levels {
+		chunks := f.levels[li].chunks
+		if len(chunks) == 0 {
+			continue
+		}
+		if len(chunks) == 1 {
+			c := chunks[0]
+			f.runSegs(s, t, state, &f.par, f.par.segs[c.segLo:c.segHi])
+			continue
+		}
+		wg.Add(len(chunks) - 1)
+		for _, c := range chunks[1:] {
+			go func(c fusedChunk) {
+				defer wg.Done()
+				f.runSegs(s, t, state, &f.par, f.par.segs[c.segLo:c.segHi])
+			}(c)
+		}
+		c := chunks[0]
+		f.runSegs(s, t, state, &f.par, f.par.segs[c.segLo:c.segHi])
+		wg.Wait()
+	}
+}
+
+// runSegs executes a run of segments over a materialised stream: one
+// branch-free tight loop per homogeneous run, first-driver stores in
+// place of a netVals clear. It is the shared inner kernel: the serial
+// path runs the whole phase-major stream; each parallel worker runs its
+// chunk's segments.
+func (f *fusedProg) runSegs(s *Simulator, t float64, state []float64, all *fusedStream, segs []fusedSeg) {
+	p := f.p
+	fs := s.nl.cfg.FullScale
+	sat := s.nl.cfg.SatLevel
+	nv := s.netVals
+	for _, sg := range segs {
+		ops := all.ops[sg.start:sg.end]
+		switch {
+		case sg.op == opConst && sg.store:
+			for i := range ops {
+				o := &ops[i]
+				// gain holds cval, pre-saturated by refold.
+				nv[o.out] = 0 + o.gain
+			}
+		case sg.op == opConst:
+			for i := range ops {
+				o := &ops[i]
+				nv[o.out] += o.gain
+			}
+		case sg.op == opState && sg.store:
+			for i := range ops {
+				o := &ops[i]
+				v := state[o.in0]
+				if math.Abs(v) > fs { // one predictable branch; NaN passes through
+					if v > fs {
+						v = fs + (sat-fs)*math.Tanh((v-fs)/(sat-fs))
+					} else {
+						v = -fs - (sat-fs)*math.Tanh((-v-fs)/(sat-fs))
+					}
+				}
+				nv[o.out] = 0 + v
+			}
+		case sg.op == opState:
+			for i := range ops {
+				o := &ops[i]
+				v := state[o.in0]
+				if math.Abs(v) > fs { // one predictable branch; NaN passes through
+					if v > fs {
+						v = fs + (sat-fs)*math.Tanh((v-fs)/(sat-fs))
+					} else {
+						v = -fs - (sat-fs)*math.Tanh((-v-fs)/(sat-fs))
+					}
+				}
+				nv[o.out] += v
+			}
+		case sg.op == opInput:
+			auxs := all.aux[sg.start:sg.end]
+			for i := range ops {
+				o := &ops[i]
+				var v float64
+				if fn := p.blk[auxs[i]].Stimulus; fn != nil {
+					v = fn(t)
+				}
+				if math.Abs(v) > fs { // one predictable branch; NaN passes through
+					if v > fs {
+						v = fs + (sat-fs)*math.Tanh((v-fs)/(sat-fs))
+					} else {
+						v = -fs - (sat-fs)*math.Tanh((-v-fs)/(sat-fs))
+					}
+				}
+				if sg.store {
+					nv[o.out] = 0 + v
+				} else {
+					nv[o.out] += v
+				}
+			}
+		case sg.op == opLinear && sg.store:
+			for i := range ops {
+				o := &ops[i]
+				v := o.gain*nv[o.in0] + o.off
+				if math.Abs(v) > fs { // one predictable branch; NaN passes through
+					if v > fs {
+						v = fs + (sat-fs)*math.Tanh((v-fs)/(sat-fs))
+					} else {
+						v = -fs - (sat-fs)*math.Tanh((-v-fs)/(sat-fs))
+					}
+				}
+				nv[o.out] = 0 + v
+			}
+		case sg.op == opLinear:
+			for i := range ops {
+				o := &ops[i]
+				v := o.gain*nv[o.in0] + o.off
+				if math.Abs(v) > fs { // one predictable branch; NaN passes through
+					if v > fs {
+						v = fs + (sat-fs)*math.Tanh((v-fs)/(sat-fs))
+					} else {
+						v = -fs - (sat-fs)*math.Tanh((-v-fs)/(sat-fs))
+					}
+				}
+				nv[o.out] += v
+			}
+		case sg.op == opVarMul:
+			in1s := all.in1[sg.start:sg.end]
+			for i := range ops {
+				o := &ops[i]
+				v := o.gain*(nv[o.in0]*nv[in1s[i]]/fs) + o.off
+				if math.Abs(v) > fs { // one predictable branch; NaN passes through
+					if v > fs {
+						v = fs + (sat-fs)*math.Tanh((v-fs)/(sat-fs))
+					} else {
+						v = -fs - (sat-fs)*math.Tanh((-v-fs)/(sat-fs))
+					}
+				}
+				if sg.store {
+					nv[o.out] = 0 + v
+				} else {
+					nv[o.out] += v
+				}
+			}
+		case sg.op == opLUT:
+			auxs := all.aux[sg.start:sg.end]
+			for i := range ops {
+				o := &ops[i]
+				tab := p.tab[auxs[i]]
+				idx := lutIndex(nv[o.in0], fs, len(tab))
+				v := o.gain*tab[idx] + o.off
+				if math.Abs(v) > fs { // one predictable branch; NaN passes through
+					if v > fs {
+						v = fs + (sat-fs)*math.Tanh((v-fs)/(sat-fs))
+					} else {
+						v = -fs - (sat-fs)*math.Tanh((-v-fs)/(sat-fs))
+					}
+				}
+				if sg.store {
+					nv[o.out] = 0 + v
+				} else {
+					nv[o.out] += v
+				}
+			}
+		}
+	}
+}
+
+// lutIndex maps an input voltage to a table index, clamping out-of-range
+// inputs to the end entries. NaN (only reachable through a pathological
+// user stimulus or table) maps to index 0 instead of feeding an
+// implementation-defined int conversion: every engine uses this helper,
+// so the choice is consistent.
+func lutIndex(in, fs float64, tabLen int) int {
+	idx := 0
+	if r := math.Round((in + fs) / (2 * fs) * float64(tabLen-1)); !math.IsNaN(r) {
+		idx = int(r)
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= tabLen {
+		idx = tabLen - 1
+	}
+	return idx
+}

@@ -1,0 +1,197 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFusedMatchesReference runs the full differential harness (probes,
+// fractional runs, state pokes, trim reloads) against the fused kernel.
+func TestFusedMatchesReference(t *testing.T) {
+	testEngineMatchesReference(t, EngineFused)
+}
+
+// TestFusedParallelMatchesSerial pins the level-scheduler's determinism
+// claim: on a large netlist the fused engine must produce bit-identical
+// trajectories for every worker count, including the serial path. The
+// parallel threshold is forced to zero so even the 1-worker case walks
+// the level schedule machinery.
+func TestFusedParallelMatchesSerial(t *testing.T) {
+	const l = 12 // 144 states — past the tentpole's ≥128-state bar
+	build := func(workers int, forceParallel bool) *Simulator {
+		sim, err := NewSimulator(buildPoissonNetlist(t, l, benchRHS), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.SetEngine(EngineFused)
+		sim.SetWorkers(workers)
+		if forceParallel {
+			sim.fusedMinOps = 0
+		}
+		return sim
+	}
+	golden := build(1, false) // serial segmented kernel
+	golden.Run(50 * golden.Dt())
+	for _, workers := range []int{1, 2, 4, 7} {
+		sim := build(workers, true)
+		if workers > 1 && len(sim.fused.levels) < 2 {
+			t.Fatalf("level schedule degenerate: %d levels", len(sim.fused.levels))
+		}
+		sim.Run(50 * sim.Dt())
+		if sim.Steps() != golden.Steps() {
+			t.Fatalf("workers=%d: %d steps vs %d", workers, sim.Steps(), golden.Steps())
+		}
+		for i := range golden.state {
+			if sim.state[i] != golden.state[i] {
+				t.Fatalf("workers=%d: state %d diverges: %v vs %v",
+					workers, i, sim.state[i], golden.state[i])
+			}
+		}
+		for n := 0; n < golden.nl.NumNets(); n++ {
+			if sim.NetValue(Net(n)) != golden.NetValue(Net(n)) {
+				t.Fatalf("workers=%d: net %d diverges", workers, n)
+			}
+		}
+		if d1, d2 := sim.MaxIntegratorDrive(), golden.MaxIntegratorDrive(); d1 != d2 {
+			t.Fatalf("workers=%d: drive %v vs %v", workers, d1, d2)
+		}
+	}
+}
+
+// TestFusedSettlesIdentically runs the settle-and-sample pattern on all
+// three engines and requires identical SettleResults and states.
+func TestFusedSettlesIdentically(t *testing.T) {
+	run := func(eng Engine) (SettleResult, []float64) {
+		sim, err := NewSimulator(buildPoissonNetlist(t, 8, settleRHS), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.SetEngine(eng)
+		res := sim.RunUntilSettled(1e-4, 1.0, 0) // exercises DefaultCheckEvery
+		return res, append([]float64(nil), sim.state...)
+	}
+	refRes, refState := run(EngineReference)
+	if !refRes.Settled {
+		t.Fatalf("reference did not settle: %+v", refRes)
+	}
+	for _, eng := range []Engine{EngineCompiled, EngineFused} {
+		res, state := run(eng)
+		if res != refRes {
+			t.Fatalf("%v settle result %+v != reference %+v", eng, res, refRes)
+		}
+		for i := range refState {
+			if state[i] != refState[i] {
+				t.Fatalf("%v state %d diverges", eng, i)
+			}
+		}
+	}
+}
+
+// TestLUTNaNInput pins the NaN guard: a stimulus returning NaN reaches a
+// LUT without tripping the implementation-defined float→int conversion,
+// resolves to table index 0, and does so identically on every engine.
+func TestLUTNaNInput(t *testing.T) {
+	build := func(eng Engine) (*Simulator, *Block) {
+		nl, err := NewNetlist(Config{Bandwidth: 20e3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, out, d, u := nl.Net(), nl.Net(), nl.Net(), nl.Net()
+		nl.AddInput(in, func(float64) float64 { return math.NaN() })
+		nl.AddLUT(in, out, func(x float64) float64 { return 0.25 + 0.5*x })
+		nl.AddMultiplier(out, d, 0.5)
+		integ := nl.AddIntegrator(d, u, 0)
+		sim, err := NewSimulator(nl, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.SetEngine(eng)
+		return sim, integ
+	}
+	refSim, refInteg := build(EngineReference)
+	refSim.Run(10 * refSim.Dt())
+	refV, _ := refSim.IntegratorValue(refInteg)
+	if math.IsNaN(refV) {
+		t.Fatalf("NaN leaked through the LUT into the state")
+	}
+	for _, eng := range []Engine{EngineCompiled, EngineFused} {
+		sim, integ := build(eng)
+		sim.Run(10 * sim.Dt())
+		if v, _ := sim.IntegratorValue(integ); v != refV {
+			t.Fatalf("%v: state %v != reference %v", eng, v, refV)
+		}
+	}
+}
+
+// TestEngineParse covers the name round-trip and rejection.
+func TestEngineParse(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		want Engine
+	}{
+		{"", EngineAuto}, {"auto", EngineAuto},
+		{"interpreter", EngineReference}, {"reference", EngineReference},
+		{"compiled", EngineCompiled}, {"fused", EngineFused},
+	} {
+		got, err := ParseEngine(tc.name)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseEngine(%q) = (%v, %v), want %v", tc.name, got, err, tc.want)
+		}
+	}
+	if _, err := ParseEngine("vectorized"); err == nil {
+		t.Fatal("ParseEngine accepted an unknown engine")
+	}
+	if EngineFused.String() != "fused" || EngineReference.String() != "interpreter" {
+		t.Fatal("Engine.String names drifted from ParseEngine")
+	}
+}
+
+// TestSetReferenceEngineCompat pins the legacy switch's meaning: off must
+// select the compiled engine explicitly (not auto/fused), so pre-existing
+// compiled-engine benchmarks keep measuring the compiled engine.
+func TestSetReferenceEngineCompat(t *testing.T) {
+	nl, err := NewNetlist(Config{Bandwidth: 20e3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildDecay(nl, 1.0)
+	sim, err := NewSimulator(nl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.EngineSelected() != EngineFused {
+		t.Fatalf("default engine %v, want fused via auto", sim.EngineSelected())
+	}
+	sim.SetReferenceEngine(true)
+	if sim.EngineSelected() != EngineReference {
+		t.Fatalf("SetReferenceEngine(true) selected %v", sim.EngineSelected())
+	}
+	sim.SetReferenceEngine(false)
+	if sim.EngineSelected() != EngineCompiled {
+		t.Fatalf("SetReferenceEngine(false) selected %v, want compiled", sim.EngineSelected())
+	}
+}
+
+// TestFirstDriverFlags checks the lowering invariant the clear-free store
+// relies on: exactly one first-driver op per driven net, and it is the
+// earliest driver in stream order.
+func TestFirstDriverFlags(t *testing.T) {
+	sim, err := NewSimulator(buildPoissonNetlist(t, 4, benchRHS), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sim.prog
+	seen := map[int32]bool{}
+	for i := 0; i < p.nFast; i++ {
+		out := p.out[i]
+		if p.first[i] != !seen[out] {
+			t.Fatalf("op %d (net %d): first=%v but net already driven=%v", i, out, p.first[i], seen[out])
+		}
+		seen[out] = true
+	}
+	for i := p.nFast; i < len(p.kind); i++ {
+		if p.first[i] {
+			t.Fatalf("silent op %d flagged as first driver", i)
+		}
+	}
+}

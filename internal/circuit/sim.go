@@ -43,9 +43,16 @@ type Simulator struct {
 	effOff  []float64
 	effGain []float64
 	// prog is the compiled op-stream lowering of the netlist (see
-	// compiled.go); reference forces the original block-walk interpreter.
-	prog      *program
-	reference bool
+	// compiled.go); fused is its segmented / level-scheduled view (see
+	// fused.go). engine selects which kernel eval dispatches to.
+	prog   *program
+	fused  *fusedProg
+	engine Engine
+	// workers bounds the fused engine's level-parallel sharding;
+	// fusedMinOps is the fast-op count below which it stays serial
+	// (a var so tests can force the parallel path on small programs).
+	workers     int
+	fusedMinOps int
 	// valsDirty marks netVals stale relative to (time, state): stepH can
 	// otherwise reuse the post-step evaluation as the next step's k1 stage.
 	valsDirty bool
@@ -75,6 +82,9 @@ func NewSimulator(nl *Netlist, dt float64) (*Simulator, error) {
 		return nil, err
 	}
 	s.prog = s.lower()
+	s.workers = autoWorkers()
+	s.fusedMinOps = fusedParallelMinOps
+	s.fused = s.prog.buildFused(nl.nets, s.workers)
 	s.ReloadBlockParams()
 	if dt <= 0 {
 		dt = s.autoStep()
@@ -216,13 +226,16 @@ func (s *Simulator) ReloadBlockParams() {
 	s.valsDirty = true
 }
 
-// SetReferenceEngine selects the original block-walk interpreter instead
-// of the compiled op-stream engine. The two are bit-identical (enforced by
-// differential tests); the reference engine exists as the executable
-// specification and for benchmarking the compiled engine against.
+// SetReferenceEngine selects the original block-walk interpreter (on) or
+// the compiled op-stream engine (off). Kept for callers predating
+// SetEngine: off deliberately means EngineCompiled, not EngineAuto, so
+// existing compiled-engine benchmarks keep measuring what they claim.
 func (s *Simulator) SetReferenceEngine(on bool) {
-	s.reference = on
-	s.valsDirty = true
+	if on {
+		s.SetEngine(EngineReference)
+	} else {
+		s.SetEngine(EngineCompiled)
+	}
 }
 
 // Reset loads integrator initial conditions, rewinds time, and clears
@@ -267,18 +280,28 @@ func softSat(v, fs, sat float64) float64 {
 // eval computes all net values for the given state at time t. When record
 // is true it also latches overflow exceptions and updates peak trackers
 // (record is false during RK4 trial stages, which are not physical states).
-// It dispatches to the compiled op-stream engine unless the reference
-// block-walk interpreter was selected (SetReferenceEngine).
+// It dispatches on the selected engine (SetEngine): fused by default,
+// with the compiled op-stream and reference block-walk engines
+// selectable. Record-mode evaluations always take the full op walk —
+// peak/overflow latching visits every op regardless of engine.
 func (s *Simulator) eval(t float64, state []float64, record bool) {
-	if !s.reference && s.prog != nil {
-		if record {
-			s.prog.evalRecord(s, t, state)
-		} else {
-			s.prog.evalFast(s, t, state)
-		}
+	eng := s.engine
+	if eng == EngineAuto {
+		eng = EngineFused
+	}
+	if eng == EngineReference || s.prog == nil {
+		s.evalReference(t, state, record)
 		return
 	}
-	s.evalReference(t, state, record)
+	if record {
+		s.prog.evalRecord(s, t, state)
+		return
+	}
+	if eng == EngineFused && s.fused != nil {
+		s.fused.eval(s, t, state)
+		return
+	}
+	s.prog.evalFast(s, t, state)
 }
 
 // evalReference is the original block-walk interpreter: the executable
@@ -336,14 +359,7 @@ func (s *Simulator) evalReference(t float64, state []float64, record bool) {
 				emit(b, n, gf*in+off)
 			}
 		case KindLUT:
-			in := s.netVals[b.in[0]]
-			idx := int(math.Round((in + fs) / (2 * fs) * float64(len(b.Table)-1)))
-			if idx < 0 {
-				idx = 0
-			}
-			if idx >= len(b.Table) {
-				idx = len(b.Table) - 1
-			}
+			idx := lutIndex(s.netVals[b.in[0]], fs, len(b.Table))
 			emit(b, b.out[0], gf*b.Table[idx]+off)
 		}
 	}
@@ -354,7 +370,7 @@ func (s *Simulator) evalReference(t float64, state []float64, record bool) {
 // tmp = state + c·dst into the same pass. Callers must have evaluated
 // netVals for the state the derivatives belong to.
 func (s *Simulator) stage(dst, tmp []float64, c float64) {
-	if !s.reference && s.prog != nil {
+	if s.engine != EngineReference && s.prog != nil {
 		s.prog.stage(s, dst, tmp, c)
 		return
 	}
@@ -460,22 +476,36 @@ type SettleResult struct {
 	MaxDrive float64 // final max |integrator input| (du/dt / k)
 }
 
+// DefaultCheckEvery is the convergence-poll granularity, in integration
+// steps, that RunUntilSettled falls back to when the caller passes
+// checkEvery <= 0 (and the value core.SolveOptions.CheckEvery defaults
+// to).
+const DefaultCheckEvery = 16
+
 // RunUntilSettled advances until every integrator's input magnitude is at
 // most driveTol (i.e. ‖du/dt‖∞ ≤ k·driveTol) or maxTime elapses. The
-// convergence check runs every checkEvery steps. This is the "wait for
-// steady state, then sample" usage pattern of Section IV-A.
+// convergence check runs every checkEvery steps (DefaultCheckEvery when
+// <= 0). This is the "wait for steady state, then sample" usage pattern
+// of Section IV-A.
 func (s *Simulator) RunUntilSettled(driveTol, maxTime float64, checkEvery int) SettleResult {
 	if checkEvery <= 0 {
-		checkEvery = 16
+		checkEvery = DefaultCheckEvery
 	}
 	for s.time < maxTime {
 		for i := 0; i < checkEvery && s.time < maxTime; i++ {
 			s.Step()
 		}
-		if d := s.MaxIntegratorDrive(); d <= driveTol {
+		// One drive recomputation serves both the convergence check and a
+		// timed-out result.
+		d := s.MaxIntegratorDrive()
+		if d <= driveTol {
 			return SettleResult{Settled: true, Time: s.time, MaxDrive: d}
 		}
+		if s.time >= maxTime {
+			return SettleResult{Settled: false, Time: s.time, MaxDrive: d}
+		}
 	}
+	// Only reachable when maxTime had already elapsed on entry.
 	return SettleResult{Settled: false, Time: s.time, MaxDrive: s.MaxIntegratorDrive()}
 }
 

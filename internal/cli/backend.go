@@ -79,6 +79,10 @@ type SolveParams struct {
 	Bandwidth float64
 	// Calibrate runs the chip init sequence before solving.
 	Calibrate bool
+	// Engine names the simulation kernel for analog backends ("auto",
+	// "interpreter", "compiled", "fused"; empty = auto). Engines are
+	// bit-identical, so this changes speed, never answers.
+	Engine string
 	// Acc, if non-nil, is a pre-built accelerator the analog backends run
 	// on (the serve pool's warm chips); nil builds a chip sized by
 	// SpecFor. Digital backends ignore it.
@@ -157,7 +161,7 @@ func SolveSystem(ctx context.Context, backend string, a *la.CSR, b la.Vector, p 
 				return Outcome{}, fmt.Errorf("cli: building chip: %w", err)
 			}
 		}
-		opt := core.SolveOptions{Tolerance: p.Tol, Calibrate: p.Calibrate}
+		opt := core.SolveOptions{Tolerance: p.Tol, Calibrate: p.Calibrate, Engine: p.Engine}
 		var (
 			u     la.Vector
 			stats core.Stats
@@ -247,7 +251,7 @@ func SolveSystemBatch(ctx context.Context, backend string, a *la.CSR, rhs []la.V
 	if err != nil {
 		return nil, fmt.Errorf("cli: compiling batch matrix: %w", err)
 	}
-	opt := core.SolveOptions{Tolerance: p.Tol, Calibrate: p.Calibrate}
+	opt := core.SolveOptions{Tolerance: p.Tol, Calibrate: p.Calibrate, Engine: p.Engine}
 	var (
 		us    []la.Vector
 		stats []core.Stats

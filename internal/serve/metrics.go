@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -159,6 +160,14 @@ type Snapshot struct {
 	SessionCacheEvictions     int64 `json:"session_cache_evictions_total"`
 	SessionCacheInvalidations int64 `json:"session_cache_invalidations_total"`
 	SessionCacheResident      int   `json:"session_cache_resident"`
+
+	// Go runtime health: the fused engine's worker sharding and the pool's
+	// chip builds both show up here first when something leaks or churns.
+	Goroutines     int     `json:"goroutines"`
+	HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
+	HeapSysBytes   uint64  `json:"heap_sys_bytes"`
+	GCCycles       uint32  `json:"gc_cycles_total"`
+	GCPauseSeconds float64 `json:"gc_pause_seconds_total"`
 }
 
 // snapshot collects everything except the histogram (which only the text
@@ -201,6 +210,13 @@ func (m *Metrics) snapshot(queueDepth int, pool *Pool) Snapshot {
 			s.SessionCacheResident += c.Cached
 		}
 	}
+	s.Goroutines = runtime.NumGoroutine()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.HeapAllocBytes = ms.HeapAlloc
+	s.HeapSysBytes = ms.HeapSys
+	s.GCCycles = ms.NumGC
+	s.GCPauseSeconds = float64(ms.PauseTotalNs) / 1e9
 	return s
 }
 
@@ -237,6 +253,11 @@ func (m *Metrics) writeTo(w io.Writer, queueDepth int, pool *Pool) {
 	fmt.Fprintf(w, "# TYPE alad_session_cache_misses_total counter\nalad_session_cache_misses_total %d\n", s.SessionCacheMisses)
 	fmt.Fprintf(w, "# TYPE alad_session_cache_evictions_total counter\nalad_session_cache_evictions_total %d\n", s.SessionCacheEvictions)
 	fmt.Fprintf(w, "# TYPE alad_session_cache_invalidations_total counter\nalad_session_cache_invalidations_total %d\n", s.SessionCacheInvalidations)
+	fmt.Fprintf(w, "# TYPE alad_goroutines gauge\nalad_goroutines %d\n", s.Goroutines)
+	fmt.Fprintf(w, "# TYPE alad_heap_alloc_bytes gauge\nalad_heap_alloc_bytes %d\n", s.HeapAllocBytes)
+	fmt.Fprintf(w, "# TYPE alad_heap_sys_bytes gauge\nalad_heap_sys_bytes %d\n", s.HeapSysBytes)
+	fmt.Fprintf(w, "# TYPE alad_gc_cycles_total counter\nalad_gc_cycles_total %d\n", s.GCCycles)
+	fmt.Fprintf(w, "# TYPE alad_gc_pause_seconds_total counter\nalad_gc_pause_seconds_total %g\n", s.GCPauseSeconds)
 	fmt.Fprintf(w, "# TYPE alad_pool_builds_total counter\nalad_pool_builds_total %d\n", s.PoolBuilds)
 	fmt.Fprintf(w, "# TYPE alad_pool_calibrations_total counter\nalad_pool_calibrations_total %d\n", s.PoolCalibrations)
 	fmt.Fprint(w, "# TYPE alad_pool_chips_built gauge\n# TYPE alad_pool_chips_free gauge\n# TYPE alad_session_cache_resident gauge\n")

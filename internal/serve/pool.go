@@ -54,6 +54,12 @@ type PoolConfig struct {
 	// seven coefficients plus the bias path — enough for 3-D stencil
 	// rows; denser rows escalate to a larger class).
 	MulsPerMB int
+	// Engine names the simulation kernel every pooled chip runs on
+	// ("auto", "interpreter", "compiled", "fused"; empty = auto). All
+	// engines are bit-identical; this is the daemon's speed/debug knob.
+	Engine string
+	// SimWorkers bounds each chip's fused-engine worker pool (0 = auto).
+	SimWorkers int
 	// SkipCalibrate leaves chips untrimmed at build (tests only; real
 	// serving wants calibrated chips).
 	SkipCalibrate bool
@@ -188,6 +194,8 @@ func (p *Pool) classFor(dim int) int {
 func (p *Pool) specFor(class int) chip.Spec {
 	spec := chip.ScaledSpec(class, p.cfg.ADCBits, p.cfg.Bandwidth, p.cfg.MulsPerMB)
 	spec.FanoutsPerMB = 2
+	spec.Engine = p.cfg.Engine
+	spec.SimWorkers = p.cfg.SimWorkers
 	return spec
 }
 

@@ -9,6 +9,7 @@
 #   scripts/bench.sh 1       # BENCH_1.json: circuit hot-loop microbenchmarks
 #   scripts/bench.sh 3 10x   # BENCH_3.json: decomposition scaling
 #   scripts/bench.sh 4       # BENCH_4.json: session cache + batch solves
+#   scripts/bench.sh 5       # BENCH_5.json: fused vs compiled step kernel
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -32,8 +33,14 @@ case "$SUITE" in
 	BENCHTIME="${2:-20x}"
 	DESC="session cache + batch solves: warm vs cold pool checkout (configs/hits per op) and batch-of-16 vs 16 sequential sessions (rescales per op)"
 	;;
+5)
+	PKG=./internal/circuit
+	BENCH='(Eval|Step)(32|128)'
+	BENCHTIME="${2:-1s}"
+	DESC="fused kernel vs compiled op stream: eval and RK4 step on the fig8 Poisson netlist at 32x32 (serial) and 128x128 (level-parallel, 1/2/4 workers)"
+	;;
 *)
-	echo "bench.sh: unknown suite $SUITE (known: 1, 3, 4)" >&2
+	echo "bench.sh: unknown suite $SUITE (known: 1, 3, 4, 5)" >&2
 	exit 2
 	;;
 esac

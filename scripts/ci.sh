@@ -42,3 +42,9 @@ trap 'rm -rf "$BIN"' EXIT
 go build -o "$BIN/alad" ./cmd/alad
 go build -o "$BIN/alasolve" ./cmd/alasolve
 go run ./scripts/smoke -alad "$BIN/alad" -alasolve "$BIN/alasolve"
+
+# Engine equivalence: the fused kernel's parallel path is schedule-dependent
+# by construction (per-level worker chunks) but must stay bit-identical to
+# serial; -count=2 under -race shakes interleavings. The fuzz seed corpus
+# replays the checked-in differential cases through all three engines.
+go test -race -count=2 -run 'Fused|EngineEquivalence|Fuzz' ./internal/circuit
