@@ -40,6 +40,7 @@ func main() {
 		bandwidth = flag.Float64("bandwidth", 20e3, "analog bandwidth in Hz")
 		calibrate = flag.Bool("calibrate", false, "run the chip init calibration first")
 		engine    = flag.String("engine", "", "simulation kernel for local analog backends: auto | interpreter | compiled | fused (default auto)")
+		maxLanes  = flag.Int("max-lanes", 0, "batch mode: cap on lane-parallel right-hand sides per wave (0 = device limit, 1 = sequential); bit-identical at any width")
 		jobs      = flag.Int("j", 0, "decomposed backend: chips to fan block solves out over (default: one per block; local solves build max(j,2) chips)")
 		blockSize = flag.Int("block", 0, "decomposed backend: variables per block (default: auto)")
 		server    = flag.String("server", "", "alad daemon address: submit the solve remotely instead of solving in-process")
@@ -100,7 +101,14 @@ func main() {
 		if err != nil {
 			fail("%v", err)
 		}
-		solveBatch(a, rhs, *server, *backend, *tol, *deadline, *adcBits, *bandwidth, *calibrate, *engine, *quiet)
+		solveBatch(a, rhs, *server, *backend, *deadline, *quiet, cli.SolveParams{
+			Tol:       *tol,
+			ADCBits:   *adcBits,
+			Bandwidth: *bandwidth,
+			Calibrate: *calibrate,
+			Engine:    *engine,
+			MaxLanes:  *maxLanes,
+		})
 		return
 	}
 
@@ -142,7 +150,7 @@ func main() {
 // solveBatch runs the multi-RHS path — locally through one compiled
 // session, or remotely through POST /v1/solve/batch — and prints one
 // solution block per right-hand side.
-func solveBatch(a *la.CSR, rhs []la.Vector, server, backend string, tol float64, deadline time.Duration, adcBits int, bandwidth float64, calibrate bool, engine string, quiet bool) {
+func solveBatch(a *la.CSR, rhs []la.Vector, server, backend string, deadline time.Duration, quiet bool, p cli.SolveParams) {
 	type item struct {
 		u     la.Vector
 		extra string
@@ -150,7 +158,7 @@ func solveBatch(a *la.CSR, rhs []la.Vector, server, backend string, tol float64,
 	items := make([]item, 0, len(rhs))
 	var summary string
 	if server != "" {
-		req := serve.BatchSolveRequest{Backend: backend, N: a.Dim(), Tol: tol}
+		req := serve.BatchSolveRequest{Backend: backend, N: a.Dim(), Tol: p.Tol, MaxLanes: p.MaxLanes}
 		for i := 0; i < a.Dim(); i++ {
 			a.VisitRow(i, func(j int, v float64) {
 				req.A = append(req.A, serve.Entry{Row: i, Col: j, Val: v})
@@ -170,14 +178,15 @@ func solveBatch(a *la.CSR, rhs []la.Vector, server, backend string, tol float64,
 			ex := fmt.Sprintf("residual %.3e", it.Residual)
 			if s := it.Analog; s != nil {
 				ex += fmt.Sprintf(", analog time %.3e s, %d runs, %d refinements", s.AnalogSeconds, s.Runs, s.Refinements)
+				if s.Lanes > 1 {
+					ex += fmt.Sprintf(", %d lanes", s.Lanes)
+				}
 			}
 			items = append(items, item{u: la.Vector(it.U), extra: ex})
 		}
 		summary = fmt.Sprintf("%d rhs served by %s in %.1f ms", len(resp.Items), server, resp.ElapsedMs)
 	} else {
-		outs, err := cli.SolveSystemBatch(context.Background(), backend, a, rhs, cli.SolveParams{
-			Tol: tol, ADCBits: adcBits, Bandwidth: bandwidth, Calibrate: calibrate, Engine: engine,
-		})
+		outs, err := cli.SolveSystemBatch(context.Background(), backend, a, rhs, p)
 		if err != nil {
 			fail("%s: %v", backend, err)
 		}

@@ -54,6 +54,17 @@ type Chip struct {
 	conns   []conn
 	timeout uint32
 
+	// Lane-batched extension: staged lane count plus per-lane override
+	// registers. Overrides are allocated lazily per lane and hold NaN
+	// where a lane inherits the scalar register above — NaN can never be
+	// a programmed value (the range checks reject it), so it is a safe
+	// "unset" sentinel. Lane registers are parameters, not topology:
+	// committing them rides the in-place fast path.
+	lanes      int
+	laneGains  [][]float64 // [lane][multiplier]
+	laneICs    [][]float64 // [lane][integrator]
+	laneLevels [][]float64 // [lane][dac]
+
 	// Bench-side stimulus functions for the analog input pins; the ISA
 	// only gates them with setAnaInputEn (a real chip's input is a pin,
 	// not a register).
@@ -271,6 +282,86 @@ func (c *Chip) setAnaInputEn(idx int, enable bool) isa.Status {
 	return isa.StatusOK
 }
 
+// --- Lane-batched configuration ---
+
+// setLanes stages the lane count for the next commit. Staging a new
+// width clears every per-lane override: a lane program always starts
+// from the scalar registers and diverges lane by lane, which is what
+// lets the host reuse one matrix configuration across batch waves of
+// different widths.
+func (c *Chip) setLanes(n int) isa.Status {
+	if n < 0 || n > circuit.MaxLanes {
+		return isa.StatusExceeded
+	}
+	c.lanes = n
+	c.laneGains = nil
+	c.laneICs = nil
+	c.laneLevels = nil
+	c.state = stateUnconfigured
+	return isa.StatusOK
+}
+
+// laneReg returns lane's override slice in store, allocating it filled
+// with the NaN inherit-sentinel on first touch.
+func laneReg(store *[][]float64, lane, n int) []float64 {
+	for len(*store) <= lane {
+		*store = append(*store, nil)
+	}
+	if (*store)[lane] == nil {
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = math.NaN()
+		}
+		(*store)[lane] = s
+	}
+	return (*store)[lane]
+}
+
+func (c *Chip) setIntInitialLane(lane, idx int, v float64) isa.Status {
+	if lane < 0 || lane >= c.lanes {
+		return isa.StatusNoUnit
+	}
+	if idx < 0 || idx >= len(c.ics) {
+		return isa.StatusNoUnit
+	}
+	if math.Abs(v) > 1 || math.IsNaN(v) {
+		return isa.StatusExceeded
+	}
+	laneReg(&c.laneICs, lane, len(c.ics))[idx] = v
+	c.state = stateUnconfigured
+	return isa.StatusOK
+}
+
+func (c *Chip) setMulGainLane(lane, idx int, g float64) isa.Status {
+	if lane < 0 || lane >= c.lanes {
+		return isa.StatusNoUnit
+	}
+	if idx < 0 || idx >= len(c.gains) {
+		return isa.StatusNoUnit
+	}
+	if math.Abs(g) > c.spec.MaxGain || math.IsNaN(g) {
+		return isa.StatusExceeded
+	}
+	laneReg(&c.laneGains, lane, len(c.gains))[idx] = g
+	c.state = stateUnconfigured
+	return isa.StatusOK
+}
+
+func (c *Chip) setDacConstantLane(lane, idx int, v float64) isa.Status {
+	if lane < 0 || lane >= c.lanes {
+		return isa.StatusNoUnit
+	}
+	if idx < 0 || idx >= len(c.levels) {
+		return isa.StatusNoUnit
+	}
+	if math.Abs(v) > 1 || math.IsNaN(v) {
+		return isa.StatusExceeded
+	}
+	laneReg(&c.laneLevels, lane, len(c.levels))[idx] = v
+	c.state = stateUnconfigured
+	return isa.StatusOK
+}
+
 // cfgReset returns all configuration registers and crossbar connections to
 // power-on defaults. Calibration codes are silicon trim state and persist.
 func (c *Chip) cfgReset() isa.Status {
@@ -291,6 +382,10 @@ func (c *Chip) cfgReset() isa.Status {
 		c.inputEn[i] = false
 	}
 	c.timeout = 0
+	c.lanes = 0
+	c.laneGains = nil
+	c.laneICs = nil
+	c.laneLevels = nil
 	c.state = stateUnconfigured
 	c.topoDirty = true
 	return isa.StatusOK
@@ -328,8 +423,62 @@ func (c *Chip) commitParams() isa.Status {
 		blk.IC = c.ics[i]
 	}
 	c.sim.ReloadStep()
+	if st := c.applyLanes(); st != isa.StatusOK {
+		return st
+	}
 	c.sim.Reset()
 	c.state = stateReady
+	return isa.StatusOK
+}
+
+// applyLanes pushes the staged lane configuration into the live
+// simulator: the lane width, then every per-lane override (registers
+// still holding the NaN sentinel inherit the scalar register, which
+// ConfigureLanes has already replicated), then the per-lane integration
+// steps that depend on the lanes' final gain sets. The caller resets the
+// simulator afterwards so lane initial conditions and exception latches
+// load, exactly like the scalar commit.
+func (c *Chip) applyLanes() isa.Status {
+	if c.lanes == 0 {
+		if c.sim.Lanes() != 0 {
+			c.sim.ConfigureLanes(0)
+		}
+		return isa.StatusOK
+	}
+	if err := c.sim.ConfigureLanes(c.lanes); err != nil {
+		// Lane mode needs the fused engine and a noise-free spec.
+		return isa.StatusBadState
+	}
+	apply := func(store [][]float64, blocks []*circuit.Block,
+		set func(b *circuit.Block, lane int, v float64) error) isa.Status {
+		for lane := 0; lane < c.lanes && lane < len(store); lane++ {
+			regs := store[lane]
+			if regs == nil {
+				continue
+			}
+			for i, v := range regs {
+				if math.IsNaN(v) {
+					continue
+				}
+				if err := set(blocks[i], lane, v); err != nil {
+					// e.g. a lane gain aimed at a multiplier that the
+					// committed topology wired as a variable multiplier.
+					return isa.StatusBadArgs
+				}
+			}
+		}
+		return isa.StatusOK
+	}
+	if st := apply(c.laneGains, c.blocks[ClassMultiplier], c.sim.SetLaneGain); st != isa.StatusOK {
+		return st
+	}
+	if st := apply(c.laneLevels, c.blocks[ClassDAC], c.sim.SetLaneLevel); st != isa.StatusOK {
+		return st
+	}
+	if st := apply(c.laneICs, c.blocks[ClassIntegrator], c.sim.SetLaneIC); st != isa.StatusOK {
+		return st
+	}
+	c.sim.ReloadLaneSteps()
 	return isa.StatusOK
 }
 
@@ -446,6 +595,13 @@ func (c *Chip) rebuild() isa.Status {
 		sim.SetWorkers(c.spec.SimWorkers)
 	}
 	c.nl, c.sim, c.blocks = nl, sim, blocks
+	if st := c.applyLanes(); st != isa.StatusOK {
+		// Leave topoDirty set: the next commit retries the full rebuild.
+		return st
+	}
+	if c.lanes > 0 {
+		c.sim.Reset() // load lane initial conditions and latches
+	}
 	c.state = stateReady
 	c.topoDirty = false
 	c.rebuilds++
@@ -470,7 +626,15 @@ func (c *Chip) execStart() isa.Status {
 		return isa.StatusBadState
 	}
 	duration := float64(c.timeout) / c.spec.TimerHz
-	c.sim.Run(duration)
+	if c.sim.Lanes() > 0 {
+		// All lanes integrate concurrently: B solves cost one duration of
+		// analog time, which is the lane batching payoff.
+		if err := c.sim.RunLanes(duration); err != nil {
+			return isa.StatusInternal
+		}
+	} else {
+		c.sim.Run(duration)
+	}
 	c.analogTime += duration
 	c.state = stateHeld
 	return isa.StatusOK
@@ -490,9 +654,32 @@ func (c *Chip) readSerial() ([]byte, isa.Status) {
 	if c.state == stateUnconfigured {
 		return nil, isa.StatusBadState
 	}
+	if c.sim.Lanes() > 0 {
+		// In lane mode only the lanes integrate; the scalar read aliases
+		// lane 0 so single-RHS instruction sequences stay meaningful.
+		return c.readSerialLane(0)
+	}
 	out := make([]byte, 0, 2*c.counts.ADCs)
 	for _, adc := range c.blocks[ClassADC] {
 		code, _, err := c.sim.ReadADC(adc)
+		if err != nil {
+			return nil, isa.StatusInternal
+		}
+		out = isa.PutU16(out, uint16(code))
+	}
+	return out, isa.StatusOK
+}
+
+func (c *Chip) readSerialLane(lane int) ([]byte, isa.Status) {
+	if c.state == stateUnconfigured {
+		return nil, isa.StatusBadState
+	}
+	if lane < 0 || lane >= c.sim.Lanes() {
+		return nil, isa.StatusNoUnit
+	}
+	out := make([]byte, 0, 2*c.counts.ADCs)
+	for _, adc := range c.blocks[ClassADC] {
+		code, _, err := c.sim.ReadADCLane(adc, lane)
 		if err != nil {
 			return nil, isa.StatusInternal
 		}
@@ -511,6 +698,9 @@ func (c *Chip) analogAvg(idx, samples int) ([]byte, isa.Status) {
 	if samples <= 0 {
 		samples = 1
 	}
+	if c.sim.Lanes() > 0 {
+		return c.analogAvgLane(0, idx, samples)
+	}
 	// While held, integrators are frozen: sampling does not advance
 	// analog time, so the average is over converter readings only.
 	var sum float64
@@ -524,14 +714,59 @@ func (c *Chip) analogAvg(idx, samples int) ([]byte, isa.Status) {
 	return isa.PutF64(nil, sum/float64(samples)), isa.StatusOK
 }
 
+func (c *Chip) analogAvgLane(lane, idx, samples int) ([]byte, isa.Status) {
+	if c.state == stateUnconfigured {
+		return nil, isa.StatusBadState
+	}
+	if lane < 0 || lane >= c.sim.Lanes() {
+		return nil, isa.StatusNoUnit
+	}
+	if idx < 0 || idx >= c.counts.ADCs {
+		return nil, isa.StatusNoUnit
+	}
+	if samples <= 0 {
+		samples = 1
+	}
+	// Mirrors the scalar averaging loop exactly: lanes are held like the
+	// scalar datapath, so the sum-of-reads/samples expression is the same.
+	var sum float64
+	for i := 0; i < samples; i++ {
+		_, v, err := c.sim.ReadADCLane(c.blocks[ClassADC][idx], lane)
+		if err != nil {
+			return nil, isa.StatusInternal
+		}
+		sum += v
+	}
+	return isa.PutF64(nil, sum/float64(samples)), isa.StatusOK
+}
+
 func (c *Chip) readExp() ([]byte, isa.Status) {
 	if c.state == stateUnconfigured {
 		return nil, isa.StatusBadState
+	}
+	if c.sim.Lanes() > 0 {
+		return c.readExpLane(0)
 	}
 	bits := make([]bool, 0, c.NumUnits())
 	for _, cl := range unitOrder() {
 		for _, b := range c.blocks[cl] {
 			bits = append(bits, b.Overflowed)
+		}
+	}
+	return isa.PackBits(bits), isa.StatusOK
+}
+
+func (c *Chip) readExpLane(lane int) ([]byte, isa.Status) {
+	if c.state == stateUnconfigured {
+		return nil, isa.StatusBadState
+	}
+	if lane < 0 || lane >= c.sim.Lanes() {
+		return nil, isa.StatusNoUnit
+	}
+	bits := make([]bool, 0, c.NumUnits())
+	for _, cl := range unitOrder() {
+		for _, b := range c.blocks[cl] {
+			bits = append(bits, c.sim.LaneOverflowed(b, lane))
 		}
 	}
 	return isa.PackBits(bits), isa.StatusOK
@@ -614,6 +849,41 @@ func (c *Chip) Execute(op isa.Opcode, payload []byte) ([]byte, isa.Status) {
 		return c.readExp()
 	case isa.OpCfgReset:
 		return nil, c.cfgReset()
+	case isa.OpSetLanes:
+		if len(payload) != 2 {
+			return nil, isa.StatusBadArgs
+		}
+		return nil, c.setLanes(int(isa.GetU16(payload, 0)))
+	case isa.OpSetIntInitLane:
+		if len(payload) != 12 {
+			return nil, isa.StatusBadArgs
+		}
+		return nil, c.setIntInitialLane(int(isa.GetU16(payload, 0)), int(isa.GetU16(payload, 2)), isa.GetF64(payload, 4))
+	case isa.OpSetMulGainLane:
+		if len(payload) != 12 {
+			return nil, isa.StatusBadArgs
+		}
+		return nil, c.setMulGainLane(int(isa.GetU16(payload, 0)), int(isa.GetU16(payload, 2)), isa.GetF64(payload, 4))
+	case isa.OpSetDacConstLane:
+		if len(payload) != 12 {
+			return nil, isa.StatusBadArgs
+		}
+		return nil, c.setDacConstantLane(int(isa.GetU16(payload, 0)), int(isa.GetU16(payload, 2)), isa.GetF64(payload, 4))
+	case isa.OpReadSerialLane:
+		if len(payload) != 2 {
+			return nil, isa.StatusBadArgs
+		}
+		return c.readSerialLane(int(isa.GetU16(payload, 0)))
+	case isa.OpAnalogAvgLane:
+		if len(payload) != 6 {
+			return nil, isa.StatusBadArgs
+		}
+		return c.analogAvgLane(int(isa.GetU16(payload, 0)), int(isa.GetU16(payload, 2)), int(isa.GetU16(payload, 4)))
+	case isa.OpReadExpLane:
+		if len(payload) != 2 {
+			return nil, isa.StatusBadArgs
+		}
+		return c.readExpLane(int(isa.GetU16(payload, 0)))
 	default:
 		return nil, isa.StatusBadOpcode
 	}

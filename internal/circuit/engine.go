@@ -83,7 +83,7 @@ func (s *Simulator) SetWorkers(n int) {
 	}
 	s.workers = n
 	if s.fused != nil {
-		s.fused.rebuildChunks(n)
+		s.fused.rebuildChunks(n, s.chunkMinOps)
 	}
 }
 

@@ -44,15 +44,27 @@ import (
 // for any worker count. Cross-level reads are safe because an op in
 // phase L only reads nets that completed in phases < L.
 //
-// Record-mode evaluations (one per step, plus Reset) still run
-// evalRecord: peak/overflow latching walks every op anyway, so there is
-// nothing to fuse.
+// Scalar record-mode evaluations (one per step, plus Reset) still run
+// evalRecord: peak/overflow latching walks every op anyway, and fusing a
+// single lane saves nothing. The lane kernel is different: its record
+// pass (evalLanesRecord) runs the same fused segment walk as the trial
+// stages with the per-lane latches folded into each loop, because there
+// the per-op dispatch is amortised across B lanes — silent ops, which
+// the streams exclude, are latched by a short interpreted tail that only
+// reads completed nets.
 
 // fusedParallelMinOps is the fast-op count above which the fused engine
 // shards levels across workers. Below it the per-level synchronisation
 // costs more than the arithmetic it hides. Overridable per simulator in
 // tests (Simulator.fusedMinOps).
 const fusedParallelMinOps = 8192
+
+// fusedChunkMinOps is the minimum op count a parallel chunk must carry:
+// rebuildChunks lowers a level's effective worker count until every chunk
+// clears it, so sharding a tiny level can never cost more in wake-up and
+// wait latency than the arithmetic it hides. Overridable per simulator in
+// tests (Simulator.chunkMinOps).
+const fusedChunkMinOps = 1024
 
 // fusedOp is one materialised fast op: 24 bytes, only the fields the hot
 // loops touch. Meaning varies by segment opcode: for opConst, gain holds
@@ -77,10 +89,12 @@ type fusedSeg struct {
 // laid out per (level, worker chunk). aux[i] is op i's index in the
 // program's stream arrays (read during fold re-sync, and by LUT/input
 // loops to reach tables and stimulus blocks); in1[i] is the second input
-// net (read by varmul loops only).
+// net (read by varmul loops only); ids[i] is the owning block's ID (read
+// by the lane record pass to address the per-lane latch slots).
 type fusedStream struct {
 	ops      []fusedOp
 	aux, in1 []int32
+	ids      []int32
 	segs     []fusedSeg
 }
 
@@ -101,6 +115,7 @@ func (st *fusedStream) emit(p *program, i int32, store bool, minSeg int) {
 	st.ops = append(st.ops, fusedOp{in0: p.in0[i], out: p.out[i]})
 	st.aux = append(st.aux, i)
 	st.in1 = append(st.in1, p.in1[i])
+	st.ids = append(st.ids, int32(p.blk[i].ID))
 }
 
 // syncFold copies the program's folded constants (refreshed by refold on
@@ -127,6 +142,7 @@ func (st *fusedStream) reset() {
 	st.ops = st.ops[:0]
 	st.aux = st.aux[:0]
 	st.in1 = st.in1[:0]
+	st.ids = st.ids[:0]
 	st.segs = st.segs[:0]
 }
 
@@ -139,6 +155,13 @@ type fusedChunk struct{ segLo, segHi int32 }
 type fusedLevel struct {
 	lo, hi int32 // netOrder range of nets whose value completes this phase
 	chunks []fusedChunk
+	// fns holds one prebuilt dispatch closure per chunk beyond the first
+	// (chunk 0 always runs inline on the calling goroutine). The closures
+	// read their call parameters from the fusedProg's call* fields, so an
+	// eval spawns goroutines on stored func values and allocates nothing.
+	// laneFns is the lane-batched counterpart.
+	fns     []func()
+	laneFns []func()
 }
 
 // fusedProg is the segmented / level-scheduled view of a program.
@@ -166,11 +189,43 @@ type fusedProg struct {
 	par     fusedStream
 	levels  []fusedLevel
 	workers int // worker count the chunks were last built for
+	// multiChunk reports whether any level actually split: when the
+	// worker bound or the per-chunk op floor collapses every level to one
+	// chunk, eval stays on the serial stream and skips the per-level
+	// dispatch loop entirely.
+	multiChunk bool
+
+	// Pooled dispatch state for the parallel kernel. evalParallel
+	// publishes the per-call parameters here before spawning the stored
+	// chunk closures; the `go` statement orders the writes before the
+	// goroutine body, and wg.Wait orders the reads before the next eval
+	// can overwrite them.
+	wg        sync.WaitGroup
+	callSim   *Simulator
+	callT     float64
+	callState []float64
+	callTs    []float64 // lane kernel: per-lane evaluation times
+
+	// Lane kernel: materialised per-lane folded constants aligned with
+	// each stream's op positions ([streamPos*B+lane]), re-synced when the
+	// simulator's laneProg bumps its fold generation or changes width.
+	// laneSerialUni/laneParUni mark ops whose folded constants are equal
+	// across every lane (all of them, in a batch that diverges only the
+	// right-hand sides), so the hot loops read one gain instead of
+	// streaming B copies. laneSerialCraw carries the per-lane opConst raw
+	// values for the serial stream; only the record pass reads it.
+	laneSerialG    []float64
+	laneParG       []float64
+	laneSerialUni  []bool
+	laneParUni     []bool
+	laneSerialCraw []float64
+	syncedLaneGen  uint64
+	laneB          int
 }
 
 // buildFused computes the level schedule and the materialised streams
 // for p's fast region. nNets is the netlist's net count.
-func (p *program) buildFused(nNets, workers int) *fusedProg {
+func (p *program) buildFused(nNets, workers, minChunkOps int) *fusedProg {
 	f := &fusedProg{p: p}
 
 	// Topological levels. The fast stream is ordered sources-first then
@@ -265,7 +320,7 @@ func (p *program) buildFused(nNets, workers int) *fusedProg {
 		}
 	}
 
-	f.rebuildChunks(workers) // also syncs folded constants
+	f.rebuildChunks(workers, minChunkOps) // also syncs folded constants
 	return f
 }
 
@@ -274,18 +329,25 @@ func (p *program) buildFused(nNets, workers int) *fusedProg {
 // chunk's ops as branch-free segments: one store per net (grouped by
 // opcode — stores hit distinct nets, so their relative order is free),
 // then the remaining drivers in global stream order, which preserves
-// every net's accumulation order. Chunk boundaries change with the
-// worker bound; per-net summation order does not.
-func (f *fusedProg) rebuildChunks(workers int) {
+// every net's accumulation order. minChunkOps floors the op count per
+// chunk: a level too small to give every worker that many ops is split
+// across fewer workers (down to one, i.e. no split at all). Chunk
+// boundaries change with the worker bound and the floor; per-net
+// summation order does not, so results stay bit-identical for any
+// requested worker count.
+func (f *fusedProg) rebuildChunks(workers, minChunkOps int) {
 	if workers < 1 {
 		workers = 1
 	}
 	f.workers = workers
 	f.par.reset()
+	f.multiChunk = false
 	var stores, adds []int32
 	for li := range f.levels {
 		lv := &f.levels[li]
 		lv.chunks = lv.chunks[:0]
+		lv.fns = lv.fns[:0]
+		lv.laneFns = lv.laneFns[:0]
 		nets := lv.hi - lv.lo
 		if nets <= 0 {
 			continue
@@ -295,6 +357,14 @@ func (f *fusedProg) rebuildChunks(workers int) {
 			w = nets
 		}
 		totalOps := f.opStart[lv.hi] - f.opStart[lv.lo]
+		if minChunkOps > 0 {
+			if maxW := totalOps / int32(minChunkOps); w > maxW {
+				w = maxW
+				if w < 1 {
+					w = 1
+				}
+			}
+		}
 		target := (totalOps + w - 1) / w
 		if target < 1 {
 			target = 1
@@ -335,6 +405,20 @@ func (f *fusedProg) rebuildChunks(workers int) {
 			lv.chunks = append(lv.chunks, fusedChunk{segLo: segLo, segHi: int32(len(f.par.segs))})
 			lo = hi
 		}
+		if len(lv.chunks) > 1 {
+			f.multiChunk = true
+			for _, c := range lv.chunks[1:] {
+				c := c
+				lv.fns = append(lv.fns, func() {
+					defer f.wg.Done()
+					f.runSegs(f.callSim, f.callT, f.callState, &f.par, f.par.segs[c.segLo:c.segHi])
+				})
+				lv.laneFns = append(lv.laneFns, func() {
+					defer f.wg.Done()
+					f.runSegsLanes(f.callSim, f.callTs, f.callState, &f.par, f.par.segs[c.segLo:c.segHi], f.laneParG, f.laneParUni, f.laneB)
+				})
+			}
+		}
 	}
 	f.syncFold()
 }
@@ -352,7 +436,7 @@ func (f *fusedProg) eval(s *Simulator, t float64, state []float64) {
 	if f.syncedGen != f.p.foldGen {
 		f.syncFold()
 	}
-	if s.workers > 1 && f.p.nFast >= s.fusedMinOps && len(f.levels) > 0 {
+	if s.workers > 1 && f.p.nFast >= s.fusedMinOps && f.multiChunk {
 		f.evalParallel(s, t, state)
 		return
 	}
@@ -361,32 +445,29 @@ func (f *fusedProg) eval(s *Simulator, t float64, state []float64) {
 
 // evalParallel runs one phase per topological level, sharding the level's
 // nets across workers; every worker runs the same branch-free segment
-// loops as the serial kernel, just over its own chunk of the stream.
-// Goroutines are spawned per phase (a handful per eval); at the program
-// sizes that reach this path each phase carries thousands of ops, so the
-// spawn cost is noise.
+// loops as the serial kernel, just over its own chunk of the stream. The
+// per-chunk closures are prebuilt by rebuildChunks and read their call
+// parameters from the call* fields, so the only per-eval work here is the
+// goroutine spawns themselves — no allocation at any worker count.
 func (f *fusedProg) evalParallel(s *Simulator, t float64, state []float64) {
-	var wg sync.WaitGroup
+	f.callSim, f.callT, f.callState = s, t, state
 	for li := range f.levels {
-		chunks := f.levels[li].chunks
+		lv := &f.levels[li]
+		chunks := lv.chunks
 		if len(chunks) == 0 {
 			continue
 		}
-		if len(chunks) == 1 {
-			c := chunks[0]
-			f.runSegs(s, t, state, &f.par, f.par.segs[c.segLo:c.segHi])
-			continue
-		}
-		wg.Add(len(chunks) - 1)
-		for _, c := range chunks[1:] {
-			go func(c fusedChunk) {
-				defer wg.Done()
-				f.runSegs(s, t, state, &f.par, f.par.segs[c.segLo:c.segHi])
-			}(c)
+		if len(chunks) > 1 {
+			f.wg.Add(len(chunks) - 1)
+			for _, fn := range lv.fns {
+				go fn()
+			}
 		}
 		c := chunks[0]
 		f.runSegs(s, t, state, &f.par, f.par.segs[c.segLo:c.segHi])
-		wg.Wait()
+		if len(chunks) > 1 {
+			f.wg.Wait()
+		}
 	}
 }
 
@@ -523,6 +604,712 @@ func (f *fusedProg) runSegs(s *Simulator, t float64, state []float64, all *fused
 					nv[o.out] = 0 + v
 				} else {
 					nv[o.out] += v
+				}
+			}
+		}
+	}
+}
+
+// syncFoldLanes materialises a stream's per-lane folded constants from
+// the simulator's laneProg: laneG[pos*B+lane] is op pos's lane-l folded
+// gain (the saturated constant for opConst), exactly mirroring how
+// syncFold fills ops[pos].gain from the scalar fold. uni[pos] marks ops
+// whose B folded gains are identical — the common case for everything
+// but DACs when a batch diverges only its right-hand sides — letting the
+// hot loops broadcast one load instead of streaming B.
+func (st *fusedStream) syncFoldLanes(lp *laneProg, laneG []float64, uni []bool) ([]float64, []bool) {
+	B := lp.lanes
+	need := len(st.ops) * B
+	if cap(laneG) < need {
+		laneG = make([]float64, need)
+	} else {
+		laneG = laneG[:need]
+	}
+	if cap(uni) < len(st.ops) {
+		uni = make([]bool, len(st.ops))
+	} else {
+		uni = uni[:len(st.ops)]
+	}
+	for i := range st.ops {
+		a := int(st.aux[i])
+		src := lp.gain[a*B : (a+1)*B]
+		copy(laneG[i*B:(i+1)*B], src)
+		u := true
+		for l := 1; l < B; l++ {
+			if src[l] != src[0] {
+				u = false
+				break
+			}
+		}
+		uni[i] = u
+	}
+	return laneG, uni
+}
+
+// syncFoldLanesCraw materialises the per-lane opConst raw (pre-saturation)
+// values aligned with the stream. Only opConst positions are filled — the
+// record pass is the sole reader and touches nothing else.
+func (st *fusedStream) syncFoldLanesCraw(lp *laneProg, craw []float64) []float64 {
+	B := lp.lanes
+	need := len(st.ops) * B
+	if cap(craw) < need {
+		craw = make([]float64, need)
+	} else {
+		craw = craw[:need]
+	}
+	for _, sg := range st.segs {
+		if sg.op != opConst {
+			continue
+		}
+		for i := int(sg.start); i < int(sg.end); i++ {
+			a := int(st.aux[i])
+			copy(craw[i*B:(i+1)*B], lp.craw[a*B:(a+1)*B])
+		}
+	}
+	return craw
+}
+
+// syncLanes brings the fused kernel's materialised lane state current with
+// the simulator's scalar fold and lane fold generations, returning the
+// lane width. Shared by the fast and record lane entry points.
+func (f *fusedProg) syncLanes(s *Simulator) int {
+	if f.syncedGen != f.p.foldGen {
+		f.syncFold()
+	}
+	lp := s.lprog
+	if f.syncedLaneGen != lp.foldGen || f.laneB != lp.lanes {
+		f.laneSerialG, f.laneSerialUni = f.serial.syncFoldLanes(lp, f.laneSerialG, f.laneSerialUni)
+		f.laneParG, f.laneParUni = f.par.syncFoldLanes(lp, f.laneParG, f.laneParUni)
+		f.laneSerialCraw = f.serial.syncFoldLanesCraw(lp, f.laneSerialCraw)
+		f.syncedLaneGen = lp.foldGen
+		f.laneB = lp.lanes
+	}
+	return lp.lanes
+}
+
+// evalLanes is the lane-batched fast evaluation: the fused segment walk
+// with an inner loop streaming B lanes per op record. Dispatches to the
+// level-parallel kernel on the same schedule as the scalar eval, with
+// the op threshold scaled by the lane width (lanes multiply the work per
+// chunk, not the synchronisation cost).
+func (f *fusedProg) evalLanes(s *Simulator, ts, state []float64) {
+	B := f.syncLanes(s)
+	if s.workers > 1 && f.p.nFast*B >= s.fusedMinOps && f.multiChunk {
+		f.evalLanesParallel(s, ts, state)
+		return
+	}
+	f.runSegsLanes(s, ts, state, &f.serial, f.serial.segs, f.laneSerialG, f.laneSerialUni, B)
+}
+
+// evalLanesParallel is evalParallel for the lane kernel: the same
+// prebuilt-closure dispatch, with each chunk streaming all B lanes of
+// its nets. Chunks still cover disjoint net sets, so workers write
+// disjoint laneNets regions for every lane.
+func (f *fusedProg) evalLanesParallel(s *Simulator, ts, state []float64) {
+	f.callSim, f.callTs, f.callState = s, ts, state
+	for li := range f.levels {
+		lv := &f.levels[li]
+		chunks := lv.chunks
+		if len(chunks) == 0 {
+			continue
+		}
+		if len(chunks) > 1 {
+			f.wg.Add(len(chunks) - 1)
+			for _, fn := range lv.laneFns {
+				go fn()
+			}
+		}
+		c := chunks[0]
+		f.runSegsLanes(s, ts, state, &f.par, f.par.segs[c.segLo:c.segHi], f.laneParG, f.laneParUni, f.laneB)
+		if len(chunks) > 1 {
+			f.wg.Wait()
+		}
+	}
+}
+
+// runSegsLanes executes a run of segments over all B lanes: the scalar
+// runSegs loops with an inner lane dimension. Per-lane constants come
+// from laneG (aligned with the stream's op positions); offsets are
+// physical and shared; ops marked uniform in uni broadcast one gain load
+// across the lane loop instead of streaming B identical copies — the
+// value is the same, so lanes stay bit-identical either way. Every
+// lane's per-net accumulation order is the scalar stream order, so each
+// lane is bit-identical to a scalar run with that lane's parameters.
+func (f *fusedProg) runSegsLanes(s *Simulator, ts, state []float64, all *fusedStream, segs []fusedSeg, laneG []float64, uni []bool, B int) {
+	p := f.p
+	fs := s.nl.cfg.FullScale
+	sat := s.nl.cfg.SatLevel
+	nv := s.laneNets
+	for _, sg := range segs {
+		ops := all.ops[sg.start:sg.end]
+		lg := laneG[int(sg.start)*B : int(sg.end)*B]
+		un := uni[sg.start:sg.end]
+		switch {
+		case sg.op == opConst && sg.store:
+			for i := range ops {
+				o := &ops[i]
+				dst := nv[int(o.out)*B : int(o.out)*B+B]
+				src := lg[i*B : i*B+B]
+				for l := range dst {
+					dst[l] = 0 + src[l]
+				}
+			}
+		case sg.op == opConst:
+			for i := range ops {
+				o := &ops[i]
+				dst := nv[int(o.out)*B : int(o.out)*B+B]
+				src := lg[i*B : i*B+B]
+				for l := range dst {
+					dst[l] += src[l]
+				}
+			}
+		case sg.op == opState && sg.store:
+			i0 := 0
+			if laneAVX && B == 16 {
+				i0 = laneSegState16(&ops[0], len(ops), &nv[0], &state[0], fs, true)
+			}
+			for i := i0; i < len(ops); i++ {
+				o := &ops[i]
+				dst := nv[int(o.out)*B : int(o.out)*B+B]
+				src := state[int(o.in0)*B : int(o.in0)*B+B]
+				for l := range dst {
+					v := src[l]
+					if math.Abs(v) > fs { // one predictable branch; NaN passes through
+						if v > fs {
+							v = fs + (sat-fs)*math.Tanh((v-fs)/(sat-fs))
+						} else {
+							v = -fs - (sat-fs)*math.Tanh((-v-fs)/(sat-fs))
+						}
+					}
+					dst[l] = 0 + v
+				}
+			}
+		case sg.op == opState:
+			i0 := 0
+			if laneAVX && B == 16 {
+				i0 = laneSegState16(&ops[0], len(ops), &nv[0], &state[0], fs, false)
+			}
+			for i := i0; i < len(ops); i++ {
+				o := &ops[i]
+				dst := nv[int(o.out)*B : int(o.out)*B+B]
+				src := state[int(o.in0)*B : int(o.in0)*B+B]
+				for l := range dst {
+					v := src[l]
+					if math.Abs(v) > fs { // one predictable branch; NaN passes through
+						if v > fs {
+							v = fs + (sat-fs)*math.Tanh((v-fs)/(sat-fs))
+						} else {
+							v = -fs - (sat-fs)*math.Tanh((-v-fs)/(sat-fs))
+						}
+					}
+					dst[l] += v
+				}
+			}
+		case sg.op == opInput:
+			auxs := all.aux[sg.start:sg.end]
+			for i := range ops {
+				o := &ops[i]
+				fn := p.blk[auxs[i]].Stimulus
+				dst := nv[int(o.out)*B : int(o.out)*B+B]
+				for l := range dst {
+					var v float64
+					if fn != nil {
+						v = fn(ts[l])
+					}
+					if math.Abs(v) > fs {
+						if v > fs {
+							v = fs + (sat-fs)*math.Tanh((v-fs)/(sat-fs))
+						} else {
+							v = -fs - (sat-fs)*math.Tanh((-v-fs)/(sat-fs))
+						}
+					}
+					if sg.store {
+						dst[l] = 0 + v
+					} else {
+						dst[l] += v
+					}
+				}
+			}
+		case sg.op == opLinear && sg.store:
+			i0 := 0
+			if laneAVX && B == 16 {
+				i0 = laneSegLin16(&ops[0], len(ops), &nv[0], &lg[0], &un[0], fs, true)
+			}
+			for i := i0; i < len(ops); i++ {
+				o := &ops[i]
+				dst := nv[int(o.out)*B : int(o.out)*B+B]
+				src := nv[int(o.in0)*B : int(o.in0)*B+B]
+				off := o.off
+				if un[i] {
+					g0 := lg[i*B]
+					for l := range dst {
+						v := g0*src[l] + off
+						if math.Abs(v) > fs { // one predictable branch; NaN passes through
+							if v > fs {
+								v = fs + (sat-fs)*math.Tanh((v-fs)/(sat-fs))
+							} else {
+								v = -fs - (sat-fs)*math.Tanh((-v-fs)/(sat-fs))
+							}
+						}
+						dst[l] = 0 + v
+					}
+					continue
+				}
+				g := lg[i*B : i*B+B]
+				for l := range dst {
+					v := g[l]*src[l] + off
+					if math.Abs(v) > fs { // one predictable branch; NaN passes through
+						if v > fs {
+							v = fs + (sat-fs)*math.Tanh((v-fs)/(sat-fs))
+						} else {
+							v = -fs - (sat-fs)*math.Tanh((-v-fs)/(sat-fs))
+						}
+					}
+					dst[l] = 0 + v
+				}
+			}
+		case sg.op == opLinear:
+			i0 := 0
+			if laneAVX && B == 16 {
+				i0 = laneSegLin16(&ops[0], len(ops), &nv[0], &lg[0], &un[0], fs, false)
+			}
+			for i := i0; i < len(ops); i++ {
+				o := &ops[i]
+				dst := nv[int(o.out)*B : int(o.out)*B+B]
+				src := nv[int(o.in0)*B : int(o.in0)*B+B]
+				off := o.off
+				if un[i] {
+					g0 := lg[i*B]
+					for l := range dst {
+						v := g0*src[l] + off
+						if math.Abs(v) > fs { // one predictable branch; NaN passes through
+							if v > fs {
+								v = fs + (sat-fs)*math.Tanh((v-fs)/(sat-fs))
+							} else {
+								v = -fs - (sat-fs)*math.Tanh((-v-fs)/(sat-fs))
+							}
+						}
+						dst[l] += v
+					}
+					continue
+				}
+				g := lg[i*B : i*B+B]
+				for l := range dst {
+					v := g[l]*src[l] + off
+					if math.Abs(v) > fs { // one predictable branch; NaN passes through
+						if v > fs {
+							v = fs + (sat-fs)*math.Tanh((v-fs)/(sat-fs))
+						} else {
+							v = -fs - (sat-fs)*math.Tanh((-v-fs)/(sat-fs))
+						}
+					}
+					dst[l] += v
+				}
+			}
+		case sg.op == opVarMul:
+			in1s := all.in1[sg.start:sg.end]
+			for i := range ops {
+				o := &ops[i]
+				dst := nv[int(o.out)*B : int(o.out)*B+B]
+				src0 := nv[int(o.in0)*B : int(o.in0)*B+B]
+				src1 := nv[int(in1s[i])*B : int(in1s[i])*B+B]
+				g := lg[i*B : i*B+B]
+				off := o.off
+				for l := range dst {
+					v := g[l]*(src0[l]*src1[l]/fs) + off
+					if math.Abs(v) > fs {
+						if v > fs {
+							v = fs + (sat-fs)*math.Tanh((v-fs)/(sat-fs))
+						} else {
+							v = -fs - (sat-fs)*math.Tanh((-v-fs)/(sat-fs))
+						}
+					}
+					if sg.store {
+						dst[l] = 0 + v
+					} else {
+						dst[l] += v
+					}
+				}
+			}
+		case sg.op == opLUT:
+			auxs := all.aux[sg.start:sg.end]
+			for i := range ops {
+				o := &ops[i]
+				tab := p.tab[auxs[i]]
+				dst := nv[int(o.out)*B : int(o.out)*B+B]
+				src := nv[int(o.in0)*B : int(o.in0)*B+B]
+				g := lg[i*B : i*B+B]
+				off := o.off
+				for l := range dst {
+					idx := lutIndex(src[l], fs, len(tab))
+					v := g[l]*tab[idx] + off
+					if math.Abs(v) > fs {
+						if v > fs {
+							v = fs + (sat-fs)*math.Tanh((v-fs)/(sat-fs))
+						} else {
+							v = -fs - (sat-fs)*math.Tanh((-v-fs)/(sat-fs))
+						}
+					}
+					if sg.store {
+						dst[l] = 0 + v
+					} else {
+						dst[l] += v
+					}
+				}
+			}
+		}
+	}
+}
+
+// evalLanesRecord is the lane-batched record-mode evaluation: the fused
+// segment walk with the physical bookkeeping — per-lane peak tracking
+// and overflow latching on every op's raw (pre-saturation) value —
+// folded into each loop, then an interpreted tail over the silent ops.
+// Silent ops read only completed nets (lower moves them past every
+// driver), and latching is order-independent, so streaming the fast
+// region first is value- and latch-identical to the compiled walk the
+// scalar engines use. Always serial: it runs once per lockstep tick, the
+// same budget the scalar engines give evalRecord.
+func (f *fusedProg) evalLanesRecord(s *Simulator, ts, state []float64) {
+	B := f.syncLanes(s)
+	f.runSegsLanesRecord(s, ts, state, &f.serial, f.serial.segs, f.laneSerialG, f.laneSerialCraw, f.laneSerialUni, B)
+
+	// Silent tail: compute each op's per-lane raw from the finished nets
+	// and latch it; nothing is driven.
+	p := f.p
+	lp := s.lprog
+	fs := s.nl.cfg.FullScale
+	ovThresh := fs * (1 + 1e-12)
+	nv := s.laneNets
+	for i := p.nFast; i < len(p.kind); i++ {
+		id := p.blk[i].ID
+		pk := s.lanePeak[id*B : id*B+B]
+		ov := s.laneOver[id*B : id*B+B]
+		for l := 0; l < B; l++ {
+			var raw float64
+			switch p.kind[i] {
+			case opConst:
+				raw = lp.craw[i*B+l]
+			case opState:
+				raw = state[int(p.in0[i])*B+l]
+			case opInput:
+				if fn := p.blk[i].Stimulus; fn != nil {
+					raw = fn(ts[l])
+				}
+			case opLinear:
+				raw = lp.gain[i*B+l]*nv[int(p.in0[i])*B+l] + p.off[i]
+			case opVarMul:
+				raw = lp.gain[i*B+l]*(nv[int(p.in0[i])*B+l]*nv[int(p.in1[i])*B+l]/fs) + p.off[i]
+			case opLUT:
+				tab := p.tab[i]
+				idx := lutIndex(nv[int(p.in0[i])*B+l], fs, len(tab))
+				raw = lp.gain[i*B+l]*tab[idx] + p.off[i]
+			}
+			if a := math.Abs(raw); a > pk[l] {
+				pk[l] = a
+			}
+			if math.Abs(raw) > ovThresh {
+				ov[l] = true
+			}
+		}
+	}
+}
+
+// runSegsLanesRecord is runSegsLanes with the record-mode bookkeeping in
+// every loop: each op's raw value updates the owning block's per-lane
+// peak tracker and overflow latch before saturation. Raw values depend
+// only on completed input nets, so latch results are identical to the
+// compiled-order walk regardless of the phase-major reordering. opConst
+// values come pre-saturated from the lane fold (laneG); their raws come
+// from laneCraw, exactly as the scalar fold keeps craw beside cval.
+func (f *fusedProg) runSegsLanesRecord(s *Simulator, ts, state []float64, all *fusedStream, segs []fusedSeg, laneG, laneCraw []float64, uni []bool, B int) {
+	p := f.p
+	fs := s.nl.cfg.FullScale
+	sat := s.nl.cfg.SatLevel
+	ovThresh := fs * (1 + 1e-12)
+	nv := s.laneNets
+	lanePeak := s.lanePeak
+	laneOver := s.laneOver
+	for _, sg := range segs {
+		ops := all.ops[sg.start:sg.end]
+		ids := all.ids[sg.start:sg.end]
+		lg := laneG[int(sg.start)*B : int(sg.end)*B]
+		un := uni[sg.start:sg.end]
+		switch {
+		case sg.op == opConst:
+			cr := laneCraw[int(sg.start)*B : int(sg.end)*B]
+			for i := range ops {
+				o := &ops[i]
+				id := int(ids[i])
+				dst := nv[int(o.out)*B : int(o.out)*B+B]
+				cv := lg[i*B : i*B+B]
+				raws := cr[i*B : i*B+B]
+				pk := lanePeak[id*B : id*B+B]
+				ov := laneOver[id*B : id*B+B]
+				for l := range dst {
+					a := math.Abs(raws[l])
+					if a > pk[l] {
+						pk[l] = a
+					}
+					if a > ovThresh {
+						ov[l] = true
+					}
+					if sg.store {
+						dst[l] = 0 + cv[l]
+					} else {
+						dst[l] += cv[l]
+					}
+				}
+			}
+		case sg.op == opState:
+			i0 := 0
+			if laneAVX && B == 16 {
+				i0 = laneSegState16Rec(&ops[0], &ids[0], len(ops), &nv[0], &state[0], &lanePeak[0], fs, sg.store)
+			}
+			for i := i0; i < len(ops); i++ {
+				o := &ops[i]
+				id := int(ids[i])
+				dst := nv[int(o.out)*B : int(o.out)*B+B]
+				src := state[int(o.in0)*B : int(o.in0)*B+B]
+				pk := lanePeak[id*B : id*B+B]
+				ov := laneOver[id*B : id*B+B]
+				for l := range dst {
+					v := src[l]
+					a := math.Abs(v)
+					if a > pk[l] {
+						pk[l] = a
+					}
+					if a > ovThresh {
+						ov[l] = true
+					}
+					if a > fs { // NaN skips saturation, as in the scalar walk
+						if v > fs {
+							v = fs + (sat-fs)*math.Tanh((v-fs)/(sat-fs))
+						} else {
+							v = -fs - (sat-fs)*math.Tanh((-v-fs)/(sat-fs))
+						}
+					}
+					if sg.store {
+						dst[l] = 0 + v
+					} else {
+						dst[l] += v
+					}
+				}
+			}
+		case sg.op == opInput:
+			auxs := all.aux[sg.start:sg.end]
+			for i := range ops {
+				o := &ops[i]
+				id := int(ids[i])
+				fn := p.blk[auxs[i]].Stimulus
+				dst := nv[int(o.out)*B : int(o.out)*B+B]
+				pk := lanePeak[id*B : id*B+B]
+				ov := laneOver[id*B : id*B+B]
+				for l := range dst {
+					var v float64
+					if fn != nil {
+						v = fn(ts[l])
+					}
+					a := math.Abs(v)
+					if a > pk[l] {
+						pk[l] = a
+					}
+					if a > ovThresh {
+						ov[l] = true
+					}
+					if a > fs {
+						if v > fs {
+							v = fs + (sat-fs)*math.Tanh((v-fs)/(sat-fs))
+						} else {
+							v = -fs - (sat-fs)*math.Tanh((-v-fs)/(sat-fs))
+						}
+					}
+					if sg.store {
+						dst[l] = 0 + v
+					} else {
+						dst[l] += v
+					}
+				}
+			}
+		case sg.op == opLinear && sg.store:
+			i0 := 0
+			if laneAVX && B == 16 {
+				i0 = laneSegLin16Rec(&ops[0], &ids[0], len(ops), &nv[0], &lg[0], &un[0], &lanePeak[0], fs, true)
+			}
+			for i := i0; i < len(ops); i++ {
+				o := &ops[i]
+				id := int(ids[i])
+				dst := nv[int(o.out)*B : int(o.out)*B+B]
+				src := nv[int(o.in0)*B : int(o.in0)*B+B]
+				pk := lanePeak[id*B : id*B+B]
+				ov := laneOver[id*B : id*B+B]
+				off := o.off
+				if un[i] {
+					g0 := lg[i*B]
+					for l := range dst {
+						v := g0*src[l] + off
+						a := math.Abs(v)
+						if a > pk[l] {
+							pk[l] = a
+						}
+						if a > ovThresh {
+							ov[l] = true
+						}
+						if a > fs {
+							if v > fs {
+								v = fs + (sat-fs)*math.Tanh((v-fs)/(sat-fs))
+							} else {
+								v = -fs - (sat-fs)*math.Tanh((-v-fs)/(sat-fs))
+							}
+						}
+						dst[l] = 0 + v
+					}
+					continue
+				}
+				g := lg[i*B : i*B+B]
+				for l := range dst {
+					v := g[l]*src[l] + off
+					a := math.Abs(v)
+					if a > pk[l] {
+						pk[l] = a
+					}
+					if a > ovThresh {
+						ov[l] = true
+					}
+					if a > fs {
+						if v > fs {
+							v = fs + (sat-fs)*math.Tanh((v-fs)/(sat-fs))
+						} else {
+							v = -fs - (sat-fs)*math.Tanh((-v-fs)/(sat-fs))
+						}
+					}
+					dst[l] = 0 + v
+				}
+			}
+		case sg.op == opLinear:
+			i0 := 0
+			if laneAVX && B == 16 {
+				i0 = laneSegLin16Rec(&ops[0], &ids[0], len(ops), &nv[0], &lg[0], &un[0], &lanePeak[0], fs, false)
+			}
+			for i := i0; i < len(ops); i++ {
+				o := &ops[i]
+				id := int(ids[i])
+				dst := nv[int(o.out)*B : int(o.out)*B+B]
+				src := nv[int(o.in0)*B : int(o.in0)*B+B]
+				pk := lanePeak[id*B : id*B+B]
+				ov := laneOver[id*B : id*B+B]
+				off := o.off
+				if un[i] {
+					g0 := lg[i*B]
+					for l := range dst {
+						v := g0*src[l] + off
+						a := math.Abs(v)
+						if a > pk[l] {
+							pk[l] = a
+						}
+						if a > ovThresh {
+							ov[l] = true
+						}
+						if a > fs {
+							if v > fs {
+								v = fs + (sat-fs)*math.Tanh((v-fs)/(sat-fs))
+							} else {
+								v = -fs - (sat-fs)*math.Tanh((-v-fs)/(sat-fs))
+							}
+						}
+						dst[l] += v
+					}
+					continue
+				}
+				g := lg[i*B : i*B+B]
+				for l := range dst {
+					v := g[l]*src[l] + off
+					a := math.Abs(v)
+					if a > pk[l] {
+						pk[l] = a
+					}
+					if a > ovThresh {
+						ov[l] = true
+					}
+					if a > fs {
+						if v > fs {
+							v = fs + (sat-fs)*math.Tanh((v-fs)/(sat-fs))
+						} else {
+							v = -fs - (sat-fs)*math.Tanh((-v-fs)/(sat-fs))
+						}
+					}
+					dst[l] += v
+				}
+			}
+		case sg.op == opVarMul:
+			in1s := all.in1[sg.start:sg.end]
+			for i := range ops {
+				o := &ops[i]
+				id := int(ids[i])
+				dst := nv[int(o.out)*B : int(o.out)*B+B]
+				src0 := nv[int(o.in0)*B : int(o.in0)*B+B]
+				src1 := nv[int(in1s[i])*B : int(in1s[i])*B+B]
+				pk := lanePeak[id*B : id*B+B]
+				ov := laneOver[id*B : id*B+B]
+				g := lg[i*B : i*B+B]
+				off := o.off
+				for l := range dst {
+					v := g[l]*(src0[l]*src1[l]/fs) + off
+					a := math.Abs(v)
+					if a > pk[l] {
+						pk[l] = a
+					}
+					if a > ovThresh {
+						ov[l] = true
+					}
+					if a > fs {
+						if v > fs {
+							v = fs + (sat-fs)*math.Tanh((v-fs)/(sat-fs))
+						} else {
+							v = -fs - (sat-fs)*math.Tanh((-v-fs)/(sat-fs))
+						}
+					}
+					if sg.store {
+						dst[l] = 0 + v
+					} else {
+						dst[l] += v
+					}
+				}
+			}
+		case sg.op == opLUT:
+			auxs := all.aux[sg.start:sg.end]
+			for i := range ops {
+				o := &ops[i]
+				id := int(ids[i])
+				tab := p.tab[auxs[i]]
+				dst := nv[int(o.out)*B : int(o.out)*B+B]
+				src := nv[int(o.in0)*B : int(o.in0)*B+B]
+				pk := lanePeak[id*B : id*B+B]
+				ov := laneOver[id*B : id*B+B]
+				g := lg[i*B : i*B+B]
+				off := o.off
+				for l := range dst {
+					idx := lutIndex(src[l], fs, len(tab))
+					v := g[l]*tab[idx] + off
+					a := math.Abs(v)
+					if a > pk[l] {
+						pk[l] = a
+					}
+					if a > ovThresh {
+						ov[l] = true
+					}
+					if a > fs {
+						if v > fs {
+							v = fs + (sat-fs)*math.Tanh((v-fs)/(sat-fs))
+						} else {
+							v = -fs - (sat-fs)*math.Tanh((-v-fs)/(sat-fs))
+						}
+					}
+					if sg.store {
+						dst[l] = 0 + v
+					} else {
+						dst[l] += v
+					}
 				}
 			}
 		}

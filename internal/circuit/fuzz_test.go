@@ -1,6 +1,7 @@
 package circuit
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 )
@@ -46,6 +47,7 @@ func FuzzEngineEquivalence(f *testing.F) {
 			sim.SetEngine(eng)
 			if eng == EngineFused {
 				sim.fusedMinOps = 0 // force the level-parallel path
+				sim.chunkMinOps = 0 // past the chunk floor too
 				sim.SetWorkers(3)
 			}
 			if saturate {
@@ -73,6 +75,96 @@ func FuzzEngineEquivalence(f *testing.F) {
 				sim.Step()
 			}
 			expectSame(t, ref, sim, adcsRef, adcs, eng.String())
+		}
+	})
+}
+
+// FuzzLaneEquivalence fuzzes the lane identity guarantee on the same
+// randomized netlists: a lane-batched fused run at width B (1..MaxLanes,
+// per-lane diverged DAC levels, multiplier gains, and integrator initial
+// conditions) must be bit-identical, lane by lane, to scalar fused runs
+// configured with each lane's parameters. `saturate` slams the lane
+// initial conditions against the rails to cover the per-lane softSat and
+// overflow-latch paths; `parallel` forces the level-parallel lane
+// schedule. Lane mode models a noise-free datapath, so unlike
+// FuzzEngineEquivalence the configuration never draws noise.
+//
+// The checked-in corpus under testdata/fuzz pins widths 1, 2, 7, and 16;
+// `go test -fuzz=FuzzLaneEquivalence` explores further.
+func FuzzLaneEquivalence(f *testing.F) {
+	f.Add(int64(0), byte(8), byte(0), false, false)
+	f.Add(int64(3), byte(21), byte(1), true, false)
+	f.Add(int64(7), byte(33), byte(6), false, true)
+	f.Add(int64(11), byte(14), byte(15), true, true)
+	f.Fuzz(func(t *testing.T, seed int64, steps byte, lanes byte, saturate, parallel bool) {
+		B := int(lanes)%MaxLanes + 1
+		cfg := Config{
+			Bandwidth:   20e3,
+			OffsetSigma: 0.01,
+			GainSigma:   0.01,
+			Seed:        seed,
+		}
+		build := func() *Simulator {
+			nl, _, _ := buildRandomNetlist(t, rand.New(rand.NewSource(seed)), cfg)
+			sim, err := NewSimulator(nl, 0)
+			if err != nil {
+				if err == ErrAlgebraicLoop {
+					t.Skip("builder produced an algebraic loop for this seed")
+				}
+				t.Fatal(err)
+			}
+			sim.SetEngine(EngineFused)
+			if parallel {
+				sim.fusedMinOps = 0
+				sim.chunkMinOps = 0
+				sim.SetWorkers(3)
+			}
+			return sim
+		}
+		// satIC derives lane l's integrator initial condition: near the
+		// rails when saturating, a small per-lane offset otherwise.
+		satIC := func(l int) float64 {
+			if saturate {
+				return 1.1 + 0.25*float64(l)
+			}
+			return 0.01 * float64(l)
+		}
+		simL := build()
+		if err := simL.ConfigureLanes(B); err != nil {
+			t.Fatal(err)
+		}
+		for lane := 0; lane < B; lane++ {
+			applyLaneParamsLane(t, simL, lane)
+			for _, b := range simL.nl.Blocks() {
+				if b.Kind == KindIntegrator {
+					if err := simL.SetLaneIC(b, lane, satIC(lane)); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		simL.ReloadLaneSteps()
+		simL.Reset()
+		// Fractional duration: every lane crosses the remainder-step path.
+		d := (float64(int(steps)%48) + 0.5) * simL.LaneDt(0)
+		if err := simL.RunLanes(d); err != nil {
+			t.Fatal(err)
+		}
+		for lane := 0; lane < B; lane++ {
+			nlS, _, _ := buildRandomNetlist(t, rand.New(rand.NewSource(seed)), cfg)
+			applyLaneParamsScalar(nlS, lane)
+			for _, b := range nlS.Blocks() {
+				if b.Kind == KindIntegrator {
+					b.IC = satIC(lane)
+				}
+			}
+			simS, err := NewSimulator(nlS, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			simS.SetEngine(EngineFused)
+			simS.Run(d)
+			expectLaneMatchesScalar(t, simL, lane, simS, fmt.Sprintf("seed=%d B=%d", seed, B))
 		}
 	})
 }

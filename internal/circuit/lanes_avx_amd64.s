@@ -1,0 +1,565 @@
+// AVX2 kernels for the fused lane segment walks at wave width 16.
+//
+// Layouts the kernels assume (pinned by the Go side):
+//   - fusedOp is {in0, out int32; gain, off float64} = 24 bytes; the
+//     per-lane gains come from lg, not from the op record.
+//   - All lane arrays are lane-contiguous with B = 16: a net's window
+//     is 16 float64s = 128 bytes = four ymm loads.
+//
+// Bit-identity with the Go loops: vmulpd/vaddpd/vmaxpd are the same
+// IEEE-754 operations the scalar expressions compile to (gc emits no
+// FMA on amd64), store segments add a literal +0 exactly like the Go
+// `dst[l] = 0 + v`, and compares use predicate GT_OQ so NaN never
+// saturates — matching `math.Abs(v) > fs`. An op with any lane beyond
+// full scale returns to Go before storing that op.
+
+#include "textflag.h"
+
+DATA laneAbsMask<>+0(SB)/8, $0x7FFFFFFFFFFFFFFF
+GLOBL laneAbsMask<>(SB), RODATA, $8
+
+DATA laneTwo<>+0(SB)/8, $2.0
+GLOBL laneTwo<>(SB), RODATA, $8
+
+DATA laneSix<>+0(SB)/8, $6.0
+GLOBL laneSix<>(SB), RODATA, $8
+
+// func cpuHasAVX2() bool
+TEXT ·cpuHasAVX2(SB), NOSPLIT, $0-1
+	XORL	AX, AX
+	CPUID
+	CMPL	AX, $7			// need leaf 7 for the AVX2 bit
+	JL	noavx2
+	MOVL	$1, AX
+	XORL	CX, CX
+	CPUID
+	MOVL	CX, SI
+	ANDL	$(1<<27 | 1<<28), SI	// OSXSAVE | AVX
+	CMPL	SI, $(1<<27 | 1<<28)
+	JNE	noavx2
+	XORL	CX, CX
+	XGETBV
+	ANDL	$6, AX			// OS saves xmm+ymm state
+	CMPL	AX, $6
+	JNE	noavx2
+	MOVL	$7, AX
+	XORL	CX, CX
+	CPUID
+	ANDL	$(1<<5), BX		// AVX2
+	JZ	noavx2
+	MOVB	$1, ret+0(FP)
+	RET
+noavx2:
+	MOVB	$0, ret+0(FP)
+	RET
+
+// func laneSegLin16(ops *fusedOp, n int, nv, lg *float64, un *bool, fs float64, store bool) int
+TEXT ·laneSegLin16(SB), NOSPLIT, $0-64
+	MOVQ	ops+0(FP), SI
+	MOVQ	n+8(FP), CX
+	MOVQ	nv+16(FP), DI
+	MOVQ	lg+24(FP), R8
+	MOVQ	un+32(FP), R9
+	VBROADCASTSD	fs+40(FP), Y1
+	VBROADCASTSD	laneAbsMask<>(SB), Y0
+	MOVBQZX	store+48(FP), R10
+	VXORPD	Y12, Y12, Y12
+	XORQ	AX, AX
+linloop:
+	CMPQ	AX, CX
+	JGE	lindone
+	MOVLQSX	0(SI), R11		// in0
+	MOVLQSX	4(SI), R12		// out
+	SHLQ	$7, R11
+	SHLQ	$7, R12
+	ADDQ	DI, R11			// src = &nv[in0*16]
+	ADDQ	DI, R12			// dst = &nv[out*16]
+	VBROADCASTSD	16(SI), Y2	// off
+	MOVQ	AX, R13
+	SHLQ	$7, R13
+	LEAQ	(R8)(R13*1), BX		// &lg[i*16]
+	CMPB	(R9)(AX*1), $0
+	JE	linperlane
+	VBROADCASTSD	(BX), Y3	// uniform gain
+	VMULPD	0(R11), Y3, Y4
+	VMULPD	32(R11), Y3, Y5
+	VMULPD	64(R11), Y3, Y6
+	VMULPD	96(R11), Y3, Y7
+	JMP	linoff
+linperlane:
+	VMOVUPD	0(R11), Y4
+	VMOVUPD	32(R11), Y5
+	VMOVUPD	64(R11), Y6
+	VMOVUPD	96(R11), Y7
+	VMULPD	0(BX), Y4, Y4
+	VMULPD	32(BX), Y5, Y5
+	VMULPD	64(BX), Y6, Y6
+	VMULPD	96(BX), Y7, Y7
+linoff:
+	VADDPD	Y2, Y4, Y4
+	VADDPD	Y2, Y5, Y5
+	VADDPD	Y2, Y6, Y6
+	VADDPD	Y2, Y7, Y7
+	VANDPD	Y0, Y4, Y8
+	VANDPD	Y0, Y5, Y9
+	VANDPD	Y0, Y6, Y10
+	VANDPD	Y0, Y7, Y11
+	VCMPPD	$0x1E, Y1, Y8, Y8	// |v| > fs, NaN -> false
+	VCMPPD	$0x1E, Y1, Y9, Y9
+	VCMPPD	$0x1E, Y1, Y10, Y10
+	VCMPPD	$0x1E, Y1, Y11, Y11
+	VORPD	Y9, Y8, Y8
+	VORPD	Y11, Y10, Y10
+	VORPD	Y10, Y8, Y8
+	VMOVMSKPD	Y8, DX
+	TESTL	DX, DX
+	JNZ	lindone			// bail: AX = first uncommitted op
+	TESTQ	R10, R10
+	JZ	linadd
+	VADDPD	Y12, Y4, Y4		// 0 + v, canonicalising -0 like the Go store
+	VADDPD	Y12, Y5, Y5
+	VADDPD	Y12, Y6, Y6
+	VADDPD	Y12, Y7, Y7
+	JMP	linstore
+linadd:
+	VADDPD	0(R12), Y4, Y4
+	VADDPD	32(R12), Y5, Y5
+	VADDPD	64(R12), Y6, Y6
+	VADDPD	96(R12), Y7, Y7
+linstore:
+	VMOVUPD	Y4, 0(R12)
+	VMOVUPD	Y5, 32(R12)
+	VMOVUPD	Y6, 64(R12)
+	VMOVUPD	Y7, 96(R12)
+	ADDQ	$24, SI
+	INCQ	AX
+	JMP	linloop
+lindone:
+	VZEROUPPER
+	MOVQ	AX, ret+56(FP)
+	RET
+
+// func laneSegState16(ops *fusedOp, n int, nv, state *float64, fs float64, store bool) int
+TEXT ·laneSegState16(SB), NOSPLIT, $0-56
+	MOVQ	ops+0(FP), SI
+	MOVQ	n+8(FP), CX
+	MOVQ	nv+16(FP), DI
+	MOVQ	state+24(FP), R8
+	VBROADCASTSD	fs+32(FP), Y1
+	VBROADCASTSD	laneAbsMask<>(SB), Y0
+	MOVBQZX	store+40(FP), R10
+	VXORPD	Y12, Y12, Y12
+	XORQ	AX, AX
+stloop:
+	CMPQ	AX, CX
+	JGE	stdone
+	MOVLQSX	0(SI), R11		// in0 (state index)
+	MOVLQSX	4(SI), R12		// out
+	SHLQ	$7, R11
+	SHLQ	$7, R12
+	ADDQ	R8, R11			// src = &state[in0*16]
+	ADDQ	DI, R12			// dst = &nv[out*16]
+	VMOVUPD	0(R11), Y4
+	VMOVUPD	32(R11), Y5
+	VMOVUPD	64(R11), Y6
+	VMOVUPD	96(R11), Y7
+	VANDPD	Y0, Y4, Y8
+	VANDPD	Y0, Y5, Y9
+	VANDPD	Y0, Y6, Y10
+	VANDPD	Y0, Y7, Y11
+	VCMPPD	$0x1E, Y1, Y8, Y8
+	VCMPPD	$0x1E, Y1, Y9, Y9
+	VCMPPD	$0x1E, Y1, Y10, Y10
+	VCMPPD	$0x1E, Y1, Y11, Y11
+	VORPD	Y9, Y8, Y8
+	VORPD	Y11, Y10, Y10
+	VORPD	Y10, Y8, Y8
+	VMOVMSKPD	Y8, DX
+	TESTL	DX, DX
+	JNZ	stdone
+	TESTQ	R10, R10
+	JZ	stadd
+	VADDPD	Y12, Y4, Y4
+	VADDPD	Y12, Y5, Y5
+	VADDPD	Y12, Y6, Y6
+	VADDPD	Y12, Y7, Y7
+	JMP	ststore
+stadd:
+	VADDPD	0(R12), Y4, Y4
+	VADDPD	32(R12), Y5, Y5
+	VADDPD	64(R12), Y6, Y6
+	VADDPD	96(R12), Y7, Y7
+ststore:
+	VMOVUPD	Y4, 0(R12)
+	VMOVUPD	Y5, 32(R12)
+	VMOVUPD	Y6, 64(R12)
+	VMOVUPD	Y7, 96(R12)
+	ADDQ	$24, SI
+	INCQ	AX
+	JMP	stloop
+stdone:
+	VZEROUPPER
+	MOVQ	AX, ret+48(FP)
+	RET
+
+// func laneSegLin16Rec(ops *fusedOp, ids *int32, n int, nv, lg *float64, un *bool, pk *float64, fs float64, store bool) int
+TEXT ·laneSegLin16Rec(SB), NOSPLIT, $0-80
+	MOVQ	ops+0(FP), SI
+	MOVQ	n+16(FP), CX
+	MOVQ	nv+24(FP), DI
+	MOVQ	lg+32(FP), R8
+	MOVQ	un+40(FP), R9
+	VBROADCASTSD	fs+56(FP), Y1
+	VBROADCASTSD	laneAbsMask<>(SB), Y0
+	MOVBQZX	store+64(FP), R10
+	VXORPD	Y12, Y12, Y12
+	XORQ	AX, AX
+rlloop:
+	CMPQ	AX, CX
+	JGE	rldone
+	MOVLQSX	0(SI), R11
+	MOVLQSX	4(SI), R12
+	SHLQ	$7, R11
+	SHLQ	$7, R12
+	ADDQ	DI, R11
+	ADDQ	DI, R12
+	VBROADCASTSD	16(SI), Y2
+	MOVQ	AX, R13
+	SHLQ	$7, R13
+	LEAQ	(R8)(R13*1), BX
+	CMPB	(R9)(AX*1), $0
+	JE	rlperlane
+	VBROADCASTSD	(BX), Y3
+	VMULPD	0(R11), Y3, Y4
+	VMULPD	32(R11), Y3, Y5
+	VMULPD	64(R11), Y3, Y6
+	VMULPD	96(R11), Y3, Y7
+	JMP	rloff
+rlperlane:
+	VMOVUPD	0(R11), Y4
+	VMOVUPD	32(R11), Y5
+	VMOVUPD	64(R11), Y6
+	VMOVUPD	96(R11), Y7
+	VMULPD	0(BX), Y4, Y4
+	VMULPD	32(BX), Y5, Y5
+	VMULPD	64(BX), Y6, Y6
+	VMULPD	96(BX), Y7, Y7
+rloff:
+	VADDPD	Y2, Y4, Y4
+	VADDPD	Y2, Y5, Y5
+	VADDPD	Y2, Y6, Y6
+	VADDPD	Y2, Y7, Y7
+	VANDPD	Y0, Y4, Y8
+	VANDPD	Y0, Y5, Y9
+	VANDPD	Y0, Y6, Y10
+	VANDPD	Y0, Y7, Y11
+	// Peak latch: pk[l] = max(|v|, pk[l]); max returns the second
+	// source on NaN or ties, matching the Go `if a > pk[l]` fold.
+	MOVQ	ids+8(FP), BX
+	MOVLQSX	(BX)(AX*4), BX
+	SHLQ	$7, BX
+	MOVQ	pk+48(FP), R13
+	ADDQ	R13, BX			// &pk[id*16]
+	VMAXPD	0(BX), Y8, Y13
+	VMOVUPD	Y13, 0(BX)
+	VMAXPD	32(BX), Y9, Y13
+	VMOVUPD	Y13, 32(BX)
+	VMAXPD	64(BX), Y10, Y13
+	VMOVUPD	Y13, 64(BX)
+	VMAXPD	96(BX), Y11, Y13
+	VMOVUPD	Y13, 96(BX)
+	VCMPPD	$0x1E, Y1, Y8, Y8
+	VCMPPD	$0x1E, Y1, Y9, Y9
+	VCMPPD	$0x1E, Y1, Y10, Y10
+	VCMPPD	$0x1E, Y1, Y11, Y11
+	VORPD	Y9, Y8, Y8
+	VORPD	Y11, Y10, Y10
+	VORPD	Y10, Y8, Y8
+	VMOVMSKPD	Y8, DX
+	TESTL	DX, DX
+	JNZ	rldone
+	TESTQ	R10, R10
+	JZ	rladd
+	VADDPD	Y12, Y4, Y4
+	VADDPD	Y12, Y5, Y5
+	VADDPD	Y12, Y6, Y6
+	VADDPD	Y12, Y7, Y7
+	JMP	rlstore
+rladd:
+	VADDPD	0(R12), Y4, Y4
+	VADDPD	32(R12), Y5, Y5
+	VADDPD	64(R12), Y6, Y6
+	VADDPD	96(R12), Y7, Y7
+rlstore:
+	VMOVUPD	Y4, 0(R12)
+	VMOVUPD	Y5, 32(R12)
+	VMOVUPD	Y6, 64(R12)
+	VMOVUPD	Y7, 96(R12)
+	ADDQ	$24, SI
+	INCQ	AX
+	JMP	rlloop
+rldone:
+	VZEROUPPER
+	MOVQ	AX, ret+72(FP)
+	RET
+
+// func laneSegState16Rec(ops *fusedOp, ids *int32, n int, nv, state, pk *float64, fs float64, store bool) int
+TEXT ·laneSegState16Rec(SB), NOSPLIT, $0-72
+	MOVQ	ops+0(FP), SI
+	MOVQ	n+16(FP), CX
+	MOVQ	nv+24(FP), DI
+	MOVQ	state+32(FP), R8
+	VBROADCASTSD	fs+48(FP), Y1
+	VBROADCASTSD	laneAbsMask<>(SB), Y0
+	MOVBQZX	store+56(FP), R10
+	VXORPD	Y12, Y12, Y12
+	XORQ	AX, AX
+rsloop:
+	CMPQ	AX, CX
+	JGE	rsdone
+	MOVLQSX	0(SI), R11
+	MOVLQSX	4(SI), R12
+	SHLQ	$7, R11
+	SHLQ	$7, R12
+	ADDQ	R8, R11			// src = &state[in0*16]
+	ADDQ	DI, R12
+	VMOVUPD	0(R11), Y4
+	VMOVUPD	32(R11), Y5
+	VMOVUPD	64(R11), Y6
+	VMOVUPD	96(R11), Y7
+	VANDPD	Y0, Y4, Y8
+	VANDPD	Y0, Y5, Y9
+	VANDPD	Y0, Y6, Y10
+	VANDPD	Y0, Y7, Y11
+	MOVQ	ids+8(FP), BX
+	MOVLQSX	(BX)(AX*4), BX
+	SHLQ	$7, BX
+	MOVQ	pk+40(FP), R13
+	ADDQ	R13, BX
+	VMAXPD	0(BX), Y8, Y13
+	VMOVUPD	Y13, 0(BX)
+	VMAXPD	32(BX), Y9, Y13
+	VMOVUPD	Y13, 32(BX)
+	VMAXPD	64(BX), Y10, Y13
+	VMOVUPD	Y13, 64(BX)
+	VMAXPD	96(BX), Y11, Y13
+	VMOVUPD	Y13, 96(BX)
+	VCMPPD	$0x1E, Y1, Y8, Y8
+	VCMPPD	$0x1E, Y1, Y9, Y9
+	VCMPPD	$0x1E, Y1, Y10, Y10
+	VCMPPD	$0x1E, Y1, Y11, Y11
+	VORPD	Y9, Y8, Y8
+	VORPD	Y11, Y10, Y10
+	VORPD	Y10, Y8, Y8
+	VMOVMSKPD	Y8, DX
+	TESTL	DX, DX
+	JNZ	rsdone
+	TESTQ	R10, R10
+	JZ	rsadd
+	VADDPD	Y12, Y4, Y4
+	VADDPD	Y12, Y5, Y5
+	VADDPD	Y12, Y6, Y6
+	VADDPD	Y12, Y7, Y7
+	JMP	rsstore
+rsadd:
+	VADDPD	0(R12), Y4, Y4
+	VADDPD	32(R12), Y5, Y5
+	VADDPD	64(R12), Y6, Y6
+	VADDPD	96(R12), Y7, Y7
+rsstore:
+	VMOVUPD	Y4, 0(R12)
+	VMOVUPD	Y5, 32(R12)
+	VMOVUPD	Y6, 64(R12)
+	VMOVUPD	Y7, 96(R12)
+	ADDQ	$24, SI
+	INCQ	AX
+	JMP	rsloop
+rsdone:
+	VZEROUPPER
+	MOVQ	AX, ret+64(FP)
+	RET
+
+// func laneStage16(n int, intNet *int32, intGain, intOff, nv, dst, tmp, state, cs *float64, k float64)
+TEXT ·laneStage16(SB), NOSPLIT, $0-80
+	MOVQ	n+0(FP), CX
+	MOVQ	intNet+8(FP), SI
+	MOVQ	nv+32(FP), DI
+	MOVQ	dst+40(FP), R8
+	MOVQ	tmp+48(FP), R9
+	MOVQ	state+56(FP), R10
+	VBROADCASTSD	k+72(FP), Y0
+	TESTQ	R9, R9
+	JZ	stg_nocs
+	MOVQ	cs+64(FP), R11
+	VMOVUPD	0(R11), Y3
+	VMOVUPD	32(R11), Y4
+	VMOVUPD	64(R11), Y5
+	VMOVUPD	96(R11), Y6
+stg_nocs:
+	XORQ	AX, AX
+	XORQ	R12, R12		// byte offset i*16*8
+stg_loop:
+	CMPQ	AX, CX
+	JGE	stg_done
+	MOVQ	intGain+16(FP), BX
+	VBROADCASTSD	(BX)(AX*8), Y1
+	MOVQ	intOff+24(FP), BX
+	VBROADCASTSD	(BX)(AX*8), Y2
+	MOVLQSX	(SI)(AX*4), BX
+	TESTQ	BX, BX
+	JS	stg_zero
+	SHLQ	$7, BX
+	ADDQ	DI, BX			// src = &nv[n*16]
+	VMOVUPD	0(BX), Y7
+	VMOVUPD	32(BX), Y8
+	VMOVUPD	64(BX), Y9
+	VMOVUPD	96(BX), Y10
+	JMP	stg_have
+stg_zero:
+	VXORPD	Y7, Y7, Y7		// grounded input: in = 0
+	VXORPD	Y8, Y8, Y8
+	VXORPD	Y9, Y9, Y9
+	VXORPD	Y10, Y10, Y10
+stg_have:
+	VMULPD	Y1, Y7, Y7		// g*in
+	VMULPD	Y1, Y8, Y8
+	VMULPD	Y1, Y9, Y9
+	VMULPD	Y1, Y10, Y10
+	VADDPD	Y2, Y7, Y7		// + off
+	VADDPD	Y2, Y8, Y8
+	VADDPD	Y2, Y9, Y9
+	VADDPD	Y2, Y10, Y10
+	VMULPD	Y0, Y7, Y7		// k*
+	VMULPD	Y0, Y8, Y8
+	VMULPD	Y0, Y9, Y9
+	VMULPD	Y0, Y10, Y10
+	LEAQ	(R8)(R12*1), BX
+	VMOVUPD	Y7, 0(BX)
+	VMOVUPD	Y8, 32(BX)
+	VMOVUPD	Y9, 64(BX)
+	VMOVUPD	Y10, 96(BX)
+	TESTQ	R9, R9
+	JZ	stg_next
+	VMULPD	Y3, Y7, Y7		// cs*d
+	VMULPD	Y4, Y8, Y8
+	VMULPD	Y5, Y9, Y9
+	VMULPD	Y6, Y10, Y10
+	LEAQ	(R10)(R12*1), BX
+	VADDPD	0(BX), Y7, Y7		// state +
+	VADDPD	32(BX), Y8, Y8
+	VADDPD	64(BX), Y9, Y9
+	VADDPD	96(BX), Y10, Y10
+	LEAQ	(R9)(R12*1), BX
+	VMOVUPD	Y7, 0(BX)
+	VMOVUPD	Y8, 32(BX)
+	VMOVUPD	Y9, 64(BX)
+	VMOVUPD	Y10, 96(BX)
+stg_next:
+	INCQ	AX
+	ADDQ	$128, R12
+	JMP	stg_loop
+stg_done:
+	VZEROUPPER
+	RET
+
+// func laneCombine16(n int, ids *int32, state, k1, k2, k3, k4, hs, pk *float64, ovThresh float64) int
+TEXT ·laneCombine16(SB), NOSPLIT, $0-88
+	MOVQ	n+0(FP), CX
+	MOVQ	state+16(FP), DI
+	MOVQ	k1+24(FP), R8
+	MOVQ	k2+32(FP), R9
+	MOVQ	k3+40(FP), R10
+	MOVQ	k4+48(FP), R11
+	MOVQ	pk+64(FP), SI
+	VBROADCASTSD	ovThresh+72(FP), Y1
+	VBROADCASTSD	laneAbsMask<>(SB), Y0
+	VBROADCASTSD	laneTwo<>(SB), Y6
+	// h6[l] = hs[l]/6 once; the division is the same IEEE op the Go loop
+	// repeats per (integrator, lane).
+	MOVQ	hs+56(FP), BX
+	VBROADCASTSD	laneSix<>(SB), Y7
+	VMOVUPD	0(BX), Y2
+	VMOVUPD	32(BX), Y3
+	VMOVUPD	64(BX), Y4
+	VMOVUPD	96(BX), Y5
+	VDIVPD	Y7, Y2, Y2
+	VDIVPD	Y7, Y3, Y3
+	VDIVPD	Y7, Y4, Y4
+	VDIVPD	Y7, Y5, Y5
+	XORQ	AX, AX
+	XORQ	R12, R12		// byte offset i*16*8
+comb_loop:
+	CMPQ	AX, CX
+	JGE	comb_done
+	// x_c = state + h6_c*((k1 + 2*k2 + 2*k3) + k4), chunk by chunk
+	VMULPD	(R9)(R12*1), Y6, Y8
+	VADDPD	(R8)(R12*1), Y8, Y8
+	VMULPD	(R10)(R12*1), Y6, Y7
+	VADDPD	Y7, Y8, Y8
+	VADDPD	(R11)(R12*1), Y8, Y8
+	VMULPD	Y2, Y8, Y8
+	VADDPD	(DI)(R12*1), Y8, Y8
+	VMULPD	32(R9)(R12*1), Y6, Y9
+	VADDPD	32(R8)(R12*1), Y9, Y9
+	VMULPD	32(R10)(R12*1), Y6, Y7
+	VADDPD	Y7, Y9, Y9
+	VADDPD	32(R11)(R12*1), Y9, Y9
+	VMULPD	Y3, Y9, Y9
+	VADDPD	32(DI)(R12*1), Y9, Y9
+	VMULPD	64(R9)(R12*1), Y6, Y10
+	VADDPD	64(R8)(R12*1), Y10, Y10
+	VMULPD	64(R10)(R12*1), Y6, Y7
+	VADDPD	Y7, Y10, Y10
+	VADDPD	64(R11)(R12*1), Y10, Y10
+	VMULPD	Y4, Y10, Y10
+	VADDPD	64(DI)(R12*1), Y10, Y10
+	VMULPD	96(R9)(R12*1), Y6, Y11
+	VADDPD	96(R8)(R12*1), Y11, Y11
+	VMULPD	96(R10)(R12*1), Y6, Y7
+	VADDPD	Y7, Y11, Y11
+	VADDPD	96(R11)(R12*1), Y11, Y11
+	VMULPD	Y5, Y11, Y11
+	VADDPD	96(DI)(R12*1), Y11, Y11
+	// overflow check across all 16 lanes before any write
+	VANDPD	Y0, Y8, Y7
+	VCMPPD	$0x1E, Y1, Y7, Y13
+	VANDPD	Y0, Y9, Y7
+	VCMPPD	$0x1E, Y1, Y7, Y7
+	VORPD	Y7, Y13, Y13
+	VANDPD	Y0, Y10, Y7
+	VCMPPD	$0x1E, Y1, Y7, Y7
+	VORPD	Y7, Y13, Y13
+	VANDPD	Y0, Y11, Y7
+	VCMPPD	$0x1E, Y1, Y7, Y7
+	VORPD	Y7, Y13, Y13
+	VMOVMSKPD	Y13, DX
+	TESTL	DX, DX
+	JNZ	comb_done		// bail: AX = first uncommitted integrator
+	// peak latch on the committed (unsaturated) value
+	MOVQ	ids+8(FP), BX
+	MOVLQSX	(BX)(AX*4), BX
+	SHLQ	$7, BX
+	ADDQ	SI, BX			// &pk[id*16]
+	VANDPD	Y0, Y8, Y7
+	VMAXPD	0(BX), Y7, Y7
+	VMOVUPD	Y7, 0(BX)
+	VANDPD	Y0, Y9, Y7
+	VMAXPD	32(BX), Y7, Y7
+	VMOVUPD	Y7, 32(BX)
+	VANDPD	Y0, Y10, Y7
+	VMAXPD	64(BX), Y7, Y7
+	VMOVUPD	Y7, 64(BX)
+	VANDPD	Y0, Y11, Y7
+	VMAXPD	96(BX), Y7, Y7
+	VMOVUPD	Y7, 96(BX)
+	VMOVUPD	Y8, (DI)(R12*1)
+	VMOVUPD	Y9, 32(DI)(R12*1)
+	VMOVUPD	Y10, 64(DI)(R12*1)
+	VMOVUPD	Y11, 96(DI)(R12*1)
+	INCQ	AX
+	ADDQ	$128, R12
+	JMP	comb_loop
+comb_done:
+	VZEROUPPER
+	MOVQ	AX, ret+80(FP)
+	RET

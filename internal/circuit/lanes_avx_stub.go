@@ -1,0 +1,30 @@
+//go:build !amd64
+
+package circuit
+
+// Non-amd64 builds run the pure-Go lane loops unconditionally; the
+// constant false lets the compiler drop the kernel call sites.
+const laneAVX = false
+
+func laneSegLin16(ops *fusedOp, n int, nv, lg *float64, un *bool, fs float64, store bool) int {
+	return 0
+}
+
+func laneSegState16(ops *fusedOp, n int, nv, state *float64, fs float64, store bool) int {
+	return 0
+}
+
+func laneSegLin16Rec(ops *fusedOp, ids *int32, n int, nv, lg *float64, un *bool, pk *float64, fs float64, store bool) int {
+	return 0
+}
+
+func laneSegState16Rec(ops *fusedOp, ids *int32, n int, nv, state, pk *float64, fs float64, store bool) int {
+	return 0
+}
+
+func laneStage16(n int, intNet *int32, intGain, intOff, nv, dst, tmp, state, cs *float64, k float64) {
+}
+
+func laneCombine16(n int, ids *int32, state, k1, k2, k3, k4, hs, pk *float64, ovThresh float64) int {
+	return 0
+}

@@ -49,13 +49,41 @@ type Simulator struct {
 	fused  *fusedProg
 	engine Engine
 	// workers bounds the fused engine's level-parallel sharding;
-	// fusedMinOps is the fast-op count below which it stays serial
-	// (a var so tests can force the parallel path on small programs).
+	// fusedMinOps is the fast-op count below which it stays serial, and
+	// chunkMinOps the per-chunk op floor that clamps how finely a single
+	// level may shard (fields so tests can force the parallel path on
+	// small programs).
 	workers     int
 	fusedMinOps int
+	chunkMinOps int
 	// valsDirty marks netVals stale relative to (time, state): stepH can
 	// otherwise reuse the post-step evaluation as the next step's k1 stage.
 	valsDirty bool
+
+	// Lane-batched mode (see lanes.go): lanes is the batch width B (0 in
+	// scalar mode). All lane buffers are lane-contiguous: slot [x*B+l]
+	// holds lane l's copy of entity x.
+	lanes         int
+	lprog         *laneProg
+	laneGainP     []float64 // per-lane multiplier gains    [blockID*B+l]
+	laneLevel     []float64 // per-lane DAC levels          [blockID*B+l]
+	laneIC        []float64 // per-lane initial conditions  [blockID*B+l]
+	laneState     []float64 // per-lane integrator states   [stateIdx*B+l]
+	laneNets      []float64 // per-lane net values          [net*B+l]
+	laneOver      []bool    // per-lane overflow latches    [blockID*B+l]
+	lanePeak      []float64 // per-lane peak trackers       [blockID*B+l]
+	laneScratch   [5][]float64
+	laneTime      []float64
+	laneDt        []float64
+	laneSteps     []int64
+	laneWhole     []int64
+	laneActive    []bool
+	laneHs        []float64 // per-lane step sizes for the current tick
+	laneCs        []float64 // per-lane RK4 stage fractions
+	laneTs        []float64 // per-lane evaluation times
+	laneIntIDs    []int32   // integrator block IDs (AVX combine latch addressing)
+	laneFoldDirty bool
+	laneValsDirty bool
 }
 
 // NewSimulator compiles the netlist (detecting algebraic loops) and prepares
@@ -84,7 +112,8 @@ func NewSimulator(nl *Netlist, dt float64) (*Simulator, error) {
 	s.prog = s.lower()
 	s.workers = autoWorkers()
 	s.fusedMinOps = fusedParallelMinOps
-	s.fused = s.prog.buildFused(nl.nets, s.workers)
+	s.chunkMinOps = fusedChunkMinOps
+	s.fused = s.prog.buildFused(nl.nets, s.workers, s.chunkMinOps)
 	s.ReloadBlockParams()
 	if dt <= 0 {
 		dt = s.autoStep()
@@ -224,6 +253,10 @@ func (s *Simulator) ReloadBlockParams() {
 		s.prog.refold(s)
 	}
 	s.valsDirty = true
+	if s.lanes > 0 {
+		// Effective offsets/gains feed the lane fold too.
+		s.laneFoldDirty = true
+	}
 }
 
 // SetReferenceEngine selects the original block-walk interpreter (on) or
@@ -254,6 +287,9 @@ func (s *Simulator) Reset() {
 	}
 	s.eval(s.time, s.state, true)
 	s.valsDirty = false
+	if s.lanes > 0 {
+		s.resetLanes()
+	}
 }
 
 // Time returns the simulated (analog) time in seconds.

@@ -83,6 +83,11 @@ type SolveParams struct {
 	// "interpreter", "compiled", "fused"; empty = auto). Engines are
 	// bit-identical, so this changes speed, never answers.
 	Engine string
+	// MaxLanes caps how many right-hand sides a batch solve drives
+	// lane-parallel through the fused engine (0 = device limit, 1 =
+	// sequential). Lane widths are bit-identical, so like Engine this
+	// changes speed, never answers.
+	MaxLanes int
 	// Acc, if non-nil, is a pre-built accelerator the analog backends run
 	// on (the serve pool's warm chips); nil builds a chip sized by
 	// SpecFor. Digital backends ignore it.
@@ -132,6 +137,9 @@ type Outcome struct {
 	Overflows   int
 	Refinements int
 	ScaleS      float64
+	// Lanes is the widest lane wave this answer settled in (batch solves
+	// on the fused engine); 0 when every run took the scalar path.
+	Lanes int
 	// Decompose carries the outer-iteration stats of a decomposed solve.
 	Decompose *core.DecomposeStats
 	// Iterations and MACs are the digital iterative costs.
@@ -251,7 +259,7 @@ func SolveSystemBatch(ctx context.Context, backend string, a *la.CSR, rhs []la.V
 	if err != nil {
 		return nil, fmt.Errorf("cli: compiling batch matrix: %w", err)
 	}
-	opt := core.SolveOptions{Tolerance: p.Tol, Calibrate: p.Calibrate, Engine: p.Engine}
+	opt := core.SolveOptions{Tolerance: p.Tol, Calibrate: p.Calibrate, Engine: p.Engine, MaxLanes: p.MaxLanes}
 	var (
 		us    []la.Vector
 		stats []core.Stats
@@ -267,10 +275,14 @@ func SolveSystemBatch(ctx context.Context, backend string, a *la.CSR, rhs []la.V
 	outs := make([]Outcome, len(rhs))
 	for k := range rhs {
 		st := stats[k]
+		note := fmt.Sprintf("analog time %.3e s, %d runs, %d refinements, %d rescales, value scale S=%.4g",
+			st.AnalogTime, st.Runs, st.Refinements, st.Rescales, st.Scaling.S)
+		if st.Lanes > 1 {
+			note += fmt.Sprintf(", %d lanes", st.Lanes)
+		}
 		outs[k] = Outcome{
-			U: us[k],
-			Note: fmt.Sprintf("analog time %.3e s, %d runs, %d refinements, %d rescales, value scale S=%.4g",
-				st.AnalogTime, st.Runs, st.Refinements, st.Rescales, st.Scaling.S),
+			U:           us[k],
+			Note:        note,
 			Analog:      true,
 			AnalogTime:  st.AnalogTime,
 			SettleTime:  st.SettleTime,
@@ -279,6 +291,7 @@ func SolveSystemBatch(ctx context.Context, backend string, a *la.CSR, rhs []la.V
 			Overflows:   st.Overflows,
 			Refinements: st.Refinements,
 			ScaleS:      st.Scaling.S,
+			Lanes:       st.Lanes,
 		}
 	}
 	return outs, nil
@@ -331,7 +344,7 @@ func solveDecomposed(ctx context.Context, a *la.CSR, b la.Vector, p SolveParams)
 			BlockSize:      size,
 			Jacobi:         true,
 			OuterTolerance: p.Tol,
-			Inner:          core.SolveOptions{Tolerance: innerTol},
+			Inner:          core.SolveOptions{Tolerance: innerTol, Engine: p.Engine, MaxLanes: p.MaxLanes},
 		},
 		OnSweep: p.OnSweep,
 	}

@@ -80,6 +80,10 @@ type Accelerator struct {
 	// biasMulBase is the first multiplier of the bias-gain path in the
 	// currently programmed configuration (see setBias).
 	biasMulBase int
+	// laneSupport caches the lane-batched-mode probe: 0 unknown, 1 the
+	// device accepted a setLanes commit, -1 it answered StatusBadOpcode
+	// (an older device; batches stay sequential without re-probing).
+	laneSupport int8
 }
 
 // New binds a driver to a chip behind a transport. The spec must match the
@@ -477,7 +481,7 @@ func (acc *Accelerator) runFor(seconds float64) error {
 	if err := acc.host.ExecStart(); err != nil {
 		return err
 	}
-	acc.analogTime += float64(cycles) / acc.spec.TimerHz
+	acc.analogTime += acc.armedDuration(seconds)
 	acc.runs++
 	return nil
 }

@@ -108,13 +108,19 @@ type ParallelDecompose struct {
 }
 
 // chipWorker is one leased chip's schedule: the blocks it owns, in
-// group-contiguous order, and its per-solve scratch.
+// group-contiguous order, and its per-solve scratch. Contiguous
+// same-group runs of blocks solve as one lane-batched wave per sweep
+// (SolveBatchRefinedItems), so the per-item scratch is a slice per run
+// slot rather than a single buffer.
 type chipWorker struct {
-	acc                      *Accelerator
-	blocks                   []*decompBlock
-	rhsBuf, offBuf, guessBuf la.Vector
-	refinements              int
-	err                      error
+	acc                *Accelerator
+	blocks             []*decompBlock
+	size               int // maximum block dimension (scratch sizing)
+	offBuf             la.Vector
+	rhsBufs, guessBufs []la.Vector
+	items              []BatchItem
+	refinements        int
+	err                error
 }
 
 type decompBlock struct {
@@ -122,6 +128,12 @@ type decompBlock struct {
 	sub   *la.CSR // group representative: pointer-shared across equal blocks
 	group int
 	sess  *Session
+	// sigmaGain is this block's learned sigma estimate, carried across
+	// sweeps. It lives on the block — not on a shared session — so the
+	// estimate a block solves with is independent of which chip runs it
+	// and of how blocks are grouped into waves: bit-identical results for
+	// any worker count.
+	sigmaGain float64
 }
 
 // Solve runs the decomposed solve. The context aborts between sweeps and
@@ -201,7 +213,7 @@ func (pd *ParallelDecompose) Solve(ctx context.Context, a *la.CSR, b la.Vector) 
 	sort.SliceStable(order, func(i, j int) bool { return blocks[order[i]].group < blocks[order[j]].group })
 	workers := make([]*chipWorker, len(accs))
 	for i, acc := range accs {
-		workers[i] = &chipWorker{acc: acc, rhsBuf: la.NewVector(size), offBuf: la.NewVector(size), guessBuf: la.NewVector(size)}
+		workers[i] = &chipWorker{acc: acc, size: size, offBuf: la.NewVector(size)}
 	}
 	for i, bi := range order {
 		w := workers[i*len(workers)/len(order)]
@@ -281,33 +293,66 @@ func (pd *ParallelDecompose) Solve(ctx context.Context, a *la.CSR, b la.Vector) 
 // block's right-hand side from the previous iterate x, solve it on the
 // pinned session, and write the solution into this block's slice of
 // xNext. Blocks partition the index range, so writes are disjoint across
-// workers.
+// workers. Contiguous runs of same-group blocks (the common case after
+// the group-sorted schedule) solve as one batch: on a lane-capable chip
+// all of a run's residual systems settle in one wave.
 func (w *chipWorker) sweep(ctx context.Context, a *la.CSR, b, x, xNext la.Vector, sweep int, inner SolveOptions) {
-	for _, blk := range w.blocks {
-		rhs := blockRHS(w.rhsBuf, w.offBuf, a, blk.idx, b, x)
+	for lo := 0; lo < len(w.blocks); {
+		hi := lo + 1
+		for hi < len(w.blocks) && w.blocks[hi].sub == w.blocks[lo].sub {
+			hi++
+		}
+		if !w.runBlocks(ctx, a, b, x, xNext, sweep, inner, w.blocks[lo:hi]) {
+			return
+		}
+		lo = hi
+	}
+}
+
+// runBlocks solves one same-matrix run of blocks as a batch on the run
+// leader's session. Each item enters with its block's own learned sigma
+// gain and leaves it updated, so the batch grouping never leaks state
+// between blocks.
+func (w *chipWorker) runBlocks(ctx context.Context, a *la.CSR, b, x, xNext la.Vector, sweep int, inner SolveOptions, blks []*decompBlock) bool {
+	for len(w.rhsBufs) < len(blks) {
+		w.rhsBufs = append(w.rhsBufs, la.NewVector(w.size))
+		w.guessBufs = append(w.guessBufs, la.NewVector(w.size))
+	}
+	items := w.items[:0]
+	for k, blk := range blks {
+		rhs := blockRHS(w.rhsBufs[k], w.offBuf, a, blk.idx, b, x)
 		// Seed with the previous iterate (see SolveOptions.Guess): the
 		// guess is x restricted to the block, identical under any
 		// block→chip schedule, so determinism across worker counts holds.
-		inner.Guess = w.guessBuf[:len(blk.idx)]
+		guess := w.guessBufs[k][:len(blk.idx)]
 		for p, g := range blk.idx {
-			inner.Guess[p] = x[g]
+			guess[p] = x[g]
 		}
-		if blk.sess == nil {
-			sess, err := w.acc.BeginSession(blk.sub)
-			if err != nil {
-				w.err = fmt.Errorf("core: block at %d: %w", blk.idx[0], err)
-				return
-			}
-			blk.sess = sess
-		}
-		u, st, err := blk.sess.SolveForRefinedCtx(ctx, rhs, inner)
-		w.refinements += st.Refinements
+		items = append(items, BatchItem{RHS: rhs, Guess: guess, SigmaGain: blk.sigmaGain})
+	}
+	w.items = items
+	lead := blks[0]
+	if lead.sess == nil {
+		sess, err := w.acc.BeginSession(lead.sub)
 		if err != nil {
-			w.err = fmt.Errorf("core: sweep %d block at %d: %w", sweep, blk.idx[0], err)
-			return
+			w.err = fmt.Errorf("core: block at %d: %w", lead.idx[0], err)
+			return false
 		}
+		lead.sess = sess
+	}
+	us, sts, gains, err := lead.sess.SolveBatchRefinedItems(ctx, items, inner)
+	for k := range sts {
+		w.refinements += sts[k].Refinements
+	}
+	if err != nil {
+		w.err = fmt.Errorf("core: sweep %d blocks at %d: %w", sweep, lead.idx[0], err)
+		return false
+	}
+	for k, blk := range blks {
+		blk.sigmaGain = gains[k]
 		for p, g := range blk.idx {
-			xNext[g] = u[p]
+			xNext[g] = us[k][p]
 		}
 	}
+	return true
 }

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"analogacc/internal/chip"
+	"analogacc/internal/la"
+	"analogacc/internal/solvers"
+)
+
+// lane6System is a 6-variable 1-D Poisson system with a batch of seven
+// right-hand sides — wide enough to exercise partial final waves at every
+// tested lane width (7 items at width 2 → waves of 2,2,2,1; at width 16 →
+// one wave of 7).
+func lane6System() (*la.CSR, []la.Vector) {
+	g, _ := la.NewGrid(1, 6)
+	a := la.PoissonMatrix(g)
+	rhs := []la.Vector{
+		la.VectorOf(0.5, -0.2, 0.3, 0.1, 0.0, -0.4),
+		la.VectorOf(-0.1, 0.4, -0.3, 0.2, 0.5, 0.1),
+		la.VectorOf(0.2, 0.2, 0.2, 0.2, 0.2, 0.2),
+		la.VectorOf(0.6, 0.0, -0.1, 0.0, 0.3, -0.2),
+		la.VectorOf(-0.3, -0.3, 0.4, 0.1, -0.2, 0.5),
+		la.VectorOf(0.1, 0.5, 0.0, -0.4, 0.2, 0.3),
+		la.VectorOf(0.4, -0.1, 0.2, 0.3, -0.5, 0.0),
+	}
+	return a, rhs
+}
+
+func lane6Spec() chip.Spec {
+	g, _ := la.NewGrid(1, 6)
+	a := la.PoissonMatrix(g)
+	spec := chip.ScaledSpec(6, 12, 20e3, a.MaxRowNNZ()+1)
+	spec.FanoutsPerMB = 2
+	spec.Seed = 31
+	return spec
+}
+
+// TestSolveBatchLaneWidthsIdentical is the core-level lane differential:
+// one batch solved at every interesting lane width — 1 (the sequential
+// scalar path), 2 and 7 (multi-wave schedules with a partial final wave),
+// 16 (one full-width wave), and 0 (device limit) — must produce
+// bit-identical solutions on identically seeded chips. Widths ≥ 2 must
+// actually take the lane path (the probe marks the device lane-capable).
+func TestSolveBatchLaneWidthsIdentical(t *testing.T) {
+	a, rhs := lane6System()
+	solve := func(width int) ([]la.Vector, *Accelerator) {
+		acc := simAcc(t, lane6Spec())
+		sess, err := acc.BeginSession(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		us, stats, err := sess.SolveBatch(context.Background(), rhs, SolveOptions{MaxLanes: width})
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		for k := range stats {
+			if stats[k].Runs == 0 || stats[k].AnalogTime <= 0 {
+				t.Fatalf("width %d rhs %d: stats not accounted: %+v", width, k, stats[k])
+			}
+		}
+		return us, acc
+	}
+	ref, _ := solve(1)
+	want, err := solvers.SolveCSRDirect(a, rhs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref[0].Equal(want, want.NormInf()*0.02+1e-3) {
+		t.Fatalf("sequential batch inaccurate: %v want %v", ref[0], want)
+	}
+	for _, width := range []int{0, 2, 7, 16} {
+		us, acc := solve(width)
+		if acc.laneSupport != 1 {
+			t.Fatalf("width %d: lane path never entered (laneSupport=%d)", width, acc.laneSupport)
+		}
+		for k := range rhs {
+			for i := range us[k] {
+				if us[k][i] != ref[k][i] {
+					t.Fatalf("width %d rhs %d component %d: %v != sequential %v",
+						width, k, i, us[k][i], ref[k][i])
+				}
+			}
+		}
+	}
+}
+
+// TestSolveBatchRefinedLaneWidthsIdentical repeats the width differential
+// through Algorithm 2: refined batches at widths 1, 2, 7, and 16 must be
+// bit-identical and all meet the tolerance.
+func TestSolveBatchRefinedLaneWidthsIdentical(t *testing.T) {
+	a, rhs := lane6System()
+	opt := SolveOptions{Tolerance: 1e-8}
+	solve := func(width int) []la.Vector {
+		o := opt
+		o.MaxLanes = width
+		acc := simAcc(t, lane6Spec())
+		sess, err := acc.BeginSession(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		us, stats, err := sess.SolveBatchRefined(context.Background(), rhs, o)
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		for k := range rhs {
+			if stats[k].Residual > opt.Tolerance {
+				t.Fatalf("width %d rhs %d: residual %v above tolerance", width, k, stats[k].Residual)
+			}
+		}
+		return us
+	}
+	ref := solve(1)
+	for _, width := range []int{2, 7, 16} {
+		us := solve(width)
+		for k := range rhs {
+			for i := range us[k] {
+				if us[k][i] != ref[k][i] {
+					t.Fatalf("width %d rhs %d component %d: %v != sequential %v",
+						width, k, i, us[k][i], ref[k][i])
+				}
+			}
+		}
+	}
+}
+
+// TestSolveBatchStaggeredSettleExits drives one wave whose lanes settle at
+// very different times: A = diag(0.9, 0.09) has a 10× spread in mode time
+// constants, so right-hand sides exciting only the fast mode settle whole
+// doubling chunks before the slow-mode items. Fast lanes must exit the
+// wave early (strictly smaller per-item settle times) and the staggered
+// exits must not perturb the late lanes — results stay bit-identical to
+// per-item solves from the batch's entry state.
+func TestSolveBatchStaggeredSettleExits(t *testing.T) {
+	a := la.MustCSR(2, []la.COOEntry{
+		{Row: 0, Col: 0, Val: 0.9},
+		{Row: 1, Col: 1, Val: 0.09},
+	})
+	rhs := []la.Vector{
+		la.VectorOf(0.5, 0),     // fast mode only
+		la.VectorOf(0, 0.05),    // slow mode only
+		la.VectorOf(0.4, 0.02),  // both
+		la.VectorOf(-0.3, 0.04), // both, opposite signs
+	}
+	spec := chip.PrototypeSpec()
+	spec.ADCBits = 12
+	spec.DACBits = 12
+	spec.Seed = 17
+
+	seq := make([]la.Vector, len(rhs))
+	for k, b := range rhs {
+		acc := simAcc(t, spec)
+		sess, err := acc.BeginSession(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, _, err := sess.SolveFor(b, SolveOptions{DisableBoost: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq[k] = u
+	}
+
+	acc := simAcc(t, spec)
+	sess, err := acc.BeginSession(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	us, stats, err := sess.SolveBatch(context.Background(), rhs, SolveOptions{DisableBoost: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.laneSupport != 1 {
+		t.Fatalf("lane path never entered (laneSupport=%d)", acc.laneSupport)
+	}
+	for k := range rhs {
+		for i := range us[k] {
+			if us[k][i] != seq[k][i] {
+				t.Fatalf("rhs %d component %d: batch %v != sequential %v", k, i, us[k][i], seq[k][i])
+			}
+		}
+	}
+	if stats[0].SettleTime <= 0 || stats[1].SettleTime <= 0 {
+		t.Fatalf("settle times not recorded: %+v / %+v", stats[0], stats[1])
+	}
+	if stats[0].SettleTime >= stats[1].SettleTime {
+		t.Fatalf("fast-mode lane did not exit early: fast settle %v, slow settle %v",
+			stats[0].SettleTime, stats[1].SettleTime)
+	}
+}
+
+// TestSolveBatchRefinedItemsGuessQuality pins mid-batch per-lane
+// refinement exits: an item seeded with the exact digital solution
+// converges in fewer passes than cold-started items, shrinking later
+// waves — and the early exit must leave every item bit-identical across
+// lane widths.
+func TestSolveBatchRefinedItemsGuessQuality(t *testing.T) {
+	a, rhs := lane6System()
+	exact, err := solvers.SolveCSRDirect(a, rhs[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := SolveOptions{Tolerance: 1e-8}
+	solve := func(width int) ([]la.Vector, []Stats) {
+		o := opt
+		o.MaxLanes = width
+		items := make([]BatchItem, len(rhs))
+		for k, b := range rhs {
+			items[k] = BatchItem{RHS: b}
+		}
+		items[2].Guess = exact.Clone()
+		acc := simAcc(t, lane6Spec())
+		sess, err := acc.BeginSession(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		us, stats, _, err := sess.SolveBatchRefinedItems(context.Background(), items, o)
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		return us, stats
+	}
+	ref, refStats := solve(1)
+	if refStats[2].Refinements >= refStats[0].Refinements {
+		t.Fatalf("exact guess did not converge faster: item 2 %d passes, item 0 %d",
+			refStats[2].Refinements, refStats[0].Refinements)
+	}
+	for _, width := range []int{3, 16} {
+		us, stats := solve(width)
+		for k := range rhs {
+			if stats[k].Refinements != refStats[k].Refinements {
+				t.Fatalf("width %d rhs %d: %d refinement passes, sequential took %d",
+					width, k, stats[k].Refinements, refStats[k].Refinements)
+			}
+			for i := range us[k] {
+				if us[k][i] != ref[k][i] {
+					t.Fatalf("width %d rhs %d component %d: %v != sequential %v",
+						width, k, i, us[k][i], ref[k][i])
+				}
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -49,6 +50,11 @@ type SolveOptions struct {
 	// All engines are bit-identical — this is purely a speed knob — and
 	// it only works on simulated chips (ErrEngineUnavailable otherwise).
 	Engine string
+	// MaxLanes caps how many right-hand sides a batch solve drives
+	// lane-parallel through the chip in one wave. 0 means the full
+	// MaxBatchLanes; 1 disables the lane path entirely (batches then run
+	// sequentially). Values above MaxBatchLanes are clamped.
+	MaxLanes int
 	// CheckEvery, if positive, sets the settle-poll granularity in
 	// estimated integration steps of the simulated chip, so polling
 	// overhead stays proportional to actual integration work instead of
@@ -102,6 +108,13 @@ type Stats struct {
 	// contrast, is everything armed, including failed scale attempts
 	// and the bracketing overhead.
 	SettleTime float64
+	// Lanes is the widest lane wave that produced (part of) this answer:
+	// batch solves on a lane-capable chip report the wave width their
+	// settle ran at, 0 means every run took the scalar path. Purely
+	// observational — lane widths are bit-identical — but it lets callers
+	// (and the CI smoke) assert the vectorized path actually engaged
+	// instead of silently falling back.
+	Lanes int
 }
 
 func (s *Stats) add(other Stats) {
@@ -109,6 +122,9 @@ func (s *Stats) add(other Stats) {
 	s.Runs += other.Runs
 	s.Rescales += other.Rescales
 	s.Overflows += other.Overflows
+	if other.Lanes > s.Lanes {
+		s.Lanes = other.Lanes
+	}
 }
 
 // Session is a compiled system resident on the chip: the matrix gains and
@@ -139,6 +155,9 @@ type Session struct {
 	// repeated right-hand sides — refinement passes, sweeps, and the
 	// SolveBatch inner loop — allocate nothing beyond each result vector.
 	scratch solveScratch
+	// batch holds the lane-batched wave engine's per-lane working set,
+	// sized lazily on first batched solve and reused thereafter.
+	batch batchScratch
 }
 
 // solveScratch is the reusable working set of one solve attempt. A session
@@ -293,17 +312,7 @@ func (s *Session) SolveForCtx(ctx context.Context, rhs la.Vector, opt SolveOptio
 			return nil, stats, err
 		}
 	}
-	sigma := initialSigma(rhs, s.sc.S)
-	if opt.SigmaHint > 0 {
-		sigma = opt.SigmaHint
-	} else if s.sigmaGain > 0 {
-		sigma = s.sigmaGain * rhs.NormInf() / s.sc.S
-	}
-	// The scaled bias must fit the bias path: σ may never fall below the
-	// DAC-filling value (smaller σ would need gain > MaxGain).
-	if floor := initialSigma(rhs, s.sc.S) * margin / (margin * s.acc.spec.MaxGain); sigma < floor {
-		sigma = floor
-	}
+	sigma := s.startSigma(rhs, s.sigmaGain, opt)
 	boosted := 0
 	timeBase := s.acc.AnalogTime()
 	runsBase := s.acc.Runs()
@@ -636,38 +645,48 @@ func (s *Session) SolveForRefinedCtx(ctx context.Context, b la.Vector, opt Solve
 // SolveBatch solves A·u = rhs[k] for every right-hand side against the one
 // compiled session: the matrix is programmed (at most) once and only the
 // DAC biases are rewritten between items, so a batch of N costs one
-// configuration instead of N. Within the batch the learned dynamic-range
-// scale (sigmaGain) also carries forward, so later items usually skip the
-// exception-driven sigma search entirely. Results and per-item stats are
-// positional; the first failing item aborts the batch with its index in
-// the error.
+// configuration instead of N. On a chip with lane-batched mode the items
+// additionally solve lane-parallel, up to MaxBatchLanes per wave, all
+// sharing each integration sweep. Every item solves from batch-entry
+// session state, so results are identical whichever path runs — and
+// identical to solving each right-hand side alone against a fresh copy of
+// this session. Results and per-item stats are positional; the first
+// failing item aborts the batch with its index in the error.
 func (s *Session) SolveBatch(ctx context.Context, rhs []la.Vector, opt SolveOptions) ([]la.Vector, []Stats, error) {
+	opt = opt.withDefaults()
 	us := make([]la.Vector, len(rhs))
 	stats := make([]Stats, len(rhs))
 	for k, b := range rhs {
-		u, st, err := s.SolveForCtx(ctx, b, opt)
-		stats[k] = st
-		if err != nil {
-			return nil, stats, fmt.Errorf("core: batch rhs %d: %w", k, err)
+		if len(b) != s.n {
+			return nil, stats, fmt.Errorf("core: batch rhs %d: core: rhs length %d != %d", k, len(b), s.n)
 		}
-		us[k] = u
+	}
+	if s.laneEligible(len(rhs), opt) {
+		err := s.solveBatchLanes(ctx, rhs, opt, us, stats)
+		if err == nil {
+			return us, stats, nil
+		}
+		if !errors.Is(err, errLanesUnsupported) {
+			return nil, stats, err
+		}
+	}
+	if err := s.solveBatchSequential(ctx, rhs, opt, us, stats); err != nil {
+		return nil, stats, err
 	}
 	return us, stats, nil
 }
 
 // SolveBatchRefined is SolveBatch with Algorithm 2 refinement per item:
 // every right-hand side is driven to opt.Tolerance while the matrix stays
-// resident across the whole batch.
+// resident across the whole batch, with each refinement pass vectorized
+// across lanes where the chip supports it.
 func (s *Session) SolveBatchRefined(ctx context.Context, rhs []la.Vector, opt SolveOptions) ([]la.Vector, []Stats, error) {
-	us := make([]la.Vector, len(rhs))
-	stats := make([]Stats, len(rhs))
+	opt = opt.withDefaults()
+	entryGain := s.sigmaGain
+	items := make([]BatchItem, len(rhs))
 	for k, b := range rhs {
-		u, st, err := s.SolveForRefinedCtx(ctx, b, opt)
-		stats[k] = st
-		if err != nil {
-			return nil, stats, fmt.Errorf("core: batch rhs %d: %w", k, err)
-		}
-		us[k] = u
+		items[k] = BatchItem{RHS: b, Guess: opt.Guess, SigmaGain: entryGain}
 	}
-	return us, stats, nil
+	us, stats, _, err := s.SolveBatchRefinedItems(ctx, items, opt)
+	return us, stats, err
 }

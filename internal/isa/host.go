@@ -175,6 +175,65 @@ func (h *Host) ReadExp() ([]byte, error) {
 	return h.call(OpReadExp, nil)
 }
 
+// --- Lane-batched extension ---
+
+// SetLanes stages the lane count: the next commit replicates the
+// datapath's unit parameters across `lanes` independent lanes (0 returns
+// the chip to scalar mode). A device without lane support answers
+// StatusBadOpcode.
+func (h *Host) SetLanes(lanes uint16) error {
+	_, err := h.call(OpSetLanes, PutU16(nil, lanes))
+	return err
+}
+
+// SetIntInitialLane programs integrator `idx` with lane `lane`'s initial
+// condition, overriding the scalar register for that lane only.
+func (h *Host) SetIntInitialLane(lane, idx uint16, value float64) error {
+	p := PutF64(PutU16(PutU16(nil, lane), idx), value)
+	_, err := h.call(OpSetIntInitLane, p)
+	return err
+}
+
+// SetMulGainLane programs multiplier `idx` with lane `lane`'s gain.
+func (h *Host) SetMulGainLane(lane, idx uint16, gain float64) error {
+	p := PutF64(PutU16(PutU16(nil, lane), idx), gain)
+	_, err := h.call(OpSetMulGainLane, p)
+	return err
+}
+
+// SetDacConstantLane programs DAC `idx` with lane `lane`'s constant bias.
+func (h *Host) SetDacConstantLane(lane, idx uint16, value float64) error {
+	p := PutF64(PutU16(PutU16(nil, lane), idx), value)
+	_, err := h.call(OpSetDacConstLane, p)
+	return err
+}
+
+// ReadSerialLane reads the output codes of all ADCs as sampled by lane
+// `lane`, in the same wire format as ReadSerial.
+func (h *Host) ReadSerialLane(lane uint16) ([]byte, error) {
+	return h.call(OpReadSerialLane, PutU16(nil, lane))
+}
+
+// AnalogAvgLane records lane `lane`'s ADC `idx` over `samples`
+// conversions and returns the averaged value (full-scale units).
+func (h *Host) AnalogAvgLane(lane, idx uint16, samples uint16) (float64, error) {
+	p := PutU16(PutU16(PutU16(nil, lane), idx), samples)
+	out, err := h.call(OpAnalogAvgLane, p)
+	if err != nil {
+		return 0, err
+	}
+	if len(out) < 8 {
+		return 0, fmt.Errorf("isa: analogAvgLane response too short (%d bytes)", len(out))
+	}
+	return GetF64(out, 0), nil
+}
+
+// ReadExpLane reads lane `lane`'s exception vector in the same packed
+// format as ReadExp.
+func (h *Host) ReadExpLane(lane uint16) ([]byte, error) {
+	return h.call(OpReadExpLane, PutU16(nil, lane))
+}
+
 // UnpackBits expands a packed exception vector into per-unit booleans.
 func UnpackBits(packed []byte, n int) []bool {
 	out := make([]bool, n)

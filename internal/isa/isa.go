@@ -40,6 +40,21 @@ const (
 	// explicitly — the prototype reconfigures by rewriting the whole
 	// bitstream, and this instruction is the framed-protocol equivalent.
 	OpCfgReset Opcode = 0x10
+
+	// Lane-batched extension (not in Table I): the chip replicates the
+	// committed datapath's unit parameters across B independent lanes and
+	// steps all lanes through one shared op stream. Topology, LUT
+	// contents, trims and mismatch are shared; DAC levels, constant
+	// multiplier gains and integrator initial conditions may be
+	// overridden per lane. An older device answers these opcodes with
+	// StatusBadOpcode, which is how the host probes for lane support.
+	OpSetLanes        Opcode = 0x11 // config: lane count (0 = scalar mode)
+	OpSetIntInitLane  Opcode = 0x12 // config: per-lane integrator initial condition
+	OpSetMulGainLane  Opcode = 0x13 // config: per-lane multiplier gain
+	OpSetDacConstLane Opcode = 0x14 // config: per-lane DAC constant bias
+	OpReadSerialLane  Opcode = 0x15 // data output: read all ADC outputs of one lane
+	OpAnalogAvgLane   Opcode = 0x16 // data output: averaged ADC read of one lane
+	OpReadExpLane     Opcode = 0x17 // exception: read one lane's exception vector
 )
 
 // String names the opcode as in Table I.
@@ -77,6 +92,20 @@ func (o Opcode) String() string {
 		return "readExp"
 	case OpCfgReset:
 		return "cfgReset"
+	case OpSetLanes:
+		return "setLanes"
+	case OpSetIntInitLane:
+		return "setIntInitialLane"
+	case OpSetMulGainLane:
+		return "setMulGainLane"
+	case OpSetDacConstLane:
+		return "setDacConstantLane"
+	case OpReadSerialLane:
+		return "readSerialLane"
+	case OpAnalogAvgLane:
+		return "analogAvgLane"
+	case OpReadExpLane:
+		return "readExpLane"
 	default:
 		return fmt.Sprintf("Opcode(0x%02x)", uint8(o))
 	}

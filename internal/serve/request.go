@@ -142,6 +142,10 @@ type BatchSolveRequest struct {
 
 	// Tol is the convergence / refinement tolerance (default 1e-8).
 	Tol float64 `json:"tol,omitempty"`
+	// MaxLanes caps how many right-hand sides the chip drives
+	// lane-parallel (0 = device limit, 1 = sequential). Lane widths are
+	// bit-identical; this trades latency, never answers.
+	MaxLanes int `json:"max_lanes,omitempty"`
 	// TimeoutMs caps the whole batch's solve deadline; the server clamps
 	// it to its own maximum. Zero means the server default.
 	TimeoutMs int `json:"timeout_ms,omitempty"`
@@ -189,6 +193,9 @@ type AnalogStats struct {
 	ScaleS float64 `json:"scale_s"`
 	// ChipClass is the pool size class the chip came from.
 	ChipClass int `json:"chip_class,omitempty"`
+	// Lanes is the widest lane wave this item settled in (batch solves on
+	// the fused engine); absent when every run took the scalar path.
+	Lanes int `json:"lanes,omitempty"`
 }
 
 // DigitalStats is the iterative-baseline cost block.

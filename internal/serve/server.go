@@ -345,7 +345,7 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	defer func() { <-s.slots }()
 
-	params := cli.SolveParams{Tol: req.Tol, ADCBits: s.cfg.Pool.ADCBits, Bandwidth: s.cfg.Pool.Bandwidth}
+	params := cli.SolveParams{Tol: req.Tol, ADCBits: s.cfg.Pool.ADCBits, Bandwidth: s.cfg.Pool.Bandwidth, MaxLanes: req.MaxLanes}
 	if params.Tol <= 0 {
 		params.Tol = s.cfg.Tol
 	}
@@ -403,6 +403,7 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 				Refinements:   out.Refinements,
 				ScaleS:        out.ScaleS,
 				ChipClass:     chipClass,
+				Lanes:         out.Lanes,
 			}
 		} else if out.Iterations > 0 || out.MACs > 0 {
 			item.Digital = &DigitalStats{Iterations: out.Iterations, MACs: out.MACs}

@@ -10,6 +10,7 @@
 #   scripts/bench.sh 3 10x   # BENCH_3.json: decomposition scaling
 #   scripts/bench.sh 4       # BENCH_4.json: session cache + batch solves
 #   scripts/bench.sh 5       # BENCH_5.json: fused vs compiled step kernel
+#   scripts/bench.sh 6       # BENCH_6.json: lane-batched vs sequential batch
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -39,8 +40,14 @@ case "$SUITE" in
 	BENCHTIME="${2:-1s}"
 	DESC="fused kernel vs compiled op stream: eval and RK4 step on the fig8 Poisson netlist at 32x32 (serial) and 128x128 (level-parallel, 1/2/4 workers)"
 	;;
+6)
+	PKG=./internal/circuit
+	BENCH='Batch32'
+	BENCHTIME="${2:-2s}"
+	DESC="lane-batched fused engine vs sequential batch path: 16 solve instances on the 32x32 Poisson fig8 netlist, one RK4 step and one 50-step settle segment, as a single 16-lane run vs sixteen scalar fused runs"
+	;;
 *)
-	echo "bench.sh: unknown suite $SUITE (known: 1, 3, 4, 5)" >&2
+	echo "bench.sh: unknown suite $SUITE (known: 1, 3, 4, 5, 6)" >&2
 	exit 2
 	;;
 esac

@@ -32,9 +32,11 @@ go test -race -count=2 -run 'ParallelDecompose|PoolProvider|PoolTryCheckout|Serv
 # matrices races chip adoption against LRU eviction and drift invalidation.
 go test -race -count=2 -run 'PoolAffinity|PoolLRU|PoolCalibrationDrift|PoolCacheStress|PoolPrefersBlank|SolveBatch' ./internal/core ./internal/serve
 
-# End-to-end serve smoke: start a real alad daemon on a random port, solve
-# the Equation 2 system through serve.Client, scrape /metrics to confirm
-# the solve counter moved, round-trip alasolve -server, then SIGTERM and
+# End-to-end serve smoke: start a real alad daemon (-engine fused) on a
+# random port, solve the Equation 2 system through serve.Client, scrape
+# /metrics to confirm the solve counter moved, POST /v1/solve/batch and
+# assert the items settled lane-parallel, round-trip alasolve -server and
+# alasolve -rhs-file (which must also ride a lane wave), then SIGTERM and
 # assert a clean drain. See scripts/smoke/main.go.
 BIN="${TMPDIR:-/tmp}/alad-smoke-$$"
 mkdir -p "$BIN"
@@ -45,6 +47,10 @@ go run ./scripts/smoke -alad "$BIN/alad" -alasolve "$BIN/alasolve"
 
 # Engine equivalence: the fused kernel's parallel path is schedule-dependent
 # by construction (per-level worker chunks) but must stay bit-identical to
-# serial; -count=2 under -race shakes interleavings. The fuzz seed corpus
-# replays the checked-in differential cases through all three engines.
-go test -race -count=2 -run 'Fused|EngineEquivalence|Fuzz' ./internal/circuit
+# serial; -count=2 under -race shakes interleavings. The fuzz seed corpora
+# replay the checked-in differential cases through all three engines and
+# through lane widths 1/2/7/16 (16 is the AVX2 kernel path on amd64), and
+# the core lane-batch differentials hold wave answers equal to scalar
+# solves end-to-end.
+go test -race -count=2 -run 'Fused|Lane|EngineEquivalence|Fuzz' ./internal/circuit
+go test -race -count=2 -run 'Lane|SolveBatch' ./internal/core

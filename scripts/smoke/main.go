@@ -35,8 +35,10 @@ func main() {
 
 	// 1. Start alad on a random port with a tiny warm pool. -max-dim 8
 	// keeps the largest chip class small so step 4 can exercise the
-	// decomposed fan-out path with a modest n=16 system.
-	cmd := exec.Command(*aladPath, "-addr", "127.0.0.1:0", "-pool", "1", "-warm", "2", "-queue", "8", "-max-dim", "8")
+	// decomposed fan-out path with a modest n=16 system; -engine fused is
+	// the lane-capable kernel, so step 3.5's batch must report settling
+	// lane-parallel.
+	cmd := exec.Command(*aladPath, "-addr", "127.0.0.1:0", "-pool", "1", "-warm", "2", "-queue", "8", "-max-dim", "8", "-engine", "fused")
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		die("stderr pipe: %v", err)
@@ -158,6 +160,14 @@ func main() {
 			die("batch u[%d] = %v, want %v", i, batchResp.Items[0].U[i], want[i])
 		}
 	}
+	// The fused engine must have settled the batch as one 3-wide lane
+	// wave, not by silently falling back to the sequential path; every
+	// item reports the wave width it rode.
+	for k, it := range batchResp.Items {
+		if it.Analog == nil || it.Analog.Lanes != len(batchResp.Items) {
+			die("batch item %d did not settle lane-parallel: analog=%+v", k, it.Analog)
+		}
+	}
 	text, err = client.Metrics(ctx)
 	if err != nil {
 		die("metrics after batch: %v", err)
@@ -170,8 +180,8 @@ func main() {
 	if m == nil || m[1] == "0" {
 		die("session cache never hit: %q in metrics", hitsRe.String())
 	}
-	fmt.Fprintf(os.Stderr, "[smoke] session cache ok: hits=%s, batch of %d served\n",
-		m[1], len(batchResp.Items))
+	fmt.Fprintf(os.Stderr, "[smoke] session cache ok: hits=%s, batch of %d served at %d lanes\n",
+		m[1], len(batchResp.Items), batchResp.Items[0].Analog.Lanes)
 
 	// 4. Oversized solve: n=16 against -max-dim 8 is bigger than any chip
 	// class, so the daemon must partition it and fan the blocks out through
@@ -253,7 +263,12 @@ func main() {
 		if !strings.Contains(string(out), "# rhs 1") || !strings.Contains(string(out), "2 rhs served by") {
 			die("alasolve -rhs-file output malformed:\n%s", out)
 		}
-		fmt.Fprintf(os.Stderr, "[smoke] alasolve -rhs-file ok\n")
+		// Both right-hand sides must ride one 2-wide lane wave on the
+		// daemon's fused engine, and the per-item cost line says so.
+		if !strings.Contains(string(out), "2 lanes") {
+			die("alasolve -rhs-file did not settle lane-parallel:\n%s", out)
+		}
+		fmt.Fprintf(os.Stderr, "[smoke] alasolve -rhs-file ok (lane-parallel)\n")
 	}
 
 	// 6. SIGTERM and assert a clean drain.
