@@ -54,6 +54,13 @@ func main() {
 		engine    = flag.String("engine", "auto", "simulation kernel for pooled chips: auto | interpreter | compiled | fused")
 		simJobs   = flag.Int("sim-workers", 0, "fused-engine worker bound per chip (0 = auto; results are identical for every value)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
+
+		store        = flag.String("store", "", "async job journal path (empty: jobs run in memory and do not survive restarts)")
+		jobWorkers   = flag.Int("job-workers", 2, "async job executor goroutines (-1 disables execution)")
+		jobLease     = flag.Duration("job-lease", 10*time.Second, "async job lease TTL; a dead executor loses its job back to the queue after this long")
+		jobQueue     = flag.Int("job-queue", 256, "async job backlog bound (submissions beyond it get 429)")
+		jobQuota     = flag.Int("job-quota", 0, "per-tenant live async job cap (0 = unlimited)")
+		jobExecDelay = flag.Duration("job-exec-delay", 0, "fault-injection hold between leasing and executing each job (crash testing only)")
 	)
 	flag.Parse()
 
@@ -74,6 +81,12 @@ func main() {
 		QueueBound:     *queue,
 		MaxBatchRHS:    *maxBatch,
 		DefaultTimeout: *timeout,
+		JobStore:       *store,
+		JobWorkers:     *jobWorkers,
+		JobLeaseTTL:    *jobLease,
+		JobMaxQueued:   *jobQueue,
+		JobTenantQuota: *jobQuota,
+		JobExecDelay:   *jobExecDelay,
 	})
 	if err != nil {
 		log.Fatalf("alad: %v", err)
@@ -107,6 +120,10 @@ func main() {
 	httpSrv := &http.Server{Handler: mux}
 	log.Printf("alad: listening on %s (pool %d/class, warm %v, queue %d, engine %s)",
 		ln.Addr(), *pool, warmSizes, *queue, *engine)
+	if js := srv.Jobs().Stats(); js.Replayed > 0 || *store != "" {
+		log.Printf("alad: job store %q: %d jobs replayed (%d lease reclaims, %d torn records dropped), %d queued",
+			*store, js.Replayed, js.LeaseExpired, js.TornDropped, js.Queued)
+	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
@@ -118,9 +135,22 @@ func main() {
 		log.Printf("alad: %v — draining in-flight solves (budget %v)", sig, *drain)
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
+		// Drain order: stop leasing new async work first, then close the
+		// HTTP side (finishing admitted requests), then let running jobs
+		// complete within the remaining budget. Whatever stays queued is
+		// already journaled and replays on the next boot.
+		srv.PauseJobs()
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			log.Fatalf("alad: drain incomplete: %v", err)
 		}
+		queued, derr := srv.DrainJobs(ctx)
+		if derr != nil {
+			log.Printf("alad: job drain incomplete (%v); running jobs re-queue via lease expiry on next boot", derr)
+		}
+		if err := srv.Close(); err != nil {
+			log.Printf("alad: closing job store: %v", err)
+		}
+		log.Printf("alad: %d queued jobs persisted for next boot", queued)
 		log.Printf("alad: drained, bye")
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {

@@ -10,6 +10,8 @@
 //	alasolve -f system.txt -backend analog-refined -tol 1e-8
 //	alasolve -f poisson.txt -backend cg
 //	alasolve -f system.txt -server localhost:8080
+//	alasolve -f system.txt -server localhost:8080 -async        # prints a job ID
+//	alasolve -server localhost:8080 -job j-00000001 -wait       # blocks for the result
 //	echo "n 1
 //	a 0 0 0.5
 //	b 0 0.25" | alasolve -backend analog
@@ -17,6 +19,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -45,9 +48,46 @@ func main() {
 		blockSize = flag.Int("block", 0, "decomposed backend: variables per block (default: auto)")
 		server    = flag.String("server", "", "alad daemon address: submit the solve remotely instead of solving in-process")
 		deadline  = flag.Duration("deadline", 0, "with -server: per-request solve deadline (default: server's)")
+		async     = flag.Bool("async", false, "with -server: submit as a durable background job and print its ID instead of waiting inline (add -wait to block for the result)")
+		wait      = flag.Bool("wait", false, "with -async or -job: block until the job is terminal and print its result")
+		jobID     = flag.String("job", "", "with -server: fetch (or with -wait, wait for) an existing job by ID instead of submitting")
+		tenant    = flag.String("tenant", "", "with -server: tenant label for async job scheduling and quotas")
+		retries   = flag.Int("retries", 2, "with -server: times a busy (429) answer is retried with jittered backoff honoring Retry-After")
 		quiet     = flag.Bool("q", false, "print only the solution values")
 	)
 	flag.Parse()
+
+	newRemote := func() *serve.Client {
+		c := serve.NewClient(*server)
+		c.MaxRetries = *retries
+		c.Tenant = *tenant
+		return c
+	}
+
+	// -job needs no input system: fetch the job and leave.
+	if *jobID != "" {
+		if *server == "" {
+			fail("-job requires -server")
+		}
+		c := newRemote()
+		var (
+			st  *serve.JobStatus
+			err error
+		)
+		if *wait {
+			st, err = c.WaitJob(context.Background(), *jobID)
+		} else {
+			st, err = c.Job(context.Background(), *jobID, 0)
+		}
+		if err != nil {
+			fail("job %s: %v", *jobID, err)
+		}
+		printJob(st, *quiet)
+		return
+	}
+	if *async && *server == "" {
+		fail("-async requires -server")
+	}
 
 	// Fail fast on a bad backend before touching (or fully parsing) the
 	// input: `alasolve -backend typo < big.mtx` must not read big.mtx.
@@ -101,7 +141,12 @@ func main() {
 		if err != nil {
 			fail("%v", err)
 		}
-		solveBatch(a, rhs, *server, *backend, *deadline, *quiet, cli.SolveParams{
+		if *async {
+			req := buildBatchRequest(a, rhs, *backend, *tol, *maxLanes, *deadline)
+			submitJob(newRemote(), serve.JobSubmitRequest{Tenant: *tenant, Batch: &req}, *wait, *quiet)
+			return
+		}
+		solveBatch(a, rhs, *server, *backend, *deadline, *quiet, *retries, cli.SolveParams{
 			Tol:       *tol,
 			ADCBits:   *adcBits,
 			Bandwidth: *bandwidth,
@@ -112,12 +157,18 @@ func main() {
 		return
 	}
 
+	if *async {
+		req := buildSolveRequest(a, b, *backend, *tol, *deadline, *jobs)
+		submitJob(newRemote(), serve.JobSubmitRequest{Tenant: *tenant, Solve: &req}, *wait, *quiet)
+		return
+	}
+
 	var (
 		u     la.Vector
 		extra string
 	)
 	if *server != "" {
-		u, extra = solveRemote(*server, *backend, a, b, *tol, *deadline, *jobs)
+		u, extra = solveRemote(newRemote(), *server, *backend, a, b, *tol, *deadline, *jobs)
 	} else {
 		out, err := cli.SolveSystem(context.Background(), *backend, a, b, cli.SolveParams{
 			Tol:       *tol,
@@ -150,7 +201,7 @@ func main() {
 // solveBatch runs the multi-RHS path — locally through one compiled
 // session, or remotely through POST /v1/solve/batch — and prints one
 // solution block per right-hand side.
-func solveBatch(a *la.CSR, rhs []la.Vector, server, backend string, deadline time.Duration, quiet bool, p cli.SolveParams) {
+func solveBatch(a *la.CSR, rhs []la.Vector, server, backend string, deadline time.Duration, quiet bool, retries int, p cli.SolveParams) {
 	type item struct {
 		u     la.Vector
 		extra string
@@ -158,19 +209,10 @@ func solveBatch(a *la.CSR, rhs []la.Vector, server, backend string, deadline tim
 	items := make([]item, 0, len(rhs))
 	var summary string
 	if server != "" {
-		req := serve.BatchSolveRequest{Backend: backend, N: a.Dim(), Tol: p.Tol, MaxLanes: p.MaxLanes}
-		for i := 0; i < a.Dim(); i++ {
-			a.VisitRow(i, func(j int, v float64) {
-				req.A = append(req.A, serve.Entry{Row: i, Col: j, Val: v})
-			})
-		}
-		for _, b := range rhs {
-			req.RHS = append(req.RHS, []float64(b))
-		}
-		if deadline > 0 {
-			req.TimeoutMs = int(deadline / time.Millisecond)
-		}
-		resp, err := serve.NewClient(server).SolveBatch(context.Background(), req)
+		req := buildBatchRequest(a, rhs, backend, p.Tol, p.MaxLanes, deadline)
+		c := serve.NewClient(server)
+		c.MaxRetries = retries
+		resp, err := c.SolveBatch(context.Background(), req)
 		if err != nil {
 			fail("remote batch solve: %v", err)
 		}
@@ -213,9 +255,9 @@ func solveBatch(a *la.CSR, rhs []la.Vector, server, backend string, deadline tim
 	}
 }
 
-// solveRemote ships the parsed system to an alad daemon over the shared
-// serve schema and returns the solution plus a cost summary.
-func solveRemote(addr, backend string, a *la.CSR, b la.Vector, tol float64, deadline time.Duration, jobs int) (la.Vector, string) {
+// buildSolveRequest serializes the parsed system into the shared serve
+// schema (used by both the synchronous remote path and async jobs).
+func buildSolveRequest(a *la.CSR, b la.Vector, backend string, tol float64, deadline time.Duration, jobs int) serve.SolveRequest {
 	req := serve.SolveRequest{Backend: backend, N: a.Dim(), B: b, Tol: tol, Workers: jobs}
 	for i := 0; i < a.Dim(); i++ {
 		a.VisitRow(i, func(j int, v float64) {
@@ -225,7 +267,122 @@ func solveRemote(addr, backend string, a *la.CSR, b la.Vector, tol float64, dead
 	if deadline > 0 {
 		req.TimeoutMs = int(deadline / time.Millisecond)
 	}
-	resp, err := serve.NewClient(addr).Solve(context.Background(), req)
+	return req
+}
+
+// buildBatchRequest is buildSolveRequest's multi-RHS counterpart.
+func buildBatchRequest(a *la.CSR, rhs []la.Vector, backend string, tol float64, maxLanes int, deadline time.Duration) serve.BatchSolveRequest {
+	req := serve.BatchSolveRequest{Backend: backend, N: a.Dim(), Tol: tol, MaxLanes: maxLanes}
+	for i := 0; i < a.Dim(); i++ {
+		a.VisitRow(i, func(j int, v float64) {
+			req.A = append(req.A, serve.Entry{Row: i, Col: j, Val: v})
+		})
+	}
+	for _, b := range rhs {
+		req.RHS = append(req.RHS, []float64(b))
+	}
+	if deadline > 0 {
+		req.TimeoutMs = int(deadline / time.Millisecond)
+	}
+	return req
+}
+
+// submitJob posts one async job; with wait it then blocks until the job
+// is terminal and prints the result as the synchronous path would.
+func submitJob(c *serve.Client, req serve.JobSubmitRequest, wait, quiet bool) {
+	st, err := c.SubmitJob(context.Background(), req)
+	if err != nil {
+		fail("submitting job: %v", err)
+	}
+	if !wait {
+		if quiet {
+			fmt.Println(st.ID)
+		} else {
+			note := ""
+			if st.Deduped {
+				note = " (deduplicated: an equivalent job is already in the store)"
+			}
+			fmt.Printf("job %s %s%s\n", st.ID, st.State, note)
+			fmt.Printf("# poll with: alasolve -server ... -job %s [-wait]\n", st.ID)
+		}
+		return
+	}
+	final, err := c.WaitJob(context.Background(), st.ID)
+	if err != nil {
+		fail("waiting for job %s: %v", st.ID, err)
+	}
+	printJob(final, quiet)
+}
+
+// printJob renders a job status: done jobs print their stored solution
+// exactly like a synchronous solve, failed ones exit with the recorded
+// error, and everything else reports the lifecycle state.
+func printJob(st *serve.JobStatus, quiet bool) {
+	switch st.State {
+	case "done":
+	case "failed", "cancelled":
+		msg := st.State
+		if st.Error != nil {
+			msg += fmt.Sprintf(" (%s: %s)", st.Error.Code, st.Error.Error)
+		}
+		fail("job %s %s", st.ID, msg)
+	default:
+		if quiet {
+			fmt.Println(st.State)
+		} else {
+			fmt.Printf("job %s %s (attempts %d, submitted %s)\n",
+				st.ID, st.State, st.Attempts, st.SubmittedAt.Format(time.RFC3339))
+		}
+		return
+	}
+	switch st.Kind {
+	case serve.JobKindSolve:
+		var resp serve.SolveResponse
+		if err := json.Unmarshal(st.Result, &resp); err != nil {
+			fail("decoding job %s result: %v", st.ID, err)
+		}
+		for i, v := range resp.U {
+			if quiet {
+				fmt.Printf("%.12g\n", v)
+			} else {
+				fmt.Printf("u[%d] = %.12g\n", i, v)
+			}
+		}
+		if !quiet {
+			fmt.Printf("# job %s done: backend %s, residual %.3e, solved in %.1f ms\n",
+				st.ID, resp.Backend, resp.Residual, resp.ElapsedMs)
+		}
+	case serve.JobKindBatch:
+		var resp serve.BatchSolveResponse
+		if err := json.Unmarshal(st.Result, &resp); err != nil {
+			fail("decoding job %s result: %v", st.ID, err)
+		}
+		for k, it := range resp.Items {
+			if quiet {
+				for _, v := range it.U {
+					fmt.Printf("%.12g\n", v)
+				}
+				continue
+			}
+			fmt.Printf("# rhs %d (residual %.3e)\n", k, it.Residual)
+			for i, v := range it.U {
+				fmt.Printf("u[%d] = %.12g\n", i, v)
+			}
+		}
+		if !quiet {
+			fmt.Printf("# job %s done: backend %s, %d rhs in %.1f ms\n",
+				st.ID, resp.Backend, len(resp.Items), resp.ElapsedMs)
+		}
+	default:
+		fail("job %s has unknown kind %q", st.ID, st.Kind)
+	}
+}
+
+// solveRemote ships the parsed system to an alad daemon over the shared
+// serve schema and returns the solution plus a cost summary.
+func solveRemote(c *serve.Client, addr, backend string, a *la.CSR, b la.Vector, tol float64, deadline time.Duration, jobs int) (la.Vector, string) {
+	req := buildSolveRequest(a, b, backend, tol, deadline, jobs)
+	resp, err := c.Solve(context.Background(), req)
 	if err != nil {
 		fail("remote solve: %v", err)
 	}

@@ -1,0 +1,179 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Exec runs one job's payload and returns its opaque result, or a
+// non-empty error code (with a message) on failure. The context is
+// cancelled when the job is cancelled or the worker pool is force-
+// stopped; an Exec that honors it makes cancellation prompt.
+type Exec func(ctx context.Context, j *Job) (result []byte, errCode, errMsg string)
+
+// Workers drives a queue with n executor goroutines plus a lease-expiry
+// sweeper. Each worker leases a job, marks it running, heartbeat-renews
+// the lease at TTL/3 while Exec runs, and records the outcome. A worker
+// (or the whole process) dying mid-job is recovered by lease expiry —
+// live, by the sweeper; after a crash, by boot-time replay.
+type Workers struct {
+	q    *Queue
+	exec Exec
+	// execDelay is a fault-injection hook: every job sleeps this long
+	// (context-aware) between leasing and executing, giving crash tests
+	// a deterministic mid-flight window. Zero in production.
+	execDelay time.Duration
+
+	cancelLoops context.CancelFunc
+	wg          sync.WaitGroup
+}
+
+// StartWorkers launches n workers over q. execDelay is the
+// fault-injection hold described on Workers (zero for production).
+func StartWorkers(q *Queue, n int, exec Exec, execDelay time.Duration) *Workers {
+	ctx, cancel := context.WithCancel(context.Background())
+	w := &Workers{q: q, exec: exec, execDelay: execDelay, cancelLoops: cancel}
+	for i := 0; i < n; i++ {
+		owner := fmt.Sprintf("worker-%d", i)
+		w.wg.Add(1)
+		go w.loop(ctx, owner)
+	}
+	if n > 0 {
+		w.wg.Add(1)
+		go w.sweep(ctx)
+	}
+	return w
+}
+
+// Stop ends the lease loops and waits for in-flight jobs to finish; if
+// ctx expires first, running jobs' contexts are cancelled and the wait
+// resumes until they acknowledge. Pair with Queue.Drain for the
+// graceful path.
+func (w *Workers) Stop(ctx context.Context) {
+	w.cancelLoops()
+	done := make(chan struct{})
+	go func() {
+		w.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		w.q.abortRunning()
+		<-done
+	}
+}
+
+func (w *Workers) loop(ctx context.Context, owner string) {
+	defer w.wg.Done()
+	idle := time.NewTicker(250 * time.Millisecond)
+	defer idle.Stop()
+	for {
+		j := w.q.Lease(owner)
+		if j == nil {
+			select {
+			case <-ctx.Done():
+				return
+			case <-w.q.Wake():
+			case <-w.q.Closed():
+				return
+			case <-idle.C: // re-check after lease expiries
+			}
+			continue
+		}
+		w.run(j, owner)
+	}
+}
+
+// sweep re-queues expired leases on a cadence well under the TTL.
+func (w *Workers) sweep(ctx context.Context) {
+	defer w.wg.Done()
+	period := w.q.cfg.LeaseTTL / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-w.q.Closed():
+			return
+		case <-tick.C:
+			w.q.ExpireLeases()
+		}
+	}
+}
+
+func (w *Workers) run(j *Job, owner string) {
+	// The job context is deliberately not derived from the loop context:
+	// stopping intake must not abort work already leased. It is
+	// cancelled by Queue.Cancel (via the registered hook) or by
+	// Stop's deadline enforcement.
+	jctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w.q.registerCancel(j.ID, cancel)
+	defer w.q.unregisterCancel(j.ID)
+
+	if err := w.q.Start(j.ID, owner); err != nil {
+		return // lease lost between Lease and Start
+	}
+
+	// Heartbeat until the outcome is recorded. A failed renewal means
+	// the lease expired and was re-queued or re-leased: this attempt's
+	// answer no longer counts, so stop burning time on it.
+	hbStop := make(chan struct{})
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		tick := time.NewTicker(w.q.cfg.LeaseTTL / 3)
+		defer tick.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-tick.C:
+				if err := w.q.Renew(j.ID, owner); err != nil {
+					cancel()
+					return
+				}
+			}
+		}
+	}()
+
+	if w.execDelay > 0 {
+		select {
+		case <-jctx.Done():
+		case <-time.After(w.execDelay):
+		}
+	}
+
+	var (
+		result  []byte
+		code    string
+		msg     string
+		aborted = jctx.Err() != nil
+	)
+	if aborted {
+		code, msg = "cancelled", "cancelled before execution"
+	} else {
+		result, code, msg = w.exec(jctx, j)
+	}
+	close(hbStop)
+	hbWG.Wait()
+
+	var err error
+	if code == "" {
+		err = w.q.Complete(j.ID, owner, result)
+	} else {
+		err = w.q.Fail(j.ID, owner, code, msg)
+	}
+	// ErrNotOwner means the lease expired mid-run and the job moved on;
+	// the discarded outcome is by design (current owner wins).
+	_ = errors.Is(err, ErrNotOwner)
+}

@@ -4,12 +4,17 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
+
+	"analogacc/internal/jobs"
 )
 
 // Client submits solve requests to a running alad daemon. It is what
@@ -20,6 +25,14 @@ type Client struct {
 	BaseURL string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+	// MaxRetries is how many times a 429 answer is retried, sleeping a
+	// jittered multiple of the server's Retry-After hint between
+	// attempts. Zero (the default) surfaces *BusyError immediately —
+	// backpressure is the caller's to see unless it opts in.
+	MaxRetries int
+	// Tenant, when set, rides along as the X-Alad-Tenant header on job
+	// submissions (fair scheduling and quota scope).
+	Tenant string
 }
 
 // NewClient accepts "host:port" or a full http(s) URL.
@@ -30,14 +43,18 @@ func NewClient(addr string) *Client {
 	return &Client{BaseURL: strings.TrimRight(addr, "/")}
 }
 
-// BusyError is the typed 429: the daemon's admission queue is full.
+// BusyError is the typed 429: the daemon's admission queue (or job
+// backlog, or the tenant's quota) is full.
 type BusyError struct {
 	// RetryAfter is the server's backoff hint.
 	RetryAfter time.Duration
+	// Code distinguishes the shared admission queue ("busy") from a
+	// per-tenant quota bounce ("quota").
+	Code string
 }
 
 func (e *BusyError) Error() string {
-	return fmt.Sprintf("serve: server busy, retry after %v", e.RetryAfter)
+	return fmt.Sprintf("serve: server busy (%s), retry after %v", e.Code, e.RetryAfter)
 }
 
 // RemoteError is any other non-2xx answer, with the server's stable error
@@ -59,21 +76,31 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// Solve submits one request and returns the server's answer. A full
-// admission queue surfaces as *BusyError; other failures as *RemoteError.
-func (c *Client) Solve(ctx context.Context, req SolveRequest) (*SolveResponse, error) {
-	body, err := json.Marshal(req)
-	if err != nil {
-		return nil, fmt.Errorf("serve: encoding request: %w", err)
+// do runs one JSON round trip: in (if non-nil) is the request body, out
+// (if non-nil) decodes the answer. 429s become *BusyError, other non-2xx
+// answers *RemoteError with the server's stable code preserved.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("serve: encoding request: %w", err)
+		}
+		body = bytes.NewReader(raw)
 	}
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/solve", bytes.NewReader(body))
+	httpReq, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	httpReq.Header.Set("Content-Type", "application/json")
+	if in != nil {
+		httpReq.Header.Set("Content-Type", "application/json")
+	}
+	if c.Tenant != "" {
+		httpReq.Header.Set("X-Alad-Tenant", c.Tenant)
+	}
 	resp, err := c.httpClient().Do(httpReq)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusTooManyRequests {
@@ -81,20 +108,65 @@ func (c *Client) Solve(ctx context.Context, req SolveRequest) (*SolveResponse, e
 		if v, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && v > 0 {
 			retry = time.Duration(v) * time.Second
 		}
-		io.Copy(io.Discard, resp.Body)
-		return nil, &BusyError{RetryAfter: retry}
+		code := CodeBusy
+		var er ErrorResponse
+		if raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16)); json.Unmarshal(raw, &er) == nil && er.Code != "" {
+			code = er.Code
+		}
+		return &BusyError{RetryAfter: retry, Code: code}
 	}
-	if resp.StatusCode != http.StatusOK {
+	if resp.StatusCode/100 != 2 {
 		var er ErrorResponse
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 		if json.Unmarshal(msg, &er) != nil || er.Error == "" {
 			er = ErrorResponse{Code: CodeInternal, Error: strings.TrimSpace(string(msg))}
 		}
-		return nil, &RemoteError{StatusCode: resp.StatusCode, Code: er.Code, Message: er.Error}
+		return &RemoteError{StatusCode: resp.StatusCode, Code: er.Code, Message: er.Error}
 	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("serve: decoding response: %w", err)
+	}
+	return nil
+}
+
+// doRetry wraps do with the opt-in 429 retry loop: up to MaxRetries
+// re-attempts, each sleeping a jittered (0.5×–1.5×) multiple of the
+// server's Retry-After hint, bounded and context-aware. Jitter keeps a
+// burst of bounced clients from re-arriving in lockstep.
+func (c *Client) doRetry(ctx context.Context, method, path string, in, out any) error {
+	for attempt := 0; ; attempt++ {
+		err := c.do(ctx, method, path, in, out)
+		var busy *BusyError
+		if err == nil || !errors.As(err, &busy) || attempt >= c.MaxRetries {
+			return err
+		}
+		delay := busy.RetryAfter
+		if delay <= 0 {
+			delay = time.Second
+		}
+		if delay > 30*time.Second {
+			delay = 30 * time.Second
+		}
+		delay = delay/2 + time.Duration(rand.Int63n(int64(delay)))
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(delay):
+		}
+	}
+}
+
+// Solve submits one request and returns the server's answer. A full
+// admission queue surfaces as *BusyError (retried per MaxRetries);
+// other failures as *RemoteError.
+func (c *Client) Solve(ctx context.Context, req SolveRequest) (*SolveResponse, error) {
 	var out SolveResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, fmt.Errorf("serve: decoding response: %w", err)
+	if err := c.doRetry(ctx, http.MethodPost, "/v1/solve", req, &out); err != nil {
+		return nil, err
 	}
 	return &out, nil
 }
@@ -103,41 +175,86 @@ func (c *Client) Solve(ctx context.Context, req SolveRequest) (*SolveResponse, e
 // matrix once and solves every right-hand side on the resident
 // configuration. Errors surface exactly as in Solve.
 func (c *Client) SolveBatch(ctx context.Context, req BatchSolveRequest) (*BatchSolveResponse, error) {
-	body, err := json.Marshal(req)
-	if err != nil {
-		return nil, fmt.Errorf("serve: encoding request: %w", err)
-	}
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/solve/batch", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	httpReq.Header.Set("Content-Type", "application/json")
-	resp, err := c.httpClient().Do(httpReq)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusTooManyRequests {
-		retry := time.Second
-		if v, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && v > 0 {
-			retry = time.Duration(v) * time.Second
-		}
-		io.Copy(io.Discard, resp.Body)
-		return nil, &BusyError{RetryAfter: retry}
-	}
-	if resp.StatusCode != http.StatusOK {
-		var er ErrorResponse
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-		if json.Unmarshal(msg, &er) != nil || er.Error == "" {
-			er = ErrorResponse{Code: CodeInternal, Error: strings.TrimSpace(string(msg))}
-		}
-		return nil, &RemoteError{StatusCode: resp.StatusCode, Code: er.Code, Message: er.Error}
-	}
 	var out BatchSolveResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, fmt.Errorf("serve: decoding response: %w", err)
+	if err := c.doRetry(ctx, http.MethodPost, "/v1/solve/batch", req, &out); err != nil {
+		return nil, err
 	}
 	return &out, nil
+}
+
+// SubmitJob enqueues an asynchronous solve and returns its accepted (or
+// deduplicated) status without waiting for the result.
+func (c *Client) SubmitJob(ctx context.Context, req JobSubmitRequest) (*JobStatus, error) {
+	var out JobStatus
+	if err := c.doRetry(ctx, http.MethodPost, "/v1/jobs", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Job fetches one job's status. A positive wait long-polls: the server
+// holds the request until the job is terminal or the window closes,
+// answering with the current state either way.
+func (c *Client) Job(ctx context.Context, id string, wait time.Duration) (*JobStatus, error) {
+	path := "/v1/jobs/" + url.PathEscape(id)
+	if wait > 0 {
+		path += "?wait=" + url.QueryEscape(wait.String())
+	}
+	var out JobStatus
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// WaitJob long-polls until the job reaches a terminal state or ctx
+// expires, re-issuing a bounded wait each round so intermediate proxies
+// never see an unboundedly held request.
+func (c *Client) WaitJob(ctx context.Context, id string) (*JobStatus, error) {
+	for {
+		st, err := c.Job(ctx, id, 30*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		if jobs.State(st.State).Terminal() {
+			return st, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
+	}
+}
+
+// CancelJob requests cancellation and returns the job's resulting
+// status (terminal jobs come back unchanged; running ones report
+// cancellation once their worker acknowledges).
+func (c *Client) CancelJob(ctx context.Context, id string) (*JobStatus, error) {
+	var out JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs/"+url.PathEscape(id)+"/cancel", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ListJobs fetches job statuses, optionally filtered by tenant and
+// state, newest submissions first.
+func (c *Client) ListJobs(ctx context.Context, tenant, state string) ([]JobStatus, error) {
+	q := url.Values{}
+	if tenant != "" {
+		q.Set("tenant", tenant)
+	}
+	if state != "" {
+		q.Set("state", state)
+	}
+	path := "/v1/jobs"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var out JobListResponse
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Jobs, nil
 }
 
 // Healthz checks the daemon's health endpoint.

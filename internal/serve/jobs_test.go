@@ -1,0 +1,317 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"analogacc/internal/cli"
+	"analogacc/internal/jobs"
+	"analogacc/internal/la"
+)
+
+// TestJobSubmitWaitResult drives the async lifecycle over HTTP: submit,
+// long-poll to completion, and check the stored result is exactly what
+// the synchronous endpoint answers for the same system.
+func TestJobSubmitWaitResult(t *testing.T) {
+	_, client, done := newTestServer(t, Config{})
+	defer done()
+	ctx := context.Background()
+
+	sync, err := client.Solve(ctx, eq2Request("analog-refined"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req := eq2Request("analog-refined")
+	st, err := client.SubmitJob(ctx, JobSubmitRequest{Solve: &req})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.Kind != JobKindSolve {
+		t.Fatalf("submit answered %+v", st)
+	}
+
+	final, err := client.WaitJob(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != string(jobs.StateDone) {
+		t.Fatalf("job finished in state %s (error %+v)", final.State, final.Error)
+	}
+	var resp SolveResponse
+	if err := json.Unmarshal(final.Result, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.U) != len(sync.U) {
+		t.Fatalf("job answered %d values, sync %d", len(resp.U), len(sync.U))
+	}
+	for i := range resp.U {
+		if resp.U[i] != sync.U[i] {
+			t.Fatalf("u[%d]: job %v, sync %v — async result must be bit-identical", i, resp.U[i], sync.U[i])
+		}
+	}
+}
+
+// TestJobDedupOverHTTP submits the same system twice: the second answer
+// must reuse the first job's ID and be flagged deduplicated.
+func TestJobDedupOverHTTP(t *testing.T) {
+	_, client, done := newTestServer(t, Config{})
+	defer done()
+	ctx := context.Background()
+
+	req := eq2Request("analog-refined")
+	first, err := client.SubmitJob(ctx, JobSubmitRequest{Solve: &req})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := client.SubmitJob(ctx, JobSubmitRequest{Solve: &req})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.ID != first.ID || !second.Deduped {
+		t.Fatalf("duplicate submit answered %+v, want deduped %s", second, first.ID)
+	}
+	if _, err := client.WaitJob(ctx, first.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// A different tolerance is different work: no dedup.
+	changed := eq2Request("analog-refined")
+	changed.Tol = 1e-6
+	third, err := client.SubmitJob(ctx, JobSubmitRequest{Solve: &changed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.ID == first.ID || third.Deduped {
+		t.Fatalf("changed request deduped onto %s", first.ID)
+	}
+}
+
+// TestJobCancelAndList exercises cancel on a queued job (workers
+// disabled so nothing picks it up) and the list filters.
+func TestJobCancelAndList(t *testing.T) {
+	_, client, done := newTestServer(t, Config{JobWorkers: -1})
+	defer done()
+	ctx := context.Background()
+
+	req := eq2Request("analog-refined")
+	st, err := client.SubmitJob(ctx, JobSubmitRequest{Tenant: "alice", Solve: &req})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != string(jobs.StateQueued) {
+		t.Fatalf("submitted job in state %s with no workers", st.State)
+	}
+
+	cancelled, err := client.CancelJob(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cancelled.State != string(jobs.StateCancelled) {
+		t.Fatalf("cancel answered state %s", cancelled.State)
+	}
+
+	list, err := client.ListJobs(ctx, "alice", string(jobs.StateCancelled))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != st.ID {
+		t.Fatalf("list = %+v, want just %s", list, st.ID)
+	}
+	if list, _ := client.ListJobs(ctx, "", string(jobs.StateQueued)); len(list) != 0 {
+		t.Fatalf("queued filter matched %+v", list)
+	}
+
+	if _, err := client.Job(ctx, "j-missing", 0); err == nil {
+		t.Fatal("unknown job ID answered without error")
+	} else {
+		var re *RemoteError
+		if !errors.As(err, &re) || re.Code != CodeNotFound {
+			t.Fatalf("unknown job error = %v, want %s", err, CodeNotFound)
+		}
+	}
+}
+
+// TestJobBacklogAndQuota checks both 429 paths: the shared backlog bound
+// and the per-tenant quota, each with a Retry-After hint.
+func TestJobBacklogAndQuota(t *testing.T) {
+	_, client, done := newTestServer(t, Config{JobWorkers: -1, JobMaxQueued: 2, JobTenantQuota: 1})
+	defer done()
+	ctx := context.Background()
+
+	submit := func(tenant string, tol float64) (*JobStatus, error) {
+		req := eq2Request("analog-refined")
+		req.Tol = tol
+		return client.SubmitJob(ctx, JobSubmitRequest{Tenant: tenant, Solve: &req})
+	}
+
+	if _, err := submit("alice", 1e-3); err != nil {
+		t.Fatal(err)
+	}
+	// Alice's second live job bounces off her quota.
+	_, err := submit("alice", 1e-4)
+	var busy *BusyError
+	if !errors.As(err, &busy) || busy.Code != CodeQuota {
+		t.Fatalf("quota submit: %v, want quota BusyError", err)
+	}
+	// Bob is unaffected by alice's quota.
+	if _, err := submit("bob", 1e-5); err != nil {
+		t.Fatal(err)
+	}
+	// The backlog (2) is now full for everyone.
+	_, err = submit("carol", 1e-6)
+	if !errors.As(err, &busy) || busy.Code != CodeBusy {
+		t.Fatalf("backlog submit: %v, want busy BusyError", err)
+	}
+	if busy.RetryAfter <= 0 {
+		t.Fatalf("429 carried no Retry-After hint: %+v", busy)
+	}
+}
+
+// TestJobFailureRecordsAPICode routes a failing solve through a job and
+// checks the stored error carries the synchronous path's stable code.
+func TestJobFailureRecordsAPICode(t *testing.T) {
+	s, client, done := newTestServer(t, Config{})
+	defer done()
+	s.solve = func(context.Context, string, *la.CSR, la.Vector, cli.SolveParams) (cli.Outcome, error) {
+		return cli.Outcome{}, fmt.Errorf("injected solve failure")
+	}
+	ctx := context.Background()
+
+	req := eq2Request("analog-refined")
+	st, err := client.SubmitJob(ctx, JobSubmitRequest{Solve: &req})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := client.WaitJob(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != string(jobs.StateFailed) {
+		t.Fatalf("job state %s, want failed", final.State)
+	}
+	if final.Error == nil || final.Error.Code != CodeSolveFailed {
+		t.Fatalf("job error %+v, want code %s", final.Error, CodeSolveFailed)
+	}
+}
+
+// TestAdaptiveRetryAfter checks the hint scales with queue depth and the
+// service-time moving average, and respects its floor.
+func TestAdaptiveRetryAfter(t *testing.T) {
+	s, _, done := newTestServer(t, Config{QueueBound: 4, RetryAfter: time.Second})
+	defer done()
+
+	// No latency history: the hint is the configured floor.
+	if got := s.retryAfter(); got != time.Second {
+		t.Fatalf("idle hint = %v, want 1s floor", got)
+	}
+
+	// One 2s observation sets the EWMA to 2s; with two admitted requests
+	// the expected wait is (2+1)×2s.
+	s.metrics.ObserveLatency(2 * time.Second)
+	s.slots <- struct{}{}
+	s.slots <- struct{}{}
+	if got, want := s.retryAfter(), 6*time.Second; got != want {
+		t.Fatalf("loaded hint = %v, want %v", got, want)
+	}
+	<-s.slots
+	<-s.slots
+
+	// The hint is capped: an EWMA spike cannot tell clients to vanish.
+	s.metrics.ObserveLatency(10 * time.Minute)
+	if got := s.retryAfter(); got > 30*time.Second {
+		t.Fatalf("hint %v exceeds the 30s ceiling", got)
+	}
+}
+
+// TestClientRetriesBusy checks the opt-in retry loop: a server that
+// answers 429 once and then succeeds is transparent to a client with
+// MaxRetries ≥ 1, while the default client surfaces BusyError.
+func TestClientRetriesBusy(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprintf(w, `{"code":"busy","error":"injected"}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"u":[1],"n":1,"backend":"lu"}`)
+	}))
+	defer ts.Close()
+
+	// Default client: backpressure is surfaced, not swallowed.
+	plain := NewClient(ts.URL)
+	_, err := plain.Solve(context.Background(), SolveRequest{N: 1})
+	var busy *BusyError
+	if !errors.As(err, &busy) {
+		t.Fatalf("default client: %v, want BusyError", err)
+	}
+	if busy.RetryAfter != time.Second {
+		t.Fatalf("BusyError hint %v, want 1s", busy.RetryAfter)
+	}
+
+	calls.Store(0)
+	retrying := NewClient(ts.URL)
+	retrying.MaxRetries = 2
+	resp, err := retrying.Solve(context.Background(), SolveRequest{N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.U) != 1 || calls.Load() != 2 {
+		t.Fatalf("retrying client: resp %+v after %d calls", resp, calls.Load())
+	}
+
+	// A cancelled context ends the backoff sleep promptly.
+	calls.Store(0)
+	alwaysBusy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer alwaysBusy.Close()
+	c := NewClient(alwaysBusy.URL)
+	c.MaxRetries = 5
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.Solve(ctx, SolveRequest{N: 1})
+	if err == nil {
+		t.Fatal("always-busy server succeeded")
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("context-aware backoff slept %v", waited)
+	}
+}
+
+// TestJobLongPollReturnsEarly checks ?wait= answers as soon as the job
+// is terminal instead of holding the full window.
+func TestJobLongPollReturnsEarly(t *testing.T) {
+	_, client, done := newTestServer(t, Config{})
+	defer done()
+	ctx := context.Background()
+
+	req := eq2Request("analog-refined")
+	st, err := client.SubmitJob(ctx, JobSubmitRequest{Solve: &req})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	final, err := client.Job(ctx, st.ID, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if waited := time.Since(start); waited > 10*time.Second {
+		t.Fatalf("long-poll held %v for a fast job", waited)
+	}
+	if final.State != string(jobs.StateDone) {
+		t.Fatalf("long-poll answered state %s", final.State)
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"analogacc/internal/jobs"
 )
 
 // Metrics is the daemon's observability surface: counters and gauges for
@@ -51,6 +53,13 @@ type Metrics struct {
 	latCounts []atomic.Int64
 	latSum    atomic.Int64 // microseconds, to stay atomic
 	latN      atomic.Int64
+
+	// ewmaUs is an exponentially-weighted moving average of request
+	// latency (microseconds, α=1/5): the "typical recent service time"
+	// behind the adaptive Retry-After hint. An EWMA over a plain mean
+	// because backpressure should track the current regime, not the
+	// process-lifetime history.
+	ewmaUs atomic.Int64
 
 	// Per-sweep latency histogram for decomposed solves (same buckets).
 	sweepCounts []atomic.Int64
@@ -104,6 +113,24 @@ func (m *Metrics) ObserveLatency(d time.Duration) {
 	m.latCounts[i].Add(1)
 	m.latSum.Add(d.Microseconds())
 	m.latN.Add(1)
+	// Lossy-on-race CAS update is fine: the EWMA is a hint, not a ledger.
+	us := d.Microseconds()
+	for {
+		old := m.ewmaUs.Load()
+		next := us
+		if old > 0 {
+			next = old + (us-old)/5
+		}
+		if m.ewmaUs.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// AvgServiceTime is the moving-average request latency (zero before any
+// request completes). It feeds the adaptive Retry-After hint.
+func (m *Metrics) AvgServiceTime() time.Duration {
+	return time.Duration(m.ewmaUs.Load()) * time.Microsecond
 }
 
 // ObserveSweep records one decomposed outer sweep's wall-clock latency.
@@ -161,6 +188,11 @@ type Snapshot struct {
 	SessionCacheInvalidations int64 `json:"session_cache_invalidations_total"`
 	SessionCacheResident      int   `json:"session_cache_resident"`
 
+	// Jobs snapshots the async queue: state gauges (queued…cancelled)
+	// plus lifetime counters for submissions, completions, lease
+	// expiries, journal replay, dedup hits, and WAL size.
+	Jobs jobs.Stats `json:"jobs"`
+
 	// Go runtime health: the fused engine's worker sharding and the pool's
 	// chip builds both show up here first when something leaks or churns.
 	Goroutines     int     `json:"goroutines"`
@@ -171,8 +203,8 @@ type Snapshot struct {
 }
 
 // snapshot collects everything except the histogram (which only the text
-// format renders). queueDepth and pool are sampled by the caller.
-func (m *Metrics) snapshot(queueDepth int, pool *Pool) Snapshot {
+// format renders). queueDepth, pool, and jq are sampled by the caller.
+func (m *Metrics) snapshot(queueDepth int, pool *Pool, jq *jobs.Queue) Snapshot {
 	s := Snapshot{
 		UptimeSeconds:    time.Since(m.start).Seconds(),
 		QueueDepth:       queueDepth,
@@ -210,6 +242,9 @@ func (m *Metrics) snapshot(queueDepth int, pool *Pool) Snapshot {
 			s.SessionCacheResident += c.Cached
 		}
 	}
+	if jq != nil {
+		s.Jobs = jq.Stats()
+	}
 	s.Goroutines = runtime.NumGoroutine()
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
@@ -221,8 +256,8 @@ func (m *Metrics) snapshot(queueDepth int, pool *Pool) Snapshot {
 }
 
 // writeTo renders the Prometheus text format.
-func (m *Metrics) writeTo(w io.Writer, queueDepth int, pool *Pool) {
-	s := m.snapshot(queueDepth, pool)
+func (m *Metrics) writeTo(w io.Writer, queueDepth int, pool *Pool, jq *jobs.Queue) {
+	s := m.snapshot(queueDepth, pool, jq)
 	fmt.Fprintf(w, "# TYPE alad_uptime_seconds gauge\nalad_uptime_seconds %g\n", s.UptimeSeconds)
 	fmt.Fprintf(w, "# TYPE alad_queue_depth gauge\nalad_queue_depth %d\n", s.QueueDepth)
 	fmt.Fprintf(w, "# TYPE alad_inflight gauge\nalad_inflight %d\n", s.InFlight)
@@ -266,6 +301,28 @@ func (m *Metrics) writeTo(w io.Writer, queueDepth int, pool *Pool) {
 		fmt.Fprintf(w, "alad_pool_chips_free{class=\"%d\"} %d\n", c.Class, c.Free)
 		fmt.Fprintf(w, "alad_session_cache_resident{class=\"%d\"} %d\n", c.Class, c.Cached)
 	}
+	fmt.Fprint(w, "# TYPE alad_jobs_state gauge\n")
+	for _, st := range []struct {
+		name string
+		n    int
+	}{
+		{"queued", s.Jobs.Queued}, {"leased", s.Jobs.Leased}, {"running", s.Jobs.Running},
+		{"done", s.Jobs.Done}, {"failed", s.Jobs.Failed}, {"cancelled", s.Jobs.Cancelled},
+	} {
+		fmt.Fprintf(w, "alad_jobs_state{state=%q} %d\n", st.name, st.n)
+	}
+	fmt.Fprintf(w, "# TYPE alad_jobs_submitted_total counter\nalad_jobs_submitted_total %d\n", s.Jobs.Submitted)
+	fmt.Fprintf(w, "# TYPE alad_jobs_completed_total counter\nalad_jobs_completed_total %d\n", s.Jobs.Completed)
+	fmt.Fprintf(w, "# TYPE alad_jobs_failed_total counter\nalad_jobs_failed_total %d\n", s.Jobs.FailedTotal)
+	fmt.Fprintf(w, "# TYPE alad_jobs_cancelled_total counter\nalad_jobs_cancelled_total %d\n", s.Jobs.CancelledTot)
+	fmt.Fprintf(w, "# TYPE alad_jobs_lease_expired_total counter\nalad_jobs_lease_expired_total %d\n", s.Jobs.LeaseExpired)
+	fmt.Fprintf(w, "# TYPE alad_jobs_replayed_total counter\nalad_jobs_replayed_total %d\n", s.Jobs.Replayed)
+	fmt.Fprintf(w, "# TYPE alad_jobs_dedup_total counter\nalad_jobs_dedup_total %d\n", s.Jobs.Deduped)
+	fmt.Fprintf(w, "# TYPE alad_jobs_compactions_total counter\nalad_jobs_compactions_total %d\n", s.Jobs.Compactions)
+	fmt.Fprintf(w, "# TYPE alad_jobs_torn_dropped_total counter\nalad_jobs_torn_dropped_total %d\n", s.Jobs.TornDropped)
+	fmt.Fprintf(w, "# TYPE alad_jobs_wal_records_total counter\nalad_jobs_wal_records_total %d\n", s.Jobs.WALRecords)
+	fmt.Fprintf(w, "# TYPE alad_jobs_wal_bytes gauge\nalad_jobs_wal_bytes %d\n", s.Jobs.WALBytes)
+	fmt.Fprintf(w, "# TYPE alad_service_time_ewma_seconds gauge\nalad_service_time_ewma_seconds %g\n", m.AvgServiceTime().Seconds())
 	fmt.Fprint(w, "# TYPE alad_request_seconds histogram\n")
 	var cum int64
 	for i, bound := range m.latBounds {

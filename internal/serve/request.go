@@ -269,4 +269,9 @@ const (
 	CodeDeadline    = "deadline"
 	CodeSolveFailed = "solve_failed"
 	CodeInternal    = "internal"
+	// CodeQuota is the async-job analogue of busy scoped to one tenant:
+	// its live-job quota is full, other tenants are unaffected.
+	CodeQuota = "quota"
+	// CodeNotFound marks an unknown job ID.
+	CodeNotFound = "not_found"
 )

@@ -23,7 +23,10 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *Client, func()) {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(s.Handler())
-	return s, NewClient(ts.URL), ts.Close
+	return s, NewClient(ts.URL), func() {
+		ts.Close()
+		s.Close()
+	}
 }
 
 func eq2Request(backend string) SolveRequest {

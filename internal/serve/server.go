@@ -11,6 +11,7 @@ import (
 
 	"analogacc/internal/cli"
 	"analogacc/internal/core"
+	"analogacc/internal/jobs"
 	"analogacc/internal/la"
 )
 
@@ -27,7 +28,9 @@ type Config struct {
 	// ask for (default 2m).
 	DefaultTimeout time.Duration
 	MaxTimeout     time.Duration
-	// RetryAfter is the backoff hint sent with 429s (default 1s).
+	// RetryAfter is the floor of the backoff hint sent with 429s
+	// (default 1s). The hint itself adapts upward with load: see
+	// Server.retryAfter.
 	RetryAfter time.Duration
 	// MaxBodyBytes bounds request bodies (default 32 MiB).
 	MaxBodyBytes int64
@@ -38,6 +41,30 @@ type Config struct {
 	MaxBatchRHS int
 	// Tol is the default solve tolerance for requests that carry none.
 	Tol float64
+
+	// JobStore is the async job journal path. Empty runs the job queue
+	// in memory: the /v1/jobs API works, but submissions do not survive
+	// a restart. Point it at a file to make accepted jobs durable.
+	JobStore string
+	// JobWorkers sizes the async executor pool (default 2); -1 disables
+	// execution, leaving the queue accept-only (tests drive it by hand).
+	JobWorkers int
+	// JobLeaseTTL is the worker lease on a claimed job (default 10s);
+	// an executor that stops heartbeating loses the job back to the
+	// queue after this long.
+	JobLeaseTTL time.Duration
+	// JobMaxQueued caps pending async jobs (default 256); beyond it
+	// submissions answer 429, same as the synchronous admission queue.
+	JobMaxQueued int
+	// JobTenantQuota caps one tenant's live jobs (default 0: unlimited).
+	JobTenantQuota int
+	// JobRetainDone caps terminal jobs kept for dedup and history
+	// (default 512).
+	JobRetainDone int
+	// JobExecDelay is a fault-injection hold between leasing and
+	// executing each job (zero in production; crash tests use it to pin
+	// a job mid-flight deterministically).
+	JobExecDelay time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -62,11 +89,21 @@ func (c Config) withDefaults() Config {
 	if c.Tol <= 0 {
 		c.Tol = 1e-8
 	}
+	if c.JobWorkers == 0 {
+		c.JobWorkers = 2
+	}
+	if c.JobMaxQueued <= 0 {
+		c.JobMaxQueued = 256
+	}
+	if c.JobRetainDone <= 0 {
+		c.JobRetainDone = 512
+	}
 	return c
 }
 
-// Server wires the pool, the admission queue, the metrics, and the HTTP
-// handlers together. Create with New, mount Handler on an http.Server.
+// Server wires the pool, the admission queue, the job queue, the
+// metrics, and the HTTP handlers together. Create with New, mount
+// Handler on an http.Server, Close when done.
 type Server struct {
 	cfg     Config
 	pool    *Pool
@@ -77,6 +114,11 @@ type Server struct {
 	slots chan struct{}
 	mux   *http.ServeMux
 
+	// jobs is the durable async queue behind /v1/jobs; workers executes
+	// leased jobs on the same dispatch as the synchronous handlers.
+	jobs    *jobs.Queue
+	workers *jobs.Workers
+
 	// solve is the backend dispatch, swappable by tests that need a
 	// deterministic slow or failing solver; solveBatch is its multi-RHS
 	// counterpart.
@@ -84,7 +126,9 @@ type Server struct {
 	solveBatch func(ctx context.Context, backend string, a *la.CSR, rhs []la.Vector, p cli.SolveParams) ([]cli.Outcome, error)
 }
 
-// New builds a server and pre-warms its pool.
+// New builds a server: pre-warms its pool, replays the job journal
+// (reclaiming leases orphaned by a crash), and starts the async
+// executors.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	pool, err := NewPool(cfg.Pool)
@@ -99,9 +143,26 @@ func New(cfg Config) (*Server, error) {
 		solve:      cli.SolveSystem,
 		solveBatch: cli.SolveSystemBatch,
 	}
+	s.jobs, err = jobs.Open(jobs.Config{
+		Path:        cfg.JobStore,
+		LeaseTTL:    cfg.JobLeaseTTL,
+		MaxQueued:   cfg.JobMaxQueued,
+		TenantQuota: cfg.JobTenantQuota,
+		RetainDone:  cfg.JobRetainDone,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening job store: %w", err)
+	}
+	if cfg.JobWorkers > 0 {
+		s.workers = jobs.StartWorkers(s.jobs, cfg.JobWorkers, s.executeJob, cfg.JobExecDelay)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("POST /v1/solve/batch", s.handleSolveBatch)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/backends", s.handleBackends)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -118,11 +179,47 @@ func (s *Server) Pool() *Pool { return s.pool }
 // Metrics exposes the metrics set (tests, expvar).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
+// Jobs exposes the async job queue (tests, drain orchestration).
+func (s *Server) Jobs() *jobs.Queue { return s.jobs }
+
 // QueueDepth reports currently admitted requests.
 func (s *Server) QueueDepth() int { return len(s.slots) }
 
 // Snapshot returns the full metrics snapshot (expvar publishing).
-func (s *Server) Snapshot() Snapshot { return s.metrics.snapshot(s.QueueDepth(), s.pool) }
+func (s *Server) Snapshot() Snapshot {
+	return s.metrics.snapshot(s.QueueDepth(), s.pool, s.jobs)
+}
+
+// PauseJobs stops the job queue from leasing new work; already-leased
+// jobs keep running. First step of a graceful drain.
+func (s *Server) PauseJobs() {
+	s.jobs.Pause()
+}
+
+// DrainJobs finishes the async side of a shutdown: leasing is paused,
+// the executors stop after their in-flight jobs complete (or ctx
+// expires and they are cancelled), and the count of queued jobs left
+// persisted for the next boot is returned.
+func (s *Server) DrainJobs(ctx context.Context) (queued int, err error) {
+	s.jobs.Pause()
+	if s.workers != nil {
+		s.workers.Stop(ctx)
+	}
+	return s.jobs.Drain(ctx)
+}
+
+// Close releases the server's background resources: executors stopped
+// (briefly graceful, then cancelled), journal fsynced shut. Queued jobs
+// stay persisted for the next Open.
+func (s *Server) Close() error {
+	if s.workers != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		s.workers.Stop(ctx)
+		cancel()
+		s.workers = nil
+	}
+	return s.jobs.Close()
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -132,6 +229,47 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func (s *Server) writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
 	writeJSON(w, status, ErrorResponse{Code: code, Error: fmt.Sprintf(format, args...)})
+}
+
+// retryAfter is the adaptive 429 backoff hint: the expected wait for a
+// slot is roughly (queue depth + 1) × the moving-average service time,
+// floored at the configured hint and capped so a load spike never tells
+// clients to go away for minutes.
+func (s *Server) retryAfter() time.Duration {
+	hint := s.cfg.RetryAfter
+	if avg := s.metrics.AvgServiceTime(); avg > 0 {
+		if est := time.Duration(s.QueueDepth()+1) * avg; est > hint {
+			hint = est
+		}
+	}
+	const ceiling = 30 * time.Second
+	if hint > ceiling {
+		hint = ceiling
+	}
+	return hint
+}
+
+// writeBusy answers 429 with the adaptive Retry-After hint; both the
+// synchronous admission queue and the async job backlog route through
+// it so clients see one consistent backpressure contract.
+func (s *Server) writeBusy(w http.ResponseWriter, code, format string, args ...any) {
+	s.metrics.Rejected()
+	ra := s.retryAfter()
+	w.Header().Set("Retry-After", strconv.Itoa(int((ra+time.Second-1)/time.Second)))
+	s.writeError(w, http.StatusTooManyRequests, code, format, args...)
+}
+
+// clampTimeout resolves a request's timeout_ms against the server's
+// default and ceiling.
+func (s *Server) clampTimeout(timeoutMs int) time.Duration {
+	t := s.cfg.DefaultTimeout
+	if timeoutMs > 0 {
+		t = time.Duration(timeoutMs) * time.Millisecond
+	}
+	if t > s.cfg.MaxTimeout {
+		t = s.cfg.MaxTimeout
+	}
+	return t
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -144,12 +282,25 @@ func (s *Server) handleBackends(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.writeTo(w, s.QueueDepth(), s.pool)
+	s.metrics.writeTo(w, s.QueueDepth(), s.pool, s.jobs)
 }
 
-// handleSolve is the solve path: decode → validate → admit (bounded,
-// backpressured) → checkout chip (analog backends) → solve under deadline
-// → respond.
+// apiError is a solve failure in API terms: the HTTP status the
+// synchronous path answers with, and the stable code/message that both
+// the synchronous error body and a failed job's record carry.
+type apiError struct {
+	Status  int
+	Code    string
+	Message string
+}
+
+func apiErrorf(status int, code, format string, args ...any) *apiError {
+	return &apiError{Status: status, Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// handleSolve is the synchronous solve path: decode → admit (bounded,
+// backpressured) → run under deadline → respond. The solve itself lives
+// in runSolve, shared with the async executor.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var req SolveRequest
@@ -159,32 +310,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "decoding request: %v", err)
 		return
 	}
-	if req.Backend == "" {
-		req.Backend = cli.BackendAnalogRefined
-	}
-	// Backend validation comes before the (potentially large) matrix is
-	// even assembled, mirroring alasolve's fail-fast rule.
-	if !cli.ValidBackend(req.Backend) {
-		s.writeError(w, http.StatusBadRequest, CodeBadBackend,
-			"unknown backend %q (known: %s)", req.Backend, cli.BackendUsage())
-		return
-	}
-	a, b, err := req.BuildSystem()
-	if err != nil {
-		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
-		return
-	}
 
 	// Per-request deadline, clamped to the server's ceiling, propagated
 	// from here down to the chip's settle loop.
-	timeout := s.cfg.DefaultTimeout
-	if req.TimeoutMs > 0 {
-		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
-	}
-	if timeout > s.cfg.MaxTimeout {
-		timeout = s.cfg.MaxTimeout
-	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	ctx, cancel := context.WithTimeout(r.Context(), s.clampTimeout(req.TimeoutMs))
 	defer cancel()
 
 	// Bounded admission: a full queue answers 429 immediately — the
@@ -192,13 +321,38 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	select {
 	case s.slots <- struct{}{}:
 	default:
-		s.metrics.Rejected()
-		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
-		s.writeError(w, http.StatusTooManyRequests, CodeBusy,
-			"admission queue full (%d requests)", s.cfg.QueueBound)
+		s.writeBusy(w, CodeBusy, "admission queue full (%d requests)", s.cfg.QueueBound)
 		return
 	}
 	defer func() { <-s.slots }()
+
+	resp, aerr := s.runSolve(ctx, &req)
+	if aerr != nil {
+		s.writeError(w, aerr.Status, aerr.Code, "%s", aerr.Message)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// runSolve validates, builds, and executes one solve request. It is the
+// shared engine behind POST /v1/solve and async solve jobs: chip
+// checkout, backend dispatch, and metrics behave identically on both
+// paths, so a job's recorded result is exactly what the synchronous
+// call would have returned.
+func (s *Server) runSolve(ctx context.Context, req *SolveRequest) (*SolveResponse, *apiError) {
+	if req.Backend == "" {
+		req.Backend = cli.BackendAnalogRefined
+	}
+	// Backend validation comes before the (potentially large) matrix is
+	// even assembled, mirroring alasolve's fail-fast rule.
+	if !cli.ValidBackend(req.Backend) {
+		return nil, apiErrorf(http.StatusBadRequest, CodeBadBackend,
+			"unknown backend %q (known: %s)", req.Backend, cli.BackendUsage())
+	}
+	a, b, err := req.BuildSystem()
+	if err != nil {
+		return nil, apiErrorf(http.StatusBadRequest, CodeBadRequest, "%v", err)
+	}
 
 	params := cli.SolveParams{Tol: req.Tol, ADCBits: s.cfg.Pool.ADCBits, Bandwidth: s.cfg.Pool.Bandwidth}
 	if params.Tol <= 0 {
@@ -226,8 +380,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	case cli.IsAnalogBackend(req.Backend):
 		pc, err := s.pool.Checkout(ctx, a)
 		if err != nil {
-			s.checkoutError(w, err)
-			return
+			return nil, s.checkoutErr(err)
 		}
 		defer s.pool.Checkin(pc)
 		params.Acc = pc.Acc
@@ -241,15 +394,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.metrics.SolveFinished()
 	s.metrics.ObserveLatency(elapsed)
 	if err != nil {
-		s.solveError(w, ctx, err)
-		return
+		return nil, s.solveErr(ctx, err)
 	}
 	s.metrics.SolveOK(backendRun, out.AnalogTime, out.Runs, out.Rescales, out.Overflows, out.Refinements)
 	if ds := out.Decompose; ds != nil {
 		s.metrics.DecomposedOK(ds.Blocks, ds.Sweeps, ds.Configs, ds.ReuseHits)
 	}
 
-	resp := SolveResponse{
+	resp := &SolveResponse{
 		U:         []float64(out.U),
 		N:         a.Dim(),
 		Backend:   backendRun,
@@ -281,12 +433,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	} else if out.Iterations > 0 || out.MACs > 0 {
 		resp.Digital = &DigitalStats{Iterations: out.Iterations, MACs: out.MACs}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp, nil
 }
 
-// handleSolveBatch is the multi-RHS path: one admission slot, one chip
-// checkout, one matrix programming — then every right-hand side solves on
-// the resident configuration with only bias rewrites in between.
+// handleSolveBatch is the synchronous multi-RHS path: one admission
+// slot, one chip checkout, one matrix programming — then every
+// right-hand side solves on the resident configuration with only bias
+// rewrites in between. The batch itself lives in runSolveBatch, shared
+// with the async executor.
 func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var req BatchSolveRequest
@@ -296,54 +450,52 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "decoding request: %v", err)
 		return
 	}
-	if req.Backend == "" {
-		req.Backend = cli.BackendAnalogRefined
-	}
-	if !cli.ValidBackend(req.Backend) {
-		s.writeError(w, http.StatusBadRequest, CodeBadBackend,
-			"unknown backend %q (known: %s)", req.Backend, cli.BackendUsage())
-		return
-	}
-	if req.Backend == cli.BackendDecomposed {
-		// The decomposed backend leases several chips per item; batching
-		// would hold the fan-out across the whole batch. Items that big
-		// should go through /v1/solve individually.
-		s.writeError(w, http.StatusBadRequest, CodeBadBackend,
-			"backend %q does not support batch solves", req.Backend)
-		return
-	}
-	a, rhs, err := req.BuildSystem()
-	if err != nil {
-		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
-		return
-	}
-	if len(rhs) > s.cfg.MaxBatchRHS {
-		s.writeError(w, http.StatusBadRequest, CodeBadRequest,
-			"batch of %d right-hand sides exceeds the server limit %d; split into smaller batches",
-			len(rhs), s.cfg.MaxBatchRHS)
-		return
-	}
 
-	timeout := s.cfg.DefaultTimeout
-	if req.TimeoutMs > 0 {
-		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
-	}
-	if timeout > s.cfg.MaxTimeout {
-		timeout = s.cfg.MaxTimeout
-	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	ctx, cancel := context.WithTimeout(r.Context(), s.clampTimeout(req.TimeoutMs))
 	defer cancel()
 
 	select {
 	case s.slots <- struct{}{}:
 	default:
-		s.metrics.Rejected()
-		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
-		s.writeError(w, http.StatusTooManyRequests, CodeBusy,
-			"admission queue full (%d requests)", s.cfg.QueueBound)
+		s.writeBusy(w, CodeBusy, "admission queue full (%d requests)", s.cfg.QueueBound)
 		return
 	}
 	defer func() { <-s.slots }()
+
+	resp, aerr := s.runSolveBatch(ctx, &req)
+	if aerr != nil {
+		s.writeError(w, aerr.Status, aerr.Code, "%s", aerr.Message)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// runSolveBatch validates, builds, and executes one batch request; the
+// shared engine behind POST /v1/solve/batch and async batch jobs.
+func (s *Server) runSolveBatch(ctx context.Context, req *BatchSolveRequest) (*BatchSolveResponse, *apiError) {
+	if req.Backend == "" {
+		req.Backend = cli.BackendAnalogRefined
+	}
+	if !cli.ValidBackend(req.Backend) {
+		return nil, apiErrorf(http.StatusBadRequest, CodeBadBackend,
+			"unknown backend %q (known: %s)", req.Backend, cli.BackendUsage())
+	}
+	if req.Backend == cli.BackendDecomposed {
+		// The decomposed backend leases several chips per item; batching
+		// would hold the fan-out across the whole batch. Items that big
+		// should go through /v1/solve individually.
+		return nil, apiErrorf(http.StatusBadRequest, CodeBadBackend,
+			"backend %q does not support batch solves", req.Backend)
+	}
+	a, rhs, err := req.BuildSystem()
+	if err != nil {
+		return nil, apiErrorf(http.StatusBadRequest, CodeBadRequest, "%v", err)
+	}
+	if len(rhs) > s.cfg.MaxBatchRHS {
+		return nil, apiErrorf(http.StatusBadRequest, CodeBadRequest,
+			"batch of %d right-hand sides exceeds the server limit %d; split into smaller batches",
+			len(rhs), s.cfg.MaxBatchRHS)
+	}
 
 	params := cli.SolveParams{Tol: req.Tol, ADCBits: s.cfg.Pool.ADCBits, Bandwidth: s.cfg.Pool.Bandwidth, MaxLanes: req.MaxLanes}
 	if params.Tol <= 0 {
@@ -352,13 +504,11 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 	var chipClass int
 	if cli.IsAnalogBackend(req.Backend) {
 		if ferr := s.pool.Fits(a); ferr != nil {
-			s.checkoutError(w, ferr)
-			return
+			return nil, s.checkoutErr(ferr)
 		}
 		pc, err := s.pool.Checkout(ctx, a)
 		if err != nil {
-			s.checkoutError(w, err)
-			return
+			return nil, s.checkoutErr(err)
 		}
 		defer s.pool.Checkin(pc)
 		params.Acc = pc.Acc
@@ -377,11 +527,10 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 	// by request counts for a per-item view.
 	s.metrics.ObserveLatency(elapsed)
 	if err != nil {
-		s.solveError(w, ctx, err)
-		return
+		return nil, s.solveErr(ctx, err)
 	}
 
-	resp := BatchSolveResponse{
+	resp := &BatchSolveResponse{
 		N:         a.Dim(),
 		Backend:   req.Backend,
 		Items:     make([]BatchItem, len(outs)),
@@ -410,35 +559,35 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Items[k] = item
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp, nil
 }
 
-func (s *Server) checkoutError(w http.ResponseWriter, err error) {
+func (s *Server) checkoutErr(err error) *apiError {
 	switch {
 	case errors.Is(err, core.ErrTooLarge):
-		s.writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge, "%v", err)
+		return apiErrorf(http.StatusRequestEntityTooLarge, CodeTooLarge, "%v", err)
 	case errors.Is(err, context.DeadlineExceeded):
 		s.metrics.DeadlineExceeded()
-		s.writeError(w, http.StatusGatewayTimeout, CodeDeadline, "deadline expired waiting for a chip: %v", err)
+		return apiErrorf(http.StatusGatewayTimeout, CodeDeadline, "deadline expired waiting for a chip: %v", err)
 	case errors.Is(err, context.Canceled):
-		s.writeError(w, http.StatusServiceUnavailable, CodeInternal, "request cancelled while queued: %v", err)
+		return apiErrorf(http.StatusServiceUnavailable, CodeInternal, "request cancelled while queued: %v", err)
 	default:
 		s.metrics.SolveError()
-		s.writeError(w, http.StatusInternalServerError, CodeInternal, "%v", err)
+		return apiErrorf(http.StatusInternalServerError, CodeInternal, "%v", err)
 	}
 }
 
-func (s *Server) solveError(w http.ResponseWriter, ctx context.Context, err error) {
+func (s *Server) solveErr(ctx context.Context, err error) *apiError {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded):
 		s.metrics.DeadlineExceeded()
-		s.writeError(w, http.StatusGatewayTimeout, CodeDeadline, "solve aborted by deadline: %v", err)
+		return apiErrorf(http.StatusGatewayTimeout, CodeDeadline, "solve aborted by deadline: %v", err)
 	case errors.Is(err, context.Canceled):
-		s.writeError(w, http.StatusServiceUnavailable, CodeInternal, "solve cancelled: %v", err)
+		return apiErrorf(http.StatusServiceUnavailable, CodeInternal, "solve cancelled: %v", err)
 	case errors.Is(err, core.ErrTooLarge):
-		s.writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge, "%v", err)
+		return apiErrorf(http.StatusRequestEntityTooLarge, CodeTooLarge, "%v", err)
 	default:
 		s.metrics.SolveError()
-		s.writeError(w, http.StatusUnprocessableEntity, CodeSolveFailed, "%v", err)
+		return apiErrorf(http.StatusUnprocessableEntity, CodeSolveFailed, "%v", err)
 	}
 }

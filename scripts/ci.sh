@@ -32,12 +32,24 @@ go test -race -count=2 -run 'ParallelDecompose|PoolProvider|PoolTryCheckout|Serv
 # matrices races chip adoption against LRU eviction and drift invalidation.
 go test -race -count=2 -run 'PoolAffinity|PoolLRU|PoolCalibrationDrift|PoolCacheStress|PoolPrefersBlank|SolveBatch' ./internal/core ./internal/serve
 
+# Durable job queue: WAL replay, torn-tail and checksum handling, lease
+# expiry determinism, fingerprint dedup, tenant fairness, and the worker
+# loops — all schedule-sensitive, so run twice under -race. The serve-side
+# job API pass covers the HTTP surface, adaptive Retry-After, and the
+# client's 429 retry loop.
+go test -race -count=2 ./internal/jobs
+go test -race -count=2 -run 'Job|Retry|Busy' ./internal/serve
+
 # End-to-end serve smoke: start a real alad daemon (-engine fused) on a
 # random port, solve the Equation 2 system through serve.Client, scrape
 # /metrics to confirm the solve counter moved, POST /v1/solve/batch and
-# assert the items settled lane-parallel, round-trip alasolve -server and
-# alasolve -rhs-file (which must also ride a lane wave), then SIGTERM and
-# assert a clean drain. See scripts/smoke/main.go.
+# assert the items settled lane-parallel, round-trip alasolve -server,
+# alasolve -rhs-file (which must also ride a lane wave), and the
+# alasolve -async / -job flow, then SIGTERM and assert a clean drain.
+# Finally the crash-replay gauntlet: submit a job against a journal-backed
+# daemon, SIGKILL it mid-solve, restart on the same store, and assert the
+# job completes exactly once, bit-identically, on attempt 2, with the
+# replay/lease/dedup counters visible in /metrics. See scripts/smoke/main.go.
 BIN="${TMPDIR:-/tmp}/alad-smoke-$$"
 mkdir -p "$BIN"
 trap 'rm -rf "$BIN"' EXIT

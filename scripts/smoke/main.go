@@ -1,8 +1,11 @@
 // Command smoke is the CI end-to-end gate for the serve subsystem: it
 // starts a real alad daemon on a random port, solves the paper's
 // Equation 2 system through serve.Client, scrapes /metrics to confirm the
-// solve counter moved, optionally round-trips alasolve -server, then
-// SIGTERMs the daemon and asserts a clean drain. Run by scripts/ci.sh:
+// solve counter moved, optionally round-trips alasolve -server, SIGTERMs
+// the daemon and asserts a clean drain — then runs the crash-replay
+// gauntlet: submit an async job against a journal-backed daemon, SIGKILL
+// it mid-solve, restart on the same store, and assert the job completes
+// exactly once with a bit-identical solution. Run by scripts/ci.sh:
 //
 //	go run ./scripts/smoke -alad /tmp/alad [-alasolve /tmp/alasolve]
 package main
@@ -10,11 +13,13 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"syscall"
@@ -24,6 +29,100 @@ import (
 	"analogacc/internal/serve"
 	"analogacc/internal/solvers"
 )
+
+// daemon wraps one running alad process: started on a random port, its
+// stderr forwarded and watched for the listen announcement and the
+// clean-drain line.
+type daemon struct {
+	cmd     *exec.Cmd
+	addr    string
+	drained chan bool
+}
+
+// startDaemon launches alad with the given extra flags (every daemon
+// gets -addr 127.0.0.1:0) and waits for it to announce its port.
+func startDaemon(aladPath string, extra ...string) *daemon {
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	cmd := exec.Command(aladPath, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		die("stderr pipe: %v", err)
+	}
+	if err := cmd.Start(); err != nil {
+		die("starting alad: %v", err)
+	}
+	d := &daemon{cmd: cmd, drained: make(chan bool, 1)}
+	addrCh := make(chan string, 1)
+	go func() {
+		sawDrain := false
+		listenRe := regexp.MustCompile(`listening on (\S+)`)
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintf(os.Stderr, "[alad %d] %s\n", cmd.Process.Pid, line)
+			if m := listenRe.FindStringSubmatch(line); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+			if strings.Contains(line, "drained, bye") {
+				sawDrain = true
+			}
+		}
+		d.drained <- sawDrain
+	}()
+	select {
+	case d.addr = <-addrCh:
+	case <-time.After(30 * time.Second):
+		die("alad never announced its listen address")
+	}
+	return d
+}
+
+func (d *daemon) client() *serve.Client { return serve.NewClient(d.addr) }
+
+// terminate SIGTERMs the daemon and asserts a clean, logged drain.
+func (d *daemon) terminate() {
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		die("sigterm: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			die("alad exited dirty: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		die("alad did not exit within the drain budget")
+	}
+	if !<-d.drained {
+		die("alad exited without logging a clean drain")
+	}
+}
+
+// kill SIGKILLs the daemon: the crash the journal must survive.
+func (d *daemon) kill() {
+	if err := d.cmd.Process.Kill(); err != nil {
+		die("sigkill: %v", err)
+	}
+	d.cmd.Wait()
+	<-d.drained
+}
+
+func eq2Request() serve.SolveRequest {
+	return serve.SolveRequest{
+		Backend: "analog-refined",
+		N:       2,
+		A: []serve.Entry{
+			{Row: 0, Col: 0, Val: 0.8}, {Row: 0, Col: 1, Val: 0.2},
+			{Row: 1, Col: 0, Val: 0.2}, {Row: 1, Col: 1, Val: 0.6},
+		},
+		B:   []float64{0.5, 0.3},
+		Tol: 1e-8,
+	}
+}
 
 func main() {
 	aladPath := flag.String("alad", "", "path to the alad binary")
@@ -38,61 +137,17 @@ func main() {
 	// decomposed fan-out path with a modest n=16 system; -engine fused is
 	// the lane-capable kernel, so step 3.5's batch must report settling
 	// lane-parallel.
-	cmd := exec.Command(*aladPath, "-addr", "127.0.0.1:0", "-pool", "1", "-warm", "2", "-queue", "8", "-max-dim", "8", "-engine", "fused")
-	stderr, err := cmd.StderrPipe()
-	if err != nil {
-		die("stderr pipe: %v", err)
-	}
-	if err := cmd.Start(); err != nil {
-		die("starting alad: %v", err)
-	}
-	defer cmd.Process.Kill()
-
-	// Forward the daemon's log while watching for the listen line and,
-	// later, the drain line.
-	addrCh := make(chan string, 1)
-	drained := make(chan bool, 1)
-	go func() {
-		sawDrain := false
-		listenRe := regexp.MustCompile(`listening on (\S+)`)
-		sc := bufio.NewScanner(stderr)
-		for sc.Scan() {
-			line := sc.Text()
-			fmt.Fprintf(os.Stderr, "[alad] %s\n", line)
-			if m := listenRe.FindStringSubmatch(line); m != nil {
-				addrCh <- m[1]
-			}
-			if strings.Contains(line, "drained, bye") {
-				sawDrain = true
-			}
-		}
-		drained <- sawDrain
-	}()
-
-	var addr string
-	select {
-	case addr = <-addrCh:
-	case <-time.After(30 * time.Second):
-		die("alad never announced its listen address")
-	}
-	client := serve.NewClient(addr)
-	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	d := startDaemon(*aladPath, "-pool", "1", "-warm", "2", "-queue", "8", "-max-dim", "8", "-engine", "fused")
+	defer d.cmd.Process.Kill()
+	client := d.client()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
 	defer cancel()
 	if err := client.Healthz(ctx); err != nil {
 		die("healthz: %v", err)
 	}
 
 	// 2. Solve Equation 2 (the paper's 2x2 system) through serve.Client.
-	resp, err := client.Solve(ctx, serve.SolveRequest{
-		Backend: "analog-refined",
-		N:       2,
-		A: []serve.Entry{
-			{Row: 0, Col: 0, Val: 0.8}, {Row: 0, Col: 1, Val: 0.2},
-			{Row: 1, Col: 0, Val: 0.2}, {Row: 1, Col: 1, Val: 0.6},
-		},
-		B:   []float64{0.5, 0.3},
-		Tol: 1e-8,
-	})
+	resp, err := client.Solve(ctx, eq2Request())
 	if err != nil {
 		die("solve: %v", err)
 	}
@@ -127,16 +182,7 @@ func main() {
 	// 3.5. Session cache: re-solving the same matrix must land on the chip
 	// that still holds it programmed, and a batch request must amortize one
 	// programming across its right-hand sides. Both show up in /metrics.
-	if _, err := client.Solve(ctx, serve.SolveRequest{
-		Backend: "analog-refined",
-		N:       2,
-		A: []serve.Entry{
-			{Row: 0, Col: 0, Val: 0.8}, {Row: 0, Col: 1, Val: 0.2},
-			{Row: 1, Col: 0, Val: 0.2}, {Row: 1, Col: 1, Val: 0.6},
-		},
-		B:   []float64{0.5, 0.3},
-		Tol: 1e-8,
-	}); err != nil {
+	if _, err := client.Solve(ctx, eq2Request()); err != nil {
 		die("repeat solve: %v", err)
 	}
 	batchResp, err := client.SolveBatch(ctx, serve.BatchSolveRequest{
@@ -206,9 +252,9 @@ func main() {
 	if bigResp.Backend != "decomposed" {
 		die("oversized solve ran on %q, want decomposed", bigResp.Backend)
 	}
-	d := bigResp.Decompose
-	if d == nil || d.Blocks < 2 || d.Sweeps < 1 || d.Chips < 1 {
-		die("oversized solve missing decompose stats: %+v", d)
+	dec := bigResp.Decompose
+	if dec == nil || dec.Blocks < 2 || dec.Sweeps < 1 || dec.Chips < 1 {
+		die("oversized solve missing decompose stats: %+v", dec)
 	}
 	ents := make([]la.COOEntry, len(bigA))
 	for i, e := range bigA {
@@ -237,11 +283,11 @@ func main() {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "[smoke] oversized solve ok: blocks=%d sweeps=%d chips=%d configs=%d reuse=%d\n",
-		d.Blocks, d.Sweeps, d.Chips, d.Configs, d.ReuseHits)
+		dec.Blocks, dec.Sweeps, dec.Chips, dec.Configs, dec.ReuseHits)
 
 	// 5. Optionally, the CLI's remote path against the same daemon.
 	if *alasolvePath != "" {
-		out, err := exec.Command(*alasolvePath, "-server", addr, "-f", "testdata/eq2.txt").CombinedOutput()
+		out, err := exec.Command(*alasolvePath, "-server", d.addr, "-f", "testdata/eq2.txt").CombinedOutput()
 		if err != nil {
 			die("alasolve -server: %v\n%s", err, out)
 		}
@@ -256,7 +302,7 @@ func main() {
 			die("writing rhs file: %v", err)
 		}
 		defer os.Remove(rhsFile)
-		out, err = exec.Command(*alasolvePath, "-server", addr, "-f", "testdata/eq2.txt", "-rhs-file", rhsFile).CombinedOutput()
+		out, err = exec.Command(*alasolvePath, "-server", d.addr, "-f", "testdata/eq2.txt", "-rhs-file", rhsFile).CombinedOutput()
 		if err != nil {
 			die("alasolve -rhs-file: %v\n%s", err, out)
 		}
@@ -269,26 +315,152 @@ func main() {
 			die("alasolve -rhs-file did not settle lane-parallel:\n%s", out)
 		}
 		fmt.Fprintf(os.Stderr, "[smoke] alasolve -rhs-file ok (lane-parallel)\n")
+
+		// Async round trip: submit with -async, then fetch the result by
+		// job ID with -wait.
+		out, err = exec.Command(*alasolvePath, "-server", d.addr, "-f", "testdata/eq2.txt", "-async", "-q").CombinedOutput()
+		if err != nil {
+			die("alasolve -async: %v\n%s", err, out)
+		}
+		jobID := strings.TrimSpace(string(out))
+		if !strings.HasPrefix(jobID, "j-") {
+			die("alasolve -async printed %q, want a job ID", jobID)
+		}
+		out, err = exec.Command(*alasolvePath, "-server", d.addr, "-job", jobID, "-wait").CombinedOutput()
+		if err != nil {
+			die("alasolve -job -wait: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "done") || !strings.Contains(string(out), "u[0]") {
+			die("alasolve -job -wait output malformed:\n%s", out)
+		}
+		fmt.Fprintf(os.Stderr, "[smoke] alasolve -async / -job ok (%s)\n", jobID)
 	}
 
 	// 6. SIGTERM and assert a clean drain.
-	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
-		die("sigterm: %v", err)
-	}
-	done := make(chan error, 1)
-	go func() { done <- cmd.Wait() }()
-	select {
-	case err := <-done:
-		if err != nil {
-			die("alad exited dirty: %v", err)
-		}
-	case <-time.After(30 * time.Second):
-		die("alad did not exit within the drain budget")
-	}
-	if !<-drained {
-		die("alad exited without logging a clean drain")
-	}
+	d.terminate()
 	fmt.Fprintf(os.Stderr, "[smoke] drain ok\n")
+
+	// 7. Crash replay: the durable job queue's reason to exist. A
+	// journal-backed daemon accepts a job, gets SIGKILLed while the job
+	// is mid-flight (held there by -job-exec-delay), and a fresh daemon
+	// on the same store must finish it — exactly once, bit-identically,
+	// with the interrupted attempt visible in the attempt count.
+	crashReplay(ctx, *aladPath)
+	fmt.Fprintf(os.Stderr, "[smoke] crash replay ok\n")
+}
+
+func crashReplay(ctx context.Context, aladPath string) {
+	dir, err := os.MkdirTemp("", "alad-smoke-jobs-")
+	if err != nil {
+		die("mkdir store: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	store := filepath.Join(dir, "jobs.wal")
+
+	// First incarnation: one worker, and a 3s fault-injection hold
+	// between lease and execution so the SIGKILL reliably lands while
+	// the job is non-terminal.
+	d1 := startDaemon(aladPath,
+		"-pool", "1", "-warm", "2", "-max-dim", "8", "-engine", "fused",
+		"-store", store, "-job-workers", "1", "-job-lease", "2s", "-job-exec-delay", "3s")
+	defer d1.cmd.Process.Kill()
+	c1 := d1.client()
+
+	// The synchronous answer is the reference the replayed job must
+	// reproduce bit-for-bit (the simulation is deterministic).
+	ref, err := c1.Solve(ctx, eq2Request())
+	if err != nil {
+		die("crash: reference solve: %v", err)
+	}
+
+	req := eq2Request()
+	st, err := c1.SubmitJob(ctx, serve.JobSubmitRequest{Solve: &req})
+	if err != nil {
+		die("crash: submit: %v", err)
+	}
+	jobID := st.ID
+
+	// Wait for a worker to pick it up (leased or running), then pull the
+	// plug while the exec-delay holds it mid-flight.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		cur, err := c1.Job(ctx, jobID, 0)
+		if err != nil {
+			die("crash: poll: %v", err)
+		}
+		if cur.State == "leased" || cur.State == "running" {
+			break
+		}
+		if cur.State != "queued" {
+			die("crash: job reached %s before the kill", cur.State)
+		}
+		if time.Now().After(deadline) {
+			die("crash: job never left queued")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	d1.kill()
+	fmt.Fprintf(os.Stderr, "[smoke] killed alad with job %s mid-flight\n", jobID)
+
+	// Second incarnation on the same journal, no fault injection: boot
+	// replay must reclaim the orphaned lease and finish the job.
+	d2 := startDaemon(aladPath,
+		"-pool", "1", "-warm", "2", "-max-dim", "8", "-engine", "fused",
+		"-store", store, "-job-workers", "1", "-job-lease", "2s")
+	defer d2.cmd.Process.Kill()
+	c2 := d2.client()
+
+	final, err := c2.WaitJob(ctx, jobID)
+	if err != nil {
+		die("crash: waiting for replayed job: %v", err)
+	}
+	if final.State != "done" {
+		die("crash: replayed job finished %s (error %+v)", final.State, final.Error)
+	}
+	if final.Attempts != 2 {
+		die("crash: replayed job took %d attempts, want 2 (one interrupted, one replayed)", final.Attempts)
+	}
+	var jobResp serve.SolveResponse
+	if err := json.Unmarshal(final.Result, &jobResp); err != nil {
+		die("crash: decoding job result: %v", err)
+	}
+	if len(jobResp.U) != len(ref.U) {
+		die("crash: job answered %d values, reference %d", len(jobResp.U), len(ref.U))
+	}
+	for i := range ref.U {
+		if jobResp.U[i] != ref.U[i] {
+			die("crash: u[%d] = %v, reference %v — replayed result must be bit-identical", i, jobResp.U[i], ref.U[i])
+		}
+	}
+
+	// Exactly-once: re-submitting the identical request must dedup onto
+	// the finished job, not re-solve.
+	dup, err := c2.SubmitJob(ctx, serve.JobSubmitRequest{Solve: &req})
+	if err != nil {
+		die("crash: duplicate submit: %v", err)
+	}
+	if dup.ID != jobID || !dup.Deduped {
+		die("crash: duplicate submit answered %+v, want dedup onto %s", dup, jobID)
+	}
+
+	text, err := c2.Metrics(ctx)
+	if err != nil {
+		die("crash: metrics: %v", err)
+	}
+	for _, re := range []string{
+		`alad_jobs_replayed_total [1-9]`,
+		`alad_jobs_lease_expired_total [1-9]`,
+		`alad_jobs_dedup_total [1-9]`,
+		`alad_jobs_completed_total [1-9]`,
+		`alad_jobs_state\{state="done"\} [1-9]`,
+	} {
+		if !regexp.MustCompile(re).MatchString(text) {
+			die("crash: metrics missing %s", re)
+		}
+	}
+
+	// And the journal-backed daemon still drains clean.
+	d2.terminate()
 }
 
 func die(format string, args ...any) {
