@@ -16,7 +16,16 @@
 //	}'
 //	curl -s localhost:8080/metrics
 //
-// SIGINT/SIGTERM drain in-flight solves before exit.
+// With -federation the daemon joins a fingerprint-affinity cluster:
+// requests entering any node are routed to the rendezvous owner of the
+// matrix fingerprint, so repeat traffic lands where the operator is
+// already programmed:
+//
+//	alad -addr :8080 -federation -advertise http://host1:8080 \
+//	     -peers http://host2:8080,http://host3:8080
+//
+// SIGINT/SIGTERM flip /readyz to 503 (peers stop routing here) and
+// drain in-flight solves before exit.
 package main
 
 import (
@@ -36,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"analogacc/internal/federation"
 	"analogacc/internal/serve"
 )
 
@@ -55,6 +65,12 @@ func main() {
 		simJobs   = flag.Int("sim-workers", 0, "fused-engine worker bound per chip (0 = auto; results are identical for every value)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 
+		federate   = flag.Bool("federation", false, "enable the fingerprint-affinity federation router (requires -advertise; use -peers for a multi-node cluster)")
+		peers      = flag.String("peers", "", "comma-separated peer base URLs (e.g. http://host2:8080,http://host3:8080)")
+		advertise  = flag.String("advertise", "", "this node's own base URL as peers reach it (e.g. http://host1:8080); also the node name stamped into responses")
+		pollEvery  = flag.Duration("poll-interval", time.Second, "federation membership health-poll period")
+		noAffinity = flag.Bool("no-affinity", false, "federation: route to a random healthy member instead of the fingerprint owner (baseline/debug)")
+
 		store        = flag.String("store", "", "async job journal path (empty: jobs run in memory and do not survive restarts)")
 		jobWorkers   = flag.Int("job-workers", 2, "async job executor goroutines (-1 disables execution)")
 		jobLease     = flag.Duration("job-lease", 10*time.Second, "async job lease TTL; a dead executor loses its job back to the queue after this long")
@@ -68,7 +84,12 @@ func main() {
 	if err != nil {
 		log.Fatalf("alad: %v", err)
 	}
+	if *federate && *advertise == "" {
+		log.Fatalf("alad: -federation requires -advertise (the URL peers reach this node at)")
+	}
+	nodeName := federation.NormalizeURL(*advertise)
 	srv, err := serve.New(serve.Config{
+		NodeName: nodeName,
 		Pool: serve.PoolConfig{
 			ChipsPerClass: *pool,
 			WarmSizes:     warmSizes,
@@ -109,8 +130,22 @@ func main() {
 		}()
 	}
 
+	var router *federation.Router
+	handler := srv.Handler()
+	if *federate {
+		router = federation.NewRouter(federation.Config{
+			Self:         nodeName,
+			Peers:        federation.SplitEndpoints(*peers),
+			PollInterval: *pollEvery,
+			Disabled:     *noAffinity,
+		}, srv)
+		router.Start()
+		defer router.Stop()
+		handler = router.Handler()
+	}
+
 	mux := http.NewServeMux()
-	mux.Handle("/", srv.Handler())
+	mux.Handle("/", handler)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 
 	ln, err := net.Listen("tcp", *addr)
@@ -120,6 +155,10 @@ func main() {
 	httpSrv := &http.Server{Handler: mux}
 	log.Printf("alad: listening on %s (pool %d/class, warm %v, queue %d, engine %s)",
 		ln.Addr(), *pool, warmSizes, *queue, *engine)
+	if router != nil {
+		log.Printf("alad: federation on as %s (peers %v, affinity %v, poll %v)",
+			nodeName, federation.SplitEndpoints(*peers), !*noAffinity, *pollEvery)
+	}
 	if js := srv.Jobs().Stats(); js.Replayed > 0 || *store != "" {
 		log.Printf("alad: job store %q: %d jobs replayed (%d lease reclaims, %d torn records dropped), %d queued",
 			*store, js.Replayed, js.LeaseExpired, js.TornDropped, js.Queued)
@@ -135,6 +174,12 @@ func main() {
 		log.Printf("alad: %v — draining in-flight solves (budget %v)", sig, *drain)
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
+		// Flip /readyz to 503 first so federation peers and load balancers
+		// stop sending new work while in-flight solves finish.
+		srv.SetDraining(true)
+		if router != nil {
+			router.Stop()
+		}
 		// Drain order: stop leasing new async work first, then close the
 		// HTTP side (finishing admitted requests), then let running jobs
 		// complete within the remaining budget. Whatever stays queued is

@@ -10,6 +10,7 @@
 //	alasolve -f system.txt -backend analog-refined -tol 1e-8
 //	alasolve -f poisson.txt -backend cg
 //	alasolve -f system.txt -server localhost:8080
+//	alasolve -f system.txt -server host1:8080,host2:8080,host3:8080  # federation: owner-first routing
 //	alasolve -f system.txt -server localhost:8080 -async        # prints a job ID
 //	alasolve -server localhost:8080 -job j-00000001 -wait       # blocks for the result
 //	echo "n 1
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"analogacc/internal/cli"
+	"analogacc/internal/federation"
 	"analogacc/internal/la"
 	"analogacc/internal/serve"
 )
@@ -46,7 +48,7 @@ func main() {
 		maxLanes  = flag.Int("max-lanes", 0, "batch mode: cap on lane-parallel right-hand sides per wave (0 = device limit, 1 = sequential); bit-identical at any width")
 		jobs      = flag.Int("j", 0, "decomposed backend: chips to fan block solves out over (default: one per block; local solves build max(j,2) chips)")
 		blockSize = flag.Int("block", 0, "decomposed backend: variables per block (default: auto)")
-		server    = flag.String("server", "", "alad daemon address: submit the solve remotely instead of solving in-process")
+		server    = flag.String("server", "", "alad daemon address(es), comma-separated: submit the solve remotely instead of solving in-process; with a federation node list, solves go to the fingerprint's owner node first and fail over down the rank")
 		deadline  = flag.Duration("deadline", 0, "with -server: per-request solve deadline (default: server's)")
 		async     = flag.Bool("async", false, "with -server: submit as a durable background job and print its ID instead of waiting inline (add -wait to block for the result)")
 		wait      = flag.Bool("wait", false, "with -async or -job: block until the job is terminal and print its result")
@@ -57,11 +59,24 @@ func main() {
 	)
 	flag.Parse()
 
-	newRemote := func() *serve.Client {
-		c := serve.NewClient(*server)
+	servers := federation.SplitEndpoints(*server)
+	configureClient := func(c *serve.Client) {
 		c.MaxRetries = *retries
 		c.Tenant = *tenant
+	}
+	// Job submission and polling are not affinity-routed; they talk to the
+	// first listed node.
+	newRemote := func() *serve.Client {
+		c := serve.NewClient(servers[0])
+		configureClient(c)
 		return c
+	}
+	newMulti := func() *federation.MultiClient {
+		mc, err := federation.NewMultiClient(servers, configureClient)
+		if err != nil {
+			fail("%v", err)
+		}
+		return mc
 	}
 
 	// -job needs no input system: fetch the job and leave.
@@ -146,7 +161,11 @@ func main() {
 			submitJob(newRemote(), serve.JobSubmitRequest{Tenant: *tenant, Batch: &req}, *wait, *quiet)
 			return
 		}
-		solveBatch(a, rhs, *server, *backend, *deadline, *quiet, *retries, cli.SolveParams{
+		var mc *federation.MultiClient
+		if *server != "" {
+			mc = newMulti()
+		}
+		solveBatch(a, rhs, mc, *backend, *deadline, *quiet, cli.SolveParams{
 			Tol:       *tol,
 			ADCBits:   *adcBits,
 			Bandwidth: *bandwidth,
@@ -168,7 +187,7 @@ func main() {
 		extra string
 	)
 	if *server != "" {
-		u, extra = solveRemote(newRemote(), *server, *backend, a, b, *tol, *deadline, *jobs)
+		u, extra = solveRemote(newMulti(), *backend, a, b, *tol, *deadline, *jobs)
 	} else {
 		out, err := cli.SolveSystem(context.Background(), *backend, a, b, cli.SolveParams{
 			Tol:       *tol,
@@ -201,18 +220,16 @@ func main() {
 // solveBatch runs the multi-RHS path — locally through one compiled
 // session, or remotely through POST /v1/solve/batch — and prints one
 // solution block per right-hand side.
-func solveBatch(a *la.CSR, rhs []la.Vector, server, backend string, deadline time.Duration, quiet bool, retries int, p cli.SolveParams) {
+func solveBatch(a *la.CSR, rhs []la.Vector, mc *federation.MultiClient, backend string, deadline time.Duration, quiet bool, p cli.SolveParams) {
 	type item struct {
 		u     la.Vector
 		extra string
 	}
 	items := make([]item, 0, len(rhs))
 	var summary string
-	if server != "" {
+	if mc != nil {
 		req := buildBatchRequest(a, rhs, backend, p.Tol, p.MaxLanes, deadline)
-		c := serve.NewClient(server)
-		c.MaxRetries = retries
-		resp, err := c.SolveBatch(context.Background(), req)
+		resp, entry, err := mc.SolveBatch(context.Background(), req)
 		if err != nil {
 			fail("remote batch solve: %v", err)
 		}
@@ -226,7 +243,8 @@ func solveBatch(a *la.CSR, rhs []la.Vector, server, backend string, deadline tim
 			}
 			items = append(items, item{u: la.Vector(it.U), extra: ex})
 		}
-		summary = fmt.Sprintf("%d rhs served by %s in %.1f ms", len(resp.Items), server, resp.ElapsedMs)
+		summary = fmt.Sprintf("%d rhs served by %s in %.1f ms%s",
+			len(resp.Items), entry, resp.ElapsedMs, provenance(resp.ServedBy, resp.Affinity))
 	} else {
 		outs, err := cli.SolveSystemBatch(context.Background(), backend, a, rhs, p)
 		if err != nil {
@@ -378,15 +396,17 @@ func printJob(st *serve.JobStatus, quiet bool) {
 	}
 }
 
-// solveRemote ships the parsed system to an alad daemon over the shared
-// serve schema and returns the solution plus a cost summary.
-func solveRemote(c *serve.Client, addr, backend string, a *la.CSR, b la.Vector, tol float64, deadline time.Duration, jobs int) (la.Vector, string) {
+// solveRemote ships the parsed system to an alad daemon (or federation
+// node list) over the shared serve schema and returns the solution plus
+// a cost summary with routing provenance.
+func solveRemote(mc *federation.MultiClient, backend string, a *la.CSR, b la.Vector, tol float64, deadline time.Duration, jobs int) (la.Vector, string) {
 	req := buildSolveRequest(a, b, backend, tol, deadline, jobs)
-	resp, err := c.Solve(context.Background(), req)
+	resp, entry, err := mc.Solve(context.Background(), req)
 	if err != nil {
 		fail("remote solve: %v", err)
 	}
-	extra := fmt.Sprintf("served by %s in %.1f ms", addr, resp.ElapsedMs)
+	extra := fmt.Sprintf("served by %s in %.1f ms", entry, resp.ElapsedMs)
+	extra += provenance(resp.ServedBy, resp.Affinity)
 	if resp.Backend != backend {
 		// The server routed the request elsewhere (e.g. a too-large analog
 		// system fanned out over the pool as a decomposed solve).
@@ -403,6 +423,20 @@ func solveRemote(c *serve.Client, addr, backend string, a *la.CSR, b la.Vector, 
 			d.Blocks, d.Sweeps, d.Chips, d.Configs, d.ReuseHits, d.InnerRefinements)
 	}
 	return la.Vector(resp.U), extra
+}
+
+// provenance renders a response's federation routing stamp: which node
+// actually solved it and whether affinity placed it there (hit), the
+// entry node kept it (local), or health gating re-routed it (fallback).
+// Non-federated daemons leave both fields empty and print nothing.
+func provenance(servedBy, affinity string) string {
+	if servedBy == "" {
+		return ""
+	}
+	if affinity == "" {
+		affinity = "local"
+	}
+	return fmt.Sprintf(", served-by=%s affinity=%s", servedBy, affinity)
 }
 
 // readRHS loads one float per non-empty line.

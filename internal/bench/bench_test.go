@@ -8,7 +8,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"adcres", "calib", "dda", "decomp", "engines", "fig10", "fig11", "fig12", "fig7", "fig8", "fig9", "multigrid", "noise", "parallel", "table1", "table2", "table3"}
+	want := []string{"adcres", "calib", "dda", "decomp", "engines", "federation", "fig10", "fig11", "fig12", "fig7", "fig8", "fig9", "multigrid", "noise", "parallel", "table1", "table2", "table3"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("%d experiments registered, want %d", len(all), len(want))
@@ -297,6 +297,20 @@ func TestAblationsQuick(t *testing.T) {
 	}
 	if parse(t, dec.Rows[1][2]) > parse(t, dec.Rows[0][2]) {
 		t.Fatalf("sweeps rose with block size: %v", dec.Rows)
+	}
+}
+
+func TestFederationQuickShape(t *testing.T) {
+	tb := runQuick(t, "federation")
+	if len(tb.Rows) != 3 {
+		t.Fatalf("%d policy rows want 3", len(tb.Rows))
+	}
+	// Affinity routing must beat random routing on cluster cache hit rate —
+	// that is the whole point of the federation tier.
+	affinity := parse(t, tb.Rows[0][2])
+	random := parse(t, tb.Rows[1][2])
+	if affinity <= random {
+		t.Fatalf("affinity hit rate %v not above affinity-disabled %v", affinity, random)
 	}
 }
 

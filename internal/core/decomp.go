@@ -33,6 +33,46 @@ type SessionProvider interface {
 	AcquireChips(ctx context.Context, sample Matrix, want int) (accs []*Accelerator, release func(), err error)
 }
 
+// BlockWorker is one lane of a decomposed solve: anything that can hold a
+// block matrix resident and solve batches of right-hand sides against it.
+// A local *Accelerator is the in-process form (see accWorker); a
+// federation peer reached over the serve wire protocol is the remote one.
+// Workers are driven by a single goroutine each, so implementations need
+// no internal locking.
+type BlockWorker interface {
+	// OpenBlock makes the block matrix resident on the worker and returns
+	// a session to solve against it. The engine opens each distinct block
+	// once and reuses the session across sweeps.
+	OpenBlock(a *la.CSR) (BlockSession, error)
+	// Odometer reports the worker's cumulative analog seconds, runs, and
+	// matrix configurations; the engine differences before/after readings
+	// into DecomposeStats.
+	Odometer() (analogSeconds float64, runs, configs int)
+}
+
+// BlockSession is a block matrix resident on a BlockWorker. *Session
+// satisfies it directly.
+type BlockSession interface {
+	SolveBatchRefinedItems(ctx context.Context, items []BatchItem, opt SolveOptions) ([]la.Vector, []Stats, []float64, error)
+}
+
+// WorkerProvider is the generalized SessionProvider seam: providers that
+// can lend block workers beyond local accelerators (the federation tier
+// lends remote peer nodes) implement it, and ParallelDecompose prefers it
+// over AcquireChips when present.
+type WorkerProvider interface {
+	AcquireWorkers(ctx context.Context, sample Matrix, want int) (workers []BlockWorker, release func(), err error)
+}
+
+// accWorker adapts a local accelerator to BlockWorker.
+type accWorker struct{ acc *Accelerator }
+
+func (w accWorker) OpenBlock(a *la.CSR) (BlockSession, error) { return w.acc.BeginSession(a) }
+
+func (w accWorker) Odometer() (float64, int, int) {
+	return w.acc.AnalogTime(), w.acc.Runs(), w.acc.Configurations()
+}
+
 // BlockSizer is optionally implemented by providers that can choose the
 // largest block size their chips accommodate for a given system. The
 // engine consults it when DecomposeOptions.BlockSize is unset.
@@ -113,7 +153,7 @@ type ParallelDecompose struct {
 // (SolveBatchRefinedItems), so the per-item scratch is a slice per run
 // slot rather than a single buffer.
 type chipWorker struct {
-	acc                *Accelerator
+	w                  BlockWorker
 	blocks             []*decompBlock
 	size               int // maximum block dimension (scratch sizing)
 	offBuf             la.Vector
@@ -127,7 +167,7 @@ type decompBlock struct {
 	idx   []int
 	sub   *la.CSR // group representative: pointer-shared across equal blocks
 	group int
-	sess  *Session
+	sess  BlockSession
 	// sigmaGain is this block's learned sigma estimate, carried across
 	// sweeps. It lives on the block — not on a shared session — so the
 	// estimate a block solves with is independent of which chip runs it
@@ -191,17 +231,31 @@ func (pd *ParallelDecompose) Solve(ctx context.Context, a *la.CSR, b la.Vector) 
 	if want <= 0 || want > len(blocks) {
 		want = len(blocks)
 	}
-	accs, release, err := pd.Provider.AcquireChips(ctx, blocks[0].sub, want)
+	// Prefer the generalized worker seam (remote-capable providers); fall
+	// back to wrapping plain accelerators from AcquireChips.
+	var (
+		bws     []BlockWorker
+		release func()
+	)
+	if wp, ok := pd.Provider.(WorkerProvider); ok {
+		bws, release, err = wp.AcquireWorkers(ctx, blocks[0].sub, want)
+	} else {
+		var accs []*Accelerator
+		accs, release, err = pd.Provider.AcquireChips(ctx, blocks[0].sub, want)
+		for _, acc := range accs {
+			bws = append(bws, accWorker{acc: acc})
+		}
+	}
 	if release != nil {
 		defer release()
 	}
 	if err != nil {
 		return nil, stats, err
 	}
-	if len(accs) == 0 {
+	if len(bws) == 0 {
 		return nil, stats, fmt.Errorf("core: provider returned no chips")
 	}
-	stats.Chips = len(accs)
+	stats.Chips = len(bws)
 
 	// Sort blocks by group, then chunk contiguously over the chips: each
 	// chip sees as few distinct matrices as possible, and a block keeps
@@ -211,33 +265,32 @@ func (pd *ParallelDecompose) Solve(ctx context.Context, a *la.CSR, b la.Vector) 
 		order[i] = i
 	}
 	sort.SliceStable(order, func(i, j int) bool { return blocks[order[i]].group < blocks[order[j]].group })
-	workers := make([]*chipWorker, len(accs))
-	for i, acc := range accs {
-		workers[i] = &chipWorker{acc: acc, size: size, offBuf: la.NewVector(size)}
+	workers := make([]*chipWorker, len(bws))
+	for i, bw := range bws {
+		workers[i] = &chipWorker{w: bw, size: size, offBuf: la.NewVector(size)}
 	}
 	for i, bi := range order {
 		w := workers[i*len(workers)/len(order)]
 		w.blocks = append(w.blocks, blocks[bi])
 	}
 
-	timeBase := make([]float64, len(accs))
-	runsBase := make([]int, len(accs))
-	cfgBase := make([]int, len(accs))
-	for i, acc := range accs {
-		timeBase[i] = acc.AnalogTime()
-		runsBase[i] = acc.Runs()
-		cfgBase[i] = acc.Configurations()
+	timeBase := make([]float64, len(bws))
+	runsBase := make([]int, len(bws))
+	cfgBase := make([]int, len(bws))
+	for i, bw := range bws {
+		timeBase[i], runsBase[i], cfgBase[i] = bw.Odometer()
 	}
 	defer func() {
 		var critical float64
-		for i, acc := range accs {
-			dt := acc.AnalogTime() - timeBase[i]
+		for i, bw := range bws {
+			at, rn, cf := bw.Odometer()
+			dt := at - timeBase[i]
 			stats.AnalogTime += dt
 			if dt > critical {
 				critical = dt
 			}
-			stats.Runs += acc.Runs() - runsBase[i]
-			stats.Configs += acc.Configurations() - cfgBase[i]
+			stats.Runs += rn - runsBase[i]
+			stats.Configs += cf - cfgBase[i]
 		}
 		stats.AnalogCritical = critical
 		for _, w := range workers {
@@ -333,7 +386,7 @@ func (w *chipWorker) runBlocks(ctx context.Context, a *la.CSR, b, x, xNext la.Ve
 	w.items = items
 	lead := blks[0]
 	if lead.sess == nil {
-		sess, err := w.acc.BeginSession(lead.sub)
+		sess, err := w.w.OpenBlock(lead.sub)
 		if err != nil {
 			w.err = fmt.Errorf("core: block at %d: %w", lead.idx[0], err)
 			return false

@@ -1,0 +1,130 @@
+package federation
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+
+	"analogacc/internal/serve"
+)
+
+// LocalCluster is an in-process federation: n serve.Servers, each
+// wrapped by a Router, listening on loopback ports. Benchmarks and the
+// alabench federation experiment use it to measure routing policies
+// without spawning daemons; the smoke gauntlet exercises the real
+// multi-process path.
+type LocalCluster struct {
+	Nodes   []*LocalNode
+	stopped bool
+}
+
+// LocalNode is one member of a LocalCluster.
+type LocalNode struct {
+	Server   *serve.Server
+	Router   *Router
+	URL      string
+	listener net.Listener
+	httpSrv  *http.Server
+	handler  *swapHandlerLC
+}
+
+// swapHandlerLC lets the listener come up before the router exists (the
+// router's identity is the listener's address).
+type swapHandlerLC struct {
+	mu sync.RWMutex
+	h  http.Handler
+}
+
+func (s *swapHandlerLC) set(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+func (s *swapHandlerLC) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	h := s.h
+	s.mu.RUnlock()
+	h.ServeHTTP(w, r)
+}
+
+// StartLocalCluster boots n nodes with identical pools on loopback
+// listeners, wires their routers (affinity disabled when disabled), and
+// refreshes membership once so routing works immediately.
+func StartLocalCluster(n int, pool serve.PoolConfig, disabled bool) (*LocalCluster, error) {
+	lc := &LocalCluster{}
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		s, err := serve.New(serve.Config{Pool: pool, NodeName: fmt.Sprintf("node%d", i), JobWorkers: -1})
+		if err != nil {
+			lc.Close()
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			s.Close()
+			lc.Close()
+			return nil, err
+		}
+		sh := &swapHandlerLC{h: s.Handler()}
+		hs := &http.Server{Handler: sh}
+		go hs.Serve(ln)
+		node := &LocalNode{
+			Server:   s,
+			URL:      "http://" + ln.Addr().String(),
+			listener: ln,
+			httpSrv:  hs,
+			handler:  sh,
+		}
+		lc.Nodes = append(lc.Nodes, node)
+		urls[i] = node.URL
+	}
+	for i, node := range lc.Nodes {
+		peers := make([]string, 0, n-1)
+		for j, u := range urls {
+			if j != i {
+				peers = append(peers, u)
+			}
+		}
+		node.Router = NewRouter(Config{Self: urls[i], Peers: peers, Disabled: disabled, Seed: 1}, node.Server)
+		node.handler.set(node.Router.Handler())
+	}
+	lc.PollAll()
+	return lc, nil
+}
+
+// URLs lists every node's entry address.
+func (lc *LocalCluster) URLs() []string {
+	out := make([]string, len(lc.Nodes))
+	for i, nd := range lc.Nodes {
+		out[i] = nd.URL
+	}
+	return out
+}
+
+// PollAll refreshes every node's membership synchronously.
+func (lc *LocalCluster) PollAll() {
+	for _, nd := range lc.Nodes {
+		if nd.Router != nil {
+			nd.Router.PollOnce(context.Background())
+		}
+	}
+}
+
+// Close shuts every node down.
+func (lc *LocalCluster) Close() {
+	if lc.stopped {
+		return
+	}
+	lc.stopped = true
+	for _, nd := range lc.Nodes {
+		if nd.httpSrv != nil {
+			nd.httpSrv.Close()
+		}
+		if nd.Server != nil {
+			nd.Server.Close()
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package federation
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"analogacc/internal/la"
+	"analogacc/internal/serve"
+)
+
+// MultiClient is the client-side half of fingerprint affinity: it holds
+// one serve.Client per cluster entry point and sends each solve to the
+// rendezvous owner of the request's fingerprint first, falling back down
+// the rank (and finally across the remaining endpoints) on failure. When
+// the caller's endpoint list matches the nodes' advertised URLs this
+// lands the request directly on the resident node with no forwarding
+// hop; when it doesn't, the receiving router forwards and the request
+// still ends up in the right place — client-side ranking is an
+// optimization, not a correctness requirement.
+type MultiClient struct {
+	endpoints []string
+	clients   map[string]*serve.Client
+}
+
+// NormalizeURL gives bare host:port addresses an http scheme and strips
+// a trailing slash so endpoint strings compare equal to advertised node
+// identities no matter how the user spelled them.
+func NormalizeURL(s string) string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return ""
+	}
+	if !strings.Contains(s, "://") {
+		s = "http://" + s
+	}
+	return strings.TrimRight(s, "/")
+}
+
+// SplitEndpoints parses a comma-separated endpoint list flag.
+func SplitEndpoints(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if u := NormalizeURL(f); u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// NewMultiClient builds one client per endpoint; configure (optional)
+// runs on each, for MaxRetries/Tenant and friends.
+func NewMultiClient(addrs []string, configure func(*serve.Client)) (*MultiClient, error) {
+	m := &MultiClient{clients: make(map[string]*serve.Client)}
+	for _, a := range addrs {
+		u := NormalizeURL(a)
+		if u == "" {
+			continue
+		}
+		if _, dup := m.clients[u]; dup {
+			continue
+		}
+		c := serve.NewClient(u)
+		if configure != nil {
+			configure(c)
+		}
+		m.endpoints = append(m.endpoints, u)
+		m.clients[u] = c
+	}
+	if len(m.endpoints) == 0 {
+		return nil, fmt.Errorf("federation: no endpoints")
+	}
+	return m, nil
+}
+
+// Endpoints returns the normalized endpoint list in input order.
+func (m *MultiClient) Endpoints() []string {
+	return append([]string(nil), m.endpoints...)
+}
+
+// Primary is the first endpoint — the one non-affinity operations
+// (async jobs, job polling) should use.
+func (m *MultiClient) Primary() *serve.Client { return m.clients[m.endpoints[0]] }
+
+// order ranks the endpoints for one request: rendezvous order on the
+// system fingerprint when the request parses, input order otherwise
+// (the server will reject the malformed request with a proper error).
+func (m *MultiClient) order(req *serve.SolveRequest) []string {
+	if len(m.endpoints) == 1 {
+		return m.endpoints
+	}
+	a, _, err := req.BuildSystem()
+	if err != nil {
+		return m.endpoints
+	}
+	return Rank(m.endpoints, la.Fingerprint(a))
+}
+
+// Solve sends the request to the fingerprint's rendezvous owner among
+// the configured endpoints, walking down the rank on retriable failures.
+// It returns the response plus the endpoint that answered.
+func (m *MultiClient) Solve(ctx context.Context, req serve.SolveRequest) (*serve.SolveResponse, string, error) {
+	var lastErr error
+	for _, ep := range m.order(&req) {
+		resp, err := m.clients[ep].Solve(ctx, req)
+		if err == nil {
+			return resp, ep, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil || !retriable(err) {
+			return nil, ep, err
+		}
+	}
+	return nil, "", lastErr
+}
+
+// SolveBatch is Solve's multi-RHS counterpart with the same endpoint
+// ranking and failover walk.
+func (m *MultiClient) SolveBatch(ctx context.Context, req serve.BatchSolveRequest) (*serve.BatchSolveResponse, string, error) {
+	order := m.endpoints
+	if len(m.endpoints) > 1 {
+		if a, _, err := req.BuildSystem(); err == nil {
+			order = Rank(m.endpoints, la.Fingerprint(a))
+		}
+	}
+	var lastErr error
+	for _, ep := range order {
+		resp, err := m.clients[ep].SolveBatch(ctx, req)
+		if err == nil {
+			return resp, ep, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil || !retriable(err) {
+			return nil, ep, err
+		}
+	}
+	return nil, "", lastErr
+}

@@ -1,0 +1,176 @@
+package federation
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"analogacc/internal/core"
+	"analogacc/internal/la"
+	"analogacc/internal/serve"
+)
+
+// Provider is the federation's core.WorkerProvider: a decomposed solve
+// fans its blocks out over the local pool's chips first, then — when the
+// system wants more workers than the local pool can lend — over healthy
+// peer nodes, each reached through POST /v1/peer/block. A peer worker
+// behaves exactly like a chip: its block matrix stays resident in the
+// peer's pool between sweeps (the peer's own session cache adopts it on
+// every call), and its odometer deltas flow back in each response so
+// DecomposeStats count remote analog seconds and configurations like
+// local ones. Results are bit-identical to an all-local solve because
+// the engine's Jacobi schedule is worker-count-independent and the peer
+// runs the same deterministic chip simulation.
+type Provider struct {
+	local   *serve.PoolProvider
+	members *Membership
+	metrics *Metrics
+}
+
+// NewProvider wires the scatter-gather provider. local is the node's own
+// pool provider; members supplies healthy peers; metrics (optional)
+// counts scattered block traffic.
+func NewProvider(local *serve.PoolProvider, members *Membership, metrics *Metrics) *Provider {
+	return &Provider{local: local, members: members, metrics: metrics}
+}
+
+// AcquireChips implements core.SessionProvider by delegation; the engine
+// prefers AcquireWorkers and never calls this when the provider also
+// implements WorkerProvider, but the interface requires it.
+func (p *Provider) AcquireChips(ctx context.Context, sample core.Matrix, want int) ([]*core.Accelerator, func(), error) {
+	return p.local.AcquireChips(ctx, sample, want)
+}
+
+// MaxBlockSize implements core.BlockSizer with the local pool's
+// capacity. The cluster is homogeneous by configuration (every node's
+// classes use the same specs), so local capacity is cluster capacity.
+func (p *Provider) MaxBlockSize(a *la.CSR) int { return p.local.MaxBlockSize(a) }
+
+// AcquireWorkers implements core.WorkerProvider: local chips first (one
+// blocking checkout, the rest opportunistic), then one remote worker per
+// available peer until want is met. Remote lanes only join when the
+// local pool is exhausted — a local chip is always cheaper than a wire
+// round trip per sweep.
+func (p *Provider) AcquireWorkers(ctx context.Context, sample core.Matrix, want int) ([]core.BlockWorker, func(), error) {
+	accs, release, err := p.local.AcquireChips(ctx, sample, want)
+	if err != nil {
+		return nil, nil, err
+	}
+	workers := make([]core.BlockWorker, 0, want)
+	for _, acc := range accs {
+		workers = append(workers, localWorker{acc: acc})
+	}
+	if p.members != nil {
+		for _, addr := range p.members.Members() {
+			if len(workers) >= want {
+				break
+			}
+			if !p.members.Available(addr) {
+				continue
+			}
+			cl := p.members.Client(addr)
+			if cl == nil { // self
+				continue
+			}
+			workers = append(workers, &remoteWorker{addr: addr, client: cl, members: p.members, metrics: p.metrics})
+		}
+	}
+	return workers, release, nil
+}
+
+// localWorker adapts a pooled accelerator to core.BlockWorker (the same
+// shape core uses internally for plain providers).
+type localWorker struct{ acc *core.Accelerator }
+
+func (w localWorker) OpenBlock(a *la.CSR) (core.BlockSession, error) { return w.acc.BeginSession(a) }
+
+func (w localWorker) Odometer() (float64, int, int) {
+	return w.acc.AnalogTime(), w.acc.Runs(), w.acc.Configurations()
+}
+
+// remoteWorker is one peer node acting as a block lane. The engine
+// drives each worker from a single goroutine and reads odometers only
+// before launch and after the sweeps join, so the accumulators need no
+// locking.
+type remoteWorker struct {
+	addr    string
+	client  *serve.Client
+	members *Membership
+	metrics *Metrics
+
+	analogSeconds float64
+	runs, configs int
+}
+
+func (w *remoteWorker) Odometer() (float64, int, int) { return w.analogSeconds, w.runs, w.configs }
+
+func (w *remoteWorker) OpenBlock(a *la.CSR) (core.BlockSession, error) {
+	// Serialize the block once; every sweep reuses the encoded matrix.
+	// The peer's session cache recognizes the fingerprint on call 2+ and
+	// adopts the resident programming, so only the first call pays
+	// configuration cost.
+	n := a.Dim()
+	entries := make([]serve.Entry, 0, a.NNZ())
+	for i := 0; i < n; i++ {
+		a.VisitRow(i, func(j int, v float64) {
+			entries = append(entries, serve.Entry{Row: i, Col: j, Val: v})
+		})
+	}
+	return &remoteSession{w: w, n: n, entries: entries}, nil
+}
+
+type remoteSession struct {
+	w       *remoteWorker
+	n       int
+	entries []serve.Entry
+}
+
+// SolveBatchRefinedItems implements core.BlockSession over the wire.
+func (s *remoteSession) SolveBatchRefinedItems(ctx context.Context, items []core.BatchItem, opt core.SolveOptions) ([]la.Vector, []core.Stats, []float64, error) {
+	req := serve.BlockSolveRequest{
+		N:     s.n,
+		A:     s.entries,
+		Items: make([]serve.BlockWireItem, len(items)),
+		Opt:   serve.BlockOptionsFromCore(opt),
+	}
+	for i, it := range items {
+		req.Items[i] = serve.BlockWireItem{
+			RHS:       append([]float64(nil), it.RHS...),
+			Guess:     append([]float64(nil), it.Guess...),
+			SigmaGain: it.SigmaGain,
+		}
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if ms := int(time.Until(dl).Milliseconds()); ms > 0 {
+			req.TimeoutMs = ms
+		}
+	}
+	if s.w.metrics != nil {
+		s.w.metrics.BlockScatter(len(items))
+	}
+	resp, err := s.w.client.SolveBlock(ctx, req)
+	if err != nil {
+		if s.w.members != nil {
+			s.w.members.MarkUnhealthy(s.w.addr)
+		}
+		if s.w.metrics != nil {
+			s.w.metrics.ForwardError()
+		}
+		return nil, nil, nil, fmt.Errorf("federation: block solve on %s: %w", s.w.addr, err)
+	}
+	if len(resp.Results) != len(items) {
+		return nil, nil, nil, fmt.Errorf("federation: peer %s answered %d results for %d items", s.w.addr, len(resp.Results), len(items))
+	}
+	s.w.analogSeconds += resp.AnalogSeconds
+	s.w.runs += resp.Runs
+	s.w.configs += resp.Configs
+	us := make([]la.Vector, len(resp.Results))
+	sts := make([]core.Stats, len(resp.Results))
+	gains := make([]float64, len(resp.Results))
+	for i, r := range resp.Results {
+		us[i] = la.Vector(r.U)
+		sts[i] = core.Stats{Refinements: r.Refinements, Runs: r.Runs}
+		gains[i] = r.SigmaGain
+	}
+	return us, sts, gains, nil
+}

@@ -1,0 +1,77 @@
+// Package federation is the router tier that makes the chip pool's
+// session cache cluster-wide. One alad node keeps a matrix resident only
+// until its own pool evicts it; a federation consistent-hashes every
+// solve by the operator's fingerprint (rendezvous/HRW hashing over the
+// healthy member set) so repeat traffic for an operator always lands on
+// the same node — the one whose pool already holds it programmed. The
+// paper's cost asymmetry is the whole motivation: programming a matrix
+// onto the analog fabric is the expensive step, re-settling a resident
+// one is nearly free, so the scheduler's job is to maximize residency
+// hits. Health-gated membership degrades routing to the next-ranked
+// healthy node when the affinity owner is down or saturated, and
+// oversized systems scatter-gather across peers through the
+// core.ParallelDecompose worker seam.
+package federation
+
+import "sort"
+
+// FNV-1a, the same hash family la.Fingerprint uses. Rendezvous hashing
+// needs nothing fancier: score(member, key) must be deterministic,
+// well-mixed, and independent across members, which FNV-1a over
+// member-name-then-key-bytes gives.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// score is the HRW weight of one member for one key. The member name
+// folds in first, then the key's eight bytes, so two members' scores for
+// the same key are unrelated hash states.
+func score(member string, key uint64) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(member); i++ {
+		h ^= uint64(member[i])
+		h *= fnvPrime64
+	}
+	for i := 0; i < 8; i++ {
+		h ^= (key >> (8 * i)) & 0xff
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// Owner returns the rendezvous winner — the member every router in the
+// cluster independently agrees should hold this key resident. Empty
+// members returns "".
+func Owner(members []string, key uint64) string {
+	var best string
+	var bestScore uint64
+	for _, m := range members {
+		s := score(m, key)
+		// Ties break toward the lexically larger name so the choice is
+		// total and ordering-independent.
+		if best == "" || s > bestScore || (s == bestScore && m > best) {
+			best, bestScore = m, s
+		}
+	}
+	return best
+}
+
+// Rank orders members by descending rendezvous score for the key: the
+// owner first, then the failover sequence every router agrees on. The
+// input is not mutated; the output is independent of input ordering.
+func Rank(members []string, key uint64) []string {
+	out := append([]string(nil), members...)
+	scores := make(map[string]uint64, len(out))
+	for _, m := range out {
+		scores[m] = score(m, key)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := scores[out[i]], scores[out[j]]
+		if si != sj {
+			return si > sj
+		}
+		return out[i] > out[j]
+	})
+	return out
+}

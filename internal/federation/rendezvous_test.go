@@ -1,0 +1,125 @@
+package federation
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func memberNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("10.0.0.%d:8080", i+1)
+	}
+	return out
+}
+
+// Rendezvous hashing must give every router the same answer no matter
+// what order its membership table happens to enumerate in.
+func TestRendezvousDeterministicAcrossOrderings(t *testing.T) {
+	members := memberNames(7)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		key := rng.Uint64()
+		owner := Owner(members, key)
+		rank := Rank(members, key)
+		if rank[0] != owner {
+			t.Fatalf("Rank[0] = %q, Owner = %q", rank[0], owner)
+		}
+		shuffled := append([]string(nil), members...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		if got := Owner(shuffled, key); got != owner {
+			t.Fatalf("key %x: owner %q under one ordering, %q under another", key, owner, got)
+		}
+		gotRank := Rank(shuffled, key)
+		for i := range rank {
+			if gotRank[i] != rank[i] {
+				t.Fatalf("key %x: rank[%d] = %q vs %q across orderings", key, i, gotRank[i], rank[i])
+			}
+		}
+	}
+}
+
+// The HRW property: removing one member reassigns only that member's
+// keys (everything else keeps its owner), so a node leaving moves ~1/N
+// of the keyspace, not a full reshuffle.
+func TestRendezvousMinimalMovementOnLeave(t *testing.T) {
+	members := memberNames(8)
+	const keys = 20000
+	rng := rand.New(rand.NewSource(7))
+	removed := members[3]
+	kept := append(append([]string(nil), members[:3]...), members[4:]...)
+	moved, ownedByRemoved := 0, 0
+	for i := 0; i < keys; i++ {
+		key := rng.Uint64()
+		before := Owner(members, key)
+		after := Owner(kept, key)
+		if before == removed {
+			ownedByRemoved++
+			if after == removed {
+				t.Fatalf("removed member still owns key %x", key)
+			}
+			continue
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys not owned by the removed member changed owner", moved)
+	}
+	// The removed member's share should be ~1/8 of the keyspace; allow a
+	// wide statistical band. A pathological hash would put ~0 or ~all
+	// keys on one member.
+	frac := float64(ownedByRemoved) / keys
+	if frac < 0.5/8 || frac > 2.0/8 {
+		t.Fatalf("removed member owned %.3f of keys; want ≈ 1/8", frac)
+	}
+}
+
+// The join direction: a new member claims ~1/(N+1) of the keys and
+// steals none it shouldn't — keys it doesn't claim keep their owner.
+func TestRendezvousMinimalMovementOnJoin(t *testing.T) {
+	members := memberNames(7)
+	joined := append(append([]string(nil), members...), "10.0.0.99:8080")
+	const keys = 20000
+	rng := rand.New(rand.NewSource(11))
+	claimed := 0
+	for i := 0; i < keys; i++ {
+		key := rng.Uint64()
+		before := Owner(members, key)
+		after := Owner(joined, key)
+		if after == "10.0.0.99:8080" {
+			claimed++
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %x moved %q → %q without the new member claiming it", key, before, after)
+		}
+	}
+	frac := float64(claimed) / keys
+	if frac < 0.5/8 || frac > 2.0/8 {
+		t.Fatalf("new member claimed %.3f of keys; want ≈ 1/8", frac)
+	}
+}
+
+// Failover: when the owner drops out of the candidate set, the key
+// lands exactly on the second-ranked member — the deterministic
+// fallback every router agrees on.
+func TestRendezvousFailoverReRouting(t *testing.T) {
+	members := memberNames(5)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		key := rng.Uint64()
+		rank := Rank(members, key)
+		survivors := make([]string, 0, len(members)-1)
+		for _, m := range members {
+			if m != rank[0] {
+				survivors = append(survivors, m)
+			}
+		}
+		if got := Owner(survivors, key); got != rank[1] {
+			t.Fatalf("key %x: failover owner %q, want second-ranked %q", key, got, rank[1])
+		}
+	}
+}

@@ -1,0 +1,312 @@
+package federation
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"analogacc/internal/la"
+	"analogacc/internal/serve"
+)
+
+// Config wires one node's router.
+type Config struct {
+	// Self is this node's advertised address ("host:port" or URL) — its
+	// identity in the rendezvous ring. Required when Peers is non-empty.
+	Self string
+	// Peers are the other nodes' advertised addresses.
+	Peers []string
+	// PollInterval is the membership refresh period (default 1s).
+	PollInterval time.Duration
+	// SaturationFrac is the admission-queue fraction past which a peer
+	// stops being a routing target (default 0.75).
+	SaturationFrac float64
+	// Disabled turns affinity off: requests route to a uniformly random
+	// healthy member instead of the rendezvous owner. The measurement
+	// baseline, and an escape hatch.
+	Disabled bool
+	// Seed fixes the random-route generator (benchmarks; zero seeds from
+	// the clock).
+	Seed int64
+}
+
+// Router is the federation front of one alad node: it intercepts the
+// solve endpoints, picks the rendezvous owner of each request's
+// fingerprint over the healthy member set, and either serves locally
+// (this node is the target), forwards (a peer is), or falls back down
+// the rendezvous ranking when the owner is unavailable. Forwarded
+// requests carry X-Alad-Forwarded and are always served locally by the
+// receiving node, so no request bounces twice. Every other endpoint
+// passes through to the wrapped server untouched; /metrics gains a
+// federation section.
+type Router struct {
+	cfg     Config
+	server  *serve.Server
+	members *Membership
+	metrics *Metrics
+	handler http.Handler
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// NewRouter wraps a server with federation routing and installs the
+// scatter-gather provider so the node's decomposed solves can borrow
+// peer chips. Start the membership poller with Start.
+func NewRouter(cfg Config, s *serve.Server) *Router {
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = time.Second
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	rt := &Router{
+		cfg:     cfg,
+		server:  s,
+		members: NewMembership(cfg.Self, cfg.Peers, cfg.PollInterval, cfg.SaturationFrac),
+		metrics: NewMetrics(),
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+	s.SetDecompProvider(NewProvider(s.Pool().DecompProvider(), rt.members, rt.metrics))
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", rt.handleSolve)
+	mux.HandleFunc("POST /v1/solve/batch", rt.handleSolveBatch)
+	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	mux.Handle("/", s.Handler())
+	rt.handler = mux
+	return rt
+}
+
+// Handler is the node's HTTP surface with routing in front.
+func (rt *Router) Handler() http.Handler { return rt.handler }
+
+// Members exposes the membership table (alad wiring, tests).
+func (rt *Router) Members() *Membership { return rt.members }
+
+// Metrics exposes the router metrics (tests, bench).
+func (rt *Router) Metrics() *Metrics { return rt.metrics }
+
+// Start launches the membership poller.
+func (rt *Router) Start() { rt.members.Start() }
+
+// Stop halts the membership poller.
+func (rt *Router) Stop() { rt.members.Stop() }
+
+// route decides where a fingerprint's solve should run: the target
+// member, the route label (RouteLocal/Hit/Fallback/Random), and the
+// failover candidates after the target (rendezvous order). With
+// affinity disabled the target is a uniformly random healthy member.
+func (rt *Router) route(fp uint64) (target, label string, next []string) {
+	members := rt.members.Members()
+	if rt.cfg.Disabled {
+		rt.rngMu.Lock()
+		target = members[rt.rng.Intn(len(members))]
+		rt.rngMu.Unlock()
+		return target, RouteRandom, nil
+	}
+	ranked := Rank(members, fp)
+	for i, m := range ranked {
+		if !rt.members.Available(m) {
+			continue
+		}
+		label = RouteFallback
+		if i == 0 {
+			label = RouteHit
+		}
+		if m == rt.cfg.Self && i == 0 {
+			label = RouteLocal
+		}
+		return m, label, ranked[i+1:]
+	}
+	// Nobody is available (every peer saturated or down): serve locally
+	// rather than reject — local admission gives the honest 429.
+	return rt.cfg.Self, RouteFallback, nil
+}
+
+func decodeJSON[T any](w http.ResponseWriter, r *http.Request, maxBytes int64, req *T) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(req); err != nil {
+		writeJSONStatus(w, http.StatusBadRequest, serve.ErrorResponse{Code: serve.CodeBadRequest, Error: "decoding request: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeClientErr translates a forward's client-side error into the same
+// HTTP answer the peer gave (or a 502 for transport failures).
+func writeClientErr(w http.ResponseWriter, err error) {
+	var busy *serve.BusyError
+	if errors.As(err, &busy) {
+		w.Header().Set("Retry-After", strconv.Itoa(int((busy.RetryAfter+time.Second-1)/time.Second)))
+		writeJSONStatus(w, http.StatusTooManyRequests, serve.ErrorResponse{Code: busy.Code, Error: busy.Error()})
+		return
+	}
+	var remote *serve.RemoteError
+	if errors.As(err, &remote) {
+		writeJSONStatus(w, remote.StatusCode, serve.ErrorResponse{Code: remote.Code, Error: remote.Message})
+		return
+	}
+	writeJSONStatus(w, http.StatusBadGateway, serve.ErrorResponse{Code: serve.CodeInternal, Error: err.Error()})
+}
+
+// retriable reports whether a forward failure should try the next
+// candidate: transport errors and 5xx/429 answers mean the peer cannot
+// serve right now; a 4xx answer would fail anywhere, so it surfaces.
+func retriable(err error) bool {
+	var remote *serve.RemoteError
+	if errors.As(err, &remote) {
+		return remote.StatusCode >= 500
+	}
+	var busy *serve.BusyError
+	if errors.As(err, &busy) {
+		return true
+	}
+	return true // transport-level failure
+}
+
+func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req serve.SolveRequest
+	if !decodeJSON(w, r, 32<<20, &req) {
+		return
+	}
+	// A request a peer already routed is served here unconditionally —
+	// the loop guard. The entry node stamps Affinity on the way back.
+	if r.Header.Get(serve.ForwardedHeader) != "" {
+		resp, aerr := rt.server.SolveDecoded(r.Context(), &req)
+		if aerr != nil {
+			rt.server.WriteAPIError(w, aerr)
+			return
+		}
+		writeJSONStatus(w, http.StatusOK, resp)
+		return
+	}
+	a, _, err := req.BuildSystem()
+	if err != nil {
+		writeJSONStatus(w, http.StatusBadRequest, serve.ErrorResponse{Code: serve.CodeBadRequest, Error: err.Error()})
+		return
+	}
+	fp := la.Fingerprint(a)
+	target, label, next := rt.route(fp)
+	start := time.Now()
+	for {
+		if target == rt.cfg.Self {
+			resp, aerr := rt.server.SolveDecoded(r.Context(), &req)
+			if aerr != nil {
+				rt.server.WriteAPIError(w, aerr)
+				return
+			}
+			resp.Affinity = label
+			rt.metrics.Routed(label, time.Since(start))
+			writeJSONStatus(w, http.StatusOK, resp)
+			return
+		}
+		resp, err := rt.members.Client(target).Solve(r.Context(), req)
+		if err == nil {
+			resp.Affinity = label
+			rt.metrics.Routed(label, time.Since(start))
+			writeJSONStatus(w, http.StatusOK, resp)
+			return
+		}
+		rt.metrics.ForwardError()
+		if !retriable(err) || r.Context().Err() != nil {
+			writeClientErr(w, err)
+			return
+		}
+		rt.members.MarkUnhealthy(target)
+		target, label = rt.nextTarget(&next)
+	}
+}
+
+func (rt *Router) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
+	var req serve.BatchSolveRequest
+	if !decodeJSON(w, r, 32<<20, &req) {
+		return
+	}
+	if r.Header.Get(serve.ForwardedHeader) != "" {
+		resp, aerr := rt.server.SolveBatchDecoded(r.Context(), &req)
+		if aerr != nil {
+			rt.server.WriteAPIError(w, aerr)
+			return
+		}
+		writeJSONStatus(w, http.StatusOK, resp)
+		return
+	}
+	a, _, err := req.BuildSystem()
+	if err != nil {
+		writeJSONStatus(w, http.StatusBadRequest, serve.ErrorResponse{Code: serve.CodeBadRequest, Error: err.Error()})
+		return
+	}
+	fp := la.Fingerprint(a)
+	target, label, next := rt.route(fp)
+	start := time.Now()
+	for {
+		if target == rt.cfg.Self {
+			resp, aerr := rt.server.SolveBatchDecoded(r.Context(), &req)
+			if aerr != nil {
+				rt.server.WriteAPIError(w, aerr)
+				return
+			}
+			resp.Affinity = label
+			rt.metrics.Routed(label, time.Since(start))
+			writeJSONStatus(w, http.StatusOK, resp)
+			return
+		}
+		resp, err := rt.members.Client(target).SolveBatch(r.Context(), req)
+		if err == nil {
+			resp.Affinity = label
+			rt.metrics.Routed(label, time.Since(start))
+			writeJSONStatus(w, http.StatusOK, resp)
+			return
+		}
+		rt.metrics.ForwardError()
+		if !retriable(err) || r.Context().Err() != nil {
+			writeClientErr(w, err)
+			return
+		}
+		rt.members.MarkUnhealthy(target)
+		target, label = rt.nextTarget(&next)
+	}
+}
+
+// nextTarget pops the first available failover candidate (fallback
+// label), or self as the terminal resort.
+func (rt *Router) nextTarget(next *[]string) (string, string) {
+	for len(*next) > 0 {
+		m := (*next)[0]
+		*next = (*next)[1:]
+		if m == rt.cfg.Self || rt.members.Available(m) {
+			return m, RouteFallback
+		}
+	}
+	return rt.cfg.Self, RouteFallback
+}
+
+// handleMetrics renders the wrapped server's /metrics and appends the
+// federation section.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	rt.server.Handler().ServeHTTP(w, r)
+	pool := rt.server.Pool()
+	var resident int
+	for _, c := range pool.Stats() {
+		resident += c.Cached
+	}
+	rt.metrics.writeTo(w, rt.cfg.Self, rt.members.Snapshot(), pool.CacheHits(), pool.CacheMisses(), resident)
+}
+
+// PollOnce forces one synchronous membership refresh (tests, smoke).
+func (rt *Router) PollOnce(ctx context.Context) { rt.members.PollOnce(ctx) }

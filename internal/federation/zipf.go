@@ -1,0 +1,203 @@
+package federation
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"analogacc/internal/serve"
+)
+
+// Zipf-operator load generator. Real multi-tenant solve traffic is
+// heavy-tailed: a few operators (matrices) account for most requests,
+// with a long tail of cold ones. That shape is exactly what decides
+// whether fingerprint affinity pays — a hot operator routed consistently
+// stays resident on one node's chips, while random routing smears it
+// across the cluster and every node keeps re-programming it. RunZipfLoad
+// drives that traffic against a set of entry nodes and reports the
+// cluster-wide session-cache hit rate plus latency percentiles.
+
+// LoadConfig shapes one load run.
+type LoadConfig struct {
+	// Entries are the cluster entry points (any subset of the nodes);
+	// requests spread across them round-robin, like a load balancer that
+	// knows nothing about affinity.
+	Entries []string
+	// Operators is the distinct-matrix population (default 24).
+	Operators int
+	// Requests is the total solve count (default 200).
+	Requests int
+	// Dim is each operator's system order (default 16).
+	Dim int
+	// Concurrency is the in-flight request cap (default 4).
+	Concurrency int
+	// ZipfS is the skew exponent (>1; default 1.3 — a hot head of a few
+	// operators over a cold tail).
+	ZipfS float64
+	// Seed fixes the operator sequence (default 1).
+	Seed int64
+	// Tol loosens the solve tolerance (default 1e-6; load runs care about
+	// routing, not precision).
+	Tol float64
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Operators <= 0 {
+		c.Operators = 24
+	}
+	if c.Requests <= 0 {
+		c.Requests = 200
+	}
+	if c.Dim <= 0 {
+		c.Dim = 16
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 4
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-6
+	}
+	return c
+}
+
+// LoadResult is what one run measured.
+type LoadResult struct {
+	Requests int
+	Errors   int
+	// ByAffinity counts responses by their routing provenance label.
+	ByAffinity map[string]int
+	// ClusterHits/ClusterMisses are the session-cache deltas summed over
+	// every entry node's /v1/peer/stats between start and finish.
+	ClusterHits   int64
+	ClusterMisses int64
+	// P50/P99 are request-latency percentiles.
+	P50, P99 time.Duration
+	Elapsed  time.Duration
+}
+
+// HitRate is the cluster-wide warm-checkout fraction for the run.
+func (r LoadResult) HitRate() float64 {
+	if t := r.ClusterHits + r.ClusterMisses; t > 0 {
+		return float64(r.ClusterHits) / float64(t)
+	}
+	return 0
+}
+
+// OperatorRequest builds operator k's solve request: a tridiagonal
+// diagonally-dominant system whose diagonal varies with k, so every
+// operator has a distinct fingerprint but identical structure and cost.
+func OperatorRequest(k, dim int, tol float64) serve.SolveRequest {
+	req := serve.SolveRequest{N: dim, Tol: tol}
+	diag := 4 + float64(k%997)*0.01
+	for i := 0; i < dim; i++ {
+		req.A = append(req.A, serve.Entry{Row: i, Col: i, Val: diag})
+		if i > 0 {
+			req.A = append(req.A, serve.Entry{Row: i, Col: i - 1, Val: -1})
+		}
+		if i < dim-1 {
+			req.A = append(req.A, serve.Entry{Row: i, Col: i + 1, Val: -1})
+		}
+		req.B = append(req.B, 1+float64(i%7))
+	}
+	return req
+}
+
+func cacheCounts(ctx context.Context, clients []*serve.Client) (hits, misses int64) {
+	for _, cl := range clients {
+		if st, err := cl.PeerStats(ctx); err == nil {
+			hits += st.CacheHits
+			misses += st.CacheMiss
+		}
+	}
+	return hits, misses
+}
+
+// RunZipfLoad drives cfg.Requests zipf-distributed operator solves at
+// the entry nodes and measures routing provenance, cluster cache hit
+// deltas, and latency percentiles. Deterministic for a fixed seed up to
+// goroutine scheduling (the operator sequence and entry assignment are
+// fixed; only interleaving varies).
+func RunZipfLoad(ctx context.Context, cfg LoadConfig) (LoadResult, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Entries) == 0 {
+		return LoadResult{}, fmt.Errorf("federation: load needs at least one entry node")
+	}
+	clients := make([]*serve.Client, len(cfg.Entries))
+	for i, addr := range cfg.Entries {
+		clients[i] = serve.NewClient(addr)
+		clients[i].MaxRetries = 3
+	}
+	hits0, miss0 := cacheCounts(ctx, clients)
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Operators-1))
+	type job struct {
+		op    int
+		entry int
+	}
+	jobs := make([]job, cfg.Requests)
+	for i := range jobs {
+		jobs[i] = job{op: int(zipf.Uint64()), entry: i % len(clients)}
+	}
+
+	var (
+		mu         sync.Mutex
+		latencies  []time.Duration
+		byAffinity = make(map[string]int)
+		errCount   int
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Concurrency)
+	for _, j := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(j job) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			req := OperatorRequest(j.op, cfg.Dim, cfg.Tol)
+			t0 := time.Now()
+			resp, err := clients[j.entry].Solve(ctx, req)
+			d := time.Since(t0)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errCount++
+				return
+			}
+			latencies = append(latencies, d)
+			label := resp.Affinity
+			if label == "" {
+				label = "none"
+			}
+			byAffinity[label]++
+		}(j)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	hits1, miss1 := cacheCounts(ctx, clients)
+	res := LoadResult{
+		Requests:      cfg.Requests,
+		Errors:        errCount,
+		ByAffinity:    byAffinity,
+		ClusterHits:   hits1 - hits0,
+		ClusterMisses: miss1 - miss0,
+		Elapsed:       elapsed,
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		res.P50 = latencies[len(latencies)/2]
+		res.P99 = latencies[len(latencies)*99/100]
+	}
+	return res, nil
+}

@@ -1,0 +1,51 @@
+package federation
+
+import (
+	"context"
+	"testing"
+
+	"analogacc/internal/serve"
+)
+
+// Bench suite 7: zipf-operator load against a 3-node in-process
+// federation. The three benchmarks compare routing policies on the same
+// traffic: fingerprint affinity, affinity disabled (random member), and
+// a single node with no peers. Each reports the cluster-wide
+// session-cache hit rate plus latency percentiles via ReportMetric so
+// scripts/bench.sh captures them into BENCH_7.json.
+
+func benchPool() serve.PoolConfig {
+	return serve.PoolConfig{ChipsPerClass: 4, WarmSizes: []int{2}, MinClass: 2, MaxDim: 32}
+}
+
+func runZipfBench(b *testing.B, nodes int, disabled bool) {
+	b.Helper()
+	lc, err := StartLocalCluster(nodes, benchPool(), disabled)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lc.Close()
+	ctx := context.Background()
+	cfg := LoadConfig{Entries: lc.URLs()}
+	b.ResetTimer()
+	var last LoadResult
+	for i := 0; i < b.N; i++ {
+		res, err := RunZipfLoad(ctx, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Errors > 0 {
+			b.Fatalf("%d/%d requests failed", res.Errors, res.Requests)
+		}
+		last = res
+	}
+	b.StopTimer()
+	b.ReportMetric(last.HitRate(), "hit_rate")
+	b.ReportMetric(float64(last.P50.Microseconds())/1000, "p50_ms")
+	b.ReportMetric(float64(last.P99.Microseconds())/1000, "p99_ms")
+	b.ReportMetric(float64(last.Requests)/last.Elapsed.Seconds(), "solves/s")
+}
+
+func BenchmarkZipfFederated(b *testing.B)        { runZipfBench(b, 3, false) }
+func BenchmarkZipfAffinityDisabled(b *testing.B) { runZipfBench(b, 3, true) }
+func BenchmarkZipfSingleNode(b *testing.B)       { runZipfBench(b, 1, false) }

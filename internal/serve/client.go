@@ -9,21 +9,60 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/http/httptrace"
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"analogacc/internal/jobs"
 )
 
+// sharedTransport is the one keep-alive-tuned transport every Client
+// built by NewClient rides on. The defaults
+// (MaxIdleConnsPerHost = 2) throw connections away under federation
+// RPS — a router keeps a handful of hot peers, each taking dozens of
+// concurrent forwards, and every discarded connection is a fresh TCP
+// handshake on the next solve. One process-wide transport with a deep
+// per-host idle pool makes peer traffic reuse connections the way a
+// browser would.
+var (
+	sharedTransportOnce sync.Once
+	sharedTransport     *http.Transport
+	sharedHTTPClient    *http.Client
+)
+
+func defaultHTTPClient() *http.Client {
+	sharedTransportOnce.Do(func() {
+		sharedTransport = http.DefaultTransport.(*http.Transport).Clone()
+		sharedTransport.MaxIdleConns = 256
+		sharedTransport.MaxIdleConnsPerHost = 32
+		sharedTransport.IdleConnTimeout = 90 * time.Second
+		sharedHTTPClient = &http.Client{Transport: sharedTransport}
+	})
+	return sharedHTTPClient
+}
+
+// ConnStats counts how the transport dialed: Reused connections came off
+// the keep-alive pool, New ones paid a TCP handshake. The ratio is the
+// observable effect of the shared tuned transport.
+type ConnStats struct {
+	New    int64
+	Reused int64
+}
+
 // Client submits solve requests to a running alad daemon. It is what
 // `alasolve -server <addr>` uses, so the CLI and the service share one
-// request schema by construction.
+// request schema by construction. Clients from NewClient share one
+// keep-alive-tuned http.Transport across the process (see
+// defaultHTTPClient); federation routers hold one Client per peer and
+// get connection reuse for free.
 type Client struct {
 	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
-	// HTTPClient defaults to http.DefaultClient.
+	// HTTPClient defaults to the shared tuned client.
 	HTTPClient *http.Client
 	// MaxRetries is how many times a 429 answer is retried, sleeping a
 	// jittered multiple of the server's Retry-After hint between
@@ -33,6 +72,16 @@ type Client struct {
 	// Tenant, when set, rides along as the X-Alad-Tenant header on job
 	// submissions (fair scheduling and quota scope).
 	Tenant string
+	// Forwarded marks requests as router-forwarded (the X-Alad-Forwarded
+	// header): a federation node receiving one serves it locally instead
+	// of routing it again, so misconfigured peer sets cannot bounce a
+	// request in a loop.
+	Forwarded bool
+
+	// connNew / connReused count this client's connection acquisitions
+	// (read via ConnStats).
+	connNew    atomic.Int64
+	connReused atomic.Int64
 }
 
 // NewClient accepts "host:port" or a full http(s) URL.
@@ -41,6 +90,12 @@ func NewClient(addr string) *Client {
 		addr = "http://" + addr
 	}
 	return &Client{BaseURL: strings.TrimRight(addr, "/")}
+}
+
+// ConnStats reports how many requests this client served off a reused
+// keep-alive connection vs a fresh dial.
+func (c *Client) ConnStats() ConnStats {
+	return ConnStats{New: c.connNew.Load(), Reused: c.connReused.Load()}
 }
 
 // BusyError is the typed 429: the daemon's admission queue (or job
@@ -73,7 +128,20 @@ func (c *Client) httpClient() *http.Client {
 	if c.HTTPClient != nil {
 		return c.HTTPClient
 	}
-	return http.DefaultClient
+	return defaultHTTPClient()
+}
+
+// traceCtx instruments a request context to count connection reuse.
+func (c *Client) traceCtx(ctx context.Context) context.Context {
+	return httptrace.WithClientTrace(ctx, &httptrace.ClientTrace{
+		GotConn: func(info httptrace.GotConnInfo) {
+			if info.Reused {
+				c.connReused.Add(1)
+			} else {
+				c.connNew.Add(1)
+			}
+		},
+	})
 }
 
 // do runs one JSON round trip: in (if non-nil) is the request body, out
@@ -88,7 +156,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 		body = bytes.NewReader(raw)
 	}
-	httpReq, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	httpReq, err := http.NewRequestWithContext(c.traceCtx(ctx), method, c.BaseURL+path, body)
 	if err != nil {
 		return err
 	}
@@ -97,6 +165,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 	if c.Tenant != "" {
 		httpReq.Header.Set("X-Alad-Tenant", c.Tenant)
+	}
+	if c.Forwarded {
+		httpReq.Header.Set(ForwardedHeader, "1")
 	}
 	resp, err := c.httpClient().Do(httpReq)
 	if err != nil {
@@ -255,6 +326,45 @@ func (c *Client) ListJobs(ctx context.Context, tenant, state string) ([]JobStatu
 		return nil, err
 	}
 	return out.Jobs, nil
+}
+
+// PeerStats fetches a node's federation view: identity, load, drain
+// state, and which fingerprints its pool holds resident.
+func (c *Client) PeerStats(ctx context.Context) (*PeerStatsResponse, error) {
+	var out PeerStatsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/peer/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SolveBlock solves one block batch on a peer node — the wire form of
+// core.BlockSession, used by the federation scatter-gather provider.
+func (c *Client) SolveBlock(ctx context.Context, req BlockSolveRequest) (*BlockSolveResponse, error) {
+	var out BlockSolveResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/peer/block", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Readyz checks the daemon's readiness endpoint: nil only when the node
+// is accepting new work (not draining, admission queue below bound).
+func (c *Client) Readyz(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(c.traceCtx(ctx), http.MethodGet, c.BaseURL+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("serve: readyz status %d", resp.StatusCode)
+	}
+	return nil
 }
 
 // Healthz checks the daemon's health endpoint.

@@ -1,0 +1,27 @@
+package serve
+
+import (
+	"context"
+	"testing"
+)
+
+// The shared tuned transport keeps connections alive across requests:
+// after the first solve, subsequent calls ride a reused keep-alive
+// connection and the client's ConnStats show it.
+func TestClientConnectionReuse(t *testing.T) {
+	_, client, done := newTestServer(t, Config{})
+	defer done()
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := client.Solve(ctx, eq2Request("analog-refined")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := client.ConnStats()
+	if st.New == 0 {
+		t.Fatal("no fresh connection recorded")
+	}
+	if st.Reused == 0 {
+		t.Fatalf("3 sequential solves never reused a connection: %+v", st)
+	}
+}

@@ -1,0 +1,241 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"analogacc/internal/core"
+	"analogacc/internal/la"
+)
+
+// Federation peer surface. Two endpoints make one alad node usable by its
+// peers: GET /v1/peer/stats advertises what this node's pool holds
+// resident (so routers can weigh affinity against load), and
+// POST /v1/peer/block solves a batch of right-hand sides against one
+// block matrix on a pooled chip — the wire form of core.BlockSession, so
+// a peer node can serve as a worker in another node's scatter-gathered
+// decomposed solve. Both speak the same JSON/error conventions as the
+// public API.
+
+// PeerResident is one cached configuration in a peer stats answer. The
+// fingerprint travels as a hex string: JSON numbers are float64 and
+// cannot carry a full uint64.
+type PeerResident struct {
+	Class int    `json:"class"`
+	N     int    `json:"n"`
+	FP    string `json:"fp"`
+}
+
+// PeerStatsResponse is GET /v1/peer/stats: the routing-relevant view of
+// one node — identity, load, drain state, and pool residency.
+type PeerStatsResponse struct {
+	Node       string         `json:"node,omitempty"`
+	QueueDepth int            `json:"queue_depth"`
+	QueueBound int            `json:"queue_bound"`
+	Draining   bool           `json:"draining"`
+	Resident   []PeerResident `json:"resident,omitempty"`
+	CacheHits  int64          `json:"cache_hits"`
+	CacheMiss  int64          `json:"cache_misses"`
+}
+
+func (s *Server) handlePeerStats(w http.ResponseWriter, _ *http.Request) {
+	res := s.pool.ResidentFingerprints()
+	resp := PeerStatsResponse{
+		Node:       s.cfg.NodeName,
+		QueueDepth: s.QueueDepth(),
+		QueueBound: s.cfg.QueueBound,
+		Draining:   s.draining.Load(),
+		CacheHits:  s.pool.CacheHits(),
+		CacheMiss:  s.pool.CacheMisses(),
+	}
+	for _, r := range res {
+		resp.Resident = append(resp.Resident, PeerResident{
+			Class: r.Class, N: r.N, FP: strconv.FormatUint(r.FP, 16),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// BlockOptions is the wire form of the core.SolveOptions a decomposed
+// solve passes to its block sessions. Calibrate and Guess are omitted on
+// purpose: pooled chips arrive calibrated, and guesses travel per item.
+type BlockOptions struct {
+	Samples        int     `json:"samples,omitempty"`
+	MaxDoublings   int     `json:"max_doublings,omitempty"`
+	MaxRescales    int     `json:"max_rescales,omitempty"`
+	SigmaHint      float64 `json:"sigma_hint,omitempty"`
+	DisableBoost   bool    `json:"disable_boost,omitempty"`
+	Tolerance      float64 `json:"tolerance,omitempty"`
+	MaxRefinements int     `json:"max_refinements,omitempty"`
+	MaxLanes       int     `json:"max_lanes,omitempty"`
+	CheckEvery     int     `json:"check_every,omitempty"`
+}
+
+func (o BlockOptions) toCore() core.SolveOptions {
+	return core.SolveOptions{
+		Samples:        o.Samples,
+		MaxDoublings:   o.MaxDoublings,
+		MaxRescales:    o.MaxRescales,
+		SigmaHint:      o.SigmaHint,
+		DisableBoost:   o.DisableBoost,
+		Tolerance:      o.Tolerance,
+		MaxRefinements: o.MaxRefinements,
+		MaxLanes:       o.MaxLanes,
+		CheckEvery:     o.CheckEvery,
+	}
+}
+
+// BlockOptionsFromCore builds the wire form the remote provider sends.
+func BlockOptionsFromCore(o core.SolveOptions) BlockOptions {
+	return BlockOptions{
+		Samples:        o.Samples,
+		MaxDoublings:   o.MaxDoublings,
+		MaxRescales:    o.MaxRescales,
+		SigmaHint:      o.SigmaHint,
+		DisableBoost:   o.DisableBoost,
+		Tolerance:      o.Tolerance,
+		MaxRefinements: o.MaxRefinements,
+		MaxLanes:       o.MaxLanes,
+		CheckEvery:     o.CheckEvery,
+	}
+}
+
+// BlockWireItem is one right-hand side of a block batch: the rhs, the
+// digital seed from the previous outer iterate, and the block's learned
+// sigma gain (carried across sweeps by the caller).
+type BlockWireItem struct {
+	RHS       []float64 `json:"rhs"`
+	Guess     []float64 `json:"guess,omitempty"`
+	SigmaGain float64   `json:"sigma_gain,omitempty"`
+}
+
+// BlockSolveRequest is POST /v1/peer/block: solve every item against the
+// block matrix (structured triplets, duplicates sum), keeping the matrix
+// resident on the serving chip between calls — the entry node sends the
+// same matrix each sweep and the pool's session cache adopts it.
+type BlockSolveRequest struct {
+	N         int             `json:"n"`
+	A         []Entry         `json:"A"`
+	Items     []BlockWireItem `json:"items"`
+	Opt       BlockOptions    `json:"opt"`
+	TimeoutMs int             `json:"timeout_ms,omitempty"`
+}
+
+// BlockWireResult is one item's answer.
+type BlockWireResult struct {
+	U           []float64 `json:"u"`
+	SigmaGain   float64   `json:"sigma_gain"`
+	Refinements int       `json:"refinements"`
+	Runs        int       `json:"runs"`
+}
+
+// BlockSolveResponse answers a block batch. The odometer deltas are what
+// this call cost on the serving chip — the caller's remote worker
+// accumulates them so DecomposeStats count remote work exactly like
+// local work.
+type BlockSolveResponse struct {
+	Results []BlockWireResult `json:"results"`
+	// AnalogSeconds/Runs/Configs are this call's deltas on the serving
+	// chip's odometers. Configs is 0 when the chip still held the matrix
+	// from a previous call (the cross-sweep warm path).
+	AnalogSeconds float64 `json:"analog_seconds"`
+	Runs          int     `json:"runs"`
+	Configs       int     `json:"configs"`
+	ServedBy      string  `json:"served_by,omitempty"`
+}
+
+func (s *Server) handlePeerBlock(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req BlockSolveRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "decoding request: %v", err)
+		return
+	}
+	resp, aerr := s.solveBlock(r.Context(), &req)
+	if aerr != nil {
+		s.WriteAPIError(w, aerr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// solveBlock runs one peer block batch. It deliberately bypasses the
+// admission queue: a block solve is an interior step of a decomposed
+// solve already admitted (and slot-held) on the entry node, so gating it
+// here could deadlock a saturated cluster against itself. The chip pool
+// is the bounding resource, and Checkout blocks under the request
+// deadline like any local solve.
+func (s *Server) solveBlock(ctx context.Context, req *BlockSolveRequest) (*BlockSolveResponse, *APIError) {
+	if req.N <= 0 || len(req.A) == 0 {
+		return nil, apiErrorf(http.StatusBadRequest, CodeBadRequest, "block request needs n > 0 and matrix entries in A")
+	}
+	if len(req.Items) == 0 {
+		return nil, apiErrorf(http.StatusBadRequest, CodeBadRequest, "block request needs at least one item")
+	}
+	if len(req.Items) > s.cfg.MaxBatchRHS {
+		return nil, apiErrorf(http.StatusBadRequest, CodeBadRequest,
+			"block batch of %d items exceeds the server limit %d", len(req.Items), s.cfg.MaxBatchRHS)
+	}
+	entries := make([]la.COOEntry, len(req.A))
+	for i, e := range req.A {
+		entries[i] = la.COOEntry{Row: e.Row, Col: e.Col, Val: e.Val}
+	}
+	a, err := la.NewCSR(req.N, entries)
+	if err != nil {
+		return nil, apiErrorf(http.StatusBadRequest, CodeBadRequest, "%v", err)
+	}
+	items := make([]core.BatchItem, len(req.Items))
+	for i, it := range req.Items {
+		if len(it.RHS) != req.N {
+			return nil, apiErrorf(http.StatusBadRequest, CodeBadRequest,
+				"item %d rhs has %d values, block order is %d", i, len(it.RHS), req.N)
+		}
+		if len(it.Guess) > 0 && len(it.Guess) != req.N {
+			return nil, apiErrorf(http.StatusBadRequest, CodeBadRequest,
+				"item %d guess has %d values, block order is %d", i, len(it.Guess), req.N)
+		}
+		items[i] = core.BatchItem{RHS: la.Vector(it.RHS), Guess: la.Vector(it.Guess), SigmaGain: it.SigmaGain}
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, s.clampTimeout(req.TimeoutMs))
+	defer cancel()
+
+	pc, err := s.pool.Checkout(ctx, a)
+	if err != nil {
+		return nil, s.checkoutErr(err)
+	}
+	defer s.pool.Checkin(pc)
+
+	timeBase := pc.Acc.AnalogTime()
+	runsBase := pc.Acc.Runs()
+	cfgBase := pc.Acc.Configurations()
+	sess, err := pc.Acc.BeginSession(a)
+	if err != nil {
+		return nil, apiErrorf(http.StatusUnprocessableEntity, CodeSolveFailed, "programming block: %v", err)
+	}
+	us, sts, gains, err := sess.SolveBatchRefinedItems(ctx, items, req.Opt.toCore())
+	if err != nil {
+		return nil, s.solveErr(ctx, fmt.Errorf("block solve: %w", err))
+	}
+	resp := &BlockSolveResponse{
+		Results:       make([]BlockWireResult, len(us)),
+		AnalogSeconds: pc.Acc.AnalogTime() - timeBase,
+		Runs:          pc.Acc.Runs() - runsBase,
+		Configs:       pc.Acc.Configurations() - cfgBase,
+		ServedBy:      s.cfg.NodeName,
+	}
+	for i := range us {
+		resp.Results[i] = BlockWireResult{
+			U:           []float64(us[i]),
+			SigmaGain:   gains[i],
+			Refinements: sts[i].Refinements,
+			Runs:        sts[i].Runs,
+		}
+	}
+	return resp, nil
+}

@@ -534,6 +534,46 @@ func (p *Pool) Stats() []ClassStat {
 	return out
 }
 
+// Resident is one cached configuration currently idle in the pool: the
+// size class holding it, the operator's order, and its fingerprint.
+// Federation peer stats advertise these so routers can see where a
+// matrix is already programmed.
+type Resident struct {
+	Class int
+	N     int
+	FP    uint64
+}
+
+// ResidentFingerprints snapshots the fingerprints of every cached
+// configuration on free chips, smallest class first. Chips on loan are
+// invisible (their resident entry is recorded at checkin), so the view
+// lags actual residency by at most one in-flight solve.
+func (p *Pool) ResidentFingerprints() []Resident {
+	p.mu.Lock()
+	subs := make([]*subpool, 0, len(p.classes))
+	for _, sp := range p.classes {
+		subs = append(subs, sp)
+	}
+	p.mu.Unlock()
+	var out []Resident
+	for _, sp := range subs {
+		sp.mu.Lock()
+		for _, c := range sp.free {
+			if c.hasResident {
+				out = append(out, Resident{Class: sp.dim, N: c.residentN, FP: c.residentFP})
+			}
+		}
+		sp.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Class != out[j].Class {
+			return out[i].Class < out[j].Class
+		}
+		return out[i].FP < out[j].FP
+	})
+	return out
+}
+
 // Builds returns how many chips the pool has fabricated.
 func (p *Pool) Builds() int64 { return p.builds.Load() }
 

@@ -232,6 +232,15 @@ type SolveResponse struct {
 	Analog    *AnalogStats   `json:"analog,omitempty"`
 	Digital   *DigitalStats  `json:"digital,omitempty"`
 	Decompose *DecomposeInfo `json:"decompose,omitempty"`
+	// ServedBy names the node whose chip ran the solve (empty from a
+	// standalone daemon with no -advertise identity).
+	ServedBy string `json:"served_by,omitempty"`
+	// Affinity is the federation routing provenance, stamped by the entry
+	// node: "hit" (routed to the fingerprint's affinity owner), "fallback"
+	// (owner unhealthy/saturated, rendezvous fallback), "local" (entry node
+	// is the owner), or "random" (affinity disabled). Empty outside a
+	// federation.
+	Affinity string `json:"affinity,omitempty"`
 }
 
 // BatchItem is one right-hand side's answer within a batch response.
@@ -250,6 +259,9 @@ type BatchSolveResponse struct {
 	Backend   string      `json:"backend"`
 	Items     []BatchItem `json:"items"`
 	ElapsedMs float64     `json:"elapsed_ms"`
+	// ServedBy / Affinity: see SolveResponse.
+	ServedBy string `json:"served_by,omitempty"`
+	Affinity string `json:"affinity,omitempty"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx answer.
@@ -259,6 +271,11 @@ type ErrorResponse struct {
 	Code  string `json:"code"`
 	Error string `json:"error"`
 }
+
+// ForwardedHeader marks a request already routed once by a federation
+// entry node. A node receiving it serves locally, never re-forwards:
+// the loop guard that makes asymmetric peer views safe.
+const ForwardedHeader = "X-Alad-Forwarded"
 
 // Stable error codes.
 const (

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"analogacc/internal/cli"
@@ -19,6 +20,9 @@ import (
 type Config struct {
 	// Pool sizes the chip pool.
 	Pool PoolConfig
+	// NodeName identifies this node in responses (served_by) and in
+	// federation peer stats. Empty is fine for a standalone daemon.
+	NodeName string
 	// QueueBound caps admitted requests (queued waiting for a chip plus
 	// actively solving). Beyond it the server answers 429 with a
 	// Retry-After hint instead of queueing unboundedly (default 64).
@@ -119,6 +123,16 @@ type Server struct {
 	jobs    *jobs.Queue
 	workers *jobs.Workers
 
+	// draining flips when a shutdown begins: /readyz answers 503 from
+	// then on so federation peers stop routing new work here, while
+	// /healthz (pure liveness) stays green through the drain.
+	draining atomic.Bool
+
+	// decompProvider lends chips to decomposed solves. Defaults to the
+	// local pool; a federation router swaps in a provider that also
+	// scatter-gathers blocks across peer nodes.
+	decompProvider core.SessionProvider
+
 	// solve is the backend dispatch, swappable by tests that need a
 	// deterministic slow or failing solver; solveBatch is its multi-RHS
 	// counterpart.
@@ -143,6 +157,7 @@ func New(cfg Config) (*Server, error) {
 		solve:      cli.SolveSystem,
 		solveBatch: cli.SolveSystemBatch,
 	}
+	s.decompProvider = pool.DecompProvider()
 	s.jobs, err = jobs.Open(jobs.Config{
 		Path:        cfg.JobStore,
 		LeaseTTL:    cfg.JobLeaseTTL,
@@ -164,8 +179,11 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/backends", s.handleBackends)
+	mux.HandleFunc("GET /v1/peer/stats", s.handlePeerStats)
+	mux.HandleFunc("POST /v1/peer/block", s.handlePeerBlock)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux = mux
 	return s, nil
 }
@@ -184,6 +202,24 @@ func (s *Server) Jobs() *jobs.Queue { return s.jobs }
 
 // QueueDepth reports currently admitted requests.
 func (s *Server) QueueDepth() int { return len(s.slots) }
+
+// QueueBound reports the admission queue capacity.
+func (s *Server) QueueBound() int { return s.cfg.QueueBound }
+
+// NodeName reports this node's federation identity ("" standalone).
+func (s *Server) NodeName() string { return s.cfg.NodeName }
+
+// SetDraining flips the readiness signal: once true, /readyz answers 503
+// (liveness /healthz is unaffected) so federation peers health-gate this
+// node out of new routing decisions while in-flight work drains.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports whether a shutdown drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// SetDecompProvider overrides the chip provider decomposed solves fan out
+// over (the federation router installs its scatter-gather provider here).
+func (s *Server) SetDecompProvider(p core.SessionProvider) { s.decompProvider = p }
 
 // Snapshot returns the full metrics snapshot (expvar publishing).
 func (s *Server) Snapshot() Snapshot {
@@ -276,6 +312,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// handleReadyz is the readiness half of the split health surface:
+// /healthz stays a pure liveness probe, while /readyz answers 503 when
+// the node should not receive new work — a shutdown drain has begun, or
+// the admission queue is saturated. Federation membership polls this, so
+// a draining node falls out of routing decisions before its listener
+// closes instead of reporting healthy to the last request.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	case s.QueueDepth() >= s.cfg.QueueBound:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "saturated"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
+}
+
 func (s *Server) handleBackends(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]string{"backends": cli.Backends()})
 }
@@ -285,17 +338,69 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.metrics.writeTo(w, s.QueueDepth(), s.pool, s.jobs)
 }
 
-// apiError is a solve failure in API terms: the HTTP status the
+// APIError is a solve failure in API terms: the HTTP status the
 // synchronous path answers with, and the stable code/message that both
-// the synchronous error body and a failed job's record carry.
-type apiError struct {
+// the synchronous error body and a failed job's record carry. Exported
+// so the federation router can re-dispatch decoded requests through
+// SolveDecoded and write the identical error contract.
+type APIError struct {
 	Status  int
 	Code    string
 	Message string
+	// RetryAfter is the backoff hint for 429 answers (zero otherwise).
+	RetryAfter time.Duration
 }
 
-func apiErrorf(status int, code, format string, args ...any) *apiError {
-	return &apiError{Status: status, Code: code, Message: fmt.Sprintf(format, args...)}
+func apiErrorf(status int, code, format string, args ...any) *APIError {
+	return &APIError{Status: status, Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// WriteAPIError renders an APIError exactly as the built-in handlers do,
+// Retry-After header included.
+func (s *Server) WriteAPIError(w http.ResponseWriter, aerr *APIError) {
+	if aerr.RetryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(int((aerr.RetryAfter+time.Second-1)/time.Second)))
+	}
+	s.writeError(w, aerr.Status, aerr.Code, "%s", aerr.Message)
+}
+
+// busyError books a 429 and packages it with the adaptive backoff hint.
+func (s *Server) busyError(code, format string, args ...any) *APIError {
+	s.metrics.Rejected()
+	aerr := apiErrorf(http.StatusTooManyRequests, code, format, args...)
+	aerr.RetryAfter = s.retryAfter()
+	return aerr
+}
+
+// admit claims one admission slot (bounded, backpressured) and returns
+// its release, or the 429 the caller should answer with.
+func (s *Server) admit() (release func(), aerr *APIError) {
+	select {
+	case s.slots <- struct{}{}:
+		return func() { <-s.slots }, nil
+	default:
+		return nil, s.busyError(CodeBusy, "admission queue full (%d requests)", s.cfg.QueueBound)
+	}
+}
+
+// SolveDecoded runs one already-decoded solve request with the HTTP
+// path's full semantics — per-request deadline clamped to the server
+// ceiling, bounded admission — and returns the response or the API
+// error. POST /v1/solve is decode + SolveDecoded; the federation router
+// calls it directly for locally served requests so routed and direct
+// traffic share one admission discipline.
+func (s *Server) SolveDecoded(ctx context.Context, req *SolveRequest) (*SolveResponse, *APIError) {
+	// Per-request deadline, clamped to the server's ceiling, propagated
+	// from here down to the chip's settle loop.
+	ctx, cancel := context.WithTimeout(ctx, s.clampTimeout(req.TimeoutMs))
+	defer cancel()
+
+	release, aerr := s.admit()
+	if aerr != nil {
+		return nil, aerr
+	}
+	defer release()
+	return s.runSolve(ctx, req)
 }
 
 // handleSolve is the synchronous solve path: decode → admit (bounded,
@@ -310,25 +415,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "decoding request: %v", err)
 		return
 	}
-
-	// Per-request deadline, clamped to the server's ceiling, propagated
-	// from here down to the chip's settle loop.
-	ctx, cancel := context.WithTimeout(r.Context(), s.clampTimeout(req.TimeoutMs))
-	defer cancel()
-
-	// Bounded admission: a full queue answers 429 immediately — the
-	// service never blocks unboundedly on overload.
-	select {
-	case s.slots <- struct{}{}:
-	default:
-		s.writeBusy(w, CodeBusy, "admission queue full (%d requests)", s.cfg.QueueBound)
-		return
-	}
-	defer func() { <-s.slots }()
-
-	resp, aerr := s.runSolve(ctx, &req)
+	resp, aerr := s.SolveDecoded(r.Context(), &req)
 	if aerr != nil {
-		s.writeError(w, aerr.Status, aerr.Code, "%s", aerr.Message)
+		s.WriteAPIError(w, aerr)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -339,7 +428,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 // checkout, backend dispatch, and metrics behave identically on both
 // paths, so a job's recorded result is exactly what the synchronous
 // call would have returned.
-func (s *Server) runSolve(ctx context.Context, req *SolveRequest) (*SolveResponse, *apiError) {
+func (s *Server) runSolve(ctx context.Context, req *SolveRequest) (*SolveResponse, *APIError) {
 	if req.Backend == "" {
 		req.Backend = cli.BackendAnalogRefined
 	}
@@ -372,7 +461,7 @@ func (s *Server) runSolve(ctx context.Context, req *SolveRequest) (*SolveRespons
 	var chipClass int
 	switch {
 	case decomposed:
-		params.Provider = s.pool.DecompProvider()
+		params.Provider = s.decompProvider
 		params.Workers = req.Workers
 		params.OnSweep = func(_ int, _ float64, elapsed time.Duration) {
 			s.metrics.ObserveSweep(elapsed)
@@ -407,6 +496,7 @@ func (s *Server) runSolve(ctx context.Context, req *SolveRequest) (*SolveRespons
 		Backend:   backendRun,
 		Residual:  la.RelativeResidual(a, out.U, b),
 		ElapsedMs: float64(elapsed.Microseconds()) / 1000,
+		ServedBy:  s.cfg.NodeName,
 	}
 	if ds := out.Decompose; ds != nil {
 		resp.Decompose = &DecomposeInfo{
@@ -450,29 +540,31 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "decoding request: %v", err)
 		return
 	}
-
-	ctx, cancel := context.WithTimeout(r.Context(), s.clampTimeout(req.TimeoutMs))
-	defer cancel()
-
-	select {
-	case s.slots <- struct{}{}:
-	default:
-		s.writeBusy(w, CodeBusy, "admission queue full (%d requests)", s.cfg.QueueBound)
-		return
-	}
-	defer func() { <-s.slots }()
-
-	resp, aerr := s.runSolveBatch(ctx, &req)
+	resp, aerr := s.SolveBatchDecoded(r.Context(), &req)
 	if aerr != nil {
-		s.writeError(w, aerr.Status, aerr.Code, "%s", aerr.Message)
+		s.WriteAPIError(w, aerr)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// SolveBatchDecoded is SolveDecoded's multi-RHS counterpart: deadline
+// clamp, bounded admission, then the shared batch engine.
+func (s *Server) SolveBatchDecoded(ctx context.Context, req *BatchSolveRequest) (*BatchSolveResponse, *APIError) {
+	ctx, cancel := context.WithTimeout(ctx, s.clampTimeout(req.TimeoutMs))
+	defer cancel()
+
+	release, aerr := s.admit()
+	if aerr != nil {
+		return nil, aerr
+	}
+	defer release()
+	return s.runSolveBatch(ctx, req)
+}
+
 // runSolveBatch validates, builds, and executes one batch request; the
 // shared engine behind POST /v1/solve/batch and async batch jobs.
-func (s *Server) runSolveBatch(ctx context.Context, req *BatchSolveRequest) (*BatchSolveResponse, *apiError) {
+func (s *Server) runSolveBatch(ctx context.Context, req *BatchSolveRequest) (*BatchSolveResponse, *APIError) {
 	if req.Backend == "" {
 		req.Backend = cli.BackendAnalogRefined
 	}
@@ -535,6 +627,7 @@ func (s *Server) runSolveBatch(ctx context.Context, req *BatchSolveRequest) (*Ba
 		Backend:   req.Backend,
 		Items:     make([]BatchItem, len(outs)),
 		ElapsedMs: float64(elapsed.Microseconds()) / 1000,
+		ServedBy:  s.cfg.NodeName,
 	}
 	for k, out := range outs {
 		s.metrics.SolveOK(req.Backend, out.AnalogTime, out.Runs, out.Rescales, out.Overflows, out.Refinements)
@@ -562,7 +655,7 @@ func (s *Server) runSolveBatch(ctx context.Context, req *BatchSolveRequest) (*Ba
 	return resp, nil
 }
 
-func (s *Server) checkoutErr(err error) *apiError {
+func (s *Server) checkoutErr(err error) *APIError {
 	switch {
 	case errors.Is(err, core.ErrTooLarge):
 		return apiErrorf(http.StatusRequestEntityTooLarge, CodeTooLarge, "%v", err)
@@ -577,7 +670,7 @@ func (s *Server) checkoutErr(err error) *apiError {
 	}
 }
 
-func (s *Server) solveErr(ctx context.Context, err error) *apiError {
+func (s *Server) solveErr(ctx context.Context, err error) *APIError {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded):
 		s.metrics.DeadlineExceeded()

@@ -11,6 +11,7 @@
 #   scripts/bench.sh 4       # BENCH_4.json: session cache + batch solves
 #   scripts/bench.sh 5       # BENCH_5.json: fused vs compiled step kernel
 #   scripts/bench.sh 6       # BENCH_6.json: lane-batched vs sequential batch
+#   scripts/bench.sh 7       # BENCH_7.json: federation zipf-load routing policies
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -46,8 +47,14 @@ case "$SUITE" in
 	BENCHTIME="${2:-2s}"
 	DESC="lane-batched fused engine vs sequential batch path: 16 solve instances on the 32x32 Poisson fig8 netlist, one RK4 step and one 50-step settle segment, as a single 16-lane run vs sixteen scalar fused runs"
 	;;
+7)
+	PKG=./internal/federation
+	BENCH='Zipf'
+	BENCHTIME="${2:-3x}"
+	DESC="zipf-operator load on a 3-node in-process federation: fingerprint-affinity routing vs affinity-disabled (random member) vs single node — cluster session-cache hit rate and p50/p99 latency"
+	;;
 *)
-	echo "bench.sh: unknown suite $SUITE (known: 1, 3, 4, 5, 6)" >&2
+	echo "bench.sh: unknown suite $SUITE (known: 1, 3, 4, 5, 6, 7)" >&2
 	exit 2
 	;;
 esac

@@ -40,6 +40,12 @@ go test -race -count=2 -run 'PoolAffinity|PoolLRU|PoolCalibrationDrift|PoolCache
 go test -race -count=2 ./internal/jobs
 go test -race -count=2 -run 'Job|Retry|Busy' ./internal/serve
 
+# Federation router: rendezvous routing, concurrent membership polls,
+# remote block scatter-gather, and the zipf load generator all mix
+# goroutines with shared counters — run the whole package twice under
+# -race on top of the full-suite pass.
+go test -race -count=2 ./internal/federation
+
 # End-to-end serve smoke: start a real alad daemon (-engine fused) on a
 # random port, solve the Equation 2 system through serve.Client, scrape
 # /metrics to confirm the solve counter moved, POST /v1/solve/batch and
@@ -49,7 +55,13 @@ go test -race -count=2 -run 'Job|Retry|Busy' ./internal/serve
 # Finally the crash-replay gauntlet: submit a job against a journal-backed
 # daemon, SIGKILL it mid-solve, restart on the same store, and assert the
 # job completes exactly once, bit-identically, on attempt 2, with the
-# replay/lease/dedup counters visible in /metrics. See scripts/smoke/main.go.
+# replay/lease/dedup counters visible in /metrics. Then the federation
+# gauntlet: a real 3-node cluster routes a repeat operator to its affinity
+# owner from a different entry node (warm hit, cluster counters moving),
+# alasolve prints served-by/affinity provenance, an oversized solve
+# scatter-gathers across the cluster bit-identically to a standalone
+# daemon, and SIGKILLing the affinity owner re-routes to the rendezvous
+# fallback. See scripts/smoke/main.go.
 BIN="${TMPDIR:-/tmp}/alad-smoke-$$"
 mkdir -p "$BIN"
 trap 'rm -rf "$BIN"' EXIT

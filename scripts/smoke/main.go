@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -347,6 +348,208 @@ func main() {
 	// with the interrupted attempt visible in the attempt count.
 	crashReplay(ctx, *aladPath)
 	fmt.Fprintf(os.Stderr, "[smoke] crash replay ok\n")
+
+	// 8. Federation gauntlet: a 3-node fingerprint-affinity cluster must
+	// route repeat traffic to the resident node, survive the affinity
+	// owner's SIGKILL via rendezvous fallback, and scatter-gather an
+	// oversized solve bit-identically to the single-node path.
+	federationGauntlet(ctx, *aladPath, *alasolvePath)
+	fmt.Fprintf(os.Stderr, "[smoke] federation ok\n")
+}
+
+// pickPort reserves a free loopback port by binding and releasing it;
+// federation daemons need their address known up front so every node can
+// be told its peers' URLs before any of them has started.
+func pickPort() int {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		die("picking port: %v", err)
+	}
+	port := ln.Addr().(*net.TCPAddr).Port
+	ln.Close()
+	return port
+}
+
+// waitMetric polls /metrics until the needle appears (the federation
+// membership view converges one poll cycle after boot).
+func waitMetric(ctx context.Context, c *serve.Client, needle string) {
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		text, err := c.Metrics(ctx)
+		if err == nil && strings.Contains(text, needle) {
+			return
+		}
+		if time.Now().After(deadline) {
+			die("metrics never showed %q", needle)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// tridiag builds the n-order tridiagonal test operator shared by the
+// federation steps: distinct fingerprint per (diag, n), cheap to solve.
+func tridiag(n int, diag float64, tol float64) serve.SolveRequest {
+	req := serve.SolveRequest{Backend: "analog-refined", N: n, Tol: tol}
+	for i := 0; i < n; i++ {
+		req.A = append(req.A, serve.Entry{Row: i, Col: i, Val: diag})
+		if i > 0 {
+			req.A = append(req.A, serve.Entry{Row: i, Col: i - 1, Val: -1})
+			req.A = append(req.A, serve.Entry{Row: i - 1, Col: i, Val: -1})
+		}
+		req.B = append(req.B, 1+0.25*float64(i%3))
+	}
+	return req
+}
+
+func federationGauntlet(ctx context.Context, aladPath, alasolvePath string) {
+	// Boot three federated daemons with tiny single-chip pools. Each
+	// advertises a pre-picked port and lists the other two as peers.
+	const n = 3
+	urls := make([]string, n)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("http://127.0.0.1:%d", pickPort())
+	}
+	nodes := make([]*daemon, n)
+	for i := range nodes {
+		var peers []string
+		for j, u := range urls {
+			if j != i {
+				peers = append(peers, u)
+			}
+		}
+		nodes[i] = startDaemon(aladPath,
+			"-addr", strings.TrimPrefix(urls[i], "http://"),
+			"-pool", "1", "-warm", "2", "-max-dim", "8", "-engine", "fused",
+			"-federation", "-advertise", urls[i], "-peers", strings.Join(peers, ","),
+			"-poll-interval", "100ms")
+		defer nodes[i].cmd.Process.Kill()
+	}
+	byName := func(name string) int {
+		for i, u := range urls {
+			if u == name {
+				return i
+			}
+		}
+		die("federation: response served by unknown node %q", name)
+		return -1
+	}
+	clients := make([]*serve.Client, n)
+	for i := range clients {
+		clients[i] = serve.NewClient(urls[i])
+		waitMetric(ctx, clients[i], "alad_fed_cluster_nodes 3")
+	}
+
+	// Same fingerprint through two different entry nodes: both must land
+	// on the rendezvous owner, and the second solve must be a warm hit on
+	// the owner's already-programmed chip.
+	req := tridiag(4, 4.0, 1e-8)
+	resp1, err := clients[0].Solve(ctx, req)
+	if err != nil {
+		die("federation: solve via node0: %v", err)
+	}
+	owner := byName(resp1.ServedBy)
+	ownerStats0, err := clients[owner].PeerStats(ctx)
+	if err != nil {
+		die("federation: owner stats: %v", err)
+	}
+	entry := (owner + 1) % n // guaranteed not the owner
+	resp2, err := clients[entry].Solve(ctx, req)
+	if err != nil {
+		die("federation: solve via node%d: %v", entry, err)
+	}
+	if resp2.ServedBy != resp1.ServedBy {
+		die("federation: same operator served by %s then %s", resp1.ServedBy, resp2.ServedBy)
+	}
+	if resp2.Affinity != "hit" {
+		die("federation: cross-node repeat got affinity %q, want hit", resp2.Affinity)
+	}
+	ownerStats1, err := clients[owner].PeerStats(ctx)
+	if err != nil {
+		die("federation: owner stats after repeat: %v", err)
+	}
+	if ownerStats1.CacheHits <= ownerStats0.CacheHits {
+		die("federation: owner cache hits did not move (%d -> %d): repeat was not a warm hit",
+			ownerStats0.CacheHits, ownerStats1.CacheHits)
+	}
+	text, err := clients[entry].Metrics(ctx)
+	if err != nil {
+		die("federation: entry metrics: %v", err)
+	}
+	if !regexp.MustCompile(`alad_fed_routed_total\{route="hit"\} [1-9]`).MatchString(text) {
+		die("federation: entry node missing routed hit counter")
+	}
+	if !strings.Contains(text, "alad_fed_cluster_cache_hit_rate") {
+		die("federation: cluster hit rate gauge missing from /metrics")
+	}
+	fmt.Fprintf(os.Stderr, "[smoke] federation warm hit ok: owner=%s hits %d -> %d\n",
+		resp1.ServedBy, ownerStats0.CacheHits, ownerStats1.CacheHits)
+
+	// alasolve provenance: the multi-endpoint client must print which
+	// node served and how the request was routed.
+	if alasolvePath != "" {
+		out, err := exec.Command(alasolvePath,
+			"-server", strings.Join(urls, ","), "-f", "testdata/eq2.txt").CombinedOutput()
+		if err != nil {
+			die("alasolve federation: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "served-by=") || !strings.Contains(string(out), "affinity=") {
+			die("alasolve federation output missing routing provenance:\n%s", out)
+		}
+		fmt.Fprintf(os.Stderr, "[smoke] alasolve federation provenance ok\n")
+	}
+
+	// Oversized scatter-gather: n=16 against -max-dim 8 pools decomposes
+	// across the cluster's chips and must answer bit-identically to a
+	// standalone daemon with the same pool knobs solving it alone.
+	big := tridiag(16, 4.0, 1e-6)
+	solo := startDaemon(aladPath, "-pool", "1", "-warm", "2", "-max-dim", "8", "-engine", "fused")
+	defer solo.cmd.Process.Kill()
+	ref, err := solo.client().Solve(ctx, big)
+	if err != nil {
+		die("federation: standalone oversized solve: %v", err)
+	}
+	fed, err := clients[entry].Solve(ctx, big)
+	if err != nil {
+		die("federation: oversized solve: %v", err)
+	}
+	if fed.Backend != "decomposed" || ref.Backend != "decomposed" {
+		die("federation: oversized solves ran on %q / %q, want decomposed", fed.Backend, ref.Backend)
+	}
+	if fed.Decompose == nil || fed.Decompose.Chips < 2 {
+		die("federation: oversized solve did not scatter: %+v", fed.Decompose)
+	}
+	for i := range ref.U {
+		if fed.U[i] != ref.U[i] {
+			die("federation: scattered u[%d] = %v, standalone %v — must be bit-identical", i, fed.U[i], ref.U[i])
+		}
+	}
+	solo.terminate()
+	fmt.Fprintf(os.Stderr, "[smoke] federation scatter-gather ok: %d blocks on %d chips, bit-identical\n",
+		fed.Decompose.Blocks, fed.Decompose.Chips)
+
+	// SIGKILL the affinity owner: the next solve for its operator must
+	// re-route to the rendezvous fallback instead of failing.
+	nodes[owner].kill()
+	fmt.Fprintf(os.Stderr, "[smoke] killed affinity owner %s\n", urls[owner])
+	resp3, err := clients[entry].Solve(ctx, req)
+	if err != nil {
+		die("federation: solve after owner kill: %v", err)
+	}
+	if resp3.ServedBy == urls[owner] {
+		die("federation: dead owner %s answered", urls[owner])
+	}
+	if resp3.Affinity != "fallback" && resp3.Affinity != "local" {
+		die("federation: post-kill affinity %q, want fallback (or local)", resp3.Affinity)
+	}
+	fmt.Fprintf(os.Stderr, "[smoke] federation failover ok: served-by=%s affinity=%s\n",
+		resp3.ServedBy, resp3.Affinity)
+
+	// Surviving nodes still drain clean.
+	for i, d := range nodes {
+		if i != owner {
+			d.terminate()
+		}
+	}
 }
 
 func crashReplay(ctx context.Context, aladPath string) {
