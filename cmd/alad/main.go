@@ -63,6 +63,7 @@ func main() {
 		drain     = flag.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight solves")
 		engine    = flag.String("engine", "auto", "simulation kernel for pooled chips: auto | interpreter | compiled | fused")
 		simJobs   = flag.Int("sim-workers", 0, "fused-engine worker bound per chip (0 = auto; results are identical for every value)")
+		coalesce  = flag.Duration("coalesce-window", 500*time.Microsecond, "how long an analog solve may wait for same-operator companions before its lane wave fires (waves also close when 16 lanes fill or an idle resident chip exists; negative disables coalescing)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 
 		federate   = flag.Bool("federation", false, "enable the fingerprint-affinity federation router (requires -advertise; use -peers for a multi-node cluster)")
@@ -102,6 +103,7 @@ func main() {
 		QueueBound:     *queue,
 		MaxBatchRHS:    *maxBatch,
 		DefaultTimeout: *timeout,
+		CoalesceWindow: *coalesce,
 		JobStore:       *store,
 		JobWorkers:     *jobWorkers,
 		JobLeaseTTL:    *jobLease,

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"time"
 
 	"analogacc/internal/cli"
@@ -49,6 +50,7 @@ func main() {
 		jobs      = flag.Int("j", 0, "decomposed backend: chips to fan block solves out over (default: one per block; local solves build max(j,2) chips)")
 		blockSize = flag.Int("block", 0, "decomposed backend: variables per block (default: auto)")
 		server    = flag.String("server", "", "alad daemon address(es), comma-separated: submit the solve remotely instead of solving in-process; with a federation node list, solves go to the fingerprint's owner node first and fail over down the rank")
+		conc      = flag.Int("concurrency", 1, "with -server: fire N concurrent copies of this solve, demonstrating the daemon's wave coalescer; each answer prints its coalesced=<bool> wave_lanes=<n> provenance")
 		deadline  = flag.Duration("deadline", 0, "with -server: per-request solve deadline (default: server's)")
 		async     = flag.Bool("async", false, "with -server: submit as a durable background job and print its ID instead of waiting inline (add -wait to block for the result)")
 		wait      = flag.Bool("wait", false, "with -async or -job: block until the job is terminal and print its result")
@@ -179,6 +181,14 @@ func main() {
 	if *async {
 		req := buildSolveRequest(a, b, *backend, *tol, *deadline, *jobs)
 		submitJob(newRemote(), serve.JobSubmitRequest{Tenant: *tenant, Solve: &req}, *wait, *quiet)
+		return
+	}
+
+	if *conc > 1 {
+		if *server == "" {
+			fail("-concurrency requires -server")
+		}
+		solveConcurrent(newMulti(), *conc, *backend, a, b, *tol, *deadline, *jobs, *quiet)
 		return
 	}
 
@@ -423,6 +433,58 @@ func solveRemote(mc *federation.MultiClient, backend string, a *la.CSR, b la.Vec
 			d.Blocks, d.Sweeps, d.Chips, d.Configs, d.ReuseHits, d.InnerRefinements)
 	}
 	return la.Vector(resp.U), extra
+}
+
+// solveConcurrent fires n identical solves at the daemon at once. All of
+// them carry the same operator fingerprint, so a coalescing daemon folds
+// them into shared lane waves; each answer's provenance line shows
+// whether (and how wide) that happened. The solutions are bit-identical
+// to a solo solve by construction, so only the first is printed.
+func solveConcurrent(mc *federation.MultiClient, n int, backend string, a *la.CSR, b la.Vector, tol float64, deadline time.Duration, jobs int, quiet bool) {
+	req := buildSolveRequest(a, b, backend, tol, deadline, jobs)
+	type result struct {
+		resp  *serve.SolveResponse
+		entry string
+		err   error
+	}
+	results := make([]result, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, entry, err := mc.Solve(context.Background(), req)
+			results[i] = result{resp: resp, entry: entry, err: err}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	coalesced := 0
+	for i, r := range results {
+		if r.err != nil {
+			fail("request %d: %v", i, r.err)
+		}
+		if r.resp.Coalesced {
+			coalesced++
+		}
+		if !quiet {
+			fmt.Printf("# request %d: coalesced=%t wave_lanes=%d residual %.3e in %.1f ms%s\n",
+				i, r.resp.Coalesced, r.resp.WaveLanes, r.resp.Residual, r.resp.ElapsedMs,
+				provenance(r.resp.ServedBy, r.resp.Affinity))
+		}
+	}
+	for i, v := range results[0].resp.U {
+		if quiet {
+			fmt.Printf("%.12g\n", v)
+		} else {
+			fmt.Printf("u[%d] = %.12g\n", i, v)
+		}
+	}
+	if !quiet {
+		fmt.Printf("# backend: %s (%d concurrent requests, %d coalesced, wall %.1f ms)\n",
+			backend, n, coalesced, float64(wall.Microseconds())/1000)
+	}
 }
 
 // provenance renders a response's federation routing stamp: which node

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"analogacc/internal/federation"
 	"analogacc/internal/serve"
@@ -56,7 +57,13 @@ func runFederation(cfg Config) (*Table, error) {
 		}
 		lv := load
 		lv.Entries = lc.URLs()
-		res, err := federation.RunZipfLoad(context.Background(), lv)
+		// Bound the run, and each request within it: the generator derives
+		// per-request contexts from these deadlines, so a wedged node fails
+		// the experiment instead of leaking goroutines forever.
+		lv.RequestTimeout = 15 * time.Second
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+		res, err := federation.RunZipfLoad(ctx, lv)
+		cancel()
 		lc.Close()
 		if err != nil {
 			return nil, fmt.Errorf("bench: federation %s: %w", v.name, err)

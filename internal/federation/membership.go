@@ -38,6 +38,7 @@ type peerState struct {
 	draining   bool
 	queueDepth int
 	queueBound int
+	extraLanes int64          // in-flight solves holding no admission slot (job waves)
 	resident   map[uint64]int // fingerprint → order, from the last stats poll
 	nResident  int
 	cacheHits  int64
@@ -53,6 +54,7 @@ type PeerInfo struct {
 	Draining   bool
 	QueueDepth int
 	QueueBound int
+	ExtraLanes int64
 	Resident   int
 	CacheHits  int64
 	CacheMiss  int64
@@ -156,6 +158,7 @@ func (ps *peerState) poll(ctx context.Context, interval time.Duration) {
 	}
 	ps.draining = stats.Draining || !ready
 	ps.queueDepth, ps.queueBound = stats.QueueDepth, stats.QueueBound
+	ps.extraLanes = stats.ExtraLanes
 	ps.cacheHits, ps.cacheMiss = stats.CacheHits, stats.CacheMiss
 	ps.node = stats.Node
 	res := make(map[uint64]int, len(stats.Resident))
@@ -219,7 +222,11 @@ func (m *Membership) Available(addr string) bool {
 	if !ps.healthy || ps.draining {
 		return false
 	}
-	if ps.queueBound > 0 && float64(ps.queueDepth) >= m.satFrac*float64(ps.queueBound) {
+	// Coalesced job waves solve without holding admission slots, so the
+	// advertised extra lanes are added in: saturation gating must see the
+	// chips' true load, not just the HTTP queue.
+	load := float64(ps.queueDepth) + float64(ps.extraLanes)
+	if ps.queueBound > 0 && load >= m.satFrac*float64(ps.queueBound) {
 		return false
 	}
 	return true
@@ -268,6 +275,7 @@ func (m *Membership) Snapshot() []PeerInfo {
 			Draining:   ps.draining,
 			QueueDepth: ps.queueDepth,
 			QueueBound: ps.queueBound,
+			ExtraLanes: ps.extraLanes,
 			Resident:   ps.nResident,
 			CacheHits:  ps.cacheHits,
 			CacheMiss:  ps.cacheMiss,

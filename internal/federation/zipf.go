@@ -42,6 +42,10 @@ type LoadConfig struct {
 	// Tol loosens the solve tolerance (default 1e-6; load runs care about
 	// routing, not precision).
 	Tol float64
+	// RequestTimeout bounds each individual request (default 30s). Every
+	// request gets its own context derived from the run context, so a slow
+	// or wedged peer cannot leak generator goroutines past the run.
+	RequestTimeout time.Duration
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -65,6 +69,9 @@ func (c LoadConfig) withDefaults() LoadConfig {
 	}
 	if c.Tol <= 0 {
 		c.Tol = 1e-6
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
 	}
 	return c
 }
@@ -165,9 +172,11 @@ func RunZipfLoad(ctx context.Context, cfg LoadConfig) (LoadResult, error) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			req := OperatorRequest(j.op, cfg.Dim, cfg.Tol)
+			rctx, cancel := context.WithTimeout(ctx, cfg.RequestTimeout)
 			t0 := time.Now()
-			resp, err := clients[j.entry].Solve(ctx, req)
+			resp, err := clients[j.entry].Solve(rctx, req)
 			d := time.Since(t0)
+			cancel()
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {

@@ -99,6 +99,12 @@ type Job struct {
 	// Fingerprint is the caller's content address for the request;
 	// completed results are deduplicated on it.
 	Fingerprint uint64 `json:"fingerprint"`
+	// Affinity is an optional co-scheduling hint: queued jobs sharing a
+	// non-zero affinity are worth executing together (alad sets it to the
+	// matrix fingerprint so same-operator solves drain as one coalesced
+	// lane wave). Zero means no affinity; the journal carries it like any
+	// other submit field, so it survives restarts.
+	Affinity uint64 `json:"affinity,omitempty"`
 	// Payload is the opaque request body.
 	Payload []byte `json:"payload,omitempty"`
 

@@ -385,6 +385,13 @@ func (q *Queue) Closed() <-chan struct{} { return q.closedCh }
 // copy has Deduped set) without enqueueing anything — completed results
 // replay from the store instead of re-solving.
 func (q *Queue) Submit(tenant, kind string, fingerprint uint64, payload []byte) (*Job, error) {
+	return q.SubmitAffinity(tenant, kind, fingerprint, 0, payload)
+}
+
+// SubmitAffinity is Submit with a co-scheduling affinity (see
+// Job.Affinity): workers drain queued same-affinity jobs together via
+// LeaseMatching.
+func (q *Queue) SubmitAffinity(tenant, kind string, fingerprint, affinity uint64, payload []byte) (*Job, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
@@ -411,6 +418,7 @@ func (q *Queue) Submit(tenant, kind string, fingerprint uint64, payload []byte) 
 		Tenant:      tenant,
 		Kind:        kind,
 		Fingerprint: fingerprint,
+		Affinity:    affinity,
 		Payload:     payload,
 		State:       StateQueued,
 		SubmitSeq:   seq,
@@ -440,6 +448,12 @@ func (q *Queue) Lease(owner string) *Job {
 	if j == nil {
 		return nil
 	}
+	return q.leaseLocked(j, owner)
+}
+
+// leaseLocked journals and applies one lease transition for a queued job
+// already picked under q.mu.
+func (q *Queue) leaseLocked(j *Job, owner string) *Job {
 	now := q.cfg.Clock()
 	rec := &walRecord{
 		Seq: q.nextSeq, Op: opLease, NowNs: now.UnixNano(), ID: j.ID,
@@ -450,6 +464,48 @@ func (q *Queue) Lease(owner string) *Job {
 		return nil
 	}
 	return j.clone()
+}
+
+// LeaseMatching hands owner up to max queued jobs sharing the given
+// non-zero affinity, earliest submissions first across every tenant —
+// the fingerprint-sticky half of wave scheduling: a worker that just
+// leased a job calls this to drain its operator-mates so their solves
+// run concurrently and coalesce into one lane wave. Returns nil when
+// nothing matches (or the queue is paused/closed).
+func (q *Queue) LeaseMatching(owner string, affinity uint64, max int) []*Job {
+	if affinity == 0 || max <= 0 {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || q.paused {
+		return nil
+	}
+	var out []*Job
+	for len(out) < max {
+		var pick *Job
+		for _, ids := range q.pending {
+			// FIFO within a tenant: the first match is that tenant's
+			// earliest; the global earliest wins across tenants.
+			for _, id := range ids {
+				if j := q.jobs[id]; j.Affinity == affinity {
+					if pick == nil || j.SubmitSeq < pick.SubmitSeq {
+						pick = j
+					}
+					break
+				}
+			}
+		}
+		if pick == nil {
+			break
+		}
+		c := q.leaseLocked(pick, owner)
+		if c == nil {
+			break
+		}
+		out = append(out, c)
+	}
+	return out
 }
 
 func (q *Queue) pickNextLocked() *Job {

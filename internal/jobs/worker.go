@@ -67,6 +67,10 @@ func (w *Workers) Stop(ctx context.Context) {
 	}
 }
 
+// maxWaveMates bounds how many affinity-mates one dispatch drains
+// alongside the leased job, so a wave never exceeds a full lane batch.
+const maxWaveMates = 15
+
 func (w *Workers) loop(ctx context.Context, owner string) {
 	defer w.wg.Done()
 	idle := time.NewTicker(250 * time.Millisecond)
@@ -84,7 +88,29 @@ func (w *Workers) loop(ctx context.Context, owner string) {
 			}
 			continue
 		}
-		w.run(j, owner)
+		// Fingerprint-sticky dispatch: drain queued operator-mates into
+		// this turn and run them concurrently, so their solves land in
+		// the server's coalescing window and execute as one lane wave.
+		// Each mate gets the full run lifecycle (own cancel hook,
+		// heartbeat, outcome record) under this worker's owner name.
+		var mates []*Job
+		if j.Affinity != 0 {
+			mates = w.q.LeaseMatching(owner, j.Affinity, maxWaveMates)
+		}
+		if len(mates) == 0 {
+			w.run(j, owner)
+			continue
+		}
+		var waveWG sync.WaitGroup
+		for _, m := range append([]*Job{j}, mates...) {
+			m := m
+			waveWG.Add(1)
+			go func() {
+				defer waveWG.Done()
+				w.run(m, owner)
+			}()
+		}
+		waveWG.Wait()
 	}
 }
 

@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// Scratch recycling for the serve hot path. Every request and response
+// body used to allocate its own encoder buffers (BENCH_7 measured ~537k
+// allocs/op for a federated zipf run); the pools below recycle the two
+// dominant sources — JSON body buffers on both directions of the wire,
+// and the SolveResponse struct on paths whose lifecycle ends inside this
+// package. Callers that hand responses across package boundaries (the
+// federation router) simply never release them; a pool miss is one
+// allocation, exactly the old behavior.
+
+// jsonBufPool recycles body scratch buffers for writeJSON, request
+// decoding, and client-side marshaling.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledBuf caps what goes back in the pool so one giant batch body
+// cannot pin megabytes of scratch forever.
+const maxPooledBuf = 1 << 20
+
+func getBuf() *bytes.Buffer {
+	return jsonBufPool.Get().(*bytes.Buffer)
+}
+
+func putBuf(b *bytes.Buffer) {
+	if b == nil || b.Cap() > maxPooledBuf {
+		return
+	}
+	b.Reset()
+	jsonBufPool.Put(b)
+}
+
+// writeJSON encodes v through a pooled buffer and writes it as one
+// Content-Length-framed body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf := getBuf()
+	defer putBuf(buf)
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(status)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// decodeJSON strictly unmarshals a request body (already size-capped by
+// MaxBytesReader) into v, staging the bytes through a pooled buffer.
+func decodeJSON(r *http.Request, v any) error {
+	buf := getBuf()
+	defer putBuf(buf)
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		return err
+	}
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// solveRespPool recycles SolveResponse structs for the synchronous HTTP
+// path and the async executor — the two paths that can prove the
+// response is dead after encoding.
+var solveRespPool = sync.Pool{New: func() any { return new(SolveResponse) }}
+
+// newSolveResponse returns a zeroed response from the pool. Nested
+// stat structs are dropped, not reused: they are small, optional, and
+// keeping them would leak one request's stats into another's answer on
+// any missed field.
+func newSolveResponse() *SolveResponse {
+	r := solveRespPool.Get().(*SolveResponse)
+	*r = SolveResponse{}
+	return r
+}
+
+// releaseSolveResponse returns a response whose bytes are already on the
+// wire (or in a journal record). Callers must not touch r afterwards.
+func releaseSolveResponse(r *SolveResponse) {
+	if r != nil {
+		solveRespPool.Put(r)
+	}
+}

@@ -150,11 +150,15 @@ func (c *Client) traceCtx(ctx context.Context) context.Context {
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
 	var body io.Reader
 	if in != nil {
-		raw, err := json.Marshal(in)
-		if err != nil {
+		// Encode through a pooled buffer; the transport is done reading the
+		// body (including any GetBody re-sends) by the time Do returns, so
+		// the deferred put cannot recycle bytes still in flight.
+		buf := getBuf()
+		defer putBuf(buf)
+		if err := json.NewEncoder(buf).Encode(in); err != nil {
 			return fmt.Errorf("serve: encoding request: %w", err)
 		}
-		body = bytes.NewReader(raw)
+		body = bytes.NewReader(buf.Bytes())
 	}
 	httpReq, err := http.NewRequestWithContext(c.traceCtx(ctx), method, c.BaseURL+path, body)
 	if err != nil {

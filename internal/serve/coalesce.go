@@ -1,0 +1,360 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"analogacc/internal/cli"
+	"analogacc/internal/core"
+	"analogacc/internal/la"
+)
+
+// Dynamic micro-batching. The paper's economics amortize one matrix
+// programming across many solves; the lane engine (§12) settles up to 16
+// right-hand sides in one fused wave. The coalescer closes the gap for
+// concurrent *solo* requests: in-flight solves of the same operator
+// (fingerprint + order + backend + tolerance) are grouped for a bounded
+// window and executed as one Session.SolveBatch wave on one checked-out
+// chip. Packing independence makes this invisible to callers — every lane
+// solves from batch-entry session state, so a coalesced answer is
+// bit-identical to the solo answer (proven differentially in
+// coalesce_test.go).
+//
+// The window is self-clocking, the shape inference servers use for
+// continuous batching: a group opened on an otherwise-idle server whose
+// operator already has an idle resident chip fires immediately (an
+// unloaded server adds ~zero latency), while under load membership stays
+// open through the chip-checkout stall, so same-operator arrivals
+// accumulate into full waves — exactly when batching pays. A group also
+// closes early the moment it fills core.MaxBatchLanes lanes.
+
+// waveKey identifies requests that may share a wave: same matrix (content
+// fingerprint and order), same backend, same tolerance. Anything that can
+// change the answer is part of the key.
+type waveKey struct {
+	fp      uint64
+	n       int
+	backend string
+	tol     float64
+}
+
+// waveResult is one lane's outcome, delivered to the member that
+// contributed the right-hand side.
+type waveResult struct {
+	out   cli.Outcome
+	class int // pool size class of the serving chip
+	lanes int // wave width the lane rode in (1 = effectively solo)
+	err   error
+	// checkout distinguishes a chip-checkout failure (mapped like the
+	// solo path's checkoutErr) from a solve failure (solveErr).
+	checkout bool
+}
+
+// waveMember is one enrolled request: its right-hand side, its own
+// context (deadlines stay per-request), and a buffered result channel so
+// the runner never blocks on a member that abandoned at its deadline.
+type waveMember struct {
+	ctx    context.Context
+	b      la.Vector
+	joined time.Time
+	done   chan waveResult
+}
+
+// wave is one forming group. Members append under the coalescer mutex
+// while the group is reachable from groups; the runner unlinks it there
+// before reading members, so the slice is immutable once the wave fires.
+type wave struct {
+	key     waveKey
+	a       *la.CSR
+	members []*waveMember
+	// fire closes the window early; the buffered send carries the reason
+	// ("full", "resident") for the close-reason counters.
+	fire chan string
+}
+
+// coalescer groups in-flight solo solves by waveKey. One runner goroutine
+// per open group owns the window timer, the single pool checkout, and the
+// batch execution; members block on their lane's result under their own
+// context.
+type coalescer struct {
+	s        *Server
+	window   time.Duration
+	maxLanes int
+
+	// lastMulti is the UnixNano seal time of the most recent multi-lane
+	// wave: the hysteresis signal that keeps the resident fast path from
+	// firing at wave boundaries (see solve).
+	lastMulti atomic.Int64
+
+	mu     sync.Mutex
+	groups map[waveKey]*wave
+}
+
+// quiet is how long after a multi-lane seal the resident fast path stays
+// suppressed. Scaled to the window (the knob that already expresses the
+// operator's latency tolerance) with a floor comfortably above a loaded
+// wave boundary's response-to-next-request turnaround, which can run
+// tens of milliseconds when every lane's response encodes on a busy
+// CPU. A strictly sequential client never seals multi-lane waves, so it
+// never pays this: its solves still fire instantly on the resident
+// chip. A client arriving just after a burst ends pays one window of
+// added latency — microseconds — which is the right side of the trade.
+func (c *coalescer) quiet() time.Duration {
+	q := 100 * c.window
+	if q < 250*time.Millisecond {
+		q = 250 * time.Millisecond
+	}
+	return q
+}
+
+func newCoalescer(s *Server, window time.Duration) *coalescer {
+	maxLanes := core.MaxBatchLanes
+	if s.cfg.MaxBatchRHS > 0 && s.cfg.MaxBatchRHS < maxLanes {
+		maxLanes = s.cfg.MaxBatchRHS
+	}
+	return &coalescer{s: s, window: window, maxLanes: maxLanes, groups: make(map[waveKey]*wave)}
+}
+
+// solve enrolls one request and blocks for its lane's result. The second
+// return is false when the member's own context expired first — the wave
+// keeps running for everyone else, and this caller maps its own ctx error.
+func (c *coalescer) solve(ctx context.Context, key waveKey, a *la.CSR, b la.Vector) (waveResult, bool) {
+	m := &waveMember{ctx: ctx, b: b, joined: time.Now(), done: make(chan waveResult, 1)}
+	c.mu.Lock()
+	g := c.groups[key]
+	if g == nil {
+		g = &wave{key: key, a: a, fire: make(chan string, 1)}
+		g.members = append(g.members, m)
+		c.groups[key] = g
+		// An *unloaded* server with an idle chip already holding this
+		// operator gains nothing by waiting: fire now and the window adds
+		// ~zero latency to the lone hot-operator caller. "Unloaded" needs
+		// two probes, because both fail open at a wave boundary, where
+		// every lane finishes at once: the in-flight gauge briefly reads
+		// zero and the chip checks in resident-and-idle, so the next
+		// arrival — the herald of the next burst — would seal a one-lane
+		// wave on the very chip its companions are about to need. The
+		// hysteresis term covers that instant: a multi-lane seal in the
+		// recent past means coalescing traffic is live, and the window
+		// (not the fast path) is the right wait.
+		resident := c.s.metrics.InFlight() <= 1 &&
+			time.Duration(time.Now().UnixNano()-c.lastMulti.Load()) > c.quiet() &&
+			c.s.pool.HasIdleResident(a)
+		c.mu.Unlock()
+		if resident {
+			g.fire <- "resident"
+		}
+		go c.run(g)
+	} else {
+		g.members = append(g.members, m)
+		full := len(g.members) >= c.maxLanes
+		if full {
+			// Unlink under the mutex so no 17th member can join between
+			// the fill and the runner's pickup.
+			delete(c.groups, key)
+		}
+		c.mu.Unlock()
+		if full {
+			select {
+			case g.fire <- "full":
+			default:
+			}
+		}
+	}
+	select {
+	case r := <-m.done:
+		return r, true
+	case <-ctx.Done():
+		return waveResult{}, false
+	}
+}
+
+// waveContext bounds a wave by the *latest* deadline among the given
+// members, so one lane's short deadline cannot cancel the others' work;
+// the short-deadline member simply abandons its lane (the buffered done
+// send never blocks). An unbounded member makes the wave unbounded.
+func waveContext(members []*waveMember) (context.Context, context.CancelFunc) {
+	latest := time.Time{}
+	for _, m := range members {
+		d, ok := m.ctx.Deadline()
+		if !ok {
+			return context.Background(), nil
+		}
+		if d.After(latest) {
+			latest = d
+		}
+	}
+	return context.WithDeadline(context.Background(), latest)
+}
+
+// run owns one wave: wait out the window (or an early close), check out
+// one chip — membership stays open the whole time the pool makes the
+// wave wait, which is the load-adaptive half of the design: on a busy
+// pool the checkout stall is exactly when same-operator arrivals pile
+// up, and they all board this wave. The membership seals the moment a
+// chip is in hand; then the group executes as a single batch, fanning
+// per-lane results back out.
+func (c *coalescer) run(g *wave) {
+	reason := "window"
+	timer := time.NewTimer(c.window)
+	select {
+	case reason = <-g.fire:
+	case <-timer.C:
+	}
+	timer.Stop()
+
+	s := c.s
+	// The checkout deadline comes from the members enrolled so far; later
+	// boarders ride under it (their own deadlines still gate their lanes).
+	c.mu.Lock()
+	enrolled := append([]*waveMember(nil), g.members...)
+	c.mu.Unlock()
+	wctx, cancel := waveContext(enrolled)
+	if cancel != nil {
+		defer cancel()
+	}
+
+	pc, cerr := s.pool.Checkout(wctx, g.a)
+
+	// Boarding: with the chip in hand, under live coalescing traffic the
+	// wave lingers while companions are still streaming in. A closed set
+	// of clients resubmits the moment a wave's responses flush, but those
+	// arrivals serialize behind each other's encode/decode, spreading one
+	// logical burst over several milliseconds — far past any sane base
+	// window. Debouncing on joins (seal only after a full idle period
+	// admits nobody) collects the whole burst into one wave without
+	// penalizing anyone: the wave already owns the chip, and each join it
+	// waits for is a solve that would otherwise idle in the next queue.
+	// Cold traffic (no recent multi-lane seal) skips this entirely.
+	if cerr == nil && time.Duration(time.Now().UnixNano()-c.lastMulti.Load()) <= c.quiet() {
+		idle := c.window
+		if idle < time.Millisecond {
+			idle = time.Millisecond
+		}
+		deadline := time.Now().Add(25 * idle)
+		c.mu.Lock()
+		last := len(g.members)
+		c.mu.Unlock()
+		for last < c.maxLanes && time.Now().Before(deadline) {
+			time.Sleep(idle)
+			c.mu.Lock()
+			cur := len(g.members)
+			c.mu.Unlock()
+			if cur == last {
+				break
+			}
+			last = cur
+		}
+	}
+
+	// Seal: unlink the group so no one else can board, then read the
+	// final membership (append-only while reachable, immutable now).
+	c.mu.Lock()
+	if c.groups[g.key] == g {
+		delete(c.groups, g.key)
+	}
+	members := g.members
+	c.mu.Unlock()
+	if len(members) >= c.maxLanes {
+		reason = "full"
+	}
+	if len(members) > 1 {
+		c.lastMulti.Store(time.Now().UnixNano())
+	}
+
+	launch := time.Now()
+	s.metrics.ObserveWave(len(members), reason)
+	for _, m := range members {
+		s.metrics.ObserveCoalesceWait(launch.Sub(m.joined))
+	}
+
+	if cerr != nil {
+		for _, m := range members {
+			m.done <- waveResult{err: cerr, checkout: true, lanes: len(members)}
+		}
+		return
+	}
+
+	params := cli.SolveParams{Tol: g.key.tol, ADCBits: s.cfg.Pool.ADCBits, Bandwidth: s.cfg.Pool.Bandwidth}
+	params.Acc = pc.Acc
+
+	if len(members) == 1 {
+		// A wave of one takes exactly the pre-coalescer solo path — the
+		// member's own context gates the solve, and the dispatch goes
+		// through s.solve (which tests may have swapped).
+		m := members[0]
+		out, err := s.solve(m.ctx, g.key.backend, g.a, m.b, params)
+		s.pool.Checkin(pc)
+		m.done <- waveResult{out: out, class: pc.Class, lanes: 1, err: err}
+		return
+	}
+
+	rhs := make([]la.Vector, len(members))
+	for i, m := range members {
+		rhs[i] = m.b
+	}
+	outs, err := s.solveBatch(wctx, g.key.backend, g.a, rhs, params)
+	s.pool.Checkin(pc)
+	if err != nil {
+		for _, m := range members {
+			m.done <- waveResult{err: err, lanes: len(members)}
+		}
+		return
+	}
+	for i, m := range members {
+		m.done <- waveResult{out: outs[i], class: pc.Class, lanes: len(members)}
+	}
+}
+
+// runSolveCoalesced is runSolve's analog arm when coalescing is enabled:
+// enroll, wait for the lane result, and render it with the solo path's
+// exact metrics and error mapping plus wave provenance.
+func (s *Server) runSolveCoalesced(ctx context.Context, backend string, a *la.CSR, b la.Vector, tol float64) (*SolveResponse, *APIError) {
+	key := waveKey{fp: la.Fingerprint(a), n: a.Dim(), backend: backend, tol: tol}
+	s.metrics.SolveStarted()
+	start := time.Now()
+	r, ok := s.coalesce.solve(ctx, key, a, b)
+	elapsed := time.Since(start)
+	s.metrics.SolveFinished()
+	s.metrics.ObserveLatency(elapsed)
+	if !ok {
+		// Our deadline expired while the wave ran on for the others.
+		return nil, s.solveErr(ctx, ctx.Err())
+	}
+	if r.err != nil {
+		if r.checkout {
+			return nil, s.checkoutErr(r.err)
+		}
+		return nil, s.solveErr(ctx, r.err)
+	}
+	out := r.out
+	s.metrics.SolveOK(backend, out.AnalogTime, out.Runs, out.Rescales, out.Overflows, out.Refinements)
+	if r.lanes > 1 {
+		s.metrics.CoalescedRequest()
+	}
+	resp := newSolveResponse()
+	resp.U = []float64(out.U)
+	resp.N = a.Dim()
+	resp.Backend = backend
+	resp.Residual = la.RelativeResidual(a, out.U, b)
+	resp.ElapsedMs = float64(elapsed.Microseconds()) / 1000
+	resp.ServedBy = s.cfg.NodeName
+	resp.Coalesced = r.lanes > 1
+	resp.WaveLanes = r.lanes
+	if out.Analog {
+		resp.Analog = &AnalogStats{
+			AnalogSeconds: out.AnalogTime,
+			SettleSeconds: out.SettleTime,
+			Runs:          out.Runs,
+			Rescales:      out.Rescales,
+			Overflows:     out.Overflows,
+			Refinements:   out.Refinements,
+			ScaleS:        out.ScaleS,
+			ChipClass:     r.class,
+			Lanes:         out.Lanes,
+		}
+	}
+	return resp, nil
+}

@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"analogacc/internal/cli"
+	"analogacc/internal/la"
+)
+
+// operatorRequest builds a distinct-fingerprint 2×2 solve: the diagonal
+// varies with k, the right-hand side with lane.
+func operatorRequest(k, lane int) SolveRequest {
+	return SolveRequest{
+		Backend: "analog-refined",
+		N:       2,
+		A: []Entry{
+			{Row: 0, Col: 0, Val: 0.8 + float64(k)*0.01}, {Row: 0, Col: 1, Val: 0.2},
+			{Row: 1, Col: 0, Val: 0.2}, {Row: 1, Col: 1, Val: 0.6},
+		},
+		B:   []float64{0.5 + float64(lane)*0.01, 0.3 - float64(lane)*0.005},
+		Tol: 1e-8,
+	}
+}
+
+// TestCoalesceBitIdentity is the differential guarantee extended to the
+// coalesced path: every lane of a B-wide wave must answer bit-identically
+// to a solo solve of the same right-hand side on an identically fresh
+// server. Wave widths cover a pair, a partial wave, and a full close.
+func TestCoalesceBitIdentity(t *testing.T) {
+	for _, lanes := range []int{2, 7, 16} {
+		lanes := lanes
+		t.Run(fmt.Sprintf("lanes=%d", lanes), func(t *testing.T) {
+			t.Parallel()
+			// A generous window so every concurrent request reliably lands
+			// in one wave; a full 16 closes early anyway.
+			_, client, done := newTestServer(t, Config{CoalesceWindow: time.Second})
+			defer done()
+			ctx := context.Background()
+
+			resps := make([]*SolveResponse, lanes)
+			errs := make([]error, lanes)
+			var wg sync.WaitGroup
+			for i := 0; i < lanes; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					resps[i], errs[i] = client.Solve(ctx, operatorRequest(0, i))
+				}(i)
+			}
+			wg.Wait()
+
+			for i := 0; i < lanes; i++ {
+				if errs[i] != nil {
+					t.Fatalf("lane %d: %v", i, errs[i])
+				}
+				if resps[i].WaveLanes != lanes || resps[i].Coalesced != (lanes > 1) {
+					t.Fatalf("lane %d provenance: coalesced=%t wave_lanes=%d, want %t/%d",
+						i, resps[i].Coalesced, resps[i].WaveLanes, lanes > 1, lanes)
+				}
+
+				// The solo reference: the same request as the first analog
+				// solve of a fresh, coalescing-disabled server — the exact
+				// chip entry state the wave saw.
+				_, soloClient, soloDone := newTestServer(t, Config{CoalesceWindow: -1})
+				solo, err := soloClient.Solve(ctx, operatorRequest(0, i))
+				if err != nil {
+					soloDone()
+					t.Fatalf("solo lane %d: %v", i, err)
+				}
+				if len(solo.U) != len(resps[i].U) {
+					soloDone()
+					t.Fatalf("lane %d: solo %d values, coalesced %d", i, len(solo.U), len(resps[i].U))
+				}
+				for j := range solo.U {
+					if solo.U[j] != resps[i].U[j] {
+						soloDone()
+						t.Fatalf("lane %d u[%d]: coalesced %v != solo %v", i, j, resps[i].U[j], solo.U[j])
+					}
+				}
+				soloDone()
+			}
+		})
+	}
+}
+
+// TestCoalesceDeadlineMixing proves the wave runs under the *latest*
+// member deadline: a short-deadline lane abandoning mid-settle must not
+// cancel its companions. The injected batch solver holds the wave well
+// past the short deadline.
+func TestCoalesceDeadlineMixing(t *testing.T) {
+	s, client, done := newTestServer(t, Config{CoalesceWindow: 500 * time.Millisecond})
+	defer done()
+	s.solveBatch = func(ctx context.Context, backend string, a *la.CSR, rhs []la.Vector, p cli.SolveParams) ([]cli.Outcome, error) {
+		select {
+		case <-time.After(300 * time.Millisecond):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return cli.SolveSystemBatch(ctx, backend, a, rhs, p)
+	}
+	ctx := context.Background()
+
+	var (
+		wg                 sync.WaitGroup
+		shortErr, longErr  error
+		shortResp, longist *SolveResponse
+	)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		req := operatorRequest(0, 0)
+		req.TimeoutMs = 50 // expires while the wave is still settling
+		shortResp, shortErr = client.Solve(ctx, req)
+	}()
+	go func() {
+		defer wg.Done()
+		req := operatorRequest(0, 1)
+		req.TimeoutMs = 5000
+		longist, longErr = client.Solve(ctx, req)
+	}()
+	wg.Wait()
+
+	if longErr != nil {
+		t.Fatalf("long-deadline lane failed — the short lane cancelled the wave: %v", longErr)
+	}
+	if longist.WaveLanes != 2 {
+		t.Fatalf("long lane rode a %d-lane wave, want 2 (requests did not coalesce)", longist.WaveLanes)
+	}
+	if shortErr == nil {
+		t.Fatalf("short-deadline lane answered %+v, want a deadline error", shortResp)
+	}
+	var rerr *RemoteError
+	if !errors.As(shortErr, &rerr) || rerr.StatusCode != 504 {
+		t.Fatalf("short-deadline lane error %v, want 504", shortErr)
+	}
+}
+
+// TestCoalesceChurn hammers the coalescer from many goroutines across
+// several operators with mixed deadlines — the -race workout ci.sh runs
+// with -count=2. Every in-deadline answer must be a correct solve with
+// coherent wave provenance.
+func TestCoalesceChurn(t *testing.T) {
+	s, client, done := newTestServer(t, Config{QueueBound: 128})
+	defer done()
+	ctx := context.Background()
+
+	const (
+		operators = 4
+		requests  = 96
+		workers   = 16
+	)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		failures []string
+		deadline int
+	)
+	sem := make(chan struct{}, workers)
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			req := operatorRequest(i%operators, i)
+			if i%7 == 0 {
+				req.TimeoutMs = 1 // sometimes too short on a contended pool: 504 is legal
+			}
+			resp, err := client.Solve(ctx, req)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				var rerr *RemoteError
+				if errors.As(err, &rerr) && rerr.StatusCode == 504 {
+					deadline++
+					return
+				}
+				failures = append(failures, fmt.Sprintf("request %d: %v", i, err))
+				return
+			}
+			if resp.Residual > 1e-6 {
+				failures = append(failures, fmt.Sprintf("request %d residual %v", i, resp.Residual))
+			}
+			if resp.WaveLanes < 1 || resp.Coalesced != (resp.WaveLanes > 1) {
+				failures = append(failures, fmt.Sprintf("request %d provenance coalesced=%t wave_lanes=%d",
+					i, resp.Coalesced, resp.WaveLanes))
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	for _, f := range failures {
+		t.Error(f)
+	}
+	if w := s.metrics.Waves(); w == 0 {
+		t.Fatal("no waves recorded under churn")
+	}
+	t.Logf("churn: %d requests, %d deadline-expired, %d waves, %d coalesced",
+		requests, deadline, s.metrics.Waves(), s.metrics.CoalescedRequests())
+}

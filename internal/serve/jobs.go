@@ -125,9 +125,7 @@ func jobFingerprint(kind, backend string, tol float64, a *la.CSR, rhs []la.Vecto
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var req JobSubmitRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	if err := decodeJSON(r, &req); err != nil {
 		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "decoding request: %v", err)
 		return
 	}
@@ -145,9 +143,10 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	var (
-		kind    string
-		payload []byte
-		fp      uint64
+		kind     string
+		payload  []byte
+		fp       uint64
+		affinity uint64
 	)
 	if req.Solve != nil {
 		kind = JobKindSolve
@@ -169,6 +168,14 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			tol = s.cfg.Tol
 		}
 		fp = jobFingerprint(kind, req.Solve.Backend, tol, a, []la.Vector{b})
+		if cli.IsAnalogBackend(req.Solve.Backend) {
+			// The matrix fingerprint is the job's scheduling affinity:
+			// workers drain same-affinity jobs together so they arrive at
+			// the coalescer as one lane wave (fingerprint-sticky
+			// scheduling). Digital solves gain nothing from waves, so
+			// they keep affinity 0 (FIFO).
+			affinity = la.Fingerprint(a)
+		}
 		payload, err = json.Marshal(req.Solve)
 		if err != nil {
 			s.writeError(w, http.StatusInternalServerError, CodeInternal, "%v", err)
@@ -206,7 +213,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	j, err := s.jobs.Submit(tenant, kind, fp, payload)
+	j, err := s.jobs.SubmitAffinity(tenant, kind, fp, affinity, payload)
 	switch {
 	case errors.Is(err, jobs.ErrBacklog):
 		s.writeBusy(w, CodeBusy, "job queue backlog full (%d jobs)", s.cfg.JobMaxQueued)
@@ -308,11 +315,16 @@ func (s *Server) executeJob(ctx context.Context, j *jobs.Job) ([]byte, string, s
 		}
 		ctx, cancel := context.WithTimeout(ctx, s.clampTimeout(req.TimeoutMs))
 		defer cancel()
+		// Job executions hold no admission slot; the detached-lane gauge
+		// keeps them visible to federation saturation gating.
+		s.metrics.DetachedLaneStarted()
 		resp, aerr := s.runSolve(ctx, &req)
+		s.metrics.DetachedLaneFinished()
 		if aerr != nil {
 			return nil, aerr.Code, aerr.Message
 		}
 		raw, err := json.Marshal(resp)
+		releaseSolveResponse(resp)
 		if err != nil {
 			return nil, CodeInternal, err.Error()
 		}

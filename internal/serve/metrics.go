@@ -65,17 +65,46 @@ type Metrics struct {
 	sweepCounts []atomic.Int64
 	sweepSum    atomic.Int64 // microseconds
 	sweepN      atomic.Int64
+
+	// Coalescer traffic. waves counts fired waves by close reason;
+	// coalescedReqs counts requests that shared a wave with at least one
+	// companion. The occupancy histogram (lanes per wave) says how full
+	// waves run; the wait histogram is the latency the window added to
+	// each member (registration → wave launch).
+	wavesWindow   atomic.Int64
+	wavesFull     atomic.Int64
+	wavesResident atomic.Int64
+	coalescedReqs atomic.Int64
+	waveBounds    []float64 // lanes-per-wave le-bucket bounds
+	waveCounts    []atomic.Int64
+	waveLanesSum  atomic.Int64
+	waveN         atomic.Int64
+	waitBounds    []float64 // seconds
+	waitCounts    []atomic.Int64
+	waitSum       atomic.Int64 // microseconds
+	waitN         atomic.Int64
+
+	// detachedLanes gauges in-flight solves holding no admission slot
+	// (async-job executions): queue depth alone understates load when the
+	// job queue drains waves, so federation peer stats add this in.
+	detachedLanes atomic.Int64
 }
 
 // NewMetrics returns a zeroed metrics set.
 func NewMetrics() *Metrics {
 	bounds := []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+	waveBounds := []float64{1, 2, 4, 8, 16}
+	waitBounds := []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025}
 	return &Metrics{
 		start:       time.Now(),
 		solves:      make(map[string]int64),
 		latBounds:   bounds,
 		latCounts:   make([]atomic.Int64, len(bounds)+1),
 		sweepCounts: make([]atomic.Int64, len(bounds)+1),
+		waveBounds:  waveBounds,
+		waveCounts:  make([]atomic.Int64, len(waveBounds)+1),
+		waitBounds:  waitBounds,
+		waitCounts:  make([]atomic.Int64, len(waitBounds)+1),
 	}
 }
 
@@ -87,6 +116,9 @@ func (m *Metrics) SolveStarted() { m.inFlight.Add(1) }
 
 // SolveFinished decrements the in-flight gauge.
 func (m *Metrics) SolveFinished() { m.inFlight.Add(-1) }
+
+// InFlight reads the in-flight gauge (the coalescer's load probe).
+func (m *Metrics) InFlight() int64 { return m.inFlight.Load() }
 
 // DeadlineExceeded records a solve aborted by its deadline.
 func (m *Metrics) DeadlineExceeded() { m.deadlineExceeded.Add(1) }
@@ -145,6 +177,54 @@ func (m *Metrics) ObserveSweep(d time.Duration) {
 // BatchRHS records the right-hand-side count of one batch request.
 func (m *Metrics) BatchRHS(n int) { m.batchRHS.Add(int64(n)) }
 
+// ObserveWave records one fired coalescer wave: its lane occupancy and
+// why its window closed ("window" ran out, "full" 16 lanes, "resident"
+// idle warm chip).
+func (m *Metrics) ObserveWave(lanes int, reason string) {
+	switch reason {
+	case "full":
+		m.wavesFull.Add(1)
+	case "resident":
+		m.wavesResident.Add(1)
+	default:
+		m.wavesWindow.Add(1)
+	}
+	i := sort.SearchFloat64s(m.waveBounds, float64(lanes))
+	m.waveCounts[i].Add(1)
+	m.waveLanesSum.Add(int64(lanes))
+	m.waveN.Add(1)
+}
+
+// ObserveCoalesceWait records the latency the coalescing window added to
+// one member (enrollment → wave launch).
+func (m *Metrics) ObserveCoalesceWait(d time.Duration) {
+	i := sort.SearchFloat64s(m.waitBounds, d.Seconds())
+	m.waitCounts[i].Add(1)
+	m.waitSum.Add(d.Microseconds())
+	m.waitN.Add(1)
+}
+
+// CoalescedRequest records one request served from a shared (≥2-lane)
+// wave.
+func (m *Metrics) CoalescedRequest() { m.coalescedReqs.Add(1) }
+
+// DetachedLaneStarted / DetachedLaneFinished bracket solves that hold no
+// admission slot (async-job executions). Peer stats report the gauge so
+// saturation gating sees job-driven wave load the queue depth misses.
+func (m *Metrics) DetachedLaneStarted() { m.detachedLanes.Add(1) }
+
+// DetachedLaneFinished decrements the detached-lane gauge.
+func (m *Metrics) DetachedLaneFinished() { m.detachedLanes.Add(-1) }
+
+// DetachedLanes reads the detached-lane gauge.
+func (m *Metrics) DetachedLanes() int64 { return m.detachedLanes.Load() }
+
+// CoalescedRequests reads the shared-wave request counter (tests).
+func (m *Metrics) CoalescedRequests() int64 { return m.coalescedReqs.Load() }
+
+// Waves reads the fired-wave counter (tests).
+func (m *Metrics) Waves() int64 { return m.waveN.Load() }
+
 // DecomposedOK records a completed decomposed solve's fan-out volume and
 // its pinned-session economy.
 func (m *Metrics) DecomposedOK(blocks, sweeps, configs, reuseHits int) {
@@ -176,9 +256,21 @@ type Snapshot struct {
 	DecompConfigs    int64            `json:"decomposed_configs_total"`
 	DecompReuseHits  int64            `json:"decomposed_reuse_hits_total"`
 	BatchRHS         int64            `json:"batch_rhs_total"`
-	PoolBuilds       int64            `json:"pool_builds_total"`
-	PoolCalibrations int64            `json:"pool_calibrations_total"`
-	PoolClasses      []ClassStat      `json:"pool_classes"`
+
+	// Coalescer: fired waves by close reason, requests that shared a
+	// wave, mean occupancy, and the job-driven (slot-less) in-flight
+	// lanes gauge.
+	Waves             int64   `json:"waves_total"`
+	WavesClosedWindow int64   `json:"waves_closed_window_total"`
+	WavesClosedFull   int64   `json:"waves_closed_full_total"`
+	WavesClosedWarm   int64   `json:"waves_closed_resident_total"`
+	CoalescedRequests int64   `json:"coalesced_requests_total"`
+	WaveMeanLanes     float64 `json:"wave_mean_lanes"`
+	DetachedLanes     int64   `json:"detached_lanes"`
+
+	PoolBuilds       int64       `json:"pool_builds_total"`
+	PoolCalibrations int64       `json:"pool_calibrations_total"`
+	PoolClasses      []ClassStat `json:"pool_classes"`
 
 	// Session-cache traffic and occupancy (cached entries also appear
 	// per class in PoolClasses).
@@ -230,6 +322,15 @@ func (m *Metrics) snapshot(queueDepth int, pool *Pool, jq *jobs.Queue) Snapshot 
 	s.AnalogSeconds = m.analogSeconds
 	m.mu.Unlock()
 	s.BatchRHS = m.batchRHS.Load()
+	s.Waves = m.waveN.Load()
+	s.WavesClosedWindow = m.wavesWindow.Load()
+	s.WavesClosedFull = m.wavesFull.Load()
+	s.WavesClosedWarm = m.wavesResident.Load()
+	s.CoalescedRequests = m.coalescedReqs.Load()
+	if s.Waves > 0 {
+		s.WaveMeanLanes = float64(m.waveLanesSum.Load()) / float64(s.Waves)
+	}
+	s.DetachedLanes = m.detachedLanes.Load()
 	if pool != nil {
 		s.PoolBuilds = pool.Builds()
 		s.PoolCalibrations = pool.Calibrations()
@@ -343,4 +444,30 @@ func (m *Metrics) writeTo(w io.Writer, queueDepth int, pool *Pool, jq *jobs.Queu
 	fmt.Fprintf(w, "alad_sweep_seconds_bucket{le=\"+Inf\"} %d\n", cum)
 	fmt.Fprintf(w, "alad_sweep_seconds_sum %g\n", float64(m.sweepSum.Load())/1e6)
 	fmt.Fprintf(w, "alad_sweep_seconds_count %d\n", m.sweepN.Load())
+	fmt.Fprintf(w, "# TYPE alad_coalesced_requests_total counter\nalad_coalesced_requests_total %d\n", s.CoalescedRequests)
+	fmt.Fprint(w, "# TYPE alad_waves_closed_total counter\n")
+	fmt.Fprintf(w, "alad_waves_closed_total{reason=\"window\"} %d\n", s.WavesClosedWindow)
+	fmt.Fprintf(w, "alad_waves_closed_total{reason=\"full\"} %d\n", s.WavesClosedFull)
+	fmt.Fprintf(w, "alad_waves_closed_total{reason=\"resident\"} %d\n", s.WavesClosedWarm)
+	fmt.Fprintf(w, "# TYPE alad_detached_lanes gauge\nalad_detached_lanes %d\n", s.DetachedLanes)
+	fmt.Fprint(w, "# TYPE alad_wave_lanes histogram\n")
+	cum = 0
+	for i, bound := range m.waveBounds {
+		cum += m.waveCounts[i].Load()
+		fmt.Fprintf(w, "alad_wave_lanes_bucket{le=\"%g\"} %d\n", bound, cum)
+	}
+	cum += m.waveCounts[len(m.waveBounds)].Load()
+	fmt.Fprintf(w, "alad_wave_lanes_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "alad_wave_lanes_sum %d\n", m.waveLanesSum.Load())
+	fmt.Fprintf(w, "alad_wave_lanes_count %d\n", m.waveN.Load())
+	fmt.Fprint(w, "# TYPE alad_coalesce_wait_seconds histogram\n")
+	cum = 0
+	for i, bound := range m.waitBounds {
+		cum += m.waitCounts[i].Load()
+		fmt.Fprintf(w, "alad_coalesce_wait_seconds_bucket{le=\"%g\"} %d\n", bound, cum)
+	}
+	cum += m.waitCounts[len(m.waitBounds)].Load()
+	fmt.Fprintf(w, "alad_coalesce_wait_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "alad_coalesce_wait_seconds_sum %g\n", float64(m.waitSum.Load())/1e6)
+	fmt.Fprintf(w, "alad_coalesce_wait_seconds_count %d\n", m.waitN.Load())
 }

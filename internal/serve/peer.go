@@ -2,7 +2,6 @@ package serve
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -39,6 +38,13 @@ type PeerStatsResponse struct {
 	Resident   []PeerResident `json:"resident,omitempty"`
 	CacheHits  int64          `json:"cache_hits"`
 	CacheMiss  int64          `json:"cache_misses"`
+	// ExtraLanes gauges in-flight solves holding no admission slot —
+	// async-job wave lanes the coalescer is draining. Queue depth alone
+	// misses them, so routers add this in before saturation-gating.
+	ExtraLanes int64 `json:"extra_lanes,omitempty"`
+	// Coalesced counts requests this node served from shared lane waves
+	// (lifetime), the cluster-wide coalescing odometer.
+	Coalesced int64 `json:"coalesced_total,omitempty"`
 }
 
 func (s *Server) handlePeerStats(w http.ResponseWriter, _ *http.Request) {
@@ -50,6 +56,8 @@ func (s *Server) handlePeerStats(w http.ResponseWriter, _ *http.Request) {
 		Draining:   s.draining.Load(),
 		CacheHits:  s.pool.CacheHits(),
 		CacheMiss:  s.pool.CacheMisses(),
+		ExtraLanes: s.metrics.DetachedLanes(),
+		Coalesced:  s.metrics.CoalescedRequests(),
 	}
 	for _, r := range res {
 		resp.Resident = append(resp.Resident, PeerResident{
@@ -150,9 +158,7 @@ type BlockSolveResponse struct {
 func (s *Server) handlePeerBlock(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var req BlockSolveRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	if err := decodeJSON(r, &req); err != nil {
 		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "decoding request: %v", err)
 		return
 	}

@@ -241,6 +241,13 @@ type SolveResponse struct {
 	// is the owner), or "random" (affinity disabled). Empty outside a
 	// federation.
 	Affinity string `json:"affinity,omitempty"`
+	// Coalesced reports that this solve shared a lane wave with other
+	// concurrent same-operator requests; WaveLanes is the wave width it
+	// rode in (1 when the window closed with no companions; absent when
+	// coalescing is disabled or the solve never touched a chip). Answers
+	// are bit-identical either way — this is provenance, not semantics.
+	Coalesced bool `json:"coalesced,omitempty"`
+	WaveLanes int  `json:"wave_lanes,omitempty"`
 }
 
 // BatchItem is one right-hand side's answer within a batch response.

@@ -2,7 +2,6 @@ package serve
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -45,6 +44,12 @@ type Config struct {
 	MaxBatchRHS int
 	// Tol is the default solve tolerance for requests that carry none.
 	Tol float64
+	// CoalesceWindow bounds how long an analog solo solve may wait for
+	// same-operator companions before its wave fires (default 500µs; a
+	// group also closes early when 16 lanes fill or the operator already
+	// has an idle resident chip). Negative disables coalescing entirely —
+	// every request checks out its own chip, the pre-coalescer behavior.
+	CoalesceWindow time.Duration
 
 	// JobStore is the async job journal path. Empty runs the job queue
 	// in memory: the /v1/jobs API works, but submissions do not survive
@@ -93,6 +98,9 @@ func (c Config) withDefaults() Config {
 	if c.Tol <= 0 {
 		c.Tol = 1e-8
 	}
+	if c.CoalesceWindow == 0 {
+		c.CoalesceWindow = 500 * time.Microsecond
+	}
 	if c.JobWorkers == 0 {
 		c.JobWorkers = 2
 	}
@@ -133,6 +141,10 @@ type Server struct {
 	// scatter-gathers blocks across peer nodes.
 	decompProvider core.SessionProvider
 
+	// coalesce groups concurrent same-operator analog solves into lane
+	// waves (nil when Config.CoalesceWindow < 0).
+	coalesce *coalescer
+
 	// solve is the backend dispatch, swappable by tests that need a
 	// deterministic slow or failing solver; solveBatch is its multi-RHS
 	// counterpart.
@@ -158,6 +170,9 @@ func New(cfg Config) (*Server, error) {
 		solveBatch: cli.SolveSystemBatch,
 	}
 	s.decompProvider = pool.DecompProvider()
+	if cfg.CoalesceWindow > 0 {
+		s.coalesce = newCoalescer(s, cfg.CoalesceWindow)
+	}
 	s.jobs, err = jobs.Open(jobs.Config{
 		Path:        cfg.JobStore,
 		LeaseTTL:    cfg.JobLeaseTTL,
@@ -255,12 +270,6 @@ func (s *Server) Close() error {
 		s.workers = nil
 	}
 	return s.jobs.Close()
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
 }
 
 func (s *Server) writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
@@ -409,9 +418,7 @@ func (s *Server) SolveDecoded(ctx context.Context, req *SolveRequest) (*SolveRes
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var req SolveRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	if err := decodeJSON(r, &req); err != nil {
 		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "decoding request: %v", err)
 		return
 	}
@@ -421,6 +428,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+	releaseSolveResponse(resp)
 }
 
 // runSolve validates, builds, and executes one solve request. It is the
@@ -467,6 +475,11 @@ func (s *Server) runSolve(ctx context.Context, req *SolveRequest) (*SolveRespons
 			s.metrics.ObserveSweep(elapsed)
 		}
 	case cli.IsAnalogBackend(req.Backend):
+		if s.coalesce != nil {
+			// The coalesced arm owns the whole checkout/solve/metrics
+			// lifecycle (one chip per wave, not per request).
+			return s.runSolveCoalesced(ctx, backendRun, a, b, params.Tol)
+		}
 		pc, err := s.pool.Checkout(ctx, a)
 		if err != nil {
 			return nil, s.checkoutErr(err)
@@ -490,14 +503,13 @@ func (s *Server) runSolve(ctx context.Context, req *SolveRequest) (*SolveRespons
 		s.metrics.DecomposedOK(ds.Blocks, ds.Sweeps, ds.Configs, ds.ReuseHits)
 	}
 
-	resp := &SolveResponse{
-		U:         []float64(out.U),
-		N:         a.Dim(),
-		Backend:   backendRun,
-		Residual:  la.RelativeResidual(a, out.U, b),
-		ElapsedMs: float64(elapsed.Microseconds()) / 1000,
-		ServedBy:  s.cfg.NodeName,
-	}
+	resp := newSolveResponse()
+	resp.U = []float64(out.U)
+	resp.N = a.Dim()
+	resp.Backend = backendRun
+	resp.Residual = la.RelativeResidual(a, out.U, b)
+	resp.ElapsedMs = float64(elapsed.Microseconds()) / 1000
+	resp.ServedBy = s.cfg.NodeName
 	if ds := out.Decompose; ds != nil {
 		resp.Decompose = &DecomposeInfo{
 			Blocks:                ds.Blocks,
@@ -534,9 +546,7 @@ func (s *Server) runSolve(ctx context.Context, req *SolveRequest) (*SolveRespons
 func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var req BatchSolveRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	if err := decodeJSON(r, &req); err != nil {
 		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "decoding request: %v", err)
 		return
 	}

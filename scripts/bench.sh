@@ -12,6 +12,7 @@
 #   scripts/bench.sh 5       # BENCH_5.json: fused vs compiled step kernel
 #   scripts/bench.sh 6       # BENCH_6.json: lane-batched vs sequential batch
 #   scripts/bench.sh 7       # BENCH_7.json: federation zipf-load routing policies
+#   scripts/bench.sh 8       # BENCH_8.json: micro-batching coalescer on a hot operator
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -53,8 +54,14 @@ case "$SUITE" in
 	BENCHTIME="${2:-3x}"
 	DESC="zipf-operator load on a 3-node in-process federation: fingerprint-affinity routing vs affinity-disabled (random member) vs single node — cluster session-cache hit rate and p50/p99 latency"
 	;;
+8)
+	PKG=./internal/serve
+	BENCH='HotOperator16|SolveRoundTrip'
+	BENCHTIME="${2:-600x}"
+	DESC="dynamic micro-batching: 16 workers hammering one hot operator through the HTTP path, default coalescing window vs disabled (solves/s, wave occupancy, coalesced fraction), plus the single-stream round-trip allocation probe"
+	;;
 *)
-	echo "bench.sh: unknown suite $SUITE (known: 1, 3, 4, 5, 6, 7)" >&2
+	echo "bench.sh: unknown suite $SUITE (known: 1, 3, 4, 5, 6, 7, 8)" >&2
 	exit 2
 	;;
 esac

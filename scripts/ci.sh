@@ -40,6 +40,12 @@ go test -race -count=2 -run 'PoolAffinity|PoolLRU|PoolCalibrationDrift|PoolCache
 go test -race -count=2 ./internal/jobs
 go test -race -count=2 -run 'Job|Retry|Busy' ./internal/serve
 
+# Micro-batching coalescer: wave formation races enrollment against
+# window close, full close, checkout-stall boarding, and per-member
+# deadline abandonment — the churn test drives 96 requests over 4
+# operators with mixed deadlines through 16 workers, twice under -race.
+go test -race -count=2 -run 'TestCoalesce' ./internal/serve
+
 # Federation router: rendezvous routing, concurrent membership polls,
 # remote block scatter-gather, and the zipf load generator all mix
 # goroutines with shared counters — run the whole package twice under
