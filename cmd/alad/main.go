@@ -78,6 +78,9 @@ func main() {
 		jobQueue     = flag.Int("job-queue", 256, "async job backlog bound (submissions beyond it get 429)")
 		jobQuota     = flag.Int("job-quota", 0, "per-tenant live async job cap (0 = unlimited)")
 		jobExecDelay = flag.Duration("job-exec-delay", 0, "fault-injection hold between leasing and executing each job (crash testing only)")
+
+		regMaxOps   = flag.Int("registry-max-ops", 256, "operator registry capacity (registered matrices; LRU evicts beyond it)")
+		regMaxBytes = flag.Int64("registry-max-bytes", 256<<20, "operator registry byte cap (estimated resident bytes; LRU evicts beyond it)")
 	)
 	flag.Parse()
 
@@ -110,6 +113,9 @@ func main() {
 		JobMaxQueued:   *jobQueue,
 		JobTenantQuota: *jobQuota,
 		JobExecDelay:   *jobExecDelay,
+
+		RegistryMaxOps:   *regMaxOps,
+		RegistryMaxBytes: *regMaxBytes,
 	})
 	if err != nil {
 		log.Fatalf("alad: %v", err)

@@ -239,7 +239,9 @@ func solveBatch(a *la.CSR, rhs []la.Vector, mc *federation.MultiClient, backend 
 	var summary string
 	if mc != nil {
 		req := buildBatchRequest(a, rhs, backend, p.Tol, p.MaxLanes, deadline)
-		resp, entry, err := mc.SolveBatch(context.Background(), req)
+		// Register-then-solve: the batch goes out by fingerprint, so re-runs
+		// against the same daemon skip re-uploading the matrix entirely.
+		resp, entry, err := mc.SolveBatchOperator(context.Background(), serve.PrepareOperator(a), req)
 		if err != nil {
 			fail("remote batch solve: %v", err)
 		}
@@ -441,6 +443,10 @@ func solveRemote(mc *federation.MultiClient, backend string, a *la.CSR, b la.Vec
 // whether (and how wide) that happened. The solutions are bit-identical
 // to a solo solve by construction, so only the first is printed.
 func solveConcurrent(mc *federation.MultiClient, n int, backend string, a *la.CSR, b la.Vector, tol float64, deadline time.Duration, jobs int, quiet bool) {
+	// Register the operator once up front; the n concurrent requests then
+	// carry only the fingerprint and the right-hand side, so the wire cost
+	// of the storm is O(n·dim) instead of O(n·nnz).
+	op := serve.PrepareOperator(a)
 	req := buildSolveRequest(a, b, backend, tol, deadline, jobs)
 	type result struct {
 		resp  *serve.SolveResponse
@@ -454,7 +460,7 @@ func solveConcurrent(mc *federation.MultiClient, n int, backend string, a *la.CS
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resp, entry, err := mc.Solve(context.Background(), req)
+			resp, entry, err := mc.SolveOperator(context.Background(), op, req)
 			results[i] = result{resp: resp, entry: entry, err: err}
 		}(i)
 	}

@@ -83,17 +83,21 @@ func (m *MultiClient) Endpoints() []string {
 func (m *MultiClient) Primary() *serve.Client { return m.clients[m.endpoints[0]] }
 
 // order ranks the endpoints for one request: rendezvous order on the
-// system fingerprint when the request parses, input order otherwise
-// (the server will reject the malformed request with a proper error).
+// request fingerprint (parsed straight off a by-reference request,
+// hashed from the built system otherwise), input order when the request
+// doesn't parse (the server will reject it with a proper error).
 func (m *MultiClient) order(req *serve.SolveRequest) []string {
 	if len(m.endpoints) == 1 {
 		return m.endpoints
 	}
-	a, _, err := req.BuildSystem()
+	fp, err := requestFingerprint(req.Fingerprint, func() (*la.CSR, error) {
+		a, _, err := req.BuildSystem()
+		return a, err
+	})
 	if err != nil {
 		return m.endpoints
 	}
-	return Rank(m.endpoints, la.Fingerprint(a))
+	return Rank(m.endpoints, fp)
 }
 
 // Solve sends the request to the fingerprint's rendezvous owner among
@@ -119,13 +123,59 @@ func (m *MultiClient) Solve(ctx context.Context, req serve.SolveRequest) (*serve
 func (m *MultiClient) SolveBatch(ctx context.Context, req serve.BatchSolveRequest) (*serve.BatchSolveResponse, string, error) {
 	order := m.endpoints
 	if len(m.endpoints) > 1 {
-		if a, _, err := req.BuildSystem(); err == nil {
-			order = Rank(m.endpoints, la.Fingerprint(a))
+		if fp, err := requestFingerprint(req.Fingerprint, func() (*la.CSR, error) {
+			a, _, err := req.BuildSystem()
+			return a, err
+		}); err == nil {
+			order = Rank(m.endpoints, fp)
 		}
 	}
 	var lastErr error
 	for _, ep := range order {
 		resp, err := m.clients[ep].SolveBatch(ctx, req)
+		if err == nil {
+			return resp, ep, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil || !retriable(err) {
+			return nil, ep, err
+		}
+	}
+	return nil, "", lastErr
+}
+
+// SolveOperator solves by reference against the operator's rendezvous
+// owner, registering on that endpoint first if this process hasn't yet
+// (serve.Client caches acknowledgements per endpoint). Failover walks
+// the rank like Solve; each endpoint's client re-registers as needed.
+func (m *MultiClient) SolveOperator(ctx context.Context, op *serve.PreparedOperator, req serve.SolveRequest) (*serve.SolveResponse, string, error) {
+	order := m.endpoints
+	if len(m.endpoints) > 1 {
+		order = Rank(m.endpoints, op.Fingerprint())
+	}
+	var lastErr error
+	for _, ep := range order {
+		resp, err := m.clients[ep].SolveOperator(ctx, op, req)
+		if err == nil {
+			return resp, ep, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil || !retriable(err) {
+			return nil, ep, err
+		}
+	}
+	return nil, "", lastErr
+}
+
+// SolveBatchOperator is SolveOperator's multi-RHS counterpart.
+func (m *MultiClient) SolveBatchOperator(ctx context.Context, op *serve.PreparedOperator, req serve.BatchSolveRequest) (*serve.BatchSolveResponse, string, error) {
+	order := m.endpoints
+	if len(m.endpoints) > 1 {
+		order = Rank(m.endpoints, op.Fingerprint())
+	}
+	var lastErr error
+	for _, ep := range order {
+		resp, err := m.clients[ep].SolveBatchOperator(ctx, op, req)
 		if err == nil {
 			return resp, ep, nil
 		}

@@ -105,10 +105,12 @@ type remoteWorker struct {
 func (w *remoteWorker) Odometer() (float64, int, int) { return w.analogSeconds, w.runs, w.configs }
 
 func (w *remoteWorker) OpenBlock(a *la.CSR) (core.BlockSession, error) {
-	// Serialize the block once; every sweep reuses the encoded matrix.
-	// The peer's session cache recognizes the fingerprint on call 2+ and
-	// adopts the resident programming, so only the first call pays
-	// configuration cost.
+	// Serialize the block once; the first sweep ships it in full and the
+	// serving node implicitly registers it, so every later sweep sends
+	// only the fingerprint and the items — O(n·items) per sweep instead
+	// of O(nnz). The peer's session cache recognizes the fingerprint on
+	// call 2+ and adopts the resident programming, so only the first call
+	// pays configuration cost too.
 	n := a.Dim()
 	entries := make([]serve.Entry, 0, a.NNZ())
 	for i := 0; i < n; i++ {
@@ -116,22 +118,31 @@ func (w *remoteWorker) OpenBlock(a *la.CSR) (core.BlockSession, error) {
 			entries = append(entries, serve.Entry{Row: i, Col: j, Val: v})
 		})
 	}
-	return &remoteSession{w: w, n: n, entries: entries}, nil
+	return &remoteSession{w: w, n: n, entries: entries, fp: serve.FormatFingerprint(la.Fingerprint(a))}, nil
 }
 
 type remoteSession struct {
 	w       *remoteWorker
 	n       int
 	entries []serve.Entry
+	fp      string
+	// registered flips after a full send succeeds; later sweeps go by
+	// reference. The engine drives each session from one goroutine, so no
+	// locking.
+	registered bool
 }
 
 // SolveBatchRefinedItems implements core.BlockSession over the wire.
 func (s *remoteSession) SolveBatchRefinedItems(ctx context.Context, items []core.BatchItem, opt core.SolveOptions) ([]la.Vector, []core.Stats, []float64, error) {
 	req := serve.BlockSolveRequest{
 		N:     s.n,
-		A:     s.entries,
 		Items: make([]serve.BlockWireItem, len(items)),
 		Opt:   serve.BlockOptionsFromCore(opt),
+	}
+	if s.registered {
+		req.Fingerprint = s.fp
+	} else {
+		req.A = s.entries
 	}
 	for i, it := range items {
 		req.Items[i] = serve.BlockWireItem{
@@ -149,6 +160,14 @@ func (s *remoteSession) SolveBatchRefinedItems(ctx context.Context, items []core
 		s.w.metrics.BlockScatter(len(items))
 	}
 	resp, err := s.w.client.SolveBlock(ctx, req)
+	if err != nil && s.registered && serve.IsUnknownOperator(err) {
+		// The peer evicted (or restarted since) the block: fall back to
+		// one full send, which re-registers it for the next sweep.
+		s.registered = false
+		req.Fingerprint = ""
+		req.A = s.entries
+		resp, err = s.w.client.SolveBlock(ctx, req)
+	}
 	if err != nil {
 		if s.w.members != nil {
 			s.w.members.MarkUnhealthy(s.w.addr)
@@ -158,6 +177,7 @@ func (s *remoteSession) SolveBatchRefinedItems(ctx context.Context, items []core
 		}
 		return nil, nil, nil, fmt.Errorf("federation: block solve on %s: %w", s.w.addr, err)
 	}
+	s.registered = true
 	if len(resp.Results) != len(items) {
 		return nil, nil, nil, fmt.Errorf("federation: peer %s answered %d results for %d items", s.w.addr, len(resp.Results), len(items))
 	}

@@ -1,0 +1,207 @@
+package federation
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"analogacc/internal/la"
+	"analogacc/internal/serve"
+)
+
+// TestFederationRegisterOnceSolveByRefAnywhere is the cross-node
+// register-then-solve contract: an operator registered through any entry
+// node lands on its rendezvous owner, and a later by-reference solve
+// entering through a *different* node routes on the fingerprint alone —
+// no matrix bytes on the wire — and answers bit-identically to the
+// by-value solve.
+func TestFederationRegisterOnceSolveByRefAnywhere(t *testing.T) {
+	nodes := newCluster(t, 3, testPool(), false)
+	ctx := context.Background()
+	req := OperatorRequest(5, 8, 1e-8)
+	owner := ownerIndex(t, nodes, req)
+	entry1 := (owner + 1) % 3
+	entry2 := (owner + 2) % 3
+
+	// By-value baseline through one entry node.
+	byVal, err := nodes[entry1].client.Solve(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Register through a non-owner entry: the router forwards the upload
+	// to the affinity owner, and only the owner becomes resident.
+	info, err := nodes[entry1].client.RegisterOperator(ctx, serve.OperatorRequest{N: req.N, A: req.A})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ServedBy != fmt.Sprintf("node%d", owner) {
+		t.Fatalf("registration landed on %q, want owner node%d", info.ServedBy, owner)
+	}
+	for i, nd := range nodes {
+		want := 0
+		if i == owner {
+			want = 1
+		}
+		if got := nd.server.Snapshot().RegistryOps; got != want {
+			t.Fatalf("node%d holds %d operators, want %d (registration must route, not broadcast)", i, got, want)
+		}
+	}
+
+	// Solve by reference through the other entry node. The request body
+	// carries no matrix, yet it still reaches the owner by fingerprint.
+	refReq := serve.SolveRequest{Fingerprint: info.Fingerprint, B: req.B, Tol: req.Tol}
+	raw, err := json.Marshal(refReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), `"A"`) {
+		t.Fatal("by-ref request still carries matrix entries")
+	}
+	byRef, err := nodes[entry2].client.Solve(ctx, refReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byRef.ServedBy != fmt.Sprintf("node%d", owner) {
+		t.Fatalf("by-ref solve served by %q, want owner node%d", byRef.ServedBy, owner)
+	}
+	if byRef.Affinity != RouteHit {
+		t.Fatalf("by-ref solve affinity %q, want %q", byRef.Affinity, RouteHit)
+	}
+	for i := range byVal.U {
+		if byRef.U[i] != byVal.U[i] {
+			t.Fatalf("u[%d]: by-ref %v, by-value %v — cross-node by-ref must be bit-identical", i, byRef.U[i], byVal.U[i])
+		}
+	}
+	// The owner's registry saw the hit.
+	if snap := nodes[owner].server.Snapshot(); snap.RegistryHits < 1 {
+		t.Fatalf("owner registry hits = %d after a by-ref solve", snap.RegistryHits)
+	}
+
+	// A by-ref solve against an unknown fingerprint surfaces the stable
+	// unknown_operator code through the router (non-retriable — only the
+	// client can fix it by registering).
+	_, err = nodes[entry2].client.Solve(ctx, serve.SolveRequest{Fingerprint: "deadbeef", B: req.B})
+	if !serve.IsUnknownOperator(err) {
+		t.Fatalf("unknown fingerprint answered %v, want unknown_operator", err)
+	}
+}
+
+// TestFederationSolveOperatorClientPath drives the MultiClient
+// register-and-retry wrapper against a cluster: one registration,
+// repeated by-ref solves, all landing on the operator's owner.
+func TestFederationSolveOperatorClientPath(t *testing.T) {
+	nodes := newCluster(t, 3, testPool(), false)
+	ctx := context.Background()
+	req := OperatorRequest(7, 8, 1e-8)
+	a, b, err := req.BuildSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mc, err := NewMultiClient(memberURLs(nodes), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, _, err := mc.Solve(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	op := serve.PrepareOperator(a)
+	solveReq := serve.SolveRequest{B: []float64(b), Tol: req.Tol}
+	for i := 0; i < 3; i++ {
+		resp, _, err := mc.SolveOperator(ctx, op, solveReq)
+		if err != nil {
+			t.Fatalf("solve %d: %v", i, err)
+		}
+		for k := range baseline.U {
+			if resp.U[k] != baseline.U[k] {
+				t.Fatalf("solve %d diverged at u[%d]", i, k)
+			}
+		}
+	}
+	// Exactly one node became resident, and repeat solves hit it.
+	resident := 0
+	for _, nd := range nodes {
+		if nd.server.Snapshot().RegistryOps > 0 {
+			resident++
+		}
+	}
+	if resident != 1 {
+		t.Fatalf("%d nodes hold the operator, want exactly 1", resident)
+	}
+}
+
+// TestPeerBlockByReference exercises the scatter-gather wire format
+// directly: a full block send implicitly registers the operator, a
+// by-reference sweep answers identically, and an unknown fingerprint
+// bounces with unknown_operator so the provider can fall back to a full
+// resend.
+func TestPeerBlockByReference(t *testing.T) {
+	s, err := serve.New(serve.Config{Pool: testPool(), JobWorkers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	cl := serve.NewClient(ts.URL)
+	ctx := context.Background()
+
+	full := serve.BlockSolveRequest{
+		N: 4,
+		A: []serve.Entry{
+			{Row: 0, Col: 0, Val: 4}, {Row: 0, Col: 1, Val: -1},
+			{Row: 1, Col: 0, Val: -1}, {Row: 1, Col: 1, Val: 4}, {Row: 1, Col: 2, Val: -1},
+			{Row: 2, Col: 1, Val: -1}, {Row: 2, Col: 2, Val: 4}, {Row: 2, Col: 3, Val: -1},
+			{Row: 3, Col: 2, Val: -1}, {Row: 3, Col: 3, Val: 4},
+		},
+		Items: []serve.BlockWireItem{{RHS: []float64{1, 2, 3, 4}}},
+		Opt:   serve.BlockOptions{Tolerance: 1e-9},
+	}
+	// Unknown fingerprint first: stable 404 so callers can resend.
+	_, err = cl.SolveBlock(ctx, serve.BlockSolveRequest{
+		N: 4, Fingerprint: "deadbeef", Items: full.Items, Opt: full.Opt,
+	})
+	if !serve.IsUnknownOperator(err) {
+		t.Fatalf("unknown block fingerprint answered %v, want unknown_operator", err)
+	}
+	// Both forms at once is a 400.
+	both := full
+	both.Fingerprint = "deadbeef"
+	_, err = cl.SolveBlock(ctx, both)
+	var re *serve.RemoteError
+	if !errors.As(err, &re) || re.Code != serve.CodeBadRequest {
+		t.Fatalf("both-forms block answered %v, want bad_request", err)
+	}
+
+	fullResp, err := cl.SolveBlock(ctx, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The full send registered the block; solve it by reference now.
+	a, _, err := (&serve.SolveRequest{N: full.N, A: full.A, B: full.Items[0].RHS}).BuildSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byRef := serve.BlockSolveRequest{
+		N:           4,
+		Fingerprint: serve.FormatFingerprint(la.Fingerprint(a)),
+		Items:       full.Items,
+		Opt:         full.Opt,
+	}
+	refResp, err := cl.SolveBlock(ctx, byRef)
+	if err != nil {
+		t.Fatalf("by-ref block after implicit registration: %v", err)
+	}
+	for i := range fullResp.Results[0].U {
+		if refResp.Results[0].U[i] != fullResp.Results[0].U[i] {
+			t.Fatalf("u[%d]: by-ref block %v, full block %v", i, refResp.Results[0].U[i], fullResp.Results[0].U[i])
+		}
+	}
+}

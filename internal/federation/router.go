@@ -78,6 +78,7 @@ func NewRouter(cfg Config, s *serve.Server) *Router {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", rt.handleSolve)
 	mux.HandleFunc("POST /v1/solve/batch", rt.handleSolveBatch)
+	mux.HandleFunc("PUT /v1/operators", rt.handleOperatorPut)
 	mux.HandleFunc("GET /metrics", rt.handleMetrics)
 	mux.Handle("/", s.Handler())
 	rt.handler = mux
@@ -130,21 +131,32 @@ func (rt *Router) route(fp uint64) (target, label string, next []string) {
 	return rt.cfg.Self, RouteFallback, nil
 }
 
-func decodeJSON[T any](w http.ResponseWriter, r *http.Request, maxBytes int64, req *T) bool {
-	r.Body = http.MaxBytesReader(w, r.Body, maxBytes)
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(req); err != nil {
+// decode strictly unmarshals a request body through serve.DecodeRequest
+// (so gzip uploads work on routed endpoints exactly as on a standalone
+// node) and books the wire bytes on the wrapped server's per-route
+// histogram — routed requests bypass the server's own handlers.
+func (rt *Router) decode(w http.ResponseWriter, r *http.Request, route string, req any) bool {
+	n, err := serve.DecodeRequest(w, r, 32<<20, req)
+	rt.server.Metrics().ObserveRequestBytes(route, n)
+	if err != nil {
 		writeJSONStatus(w, http.StatusBadRequest, serve.ErrorResponse{Code: serve.CodeBadRequest, Error: "decoding request: " + err.Error()})
 		return false
 	}
 	return true
 }
 
-func writeJSONStatus(w http.ResponseWriter, status int, v any) {
+// writeJSONStatus writes one JSON body and returns its byte count (for
+// the response-size histograms; error paths ignore it).
+func writeJSONStatus(w http.ResponseWriter, status int, v any) int {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return 0
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(data)
+	return len(data)
 }
 
 // writeClientErr translates a forward's client-side error into the same
@@ -179,9 +191,24 @@ func retriable(err error) bool {
 	return true // transport-level failure
 }
 
+// requestFingerprint resolves the routing fingerprint of one solve: a
+// by-reference request's fingerprint parses straight off the wire —
+// routing never touches a matrix body — and a by-value request hashes
+// its built matrix as before.
+func requestFingerprint(ref string, build func() (*la.CSR, error)) (uint64, error) {
+	if ref != "" {
+		return serve.ParseFingerprint(ref)
+	}
+	a, err := build()
+	if err != nil {
+		return 0, err
+	}
+	return la.Fingerprint(a), nil
+}
+
 func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
 	var req serve.SolveRequest
-	if !decodeJSON(w, r, 32<<20, &req) {
+	if !rt.decode(w, r, "solve", &req) {
 		return
 	}
 	// A request a peer already routed is served here unconditionally —
@@ -195,12 +222,14 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeJSONStatus(w, http.StatusOK, resp)
 		return
 	}
-	a, _, err := req.BuildSystem()
+	fp, err := requestFingerprint(req.Fingerprint, func() (*la.CSR, error) {
+		a, _, err := req.BuildSystem()
+		return a, err
+	})
 	if err != nil {
 		writeJSONStatus(w, http.StatusBadRequest, serve.ErrorResponse{Code: serve.CodeBadRequest, Error: err.Error()})
 		return
 	}
-	fp := la.Fingerprint(a)
 	target, label, next := rt.route(fp)
 	start := time.Now()
 	for {
@@ -212,14 +241,70 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
 			}
 			resp.Affinity = label
 			rt.metrics.Routed(label, time.Since(start))
-			writeJSONStatus(w, http.StatusOK, resp)
+			rt.server.Metrics().ObserveResponseBytes("solve", int64(writeJSONStatus(w, http.StatusOK, resp)))
 			return
 		}
 		resp, err := rt.members.Client(target).Solve(r.Context(), req)
 		if err == nil {
 			resp.Affinity = label
 			rt.metrics.Routed(label, time.Since(start))
-			writeJSONStatus(w, http.StatusOK, resp)
+			rt.server.Metrics().ObserveResponseBytes("solve", int64(writeJSONStatus(w, http.StatusOK, resp)))
+			return
+		}
+		rt.metrics.ForwardError()
+		// An unknown_operator answer is a 4xx and surfaces here: only the
+		// client can re-register (it holds the matrix; this router never
+		// saw more than the fingerprint).
+		if !retriable(err) || r.Context().Err() != nil {
+			writeClientErr(w, err)
+			return
+		}
+		rt.members.MarkUnhealthy(target)
+		target, label = rt.nextTarget(&next)
+	}
+}
+
+func (rt *Router) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
+	var req serve.BatchSolveRequest
+	if !rt.decode(w, r, "solve_batch", &req) {
+		return
+	}
+	if r.Header.Get(serve.ForwardedHeader) != "" {
+		resp, aerr := rt.server.SolveBatchDecoded(r.Context(), &req)
+		if aerr != nil {
+			rt.server.WriteAPIError(w, aerr)
+			return
+		}
+		writeJSONStatus(w, http.StatusOK, resp)
+		return
+	}
+	fp, err := requestFingerprint(req.Fingerprint, func() (*la.CSR, error) {
+		a, _, err := req.BuildSystem()
+		return a, err
+	})
+	if err != nil {
+		writeJSONStatus(w, http.StatusBadRequest, serve.ErrorResponse{Code: serve.CodeBadRequest, Error: err.Error()})
+		return
+	}
+	target, label, next := rt.route(fp)
+	start := time.Now()
+	for {
+		if target == rt.cfg.Self {
+			resp, aerr := rt.server.SolveBatchDecoded(r.Context(), &req)
+			if aerr != nil {
+				rt.server.WriteAPIError(w, aerr)
+				return
+			}
+			resp.Affinity = label
+			rt.metrics.Routed(label, time.Since(start))
+			rt.server.Metrics().ObserveResponseBytes("solve_batch", int64(writeJSONStatus(w, http.StatusOK, resp)))
+			return
+		}
+		resp, err := rt.members.Client(target).SolveBatch(r.Context(), req)
+		if err == nil {
+			resp.Affinity = label
+			rt.metrics.Routed(label, time.Since(start))
+			rt.server.Metrics().ObserveResponseBytes("solve_batch", int64(writeJSONStatus(w, http.StatusOK, resp)))
 			return
 		}
 		rt.metrics.ForwardError()
@@ -232,45 +317,43 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (rt *Router) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
-	var req serve.BatchSolveRequest
-	if !decodeJSON(w, r, 32<<20, &req) {
+// handleOperatorPut routes a registration to the fingerprint's
+// rendezvous owner, so the operator lands exactly where later
+// by-reference solves for it will route. Forwarded registrations (and
+// self-owned ones) register locally.
+func (rt *Router) handleOperatorPut(w http.ResponseWriter, r *http.Request) {
+	var req serve.OperatorRequest
+	if !rt.decode(w, r, "operators", &req) {
 		return
 	}
 	if r.Header.Get(serve.ForwardedHeader) != "" {
-		resp, aerr := rt.server.SolveBatchDecoded(r.Context(), &req)
+		info, aerr := rt.server.RegisterOperatorDecoded(&req)
 		if aerr != nil {
 			rt.server.WriteAPIError(w, aerr)
 			return
 		}
-		writeJSONStatus(w, http.StatusOK, resp)
+		writeJSONStatus(w, http.StatusOK, info)
 		return
 	}
-	a, _, err := req.BuildSystem()
+	a, err := req.Build()
 	if err != nil {
 		writeJSONStatus(w, http.StatusBadRequest, serve.ErrorResponse{Code: serve.CodeBadRequest, Error: err.Error()})
 		return
 	}
-	fp := la.Fingerprint(a)
-	target, label, next := rt.route(fp)
-	start := time.Now()
+	target, _, next := rt.route(la.Fingerprint(a))
 	for {
 		if target == rt.cfg.Self {
-			resp, aerr := rt.server.SolveBatchDecoded(r.Context(), &req)
+			info, aerr := rt.server.RegisterOperatorDecoded(&req)
 			if aerr != nil {
 				rt.server.WriteAPIError(w, aerr)
 				return
 			}
-			resp.Affinity = label
-			rt.metrics.Routed(label, time.Since(start))
-			writeJSONStatus(w, http.StatusOK, resp)
+			rt.server.Metrics().ObserveResponseBytes("operators", int64(writeJSONStatus(w, http.StatusOK, info)))
 			return
 		}
-		resp, err := rt.members.Client(target).SolveBatch(r.Context(), req)
+		info, err := rt.members.Client(target).RegisterOperator(r.Context(), req)
 		if err == nil {
-			resp.Affinity = label
-			rt.metrics.Routed(label, time.Since(start))
-			writeJSONStatus(w, http.StatusOK, resp)
+			rt.server.Metrics().ObserveResponseBytes("operators", int64(writeJSONStatus(w, http.StatusOK, info)))
 			return
 		}
 		rt.metrics.ForwardError()
@@ -279,7 +362,7 @@ func (rt *Router) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		rt.members.MarkUnhealthy(target)
-		target, label = rt.nextTarget(&next)
+		target, _ = rt.nextTarget(&next)
 	}
 }
 

@@ -2,9 +2,12 @@ package serve
 
 import (
 	"bytes"
+	"compress/gzip"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 )
 
@@ -38,31 +41,78 @@ func putBuf(b *bytes.Buffer) {
 }
 
 // writeJSON encodes v through a pooled buffer and writes it as one
-// Content-Length-framed body.
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// Content-Length-framed body, returning the body's byte count (the
+// response-size histograms' input).
+func writeJSON(w http.ResponseWriter, status int, v any) int {
 	buf := getBuf()
 	defer putBuf(buf)
 	if err := json.NewEncoder(buf).Encode(v); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
+		return 0
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(status)
 	_, _ = w.Write(buf.Bytes())
+	return buf.Len()
 }
 
-// decodeJSON strictly unmarshals a request body (already size-capped by
-// MaxBytesReader) into v, staging the bytes through a pooled buffer.
-func decodeJSON(r *http.Request, v any) error {
+// DecodeRequest strictly unmarshals one JSON request body into v,
+// transparently inflating Content-Encoding: gzip uploads. limit bounds
+// both the wire bytes (via MaxBytesReader, so oversized bodies close the
+// connection properly) and the inflated size — a compressed body may not
+// expand past what an uncompressed one could carry. The returned count is
+// the wire (possibly compressed) byte size, which is what the
+// request-size histograms observe. Exported so the federation router
+// decodes exactly like the server it fronts.
+func DecodeRequest(w http.ResponseWriter, r *http.Request, limit int64, v any) (int64, error) {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
 	buf := getBuf()
 	defer putBuf(buf)
 	if _, err := buf.ReadFrom(r.Body); err != nil {
-		return err
+		return 0, err
 	}
-	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	wire := int64(buf.Len())
+	data := buf.Bytes()
+	if strings.EqualFold(r.Header.Get("Content-Encoding"), "gzip") {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return wire, fmt.Errorf("serve: gzip request body: %w", err)
+		}
+		inflated := getBuf()
+		defer putBuf(inflated)
+		// Read one byte past the limit so "exactly at" and "over" are
+		// distinguishable without trusting the gzip size trailer.
+		if _, err := inflated.ReadFrom(&limitedReader{r: zr, n: limit + 1}); err != nil {
+			return wire, fmt.Errorf("serve: inflating request body: %w", err)
+		}
+		if int64(inflated.Len()) > limit {
+			return wire, fmt.Errorf("serve: gzip request body inflates past the %d byte limit", limit)
+		}
+		data = inflated.Bytes()
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
-	return dec.Decode(v)
+	return wire, dec.Decode(v)
+}
+
+// limitedReader is io.LimitedReader without the io import dance: reads at
+// most n bytes, then reports EOF.
+type limitedReader struct {
+	r interface{ Read([]byte) (int, error) }
+	n int64
+}
+
+func (l *limitedReader) Read(p []byte) (int, error) {
+	if l.n <= 0 {
+		return 0, fmt.Errorf("serve: body limit reached")
+	}
+	if int64(len(p)) > l.n {
+		p = p[:l.n]
+	}
+	n, err := l.r.Read(p)
+	l.n -= int64(n)
+	return n, err
 }
 
 // solveRespPool recycles SolveResponse structs for the synchronous HTTP

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"errors"
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"analogacc/internal/jobs"
+	"analogacc/internal/la"
 )
 
 // sharedTransport is the one keep-alive-tuned transport every Client
@@ -82,6 +84,13 @@ type Client struct {
 	// (read via ConnStats).
 	connNew    atomic.Int64
 	connReused atomic.Int64
+
+	// regSeen caches which operator fingerprints this endpoint has
+	// acknowledged, so EnsureOperator costs nothing warm. A racing pair
+	// of goroutines may both register — registration is idempotent, so
+	// the duplicate is one wasted small RTT, not an error.
+	regMu   sync.Mutex
+	regSeen map[uint64]bool
 }
 
 // NewClient accepts "host:port" or a full http(s) URL.
@@ -144,11 +153,22 @@ func (c *Client) traceCtx(ctx context.Context) context.Context {
 	})
 }
 
+// gzipMinBytes is the encoded-body size above which the client
+// compresses uploads. Below it the gzip header and flush overhead eats
+// the win; above it (cold registrations of large operators, dense batch
+// bodies) compression is nearly free CPU against real wire bytes.
+const gzipMinBytes = 16 << 10
+
+// gzipWriterPool recycles client-side compressors (Reset per use).
+var gzipWriterPool = sync.Pool{New: func() any { return gzip.NewWriter(io.Discard) }}
+
 // do runs one JSON round trip: in (if non-nil) is the request body, out
-// (if non-nil) decodes the answer. 429s become *BusyError, other non-2xx
+// (if non-nil) decodes the answer. Bodies over gzipMinBytes are sent
+// with Content-Encoding: gzip. 429s become *BusyError, other non-2xx
 // answers *RemoteError with the server's stable code preserved.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
 	var body io.Reader
+	gzipped := false
 	if in != nil {
 		// Encode through a pooled buffer; the transport is done reading the
 		// body (including any GetBody re-sends) by the time Do returns, so
@@ -158,7 +178,24 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if err := json.NewEncoder(buf).Encode(in); err != nil {
 			return fmt.Errorf("serve: encoding request: %w", err)
 		}
-		body = bytes.NewReader(buf.Bytes())
+		if buf.Len() >= gzipMinBytes {
+			zbuf := getBuf()
+			defer putBuf(zbuf)
+			zw := gzipWriterPool.Get().(*gzip.Writer)
+			zw.Reset(zbuf)
+			_, werr := zw.Write(buf.Bytes())
+			cerr := zw.Close()
+			gzipWriterPool.Put(zw)
+			// Compression failing, or not shrinking the body, just falls
+			// back to the plain send.
+			if werr == nil && cerr == nil && zbuf.Len() < buf.Len() {
+				body = bytes.NewReader(zbuf.Bytes())
+				gzipped = true
+			}
+		}
+		if body == nil {
+			body = bytes.NewReader(buf.Bytes())
+		}
 	}
 	httpReq, err := http.NewRequestWithContext(c.traceCtx(ctx), method, c.BaseURL+path, body)
 	if err != nil {
@@ -166,6 +203,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 	if in != nil {
 		httpReq.Header.Set("Content-Type", "application/json")
+		if gzipped {
+			httpReq.Header.Set("Content-Encoding", "gzip")
+		}
 	}
 	if c.Tenant != "" {
 		httpReq.Header.Set("X-Alad-Tenant", c.Tenant)
@@ -252,6 +292,130 @@ func (c *Client) Solve(ctx context.Context, req SolveRequest) (*SolveResponse, e
 func (c *Client) SolveBatch(ctx context.Context, req BatchSolveRequest) (*BatchSolveResponse, error) {
 	var out BatchSolveResponse
 	if err := c.doRetry(ctx, http.MethodPost, "/v1/solve/batch", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// PreparedOperator pairs a matrix's wire fingerprint with the upload
+// body that registers it, computed once and reused across every solve
+// and every endpoint. Build with PrepareOperator.
+type PreparedOperator struct {
+	// FP is the wire (hex) fingerprint solves reference.
+	FP string
+	// N and NNZ echo what the registry will report back.
+	N   int
+	NNZ int
+
+	fp  uint64
+	reg OperatorRequest
+}
+
+// PrepareOperator fingerprints and encodes a matrix for by-reference
+// solving.
+func PrepareOperator(a *la.CSR) *PreparedOperator {
+	fp := la.Fingerprint(a)
+	return &PreparedOperator{
+		FP:  FormatFingerprint(fp),
+		N:   a.Dim(),
+		NNZ: a.NNZ(),
+		fp:  fp,
+		reg: OperatorRequest{N: a.Dim(), A: MatrixEntries(a)},
+	}
+}
+
+// Fingerprint is the operator's numeric fingerprint (federation ranking).
+func (p *PreparedOperator) Fingerprint() uint64 { return p.fp }
+
+// RegisterOperator uploads one operator (PUT /v1/operators) and returns
+// the registry's record of it.
+func (c *Client) RegisterOperator(ctx context.Context, req OperatorRequest) (*OperatorInfo, error) {
+	var out OperatorInfo
+	if err := c.doRetry(ctx, http.MethodPut, "/v1/operators", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// EnsureOperator registers op with this endpoint unless a previous call
+// already saw it accepted there — the warm path costs nothing.
+func (c *Client) EnsureOperator(ctx context.Context, op *PreparedOperator) error {
+	c.regMu.Lock()
+	seen := c.regSeen[op.fp]
+	c.regMu.Unlock()
+	if seen {
+		return nil
+	}
+	if _, err := c.RegisterOperator(ctx, op.reg); err != nil {
+		return err
+	}
+	c.regMu.Lock()
+	if c.regSeen == nil {
+		c.regSeen = make(map[uint64]bool)
+	}
+	c.regSeen[op.fp] = true
+	c.regMu.Unlock()
+	return nil
+}
+
+// forgetOperator drops the seen mark after an unknown_operator answer
+// (the server evicted or restarted since we registered).
+func (c *Client) forgetOperator(fp uint64) {
+	c.regMu.Lock()
+	delete(c.regSeen, fp)
+	c.regMu.Unlock()
+}
+
+// IsUnknownOperator reports whether err is the server's stable
+// unknown_operator answer (the operator is not in its registry).
+func IsUnknownOperator(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && re.Code == CodeUnknownOperator
+}
+
+// SolveOperator solves by reference: req's matrix forms are replaced by
+// op's fingerprint, so the warm path is one small O(n) round trip. Cold
+// endpoints (or ones that evicted the operator) are handled
+// transparently — register, then retry once — for two RTTs total.
+func (c *Client) SolveOperator(ctx context.Context, op *PreparedOperator, req SolveRequest) (*SolveResponse, error) {
+	req.Fingerprint = op.FP
+	req.N, req.A, req.System, req.MatrixMarket = 0, nil, "", ""
+	if err := c.EnsureOperator(ctx, op); err != nil {
+		return nil, err
+	}
+	resp, err := c.Solve(ctx, req)
+	if IsUnknownOperator(err) {
+		c.forgetOperator(op.fp)
+		if rerr := c.EnsureOperator(ctx, op); rerr != nil {
+			return nil, rerr
+		}
+		return c.Solve(ctx, req)
+	}
+	return resp, err
+}
+
+// SolveBatchOperator is SolveOperator's multi-RHS counterpart.
+func (c *Client) SolveBatchOperator(ctx context.Context, op *PreparedOperator, req BatchSolveRequest) (*BatchSolveResponse, error) {
+	req.Fingerprint = op.FP
+	req.N, req.A, req.System, req.MatrixMarket = 0, nil, "", ""
+	if err := c.EnsureOperator(ctx, op); err != nil {
+		return nil, err
+	}
+	resp, err := c.SolveBatch(ctx, req)
+	if IsUnknownOperator(err) {
+		c.forgetOperator(op.fp)
+		if rerr := c.EnsureOperator(ctx, op); rerr != nil {
+			return nil, rerr
+		}
+		return c.SolveBatch(ctx, req)
+	}
+	return resp, err
+}
+
+// ListOperators fetches the endpoint's resident operators, MRU first.
+func (c *Client) ListOperators(ctx context.Context) (*OperatorListResponse, error) {
+	var out OperatorListResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/operators", nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

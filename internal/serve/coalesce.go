@@ -310,9 +310,11 @@ func (c *coalescer) run(g *wave) {
 
 // runSolveCoalesced is runSolve's analog arm when coalescing is enabled:
 // enroll, wait for the lane result, and render it with the solo path's
-// exact metrics and error mapping plus wave provenance.
-func (s *Server) runSolveCoalesced(ctx context.Context, backend string, a *la.CSR, b la.Vector, tol float64) (*SolveResponse, *APIError) {
-	key := waveKey{fp: la.Fingerprint(a), n: a.Dim(), backend: backend, tol: tol}
+// exact metrics and error mapping plus wave provenance. The caller
+// supplies the operator fingerprint (parsed off a by-reference request,
+// or hashed from a by-value matrix) so waves key without re-hashing.
+func (s *Server) runSolveCoalesced(ctx context.Context, backend string, fp uint64, a *la.CSR, b la.Vector, tol float64) (*SolveResponse, *APIError) {
+	key := waveKey{fp: fp, n: a.Dim(), backend: backend, tol: tol}
 	s.metrics.SolveStarted()
 	start := time.Now()
 	r, ok := s.coalesce.solve(ctx, key, a, b)

@@ -123,9 +123,10 @@ func jobFingerprint(kind, backend string, tol float64, a *la.CSR, rhs []la.Vecto
 // the synchronous path — but here a retry is the client's choice, not
 // its only option: accepted work survives overload and restarts.
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var req JobSubmitRequest
-	if err := decodeJSON(r, &req); err != nil {
+	nreq, err := DecodeRequest(w, r, s.cfg.MaxBodyBytes, &req)
+	s.metrics.ObserveRequestBytes("jobs", nreq)
+	if err != nil {
 		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "decoding request: %v", err)
 		return
 	}
@@ -158,10 +159,13 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 				"unknown backend %q (known: %s)", req.Solve.Backend, cli.BackendUsage())
 			return
 		}
-		a, b, err := req.Solve.BuildSystem()
-		if err != nil {
-			s.writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		a, b, opFP, byRef, aerr := s.resolveSolve(req.Solve)
+		if aerr != nil {
+			s.WriteAPIError(w, aerr)
 			return
+		}
+		if !byRef {
+			opFP = la.Fingerprint(a)
 		}
 		tol := req.Solve.Tol
 		if tol <= 0 {
@@ -174,7 +178,24 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			// the coalescer as one lane wave (fingerprint-sticky
 			// scheduling). Digital solves gain nothing from waves, so
 			// they keep affinity 0 (FIFO).
-			affinity = la.Fingerprint(a)
+			affinity = opFP
+		}
+		// Persist the reference, not the matrix: a by-value submission
+		// registers its operator (journaled beside the WAL) and the job
+		// payload shrinks from O(nnz) to O(n) — crash replay re-resolves
+		// through the registry journal. If the operator exceeds the
+		// registry cap, keep the fat by-value payload: durability wins.
+		if !byRef {
+			if _, _, rerr := s.registry.register(a); rerr == nil {
+				req.Solve = &SolveRequest{
+					Backend:     req.Solve.Backend,
+					Fingerprint: FormatFingerprint(opFP),
+					B:           []float64(b),
+					Tol:         req.Solve.Tol,
+					TimeoutMs:   req.Solve.TimeoutMs,
+					Workers:     req.Solve.Workers,
+				}
+			}
 		}
 		payload, err = json.Marshal(req.Solve)
 		if err != nil {
@@ -191,10 +212,13 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 				"backend %q cannot run batch jobs", req.Batch.Backend)
 			return
 		}
-		a, rhs, err := req.Batch.BuildSystem()
-		if err != nil {
-			s.writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		a, rhs, opFP, byRef, aerr := s.resolveBatch(req.Batch)
+		if aerr != nil {
+			s.WriteAPIError(w, aerr)
 			return
+		}
+		if !byRef {
+			opFP = la.Fingerprint(a)
 		}
 		if len(rhs) > s.cfg.MaxBatchRHS {
 			s.writeError(w, http.StatusBadRequest, CodeBadRequest,
@@ -206,6 +230,19 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			tol = s.cfg.Tol
 		}
 		fp = jobFingerprint(kind, req.Batch.Backend, tol, a, rhs)
+		// Same O(nnz)→O(n·rhs) payload shrink as the solve branch.
+		if !byRef {
+			if _, _, rerr := s.registry.register(a); rerr == nil {
+				req.Batch = &BatchSolveRequest{
+					Backend:     req.Batch.Backend,
+					Fingerprint: FormatFingerprint(opFP),
+					RHS:         req.Batch.RHS,
+					Tol:         req.Batch.Tol,
+					MaxLanes:    req.Batch.MaxLanes,
+					TimeoutMs:   req.Batch.TimeoutMs,
+				}
+			}
+		}
 		payload, err = json.Marshal(req.Batch)
 		if err != nil {
 			s.writeError(w, http.StatusInternalServerError, CodeInternal, "%v", err)
@@ -228,7 +265,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusInternalServerError, CodeInternal, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, jobStatus(j))
+	s.metrics.ObserveResponseBytes("jobs", int64(writeJSON(w, http.StatusAccepted, jobStatus(j))))
 }
 
 // handleJobGet answers a job's status; ?wait=<duration> long-polls

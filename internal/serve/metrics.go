@@ -88,14 +88,40 @@ type Metrics struct {
 	// (async-job executions): queue depth alone understates load when the
 	// job queue drains waves, so federation peer stats add this in.
 	detachedLanes atomic.Int64
+
+	// Wire-size histograms, one per route. The maps are built once in
+	// NewMetrics and never mutated after, so lookups are lock-free; the
+	// histograms make the by-reference byte win observable on /metrics,
+	// not just in BENCH_9.
+	byteBounds []float64
+	reqBytes   map[string]*byteHist
+	respBytes  map[string]*byteHist
+
+	// Registration latency histogram (registry PUTs, same second bounds
+	// as request latency).
+	regCounts []atomic.Int64
+	regSum    atomic.Int64 // microseconds
+	regN      atomic.Int64
 }
+
+// byteHist is one route's body-size histogram (bytes, le-buckets + +Inf).
+type byteHist struct {
+	counts []atomic.Int64
+	sum    atomic.Int64
+	n      atomic.Int64
+}
+
+// byteRoutes are the labeled wire paths. Fixed at build time so the
+// histogram maps stay read-only under concurrency.
+var byteRoutes = []string{"solve", "solve_batch", "operators", "jobs", "peer_block"}
 
 // NewMetrics returns a zeroed metrics set.
 func NewMetrics() *Metrics {
 	bounds := []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
 	waveBounds := []float64{1, 2, 4, 8, 16}
 	waitBounds := []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025}
-	return &Metrics{
+	byteBounds := []float64{256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304}
+	m := &Metrics{
 		start:       time.Now(),
 		solves:      make(map[string]int64),
 		latBounds:   bounds,
@@ -105,7 +131,57 @@ func NewMetrics() *Metrics {
 		waveCounts:  make([]atomic.Int64, len(waveBounds)+1),
 		waitBounds:  waitBounds,
 		waitCounts:  make([]atomic.Int64, len(waitBounds)+1),
+		byteBounds:  byteBounds,
+		reqBytes:    make(map[string]*byteHist, len(byteRoutes)),
+		respBytes:   make(map[string]*byteHist, len(byteRoutes)),
+		regCounts:   make([]atomic.Int64, len(bounds)+1),
 	}
+	for _, route := range byteRoutes {
+		m.reqBytes[route] = &byteHist{counts: make([]atomic.Int64, len(byteBounds)+1)}
+		m.respBytes[route] = &byteHist{counts: make([]atomic.Int64, len(byteBounds)+1)}
+	}
+	return m
+}
+
+// ObserveRequestBytes records one request body's wire size (compressed,
+// when the upload was gzipped — it measures bytes moved, not bytes
+// parsed). Unknown routes are dropped rather than grown: the maps are
+// lock-free because their shape is fixed.
+func (m *Metrics) ObserveRequestBytes(route string, n int64) {
+	if h, ok := m.reqBytes[route]; ok {
+		h.observe(m.byteBounds, n)
+	}
+}
+
+// ObserveResponseBytes records one response body's wire size.
+func (m *Metrics) ObserveResponseBytes(route string, n int64) {
+	if h, ok := m.respBytes[route]; ok {
+		h.observe(m.byteBounds, n)
+	}
+}
+
+func (h *byteHist) observe(bounds []float64, n int64) {
+	i := sort.SearchFloat64s(bounds, float64(n))
+	h.counts[i].Add(1)
+	h.sum.Add(n)
+	h.n.Add(1)
+}
+
+// RequestBytes reads one route's request-byte total and observation count
+// (tests, BENCH_9 assertions).
+func (m *Metrics) RequestBytes(route string) (sum, count int64) {
+	if h, ok := m.reqBytes[route]; ok {
+		return h.sum.Load(), h.n.Load()
+	}
+	return 0, 0
+}
+
+// ObserveRegistration records one operator registration's latency.
+func (m *Metrics) ObserveRegistration(d time.Duration) {
+	i := sort.SearchFloat64s(m.latBounds, d.Seconds())
+	m.regCounts[i].Add(1)
+	m.regSum.Add(d.Microseconds())
+	m.regN.Add(1)
 }
 
 // Rejected records one 429.
@@ -280,6 +356,16 @@ type Snapshot struct {
 	SessionCacheInvalidations int64 `json:"session_cache_invalidations_total"`
 	SessionCacheResident      int   `json:"session_cache_resident"`
 
+	// Operator registry: resident occupancy plus lifetime traffic. A warm
+	// by-reference fleet shows hits ≫ registrations; a thrashing byte cap
+	// shows evictions climbing with misses.
+	RegistryOps           int   `json:"registry_operators"`
+	RegistryBytes         int64 `json:"registry_bytes"`
+	RegistryHits          int64 `json:"registry_hits_total"`
+	RegistryMisses        int64 `json:"registry_misses_total"`
+	RegistryEvictions     int64 `json:"registry_evictions_total"`
+	RegistryRegistrations int64 `json:"registry_registrations_total"`
+
 	// Jobs snapshots the async queue: state gauges (queued…cancelled)
 	// plus lifetime counters for submissions, completions, lease
 	// expiries, journal replay, dedup hits, and WAL size.
@@ -295,8 +381,9 @@ type Snapshot struct {
 }
 
 // snapshot collects everything except the histogram (which only the text
-// format renders). queueDepth, pool, and jq are sampled by the caller.
-func (m *Metrics) snapshot(queueDepth int, pool *Pool, jq *jobs.Queue) Snapshot {
+// format renders). queueDepth, pool, jq, and reg are sampled by the
+// caller.
+func (m *Metrics) snapshot(queueDepth int, pool *Pool, jq *jobs.Queue, reg *opRegistry) Snapshot {
 	s := Snapshot{
 		UptimeSeconds:    time.Since(m.start).Seconds(),
 		QueueDepth:       queueDepth,
@@ -346,6 +433,13 @@ func (m *Metrics) snapshot(queueDepth int, pool *Pool, jq *jobs.Queue) Snapshot 
 	if jq != nil {
 		s.Jobs = jq.Stats()
 	}
+	if reg != nil {
+		s.RegistryOps, s.RegistryBytes = reg.stats()
+		s.RegistryHits = reg.hits.Load()
+		s.RegistryMisses = reg.misses.Load()
+		s.RegistryEvictions = reg.evictions.Load()
+		s.RegistryRegistrations = reg.registrations.Load()
+	}
 	s.Goroutines = runtime.NumGoroutine()
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
@@ -357,8 +451,8 @@ func (m *Metrics) snapshot(queueDepth int, pool *Pool, jq *jobs.Queue) Snapshot 
 }
 
 // writeTo renders the Prometheus text format.
-func (m *Metrics) writeTo(w io.Writer, queueDepth int, pool *Pool, jq *jobs.Queue) {
-	s := m.snapshot(queueDepth, pool, jq)
+func (m *Metrics) writeTo(w io.Writer, queueDepth int, pool *Pool, jq *jobs.Queue, reg *opRegistry) {
+	s := m.snapshot(queueDepth, pool, jq, reg)
 	fmt.Fprintf(w, "# TYPE alad_uptime_seconds gauge\nalad_uptime_seconds %g\n", s.UptimeSeconds)
 	fmt.Fprintf(w, "# TYPE alad_queue_depth gauge\nalad_queue_depth %d\n", s.QueueDepth)
 	fmt.Fprintf(w, "# TYPE alad_inflight gauge\nalad_inflight %d\n", s.InFlight)
@@ -470,4 +564,39 @@ func (m *Metrics) writeTo(w io.Writer, queueDepth int, pool *Pool, jq *jobs.Queu
 	fmt.Fprintf(w, "alad_coalesce_wait_seconds_bucket{le=\"+Inf\"} %d\n", cum)
 	fmt.Fprintf(w, "alad_coalesce_wait_seconds_sum %g\n", float64(m.waitSum.Load())/1e6)
 	fmt.Fprintf(w, "alad_coalesce_wait_seconds_count %d\n", m.waitN.Load())
+	fmt.Fprintf(w, "# TYPE alad_registry_operators gauge\nalad_registry_operators %d\n", s.RegistryOps)
+	fmt.Fprintf(w, "# TYPE alad_registry_bytes gauge\nalad_registry_bytes %d\n", s.RegistryBytes)
+	fmt.Fprintf(w, "# TYPE alad_registry_hits_total counter\nalad_registry_hits_total %d\n", s.RegistryHits)
+	fmt.Fprintf(w, "# TYPE alad_registry_misses_total counter\nalad_registry_misses_total %d\n", s.RegistryMisses)
+	fmt.Fprintf(w, "# TYPE alad_registry_evictions_total counter\nalad_registry_evictions_total %d\n", s.RegistryEvictions)
+	fmt.Fprintf(w, "# TYPE alad_registry_registrations_total counter\nalad_registry_registrations_total %d\n", s.RegistryRegistrations)
+	fmt.Fprint(w, "# TYPE alad_registry_register_seconds histogram\n")
+	cum = 0
+	for i, bound := range m.latBounds {
+		cum += m.regCounts[i].Load()
+		fmt.Fprintf(w, "alad_registry_register_seconds_bucket{le=\"%g\"} %d\n", bound, cum)
+	}
+	cum += m.regCounts[len(m.latBounds)].Load()
+	fmt.Fprintf(w, "alad_registry_register_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "alad_registry_register_seconds_sum %g\n", float64(m.regSum.Load())/1e6)
+	fmt.Fprintf(w, "alad_registry_register_seconds_count %d\n", m.regN.Load())
+	m.writeByteHists(w, "alad_request_bytes", m.reqBytes)
+	m.writeByteHists(w, "alad_response_bytes", m.respBytes)
+}
+
+// writeByteHists renders one direction's per-route body-size histograms.
+func (m *Metrics) writeByteHists(w io.Writer, name string, hists map[string]*byteHist) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	for _, route := range byteRoutes {
+		h := hists[route]
+		var cum int64
+		for i, bound := range m.byteBounds {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(w, "%s_bucket{route=%q,le=\"%g\"} %d\n", name, route, bound, cum)
+		}
+		cum += h.counts[len(m.byteBounds)].Load()
+		fmt.Fprintf(w, "%s_bucket{route=%q,le=\"+Inf\"} %d\n", name, route, cum)
+		fmt.Fprintf(w, "%s_sum{route=%q} %d\n", name, route, h.sum.Load())
+		fmt.Fprintf(w, "%s_count{route=%q} %d\n", name, route, h.n.Load())
+	}
 }

@@ -121,15 +121,20 @@ type BlockWireItem struct {
 }
 
 // BlockSolveRequest is POST /v1/peer/block: solve every item against the
-// block matrix (structured triplets, duplicates sum), keeping the matrix
-// resident on the serving chip between calls — the entry node sends the
-// same matrix each sweep and the pool's session cache adopts it.
+// block matrix, keeping the matrix resident on the serving chip between
+// calls. The matrix arrives either by value (structured triplets,
+// duplicates sum — the serving node implicitly registers it) or by
+// reference (Fingerprint of a block sent in full on an earlier sweep):
+// the entry node ships each sub-block operator once, then every later
+// sweep carries only items. An unknown fingerprint answers 404
+// unknown_operator and the caller falls back to a full send.
 type BlockSolveRequest struct {
-	N         int             `json:"n"`
-	A         []Entry         `json:"A"`
-	Items     []BlockWireItem `json:"items"`
-	Opt       BlockOptions    `json:"opt"`
-	TimeoutMs int             `json:"timeout_ms,omitempty"`
+	N           int             `json:"n"`
+	A           []Entry         `json:"A,omitempty"`
+	Fingerprint string          `json:"fingerprint,omitempty"`
+	Items       []BlockWireItem `json:"items"`
+	Opt         BlockOptions    `json:"opt"`
+	TimeoutMs   int             `json:"timeout_ms,omitempty"`
 }
 
 // BlockWireResult is one item's answer.
@@ -156,9 +161,10 @@ type BlockSolveResponse struct {
 }
 
 func (s *Server) handlePeerBlock(w http.ResponseWriter, r *http.Request) {
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var req BlockSolveRequest
-	if err := decodeJSON(r, &req); err != nil {
+	n, err := DecodeRequest(w, r, s.cfg.MaxBodyBytes, &req)
+	s.metrics.ObserveRequestBytes("peer_block", n)
+	if err != nil {
 		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "decoding request: %v", err)
 		return
 	}
@@ -167,7 +173,7 @@ func (s *Server) handlePeerBlock(w http.ResponseWriter, r *http.Request) {
 		s.WriteAPIError(w, aerr)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.metrics.ObserveResponseBytes("peer_block", int64(writeJSON(w, http.StatusOK, resp)))
 }
 
 // solveBlock runs one peer block batch. It deliberately bypasses the
@@ -177,8 +183,12 @@ func (s *Server) handlePeerBlock(w http.ResponseWriter, r *http.Request) {
 // is the bounding resource, and Checkout blocks under the request
 // deadline like any local solve.
 func (s *Server) solveBlock(ctx context.Context, req *BlockSolveRequest) (*BlockSolveResponse, *APIError) {
-	if req.N <= 0 || len(req.A) == 0 {
-		return nil, apiErrorf(http.StatusBadRequest, CodeBadRequest, "block request needs n > 0 and matrix entries in A")
+	if req.N <= 0 {
+		return nil, apiErrorf(http.StatusBadRequest, CodeBadRequest, "block request needs n > 0")
+	}
+	if (len(req.A) == 0) == (req.Fingerprint == "") {
+		return nil, apiErrorf(http.StatusBadRequest, CodeBadRequest,
+			"block request needs exactly one of matrix entries in A, fingerprint")
 	}
 	if len(req.Items) == 0 {
 		return nil, apiErrorf(http.StatusBadRequest, CodeBadRequest, "block request needs at least one item")
@@ -187,13 +197,37 @@ func (s *Server) solveBlock(ctx context.Context, req *BlockSolveRequest) (*Block
 		return nil, apiErrorf(http.StatusBadRequest, CodeBadRequest,
 			"block batch of %d items exceeds the server limit %d", len(req.Items), s.cfg.MaxBatchRHS)
 	}
-	entries := make([]la.COOEntry, len(req.A))
-	for i, e := range req.A {
-		entries[i] = la.COOEntry{Row: e.Row, Col: e.Col, Val: e.Val}
-	}
-	a, err := la.NewCSR(req.N, entries)
-	if err != nil {
-		return nil, apiErrorf(http.StatusBadRequest, CodeBadRequest, "%v", err)
+	var a *la.CSR
+	if req.Fingerprint != "" {
+		fp, err := ParseFingerprint(req.Fingerprint)
+		if err != nil {
+			return nil, apiErrorf(http.StatusBadRequest, CodeBadRequest, "%v", err)
+		}
+		blk, ok := s.registry.lookup(fp)
+		if !ok {
+			return nil, apiErrorf(http.StatusNotFound, CodeUnknownOperator,
+				"block operator %s is not registered on this node; resend the full block", req.Fingerprint)
+		}
+		if blk.Dim() != req.N {
+			return nil, apiErrorf(http.StatusBadRequest, CodeBadRequest,
+				"block operator %s has order %d, request says %d", req.Fingerprint, blk.Dim(), req.N)
+		}
+		a = blk
+	} else {
+		entries := make([]la.COOEntry, len(req.A))
+		for i, e := range req.A {
+			entries[i] = la.COOEntry{Row: e.Row, Col: e.Col, Val: e.Val}
+		}
+		built, err := la.NewCSR(req.N, entries)
+		if err != nil {
+			return nil, apiErrorf(http.StatusBadRequest, CodeBadRequest, "%v", err)
+		}
+		a = built
+		// Implicit registration: the entry node's next sweep can go by
+		// reference. Oversized blocks simply stay by-value (error ignored
+		// on purpose — registration is an optimization here, not a
+		// precondition).
+		_, _, _ = s.registry.register(a)
 	}
 	items := make([]core.BatchItem, len(req.Items))
 	for i, it := range req.Items {

@@ -1,0 +1,355 @@
+package serve
+
+import (
+	"bytes"
+	"container/list"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"analogacc/internal/la"
+)
+
+// The operator registry. The paper's economics make programming the
+// operator a one-time static cost — but the wire path re-shipped the full
+// O(nnz) matrix JSON on every request even when the chip pool already held
+// it programmed. The registry closes that gap one level above the pool:
+// PUT /v1/operators uploads a matrix once into a bounded, byte-capped LRU
+// store keyed by la.Fingerprint, and every later solve references it by
+// fingerprint alone, shrinking warm-path requests to O(n) (the right-hand
+// side) regardless of sparsity.
+//
+// The registry and the pool's session cache are deliberately independent
+// tiers: the registry holds *parsed matrices* (cheap DRAM, hundreds of
+// operators), the session cache holds *programmed configurations* (scarce
+// chips, a handful). An operator evicted from the registry may still be
+// resident on a chip, and vice versa; a by-reference solve needs only the
+// registry hit — the pool then finds or rebuilds the programming as usual.
+//
+// When the server runs with a durable job store, the registry journals
+// registrations beside it (JobStore + ".ops") so crash replay of
+// by-reference job payloads re-resolves: the WAL frame holds O(n), the
+// operator store holds the O(nnz) matrix exactly once.
+
+// opsMagic heads the registry journal; bump it on any frame format change.
+const opsMagic = "ALADOPS1"
+
+// errRegistryCapacity marks an operator whose cost alone exceeds the
+// registry byte cap; the API maps it to 413.
+var errRegistryCapacity = errors.New("serve: operator exceeds the registry byte cap")
+
+// opEntry is one resident operator.
+type opEntry struct {
+	fp    uint64
+	a     *la.CSR
+	bytes int64
+	elem  *list.Element
+}
+
+// opRegistry is the bounded LRU operator store. Safe for concurrent use.
+type opRegistry struct {
+	maxOps   int
+	maxBytes int64
+
+	mu    sync.Mutex
+	ops   map[uint64]*opEntry
+	lru   *list.List // front = most recently used
+	bytes int64
+
+	// Journal (nil when the registry is memory-only). appends counts
+	// records written since the last compaction; when it exceeds
+	// 2×maxOps the journal is rewritten with only the survivors.
+	journal *os.File
+	path    string
+	appends int
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	evictions     atomic.Int64
+	registrations atomic.Int64
+}
+
+// operatorCost estimates resident bytes for one parsed operator: CSR
+// values+indices plus row pointers plus bookkeeping.
+func operatorCost(a *la.CSR) int64 {
+	return 16*int64(a.NNZ()) + 8*int64(a.Dim()+1) + 96
+}
+
+// openRegistry builds the registry, replaying (and compacting) the
+// journal at path when non-empty.
+func openRegistry(maxOps int, maxBytes int64, path string) (*opRegistry, error) {
+	r := &opRegistry{
+		maxOps:   maxOps,
+		maxBytes: maxBytes,
+		ops:      make(map[uint64]*opEntry),
+		lru:      list.New(),
+		path:     path,
+	}
+	if path == "" {
+		return r, nil
+	}
+	if err := r.replay(); err != nil {
+		return nil, err
+	}
+	// Boot compaction: rewrite the journal with only the operators that
+	// survived the caps, dropping torn tails and evicted duplicates.
+	if err := r.compactLocked(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	r.journal = f
+	return r, nil
+}
+
+// wireOperator is the journal payload: the matrix in triplet form. The
+// fingerprint is recomputed on load, never trusted from disk.
+type wireOperator struct {
+	N int     `json:"n"`
+	A []Entry `json:"A"`
+}
+
+// replay loads every intact journal frame, registering each operator
+// through the normal LRU path (caps apply — a journal larger than the
+// store keeps only the most recently appended survivors). A torn or
+// corrupt tail ends the replay silently: everything before it is good,
+// and the boot compaction rewrites the file without it.
+func (r *opRegistry) replay() error {
+	raw, err := os.ReadFile(r.path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if len(raw) < len(opsMagic) || string(raw[:len(opsMagic)]) != opsMagic {
+		return nil // unknown or empty file: start fresh, compaction rewrites it
+	}
+	raw = raw[len(opsMagic):]
+	for len(raw) >= 8 {
+		size := binary.LittleEndian.Uint32(raw[0:4])
+		sum := binary.LittleEndian.Uint32(raw[4:8])
+		if int(size) > len(raw)-8 {
+			break // torn tail
+		}
+		payload := raw[8 : 8+size]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		raw = raw[8+size:]
+		var op wireOperator
+		if json.Unmarshal(payload, &op) != nil {
+			continue
+		}
+		entries := make([]la.COOEntry, len(op.A))
+		for i, e := range op.A {
+			entries[i] = la.COOEntry{Row: e.Row, Col: e.Col, Val: e.Val}
+		}
+		a, err := la.NewCSR(op.N, entries)
+		if err != nil {
+			continue
+		}
+		r.insert(la.Fingerprint(a), a) // journal == nil: no re-append
+	}
+	return nil
+}
+
+// register adds (or refreshes) an operator and reports whether it was
+// already resident. An operator whose cost alone exceeds the byte cap is
+// rejected — the caller maps that to 413.
+func (r *opRegistry) register(a *la.CSR) (fp uint64, existed bool, err error) {
+	fp = la.Fingerprint(a)
+	cost := operatorCost(a)
+	if cost > r.maxBytes {
+		return fp, false, fmt.Errorf("%w: operator is %d bytes, cap is %d", errRegistryCapacity, cost, r.maxBytes)
+	}
+	r.mu.Lock()
+	if e, ok := r.ops[fp]; ok {
+		r.lru.MoveToFront(e.elem)
+		r.mu.Unlock()
+		return fp, true, nil
+	}
+	r.insert(fp, a)
+	r.registrations.Add(1)
+	jerr := r.appendLocked(a)
+	r.mu.Unlock()
+	return fp, false, jerr
+}
+
+// insert adds one operator under r.mu (or before concurrency exists, in
+// replay) and evicts LRU entries until both caps hold again.
+func (r *opRegistry) insert(fp uint64, a *la.CSR) {
+	if e, ok := r.ops[fp]; ok {
+		r.lru.MoveToFront(e.elem)
+		return
+	}
+	e := &opEntry{fp: fp, a: a, bytes: operatorCost(a)}
+	if e.bytes > r.maxBytes {
+		return
+	}
+	e.elem = r.lru.PushFront(e)
+	r.ops[fp] = e
+	r.bytes += e.bytes
+	for (len(r.ops) > r.maxOps || r.bytes > r.maxBytes) && r.lru.Len() > 1 {
+		victim := r.lru.Back().Value.(*opEntry)
+		r.lru.Remove(victim.elem)
+		delete(r.ops, victim.fp)
+		r.bytes -= victim.bytes
+		r.evictions.Add(1)
+	}
+}
+
+// lookup resolves a fingerprint to its parsed matrix, refreshing its LRU
+// position.
+func (r *opRegistry) lookup(fp uint64) (*la.CSR, bool) {
+	r.mu.Lock()
+	e, ok := r.ops[fp]
+	if ok {
+		r.lru.MoveToFront(e.elem)
+	}
+	r.mu.Unlock()
+	if ok {
+		r.hits.Add(1)
+		return e.a, true
+	}
+	r.misses.Add(1)
+	return nil, false
+}
+
+// stats snapshots occupancy (resident operators, resident bytes).
+func (r *opRegistry) stats() (ops int, resident int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ops), r.bytes
+}
+
+// residents snapshots the resident operators, most recently used first.
+func (r *opRegistry) residents() []OperatorInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]OperatorInfo, 0, r.lru.Len())
+	for el := r.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*opEntry)
+		out = append(out, OperatorInfo{
+			Fingerprint: FormatFingerprint(e.fp),
+			N:           e.a.Dim(),
+			NNZ:         e.a.NNZ(),
+			Bytes:       e.bytes,
+		})
+	}
+	return out
+}
+
+// appendLocked journals one new registration (r.mu held). Registrations
+// are rare relative to solves, so each one is flushed durably; when the
+// journal accumulates more than 2×maxOps records it is compacted to the
+// survivors.
+func (r *opRegistry) appendLocked(a *la.CSR) error {
+	if r.journal == nil {
+		return nil
+	}
+	frame, err := encodeOperatorFrame(a)
+	if err != nil {
+		return err
+	}
+	if _, err := r.journal.Write(frame); err != nil {
+		return err
+	}
+	if err := r.journal.Sync(); err != nil {
+		return err
+	}
+	r.appends++
+	if r.appends > 2*r.maxOps {
+		if err := r.compactLocked(); err != nil {
+			return err
+		}
+		f, err := os.OpenFile(r.path, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+		if err != nil {
+			return err
+		}
+		r.journal.Close()
+		r.journal = f
+	}
+	return nil
+}
+
+func encodeOperatorFrame(a *la.CSR) ([]byte, error) {
+	payload, err := json.Marshal(wireOperator{N: a.Dim(), A: MatrixEntries(a)})
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	buf.Write(hdr[:])
+	buf.Write(payload)
+	return buf.Bytes(), nil
+}
+
+// compactLocked rewrites the journal with only the resident operators,
+// LRU-last so a replay that hits the caps keeps the hottest entries:
+// tmp → fsync → rename, the same crash discipline as the jobs WAL.
+func (r *opRegistry) compactLocked() error {
+	if r.path == "" {
+		return nil
+	}
+	tmp := r.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	w := io.Writer(f)
+	if _, err := w.Write([]byte(opsMagic)); err != nil {
+		f.Close()
+		return err
+	}
+	// Back-to-front: replay registers in file order, so the MRU entry is
+	// appended last and survives any cap squeeze.
+	for el := r.lru.Back(); el != nil; el = el.Prev() {
+		frame, err := encodeOperatorFrame(el.Value.(*opEntry).a)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := w.Write(frame); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, r.path); err != nil {
+		return err
+	}
+	r.appends = 0
+	return nil
+}
+
+// close flushes and closes the journal.
+func (r *opRegistry) close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.journal == nil {
+		return nil
+	}
+	err := r.journal.Sync()
+	if cerr := r.journal.Close(); err == nil {
+		err = cerr
+	}
+	r.journal = nil
+	return err
+}

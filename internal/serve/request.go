@@ -13,6 +13,7 @@ package serve
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"analogacc/internal/la"
@@ -26,13 +27,19 @@ type Entry struct {
 }
 
 // SolveRequest asks the service to solve A·u = b. Exactly one of the
-// three payload forms must be present:
+// four payload forms must be present:
 //
 //   - structured: N, A (triplets, duplicates sum) and B;
 //   - System: a raw triplet-format file (la.ReadSystem), carrying both A
 //     and b — B, if also set, overrides the file's right-hand side;
 //   - MatrixMarket: a raw MatrixMarket coordinate file carrying A; B is
-//     the right-hand side (default: all ones).
+//     the right-hand side (default: all ones);
+//   - Fingerprint: a by-reference solve against an operator previously
+//     uploaded via PUT /v1/operators — the request carries only the hex
+//     fingerprint and B (default: all ones), so warm-path requests stay
+//     O(n) no matter how dense the matrix. An unregistered fingerprint
+//     answers 404 with the stable code "unknown_operator"; clients
+//     register-and-retry (serve.Client does this transparently).
 type SolveRequest struct {
 	// Backend selects the solver (default "analog-refined"); see
 	// cli.Backends for the registry.
@@ -44,6 +51,11 @@ type SolveRequest struct {
 
 	System       string `json:"system,omitempty"`
 	MatrixMarket string `json:"matrix_market,omitempty"`
+
+	// Fingerprint is the by-reference form: the hex la.Fingerprint of a
+	// registered operator (hex because JSON numbers are float64 and
+	// cannot carry a full uint64 — the PeerResident convention).
+	Fingerprint string `json:"fingerprint,omitempty"`
 
 	// Tol is the convergence / refinement tolerance (default 1e-8).
 	Tol float64 `json:"tol,omitempty"`
@@ -57,8 +69,11 @@ type SolveRequest struct {
 	Workers int `json:"workers,omitempty"`
 }
 
-// BuildSystem materializes the request's system in whichever form it was
-// sent. Errors are client errors (HTTP 400).
+// BuildSystem materializes the request's system in whichever by-value
+// form it was sent. Errors are client errors (HTTP 400). By-reference
+// (fingerprint) requests cannot be built standalone — only the server's
+// registry can resolve them — so they error here; server paths route
+// through Server.resolveSolve instead.
 func (r *SolveRequest) BuildSystem() (*la.CSR, la.Vector, error) {
 	forms := 0
 	if len(r.A) > 0 || r.N > 0 {
@@ -70,8 +85,14 @@ func (r *SolveRequest) BuildSystem() (*la.CSR, la.Vector, error) {
 	if r.MatrixMarket != "" {
 		forms++
 	}
+	if r.Fingerprint != "" {
+		if forms > 0 {
+			return nil, nil, fmt.Errorf("serve: request carries both a fingerprint reference and a by-value matrix; send exactly one")
+		}
+		return nil, nil, fmt.Errorf("serve: by-reference request (fingerprint %s) needs server-side registry resolution", r.Fingerprint)
+	}
 	if forms != 1 {
-		return nil, nil, fmt.Errorf("serve: request must carry exactly one of (n,A,b), system, matrix_market; got %d forms", forms)
+		return nil, nil, fmt.Errorf("serve: request must carry exactly one of (n,A,b), system, matrix_market, fingerprint; got %d forms", forms)
 	}
 	switch {
 	case r.System != "":
@@ -137,6 +158,9 @@ type BatchSolveRequest struct {
 	System       string `json:"system,omitempty"`
 	MatrixMarket string `json:"matrix_market,omitempty"`
 
+	// Fingerprint is the by-reference form: see SolveRequest.Fingerprint.
+	Fingerprint string `json:"fingerprint,omitempty"`
+
 	// RHS is the batch: one right-hand side per row.
 	RHS [][]float64 `json:"rhs"`
 
@@ -154,7 +178,7 @@ type BatchSolveRequest struct {
 // BuildSystem materializes the batch request's matrix and right-hand
 // sides. Errors are client errors (HTTP 400).
 func (r *BatchSolveRequest) BuildSystem() (*la.CSR, []la.Vector, error) {
-	sr := SolveRequest{N: r.N, A: r.A, System: r.System, MatrixMarket: r.MatrixMarket}
+	sr := SolveRequest{N: r.N, A: r.A, System: r.System, MatrixMarket: r.MatrixMarket, Fingerprint: r.Fingerprint}
 	if sr.N > 0 {
 		// Satisfy the single-solve form's b-length check; the batch
 		// carries its right-hand sides in RHS.
@@ -269,6 +293,12 @@ type BatchSolveResponse struct {
 	// ServedBy / Affinity: see SolveResponse.
 	ServedBy string `json:"served_by,omitempty"`
 	Affinity string `json:"affinity,omitempty"`
+	// Coalesced / WaveLanes report intra-batch lane sharing: WaveLanes is
+	// the widest lane wave any item settled in, Coalesced whether at
+	// least two right-hand sides shared a wave. Provenance only — answers
+	// are bit-identical at any lane width.
+	Coalesced bool `json:"coalesced,omitempty"`
+	WaveLanes int  `json:"wave_lanes,omitempty"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx answer.
@@ -298,4 +328,76 @@ const (
 	CodeQuota = "quota"
 	// CodeNotFound marks an unknown job ID.
 	CodeNotFound = "not_found"
+	// CodeUnknownOperator marks a by-reference request whose fingerprint
+	// is not in this node's operator registry (never uploaded, or
+	// evicted). Stable so clients can register-and-retry.
+	CodeUnknownOperator = "unknown_operator"
 )
+
+// OperatorRequest registers a matrix in the operator registry
+// (PUT /v1/operators). The matrix arrives in any of SolveRequest's
+// by-value forms; a system file's right-hand side is ignored.
+type OperatorRequest struct {
+	N int     `json:"n,omitempty"`
+	A []Entry `json:"A,omitempty"`
+
+	System       string `json:"system,omitempty"`
+	MatrixMarket string `json:"matrix_market,omitempty"`
+}
+
+// Build materializes the operator's matrix. Errors are client errors.
+func (r *OperatorRequest) Build() (*la.CSR, error) {
+	sr := SolveRequest{N: r.N, A: r.A, System: r.System, MatrixMarket: r.MatrixMarket}
+	if sr.N > 0 {
+		// Satisfy the solve form's b-length check; operators carry no
+		// right-hand side.
+		sr.B = make([]float64, sr.N)
+	}
+	a, _, err := sr.BuildSystem()
+	return a, err
+}
+
+// OperatorInfo describes one registered operator: the fingerprint every
+// later by-reference solve cites, plus dims and resident cost.
+type OperatorInfo struct {
+	Fingerprint string `json:"fingerprint"`
+	N           int    `json:"n"`
+	NNZ         int    `json:"nnz"`
+	Bytes       int64  `json:"bytes"`
+	// Existed marks an idempotent re-registration: the operator was
+	// already resident (its LRU position was refreshed).
+	Existed  bool   `json:"existed,omitempty"`
+	ServedBy string `json:"served_by,omitempty"`
+}
+
+// OperatorListResponse answers GET /v1/operators: resident operators
+// (most recently used first) and the store's occupancy against its caps.
+type OperatorListResponse struct {
+	Operators []OperatorInfo `json:"operators"`
+	Bytes     int64          `json:"bytes"`
+	MaxOps    int            `json:"max_operators"`
+	MaxBytes  int64          `json:"max_bytes"`
+}
+
+// FormatFingerprint renders a matrix fingerprint in the wire form (hex).
+func FormatFingerprint(fp uint64) string { return strconv.FormatUint(fp, 16) }
+
+// ParseFingerprint parses the wire (hex) form of a matrix fingerprint.
+func ParseFingerprint(s string) (uint64, error) {
+	fp, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("serve: bad fingerprint %q: %w", s, err)
+	}
+	return fp, nil
+}
+
+// MatrixEntries serializes a CSR into the wire triplet form, row-major.
+func MatrixEntries(a *la.CSR) []Entry {
+	entries := make([]Entry, 0, a.NNZ())
+	for i := 0; i < a.Dim(); i++ {
+		a.VisitRow(i, func(j int, v float64) {
+			entries = append(entries, Entry{Row: i, Col: j, Val: v})
+		})
+	}
+	return entries
+}

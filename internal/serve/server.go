@@ -74,6 +74,15 @@ type Config struct {
 	// executing each job (zero in production; crash tests use it to pin
 	// a job mid-flight deterministically).
 	JobExecDelay time.Duration
+
+	// RegistryMaxOps caps resident operators in the registry (default
+	// 256); RegistryMaxBytes caps their estimated resident bytes
+	// (default 256 MiB). LRU operators evict first when either cap is
+	// exceeded. When JobStore is set the registry journals registrations
+	// beside it (JobStore + ".ops") so by-reference job payloads
+	// re-resolve after a crash.
+	RegistryMaxOps   int
+	RegistryMaxBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -110,6 +119,12 @@ func (c Config) withDefaults() Config {
 	if c.JobRetainDone <= 0 {
 		c.JobRetainDone = 512
 	}
+	if c.RegistryMaxOps <= 0 {
+		c.RegistryMaxOps = 256
+	}
+	if c.RegistryMaxBytes <= 0 {
+		c.RegistryMaxBytes = 256 << 20
+	}
 	return c
 }
 
@@ -130,6 +145,10 @@ type Server struct {
 	// leased jobs on the same dispatch as the synchronous handlers.
 	jobs    *jobs.Queue
 	workers *jobs.Workers
+
+	// registry is the operator store behind PUT /v1/operators: matrices
+	// upload once, then solves reference them by fingerprint.
+	registry *opRegistry
 
 	// draining flips when a shutdown begins: /readyz answers 503 from
 	// then on so federation peers stop routing new work here, while
@@ -173,6 +192,16 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CoalesceWindow > 0 {
 		s.coalesce = newCoalescer(s, cfg.CoalesceWindow)
 	}
+	// The registry opens before the job queue: crash replay of
+	// by-reference job payloads resolves operators through it.
+	opsPath := ""
+	if cfg.JobStore != "" {
+		opsPath = cfg.JobStore + ".ops"
+	}
+	s.registry, err = openRegistry(cfg.RegistryMaxOps, cfg.RegistryMaxBytes, opsPath)
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening operator registry: %w", err)
+	}
 	s.jobs, err = jobs.Open(jobs.Config{
 		Path:        cfg.JobStore,
 		LeaseTTL:    cfg.JobLeaseTTL,
@@ -189,6 +218,8 @@ func New(cfg Config) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("POST /v1/solve/batch", s.handleSolveBatch)
+	mux.HandleFunc("PUT /v1/operators", s.handleOperatorPut)
+	mux.HandleFunc("GET /v1/operators", s.handleOperatorList)
 	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
@@ -238,7 +269,7 @@ func (s *Server) SetDecompProvider(p core.SessionProvider) { s.decompProvider = 
 
 // Snapshot returns the full metrics snapshot (expvar publishing).
 func (s *Server) Snapshot() Snapshot {
-	return s.metrics.snapshot(s.QueueDepth(), s.pool, s.jobs)
+	return s.metrics.snapshot(s.QueueDepth(), s.pool, s.jobs, s.registry)
 }
 
 // PauseJobs stops the job queue from leasing new work; already-leased
@@ -269,7 +300,11 @@ func (s *Server) Close() error {
 		cancel()
 		s.workers = nil
 	}
-	return s.jobs.Close()
+	err := s.registry.close()
+	if jerr := s.jobs.Close(); err == nil {
+		err = jerr
+	}
+	return err
 }
 
 func (s *Server) writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
@@ -344,7 +379,7 @@ func (s *Server) handleBackends(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.writeTo(w, s.QueueDepth(), s.pool, s.jobs)
+	s.metrics.writeTo(w, s.QueueDepth(), s.pool, s.jobs, s.registry)
 }
 
 // APIError is a solve failure in API terms: the HTTP status the
@@ -416,9 +451,10 @@ func (s *Server) SolveDecoded(ctx context.Context, req *SolveRequest) (*SolveRes
 // backpressured) → run under deadline → respond. The solve itself lives
 // in runSolve, shared with the async executor.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var req SolveRequest
-	if err := decodeJSON(r, &req); err != nil {
+	n, err := DecodeRequest(w, r, s.cfg.MaxBodyBytes, &req)
+	s.metrics.ObserveRequestBytes("solve", n)
+	if err != nil {
 		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "decoding request: %v", err)
 		return
 	}
@@ -427,8 +463,82 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.WriteAPIError(w, aerr)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.metrics.ObserveResponseBytes("solve", int64(writeJSON(w, http.StatusOK, resp)))
 	releaseSolveResponse(resp)
+}
+
+// resolveSolve materializes one solve request's system. By-value forms
+// build exactly as before; the by-reference form resolves the fingerprint
+// through the operator registry, with a missing operator answered by the
+// stable unknown_operator code so clients can register-and-retry. byRef
+// reports which path ran (the fingerprint is only trustworthy when true).
+func (s *Server) resolveSolve(req *SolveRequest) (a *la.CSR, b la.Vector, fp uint64, byRef bool, aerr *APIError) {
+	if req.Fingerprint == "" {
+		a, b, err := req.BuildSystem()
+		if err != nil {
+			return nil, nil, 0, false, apiErrorf(http.StatusBadRequest, CodeBadRequest, "%v", err)
+		}
+		return a, b, 0, false, nil
+	}
+	if req.N > 0 || len(req.A) > 0 || req.System != "" || req.MatrixMarket != "" {
+		return nil, nil, 0, false, apiErrorf(http.StatusBadRequest, CodeBadRequest,
+			"request carries both a fingerprint reference and a by-value matrix; send exactly one")
+	}
+	fp, err := ParseFingerprint(req.Fingerprint)
+	if err != nil {
+		return nil, nil, 0, false, apiErrorf(http.StatusBadRequest, CodeBadRequest, "%v", err)
+	}
+	a, ok := s.registry.lookup(fp)
+	if !ok {
+		return nil, nil, 0, false, apiErrorf(http.StatusNotFound, CodeUnknownOperator,
+			"operator %s is not registered on this node; PUT /v1/operators and retry", req.Fingerprint)
+	}
+	b = la.Constant(a.Dim(), 1)
+	if len(req.B) > 0 {
+		if len(req.B) != a.Dim() {
+			return nil, nil, 0, false, apiErrorf(http.StatusBadRequest, CodeBadRequest,
+				"b has %d values, operator %s order is %d", len(req.B), req.Fingerprint, a.Dim())
+		}
+		b = la.Vector(req.B)
+	}
+	return a, b, fp, true, nil
+}
+
+// resolveBatch is resolveSolve's multi-RHS counterpart.
+func (s *Server) resolveBatch(req *BatchSolveRequest) (a *la.CSR, rhs []la.Vector, fp uint64, byRef bool, aerr *APIError) {
+	if req.Fingerprint == "" {
+		a, rhs, err := req.BuildSystem()
+		if err != nil {
+			return nil, nil, 0, false, apiErrorf(http.StatusBadRequest, CodeBadRequest, "%v", err)
+		}
+		return a, rhs, 0, false, nil
+	}
+	if req.N > 0 || len(req.A) > 0 || req.System != "" || req.MatrixMarket != "" {
+		return nil, nil, 0, false, apiErrorf(http.StatusBadRequest, CodeBadRequest,
+			"request carries both a fingerprint reference and a by-value matrix; send exactly one")
+	}
+	fp, err := ParseFingerprint(req.Fingerprint)
+	if err != nil {
+		return nil, nil, 0, false, apiErrorf(http.StatusBadRequest, CodeBadRequest, "%v", err)
+	}
+	a, ok := s.registry.lookup(fp)
+	if !ok {
+		return nil, nil, 0, false, apiErrorf(http.StatusNotFound, CodeUnknownOperator,
+			"operator %s is not registered on this node; PUT /v1/operators and retry", req.Fingerprint)
+	}
+	if len(req.RHS) == 0 {
+		return nil, nil, 0, false, apiErrorf(http.StatusBadRequest, CodeBadRequest,
+			"batch request needs at least one right-hand side in rhs")
+	}
+	rhs = make([]la.Vector, len(req.RHS))
+	for k, row := range req.RHS {
+		if len(row) != a.Dim() {
+			return nil, nil, 0, false, apiErrorf(http.StatusBadRequest, CodeBadRequest,
+				"rhs %d has %d values, operator %s order is %d", k, len(row), req.Fingerprint, a.Dim())
+		}
+		rhs[k] = la.Vector(row)
+	}
+	return a, rhs, fp, true, nil
 }
 
 // runSolve validates, builds, and executes one solve request. It is the
@@ -446,9 +556,9 @@ func (s *Server) runSolve(ctx context.Context, req *SolveRequest) (*SolveRespons
 		return nil, apiErrorf(http.StatusBadRequest, CodeBadBackend,
 			"unknown backend %q (known: %s)", req.Backend, cli.BackendUsage())
 	}
-	a, b, err := req.BuildSystem()
-	if err != nil {
-		return nil, apiErrorf(http.StatusBadRequest, CodeBadRequest, "%v", err)
+	a, b, fp, byRef, aerr := s.resolveSolve(req)
+	if aerr != nil {
+		return nil, aerr
 	}
 
 	params := cli.SolveParams{Tol: req.Tol, ADCBits: s.cfg.Pool.ADCBits, Bandwidth: s.cfg.Pool.Bandwidth}
@@ -477,8 +587,13 @@ func (s *Server) runSolve(ctx context.Context, req *SolveRequest) (*SolveRespons
 	case cli.IsAnalogBackend(req.Backend):
 		if s.coalesce != nil {
 			// The coalesced arm owns the whole checkout/solve/metrics
-			// lifecycle (one chip per wave, not per request).
-			return s.runSolveCoalesced(ctx, backendRun, a, b, params.Tol)
+			// lifecycle (one chip per wave, not per request). By-reference
+			// requests hand their already-parsed fingerprint straight to the
+			// wave key; only by-value requests pay the hash here.
+			if !byRef {
+				fp = la.Fingerprint(a)
+			}
+			return s.runSolveCoalesced(ctx, backendRun, fp, a, b, params.Tol)
 		}
 		pc, err := s.pool.Checkout(ctx, a)
 		if err != nil {
@@ -544,9 +659,10 @@ func (s *Server) runSolve(ctx context.Context, req *SolveRequest) (*SolveRespons
 // rewrites in between. The batch itself lives in runSolveBatch, shared
 // with the async executor.
 func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var req BatchSolveRequest
-	if err := decodeJSON(r, &req); err != nil {
+	n, err := DecodeRequest(w, r, s.cfg.MaxBodyBytes, &req)
+	s.metrics.ObserveRequestBytes("solve_batch", n)
+	if err != nil {
 		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "decoding request: %v", err)
 		return
 	}
@@ -555,7 +671,7 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 		s.WriteAPIError(w, aerr)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.metrics.ObserveResponseBytes("solve_batch", int64(writeJSON(w, http.StatusOK, resp)))
 }
 
 // SolveBatchDecoded is SolveDecoded's multi-RHS counterpart: deadline
@@ -589,9 +705,9 @@ func (s *Server) runSolveBatch(ctx context.Context, req *BatchSolveRequest) (*Ba
 		return nil, apiErrorf(http.StatusBadRequest, CodeBadBackend,
 			"backend %q does not support batch solves", req.Backend)
 	}
-	a, rhs, err := req.BuildSystem()
-	if err != nil {
-		return nil, apiErrorf(http.StatusBadRequest, CodeBadRequest, "%v", err)
+	a, rhs, _, _, aerr := s.resolveBatch(req)
+	if aerr != nil {
+		return nil, aerr
 	}
 	if len(rhs) > s.cfg.MaxBatchRHS {
 		return nil, apiErrorf(http.StatusBadRequest, CodeBadRequest,
@@ -641,6 +757,15 @@ func (s *Server) runSolveBatch(ctx context.Context, req *BatchSolveRequest) (*Ba
 	}
 	for k, out := range outs {
 		s.metrics.SolveOK(req.Backend, out.AnalogTime, out.Runs, out.Rescales, out.Overflows, out.Refinements)
+		// Wave provenance: the widest lane group any item rode, and
+		// whether at least two right-hand sides shared one (PR 9 stamped
+		// solo responses only; batch answers report occupancy too).
+		if out.Lanes > resp.WaveLanes {
+			resp.WaveLanes = out.Lanes
+		}
+		if out.Lanes >= 2 {
+			resp.Coalesced = true
+		}
 		item := BatchItem{
 			U:        []float64(out.U),
 			Residual: la.RelativeResidual(a, out.U, rhs[k]),
@@ -678,6 +803,64 @@ func (s *Server) checkoutErr(err error) *APIError {
 		s.metrics.SolveError()
 		return apiErrorf(http.StatusInternalServerError, CodeInternal, "%v", err)
 	}
+}
+
+// handleOperatorPut registers one operator (PUT /v1/operators): the
+// upload-once half of the by-reference wire path.
+func (s *Server) handleOperatorPut(w http.ResponseWriter, r *http.Request) {
+	var req OperatorRequest
+	n, err := DecodeRequest(w, r, s.cfg.MaxBodyBytes, &req)
+	s.metrics.ObserveRequestBytes("operators", n)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "decoding request: %v", err)
+		return
+	}
+	info, aerr := s.RegisterOperatorDecoded(&req)
+	if aerr != nil {
+		s.WriteAPIError(w, aerr)
+		return
+	}
+	s.metrics.ObserveResponseBytes("operators", int64(writeJSON(w, http.StatusOK, info)))
+}
+
+// RegisterOperatorDecoded registers an already-decoded operator upload
+// and reports its fingerprint, dims, and nnz. Exported for the
+// federation router, which registers forwarded uploads on the affinity
+// owner without re-encoding.
+func (s *Server) RegisterOperatorDecoded(req *OperatorRequest) (OperatorInfo, *APIError) {
+	a, err := req.Build()
+	if err != nil {
+		return OperatorInfo{}, apiErrorf(http.StatusBadRequest, CodeBadRequest, "%v", err)
+	}
+	start := time.Now()
+	fp, existed, err := s.registry.register(a)
+	if err != nil {
+		if errors.Is(err, errRegistryCapacity) {
+			return OperatorInfo{}, apiErrorf(http.StatusRequestEntityTooLarge, CodeTooLarge, "%v", err)
+		}
+		return OperatorInfo{}, apiErrorf(http.StatusInternalServerError, CodeInternal, "journaling operator: %v", err)
+	}
+	s.metrics.ObserveRegistration(time.Since(start))
+	return OperatorInfo{
+		Fingerprint: FormatFingerprint(fp),
+		N:           a.Dim(),
+		NNZ:         a.NNZ(),
+		Bytes:       operatorCost(a),
+		Existed:     existed,
+		ServedBy:    s.cfg.NodeName,
+	}, nil
+}
+
+// handleOperatorList reports the resident operators, MRU first
+// (GET /v1/operators).
+func (s *Server) handleOperatorList(w http.ResponseWriter, _ *http.Request) {
+	_, bytes := s.registry.stats()
+	writeJSON(w, http.StatusOK, OperatorListResponse{
+		Operators: s.registry.residents(),
+		Bytes:     bytes,
+		MaxOps:    s.registry.maxOps,
+		MaxBytes:  s.registry.maxBytes,
+	})
 }
 
 func (s *Server) solveErr(ctx context.Context, err error) *APIError {

@@ -13,6 +13,7 @@
 #   scripts/bench.sh 6       # BENCH_6.json: lane-batched vs sequential batch
 #   scripts/bench.sh 7       # BENCH_7.json: federation zipf-load routing policies
 #   scripts/bench.sh 8       # BENCH_8.json: micro-batching coalescer on a hot operator
+#   scripts/bench.sh 9       # BENCH_9.json: operator registry by-reference wire path
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -60,8 +61,14 @@ case "$SUITE" in
 	BENCHTIME="${2:-600x}"
 	DESC="dynamic micro-batching: 16 workers hammering one hot operator through the HTTP path, default coalescing window vs disabled (solves/s, wave occupancy, coalesced fraction), plus the single-stream round-trip allocation probe"
 	;;
+9)
+	PKG=./internal/serve
+	BENCH='RegistryRequestBytes|HotOperatorBy|JobWALBytes'
+	BENCHTIME="${2:-100x}"
+	DESC="operator registry by-reference wire path: encoded request bytes for the n=1024 2-D Poisson operator by value vs by fingerprint, hot-operator p50/p99 latency and solves/s both ways over HTTP, and durable-job WAL bytes per job after the submit-time payload rewrite"
+	;;
 *)
-	echo "bench.sh: unknown suite $SUITE (known: 1, 3, 4, 5, 6, 7, 8)" >&2
+	echo "bench.sh: unknown suite $SUITE (known: 1, 3, 4, 5, 6, 7, 8, 9)" >&2
 	exit 2
 	;;
 esac

@@ -40,6 +40,12 @@ go test -race -count=2 -run 'PoolAffinity|PoolLRU|PoolCalibrationDrift|PoolCache
 go test -race -count=2 ./internal/jobs
 go test -race -count=2 -run 'Job|Retry|Busy' ./internal/serve
 
+# Operator registry: concurrent register/lookup racing LRU and
+# byte-cap eviction, journal replay with torn tails, and the
+# by-reference ≡ by-value differentials across solve, batch,
+# decomposed, async-job, and gzip-upload paths.
+go test -race -count=2 -run 'TestRegistry|TestOperator' ./internal/serve
+
 # Micro-batching coalescer: wave formation races enrollment against
 # window close, full close, checkout-stall boarding, and per-member
 # deadline abandonment — the churn test drives 96 requests over 4

@@ -558,6 +558,54 @@ func federationGauntlet(ctx context.Context, aladPath, alasolvePath string) {
 	fmt.Fprintf(os.Stderr, "[smoke] federation warm hit ok: owner=%s hits %d -> %d\n",
 		resp1.ServedBy, ownerStats0.CacheHits, ownerStats1.CacheHits)
 
+	// Register-then-solve across nodes: upload an operator once through
+	// node0 (the router lands it on its rendezvous owner), then solve by
+	// fingerprint through a different node. The warm request must carry
+	// zero matrix bytes, answer bit-identically to the by-value solve,
+	// and move the owning node's registry counters.
+	regReq := tridiag(4, 5.0, 1e-8)
+	regByVal, err := clients[1].Solve(ctx, regReq)
+	if err != nil {
+		die("federation: by-value baseline: %v", err)
+	}
+	info, err := clients[0].RegisterOperator(ctx, serve.OperatorRequest{N: regReq.N, A: regReq.A})
+	if err != nil {
+		die("federation: register operator via node0: %v", err)
+	}
+	regOwner := byName(info.ServedBy)
+	refReq := serve.SolveRequest{Backend: "analog-refined", Fingerprint: info.Fingerprint, B: regReq.B, Tol: regReq.Tol}
+	rawRef, err := json.Marshal(refReq)
+	if err != nil {
+		die("federation: encoding by-ref request: %v", err)
+	}
+	if strings.Contains(string(rawRef), `"A"`) || len(rawRef) > 512 {
+		die("federation: by-ref request still carries matrix bytes (%dB): %s", len(rawRef), rawRef)
+	}
+	regByRef, err := clients[2].Solve(ctx, refReq)
+	if err != nil {
+		die("federation: by-ref solve via node2: %v", err)
+	}
+	if regByRef.ServedBy != info.ServedBy {
+		die("federation: by-ref solve served by %s, operator lives on %s", regByRef.ServedBy, info.ServedBy)
+	}
+	for i := range regByVal.U {
+		if regByRef.U[i] != regByVal.U[i] {
+			die("federation: by-ref u[%d] = %v, by-value %v — must be bit-identical", i, regByRef.U[i], regByVal.U[i])
+		}
+	}
+	regText, err := clients[regOwner].Metrics(ctx)
+	if err != nil {
+		die("federation: owner metrics: %v", err)
+	}
+	if !strings.Contains(regText, "alad_registry_operators 1") {
+		die("federation: owner registry gauge missing/wrong after registration")
+	}
+	if !regexp.MustCompile(`alad_registry_hits_total [1-9]`).MatchString(regText) {
+		die("federation: owner registry hits did not move on the by-ref solve")
+	}
+	fmt.Fprintf(os.Stderr, "[smoke] federation register-then-solve ok: owner=%s by-ref request %dB, bit-identical\n",
+		info.ServedBy, len(rawRef))
+
 	// alasolve provenance: the multi-endpoint client must print which
 	// node served and how the request was routed.
 	if alasolvePath != "" {
