@@ -126,9 +126,10 @@ type remoteSession struct {
 	n       int
 	entries []serve.Entry
 	fp      string
-	// registered flips after a full send succeeds; later sweeps go by
-	// reference. The engine drives each session from one goroutine, so no
-	// locking.
+	// registered tracks whether the peer reports the block addressable by
+	// fingerprint (the response's Registered echo); only then do later
+	// sweeps go by reference. The engine drives each session from one
+	// goroutine, so no locking.
 	registered bool
 }
 
@@ -177,7 +178,12 @@ func (s *remoteSession) SolveBatchRefinedItems(ctx context.Context, items []core
 		}
 		return nil, nil, nil, fmt.Errorf("federation: block solve on %s: %w", s.w.addr, err)
 	}
-	s.registered = true
+	// Trust the peer's word over the send's success: a full send whose
+	// implicit registration did not stick (block over the peer's registry
+	// byte cap) answers Registered=false, and attempting by-reference
+	// anyway would buy a guaranteed unknown_operator 404 plus a full
+	// resend on every later sweep.
+	s.registered = resp.Registered
 	if len(resp.Results) != len(items) {
 		return nil, nil, nil, fmt.Errorf("federation: peer %s answered %d results for %d items", s.w.addr, len(resp.Results), len(items))
 	}

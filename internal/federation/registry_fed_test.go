@@ -5,10 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 
+	"analogacc/internal/core"
 	"analogacc/internal/la"
 	"analogacc/internal/serve"
 )
@@ -184,6 +187,9 @@ func TestPeerBlockByReference(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if !fullResp.Registered {
+		t.Fatal("full block send did not echo Registered=true — clients would never switch to by-reference")
+	}
 	// The full send registered the block; solve it by reference now.
 	a, _, err := (&serve.SolveRequest{N: full.N, A: full.A, B: full.Items[0].RHS}).BuildSystem()
 	if err != nil {
@@ -199,9 +205,79 @@ func TestPeerBlockByReference(t *testing.T) {
 	if err != nil {
 		t.Fatalf("by-ref block after implicit registration: %v", err)
 	}
+	if !refResp.Registered {
+		t.Fatal("by-ref block hit did not echo Registered=true")
+	}
 	for i := range fullResp.Results[0].U {
 		if refResp.Results[0].U[i] != fullResp.Results[0].U[i] {
 			t.Fatalf("u[%d]: by-ref block %v, full block %v", i, refResp.Results[0].U[i], fullResp.Results[0].U[i])
 		}
+	}
+}
+
+// TestPeerBlockOversizedStaysByValue pins down the Registered echo: a
+// peer whose registry byte cap cannot admit the block answers
+// Registered=false, and the remote session must keep sending the block
+// by value — exactly one wire call per sweep, never the 404-then-resend
+// double round trip that trusting the send's success would buy.
+func TestPeerBlockOversizedStaysByValue(t *testing.T) {
+	s, err := serve.New(serve.Config{Pool: testPool(), JobWorkers: -1, RegistryMaxBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var blockCalls atomic.Int64
+	inner := s.Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/peer/block") {
+			blockCalls.Add(1)
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+	ctx := context.Background()
+
+	a, _, err := (&serve.SolveRequest{
+		N: 4,
+		A: []serve.Entry{
+			{Row: 0, Col: 0, Val: 4}, {Row: 0, Col: 1, Val: -1},
+			{Row: 1, Col: 0, Val: -1}, {Row: 1, Col: 1, Val: 4}, {Row: 1, Col: 2, Val: -1},
+			{Row: 2, Col: 1, Val: -1}, {Row: 2, Col: 2, Val: 4}, {Row: 2, Col: 3, Val: -1},
+			{Row: 3, Col: 2, Val: -1}, {Row: 3, Col: 3, Val: 4},
+		},
+		B: []float64{1, 2, 3, 4},
+	}).BuildSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w := &remoteWorker{addr: "peer", client: serve.NewClient(ts.URL)}
+	sess, err := w.OpenBlock(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := []core.BatchItem{{RHS: la.Vector{1, 2, 3, 4}}}
+	opt := core.SolveOptions{Tolerance: 1e-9}
+	us1, _, _, err := sess.SolveBatchRefinedItems(ctx, items, opt)
+	if err != nil {
+		t.Fatalf("sweep 1: %v", err)
+	}
+	if sess.(*remoteSession).registered {
+		t.Fatal("session armed by-reference although the peer could not register the block")
+	}
+	us2, _, _, err := sess.SolveBatchRefinedItems(ctx, items, opt)
+	if err != nil {
+		t.Fatalf("sweep 2: %v", err)
+	}
+	for i := range us1[0] {
+		if us2[0][i] != us1[0][i] {
+			t.Fatalf("u[%d]: sweep 2 %v, sweep 1 %v", i, us2[0][i], us1[0][i])
+		}
+	}
+	if got := blockCalls.Load(); got != 2 {
+		t.Fatalf("two sweeps cost %d block calls, want exactly 2 (no unknown_operator retry round trips)", got)
+	}
+	if got := s.Snapshot().RegistryOps; got != 0 {
+		t.Fatalf("oversized block left %d operators resident", got)
 	}
 }

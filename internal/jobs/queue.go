@@ -32,6 +32,13 @@ type Config struct {
 	RetainDone int
 	// Clock injects time for tests (default time.Now).
 	Clock func() time.Time
+	// OnTerminal, when set, observes every live terminal transition
+	// (done, failed, cancelled) with a copy of the job. It runs under the
+	// queue lock and must not call back into the queue; alad uses it to
+	// release operator-registry pins held by by-reference payloads. Boot
+	// replay does not fire it — replayed terminal jobs finished in a
+	// previous process whose pins died with it.
+	OnTerminal func(j *Job)
 }
 
 func (c Config) withDefaults() Config {
@@ -643,14 +650,17 @@ func (q *Queue) Cancel(id string) (*Job, error) {
 	return j.clone(), nil
 }
 
-// finishLocked runs terminal-transition bookkeeping: waiter resolution
-// and retention eviction.
+// finishLocked runs terminal-transition bookkeeping: waiter resolution,
+// the terminal observer, and retention eviction.
 func (q *Queue) finishLocked(j *Job) {
 	if chans := q.waiters[j.ID]; len(chans) > 0 {
 		for _, ch := range chans {
 			ch <- j.clone()
 		}
 		delete(q.waiters, j.ID)
+	}
+	if q.cfg.OnTerminal != nil {
+		q.cfg.OnTerminal(j.clone())
 	}
 	q.evictDoneLocked()
 }

@@ -117,6 +117,32 @@ func jobFingerprint(kind, backend string, tol float64, a *la.CSR, rhs []la.Vecto
 	return h
 }
 
+// payloadFingerprint extracts the operator fingerprint from a
+// by-reference job payload (solve and batch payloads share the
+// `fingerprint` field). False for by-value payloads.
+func payloadFingerprint(payload []byte) (uint64, bool) {
+	var ref struct {
+		Fingerprint string `json:"fingerprint"`
+	}
+	if json.Unmarshal(payload, &ref) != nil || ref.Fingerprint == "" {
+		return 0, false
+	}
+	fp, err := ParseFingerprint(ref.Fingerprint)
+	return fp, err == nil
+}
+
+// jobTerminal is the queue's terminal-transition observer: a job that
+// carried a by-reference payload held one registry pin from submission
+// (or boot replay); release it now that the job can never run again.
+func (s *Server) jobTerminal(j *jobs.Job) {
+	if s.registry == nil {
+		return
+	}
+	if fp, ok := payloadFingerprint(j.Payload); ok {
+		s.registry.unpin(fp)
+	}
+}
+
 // handleJobSubmit validates eagerly (bad requests fail at submit, not
 // minutes later in a worker), fingerprints the request, and enqueues.
 // Backlog and quota answer 429 with the same adaptive Retry-After as
@@ -148,7 +174,18 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		payload  []byte
 		fp       uint64
 		affinity uint64
+		// pinned marks that this submission took a registry pin on its
+		// operator (released at the job's terminal transition — or right
+		// below, when the submission dedups or fails to enqueue).
+		pinned bool
+		pinFP  uint64
 	)
+	unpin := func() {
+		if pinned {
+			s.registry.unpin(pinFP)
+			pinned = false
+		}
+	}
 	if req.Solve != nil {
 		kind = JobKindSolve
 		if req.Solve.Backend == "" {
@@ -183,10 +220,14 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		// Persist the reference, not the matrix: a by-value submission
 		// registers its operator (journaled beside the WAL) and the job
 		// payload shrinks from O(nnz) to O(n) — crash replay re-resolves
-		// through the registry journal. If the operator exceeds the
-		// registry cap, keep the fat by-value payload: durability wins.
-		if !byRef {
-			if _, _, rerr := s.registry.register(a); rerr == nil {
+		// through the registry journal. The registration is pinned for the
+		// job's lifetime so no amount of registry churn can evict the
+		// operator out from under the accepted job. If the operator
+		// exceeds the registry cap, keep the fat by-value payload:
+		// durability wins.
+		if _, _, rerr := s.registry.registerPinned(a); rerr == nil {
+			pinned, pinFP = true, opFP
+			if !byRef {
 				req.Solve = &SolveRequest{
 					Backend:     req.Solve.Backend,
 					Fingerprint: FormatFingerprint(opFP),
@@ -196,9 +237,13 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 					Workers:     req.Solve.Workers,
 				}
 			}
+		} else if byRef {
+			s.writeError(w, http.StatusInternalServerError, CodeInternal, "pinning operator: %v", rerr)
+			return
 		}
 		payload, err = json.Marshal(req.Solve)
 		if err != nil {
+			unpin()
 			s.writeError(w, http.StatusInternalServerError, CodeInternal, "%v", err)
 			return
 		}
@@ -230,9 +275,11 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			tol = s.cfg.Tol
 		}
 		fp = jobFingerprint(kind, req.Batch.Backend, tol, a, rhs)
-		// Same O(nnz)→O(n·rhs) payload shrink as the solve branch.
-		if !byRef {
-			if _, _, rerr := s.registry.register(a); rerr == nil {
+		// Same O(nnz)→O(n·rhs) payload shrink — and the same lifetime pin —
+		// as the solve branch.
+		if _, _, rerr := s.registry.registerPinned(a); rerr == nil {
+			pinned, pinFP = true, opFP
+			if !byRef {
 				req.Batch = &BatchSolveRequest{
 					Backend:     req.Batch.Backend,
 					Fingerprint: FormatFingerprint(opFP),
@@ -242,9 +289,13 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 					TimeoutMs:   req.Batch.TimeoutMs,
 				}
 			}
+		} else if byRef {
+			s.writeError(w, http.StatusInternalServerError, CodeInternal, "pinning operator: %v", rerr)
+			return
 		}
 		payload, err = json.Marshal(req.Batch)
 		if err != nil {
+			unpin()
 			s.writeError(w, http.StatusInternalServerError, CodeInternal, "%v", err)
 			return
 		}
@@ -253,17 +304,26 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	j, err := s.jobs.SubmitAffinity(tenant, kind, fp, affinity, payload)
 	switch {
 	case errors.Is(err, jobs.ErrBacklog):
+		unpin()
 		s.writeBusy(w, CodeBusy, "job queue backlog full (%d jobs)", s.cfg.JobMaxQueued)
 		return
 	case errors.Is(err, jobs.ErrQuota):
+		unpin()
 		s.writeBusy(w, CodeQuota, "tenant %q has reached its quota of %d live jobs", tenant, s.cfg.JobTenantQuota)
 		return
 	case errors.Is(err, jobs.ErrClosed):
+		unpin()
 		s.writeError(w, http.StatusServiceUnavailable, CodeInternal, "job queue shutting down")
 		return
 	case err != nil:
+		unpin()
 		s.writeError(w, http.StatusInternalServerError, CodeInternal, "%v", err)
 		return
+	}
+	if j.Deduped {
+		// An existing job answered the submission; it holds (or already
+		// released) its own pin, so this submission's pin is surplus.
+		unpin()
 	}
 	s.metrics.ObserveResponseBytes("jobs", int64(writeJSON(w, http.StatusAccepted, jobStatus(j))))
 }

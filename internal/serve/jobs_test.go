@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -313,5 +314,166 @@ func TestJobLongPollReturnsEarly(t *testing.T) {
 	}
 	if final.State != string(jobs.StateDone) {
 		t.Fatalf("long-poll answered state %s", final.State)
+	}
+}
+
+// TestJobPinSurvivesRegistryChurn is the regression for the accepted-
+// then-orphaned job: submit rewrites a by-value payload to a
+// by-reference one, so the referenced operator must be pinned against
+// LRU eviction until the job reaches a terminal state — otherwise
+// registry churn between accept and execute turns a durably accepted
+// job into a terminal unknown_operator failure.
+func TestJobPinSurvivesRegistryChurn(t *testing.T) {
+	s, client, done := newTestServer(t, Config{JobWorkers: -1, RegistryMaxOps: 1})
+	defer done()
+	ctx := context.Background()
+
+	req := eq2Request("analog-refined")
+	st, err := client.SubmitJob(ctx, JobSubmitRequest{Solve: &req})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A duplicate submit dedups onto the queued job; its transient pin
+	// must be released (checked at the end via pinnedCount).
+	req2 := eq2Request("analog-refined")
+	dup, err := client.SubmitJob(ctx, JobSubmitRequest{Solve: &req2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup.ID != st.ID {
+		t.Fatalf("duplicate submit created a second job %s (want dedup onto %s)", dup.ID, st.ID)
+	}
+	if got := s.Snapshot().RegistryPinned; got != 1 {
+		t.Fatalf("registry_pinned_operators = %d after submit, want 1", got)
+	}
+
+	// Churn the 1-op registry far past its cap: without the pin, the
+	// job's operator is the first eviction victim.
+	for i := 0; i < 8; i++ {
+		if _, _, err := s.registry.register(diagOp(4, float64(i+2))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	j := s.jobs.Lease("test-worker")
+	if j == nil || j.ID != st.ID {
+		t.Fatalf("lease answered %+v, want job %s", j, st.ID)
+	}
+	if err := s.jobs.Start(j.ID, "test-worker"); err != nil {
+		t.Fatal(err)
+	}
+	raw, code, msg := s.executeJob(ctx, j)
+	if code != "" {
+		t.Fatalf("pinned job failed after registry churn: %s: %s", code, msg)
+	}
+	var resp SolveResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	sync, err := client.Solve(ctx, eq2Request("analog-refined"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.U) != len(sync.U) {
+		t.Fatalf("job answered %d unknowns, sync %d", len(resp.U), len(sync.U))
+	}
+	for i := range resp.U {
+		if resp.U[i] != sync.U[i] {
+			t.Fatalf("job result diverged from sync solve at %d: %v vs %v", i, resp.U[i], sync.U[i])
+		}
+	}
+
+	// Terminal transition releases the pin — including the extra
+	// refcount the deduped submit must not have leaked.
+	if err := s.jobs.Complete(j.ID, "test-worker", raw); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.registry.pinnedCount(); got != 0 {
+		t.Fatalf("pinnedCount = %d after job completion, want 0 (pin leaked)", got)
+	}
+}
+
+// TestJobPinReleasedOnCancel checks the other terminal edge: cancelling
+// a queued job must release its operator pin so the registry can evict.
+func TestJobPinReleasedOnCancel(t *testing.T) {
+	s, client, done := newTestServer(t, Config{JobWorkers: -1, RegistryMaxOps: 1})
+	defer done()
+	ctx := context.Background()
+
+	req := eq2Request("analog-refined")
+	st, err := client.SubmitJob(ctx, JobSubmitRequest{Solve: &req})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.registry.pinnedCount(); got != 1 {
+		t.Fatalf("pinnedCount = %d after submit, want 1", got)
+	}
+	if _, err := client.CancelJob(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.registry.pinnedCount(); got != 0 {
+		t.Fatalf("pinnedCount = %d after cancel, want 0", got)
+	}
+}
+
+// TestJobPinRestoredAcrossRestart crash-replays a queued by-reference
+// job into a cap-squeezed registry: the boot scan of the job WAL must
+// seed pins before journal replay, so the squeeze keeps the operator
+// the job needs and the replayed job still executes.
+func TestJobPinRestoredAcrossRestart(t *testing.T) {
+	store := filepath.Join(t.TempDir(), "jobs.wal")
+	cfg := Config{Pool: testPoolConfig(), JobWorkers: -1, JobStore: store}
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	cl1 := NewClient(ts1.URL)
+	ctx := context.Background()
+
+	req := eq2Request("analog-refined")
+	st, err := cl1.SubmitJob(ctx, JobSubmitRequest{Solve: &req})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More durable registrations after the job's: under a 1-op replay
+	// cap, the MRU-last squeeze would keep only the newest operator and
+	// drop the job's — unless the pin carries it through.
+	if _, _, err := s1.registry.register(diagOp(4, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s1.registry.register(diagOp(6, 8)); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.RegistryMaxOps = 1
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.registry.pinnedCount(); got != 1 {
+		t.Fatalf("pinnedCount = %d after replay, want 1", got)
+	}
+	j := s2.jobs.Lease("w")
+	if j == nil || j.ID != st.ID {
+		t.Fatalf("lease after replay answered %+v, want job %s", j, st.ID)
+	}
+	if err := s2.jobs.Start(j.ID, "w"); err != nil {
+		t.Fatal(err)
+	}
+	raw, code, msg := s2.executeJob(ctx, j)
+	if code != "" {
+		t.Fatalf("replayed job failed under cap squeeze: %s: %s", code, msg)
+	}
+	if err := s2.jobs.Complete(j.ID, "w", raw); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.registry.pinnedCount(); got != 0 {
+		t.Fatalf("pinnedCount = %d after completion, want 0", got)
 	}
 }

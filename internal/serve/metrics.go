@@ -359,8 +359,12 @@ type Snapshot struct {
 	// Operator registry: resident occupancy plus lifetime traffic. A warm
 	// by-reference fleet shows hits ≫ registrations; a thrashing byte cap
 	// shows evictions climbing with misses.
-	RegistryOps           int   `json:"registry_operators"`
-	RegistryBytes         int64 `json:"registry_bytes"`
+	RegistryOps   int   `json:"registry_operators"`
+	RegistryBytes int64 `json:"registry_bytes"`
+	// RegistryPinned counts operators held by queued/leased durable jobs:
+	// pinned operators are exempt from LRU eviction, so a persistently
+	// high gauge explains a registry sitting over its configured caps.
+	RegistryPinned        int   `json:"registry_pinned_operators"`
 	RegistryHits          int64 `json:"registry_hits_total"`
 	RegistryMisses        int64 `json:"registry_misses_total"`
 	RegistryEvictions     int64 `json:"registry_evictions_total"`
@@ -435,6 +439,7 @@ func (m *Metrics) snapshot(queueDepth int, pool *Pool, jq *jobs.Queue, reg *opRe
 	}
 	if reg != nil {
 		s.RegistryOps, s.RegistryBytes = reg.stats()
+		s.RegistryPinned = reg.pinnedCount()
 		s.RegistryHits = reg.hits.Load()
 		s.RegistryMisses = reg.misses.Load()
 		s.RegistryEvictions = reg.evictions.Load()
@@ -566,6 +571,7 @@ func (m *Metrics) writeTo(w io.Writer, queueDepth int, pool *Pool, jq *jobs.Queu
 	fmt.Fprintf(w, "alad_coalesce_wait_seconds_count %d\n", m.waitN.Load())
 	fmt.Fprintf(w, "# TYPE alad_registry_operators gauge\nalad_registry_operators %d\n", s.RegistryOps)
 	fmt.Fprintf(w, "# TYPE alad_registry_bytes gauge\nalad_registry_bytes %d\n", s.RegistryBytes)
+	fmt.Fprintf(w, "# TYPE alad_registry_pinned_operators gauge\nalad_registry_pinned_operators %d\n", s.RegistryPinned)
 	fmt.Fprintf(w, "# TYPE alad_registry_hits_total counter\nalad_registry_hits_total %d\n", s.RegistryHits)
 	fmt.Fprintf(w, "# TYPE alad_registry_misses_total counter\nalad_registry_misses_total %d\n", s.RegistryMisses)
 	fmt.Fprintf(w, "# TYPE alad_registry_evictions_total counter\nalad_registry_evictions_total %d\n", s.RegistryEvictions)

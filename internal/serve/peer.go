@@ -158,6 +158,13 @@ type BlockSolveResponse struct {
 	Runs          int     `json:"runs"`
 	Configs       int     `json:"configs"`
 	ServedBy      string  `json:"served_by,omitempty"`
+	// Registered reports whether the block operator is addressable by
+	// fingerprint on the serving node after this call: true on every
+	// by-reference hit, and on a full send whose implicit registration
+	// stuck. False means the caller should keep sending the block in
+	// full (e.g. it exceeds the serving node's registry byte cap) instead
+	// of paying a guaranteed 404-and-resend round trip every sweep.
+	Registered bool `json:"registered,omitempty"`
 }
 
 func (s *Server) handlePeerBlock(w http.ResponseWriter, r *http.Request) {
@@ -198,6 +205,7 @@ func (s *Server) solveBlock(ctx context.Context, req *BlockSolveRequest) (*Block
 			"block batch of %d items exceeds the server limit %d", len(req.Items), s.cfg.MaxBatchRHS)
 	}
 	var a *la.CSR
+	registered := false
 	if req.Fingerprint != "" {
 		fp, err := ParseFingerprint(req.Fingerprint)
 		if err != nil {
@@ -213,6 +221,7 @@ func (s *Server) solveBlock(ctx context.Context, req *BlockSolveRequest) (*Block
 				"block operator %s has order %d, request says %d", req.Fingerprint, blk.Dim(), req.N)
 		}
 		a = blk
+		registered = true
 	} else {
 		entries := make([]la.COOEntry, len(req.A))
 		for i, e := range req.A {
@@ -223,11 +232,16 @@ func (s *Server) solveBlock(ctx context.Context, req *BlockSolveRequest) (*Block
 			return nil, apiErrorf(http.StatusBadRequest, CodeBadRequest, "%v", err)
 		}
 		a = built
-		// Implicit registration: the entry node's next sweep can go by
-		// reference. Oversized blocks simply stay by-value (error ignored
-		// on purpose — registration is an optimization here, not a
-		// precondition).
-		_, _, _ = s.registry.register(a)
+		// Implicit registration, into the ephemeral (journal-less) tier:
+		// the entry node's next sweep can go by reference, but a sub-block
+		// never costs a synchronous journal fsync inside the solve path
+		// and never competes for durability with client-registered
+		// operators. Oversized blocks simply stay by-value — the response
+		// echoes whether the registration stuck so the caller stops
+		// attempting by-reference instead of eating a 404 every sweep.
+		if _, _, rerr := s.registry.registerEphemeral(a); rerr == nil {
+			registered = true
+		}
 	}
 	items := make([]core.BatchItem, len(req.Items))
 	for i, it := range req.Items {
@@ -268,6 +282,7 @@ func (s *Server) solveBlock(ctx context.Context, req *BlockSolveRequest) (*Block
 		Runs:          pc.Acc.Runs() - runsBase,
 		Configs:       pc.Acc.Configurations() - cfgBase,
 		ServedBy:      s.cfg.NodeName,
+		Registered:    registered,
 	}
 	for i := range us {
 		resp.Results[i] = BlockWireResult{

@@ -50,6 +50,11 @@ type opEntry struct {
 	a     *la.CSR
 	bytes int64
 	elem  *list.Element
+	// ephemeral marks an implicitly registered operator (federation
+	// sub-blocks): never journaled, skipped by compaction, lost on
+	// restart. Callers of the ephemeral tier always have a full-send
+	// fallback, so losing one costs a resend, not correctness.
+	ephemeral bool
 }
 
 // opRegistry is the bounded LRU operator store. Safe for concurrent use.
@@ -61,6 +66,14 @@ type opRegistry struct {
 	ops   map[uint64]*opEntry
 	lru   *list.List // front = most recently used
 	bytes int64
+	// pins refcounts operators that queued or leased durable jobs
+	// reference by fingerprint: a pinned operator is exempt from LRU
+	// eviction (and, being resident, survives journal compaction), so an
+	// accepted by-reference job can always re-resolve its matrix no
+	// matter how much the registry churns before the job runs. Pins may
+	// hold the store over its caps — durability of accepted work wins
+	// over the byte budget.
+	pins map[uint64]int
 
 	// Journal (nil when the registry is memory-only). appends counts
 	// records written since the last compaction; when it exceeds
@@ -82,14 +95,23 @@ func operatorCost(a *la.CSR) int64 {
 }
 
 // openRegistry builds the registry, replaying (and compacting) the
-// journal at path when non-empty.
-func openRegistry(maxOps int, maxBytes int64, path string) (*opRegistry, error) {
+// journal at path when non-empty. pins (may be nil) seeds the pin
+// refcounts before replay — the fingerprints queued durable jobs still
+// reference — so a cap squeeze during replay can never drop an operator
+// an accepted job depends on.
+func openRegistry(maxOps int, maxBytes int64, path string, pins map[uint64]int) (*opRegistry, error) {
 	r := &opRegistry{
 		maxOps:   maxOps,
 		maxBytes: maxBytes,
 		ops:      make(map[uint64]*opEntry),
 		lru:      list.New(),
 		path:     path,
+		pins:     make(map[uint64]int),
+	}
+	for fp, n := range pins {
+		if n > 0 {
+			r.pins[fp] = n
+		}
 	}
 	if path == "" {
 		return r, nil
@@ -157,7 +179,7 @@ func (r *opRegistry) replay() error {
 		if err != nil {
 			continue
 		}
-		r.insert(la.Fingerprint(a), a) // journal == nil: no re-append
+		r.insert(la.Fingerprint(a), a, false) // journal == nil: no re-append
 	}
 	return nil
 }
@@ -166,40 +188,128 @@ func (r *opRegistry) replay() error {
 // already resident. An operator whose cost alone exceeds the byte cap is
 // rejected — the caller maps that to 413.
 func (r *opRegistry) register(a *la.CSR) (fp uint64, existed bool, err error) {
+	return r.registerOpts(a, true, false)
+}
+
+// registerPinned registers (or refreshes) an operator and takes one pin
+// on it, exempting it from eviction until a matching unpin. The pin is
+// only taken when registration fully succeeded (journal append
+// included), so a pinned fingerprint is always durably re-resolvable.
+func (r *opRegistry) registerPinned(a *la.CSR) (fp uint64, existed bool, err error) {
+	return r.registerOpts(a, true, true)
+}
+
+// registerEphemeral registers (or refreshes) an operator in the
+// journal-less tier: resident and addressable like any other, but never
+// written to the registry journal and dropped by compaction. Federation
+// block workers use it for implicitly registered sub-blocks — they fall
+// back to a full send on a miss, so an fsync per sub-block inside the
+// solve path buys nothing.
+func (r *opRegistry) registerEphemeral(a *la.CSR) (fp uint64, existed bool, err error) {
+	return r.registerOpts(a, false, false)
+}
+
+func (r *opRegistry) registerOpts(a *la.CSR, durable, pin bool) (fp uint64, existed bool, err error) {
 	fp = la.Fingerprint(a)
 	cost := operatorCost(a)
 	if cost > r.maxBytes {
 		return fp, false, fmt.Errorf("%w: operator is %d bytes, cap is %d", errRegistryCapacity, cost, r.maxBytes)
 	}
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	if e, ok := r.ops[fp]; ok {
 		r.lru.MoveToFront(e.elem)
-		r.mu.Unlock()
-		return fp, true, nil
+		var jerr error
+		if durable && e.ephemeral {
+			// Promote: the operator was only implicitly registered; a
+			// durable registration must journal it before acknowledging.
+			if jerr = r.appendLocked(e.a); jerr == nil {
+				e.ephemeral = false
+			}
+		}
+		if pin && jerr == nil {
+			r.pins[fp]++
+		}
+		return fp, true, jerr
 	}
-	r.insert(fp, a)
+	r.insert(fp, a, !durable)
 	r.registrations.Add(1)
-	jerr := r.appendLocked(a)
-	r.mu.Unlock()
+	var jerr error
+	if durable {
+		jerr = r.appendLocked(a)
+	}
+	if pin && jerr == nil {
+		r.pins[fp]++
+	}
 	return fp, false, jerr
+}
+
+// pin takes one pin on a fingerprint without registering anything: the
+// boot path uses it indirectly (openRegistry's pins argument), the live
+// path pins through registerPinned.
+func (r *opRegistry) pin(fp uint64) {
+	r.mu.Lock()
+	r.pins[fp]++
+	r.mu.Unlock()
+}
+
+// unpin releases one pin. When the last pin drops the entry rejoins the
+// ordinary LRU economy, and any cap debt the pins were holding open is
+// collected immediately.
+func (r *opRegistry) unpin(fp uint64) {
+	r.mu.Lock()
+	switch n := r.pins[fp]; {
+	case n > 1:
+		r.pins[fp] = n - 1
+	case n == 1:
+		delete(r.pins, fp)
+		r.evictLocked()
+	}
+	r.mu.Unlock()
+}
+
+// pinnedCount snapshots how many distinct operators hold pins.
+func (r *opRegistry) pinnedCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pins)
 }
 
 // insert adds one operator under r.mu (or before concurrency exists, in
 // replay) and evicts LRU entries until both caps hold again.
-func (r *opRegistry) insert(fp uint64, a *la.CSR) {
+func (r *opRegistry) insert(fp uint64, a *la.CSR, ephemeral bool) {
 	if e, ok := r.ops[fp]; ok {
 		r.lru.MoveToFront(e.elem)
 		return
 	}
-	e := &opEntry{fp: fp, a: a, bytes: operatorCost(a)}
+	e := &opEntry{fp: fp, a: a, bytes: operatorCost(a), ephemeral: ephemeral}
 	if e.bytes > r.maxBytes {
 		return
 	}
 	e.elem = r.lru.PushFront(e)
 	r.ops[fp] = e
 	r.bytes += e.bytes
-	for (len(r.ops) > r.maxOps || r.bytes > r.maxBytes) && r.lru.Len() > 1 {
-		victim := r.lru.Back().Value.(*opEntry)
+	r.evictLocked()
+}
+
+// evictLocked restores the caps (r.mu held): LRU entries fall first,
+// skipping pinned operators and the MRU entry itself. When everything
+// evictable is gone the store may stay over cap — pinned operators
+// belong to accepted durable jobs and must outlive any churn.
+func (r *opRegistry) evictLocked() {
+	for len(r.ops) > r.maxOps || r.bytes > r.maxBytes {
+		var victim *opEntry
+		for el := r.lru.Back(); el != nil && el != r.lru.Front(); el = el.Prev() {
+			cand := el.Value.(*opEntry)
+			if r.pins[cand.fp] > 0 {
+				continue
+			}
+			victim = cand
+			break
+		}
+		if victim == nil {
+			return
+		}
 		r.lru.Remove(victim.elem)
 		delete(r.ops, victim.fp)
 		r.bytes -= victim.bytes
@@ -271,11 +381,19 @@ func (r *opRegistry) appendLocked(a *la.CSR) error {
 		if err := r.compactLocked(); err != nil {
 			return err
 		}
+		old := r.journal
 		f, err := os.OpenFile(r.path, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
 		if err != nil {
-			return err
+			// The rename in compactLocked already replaced the path, so the
+			// old handle points at an orphaned inode: appending (and
+			// fsyncing) to it would report success for registrations no
+			// replay will ever see. Degrade to memory-only instead and
+			// surface the failure.
+			old.Close()
+			r.journal = nil
+			return fmt.Errorf("serve: reopening operator journal after compaction (registry degraded to memory-only): %w", err)
 		}
-		r.journal.Close()
+		old.Close()
 		r.journal = f
 	}
 	return nil
@@ -313,9 +431,14 @@ func (r *opRegistry) compactLocked() error {
 		return err
 	}
 	// Back-to-front: replay registers in file order, so the MRU entry is
-	// appended last and survives any cap squeeze.
+	// appended last and survives any cap squeeze. Ephemeral entries are
+	// skipped — they were never promised durability.
 	for el := r.lru.Back(); el != nil; el = el.Prev() {
-		frame, err := encodeOperatorFrame(el.Value.(*opEntry).a)
+		e := el.Value.(*opEntry)
+		if e.ephemeral {
+			continue
+		}
+		frame, err := encodeOperatorFrame(e.a)
 		if err != nil {
 			f.Close()
 			return err

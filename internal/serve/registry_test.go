@@ -34,7 +34,7 @@ func mustRegister(t *testing.T, r *opRegistry, a *la.CSR) uint64 {
 // operators and asserts the least recently used one fell out — and that
 // a lookup refreshes recency, changing who the next victim is.
 func TestRegistryLRUCountEviction(t *testing.T) {
-	r, err := openRegistry(2, 1<<30, "")
+	r, err := openRegistry(2, 1<<30, "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestRegistryLRUCountEviction(t *testing.T) {
 // count and asserts residency never exceeds the cap.
 func TestRegistryByteCapEviction(t *testing.T) {
 	cost := operatorCost(diagOp(4, 1)) // all test operators cost the same
-	r, err := openRegistry(100, 2*cost+cost/2, "")
+	r, err := openRegistry(100, 2*cost+cost/2, "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestRegistryByteCapEviction(t *testing.T) {
 // exceeds the byte cap: the registry refuses it with the capacity
 // sentinel, and the HTTP surface maps that to 413 too_large.
 func TestRegistryOversizedRejected(t *testing.T) {
-	r, err := openRegistry(100, 64, "")
+	r, err := openRegistry(100, 64, "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestRegistryOversizedRejected(t *testing.T) {
 // again to prove a torn write never blocks a boot.
 func TestRegistryJournalReplay(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "ops.journal")
-	r, err := openRegistry(8, 1<<30, path)
+	r, err := openRegistry(8, 1<<30, path, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +119,7 @@ func TestRegistryJournalReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	r2, err := openRegistry(8, 1<<30, path)
+	r2, err := openRegistry(8, 1<<30, path, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,7 @@ func TestRegistryJournalReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	r3, err := openRegistry(8, 1<<30, path)
+	r3, err := openRegistry(8, 1<<30, path, nil)
 	if err != nil {
 		t.Fatalf("torn tail broke the boot: %v", err)
 	}
@@ -156,7 +156,7 @@ func TestRegistryJournalReplay(t *testing.T) {
 
 	// Reopen under a tighter cap: boot compaction wrote MRU-last, so the
 	// replay squeeze keeps the most recently used operators.
-	r4, err := openRegistry(2, 1<<30, path)
+	r4, err := openRegistry(2, 1<<30, path, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,11 +171,161 @@ func TestRegistryJournalReplay(t *testing.T) {
 	}
 }
 
+// TestRegistryPinExemptsEviction pins one operator, churns the registry
+// far past its caps, and asserts the pinned operator never falls out —
+// then unpins it and asserts it rejoins the ordinary LRU economy.
+func TestRegistryPinExemptsEviction(t *testing.T) {
+	r, err := openRegistry(2, 1<<30, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, _, err := r.registerPinned(diagOp(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 2; i <= 8; i++ {
+		mustRegister(t, r, diagOp(4, float64(i)))
+	}
+	if _, ok := r.lookup(fp); !ok {
+		t.Fatal("pinned operator evicted by registry churn")
+	}
+	if r.pinnedCount() != 1 {
+		t.Fatalf("pinnedCount = %d, want 1", r.pinnedCount())
+	}
+	r.unpin(fp)
+	if r.pinnedCount() != 0 {
+		t.Fatalf("pinnedCount after unpin = %d, want 0", r.pinnedCount())
+	}
+	mustRegister(t, r, diagOp(4, 9))
+	mustRegister(t, r, diagOp(4, 10))
+	if _, ok := r.lookup(fp); ok {
+		t.Fatal("unpinned operator still exempt from eviction")
+	}
+}
+
+// TestRegistryUnpinCollectsCapDebt pins two operators into a 1-op
+// registry (pins may hold the store over cap) and asserts the debt is
+// collected the moment a pin is released, not lazily on the next insert.
+func TestRegistryUnpinCollectsCapDebt(t *testing.T) {
+	r, err := openRegistry(1, 1<<30, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp0, _, err := r.registerPinned(diagOp(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp1, _, err := r.registerPinned(diagOp(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops, _ := r.stats(); ops != 2 {
+		t.Fatalf("two pinned operators in a 1-op registry: resident %d, want 2 (pins override caps)", ops)
+	}
+	r.unpin(fp0)
+	if ops, _ := r.stats(); ops != 1 {
+		t.Fatalf("unpin left %d operators resident, want the cap (1) restored immediately", ops)
+	}
+	if _, ok := r.lookup(fp1); !ok {
+		t.Fatal("wrong victim: the still-pinned operator fell out")
+	}
+}
+
+// TestRegistryEphemeralTier checks the journal-less tier: an ephemeral
+// registration is resident and addressable but never journaled (lost on
+// restart), while a later durable registration of the same operator
+// promotes it into the journal.
+func TestRegistryEphemeralTier(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ops.journal")
+	r, err := openRegistry(8, 1<<30, path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eph := diagOp(4, 1)
+	fpE, _, err := r.registerEphemeral(eph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpD := mustRegister(t, r, diagOp(4, 2))
+	if _, ok := r.lookup(fpE); !ok {
+		t.Fatal("ephemeral operator not resident")
+	}
+	if err := r.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := openRegistry(8, 1<<30, path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r2.lookup(fpD); !ok {
+		t.Fatal("durable operator lost across restart")
+	}
+	if _, ok := r2.lookup(fpE); ok {
+		t.Fatal("ephemeral operator survived a restart — it leaked into the journal")
+	}
+
+	// Promote: ephemeral first, then a durable registration of the same
+	// operator must journal it.
+	if _, _, err := r2.registerEphemeral(eph); err != nil {
+		t.Fatal(err)
+	}
+	if _, existed, err := r2.register(eph); err != nil || !existed {
+		t.Fatalf("promoting registration answered existed=%v err=%v", existed, err)
+	}
+	if err := r2.close(); err != nil {
+		t.Fatal(err)
+	}
+	r3, err := openRegistry(8, 1<<30, path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r3.close()
+	if _, ok := r3.lookup(fpE); !ok {
+		t.Fatal("promoted operator did not survive a restart")
+	}
+}
+
+// TestRegistryReplayKeepsPinnedUnderCapSqueeze reopens a 3-operator
+// journal under a 1-op cap with a pin on the LRU-most operator — the one
+// a plain squeeze would drop first. The pin (queued durable jobs
+// reference it) must carry it through replay.
+func TestRegistryReplayKeepsPinnedUnderCapSqueeze(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ops.journal")
+	r, err := openRegistry(8, 1<<30, path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps := []uint64{
+		mustRegister(t, r, diagOp(4, 1)),
+		mustRegister(t, r, diagOp(6, 2)),
+		mustRegister(t, r, diagOp(8, 3)),
+	}
+	if err := r.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := openRegistry(1, 1<<30, path, map[uint64]int{fps[0]: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.close()
+	if _, ok := r2.lookup(fps[0]); !ok {
+		t.Fatal("replay cap squeeze dropped a pinned operator")
+	}
+	if _, ok := r2.lookup(fps[2]); !ok {
+		t.Fatal("replay cap squeeze dropped the MRU operator")
+	}
+	if _, ok := r2.lookup(fps[1]); ok {
+		t.Fatal("cap squeeze kept an unpinned non-MRU operator")
+	}
+}
+
 // TestRegistryConcurrentRegisterEvict hammers a tiny registry from many
 // goroutines so the race detector can see register, lookup, and evict
 // interleave. Correctness bar: no panic, no race, caps hold at the end.
 func TestRegistryConcurrentRegisterEvict(t *testing.T) {
-	r, err := openRegistry(4, 1<<30, "")
+	r, err := openRegistry(4, 1<<30, "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -192,25 +192,36 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CoalesceWindow > 0 {
 		s.coalesce = newCoalescer(s, cfg.CoalesceWindow)
 	}
-	// The registry opens before the job queue: crash replay of
-	// by-reference job payloads resolves operators through it.
-	opsPath := ""
-	if cfg.JobStore != "" {
-		opsPath = cfg.JobStore + ".ops"
-	}
-	s.registry, err = openRegistry(cfg.RegistryMaxOps, cfg.RegistryMaxBytes, opsPath)
-	if err != nil {
-		return nil, fmt.Errorf("serve: opening operator registry: %w", err)
-	}
+	// The job queue opens first so the registry can learn which operator
+	// fingerprints replayed (still-queued) by-reference payloads depend
+	// on: those are pinned through the registry's own replay, exempting
+	// them from any cap squeeze — an accepted durable job must always be
+	// able to re-resolve its matrix.
 	s.jobs, err = jobs.Open(jobs.Config{
 		Path:        cfg.JobStore,
 		LeaseTTL:    cfg.JobLeaseTTL,
 		MaxQueued:   cfg.JobMaxQueued,
 		TenantQuota: cfg.JobTenantQuota,
 		RetainDone:  cfg.JobRetainDone,
+		OnTerminal:  s.jobTerminal,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("serve: opening job store: %w", err)
+	}
+	pins := make(map[uint64]int)
+	for _, j := range s.jobs.List("", jobs.StateQueued) {
+		if fp, ok := payloadFingerprint(j.Payload); ok {
+			pins[fp]++
+		}
+	}
+	opsPath := ""
+	if cfg.JobStore != "" {
+		opsPath = cfg.JobStore + ".ops"
+	}
+	s.registry, err = openRegistry(cfg.RegistryMaxOps, cfg.RegistryMaxBytes, opsPath, pins)
+	if err != nil {
+		s.jobs.Close()
+		return nil, fmt.Errorf("serve: opening operator registry: %w", err)
 	}
 	if cfg.JobWorkers > 0 {
 		s.workers = jobs.StartWorkers(s.jobs, cfg.JobWorkers, s.executeJob, cfg.JobExecDelay)
